@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Similarity Flooding's fixpoint formulas Basic/A/B/C;
+//! * COMA with individual schema sub-matchers disabled;
+//! * Distribution-based with and without the ILP refinement;
+//! * Cupid's structural-weight sweep;
+//! * the LSH-approximate overlap matcher vs the exact Jaccard-Levenshtein
+//!   baseline (the paper's future-work item).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valentine_bench::bench_pair;
+use valentine_core::prelude::*;
+use valentine_core::solver::FixpointFormula;
+
+fn bench_ablations(c: &mut Criterion) {
+    let pair = bench_pair(ScenarioKind::Unionable);
+
+    let mut group = c.benchmark_group("ablation_sf_formulas");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for formula in [
+        FixpointFormula::Basic,
+        FixpointFormula::A,
+        FixpointFormula::B,
+        FixpointFormula::C,
+    ] {
+        let matcher = SimilarityFloodingMatcher::with_formula(formula);
+        group.bench_with_input(
+            BenchmarkId::new("formula", format!("{formula:?}")),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_coma_submatchers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    type Tweak = fn(&mut ComaMatcher);
+    let variants: [(&str, Tweak); 4] = [
+        ("full", |_| {}),
+        ("no-name", |m| m.use_name = false),
+        ("no-name-path", |m| m.use_name_path = false),
+        ("no-dtype", |m| m.use_dtype = false),
+    ];
+    for (name, tweak) in variants {
+        let mut matcher = ComaMatcher::new(ComaStrategy::Schema);
+        tweak(&mut matcher);
+        group.bench_with_input(BenchmarkId::new("coma", name), &pair, |b, pair| {
+            b.iter(|| {
+                std::hint::black_box(
+                    matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_distribution_ilp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for skip_ilp in [false, true] {
+        let mut matcher = DistributionMatcher::dist1();
+        matcher.skip_ilp = skip_ilp;
+        group.bench_with_input(
+            BenchmarkId::new("ilp", if skip_ilp { "greedy" } else { "exact" }),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_approx_vs_exact_overlap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    {
+        let exact = JaccardLevenshteinMatcher::new(0.8);
+        group.bench_with_input(BenchmarkId::new("overlap", "exact-jl"), &pair, |b, pair| {
+            b.iter(|| {
+                std::hint::black_box(
+                    exact.match_tables(&pair.source, &pair.target).expect("runs"),
+                )
+            })
+        });
+        let approx = ApproxOverlapMatcher::new();
+        group.bench_with_input(BenchmarkId::new("overlap", "approx-lsh"), &pair, |b, pair| {
+            b.iter(|| {
+                std::hint::black_box(
+                    approx.match_tables(&pair.source, &pair.target).expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_cupid_w_struct");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for w in [0.0, 0.3, 0.6, 0.9] {
+        let matcher = CupidMatcher::new(0.2, w, 0.5);
+        group.bench_with_input(BenchmarkId::new("w_struct", format!("{w}")), &pair, |b, pair| {
+            b.iter(|| {
+                std::hint::black_box(
+                    matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table IV micro-bench: average runtime per method on a standard pair.
+//!
+//! This *is* Table IV in criterion form: the relative per-method costs
+//! (schema-based ≪ instance-based ≪ EmbDI) are the reproduction target; the
+//! absolute numbers scale with the table size. `reproduce table4` prints
+//! the wall-clock version next to the paper's published seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valentine_bench::bench_pair;
+use valentine_core::prelude::*;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_runtime");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let pair = bench_pair(ScenarioKind::Unionable);
+    for kind in MatcherKind::ALL {
+        if kind == MatcherKind::SemProp {
+            continue; // SemProp is benched on its ontology source in fig6
+        }
+        let matcher = kind.instantiate();
+        group.bench_with_input(BenchmarkId::new(kind.label(), "unionable"), &pair, |b, pair| {
+            b.iter(|| {
+                std::hint::black_box(
+                    matcher
+                        .match_tables(&pair.source, &pair.target)
+                        .expect("matcher runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! The `reproduce` binary regenerates every figure and table of the paper;
+//! the criterion benches in `benches/` measure single representative runs
+//! per method. Both use the helpers here so "what counts as Figure 4's
+//! workload" is defined exactly once.
+
+use valentine_core::grids::GridScale;
+use valentine_core::prelude::*;
+use valentine_core::reports::{figure_row, render_figure, render_figure_whiskers, FigureCell};
+use valentine_core::{Corpus, CorpusConfig, Runner, RunnerConfig};
+
+/// Harness scale selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny tables, 1 fabricated pair per scenario — smoke runs.
+    Tiny,
+    /// Small tables, 4 pairs per scenario per source — the default.
+    Small,
+    /// The paper's full 553-pair corpus at published table sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny` / `small` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The corpus configuration of this scale.
+    pub fn corpus_config(self) -> CorpusConfig {
+        match self {
+            Scale::Tiny => CorpusConfig::tiny(),
+            Scale::Small => CorpusConfig::small(),
+            Scale::Paper => CorpusConfig::paper(),
+        }
+    }
+
+    /// The grid scale of this scale.
+    pub fn grid_scale(self) -> GridScale {
+        match self {
+            Scale::Paper => GridScale::Paper,
+            _ => GridScale::Small,
+        }
+    }
+}
+
+/// The schema-based methods of Figure 4.
+pub const SCHEMA_METHODS: [MatcherKind; 3] = [
+    MatcherKind::Cupid,
+    MatcherKind::SimilarityFlooding,
+    MatcherKind::ComaSchema,
+];
+
+/// The instance-based methods of Figure 5.
+pub const INSTANCE_METHODS: [MatcherKind; 4] = [
+    MatcherKind::DistributionDist1,
+    MatcherKind::DistributionDist2,
+    MatcherKind::ComaInstance,
+    MatcherKind::JaccardLevenshtein,
+];
+
+/// The hybrid methods of Figure 6.
+pub const HYBRID_METHODS: [MatcherKind; 2] = [MatcherKind::EmbDI, MatcherKind::SemProp];
+
+/// Everything except SemProp (which needs the ontology-compatible source).
+pub const NON_SEMPROP_METHODS: [MatcherKind; 8] = [
+    MatcherKind::Cupid,
+    MatcherKind::SimilarityFlooding,
+    MatcherKind::ComaSchema,
+    MatcherKind::ComaInstance,
+    MatcherKind::DistributionDist1,
+    MatcherKind::DistributionDist2,
+    MatcherKind::EmbDI,
+    MatcherKind::JaccardLevenshtein,
+];
+
+/// Runs a method set over a pair slice and returns the runner.
+pub fn run_methods(
+    pairs: &[DatasetPair],
+    methods: &[MatcherKind],
+    scale: Scale,
+    threads: usize,
+) -> Runner {
+    let owned: Vec<DatasetPair> = pairs.to_vec();
+    Runner::run(
+        &owned,
+        &RunnerConfig {
+            methods: methods.to_vec(),
+            scale: scale.grid_scale(),
+            threads,
+        },
+    )
+}
+
+/// Builds the corpus at the given scale.
+pub fn build_corpus(scale: Scale) -> Corpus {
+    Corpus::build(&scale.corpus_config())
+}
+
+/// A single representative fabricated pair per scenario for the criterion
+/// micro-benches (TPC-DI source, tiny size, noisy schema).
+pub fn bench_pair(scenario: ScenarioKind) -> DatasetPair {
+    let table = valentine_core::datasets::tpcdi::prospect(SizeClass::Tiny, 42);
+    let spec = match scenario {
+        ScenarioKind::Unionable => {
+            ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim)
+        }
+        ScenarioKind::ViewUnionable => {
+            ScenarioSpec::view_unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim)
+        }
+        ScenarioKind::Joinable => ScenarioSpec::joinable(0.3, false, SchemaNoise::Noisy),
+        ScenarioKind::SemanticallyJoinable => {
+            ScenarioSpec::semantically_joinable(0.3, false, SchemaNoise::Noisy)
+        }
+    };
+    fabricate_pair(&table, &spec, 7).expect("fabrication cannot fail on generated tables")
+}
+
+/// Renders one figure from a runner with a filter — shared by the binary
+/// and the integration tests.
+pub fn figure(
+    runner: &Runner,
+    title: &str,
+    methods: &[MatcherKind],
+    predicate: impl Fn(&ExperimentRecord) -> bool + Copy,
+) -> (String, Vec<FigureCell>) {
+    let mut cells = Vec::new();
+    for &m in methods {
+        cells.extend(figure_row(runner, m, predicate));
+    }
+    let mut text = render_figure(title, &cells);
+    text.push('\n');
+    text.push_str(&render_figure_whiskers("whiskers (Recall@GT, 0..1)", &cells));
+    (text, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn bench_pairs_exist_for_all_scenarios() {
+        for s in ScenarioKind::ALL {
+            let p = bench_pair(s);
+            assert_eq!(p.scenario, s);
+            assert!(p.ground_truth_size() > 0);
+        }
+    }
+
+    #[test]
+    fn method_groups_cover_all_nine() {
+        let mut all: Vec<MatcherKind> = SCHEMA_METHODS
+            .iter()
+            .chain(&INSTANCE_METHODS)
+            .chain(&HYBRID_METHODS)
+            .chain(&NON_SEMPROP_METHODS)
+            .copied()
+            .collect();
+        all.sort_by_key(|m| m.label());
+        all.dedup();
+        assert_eq!(all.len(), MatcherKind::ALL.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! Tiny flag parser (no external dependency per the workspace policy).
+
+use std::collections::BTreeMap;
+
+/// Parsed positional arguments and `--flag value` / `--flag` options.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options; bare `--key` stores an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Splits `argv` into positionals and options. `known_bare` lists flags that
+/// take no value.
+pub fn parse(argv: &[String], known_bare: &[&str]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            if known_bare.contains(&key) {
+                out.options.insert(key.to_string(), String::new());
+            } else {
+                i += 1;
+                let value = argv
+                    .get(i)
+                    .ok_or_else(|| format!("option --{key} needs a value"))?;
+                out.options.insert(key.to_string(), value.clone());
+            }
+        } else {
+            out.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// A required positional argument by index.
+    pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing argument: {what}"))
+    }
+
+    /// An optional option value.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required option value.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.opt(key).ok_or_else(|| format!("missing option --{key}"))
+    }
+
+    /// True when a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// An option parsed into a type with a default.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixes_positionals_and_options() {
+        let p = parse(&argv(&["a.csv", "--method", "coma", "b.csv", "--one-to-one"]), &["one-to-one"]).unwrap();
+        assert_eq!(p.positional, vec!["a.csv", "b.csv"]);
+        assert_eq!(p.opt("method"), Some("coma"));
+        assert!(p.flag("one-to-one"));
+        assert!(!p.flag("verbose"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["--method"]), &[]).is_err());
+    }
+
+    #[test]
+    fn typed_options() {
+        let p = parse(&argv(&["--top", "15"]), &[]).unwrap();
+        assert_eq!(p.opt_parse("top", 10usize).unwrap(), 15);
+        assert_eq!(p.opt_parse("seed", 7u64).unwrap(), 7);
+        let bad = parse(&argv(&["--top", "x"]), &[]).unwrap();
+        assert!(bad.opt_parse("top", 10usize).is_err());
+    }
+
+    #[test]
+    fn required_accessors() {
+        let p = parse(&argv(&["file.csv"]), &[]).unwrap();
+        assert_eq!(p.positional(0, "input").unwrap(), "file.csv");
+        assert!(p.positional(1, "second input").is_err());
+        assert!(p.required("truth").is_err());
+    }
+}

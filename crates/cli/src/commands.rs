@@ -1,0 +1,311 @@
+//! Command implementations.
+
+use std::fs;
+
+use valentine_core::prelude::*;
+use valentine_core::select::{extract_hungarian, extract_threshold_delta};
+use valentine_core::table::csv;
+use valentine_core::{average_precision, mean_reciprocal_rank, ndcg_at_k};
+
+use crate::args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+valentine — schema matching for dataset discovery (Valentine, ICDE 2021)
+
+USAGE:
+  valentine methods
+      List the available matching methods.
+
+  valentine match <a.csv> <b.csv> [--method NAME] [--top K]
+                  [--one-to-one] [--threshold T]
+      Rank column correspondences between two CSV files.
+      --method      method name (default: coma-instance); see `methods`
+      --top         how many ranked matches to print (default: 10)
+      --one-to-one  extract a 1-1 mapping (Hungarian) instead of a ranking
+      --threshold   minimum score for --one-to-one (default: 0.5)
+
+  valentine fabricate --source NAME --scenario NAME
+                      [--size tiny|small|paper] [--seed N] [--out DIR]
+      Fabricate a benchmark pair with ground truth from a bundled source
+      (tpcdi | opendata | chembl). Writes source.csv, target.csv and
+      ground_truth.tsv to --out (default: .).
+      --scenario    unionable | view-unionable | joinable |
+                    semantically-joinable
+
+  valentine evaluate <a.csv> <b.csv> --truth <gt.tsv> [--method NAME]
+      Run a matcher on two CSV files and score it against a ground-truth
+      TSV (two tab-separated columns: source_column, target_column).
+";
+
+/// Builds a matcher from its CLI name.
+fn matcher_by_name(name: &str) -> Result<Box<dyn Matcher>, String> {
+    Ok(match name {
+        "cupid" => Box::new(CupidMatcher::default_config()),
+        "similarity-flooding" | "sf" => Box::new(SimilarityFloodingMatcher::new()),
+        "coma-schema" => Box::new(ComaMatcher::new(ComaStrategy::Schema)),
+        "coma-instance" | "coma" => Box::new(ComaMatcher::new(ComaStrategy::Instance)),
+        "distribution" | "dist" => Box::new(DistributionMatcher::dist1()),
+        "distribution-loose" => Box::new(DistributionMatcher::dist2()),
+        "semprop" => Box::new(SemPropMatcher::default_config()),
+        "embdi" => Box::new(EmbdiMatcher::small_config()),
+        "jaccard-levenshtein" | "jl" => Box::new(JaccardLevenshteinMatcher::new(0.8)),
+        "approx-overlap" | "lsh" => Box::new(ApproxOverlapMatcher::new()),
+        other => return Err(format!("unknown method `{other}` (see `valentine methods`)")),
+    })
+}
+
+/// `valentine methods`
+pub fn methods() {
+    println!("{:<22} {:<16} match types", "name", "class");
+    for kind in MatcherKind::ALL {
+        let types: Vec<&str> = kind.match_types().iter().map(|t| t.label()).collect();
+        let name = match kind {
+            MatcherKind::Cupid => "cupid",
+            MatcherKind::SimilarityFlooding => "similarity-flooding",
+            MatcherKind::ComaSchema => "coma-schema",
+            MatcherKind::ComaInstance => "coma-instance",
+            MatcherKind::DistributionDist1 => "distribution",
+            MatcherKind::DistributionDist2 => "distribution-loose",
+            MatcherKind::SemProp => "semprop",
+            MatcherKind::EmbDI => "embdi",
+            MatcherKind::JaccardLevenshtein => "jaccard-levenshtein",
+        };
+        println!("{:<22} {:<16} {}", name, kind.class(), types.join(", "));
+    }
+    println!(
+        "{:<22} {:<16} Value Overlap (LSH-approximate, extension)",
+        "approx-overlap", "instance-based"
+    );
+}
+
+fn load_table(path: &str) -> Result<Table, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("table")
+        .to_string();
+    csv::parse(name, &text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+/// `valentine match`
+pub fn match_files(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &["one-to-one"])?;
+    let a = load_table(p.positional(0, "first CSV file")?)?;
+    let b = load_table(p.positional(1, "second CSV file")?)?;
+    let matcher = matcher_by_name(p.opt("method").unwrap_or("coma-instance"))?;
+    let top: usize = p.opt_parse("top", 10)?;
+    let threshold: f64 = p.opt_parse("threshold", 0.5)?;
+
+    let ranked = matcher
+        .match_tables(&a, &b)
+        .map_err(|e| format!("matching failed: {e}"))?;
+
+    if p.flag("one-to-one") {
+        let mapping = extract_hungarian(&ranked, threshold);
+        println!("1-1 mapping ({} with score ≥ {threshold}):", mapping.len());
+        for m in &mapping {
+            println!("  {} -> {}  ({:.4})", m.source, m.target, m.score);
+        }
+    } else {
+        println!(
+            "top {} of {} ranked correspondences ({}):",
+            top.min(ranked.len()),
+            ranked.len(),
+            matcher.name()
+        );
+        for (i, m) in ranked.top_k(top).iter().enumerate() {
+            println!("  {:>3}. {} <-> {}  ({:.4})", i + 1, m.source, m.target, m.score);
+        }
+    }
+    Ok(())
+}
+
+/// `valentine fabricate`
+pub fn fabricate(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let source_name = p.required("source")?;
+    let scenario = p.required("scenario")?;
+    let size = match p.opt("size").unwrap_or("small") {
+        "tiny" => SizeClass::Tiny,
+        "small" => SizeClass::Small,
+        "paper" => SizeClass::Paper,
+        other => return Err(format!("unknown size `{other}`")),
+    };
+    let seed: u64 = p.opt_parse("seed", 42)?;
+    let out_dir = p.opt("out").unwrap_or(".").to_string();
+
+    let table = match source_name {
+        "tpcdi" => valentine_core::datasets::tpcdi::prospect(size, seed),
+        "opendata" => valentine_core::datasets::opendata::open_data(size, seed),
+        "chembl" => valentine_core::datasets::chembl::assays(size, seed),
+        other => {
+            return Err(format!(
+                "unknown source `{other}` (tpcdi | opendata | chembl)"
+            ))
+        }
+    };
+    let spec = match scenario {
+        "unionable" => ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim),
+        "view-unionable" => {
+            ScenarioSpec::view_unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim)
+        }
+        "joinable" => ScenarioSpec::joinable(0.3, false, SchemaNoise::Noisy),
+        "semantically-joinable" => {
+            ScenarioSpec::semantically_joinable(0.3, false, SchemaNoise::Noisy)
+        }
+        other => return Err(format!("unknown scenario `{other}`")),
+    };
+    let pair = fabricate_pair(&table, &spec, seed).map_err(|e| e.to_string())?;
+
+    fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create `{out_dir}`: {e}"))?;
+    let write = |name: &str, content: String| -> Result<(), String> {
+        let path = format!("{out_dir}/{name}");
+        fs::write(&path, content).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("wrote {path}");
+        Ok(())
+    };
+    write("source.csv", csv::serialize(&pair.source))?;
+    write("target.csv", csv::serialize(&pair.target))?;
+    let mut gt = String::from("source_column\ttarget_column\n");
+    for (s, t) in &pair.ground_truth {
+        gt.push_str(&format!("{s}\t{t}\n"));
+    }
+    write("ground_truth.tsv", gt)?;
+    println!(
+        "pair `{}`: {}x{} vs {}x{}, {} expected correspondences",
+        pair.id,
+        pair.source.width(),
+        pair.source.height(),
+        pair.target.width(),
+        pair.target.height(),
+        pair.ground_truth_size()
+    );
+    Ok(())
+}
+
+/// `valentine evaluate`
+pub fn evaluate(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let a = load_table(p.positional(0, "first CSV file")?)?;
+    let b = load_table(p.positional(1, "second CSV file")?)?;
+    let truth_path = p.required("truth")?;
+    let matcher = matcher_by_name(p.opt("method").unwrap_or("coma-instance"))?;
+
+    let truth_text = fs::read_to_string(truth_path)
+        .map_err(|e| format!("cannot read `{truth_path}`: {e}"))?;
+    let ground_truth: Vec<(String, String)> = truth_text
+        .lines()
+        .skip(1) // header
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let mut it = l.split('\t');
+            match (it.next(), it.next()) {
+                (Some(s), Some(t)) => Ok((s.to_string(), t.to_string())),
+                _ => Err(format!("malformed ground-truth line: `{l}`")),
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    if ground_truth.is_empty() {
+        return Err("ground truth is empty".into());
+    }
+
+    let start = std::time::Instant::now();
+    let ranked = matcher
+        .match_tables(&a, &b)
+        .map_err(|e| format!("matching failed: {e}"))?;
+    let elapsed = start.elapsed();
+
+    let k = ground_truth.len();
+    println!("method:            {}", matcher.name());
+    println!("ground truth size: {k}");
+    println!("recall@GT:         {:.4}", recall_at_ground_truth(&ranked, &ground_truth));
+    println!("MRR:               {:.4}", mean_reciprocal_rank(&ranked, &ground_truth));
+    println!("MAP:               {:.4}", average_precision(&ranked, &ground_truth));
+    println!("nDCG@{k}:          {:.4}", ndcg_at_k(&ranked, &ground_truth, k));
+    println!("runtime:           {:.3}s", elapsed.as_secs_f64());
+    // the COMA-style near-tie view for human review
+    let review = extract_threshold_delta(&ranked, 0.5, 0.05);
+    println!("candidates ≥0.5 within δ=0.05 of each source's best: {}", review.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("valentine_cli_test_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn matcher_names_resolve() {
+        for name in [
+            "cupid", "similarity-flooding", "sf", "coma-schema", "coma-instance", "coma",
+            "distribution", "dist", "distribution-loose", "semprop", "embdi",
+            "jaccard-levenshtein", "jl", "approx-overlap", "lsh",
+        ] {
+            assert!(matcher_by_name(name).is_ok(), "{name}");
+        }
+        assert!(matcher_by_name("quantum").is_err());
+    }
+
+    #[test]
+    fn fabricate_then_evaluate_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let out = dir.to_str().unwrap();
+        fabricate(&argv(&[
+            "--source", "tpcdi", "--scenario", "joinable", "--size", "tiny", "--seed", "4",
+            "--out", out,
+        ]))
+        .expect("fabricate works");
+        for f in ["source.csv", "target.csv", "ground_truth.tsv"] {
+            assert!(dir.join(f).exists(), "{f}");
+        }
+        let src = format!("{out}/source.csv");
+        let tgt = format!("{out}/target.csv");
+        let truth = format!("{out}/ground_truth.tsv");
+        evaluate(&argv(&[&src, &tgt, "--truth", &truth, "--method", "coma-instance"]))
+            .expect("evaluate works");
+        match_files(&argv(&[&src, &tgt, "--method", "jl", "--top", "3"]))
+            .expect("match works");
+        match_files(&argv(&[&src, &tgt, "--one-to-one", "--threshold", "0.6"]))
+            .expect("one-to-one works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fabricate_rejects_unknown_inputs() {
+        assert!(fabricate(&argv(&["--source", "ghost", "--scenario", "joinable"])).is_err());
+        assert!(fabricate(&argv(&["--source", "tpcdi", "--scenario", "ghost"])).is_err());
+        assert!(fabricate(&argv(&["--source", "tpcdi"])).is_err(), "scenario required");
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_truth() {
+        let dir = temp_dir("badtruth");
+        let csv_path = dir.join("t.csv");
+        fs::write(&csv_path, "a,b\n1,2\n").unwrap();
+        let empty_truth = dir.join("gt.tsv");
+        fs::write(&empty_truth, "source_column\ttarget_column\n").unwrap();
+        let c = csv_path.to_str().unwrap();
+        let g = empty_truth.to_str().unwrap();
+        assert!(evaluate(&argv(&[c, c, "--truth", g])).is_err(), "empty truth rejected");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn match_files_reports_missing_inputs() {
+        assert!(match_files(&argv(&["/nonexistent/a.csv", "/nonexistent/b.csv"])).is_err());
+        assert!(match_files(&argv(&[])).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! `valentine` — the command-line face of the suite.
+//!
+//! ```text
+//! valentine methods
+//! valentine match <a.csv> <b.csv> [--method NAME] [--top K] [--one-to-one] [--threshold T]
+//! valentine fabricate --source NAME --scenario NAME [--size S] [--seed N] [--out DIR]
+//! valentine evaluate <a.csv> <b.csv> --truth <gt.tsv> [--method NAME]
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    // Exit quietly when stdout closes early (`valentine methods | head`):
+    // the default Rust behaviour is a panic on the failed print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("valentine: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("methods") => {
+            commands::methods();
+            Ok(())
+        }
+        Some("match") => commands::match_files(&argv[1..]),
+        Some("fabricate") => commands::fabricate(&argv[1..]),
+        Some("evaluate") => commands::evaluate(&argv[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try `valentine help`)")),
+    }
+}

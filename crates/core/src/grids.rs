@@ -1,0 +1,130 @@
+//! The Table II parameter grids.
+//!
+//! "For each method and dataset, we performed a grid search with the method
+//! parameters as shown in Table II" (§VI-B). The grids below reproduce that
+//! table exactly; across all methods they yield the paper's **135
+//! configurations**:
+//!
+//! | method | grid | configs |
+//! |---|---|---|
+//! | Cupid | leaf_w_struct {0,.2,.4,.6} × w_struct {0,.2,.4,.6} × th_accept {.3..=.8 step .1} | 96 |
+//! | Similarity Flooding | inverse_average + formula C (fixed) | 1 |
+//! | COMA | strategy ∈ {schema, instance}, threshold 0 | 2 |
+//! | Distribution #1 | θ1 {.1,.15,.2} × θ2 {.1,.15,.2} | 9 |
+//! | Distribution #2 | θ1 {.3,.4,.5} × θ2 {.3,.4,.5} | 9 |
+//! | SemProp | minh {.2,.3} × sem {.4,.5,.6} × coh {.2,.4} | 12 |
+//! | EmbDI | word2vec, sl 60, window 3, 300 dims (fixed) | 1 |
+//! | Jaccard-Levenshtein | threshold {.4,.5,.6,.7,.8} | 5 |
+
+use valentine_matchers::{
+    ComaMatcher, ComaStrategy, CupidMatcher, DistributionMatcher, EmbdiMatcher,
+    JaccardLevenshteinMatcher, Matcher, MatcherKind, SemPropMatcher, SimilarityFloodingMatcher,
+};
+
+/// Whether to instantiate full paper-scale configurations (EmbDI at 300
+/// dimensions) or reduced ones for the scaled harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScale {
+    /// Reduced EmbDI dimensionality; everything else identical.
+    Small,
+    /// The paper's exact configuration.
+    Paper,
+}
+
+/// All Table II configurations of one method.
+pub fn method_grid(kind: MatcherKind, scale: GridScale) -> Vec<Box<dyn Matcher>> {
+    match kind {
+        MatcherKind::Cupid => {
+            let mut out: Vec<Box<dyn Matcher>> = Vec::with_capacity(96);
+            for lw in [0.0, 0.2, 0.4, 0.6] {
+                for w in [0.0, 0.2, 0.4, 0.6] {
+                    for th in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+                        out.push(Box::new(CupidMatcher::new(lw, w, th)));
+                    }
+                }
+            }
+            out
+        }
+        MatcherKind::SimilarityFlooding => vec![Box::new(SimilarityFloodingMatcher::new())],
+        MatcherKind::ComaSchema => vec![Box::new(ComaMatcher::new(ComaStrategy::Schema))],
+        MatcherKind::ComaInstance => vec![Box::new(ComaMatcher::new(ComaStrategy::Instance))],
+        MatcherKind::DistributionDist1 => {
+            let mut out: Vec<Box<dyn Matcher>> = Vec::with_capacity(9);
+            for t1 in [0.1, 0.15, 0.2] {
+                for t2 in [0.1, 0.15, 0.2] {
+                    out.push(Box::new(DistributionMatcher::new(t1, t2)));
+                }
+            }
+            out
+        }
+        MatcherKind::DistributionDist2 => {
+            let mut out: Vec<Box<dyn Matcher>> = Vec::with_capacity(9);
+            for t1 in [0.3, 0.4, 0.5] {
+                for t2 in [0.3, 0.4, 0.5] {
+                    out.push(Box::new(DistributionMatcher::new(t1, t2)));
+                }
+            }
+            out
+        }
+        MatcherKind::SemProp => {
+            let mut out: Vec<Box<dyn Matcher>> = Vec::with_capacity(12);
+            for minh in [0.2, 0.3] {
+                for sem in [0.4, 0.5, 0.6] {
+                    for coh in [0.2, 0.4] {
+                        out.push(Box::new(SemPropMatcher::new(minh, sem, coh)));
+                    }
+                }
+            }
+            out
+        }
+        MatcherKind::EmbDI => vec![match scale {
+            GridScale::Small => Box::new(EmbdiMatcher::small_config()),
+            GridScale::Paper => Box::new(EmbdiMatcher::paper_config()),
+        }],
+        MatcherKind::JaccardLevenshtein => [0.4, 0.5, 0.6, 0.7, 0.8]
+            .into_iter()
+            .map(|t| Box::new(JaccardLevenshteinMatcher::new(t)) as Box<dyn Matcher>)
+            .collect(),
+    }
+}
+
+/// Total number of configurations across every method — the paper's "135
+/// configurations".
+pub fn total_configurations(scale: GridScale) -> usize {
+    MatcherKind::ALL
+        .iter()
+        .map(|&k| method_grid(k, scale).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_sizes_match_table_two() {
+        let sizes: Vec<usize> = MatcherKind::ALL
+            .iter()
+            .map(|&k| method_grid(k, GridScale::Small).len())
+            .collect();
+        assert_eq!(sizes, vec![96, 1, 1, 1, 9, 9, 12, 1, 5]);
+    }
+
+    #[test]
+    fn total_is_the_papers_135() {
+        assert_eq!(total_configurations(GridScale::Small), 135);
+        assert_eq!(total_configurations(GridScale::Paper), 135);
+    }
+
+    #[test]
+    fn configurations_have_distinct_names() {
+        for kind in MatcherKind::ALL {
+            let grid = method_grid(kind, GridScale::Small);
+            let mut names: Vec<String> = grid.iter().map(|m| m.name()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "{kind:?} has duplicate config names");
+        }
+    }
+}

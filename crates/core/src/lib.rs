@@ -1,0 +1,69 @@
+//! The Valentine experiment suite.
+//!
+//! This crate ties the whole workspace together (Figure 1 of the paper):
+//! dataset sources feed the fabricator, fabricated and curated pairs feed
+//! the experiment runner, the runner executes every (pair × method ×
+//! configuration) combination, and the metrics/report layers aggregate the
+//! results into the paper's figures and tables.
+//!
+//! * [`metrics`] — Recall@ground-truth (the paper's headline metric) plus
+//!   classic precision/recall/F1 for 1-1 evaluation;
+//! * [`grids`] — the Table II parameter grids (exactly 135 configurations
+//!   across all methods, as the paper reports);
+//! * [`corpus`] — assembles the full evaluation corpus (fabricated pairs
+//!   from TPC-DI/Open Data/ChEMBL plus the curated WikiData, Magellan, and
+//!   ING pairs);
+//! * [`runner`] — the parallel experiment executor with per-run timing;
+//! * [`select`] — 1-1 match extraction (Hungarian / stable marriage /
+//!   threshold) for comparison with the traditional evaluation mode;
+//! * [`reports`] — min/median/max aggregation and TSV/markdown rendering.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod grids;
+pub mod metrics;
+pub mod reports;
+pub mod runner;
+pub mod select;
+
+// Re-export the whole workspace under stable module names.
+pub use valentine_datasets as datasets;
+pub use valentine_embeddings as embeddings;
+pub use valentine_fabricator as fabricator;
+pub use valentine_matchers as matchers;
+pub use valentine_ontology as ontology;
+pub use valentine_solver as solver;
+pub use valentine_table as table;
+pub use valentine_text as text;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use grids::{method_grid, GridScale};
+pub use metrics::{
+    average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
+    recall_at_ground_truth, recall_at_k,
+};
+pub use runner::{ExperimentRecord, Runner, RunnerConfig};
+
+/// Everything a downstream user typically needs.
+pub mod prelude {
+    pub use crate::matchers::{
+        ApproxOverlapMatcher, ColumnMatch, ComaMatcher, ComaStrategy, CupidMatcher,
+        DistributionMatcher, EmbdiMatcher, JaccardLevenshteinMatcher, MatchResult, MatchType,
+        Matcher, MatcherKind, SemPropMatcher, SimilarityFloodingMatcher,
+    };
+    pub use crate::corpus::{Corpus, CorpusConfig};
+    pub use crate::datasets::SizeClass;
+    pub use crate::fabricator::{
+        fabricate_pair, DatasetPair, FabricationPlan, InstanceNoise, ScenarioKind, ScenarioSpec,
+        SchemaNoise,
+    };
+    pub use crate::grids::{method_grid, GridScale};
+    pub use crate::metrics::{
+        average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
+        recall_at_ground_truth, recall_at_k,
+    };
+    pub use crate::runner::{ExperimentRecord, Runner, RunnerConfig};
+    pub use crate::select::{extract_hungarian, extract_stable_marriage, extract_threshold_delta};
+    pub use crate::table::{Column, DataType, Table, Value};
+}

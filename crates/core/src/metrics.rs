@@ -1,0 +1,285 @@
+//! Effectiveness metrics.
+//!
+//! The paper's headline metric is **Recall@k with k = |ground truth|**
+//! (a.k.a. R-Precision): the fraction of the top-k ranked matches that are
+//! correct. Because k equals the ground-truth size, Recall@k and
+//! Precision@k coincide, and the measure "reflects how helpful the output
+//! list is for a human who wants to assess only a limited list of top-k
+//! results" (§II-C).
+//!
+//! Classic set-based precision/recall/F1 are also provided for the
+//! threshold-based 1-1 evaluation mode the paper deliberately moves away
+//! from.
+
+use valentine_fabricator::GroundTruth;
+use valentine_matchers::MatchResult;
+use valentine_table::FxHashSet;
+
+/// Recall@k for an arbitrary `k`: `(# correct matches in the top k) / k`.
+///
+/// Returns 0 for `k = 0`.
+///
+/// ```
+/// use valentine_core::metrics::recall_at_k;
+/// use valentine_matchers::{ColumnMatch, MatchResult};
+///
+/// let ranked = MatchResult::ranked(vec![
+///     ColumnMatch::new("city", "town", 0.9),
+///     ColumnMatch::new("city", "phone", 0.4),
+/// ]);
+/// let truth = vec![("city".to_string(), "town".to_string())];
+/// assert_eq!(recall_at_k(&ranked, &truth, 1), 1.0);
+/// ```
+pub fn recall_at_k(result: &MatchResult, ground_truth: &GroundTruth, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let truth: FxHashSet<(&str, &str)> = ground_truth
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.as_str()))
+        .collect();
+    let hits = result
+        .top_k(k)
+        .iter()
+        .filter(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// The paper's metric: Recall@k with `k = |ground_truth|`.
+pub fn recall_at_ground_truth(result: &MatchResult, ground_truth: &GroundTruth) -> f64 {
+    recall_at_k(result, ground_truth, ground_truth.len())
+}
+
+/// Classic set-based precision, recall, and F1 of a *thresholded* match set
+/// against the ground truth. Returns `(precision, recall, f1)`.
+pub fn precision_recall_f1(
+    result: &MatchResult,
+    ground_truth: &GroundTruth,
+    threshold: f64,
+) -> (f64, f64, f64) {
+    let selected = result.filter_threshold(threshold);
+    let truth: FxHashSet<(&str, &str)> = ground_truth
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.as_str()))
+        .collect();
+    let tp = selected
+        .matches()
+        .iter()
+        .filter(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .count();
+    let precision = if selected.is_empty() {
+        0.0
+    } else {
+        tp as f64 / selected.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        0.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+/// Mean reciprocal rank of the *first* correct match (1-indexed ranks);
+/// 0 when no correct match appears. An extension beyond the paper's
+/// Recall@GT: dataset discovery UIs often only surface the first hit.
+pub fn mean_reciprocal_rank(result: &MatchResult, ground_truth: &GroundTruth) -> f64 {
+    let truth: FxHashSet<(&str, &str)> = ground_truth
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.as_str()))
+        .collect();
+    result
+        .matches()
+        .iter()
+        .position(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .map_or(0.0, |rank| 1.0 / (rank + 1) as f64)
+}
+
+/// Average precision of the full ranking: the mean, over the ground-truth
+/// pairs found, of the precision at each hit's rank (missing truths
+/// contribute 0). Extension beyond the paper.
+pub fn average_precision(result: &MatchResult, ground_truth: &GroundTruth) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let truth: FxHashSet<(&str, &str)> = ground_truth
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.as_str()))
+        .collect();
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, m) in result.matches().iter().enumerate() {
+        if truth.contains(&(m.source.as_str(), m.target.as_str())) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / truth.len() as f64
+}
+
+/// Normalised discounted cumulative gain at `k` with binary relevance:
+/// `DCG@k / IDCG@k`. Extension beyond the paper.
+pub fn ndcg_at_k(result: &MatchResult, ground_truth: &GroundTruth, k: usize) -> f64 {
+    if k == 0 || ground_truth.is_empty() {
+        return 0.0;
+    }
+    let truth: FxHashSet<(&str, &str)> = ground_truth
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.as_str()))
+        .collect();
+    let dcg: f64 = result
+        .top_k(k)
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..truth.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    if ideal == 0.0 {
+        0.0
+    } else {
+        dcg / ideal
+    }
+}
+
+/// Summary statistics over a set of per-pair scores: `(min, median, max)` —
+/// the three values every effectiveness figure in the paper plots.
+pub fn min_median_max(scores: &[f64]) -> Option<(f64, f64, f64)> {
+    if scores.is_empty() {
+        return None;
+    }
+    let mut sorted = scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let min = sorted[0];
+    let max = *sorted.last().expect("non-empty");
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Some((min, median, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_matchers::ColumnMatch;
+
+    fn result(pairs: &[(&str, &str, f64)]) -> MatchResult {
+        MatchResult::ranked(
+            pairs
+                .iter()
+                .map(|&(s, t, sc)| ColumnMatch::new(s, t, sc))
+                .collect(),
+        )
+    }
+
+    fn truth(pairs: &[(&str, &str)]) -> GroundTruth {
+        pairs
+            .iter()
+            .map(|&(s, t)| (s.to_string(), t.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let r = result(&[("a", "x", 0.9), ("b", "y", 0.8), ("c", "q", 0.1)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        assert_eq!(recall_at_ground_truth(&r, &gt), 1.0);
+    }
+
+    #[test]
+    fn wrong_order_penalised() {
+        // the correct match sits at rank 2 of a k=1 truth
+        let r = result(&[("a", "wrong", 0.9), ("a", "x", 0.8)]);
+        let gt = truth(&[("a", "x")]);
+        assert_eq!(recall_at_ground_truth(&r, &gt), 0.0);
+        assert_eq!(recall_at_k(&r, &gt, 2), 0.5);
+    }
+
+    #[test]
+    fn half_right_is_half() {
+        let r = result(&[("a", "x", 0.9), ("b", "wrong", 0.8), ("b", "y", 0.7)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        assert_eq!(recall_at_ground_truth(&r, &gt), 0.5);
+    }
+
+    #[test]
+    fn one_to_many_truth_counts_each_pair() {
+        // ING#2 style: one source column matching two targets
+        let r = result(&[("a", "x", 0.9), ("a", "y", 0.8)]);
+        let gt = truth(&[("a", "x"), ("a", "y")]);
+        assert_eq!(recall_at_ground_truth(&r, &gt), 1.0);
+    }
+
+    #[test]
+    fn empty_truth_and_empty_result() {
+        let r = result(&[]);
+        let gt = truth(&[("a", "x")]);
+        assert_eq!(recall_at_ground_truth(&r, &gt), 0.0);
+        assert_eq!(recall_at_ground_truth(&r, &truth(&[])), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_f1_thresholded() {
+        let r = result(&[("a", "x", 0.9), ("b", "wrong", 0.8), ("b", "y", 0.3)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        let (p, rec, f1) = precision_recall_f1(&r, &gt, 0.5);
+        assert_eq!(p, 0.5); // 1 of 2 selected are correct
+        assert_eq!(rec, 0.5); // 1 of 2 truths found
+        assert!((f1 - 0.5).abs() < 1e-12);
+        // threshold everything away
+        let (p, rec, f1) = precision_recall_f1(&r, &gt, 0.95);
+        assert_eq!((p, rec, f1), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn mrr_tracks_first_hit() {
+        let r = result(&[("a", "w1", 0.9), ("a", "x", 0.8), ("b", "y", 0.7)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        assert_eq!(mean_reciprocal_rank(&r, &gt), 0.5, "first hit at rank 2");
+        assert_eq!(mean_reciprocal_rank(&r, &truth(&[("q", "q")])), 0.0);
+    }
+
+    #[test]
+    fn average_precision_values() {
+        // hits at ranks 1 and 3 of a 2-truth: AP = (1/1 + 2/3)/2
+        let r = result(&[("a", "x", 0.9), ("a", "w", 0.8), ("b", "y", 0.7)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        let ap = average_precision(&r, &gt);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(average_precision(&r, &truth(&[])), 0.0);
+        // perfect ranking → AP = 1
+        let perfect = result(&[("a", "x", 0.9), ("b", "y", 0.8)]);
+        assert_eq!(average_precision(&perfect, &gt), 1.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits() {
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        let perfect = result(&[("a", "x", 0.9), ("b", "y", 0.8), ("c", "z", 0.1)]);
+        assert!((ndcg_at_k(&perfect, &gt, 3) - 1.0).abs() < 1e-12);
+        let late = result(&[("c", "z", 0.9), ("a", "x", 0.8), ("b", "y", 0.7)]);
+        let n = ndcg_at_k(&late, &gt, 3);
+        assert!(n > 0.0 && n < 1.0);
+        assert_eq!(ndcg_at_k(&late, &gt, 0), 0.0);
+        assert_eq!(ndcg_at_k(&late, &truth(&[]), 3), 0.0);
+    }
+
+    #[test]
+    fn min_median_max_odd_even() {
+        assert_eq!(min_median_max(&[3.0, 1.0, 2.0]), Some((1.0, 2.0, 3.0)));
+        assert_eq!(min_median_max(&[4.0, 1.0, 2.0, 3.0]), Some((1.0, 2.5, 4.0)));
+        assert_eq!(min_median_max(&[]), None);
+        assert_eq!(min_median_max(&[7.0]), Some((7.0, 7.0, 7.0)));
+    }
+}

@@ -1,0 +1,299 @@
+//! Aggregation and rendering of experiment results.
+//!
+//! The paper's effectiveness figures plot **min / median / max** of
+//! Recall@ground-truth per (method, scenario) group; Table III lists
+//! per-dataset recalls; Table IV lists mean runtimes. This module computes
+//! those aggregates from [`Runner`] records and renders them as aligned
+//! text tables (for the `reproduce` harness) and TSV (for downstream
+//! plotting).
+
+use std::fmt::Write as _;
+
+use valentine_fabricator::ScenarioKind;
+use valentine_matchers::MatcherKind;
+
+use crate::metrics::min_median_max;
+use crate::runner::Runner;
+
+/// One figure cell: the min/median/max whiskers of a method on a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureCell {
+    /// Method flavour.
+    pub method: MatcherKind,
+    /// Scenario the cell aggregates over.
+    pub scenario: ScenarioKind,
+    /// Minimum best-of-grid recall across pairs.
+    pub min: f64,
+    /// Median best-of-grid recall.
+    pub median: f64,
+    /// Maximum best-of-grid recall.
+    pub max: f64,
+    /// Number of pairs aggregated.
+    pub pairs: usize,
+}
+
+/// Computes a figure row: one method's min/median/max per scenario over
+/// pairs matching `predicate` (e.g. "fabricated sources with noisy
+/// schemata").
+pub fn figure_row(
+    runner: &Runner,
+    method: MatcherKind,
+    mut predicate: impl FnMut(&crate::runner::ExperimentRecord) -> bool,
+) -> Vec<FigureCell> {
+    ScenarioKind::ALL
+        .iter()
+        .filter_map(|&scenario| {
+            let scores = runner
+                .best_recalls_where(method, |r| r.scenario == scenario && predicate(r));
+            min_median_max(&scores).map(|(min, median, max)| FigureCell {
+                method,
+                scenario,
+                min,
+                median,
+                max,
+                pairs: scores.len(),
+            })
+        })
+        .collect()
+}
+
+/// Renders figure cells as an aligned text table.
+pub fn render_figure(title: &str, cells: &[FigureCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:<22} {:>6} {:>7} {:>6} {:>6}",
+        "method", "scenario", "min", "median", "max", "pairs"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:<24} {:<22} {:>6.3} {:>7.3} {:>6.3} {:>6}",
+            c.method.label(),
+            c.scenario.id(),
+            c.min,
+            c.median,
+            c.max,
+            c.pairs
+        );
+    }
+    out
+}
+
+/// Renders figure cells as ASCII whisker plots on a `[0, 1]` axis — the
+/// terminal equivalent of the paper's boxplot figures. `=` spans min→max,
+/// `#` marks the median.
+pub fn render_figure_whiskers(title: &str, cells: &[FigureCell]) -> String {
+    const WIDTH: usize = 41;
+    let pos = |x: f64| ((x.clamp(0.0, 1.0)) * (WIDTH - 1) as f64).round() as usize;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<24} {:<22} 0{:^width$}1",
+        "method",
+        "scenario",
+        "",
+        width = WIDTH - 2
+    );
+    for c in cells {
+        let mut axis = vec!['·'; WIDTH];
+        let (lo, mid, hi) = (pos(c.min), pos(c.median), pos(c.max));
+        for slot in axis.iter_mut().take(hi + 1).skip(lo) {
+            *slot = '=';
+        }
+        axis[mid] = '#';
+        let axis: String = axis.into_iter().collect();
+        let _ = writeln!(out, "{:<24} {:<22} {axis}", c.method.label(), c.scenario.id());
+    }
+    out
+}
+
+/// Renders figure cells as TSV (one row per cell) for plotting.
+pub fn figure_tsv(cells: &[FigureCell]) -> String {
+    let mut out = String::from("method\tscenario\tmin\tmedian\tmax\tpairs\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{}",
+            c.method.label(),
+            c.scenario.id(),
+            c.min,
+            c.median,
+            c.max,
+            c.pairs
+        );
+    }
+    out
+}
+
+/// Renders a Table III-style block: per-method recall on a named group of
+/// pairs (mean of best-of-grid recalls).
+pub fn render_recall_table(
+    title: &str,
+    rows: &[(MatcherKind, Vec<(&str, f64)>)],
+    columns: &[&str],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<24}", "method");
+    for c in columns {
+        let _ = write!(out, " {c:>10}");
+    }
+    out.push('\n');
+    for (method, cells) in rows {
+        let _ = write!(out, "{:<24}", method.label());
+        for col in columns {
+            match cells.iter().find(|(name, _)| name == col) {
+                Some((_, v)) => {
+                    let _ = write!(out, " {v:>10.3}");
+                }
+                None => {
+                    let _ = write!(out, " {:>10}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table IV: mean runtime per experiment per method, in seconds.
+pub fn render_runtime_table(runner: &Runner, methods: &[MatcherKind]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table IV: average runtime per experiment (seconds) ==");
+    let _ = writeln!(out, "{:<24} {:>12}", "method", "avg runtime");
+    for &m in methods {
+        if let Some(d) = runner.mean_runtime(m) {
+            let _ = writeln!(out, "{:<24} {:>12.4}", m.label(), d.as_secs_f64());
+        }
+    }
+    out
+}
+
+/// Dumps every raw record as TSV (the "extensive collection of all detailed
+/// experimental results" the paper ships in its repository).
+pub fn records_tsv(runner: &Runner) -> String {
+    let mut out = String::from(
+        "pair_id\tsource\tscenario\tnoisy_schema\tnoisy_instances\tmethod\tconfig\trecall\truntime_s\tgt_size\n",
+    );
+    for r in runner.records() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{}",
+            r.pair_id,
+            r.source_name,
+            r.scenario.id(),
+            r.noisy_schema,
+            r.noisy_instances,
+            r.method.label(),
+            r.config,
+            r.recall,
+            r.runtime.as_secs_f64(),
+            r.ground_truth_size
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grids::GridScale;
+    use crate::runner::RunnerConfig;
+    use valentine_datasets::SizeClass;
+    use valentine_fabricator::{fabricate_pair, InstanceNoise, ScenarioSpec, SchemaNoise};
+
+    fn tiny_runner() -> Runner {
+        let t = valentine_datasets::tpcdi::prospect(SizeClass::Tiny, 3);
+        let pairs = vec![
+            fabricate_pair(
+                &t,
+                &ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim),
+                1,
+            )
+            .unwrap(),
+            fabricate_pair(&t, &ScenarioSpec::joinable(0.3, false, SchemaNoise::Verbatim), 2)
+                .unwrap(),
+        ];
+        Runner::run(
+            &pairs,
+            &RunnerConfig {
+                methods: vec![MatcherKind::ComaSchema],
+                scale: GridScale::Small,
+                threads: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn figure_row_aggregates_per_scenario() {
+        let r = tiny_runner();
+        let cells = figure_row(&r, MatcherKind::ComaSchema, |_| true);
+        assert_eq!(cells.len(), 2, "two scenarios ran");
+        for c in &cells {
+            assert!(c.min <= c.median && c.median <= c.max);
+            assert_eq!(c.pairs, 1);
+        }
+    }
+
+    #[test]
+    fn renderers_produce_content() {
+        let r = tiny_runner();
+        let cells = figure_row(&r, MatcherKind::ComaSchema, |_| true);
+        let fig = render_figure("Fig test", &cells);
+        assert!(fig.contains("Fig test"));
+        assert!(fig.contains("unionable"));
+        let tsv = figure_tsv(&cells);
+        assert_eq!(tsv.lines().count(), cells.len() + 1);
+        let runtime = render_runtime_table(&r, &[MatcherKind::ComaSchema]);
+        assert!(runtime.contains("COMA Schema-based"));
+        let records = records_tsv(&r);
+        assert_eq!(records.lines().count(), r.len() + 1);
+    }
+
+    #[test]
+    fn whisker_rendering_marks_min_median_max() {
+        let cells = vec![FigureCell {
+            method: MatcherKind::Cupid,
+            scenario: valentine_fabricator::ScenarioKind::Unionable,
+            min: 0.0,
+            median: 0.5,
+            max: 1.0,
+            pairs: 3,
+        }];
+        let s = render_figure_whiskers("W", &cells);
+        let row = s.lines().last().unwrap();
+        assert!(row.contains('#'), "median marker present");
+        assert!(row.contains('='), "whisker span present");
+        // full-range whiskers: both ends of the axis are '='
+        let axis: String = row.chars().skip(48).collect();
+        assert!(axis.starts_with('='));
+        assert!(axis.trim_end().ends_with('='));
+    }
+
+    #[test]
+    fn whisker_rendering_degenerate_point() {
+        let cells = vec![FigureCell {
+            method: MatcherKind::EmbDI,
+            scenario: valentine_fabricator::ScenarioKind::Joinable,
+            min: 1.0,
+            median: 1.0,
+            max: 1.0,
+            pairs: 1,
+        }];
+        let s = render_figure_whiskers("W", &cells);
+        let row = s.lines().last().unwrap();
+        assert_eq!(row.matches('#').count(), 1);
+        assert_eq!(row.matches('=').count(), 0, "single point collapses to #");
+    }
+
+    #[test]
+    fn recall_table_handles_missing_cells() {
+        let rows = vec![(MatcherKind::Cupid, vec![("magellan", 1.0)])];
+        let s = render_recall_table("Table III", &rows, &["magellan", "ing1"]);
+        assert!(s.contains("1.000"));
+        assert!(s.contains('-'), "missing cell renders as dash");
+    }
+}

@@ -1,0 +1,298 @@
+//! The experiment runner (Figure 1, right-hand side).
+//!
+//! Executes every (dataset pair × method × configuration) combination,
+//! recording Recall@ground-truth and wall-clock runtime per run. Pairs are
+//! distributed over a crossbeam scoped-thread pool (the paper batch-ran on
+//! two 80-core machines; we parallelise the same axis).
+//!
+//! As in the paper, per (pair, method) the *best* configuration's score is
+//! what enters the figures — "grid search allows each algorithm to operate
+//! under optimal conditions" (§VI-B) — but every individual record is kept
+//! for the ablation reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use valentine_fabricator::{DatasetPair, ScenarioKind};
+use valentine_matchers::MatcherKind;
+
+use crate::grids::{method_grid, GridScale};
+use crate::metrics::recall_at_ground_truth;
+
+/// One executed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentRecord {
+    /// Pair identifier.
+    pub pair_id: String,
+    /// Dataset source ("tpcdi", "wikidata", …).
+    pub source_name: String,
+    /// Relatedness scenario of the pair.
+    pub scenario: ScenarioKind,
+    /// Whether the pair's target schema was noisy.
+    pub noisy_schema: bool,
+    /// Whether the pair's target instances were noisy.
+    pub noisy_instances: bool,
+    /// Method flavour.
+    pub method: MatcherKind,
+    /// Configuration name (method-specific).
+    pub config: String,
+    /// Recall@ground-truth of the ranked output.
+    pub recall: f64,
+    /// Wall-clock runtime of the match call.
+    pub runtime: Duration,
+    /// Ground-truth size (the `k`).
+    pub ground_truth_size: usize,
+}
+
+/// Runner options.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Methods to execute.
+    pub methods: Vec<MatcherKind>,
+    /// Grid scale (EmbDI dimensionality).
+    pub scale: GridScale,
+    /// Worker threads (pairs are the parallel axis).
+    pub threads: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            methods: MatcherKind::ALL.to_vec(),
+            scale: GridScale::Small,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// The experiment executor.
+#[derive(Debug, Default)]
+pub struct Runner {
+    records: Vec<ExperimentRecord>,
+}
+
+impl Runner {
+    /// Runs the full grid over the given pairs, returning a runner holding
+    /// all records.
+    pub fn run(pairs: &[DatasetPair], config: &RunnerConfig) -> Runner {
+        let records = Mutex::new(Vec::new());
+        let next = AtomicUsize::new(0);
+        let threads = config.threads.max(1).min(pairs.len().max(1));
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= pairs.len() {
+                        break;
+                    }
+                    let pair = &pairs[idx];
+                    let mut local = Vec::new();
+                    for &kind in &config.methods {
+                        for matcher in method_grid(kind, config.scale) {
+                            let start = Instant::now();
+                            let result = matcher.match_tables(&pair.source, &pair.target);
+                            let runtime = start.elapsed();
+                            let recall = match &result {
+                                Ok(r) => recall_at_ground_truth(r, &pair.ground_truth),
+                                Err(_) => 0.0,
+                            };
+                            local.push(ExperimentRecord {
+                                pair_id: pair.id.clone(),
+                                source_name: pair.source_name.clone(),
+                                scenario: pair.scenario,
+                                noisy_schema: pair.noisy_schema,
+                                noisy_instances: pair.noisy_instances,
+                                method: kind,
+                                config: matcher.name(),
+                                recall,
+                                runtime,
+                                ground_truth_size: pair.ground_truth_size(),
+                            });
+                        }
+                    }
+                    records.lock().extend(local);
+                });
+            }
+        })
+        .expect("worker threads must not panic");
+
+        let mut records = records.into_inner();
+        // deterministic report order regardless of thread interleaving
+        records.sort_by(|a, b| {
+            a.pair_id
+                .cmp(&b.pair_id)
+                .then_with(|| a.method.label().cmp(b.method.label()))
+                .then_with(|| a.config.cmp(&b.config))
+        });
+        Runner { records }
+    }
+
+    /// Every record (pair × method × configuration).
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Total number of executed experiments.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing ran.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Best recall per (pair, method) — the grid-search view the paper's
+    /// figures report.
+    pub fn best_per_pair(&self, method: MatcherKind) -> Vec<(String, f64)> {
+        let mut best: Vec<(String, f64)> = Vec::new();
+        for rec in self.records.iter().filter(|r| r.method == method) {
+            match best.iter_mut().find(|(id, _)| *id == rec.pair_id) {
+                Some((_, score)) => *score = score.max(rec.recall),
+                None => best.push((rec.pair_id.clone(), rec.recall)),
+            }
+        }
+        best
+    }
+
+    /// Best recalls of a method over pairs satisfying a predicate.
+    pub fn best_recalls_where(
+        &self,
+        method: MatcherKind,
+        mut predicate: impl FnMut(&ExperimentRecord) -> bool,
+    ) -> Vec<f64> {
+        let mut best: Vec<(&str, f64)> = Vec::new();
+        for rec in self
+            .records
+            .iter()
+            .filter(|r| r.method == method)
+            .filter(|r| predicate(r))
+        {
+            match best.iter_mut().find(|(id, _)| *id == rec.pair_id) {
+                Some((_, score)) => *score = score.max(rec.recall),
+                None => best.push((&rec.pair_id, rec.recall)),
+            }
+        }
+        best.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Mean runtime per experiment of a method (Table IV's statistic).
+    pub fn mean_runtime(&self, method: MatcherKind) -> Option<Duration> {
+        let runtimes: Vec<Duration> = self
+            .records
+            .iter()
+            .filter(|r| r.method == method)
+            .map(|r| r.runtime)
+            .collect();
+        if runtimes.is_empty() {
+            return None;
+        }
+        let total: Duration = runtimes.iter().sum();
+        Some(total / runtimes.len() as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_datasets::SizeClass;
+    use valentine_fabricator::{fabricate_pair, ScenarioSpec};
+    use valentine_fabricator::{InstanceNoise, SchemaNoise};
+
+    fn small_pairs() -> Vec<DatasetPair> {
+        let t = valentine_datasets::tpcdi::prospect(SizeClass::Tiny, 3);
+        vec![
+            fabricate_pair(
+                &t,
+                &ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim),
+                1,
+            )
+            .unwrap(),
+            fabricate_pair(
+                &t,
+                &ScenarioSpec::joinable(0.3, false, SchemaNoise::Noisy),
+                2,
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn quick_config() -> RunnerConfig {
+        RunnerConfig {
+            methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
+            scale: GridScale::Small,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn runs_every_combination() {
+        let pairs = small_pairs();
+        let r = Runner::run(&pairs, &quick_config());
+        // 2 pairs × (1 coma + 5 jl configs) = 12
+        assert_eq!(r.len(), 12);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn best_per_pair_takes_grid_max() {
+        let pairs = small_pairs();
+        let r = Runner::run(&pairs, &quick_config());
+        let best = r.best_per_pair(MatcherKind::JaccardLevenshtein);
+        assert_eq!(best.len(), 2);
+        for (pair_id, score) in &best {
+            let all: Vec<f64> = r
+                .records()
+                .iter()
+                .filter(|x| x.method == MatcherKind::JaccardLevenshtein && &x.pair_id == pair_id)
+                .map(|x| x.recall)
+                .collect();
+            assert_eq!(*score, all.iter().cloned().fold(f64::MIN, f64::max));
+        }
+    }
+
+    #[test]
+    fn verbatim_schemata_near_perfect_for_coma() {
+        let pairs = small_pairs();
+        let r = Runner::run(&pairs, &quick_config());
+        let best = r.best_recalls_where(MatcherKind::ComaSchema, |rec| !rec.noisy_schema);
+        assert!(!best.is_empty());
+        for score in best {
+            assert!(score >= 0.99, "verbatim schema must be trivial for COMA: {score}");
+        }
+    }
+
+    #[test]
+    fn records_are_deterministically_ordered() {
+        let pairs = small_pairs();
+        let a = Runner::run(&pairs, &quick_config());
+        let b = Runner::run(&pairs, &quick_config());
+        let ids: Vec<(&str, &str)> = a
+            .records()
+            .iter()
+            .map(|r| (r.pair_id.as_str(), r.config.as_str()))
+            .collect();
+        let ids_b: Vec<(&str, &str)> = b
+            .records()
+            .iter()
+            .map(|r| (r.pair_id.as_str(), r.config.as_str()))
+            .collect();
+        assert_eq!(ids, ids_b);
+    }
+
+    #[test]
+    fn mean_runtime_available_per_method() {
+        let pairs = small_pairs();
+        let r = Runner::run(&pairs, &quick_config());
+        assert!(r.mean_runtime(MatcherKind::ComaSchema).is_some());
+        assert!(r.mean_runtime(MatcherKind::EmbDI).is_none(), "not run");
+    }
+
+    #[test]
+    fn empty_pair_list() {
+        let r = Runner::run(&[], &quick_config());
+        assert!(r.is_empty());
+    }
+}

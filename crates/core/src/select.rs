@@ -1,0 +1,257 @@
+//! 1-1 match extraction from ranked lists.
+//!
+//! The paper argues schema matching should be a *search problem* (ranked
+//! lists) rather than an *optimization problem* (the best 1-1 match set) —
+//! this module implements the optimization view so the two can be compared:
+//!
+//! * [`extract_hungarian`] — the globally optimal 1-1 assignment;
+//! * [`extract_stable_marriage`] — Gale-Shapley stable matching on the
+//!   score matrix;
+//! * [`extract_threshold_delta`] — COMA-style selection: keep pairs within
+//!   `delta` of each source column's best score, above a floor threshold.
+
+use valentine_matchers::{ColumnMatch, MatchResult};
+use valentine_solver::hungarian_max;
+use valentine_table::FxHashMap;
+
+/// Collects the distinct source/target names of a result, in first-seen
+/// (i.e. rank) order.
+fn axes(result: &MatchResult) -> (Vec<String>, Vec<String>) {
+    let mut sources = Vec::new();
+    let mut targets = Vec::new();
+    for m in result.matches() {
+        if !sources.contains(&m.source) {
+            sources.push(m.source.clone());
+        }
+        if !targets.contains(&m.target) {
+            targets.push(m.target.clone());
+        }
+    }
+    (sources, targets)
+}
+
+fn score_matrix(
+    result: &MatchResult,
+    sources: &[String],
+    targets: &[String],
+) -> Vec<Vec<f64>> {
+    let si: FxHashMap<&str, usize> =
+        sources.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
+    let ti: FxHashMap<&str, usize> =
+        targets.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+    let mut m = vec![vec![0.0; targets.len()]; sources.len()];
+    for cm in result.matches() {
+        m[si[cm.source.as_str()]][ti[cm.target.as_str()]] = cm.score;
+    }
+    m
+}
+
+/// Globally optimal 1-1 extraction (Kuhn-Munkres). Matches below
+/// `min_score` are dropped afterwards.
+pub fn extract_hungarian(result: &MatchResult, min_score: f64) -> Vec<ColumnMatch> {
+    let (sources, targets) = axes(result);
+    if sources.is_empty() || targets.is_empty() {
+        return Vec::new();
+    }
+    let matrix = score_matrix(result, &sources, &targets);
+    let assignment = hungarian_max(&matrix);
+    let mut out: Vec<ColumnMatch> = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| {
+            j.map(|j| ColumnMatch::new(sources[i].clone(), targets[j].clone(), matrix[i][j]))
+        })
+        .filter(|m| m.score >= min_score)
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out
+}
+
+/// Gale-Shapley stable marriage: sources propose in descending score order;
+/// targets accept their best proposal so far. Matches below `min_score` are
+/// dropped.
+pub fn extract_stable_marriage(result: &MatchResult, min_score: f64) -> Vec<ColumnMatch> {
+    let (sources, targets) = axes(result);
+    if sources.is_empty() || targets.is_empty() {
+        return Vec::new();
+    }
+    let matrix = score_matrix(result, &sources, &targets);
+
+    // preference lists: target indices sorted by descending score
+    let prefs: Vec<Vec<usize>> = matrix
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
+            idx
+        })
+        .collect();
+
+    let mut next_choice = vec![0usize; sources.len()];
+    let mut engaged_to: Vec<Option<usize>> = vec![None; targets.len()]; // target → source
+    let mut free: Vec<usize> = (0..sources.len()).rev().collect();
+
+    while let Some(s) = free.pop() {
+        while next_choice[s] < targets.len() {
+            let t = prefs[s][next_choice[s]];
+            next_choice[s] += 1;
+            match engaged_to[t] {
+                None => {
+                    engaged_to[t] = Some(s);
+                    break;
+                }
+                Some(current) => {
+                    if matrix[s][t] > matrix[current][t] {
+                        engaged_to[t] = Some(s);
+                        free.push(current);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<ColumnMatch> = engaged_to
+        .iter()
+        .enumerate()
+        .filter_map(|(t, s)| {
+            s.map(|s| ColumnMatch::new(sources[s].clone(), targets[t].clone(), matrix[s][t]))
+        })
+        .filter(|m| m.score >= min_score)
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out
+}
+
+/// COMA-style threshold+delta selection: for each source column, keep every
+/// target within `delta` of its best score, provided it clears `threshold`.
+/// (Not 1-1: a source may keep several targets, which is what the ING#2
+/// one-to-many truth needs.)
+pub fn extract_threshold_delta(
+    result: &MatchResult,
+    threshold: f64,
+    delta: f64,
+) -> Vec<ColumnMatch> {
+    let mut best_per_source: FxHashMap<&str, f64> = FxHashMap::default();
+    for m in result.matches() {
+        let e = best_per_source.entry(m.source.as_str()).or_insert(f64::MIN);
+        *e = e.max(m.score);
+    }
+    result
+        .matches()
+        .iter()
+        .filter(|m| m.score >= threshold && m.score >= best_per_source[m.source.as_str()] - delta)
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(pairs: &[(&str, &str, f64)]) -> MatchResult {
+        MatchResult::ranked(
+            pairs
+                .iter()
+                .map(|&(s, t, sc)| ColumnMatch::new(s, t, sc))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn hungarian_resolves_conflicts_globally() {
+        // greedy would give a→x (0.9) then b gets nothing good;
+        // optimal total is a→y + b→x
+        let r = ranked(&[
+            ("a", "x", 0.9),
+            ("a", "y", 0.8),
+            ("b", "x", 0.8),
+            ("b", "y", 0.1),
+        ]);
+        let m = extract_hungarian(&r, 0.0);
+        assert_eq!(m.len(), 2);
+        let set: Vec<(&str, &str)> = m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        assert!(set.contains(&("a", "y")));
+        assert!(set.contains(&("b", "x")));
+    }
+
+    #[test]
+    fn hungarian_respects_min_score() {
+        let r = ranked(&[("a", "x", 0.9), ("b", "y", 0.05)]);
+        let m = extract_hungarian(&r, 0.5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].source, "a");
+    }
+
+    #[test]
+    fn stable_marriage_produces_stable_matching() {
+        let r = ranked(&[
+            ("a", "x", 0.9),
+            ("a", "y", 0.2),
+            ("b", "x", 0.8),
+            ("b", "y", 0.7),
+        ]);
+        let m = extract_stable_marriage(&r, 0.0);
+        let set: Vec<(&str, &str)> =
+            m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        // a gets its favourite x; b settles for y — no blocking pair exists
+        assert!(set.contains(&("a", "x")));
+        assert!(set.contains(&("b", "y")));
+    }
+
+    #[test]
+    fn stable_marriage_is_one_to_one() {
+        let r = ranked(&[
+            ("a", "x", 0.9),
+            ("b", "x", 0.8),
+            ("c", "x", 0.7),
+        ]);
+        let m = extract_stable_marriage(&r, 0.0);
+        assert_eq!(m.len(), 1, "one target can host only one source");
+        assert_eq!(m[0].source, "a");
+    }
+
+    #[test]
+    fn threshold_delta_keeps_near_ties() {
+        let r = ranked(&[
+            ("a", "x", 0.90),
+            ("a", "y", 0.88),
+            ("a", "z", 0.50),
+            ("b", "x", 0.40),
+        ]);
+        let m = extract_threshold_delta(&r, 0.45, 0.05);
+        let set: Vec<(&str, &str)> =
+            m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        assert!(set.contains(&("a", "x")));
+        assert!(set.contains(&("a", "y")), "within delta of the best");
+        assert!(!set.contains(&("a", "z")), "outside delta");
+        assert!(!set.contains(&("b", "x")), "below floor threshold");
+    }
+
+    #[test]
+    fn empty_result_everywhere() {
+        let r = ranked(&[]);
+        assert!(extract_hungarian(&r, 0.0).is_empty());
+        assert!(extract_stable_marriage(&r, 0.0).is_empty());
+        assert!(extract_threshold_delta(&r, 0.0, 0.1).is_empty());
+    }
+
+    #[test]
+    fn hungarian_and_stable_agree_on_unambiguous_instances() {
+        let r = ranked(&[
+            ("a", "x", 0.9),
+            ("a", "y", 0.1),
+            ("b", "x", 0.1),
+            ("b", "y", 0.9),
+        ]);
+        let h: Vec<(String, String)> = extract_hungarian(&r, 0.0)
+            .into_iter()
+            .map(|m| (m.source, m.target))
+            .collect();
+        let s: Vec<(String, String)> = extract_stable_marriage(&r, 0.0)
+            .into_iter()
+            .map(|m| (m.source, m.target))
+            .collect();
+        assert_eq!(h, s);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use valentine_core::metrics::{min_median_max, precision_recall_f1, recall_at_ground_truth, recall_at_k};
+use valentine_matchers::{ColumnMatch, MatchResult};
+
+/// A random ranked result over a small name universe plus a random truth.
+fn arb_result_and_truth() -> impl Strategy<Value = (MatchResult, Vec<(String, String)>)> {
+    let names = ["a", "b", "c", "d"];
+    let pairs: Vec<(String, String)> = names
+        .iter()
+        .flat_map(|s| names.iter().map(move |t| (format!("s_{s}"), format!("t_{t}"))))
+        .collect();
+    (
+        proptest::collection::vec(0.0f64..1.0, pairs.len()),
+        proptest::sample::subsequence(pairs.clone(), 0..=6),
+    )
+        .prop_map(move |(scores, truth)| {
+            let matches = pairs
+                .iter()
+                .zip(scores)
+                .map(|((s, t), sc)| ColumnMatch::new(s.clone(), t.clone(), sc))
+                .collect();
+            (MatchResult::ranked(matches), truth)
+        })
+}
+
+proptest! {
+    #[test]
+    fn recall_is_bounded_and_k_consistent((result, truth) in arb_result_and_truth()) {
+        let r = recall_at_ground_truth(&result, &truth);
+        prop_assert!((0.0..=1.0).contains(&r));
+
+        // hits(k) = k·recall@k is monotone non-decreasing in k
+        let mut prev_hits = 0.0;
+        for k in 1..=result.len() {
+            let hits = recall_at_k(&result, &truth, k) * k as f64;
+            prop_assert!(hits + 1e-9 >= prev_hits, "hits must not shrink with k");
+            prop_assert!(hits <= truth.len() as f64 + 1e-9);
+            prev_hits = hits;
+        }
+    }
+
+    #[test]
+    fn full_list_recall_counts_every_truth((result, truth) in arb_result_and_truth()) {
+        // every truth pair exists in the full cartesian ranking, so at
+        // k = |list| the recall@k numerator equals |truth|
+        let k = result.len();
+        if k > 0 && !truth.is_empty() {
+            let hits = recall_at_k(&result, &truth, k) * k as f64;
+            prop_assert!((hits - truth.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn precision_recall_f1_bounds((result, truth) in arb_result_and_truth(), th in 0.0f64..1.0) {
+        let (p, r, f1) = precision_recall_f1(&result, &truth, th);
+        for v in [p, r, f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // F1 is between min and max of p and r (harmonic mean property)
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(f1 <= p.max(r) + 1e-9);
+            prop_assert!(f1 + 1e-9 >= p.min(r) * 2.0 * p.max(r) / (p + r + 1e-12) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_monotonicity((result, truth) in arb_result_and_truth()) {
+        // raising the threshold can only drop recall (fewer selected)
+        let (_, r_low, _) = precision_recall_f1(&result, &truth, 0.2);
+        let (_, r_high, _) = precision_recall_f1(&result, &truth, 0.8);
+        prop_assert!(r_high <= r_low + 1e-9);
+    }
+
+    #[test]
+    fn min_median_max_is_ordered(xs in proptest::collection::vec(0.0f64..1.0, 1..40)) {
+        let (min, median, max) = min_median_max(&xs).expect("non-empty");
+        prop_assert!(min <= median && median <= max);
+        prop_assert!(xs.contains(&min) && xs.contains(&max));
+    }
+}

@@ -1,0 +1,133 @@
+//! Small helpers shared by the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use valentine_table::{Date, Value};
+
+/// Picks a uniform element of a pool.
+pub fn pick<'a, R: Rng>(rng: &mut R, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// A random date between two years (inclusive), as a [`Value::Date`].
+pub fn date_between<R: Rng>(rng: &mut R, from_year: i32, to_year: i32) -> Value {
+    let d = Date::new(
+        rng.gen_range(from_year..=to_year),
+        rng.gen_range(1..=12u8),
+        rng.gen_range(1..=28u8),
+    )
+    .expect("generated components are valid");
+    Value::Date(d)
+}
+
+/// A phone number string like `+31-20-5551234`.
+pub fn phone<R: Rng>(rng: &mut R) -> Value {
+    Value::Str(format!(
+        "+{}-{}-555{:04}",
+        rng.gen_range(1..99),
+        rng.gen_range(10..99),
+        rng.gen_range(0..10_000)
+    ))
+}
+
+/// A hex hash-like token of `len` nibbles (ING#1 columns are full of these).
+pub fn hex_hash<R: Rng>(rng: &mut R, len: usize) -> String {
+    (0..len)
+        .map(|_| char::from_digit(rng.gen_range(0..16u32), 16).expect("nibble"))
+        .collect()
+}
+
+/// A log-normal-ish positive amount: `exp(N(mu, sigma))` rounded to cents.
+pub fn amount<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> Value {
+    let g = gaussian(rng);
+    Value::float(((mu + sigma * g).exp() * 100.0).round() / 100.0)
+}
+
+/// Standard Gaussian via Box-Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A short pseudo-English sentence of `words` filler tokens.
+pub fn sentence<R: Rng>(rng: &mut R, words: usize) -> String {
+    (0..words)
+        .map(|_| pick(rng, crate::names::FILLER_WORDS))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Sprinkles `ratio` of nulls into a generated value, used to make realistic
+/// sparse columns. The generator closure only runs for non-null cells.
+pub fn maybe_null<R: Rng>(rng: &mut R, ratio: f64, f: impl FnOnce(&mut R) -> Value) -> Value {
+    if rng.gen_bool(ratio) {
+        Value::Null
+    } else {
+        f(rng)
+    }
+}
+
+/// Derives a child RNG for a named column so generators can build columns
+/// independently of declaration order.
+pub fn column_rng(seed: u64, column: &str) -> StdRng {
+    use rand::SeedableRng;
+    StdRng::seed_from_u64(seed ^ valentine_table::fxhash::hash_str(column))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn helpers_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(pick(&mut a, crate::names::CITIES), pick(&mut b, crate::names::CITIES));
+        assert_eq!(phone(&mut a), phone(&mut b));
+        assert_eq!(hex_hash(&mut a, 12), hex_hash(&mut b, 12));
+    }
+
+    #[test]
+    fn date_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let Value::Date(d) = date_between(&mut rng, 1950, 2000) else { panic!() };
+            assert!((1950..=2000).contains(&d.year));
+        }
+    }
+
+    #[test]
+    fn amounts_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let Value::Float(x) = amount(&mut rng, 10.0, 0.5) else { panic!() };
+            assert!(x > 0.0);
+        }
+    }
+
+    #[test]
+    fn hex_hash_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = hex_hash(&mut rng, 16);
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn maybe_null_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(maybe_null(&mut rng, 0.0, |_r| Value::Int(1)), Value::Int(1));
+        assert_eq!(maybe_null(&mut rng, 1.0, |_r| Value::Int(1)), Value::Null);
+    }
+
+    #[test]
+    fn column_rng_differs_per_column() {
+        let mut a = column_rng(7, "alpha");
+        let mut b = column_rng(7, "beta");
+        let xa: u64 = a.gen();
+        let xb: u64 = b.gen();
+        assert_ne!(xa, xb);
+    }
+}

@@ -1,0 +1,449 @@
+//! Simulated ING#1 / ING#2 pairs.
+//!
+//! The paper's industry datasets are proprietary ("we cannot make this
+//! dataset public due to privacy constraints"), so this module *simulates*
+//! them, preserving every property the paper's analysis relies on:
+//!
+//! **ING#1** — two SCRUM backlog tables (33 × 935 and 16 × 972). Matching
+//! columns have identical or very similar names, values are hashes,
+//! descriptions, and words reused across contexts (false-positive bait);
+//! matching columns carry *almost-identical value distributions* (why the
+//! Distribution-based method wins) while the wide table's many extra
+//! structurally-similar columns mislead Similarity Flooding. Ground truth:
+//! 14 pairs.
+//!
+//! **ING#2** — an application-inventory pair (59 × 1000 and 25 × 1000). The
+//! narrow table's column names carry suffixes (`_cd`, `_txt`, `_nm`, …); the
+//! wide table contains *groups of near-duplicate columns* drawing from the
+//! same value pools, and the ground truth maps each narrow column to
+//! **multiple** wide columns (one-to-many, 49 pairs) — the property that
+//! penalises matchers biased towards 1-1 matchings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use valentine_fabricator::{DatasetPair, ScenarioKind};
+use valentine_table::{Column, Table, Value};
+
+use crate::gen::{self, column_rng};
+use crate::names;
+use crate::SizeClass;
+
+/// What kind of values a simulated column carries. Corresponding columns in
+/// the two tables share a kind, so their distributions align.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    SprintId,
+    TeamName,
+    EpicName,
+    TaskId,
+    Sentence,
+    StoryPoints,
+    TaskStatus,
+    Priority,
+    Person,
+    RecentDate,
+    Hash,
+    Label,
+    Count,
+    AppName,
+    /// Consumer applications: the lower half of the app-name pool (in real
+    /// inventories, the "used by" population skews differently than the
+    /// canonical name column — this keeps the groups distinguishable by
+    /// value distribution, which is what lets the Distribution-based
+    /// matcher win ING#2 as in the paper).
+    AppNameLow,
+    /// Provider applications: the upper half of the app-name pool.
+    AppNameHigh,
+    AppId,
+    Department,
+    Platform,
+    Version,
+    CostCenter,
+    SupportLevel,
+    Domain,
+    LifecycleStatus,
+    City,
+    Company,
+    Email,
+    Flag,
+    Hours,
+}
+
+fn generate(kind: Kind, rng: &mut StdRng, i: usize) -> Value {
+    match kind {
+        Kind::SprintId => Value::Str(format!("sprint-{}", rng.gen_range(1..120))),
+        Kind::TeamName => Value::str(gen::pick(rng, names::TEAM_NAMES)),
+        Kind::EpicName => Value::Str(format!(
+            "{} {}",
+            gen::pick(rng, names::TEAM_NAMES),
+            ["migration", "redesign", "hardening", "rollout", "cleanup"][rng.gen_range(0..5)]
+        )),
+        Kind::TaskId => Value::Str(format!("task-{}", 10_000 + i)),
+        Kind::Sentence => Value::Str(format!(
+            "{} the {} for {}",
+            ["update", "fix", "review", "deploy", "refactor"][rng.gen_range(0..5)],
+            ["pipeline", "dashboard", "api", "database", "report"][rng.gen_range(0..5)],
+            gen::pick(rng, names::TEAM_NAMES)
+        )),
+        Kind::StoryPoints => Value::Int([1, 2, 3, 5, 8, 13][rng.gen_range(0..6)]),
+        Kind::TaskStatus => Value::str(gen::pick(rng, names::TASK_STATUSES)),
+        Kind::Priority => Value::str(gen::pick(rng, names::PRIORITIES)),
+        Kind::Person => Value::Str(format!(
+            "{} {}",
+            gen::pick(rng, names::FIRST_NAMES),
+            gen::pick(rng, names::LAST_NAMES)
+        )),
+        Kind::RecentDate => gen::date_between(rng, 2018, 2021),
+        Kind::Hash => Value::Str(gen::hex_hash(rng, 12)),
+        Kind::Label => Value::Str(format!(
+            "{},{}",
+            ["backend", "frontend", "infra", "data", "security"][rng.gen_range(0..5)],
+            ["q1", "q2", "q3", "q4"][rng.gen_range(0..4)]
+        )),
+        Kind::Count => Value::Int(rng.gen_range(0..50)),
+        Kind::AppName => Value::str(gen::pick(rng, names::APP_NAMES)),
+        Kind::AppNameLow => {
+            let half = &names::APP_NAMES[..names::APP_NAMES.len() / 2];
+            Value::str(gen::pick(rng, half))
+        }
+        Kind::AppNameHigh => {
+            let half = &names::APP_NAMES[names::APP_NAMES.len() / 2..];
+            Value::str(gen::pick(rng, half))
+        }
+        Kind::AppId => Value::Int(rng.gen_range(1000..1260)),
+        Kind::Department => Value::str(gen::pick(rng, names::DEPARTMENTS)),
+        Kind::Platform => Value::str(gen::pick(rng, names::PLATFORMS)),
+        Kind::Version => Value::Str(format!(
+            "{}.{}.{}",
+            rng.gen_range(0..6),
+            rng.gen_range(0..20),
+            rng.gen_range(0..40)
+        )),
+        Kind::CostCenter => Value::Str(format!("cc-{:04}", rng.gen_range(0..300))),
+        Kind::SupportLevel => Value::str(gen::pick(rng, names::SUPPORT_LEVELS)),
+        Kind::Domain => Value::str(
+            *["payments", "lending", "savings", "daily banking", "markets"]
+                .get(rng.gen_range(0..5))
+                .expect("in range"),
+        ),
+        Kind::LifecycleStatus => Value::str(
+            *["active", "deprecated", "sunset", "pilot"]
+                .get(rng.gen_range(0..4))
+                .expect("in range"),
+        ),
+        Kind::City => Value::str(gen::pick(rng, names::CITIES)),
+        Kind::Company => Value::str(gen::pick(rng, names::COMPANIES)),
+        Kind::Email => Value::Str(format!(
+            "{}.{}@bank.example",
+            gen::pick(rng, names::FIRST_NAMES),
+            gen::pick(rng, names::LAST_NAMES)
+        )),
+        Kind::Flag => Value::Bool(rng.gen_bool(0.5)),
+        Kind::Hours => Value::Int(rng.gen_range(1..73)),
+    }
+}
+
+fn build_table(name: &str, rows: usize, seed: u64, spec: &[(&str, Kind)]) -> Table {
+    let columns: Vec<Column> = spec
+        .iter()
+        .map(|(col, kind)| {
+            let mut rng = column_rng(seed, col);
+            let values: Vec<Value> = (0..rows).map(|i| generate(*kind, &mut rng, i)).collect();
+            Column::new(*col, values)
+        })
+        .collect();
+    Table::new(name.to_string(), columns).expect("static schema is valid")
+}
+
+/// ING#1: the SCRUM backlog pair (33 × 935 vs 16 × 972; 14 ground-truth
+/// pairs).
+pub fn ing1(size: SizeClass, seed: u64) -> DatasetPair {
+    use Kind::*;
+    let wide_spec: [(&str, Kind); 33] = [
+        ("sprint_id", SprintId),
+        ("sprint_name", EpicName),
+        ("sprint_goal", Sentence),
+        ("sprint_start_date", RecentDate),
+        ("sprint_end_date", RecentDate),
+        ("team_id", Count),
+        ("team_name", TeamName),
+        ("owner_team", TeamName),
+        ("epic_id", Count),
+        ("epic_name", EpicName),
+        ("task_id", TaskId),
+        ("task_key", Hash),
+        ("task_description", Sentence),
+        ("task_hash", Hash),
+        ("story_points", StoryPoints),
+        ("status", TaskStatus),
+        ("resolution", TaskStatus),
+        ("priority", Priority),
+        ("assignee", Person),
+        ("reporter", Person),
+        ("created_at", RecentDate),
+        ("updated_at", RecentDate),
+        ("resolved_at", RecentDate),
+        ("time_estimate", Hours),
+        ("time_spent", Hours),
+        ("labels", Label),
+        ("component", Domain),
+        ("fix_version", Version),
+        ("board_id", Count),
+        ("project_key", Hash),
+        ("parent_task", TaskId),
+        ("watchers", Count),
+        ("comments_count", Count),
+    ];
+    let narrow_spec: [(&str, Kind); 16] = [
+        ("sprint_id", SprintId),
+        ("team_name", TeamName),
+        ("epic_name", EpicName),
+        ("task_id", TaskId),
+        ("task_summary", Sentence),
+        ("story_points", StoryPoints),
+        ("status", TaskStatus),
+        ("priority", Priority),
+        ("assignee", Person),
+        ("reporter", Person),
+        ("created_dt", RecentDate),
+        ("updated_dt", RecentDate),
+        ("start_date", RecentDate),
+        ("end_date", RecentDate),
+        ("board_ref", Hash),
+        ("squad_code", CostCenter),
+    ];
+    let wide_rows = match size {
+        SizeClass::Tiny => 60,
+        SizeClass::Small => 400,
+        SizeClass::Paper => 935,
+    };
+    let narrow_rows = match size {
+        SizeClass::Tiny => 62,
+        SizeClass::Small => 416,
+        SizeClass::Paper => 972,
+    };
+    let wide = build_table("backlog_wide", wide_rows, seed, &wide_spec);
+    let narrow = build_table("backlog_narrow", narrow_rows, seed ^ 0x1116, &narrow_spec);
+
+    let ground_truth: Vec<(String, String)> = [
+        ("sprint_id", "sprint_id"),
+        ("team_name", "team_name"),
+        ("epic_name", "epic_name"),
+        ("task_id", "task_id"),
+        ("task_description", "task_summary"),
+        ("story_points", "story_points"),
+        ("status", "status"),
+        ("priority", "priority"),
+        ("assignee", "assignee"),
+        ("reporter", "reporter"),
+        ("created_at", "created_dt"),
+        ("updated_at", "updated_dt"),
+        ("sprint_start_date", "start_date"),
+        ("sprint_end_date", "end_date"),
+    ]
+    .iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect();
+
+    let pair = DatasetPair {
+        id: "ing/1".into(),
+        source_name: "ing".into(),
+        scenario: ScenarioKind::ViewUnionable,
+        noisy_schema: true,
+        noisy_instances: true,
+        source: wide,
+        target: narrow,
+        ground_truth,
+    };
+    debug_assert!(pair.validate().is_ok());
+    pair
+}
+
+/// The ING#2 near-duplicate column groups: (narrow column, wide variants,
+/// value kind). Every wide variant is a correct match for the narrow column.
+const ING2_GROUPS: &[(&str, &[&str], Kind)] = &[
+    ("app_nm", &["app_name", "app_label", "app_alias"], Kind::AppName),
+    ("app_id_cd", &["app_id", "application_nbr", "asset_id"], Kind::AppId),
+    ("owner_team_cd", &["owner_team", "responsible_team", "support_team"], Kind::TeamName),
+    ("mgr_nm", &["manager_name", "line_manager", "product_owner"], Kind::Person),
+    ("dept_cd", &["department", "business_unit", "division_name"], Kind::Department),
+    ("platform_txt", &["hardware_platform", "os_version", "runtime_platform"], Kind::Platform),
+    ("criticality_cd", &["criticality", "risk_class", "severity_level"], Kind::Priority),
+    ("version_txt", &["version", "release_version"], Kind::Version),
+    ("cost_center_cd", &["cost_center", "budget_code"], Kind::CostCenter),
+    ("support_lvl_cd", &["support_level", "service_tier"], Kind::SupportLevel),
+    ("used_by_nm", &["used_by_app", "downstream_app", "consumer_app"], Kind::AppNameLow),
+    ("uses_nm", &["uses_app", "upstream_app", "provider_app"], Kind::AppNameHigh),
+    ("domain_txt", &["business_domain", "functional_domain"], Kind::Domain),
+    ("status_cd", &["lifecycle_status", "app_status"], Kind::LifecycleStatus),
+    ("install_dt", &["install_date", "go_live_date"], Kind::RecentDate),
+    ("decomm_dt", &["decommission_date", "sunset_date"], Kind::RecentDate),
+    ("desc_txt", &["description", "summary_text"], Kind::Sentence),
+    ("location_txt", &["datacenter_location", "hosting_site"], Kind::City),
+    ("vendor_nm", &["vendor_name", "supplier"], Kind::Company),
+    ("users_cnt", &["user_count", "active_users"], Kind::Count),
+];
+
+/// Wide-only filler columns for ING#2.
+const ING2_WIDE_EXTRAS: &[(&str, Kind)] = &[
+    ("record_hash", Kind::Hash),
+    ("etl_batch", Kind::Count),
+    ("snapshot_date", Kind::RecentDate),
+    ("source_system", Kind::AppName),
+    ("row_version", Kind::Count),
+    ("audit_user", Kind::Person),
+    ("compliance_flag", Kind::Flag),
+    ("encryption_flag", Kind::Flag),
+    ("backup_policy", Kind::SupportLevel),
+    ("sla_hours", Kind::Hours),
+];
+
+/// Narrow-only columns for ING#2.
+const ING2_NARROW_EXTRAS: &[(&str, Kind)] = &[
+    ("review_dt", Kind::RecentDate),
+    ("owner_email", Kind::Email),
+    ("confidentiality_cd", Kind::Priority),
+    ("integrity_cd", Kind::Priority),
+    ("availability_cd", Kind::Priority),
+];
+
+/// ING#2: the application-inventory pair (59 × 1000 vs 25 × 1000;
+/// one-to-many ground truth with 49 pairs).
+pub fn ing2(size: SizeClass, seed: u64) -> DatasetPair {
+    let rows = match size {
+        SizeClass::Tiny => 64,
+        SizeClass::Small => 500,
+        SizeClass::Paper => 1000,
+    };
+
+    let mut wide_spec: Vec<(&str, Kind)> = Vec::with_capacity(59);
+    for (_, variants, kind) in ING2_GROUPS {
+        for v in *variants {
+            wide_spec.push((v, *kind));
+        }
+    }
+    wide_spec.extend_from_slice(ING2_WIDE_EXTRAS);
+
+    let mut narrow_spec: Vec<(&str, Kind)> = ING2_GROUPS
+        .iter()
+        .map(|(n, _, kind)| (*n, *kind))
+        .collect();
+    narrow_spec.extend_from_slice(ING2_NARROW_EXTRAS);
+
+    // Key construction detail: every column of one group draws from the same
+    // small value pool, so the group's columns hold near-identical
+    // distributions even though each column has its own RNG stream.
+    let wide = build_table("apps_wide", rows, seed, &wide_spec);
+    let narrow = build_table("apps_narrow", rows, seed ^ 0x1262, &narrow_spec);
+
+    // One-to-many ground truth: each wide variant ↔ the narrow group column.
+    let ground_truth: Vec<(String, String)> = ING2_GROUPS
+        .iter()
+        .flat_map(|(n, variants, _)| {
+            variants.iter().map(move |v| (v.to_string(), n.to_string()))
+        })
+        .collect();
+
+    let pair = DatasetPair {
+        id: "ing/2".into(),
+        source_name: "ing".into(),
+        scenario: ScenarioKind::ViewUnionable,
+        noisy_schema: true,
+        noisy_instances: true,
+        source: wide,
+        target: narrow,
+        ground_truth,
+    };
+    debug_assert!(pair.validate().is_ok());
+    pair
+}
+
+/// Both ING pairs.
+pub fn pairs(size: SizeClass, seed: u64) -> Vec<DatasetPair> {
+    vec![ing1(size, seed), ing2(size, seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ing1_shape() {
+        let p = ing1(SizeClass::Tiny, 0);
+        assert_eq!(p.source.width(), 33);
+        assert_eq!(p.target.width(), 16);
+        assert_eq!(p.ground_truth_size(), 14);
+        assert!(p.validate().is_ok());
+        assert_ne!(p.source.height(), p.target.height());
+    }
+
+    #[test]
+    fn ing1_identifiers() {
+        let p = ing1(SizeClass::Tiny, 0);
+        assert_eq!(p.id, "ing/1");
+        assert_eq!(p.source_name, "ing");
+    }
+
+    #[test]
+    fn ing1_matching_columns_share_distributions() {
+        let p = ing1(SizeClass::Small, 0);
+        // status columns in both tables draw from the same pool
+        let s = p.source.column("status").unwrap().rendered_value_set();
+        let t = p.target.column("status").unwrap().rendered_value_set();
+        assert!(s.intersection(&t).count() >= 4, "same categorical pool");
+        // hashes are unique-ish noise
+        let h = p.source.column("task_hash").unwrap().stats().uniqueness();
+        assert!(h > 0.95);
+    }
+
+    #[test]
+    fn ing2_shape_and_multimatch_truth() {
+        let p = ing2(SizeClass::Tiny, 0);
+        assert_eq!(p.source.width(), 59);
+        assert_eq!(p.target.width(), 25);
+        assert_eq!(p.ground_truth_size(), 49);
+        assert!(p.validate().is_ok());
+        // one-to-many: some narrow column appears ≥3 times as a target
+        let max_fanin = p
+            .ground_truth
+            .iter()
+            .filter(|(_, t)| t == "app_nm")
+            .count();
+        assert_eq!(max_fanin, 3);
+    }
+
+    #[test]
+    fn ing2_group_columns_share_pools() {
+        let p = ing2(SizeClass::Small, 0);
+        let a = p.source.column("app_name").unwrap().rendered_value_set();
+        let b = p.source.column("app_label").unwrap().rendered_value_set();
+        let n = p.target.column("app_nm").unwrap().rendered_value_set();
+        assert!(a.intersection(&b).count() >= 10, "wide variants share a pool");
+        assert!(a.intersection(&n).count() >= 10, "narrow column shares it too");
+    }
+
+    #[test]
+    fn narrow_names_are_suffixed() {
+        let p = ing2(SizeClass::Tiny, 0);
+        let suffixed = p
+            .target
+            .column_names()
+            .iter()
+            .filter(|n| {
+                n.ends_with("_cd") || n.ends_with("_txt") || n.ends_with("_nm")
+                    || n.ends_with("_dt") || n.ends_with("_cnt")
+            })
+            .count();
+        assert!(suffixed >= 20, "got {suffixed}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pairs(SizeClass::Tiny, 1);
+        let b = pairs(SizeClass::Tiny, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.target, y.target);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Magellan-repository-style curated pairs.
+//!
+//! The paper picks 7 Magellan dataset pairs previously used for schema
+//! matching in the EmbDI paper. All of them are **unionable** pairs with
+//! identical attribute names between corresponding columns, overlapping
+//! value sets with minor discrepancies, and occasionally *multi-valued*
+//! attributes (lists of actors/authors) — 3–7 columns, 864–131 099 rows.
+//!
+//! This module generates seven synthetic equivalents: restaurants, movies,
+//! songs, books, beers, products, and citations. For each, a master table
+//! is split horizontally with ~50 % row overlap and one side's values
+//! receive *formatting discrepancies* (not typos): phone formats change,
+//! multi-valued lists are re-ordered/truncated, casing and punctuation
+//! drift. Schema-based matchers therefore score perfectly while
+//! instance-based matchers lose ground — Table III's pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valentine_fabricator::{DatasetPair, ScenarioKind};
+use valentine_table::{Column, Table, Value};
+
+use crate::gen::{self, column_rng};
+use crate::names;
+use crate::SizeClass;
+
+/// Paper-range base row count (smallest Magellan pair ~864 rows; we anchor
+/// near the low end since the pair spectrum is wide).
+pub const PAPER_ROWS: usize = 4_000;
+
+/// The seven pair identifiers, in deterministic order.
+pub const PAIR_NAMES: [&str; 7] =
+    ["restaurants", "movies", "songs", "books", "beers", "products", "citations"];
+
+/// Generates all seven pairs.
+pub fn pairs(size: SizeClass, seed: u64) -> Vec<DatasetPair> {
+    PAIR_NAMES
+        .iter()
+        .map(|name| make_pair(name, size, seed))
+        .collect()
+}
+
+fn make_pair(name: &str, size: SizeClass, seed: u64) -> DatasetPair {
+    let master = master_table(name, size, seed);
+    let h = master.height() / 2;
+    let rows: Vec<usize> = (0..master.height()).collect();
+    // ~50% row overlap between the two sides
+    let a = master.take_rows(&rows[0..h]);
+    let mut b = master.take_rows(&rows[h / 2..h / 2 + h]);
+    b = apply_discrepancies(&b, seed ^ 0xd15c);
+    let ground_truth = master
+        .column_names()
+        .into_iter()
+        .map(|n| (n.to_string(), n.to_string()))
+        .collect();
+    let pair = DatasetPair {
+        id: format!("magellan/{name}"),
+        source_name: "magellan".into(),
+        scenario: ScenarioKind::Unionable,
+        noisy_schema: false,
+        noisy_instances: true,
+        source: a,
+        target: b,
+        ground_truth,
+    };
+    debug_assert!(pair.validate().is_ok());
+    pair
+}
+
+/// A multi-valued cell: `k` pool entries joined by `", "`.
+fn multi_valued<R: Rng>(rng: &mut R, pool: &[&str], k: usize) -> Value {
+    let items: Vec<&str> = (0..k).map(|_| gen::pick(rng, pool)).collect();
+    Value::Str(items.join(", "))
+}
+
+fn master_table(name: &str, size: SizeClass, seed: u64) -> Table {
+    let rows = size.scale_rows(PAPER_ROWS);
+    let seed = seed ^ valentine_table::fxhash::hash_str(name);
+    let mut columns: Vec<Column> = Vec::new();
+
+    let mut push = |col: &str, f: &mut dyn FnMut(&mut StdRng, usize) -> Value| {
+        let mut rng = column_rng(seed, col);
+        let values: Vec<Value> = (0..rows).map(|i| f(&mut rng, i)).collect();
+        columns.push(Column::new(col, values));
+    };
+
+    match name {
+        "restaurants" => {
+            push("name", &mut |r, i| {
+                Value::Str(format!("{} {}", gen::pick(r, names::LAST_NAMES), ["kitchen", "bistro", "grill", "diner"][i % 4]))
+            });
+            push("addr", &mut |r, _| {
+                Value::Str(format!("{} {}", r.gen_range(1..999), gen::pick(r, names::STREETS)))
+            });
+            push("city", &mut |r, _| Value::str(gen::pick(r, names::CITIES)));
+            push("phone", &mut |r, _| gen::phone(r));
+            push("type", &mut |r, _| Value::str(gen::pick(r, names::CUISINES)));
+        }
+        "movies" => {
+            push("title", &mut |r, _| Value::Str(gen::sentence(r, 3)));
+            push("year", &mut |r, _| Value::Int(r.gen_range(1960..2021)));
+            push("director", &mut |r, _| {
+                Value::Str(format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES)))
+            });
+            // multi-valued attribute, as the paper calls out
+            push("actors", &mut |r, _| {
+                let k = r.gen_range(2..5);
+                let list: Vec<String> = (0..k)
+                    .map(|_| {
+                        format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES))
+                    })
+                    .collect();
+                Value::Str(list.join(", "))
+            });
+            push("genre", &mut |r, _| Value::str(gen::pick(r, names::MOVIE_GENRES)));
+            push("rating", &mut |r, _| Value::float((r.gen_range(1.0..10.0f64) * 10.0).round() / 10.0));
+        }
+        "songs" => {
+            push("title", &mut |r, _| Value::Str(gen::sentence(r, 2)));
+            push("artist", &mut |r, _| {
+                Value::Str(format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES)))
+            });
+            push("album", &mut |r, _| Value::Str(gen::sentence(r, 2)));
+            push("year", &mut |r, _| Value::Int(r.gen_range(1950..2021)));
+            push("duration", &mut |r, _| Value::Int(r.gen_range(90..420)));
+            push("genre", &mut |r, _| Value::str(gen::pick(r, names::GENRES)));
+        }
+        "books" => {
+            push("title", &mut |r, _| Value::Str(gen::sentence(r, 4)));
+            push("authors", &mut |r, _| {
+                let k = r.gen_range(1..4);
+                let list: Vec<String> = (0..k)
+                    .map(|_| {
+                        format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES))
+                    })
+                    .collect();
+                Value::Str(list.join(", "))
+            });
+            push("year", &mut |r, _| Value::Int(r.gen_range(1900..2021)));
+            push("publisher", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
+            push("pages", &mut |r, _| Value::Int(r.gen_range(80..1200)));
+            push("genre", &mut |r, _| Value::str(gen::pick(r, names::BOOK_GENRES)));
+            push("isbn", &mut |r, _| Value::Str(format!("978-{:010}", r.gen_range(0u64..10_000_000_000))));
+        }
+        "beers" => {
+            push("name", &mut |r, _| {
+                Value::Str(format!("{} {}", gen::pick(r, names::CITIES), gen::pick(r, names::BEER_STYLES)))
+            });
+            push("brewery", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
+            push("style", &mut |r, _| Value::str(gen::pick(r, names::BEER_STYLES)));
+            push("abv", &mut |r, _| Value::float((r.gen_range(3.0..12.0f64) * 10.0).round() / 10.0));
+        }
+        "products" => {
+            push("name", &mut |r, _| Value::Str(gen::sentence(r, 3)));
+            push("brand", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
+            push("category", &mut |r, _| Value::str(gen::pick(r, names::PRODUCT_CATEGORIES)));
+            push("price", &mut |r, _| gen::amount(r, 3.5, 1.0));
+            push("weight", &mut |r, _| Value::float((r.gen_range(0.1..30.0f64) * 100.0).round() / 100.0));
+        }
+        "citations" => {
+            push("title", &mut |r, _| Value::Str(gen::sentence(r, 6)));
+            push("authors", &mut |r, _| {
+                let k = r.gen_range(1..5);
+                multi_valued(r, names::LAST_NAMES, k)
+            });
+            push("venue", &mut |r, _| {
+                Value::str(*["sigmod", "vldb", "icde", "kdd", "www", "cikm"].get(r.gen_range(0..6)).expect("in range"))
+            });
+            push("year", &mut |r, _| Value::Int(r.gen_range(1990..2021)));
+        }
+        other => panic!("unknown magellan pair `{other}`"),
+    }
+
+    Table::new(name.to_string(), columns).expect("static schema is valid")
+}
+
+/// Formatting discrepancies between the two sides of a pair (not typos):
+/// multi-valued lists are re-ordered and sometimes truncated, phone-like
+/// strings are reformatted, and other strings occasionally gain a suffix.
+fn apply_discrepancies(table: &Table, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|col| {
+            col.map_values(|v| match v {
+                Value::Str(s) if s.contains(", ") => {
+                    // multi-valued: rotate the list, occasionally drop one
+                    let mut items: Vec<&str> = s.split(", ").collect();
+                    let shift = 1.min(items.len().saturating_sub(1));
+                    items.rotate_left(shift);
+                    if items.len() > 2 && rng.gen_bool(0.3) {
+                        items.pop();
+                    }
+                    Value::Str(items.join(", "))
+                }
+                Value::Str(s) if s.starts_with('+') => {
+                    // phone: strip separators
+                    Value::Str(s.chars().filter(|c| c.is_ascii_digit()).collect())
+                }
+                Value::Str(s) if rng.gen_bool(0.08) => Value::Str(format!("{s} inc")),
+                other => other.clone(),
+            })
+        })
+        .collect();
+    Table::new(table.name().to_string(), columns).expect("shape preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_pairs_generated() {
+        let ps = pairs(SizeClass::Tiny, 0);
+        assert_eq!(ps.len(), 7);
+        for p in &ps {
+            assert!(p.validate().is_ok(), "{}", p.id);
+            assert_eq!(p.scenario, ScenarioKind::Unionable);
+            assert!((3..=7).contains(&p.source.width()), "{}: {}", p.id, p.source.width());
+        }
+    }
+
+    #[test]
+    fn column_names_identical_across_sides() {
+        for p in pairs(SizeClass::Tiny, 0) {
+            assert_eq!(p.source.column_names(), p.target.column_names());
+            for (s, t) in &p.ground_truth {
+                assert_eq!(s, t);
+            }
+        }
+    }
+
+    #[test]
+    fn value_sets_overlap_but_differ() {
+        let ps = pairs(SizeClass::Tiny, 0);
+        let restaurants = &ps[0];
+        let sa = restaurants.source.column("city").unwrap().rendered_value_set();
+        let sb = restaurants.target.column("city").unwrap().rendered_value_set();
+        assert!(sa.intersection(&sb).count() > 0, "row overlap must show");
+        // phone formatting differs between sides
+        let pa = restaurants.source.column("phone").unwrap().values()[0].render();
+        assert!(pa.contains('-'));
+        let any_stripped = restaurants
+            .target
+            .column("phone")
+            .unwrap()
+            .values()
+            .iter()
+            .any(|v| !v.render().contains('-'));
+        assert!(any_stripped);
+    }
+
+    #[test]
+    fn movies_have_multivalued_actors() {
+        let ps = pairs(SizeClass::Tiny, 0);
+        let movies = &ps[1];
+        let sample = movies.source.column("actors").unwrap().values()[0].render();
+        assert!(sample.contains(", "), "actors must be a list: {sample}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pairs(SizeClass::Tiny, 3);
+        let b = pairs(SizeClass::Tiny, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.target, y.target);
+        }
+    }
+
+    #[test]
+    fn pair_ids_unique() {
+        let ids: std::collections::BTreeSet<String> =
+            pairs(SizeClass::Tiny, 0).into_iter().map(|p| p.id).collect();
+        assert_eq!(ids.len(), 7);
+    }
+}

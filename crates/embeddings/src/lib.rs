@@ -1,0 +1,30 @@
+//! Word embeddings for schema matching.
+//!
+//! Two of Valentine's matchers need embeddings:
+//!
+//! * **SemProp** consumes *pre-trained* word embeddings (GloVe/word2vec
+//!   trained on natural-language corpora in the original system). Shipping a
+//!   multi-gigabyte embedding file is impossible here, so [`pretrained`]
+//!   provides a deterministic synthetic stand-in with the properties that
+//!   matter for reproduction: synonyms (per the bundled thesaurus) are close,
+//!   morphologically similar words are close (char-n-gram components), and
+//!   out-of-vocabulary domain jargon is near-orthogonal to everything — the
+//!   very property that makes SemProp underperform on ChEMBL in the paper.
+//! * **EmbDI** trains *local* embeddings from scratch on the two tables being
+//!   matched: a tripartite row/attribute/value graph ([`walks`]) generates
+//!   random-walk sentences, and a skip-gram-with-negative-sampling trainer
+//!   ([`word2vec`]) embeds every graph node.
+//!
+//! [`vector`] holds the shared dense-vector arithmetic.
+
+#![warn(missing_docs)]
+
+pub mod pretrained;
+pub mod vector;
+pub mod walks;
+pub mod word2vec;
+
+pub use pretrained::PretrainedEmbeddings;
+pub use vector::{add_assign, cosine, dot, norm, scale};
+pub use walks::{TripartiteGraph, WalkConfig};
+pub use word2vec::{Word2Vec, Word2VecConfig};

@@ -1,0 +1,236 @@
+//! A deterministic synthetic stand-in for pre-trained word embeddings.
+//!
+//! SemProp loads GloVe-style vectors trained on natural-language corpora.
+//! We cannot bundle those, so this model *constructs* a vector per token
+//! with three additive components:
+//!
+//! 1. a **base vector** drawn from a Gaussian seeded by the token's hash —
+//!    unrelated tokens are near-orthogonal in high dimension;
+//! 2. **character-n-gram vectors** (fastText-style) — typos and
+//!    morphological variants of the same word stay close;
+//! 3. a **synset centroid** pulled from the bundled thesaurus — synonyms
+//!    ("spouse"/"partner") end up close, hypernym-related words moderately
+//!    close.
+//!
+//! The resulting geometry mirrors the behaviour the paper observes:
+//! general-English vocabulary has useful neighbourhoods, while
+//! domain-specific jargon (ChEMBL assay codes, hashes) gets a pure random
+//! vector — near-orthogonal to every ontology label — which is exactly why
+//! SemProp's pre-trained embeddings "are not reliable … when the data domain
+//! is too specific".
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valentine_table::fxhash::hash_str;
+use valentine_table::FxHashMap;
+use valentine_text::Thesaurus;
+
+use crate::vector;
+
+/// Weights of the three components (base, n-gram, synset).
+const W_BASE: f32 = 0.55;
+const W_NGRAM: f32 = 0.25;
+const W_SYNSET: f32 = 0.9;
+
+/// The synthetic pre-trained embedding model. Cheap to create; vectors are
+/// computed on demand and memoised.
+pub struct PretrainedEmbeddings {
+    dims: usize,
+    thesaurus: &'static Thesaurus,
+    cache: Mutex<FxHashMap<String, Vec<f32>>>,
+}
+
+impl std::fmt::Debug for PretrainedEmbeddings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PretrainedEmbeddings")
+            .field("dims", &self.dims)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PretrainedEmbeddings {
+    /// Creates a model with the given dimensionality (the paper's systems
+    /// use 300; tests use less for speed).
+    pub fn new(dims: usize) -> PretrainedEmbeddings {
+        assert!(dims > 0, "dimensionality must be positive");
+        PretrainedEmbeddings {
+            dims,
+            thesaurus: Thesaurus::builtin(),
+            cache: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The vector for a single lowercase token. Deterministic across
+    /// processes.
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let token = token.to_lowercase();
+        if let Some(v) = self.cache.lock().get(&token) {
+            return v.clone();
+        }
+        let v = self.compute_token(&token);
+        self.cache.lock().insert(token, v.clone());
+        v
+    }
+
+    /// The vector for a phrase: the normalised mean of its tokens' vectors
+    /// (after identifier tokenisation), or `None` for an empty phrase.
+    pub fn embed_phrase(&self, phrase: &str) -> Option<Vec<f32>> {
+        let tokens = valentine_text::tokenize_identifier(phrase);
+        if tokens.is_empty() {
+            return None;
+        }
+        let vectors: Vec<Vec<f32>> = tokens.iter().map(|t| self.embed_token(t)).collect();
+        let refs: Vec<&[f32]> = vectors.iter().map(Vec::as_slice).collect();
+        let mut m = vector::mean(&refs)?;
+        normalize(&mut m);
+        Some(m)
+    }
+
+    /// Cosine similarity of two phrases (0 if either is empty).
+    pub fn phrase_similarity(&self, a: &str, b: &str) -> f32 {
+        match (self.embed_phrase(a), self.embed_phrase(b)) {
+            (Some(x), Some(y)) => vector::cosine(&x, &y),
+            _ => 0.0,
+        }
+    }
+
+    fn compute_token(&self, token: &str) -> Vec<f32> {
+        let mut v = gaussian_vector(&format!("base::{token}"), self.dims);
+        vector::scale(&mut v, W_BASE);
+
+        // fastText-style char n-grams (n = 3, with boundary markers).
+        let bounded: Vec<char> = format!("<{token}>").chars().collect();
+        if bounded.len() >= 3 {
+            let grams: Vec<String> = bounded.windows(3).map(|w| w.iter().collect()).collect();
+            let w = W_NGRAM / grams.len() as f32;
+            for g in grams {
+                let gv = gaussian_vector(&format!("gram::{g}"), self.dims);
+                for (x, y) in v.iter_mut().zip(&gv) {
+                    *x += w * y;
+                }
+            }
+        }
+
+        // Synset centroid: every member of the token's synset shares this
+        // component, so synonyms land close together.
+        if let Some(synset) = self.thesaurus.synset_of(token) {
+            let sv = gaussian_vector(&format!("synset::{synset}"), self.dims);
+            for (x, y) in v.iter_mut().zip(&sv) {
+                *x += W_SYNSET * y;
+            }
+        }
+
+        normalize(&mut v);
+        v
+    }
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = vector::norm(v);
+    if n > 0.0 {
+        vector::scale(v, 1.0 / n);
+    }
+}
+
+/// A unit-variance Gaussian vector seeded by a string key (Box-Muller over a
+/// seeded StdRng) — the determinism anchor of the whole model.
+fn gaussian_vector(key: &str, dims: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(hash_str(key));
+    let mut v = Vec::with_capacity(dims);
+    while v.len() < dims {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        v.push((r * theta.cos()) as f32);
+        if v.len() < dims {
+            v.push((r * theta.sin()) as f32);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PretrainedEmbeddings {
+        PretrainedEmbeddings::new(64)
+    }
+
+    #[test]
+    fn deterministic() {
+        let m1 = model();
+        let m2 = model();
+        assert_eq!(m1.embed_token("country"), m2.embed_token("country"));
+        assert_eq!(m1.embed_phrase("last_name"), m2.embed_phrase("last_name"));
+    }
+
+    #[test]
+    fn vectors_are_unit_length() {
+        let m = model();
+        for t in ["country", "xqzzy", "spouse"] {
+            let v = m.embed_token(t);
+            assert!((vector::norm(&v) - 1.0).abs() < 1e-4, "{t}");
+            assert_eq!(v.len(), 64);
+        }
+    }
+
+    #[test]
+    fn synonyms_are_closer_than_random_words() {
+        let m = PretrainedEmbeddings::new(128);
+        let syn = m.phrase_similarity("spouse", "partner");
+        let unrelated = m.phrase_similarity("spouse", "hydrogen");
+        assert!(
+            syn > unrelated + 0.3,
+            "synonyms {syn} vs unrelated {unrelated}"
+        );
+        assert!(syn > 0.5, "synonym similarity should be high: {syn}");
+    }
+
+    #[test]
+    fn typos_stay_close_via_ngrams() {
+        let m = PretrainedEmbeddings::new(128);
+        let typo = m.phrase_similarity("country", "countrу"); // cyrillic у — still shares most grams
+        let other = m.phrase_similarity("country", "velocity");
+        assert!(typo > other, "typo {typo} vs other {other}");
+    }
+
+    #[test]
+    fn domain_jargon_is_orthogonal_to_english() {
+        let m = PretrainedEmbeddings::new(256);
+        // hash-like domain tokens get pure random vectors
+        let s = m.phrase_similarity("axj19q7", "organism");
+        assert!(s.abs() < 0.25, "jargon must be near-orthogonal, got {s}");
+    }
+
+    #[test]
+    fn phrase_embedding_handles_identifiers() {
+        let m = model();
+        assert!(m.embed_phrase("last_name").is_some());
+        assert!(m.embed_phrase("").is_none());
+        assert!(m.embed_phrase("___").is_none());
+        // multiword phrase similarity is symmetric
+        let ab = m.phrase_similarity("postal_code", "zip");
+        let ba = m.phrase_similarity("zip", "postal_code");
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let m = model();
+        assert_eq!(m.embed_token("Country"), m.embed_token("country"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = PretrainedEmbeddings::new(0);
+    }
+}

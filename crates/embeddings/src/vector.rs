@@ -1,0 +1,110 @@
+//! Dense `f32` vector arithmetic shared by the embedding models.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// `a += b`.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a *= s`.
+pub fn scale(a: &mut [f32], s: f32) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Normalises `a` to unit length in place (no-op for the zero vector).
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Mean of several vectors; `None` when the input is empty.
+pub fn mean(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let mut acc = vec![0.0f32; first.len()];
+    for v in vectors {
+        add_assign(&mut acc, v);
+    }
+    scale(&mut acc, 1.0 / vectors.len() as f32);
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, -0.7, 0.1];
+        let b = [0.6, -1.4, 0.2];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0, 3.0];
+        let b = [3.0, 1.0];
+        let m = mean(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 2.0]);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

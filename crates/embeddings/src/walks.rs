@@ -1,0 +1,262 @@
+//! EmbDI's tripartite graph and random-walk corpus generation.
+//!
+//! EmbDI (Cappuzzo et al., SIGMOD'20) turns relational data into sentences:
+//! a heterogeneous graph holds one node per **row** (record id), one per
+//! **attribute** (column), and one per distinct **value**; each cell links
+//! its value node to both its row node and its attribute node. Random walks
+//! over this graph become the training corpus for word2vec. Crucially,
+//! *value* nodes are shared across the two tables being matched, so an
+//! overlap in instances creates bridges between the tables' attribute nodes.
+//!
+//! The paper observes (and our reproduction preserves) that walk generation
+//! "does not scale efficiently when the number of available instances grow" —
+//! the corpus is `walks_per_node × sentence_length × |nodes|` tokens.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valentine_table::{FxHashMap, Table};
+
+/// Node kinds in the tripartite graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A record (row) id node, unique per (table, row).
+    Row,
+    /// An attribute (column) node, unique per (table, column).
+    Attribute,
+    /// A value node, shared across tables when rendered values are equal.
+    Value,
+}
+
+/// Walk generation parameters.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Tokens per sentence (paper default: 60).
+    pub sentence_length: usize,
+    /// Walks started from every node.
+    pub walks_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { sentence_length: 60, walks_per_node: 5, seed: 0xe4b }
+    }
+}
+
+/// The tripartite row/attribute/value graph of one or more tables.
+#[derive(Debug)]
+pub struct TripartiteGraph {
+    labels: Vec<String>,
+    kinds: Vec<NodeKind>,
+    adjacency: Vec<Vec<u32>>,
+    by_label: FxHashMap<String, u32>,
+}
+
+impl TripartiteGraph {
+    /// Builds the graph over the given tables. Node labels:
+    /// rows are `idx__<table>__<row>`, attributes are `cid__<table>__<column>`,
+    /// values are `tt__<lowercased rendered value>`.
+    pub fn build(tables: &[&Table]) -> TripartiteGraph {
+        let mut g = TripartiteGraph {
+            labels: Vec::new(),
+            kinds: Vec::new(),
+            adjacency: Vec::new(),
+            by_label: FxHashMap::default(),
+        };
+        for table in tables {
+            let row_nodes: Vec<u32> = (0..table.height())
+                .map(|r| g.intern(format!("idx__{}__{r}", table.name()), NodeKind::Row))
+                .collect();
+            for col in table.columns() {
+                let attr =
+                    g.intern(format!("cid__{}__{}", table.name(), col.name()), NodeKind::Attribute);
+                for (r, v) in col.values().iter().enumerate() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let val = g.intern(
+                        format!("tt__{}", v.render().to_lowercase()),
+                        NodeKind::Value,
+                    );
+                    g.connect(val, row_nodes[r]);
+                    g.connect(val, attr);
+                }
+            }
+        }
+        g
+    }
+
+    /// The canonical label of a table's attribute node.
+    pub fn attribute_label(table: &str, column: &str) -> String {
+        format!("cid__{table}__{column}")
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Node id by label.
+    pub fn node(&self, label: &str) -> Option<u32> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Kind of a node.
+    pub fn kind(&self, node: u32) -> NodeKind {
+        self.kinds[node as usize]
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        &self.adjacency[node as usize]
+    }
+
+    /// Generates the random-walk corpus: `walks_per_node` uniform random
+    /// walks of `sentence_length` tokens from every node, emitting node
+    /// labels as words. Nodes without neighbours yield single-token
+    /// sentences.
+    pub fn generate_walks(&self, config: &WalkConfig) -> Vec<Vec<String>> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut corpus =
+            Vec::with_capacity(self.len() * config.walks_per_node);
+        for start in 0..self.len() as u32 {
+            for _ in 0..config.walks_per_node {
+                let mut sentence = Vec::with_capacity(config.sentence_length);
+                let mut current = start;
+                sentence.push(self.labels[current as usize].clone());
+                while sentence.len() < config.sentence_length {
+                    let neigh = &self.adjacency[current as usize];
+                    if neigh.is_empty() {
+                        break;
+                    }
+                    current = neigh[rng.gen_range(0..neigh.len())];
+                    sentence.push(self.labels[current as usize].clone());
+                }
+                corpus.push(sentence);
+            }
+        }
+        corpus
+    }
+
+    fn intern(&mut self, label: String, kind: NodeKind) -> u32 {
+        if let Some(&id) = self.by_label.get(&label) {
+            return id;
+        }
+        let id = self.labels.len() as u32;
+        self.by_label.insert(label.clone(), id);
+        self.labels.push(label);
+        self.kinds.push(kind);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    fn connect(&mut self, a: u32, b: u32) {
+        self.adjacency[a as usize].push(b);
+        self.adjacency[b as usize].push(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn table_a() -> Table {
+        Table::from_pairs(
+            "a",
+            vec![
+                ("city", vec![Value::str("delft"), Value::str("lyon")]),
+                ("pop", vec![Value::Int(100), Value::Int(200)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn table_b() -> Table {
+        Table::from_pairs(
+            "b",
+            vec![("town", vec![Value::str("delft"), Value::str("athens")])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn graph_shape() {
+        let a = table_a();
+        let g = TripartiteGraph::build(&[&a]);
+        // 2 rows + 2 attrs + 4 distinct values
+        assert_eq!(g.len(), 8);
+        let attr = g.node("cid__a__city").unwrap();
+        assert_eq!(g.kind(attr), NodeKind::Attribute);
+        assert_eq!(g.neighbors(attr).len(), 2, "one edge per non-null cell");
+    }
+
+    #[test]
+    fn shared_values_bridge_tables() {
+        let a = table_a();
+        let b = table_b();
+        let g = TripartiteGraph::build(&[&a, &b]);
+        let delft = g.node("tt__delft").expect("shared value node");
+        // connected to: row a0, attr a.city, row b0, attr b.town
+        assert_eq!(g.neighbors(delft).len(), 4);
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let t = Table::from_pairs("t", vec![("x", vec![Value::Null, Value::str("v")])]).unwrap();
+        let g = TripartiteGraph::build(&[&t]);
+        let attr = g.node("cid__t__x").unwrap();
+        assert_eq!(g.neighbors(attr).len(), 1);
+    }
+
+    #[test]
+    fn walks_have_requested_shape() {
+        let a = table_a();
+        let g = TripartiteGraph::build(&[&a]);
+        let cfg = WalkConfig { sentence_length: 10, walks_per_node: 3, seed: 1 };
+        let corpus = g.generate_walks(&cfg);
+        assert_eq!(corpus.len(), g.len() * 3);
+        for sentence in &corpus {
+            assert!(sentence.len() <= 10);
+            assert!(!sentence.is_empty());
+        }
+    }
+
+    #[test]
+    fn walks_alternate_between_node_types() {
+        // Edges only connect values to rows/attrs, so consecutive tokens
+        // always include a value node.
+        let a = table_a();
+        let g = TripartiteGraph::build(&[&a]);
+        let cfg = WalkConfig { sentence_length: 20, walks_per_node: 2, seed: 3 };
+        for sentence in g.generate_walks(&cfg) {
+            for pair in sentence.windows(2) {
+                let v0 = pair[0].starts_with("tt__");
+                let v1 = pair[1].starts_with("tt__");
+                assert!(v0 ^ v1, "exactly one endpoint of each step is a value node");
+            }
+        }
+    }
+
+    #[test]
+    fn walks_deterministic_under_seed() {
+        let a = table_a();
+        let g = TripartiteGraph::build(&[&a]);
+        let cfg = WalkConfig::default();
+        assert_eq!(g.generate_walks(&cfg), g.generate_walks(&cfg));
+    }
+
+    #[test]
+    fn empty_table_graph() {
+        let t = Table::empty("e");
+        let g = TripartiteGraph::build(&[&t]);
+        assert!(g.is_empty());
+        assert!(g.generate_walks(&WalkConfig::default()).is_empty());
+    }
+}

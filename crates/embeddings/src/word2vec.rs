@@ -1,0 +1,321 @@
+//! A from-scratch word2vec: skip-gram with negative sampling (SGNS).
+//!
+//! EmbDI trains *local* embeddings on random-walk sentences generated from
+//! the tables being matched (Table II fixes the training algorithm to
+//! word2vec, window 3, 300 dimensions). This is a clean-room implementation
+//! of the Mikolov et al. (NIPS'13) objective:
+//!
+//! * one input and one output vector per vocabulary word;
+//! * positive pairs from a symmetric context window;
+//! * `k` negative samples per positive pair, drawn from the unigram^0.75
+//!   distribution;
+//! * SGD with linearly decaying learning rate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valentine_table::FxHashMap;
+
+use crate::vector;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality (paper default for EmbDI: 300).
+    pub dims: usize,
+    /// Symmetric context window size (paper default: 3).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub learning_rate: f32,
+    /// Words with fewer occurrences are dropped from the vocabulary.
+    pub min_count: usize,
+    /// RNG seed (initialisation and negative sampling).
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dims: 300,
+            window: 3,
+            negative: 5,
+            epochs: 5,
+            learning_rate: 0.025,
+            min_count: 1,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained embedding table.
+#[derive(Debug)]
+pub struct Word2Vec {
+    dims: usize,
+    vocab: FxHashMap<String, usize>,
+    vectors: Vec<Vec<f32>>,
+}
+
+/// Size of the pre-computed negative-sampling table.
+const NEG_TABLE_SIZE: usize = 1 << 16;
+
+impl Word2Vec {
+    /// Trains SGNS on tokenised sentences.
+    pub fn train(sentences: &[Vec<String>], config: &Word2VecConfig) -> Word2Vec {
+        assert!(config.dims > 0, "dims must be positive");
+        assert!(config.window > 0, "window must be positive");
+
+        // --- vocabulary
+        let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+        for s in sentences {
+            for w in s {
+                *counts.entry(w.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut words: Vec<(&str, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= config.min_count)
+            .collect();
+        // deterministic ordering: by count desc, then lexicographic
+        words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let vocab: FxHashMap<String, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, _))| (w.to_string(), i))
+            .collect();
+        let v = vocab.len();
+        if v == 0 {
+            return Word2Vec { dims: config.dims, vocab, vectors: Vec::new() };
+        }
+
+        // --- negative sampling table (unigram^0.75)
+        let pow_counts: Vec<f64> = words.iter().map(|&(_, c)| (c as f64).powf(0.75)).collect();
+        let total: f64 = pow_counts.iter().sum();
+        let mut neg_table = Vec::with_capacity(NEG_TABLE_SIZE);
+        {
+            let mut cum = 0.0;
+            let mut word_idx = 0usize;
+            for slot in 0..NEG_TABLE_SIZE {
+                let target = (slot as f64 + 0.5) / NEG_TABLE_SIZE as f64 * total;
+                while word_idx + 1 < v && cum + pow_counts[word_idx] < target {
+                    cum += pow_counts[word_idx];
+                    word_idx += 1;
+                }
+                neg_table.push(word_idx as u32);
+            }
+        }
+
+        // --- init
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let bound = 0.5 / config.dims as f32;
+        let mut input: Vec<Vec<f32>> = (0..v)
+            .map(|_| (0..config.dims).map(|_| rng.gen_range(-bound..bound)).collect())
+            .collect();
+        let mut output: Vec<Vec<f32>> = vec![vec![0.0; config.dims]; v];
+
+        // encode sentences once
+        let encoded: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter_map(|w| vocab.get(w).map(|&i| i as u32))
+                    .collect()
+            })
+            .collect();
+        let total_tokens: usize = encoded.iter().map(Vec::len).sum();
+        let total_updates = (total_tokens * config.epochs).max(1);
+
+        // --- SGD
+        let mut processed = 0usize;
+        let mut grad = vec![0.0f32; config.dims];
+        for _ in 0..config.epochs {
+            for sentence in &encoded {
+                for (i, &center) in sentence.iter().enumerate() {
+                    processed += 1;
+                    let lr = config.learning_rate
+                        * (1.0 - processed as f32 / total_updates as f32).max(1e-4);
+                    let lo = i.saturating_sub(config.window);
+                    let hi = (i + config.window + 1).min(sentence.len());
+                    for j in lo..hi {
+                        if j == i {
+                            continue;
+                        }
+                        let context = sentence[j] as usize;
+                        grad.iter_mut().for_each(|g| *g = 0.0);
+                        let cin = center as usize;
+                        // positive pair + negatives
+                        for k in 0..=config.negative {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                let t = neg_table[rng.gen_range(0..NEG_TABLE_SIZE)] as usize;
+                                if t == context {
+                                    continue;
+                                }
+                                (t, 0.0f32)
+                            };
+                            let s = sigmoid(vector::dot(&input[cin], &output[target]));
+                            let g = lr * (label - s);
+                            for d in 0..config.dims {
+                                grad[d] += g * output[target][d];
+                                output[target][d] += g * input[cin][d];
+                            }
+                        }
+                        for d in 0..config.dims {
+                            input[cin][d] += grad[d];
+                        }
+                    }
+                }
+            }
+        }
+
+        Word2Vec { dims: config.dims, vocab, vectors: input }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The trained vector for a word, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        self.vocab.get(word).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// Cosine similarity of two words; 0 when either is out of vocabulary.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        match (self.vector(a), self.vector(b)) {
+            (Some(x), Some(y)) => vector::cosine(x, y),
+            _ => 0.0,
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<Vec<String>> {
+        // Two "topics": fruit words co-occur, metal words co-occur.
+        let mut sentences = Vec::new();
+        let fruit = ["apple", "banana", "cherry", "fruit"];
+        let metal = ["iron", "copper", "zinc", "metal"];
+        for r in 0..60 {
+            let mut s1 = Vec::new();
+            let mut s2 = Vec::new();
+            for k in 0..8 {
+                s1.push(fruit[(r + k) % 4].to_string());
+                s2.push(metal[(r + 2 * k) % 4].to_string());
+            }
+            sentences.push(s1);
+            sentences.push(s2);
+        }
+        sentences
+    }
+
+    fn small_config() -> Word2VecConfig {
+        Word2VecConfig {
+            dims: 24,
+            window: 3,
+            negative: 5,
+            epochs: 10,
+            learning_rate: 0.05,
+            min_count: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn learns_cooccurrence_structure() {
+        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        let fruit = ["apple", "banana", "cherry", "fruit"];
+        let metal = ["iron", "copper", "zinc", "metal"];
+        let mut same_topic = 0.0;
+        let mut cross_topic = 0.0;
+        let mut same_n = 0;
+        let mut cross_n = 0;
+        for (i, a) in fruit.iter().enumerate() {
+            for b in &fruit[i + 1..] {
+                same_topic += model.similarity(a, b);
+                same_n += 1;
+            }
+            for b in &metal {
+                cross_topic += model.similarity(a, b);
+                cross_n += 1;
+            }
+        }
+        let same_topic = same_topic / same_n as f32;
+        let cross_topic = cross_topic / cross_n as f32;
+        assert!(
+            same_topic > cross_topic + 0.1,
+            "mean same-topic {same_topic} vs mean cross-topic {cross_topic}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Word2Vec::train(&toy_corpus(), &small_config());
+        let b = Word2Vec::train(&toy_corpus(), &small_config());
+        assert_eq!(a.vector("apple"), b.vector("apple"));
+    }
+
+    #[test]
+    fn different_seeds_give_different_vectors() {
+        let a = Word2Vec::train(&toy_corpus(), &small_config());
+        let mut cfg = small_config();
+        cfg.seed = 8;
+        let b = Word2Vec::train(&toy_corpus(), &cfg);
+        assert_ne!(a.vector("apple"), b.vector("apple"));
+    }
+
+    #[test]
+    fn vocabulary_and_oov() {
+        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        assert_eq!(model.vocab_size(), 8);
+        assert!(model.vector("apple").is_some());
+        assert!(model.vector("plutonium").is_none());
+        assert_eq!(model.similarity("apple", "plutonium"), 0.0);
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let mut cfg = small_config();
+        cfg.min_count = 5;
+        let mut corpus = toy_corpus();
+        corpus.push(vec!["rare".to_string()]);
+        let model = Word2Vec::train(&corpus, &cfg);
+        assert!(model.vector("rare").is_none());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let model = Word2Vec::train(&[], &small_config());
+        assert_eq!(model.vocab_size(), 0);
+        assert!(model.vector("x").is_none());
+    }
+
+    #[test]
+    fn vectors_have_configured_dims() {
+        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        assert_eq!(model.vector("apple").unwrap().len(), 24);
+        assert_eq!(model.dims(), 24);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the embedding substrate.
+
+use proptest::prelude::*;
+use valentine_embeddings::{cosine, dot, norm, PretrainedEmbeddings, TripartiteGraph, WalkConfig};
+use valentine_table::{Column, Table, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-10.0f32..10.0, 8),
+        b in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-5);
+        // Cauchy-Schwarz: |a·b| ≤ |a||b|
+        prop_assert!(dot(&a, &b).abs() <= norm(&a) * norm(&b) + 1e-3);
+    }
+
+    #[test]
+    fn pretrained_tokens_are_deterministic_unit_vectors(token in "[a-z]{1,12}") {
+        let m = PretrainedEmbeddings::new(32);
+        let v1 = m.embed_token(&token);
+        let v2 = m.embed_token(&token);
+        prop_assert_eq!(&v1, &v2);
+        prop_assert!((norm(&v1) - 1.0).abs() < 1e-3);
+        prop_assert!((cosine(&v1, &v2) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn pretrained_phrase_similarity_is_symmetric(
+        a in "[a-z_]{1,15}",
+        b in "[a-z_]{1,15}",
+    ) {
+        let m = PretrainedEmbeddings::new(32);
+        let ab = m.phrase_similarity(&a, &b);
+        let ba = m.phrase_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn tripartite_walks_respect_structure(
+        rows in 1usize..10,
+        walks in 1usize..4,
+        length in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<Value> = (0..rows).map(|i| Value::str(format!("v{}", i % 4))).collect();
+        let t = Table::new("t", vec![Column::new("c", values)]).expect("valid");
+        let g = TripartiteGraph::build(&[&t]);
+        let corpus = g.generate_walks(&WalkConfig {
+            sentence_length: length,
+            walks_per_node: walks,
+            seed,
+        });
+        prop_assert_eq!(corpus.len(), g.len() * walks);
+        for sentence in &corpus {
+            prop_assert!(!sentence.is_empty());
+            prop_assert!(sentence.len() <= length);
+            // walks alternate value ↔ non-value nodes
+            for pair in sentence.windows(2) {
+                let v0 = pair[0].starts_with("tt__");
+                let v1 = pair[1].starts_with("tt__");
+                prop_assert!(v0 ^ v1);
+            }
+        }
+    }
+}

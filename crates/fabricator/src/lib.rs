@@ -1,0 +1,33 @@
+//! Dataset-pair fabrication with ground truth.
+//!
+//! "Possibly the biggest challenge in evaluating schema matching methods is
+//! the lack of openly available datasets with schema matching ground truth"
+//! (Valentine, Section IV). Following eTuner, the fabricator splits an
+//! existing table horizontally and/or vertically and perturbs schema and
+//! instances, so the original table *is* the ground truth:
+//!
+//! * [`split`] — horizontal (row) and vertical (column) splits with
+//!   controlled overlap;
+//! * [`noise`] — instance noise (keyboard typos for strings,
+//!   distribution-aware perturbation for numbers) and schema noise (table
+//!   prefixing, abbreviation, vowel dropping);
+//! * [`scenario`] — the four relatedness scenarios of Section III
+//!   (unionable, view-unionable, joinable, semantically-joinable) as
+//!   parameterised builders producing a [`DatasetPair`];
+//! * [`plan`] — fabrication plans: the paper-scale plan (45 variants per
+//!   scenario per source, 180 pairs per source) and a reduced smoke-test
+//!   plan.
+
+#![warn(missing_docs)]
+
+pub mod noise;
+pub mod pair;
+pub mod plan;
+pub mod scenario;
+pub mod split;
+
+pub use noise::{apply_instance_noise, apply_schema_noise, InstanceNoise, SchemaNoise};
+pub use pair::{DatasetPair, GroundTruth};
+pub use plan::{FabricationPlan, PlannedPair};
+pub use scenario::{fabricate_pair, ScenarioKind, ScenarioSpec};
+pub use split::{split_horizontal, split_vertical};

@@ -1,0 +1,248 @@
+//! Instance and schema noise.
+//!
+//! *Noise in data* (paper, Section IV): string columns receive random typos
+//! based on keyboard proximity; numeric columns are perturbed "according to
+//! their value distribution" (we add Gaussian noise scaled by the column's
+//! standard deviation, rounding for integer columns).
+//!
+//! *Noise in schemata*: a combination of three transformation rules —
+//! (i) prefix column names with the table name, (ii) abbreviate them,
+//! (iii) drop vowels. Which combination hits which column is drawn from the
+//! pair's seed, so the whole fabrication stays deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use valentine_table::{Column, DataType, FxHashSet, Table, Value};
+use valentine_text::noise::{abbreviate, drop_vowels, prefix_with_table, KeyboardTypoModel};
+
+/// Whether the target table's column names are perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaNoise {
+    /// Target keeps the original column names.
+    Verbatim,
+    /// Target column names pass through the three-rule noise pipeline.
+    Noisy,
+}
+
+/// Whether the target table's instances are perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceNoise {
+    /// Overlapping values stay identical.
+    Verbatim,
+    /// Strings receive keyboard typos; numbers receive distribution-scaled
+    /// perturbations.
+    Noisy,
+}
+
+/// Fraction of a column's standard deviation used as the numeric noise
+/// scale.
+const NUMERIC_NOISE_SCALE: f64 = 0.1;
+/// Probability that an individual numeric value is perturbed.
+const NUMERIC_NOISE_PROB: f64 = 0.5;
+
+/// Applies instance noise to every column of a table (strings: typos;
+/// numerics: Gaussian perturbation). Returns a new table.
+pub fn apply_instance_noise(table: &Table, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1257a0ce);
+    let typos = KeyboardTypoModel::default();
+    let columns: Vec<Column> = table
+        .columns()
+        .iter()
+        .map(|col| match col.dtype() {
+            DataType::Str => col.map_values(|v| match v {
+                Value::Str(s) => Value::Str(typos.corrupt(s, &mut rng)),
+                other => other.clone(),
+            }),
+            DataType::Int | DataType::Float => {
+                let std = col.stats().std_dev.unwrap_or(0.0).max(1.0);
+                let scale = std * NUMERIC_NOISE_SCALE;
+                let is_int = col.dtype() == DataType::Int;
+                col.map_values(|v| match v.as_f64() {
+                    Some(x) if !v.is_null() => {
+                        if rng.gen_bool(NUMERIC_NOISE_PROB) {
+                            let delta = gaussian(&mut rng) * scale;
+                            if is_int {
+                                Value::Int((x + delta).round() as i64)
+                            } else {
+                                Value::float(x + delta)
+                            }
+                        } else {
+                            v.clone()
+                        }
+                    }
+                    _ => v.clone(),
+                })
+            }
+            _ => col.clone(),
+        })
+        .collect();
+    Table::new(table.name().to_string(), columns).expect("noise preserves table shape")
+}
+
+/// Applies schema noise: every column name is rewritten by a combination of
+/// the three rules chosen per column from `seed`. Collisions get a numeric
+/// suffix so the table stays valid. Returns the renamed table plus the
+/// old→new name mapping.
+pub fn apply_schema_noise(table: &Table, seed: u64) -> (Table, Vec<(String, String)>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5c4e_a0e5);
+    let mut used: FxHashSet<String> = FxHashSet::default();
+    let mut mapping = Vec::with_capacity(table.width());
+    let table_name = table.name().to_string();
+
+    let renamed = table
+        .rename_columns(|old| {
+            let mut new = transform_name(&table_name, old, rng.gen_range(0..5u8));
+            if new.is_empty() {
+                new = old.to_string();
+            }
+            let mut unique = new.clone();
+            let mut i = 2;
+            while !used.insert(unique.clone()) {
+                unique = format!("{new}{i}");
+                i += 1;
+            }
+            mapping.push((old.to_string(), unique.clone()));
+            unique
+        })
+        .expect("suffixing guarantees unique names");
+    (renamed, mapping)
+}
+
+/// The five combinations of the three rules the fabricator draws from.
+fn transform_name(table: &str, column: &str, variant: u8) -> String {
+    match variant {
+        0 => prefix_with_table(table, column),
+        1 => abbreviate(column),
+        2 => drop_vowels(column),
+        3 => prefix_with_table(table, &abbreviate(column)),
+        _ => prefix_with_table(table, &drop_vowels(column)),
+    }
+}
+
+/// Standard Gaussian via Box-Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_pairs(
+            "clients",
+            vec![
+                (
+                    "last_name",
+                    vec![Value::str("anderson"), Value::str("papadopoulos"), Value::str("visser")],
+                ),
+                ("income", vec![Value::Int(52_000), Value::Int(67_000), Value::Int(49_000)]),
+                ("score", vec![Value::float(0.5), Value::float(0.7), Value::Null]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instance_noise_preserves_shape_and_types() {
+        let t = sample();
+        let n = apply_instance_noise(&t, 42);
+        assert_eq!(n.width(), t.width());
+        assert_eq!(n.height(), t.height());
+        assert_eq!(n.column("income").unwrap().dtype(), DataType::Int);
+        assert_eq!(n.column_names(), t.column_names());
+        // nulls stay null
+        assert!(n.cell(2, "score").unwrap().is_null());
+    }
+
+    #[test]
+    fn instance_noise_changes_some_values() {
+        let t = sample();
+        let n = apply_instance_noise(&t, 42);
+        let changed = t
+            .columns()
+            .iter()
+            .zip(n.columns())
+            .flat_map(|(a, b)| a.values().iter().zip(b.values()))
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0, "noise must actually perturb something");
+    }
+
+    #[test]
+    fn instance_noise_string_edits_are_small() {
+        let t = sample();
+        let n = apply_instance_noise(&t, 7);
+        for (a, b) in t
+            .column("last_name")
+            .unwrap()
+            .values()
+            .iter()
+            .zip(n.column("last_name").unwrap().values())
+        {
+            let (Value::Str(a), Value::Str(b)) = (a, b) else { panic!() };
+            assert!(valentine_text::levenshtein(a, b) <= 2);
+        }
+    }
+
+    #[test]
+    fn instance_noise_deterministic() {
+        let t = sample();
+        assert_eq!(apply_instance_noise(&t, 9), apply_instance_noise(&t, 9));
+        assert_ne!(apply_instance_noise(&t, 9), apply_instance_noise(&t, 10));
+    }
+
+    #[test]
+    fn schema_noise_renames_consistently() {
+        let t = sample();
+        let (renamed, mapping) = apply_schema_noise(&t, 11);
+        assert_eq!(mapping.len(), 3);
+        for (old, new) in &mapping {
+            assert!(t.column(old).is_some());
+            assert!(renamed.column(new).is_some());
+        }
+        // at least one name must differ (abbreviation/vowel-drop/prefix)
+        assert!(mapping.iter().any(|(o, n)| o != n));
+    }
+
+    #[test]
+    fn schema_noise_values_untouched() {
+        let t = sample();
+        let (renamed, mapping) = apply_schema_noise(&t, 11);
+        for (old, new) in &mapping {
+            assert_eq!(
+                t.column(old).unwrap().values(),
+                renamed.column(new).unwrap().values()
+            );
+        }
+    }
+
+    #[test]
+    fn schema_noise_handles_collisions() {
+        // Two columns that abbreviate to the same string must stay unique.
+        let t = Table::from_pairs(
+            "t",
+            vec![
+                ("credit_rating", vec![Value::Int(1)]),
+                ("customer_record", vec![Value::Int(2)]),
+                ("cr", vec![Value::Int(3)]),
+            ],
+        )
+        .unwrap();
+        for seed in 0..20 {
+            let (renamed, _) = apply_schema_noise(&t, seed);
+            assert_eq!(renamed.width(), 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn transform_variants_cover_rules() {
+        assert_eq!(transform_name("t", "last_name", 0), "t_last_name");
+        assert_eq!(transform_name("t", "last_name", 1), "ln");
+        assert_eq!(transform_name("t", "income", 2), "incm");
+        assert_eq!(transform_name("t", "last_name", 3), "t_ln");
+        assert_eq!(transform_name("t", "income", 4), "t_incm");
+    }
+}

@@ -1,0 +1,99 @@
+//! Fabricated dataset pairs and their ground truth.
+
+use valentine_table::Table;
+
+use crate::scenario::ScenarioKind;
+
+/// The set of column correspondences a matcher is expected to find:
+/// `(source column name, target column name)` pairs. A source column may
+/// appear in several pairs (the ING#2 dataset has one-to-many truth).
+pub type GroundTruth = Vec<(String, String)>;
+
+/// A fabricated (or curated) pair of tables with known ground truth.
+#[derive(Debug, Clone)]
+pub struct DatasetPair {
+    /// Identifier, unique within one experiment corpus, e.g.
+    /// `tpcdi/unionable/ro50_sn_iv_s3`.
+    pub id: String,
+    /// Name of the dataset source the pair was fabricated from
+    /// ("tpcdi", "opendata", "chembl", "wikidata", "magellan", "ing").
+    pub source_name: String,
+    /// The relatedness scenario the pair embodies.
+    pub scenario: ScenarioKind,
+    /// True when column names of the target were perturbed.
+    pub noisy_schema: bool,
+    /// True when instances of the target were perturbed.
+    pub noisy_instances: bool,
+    /// The source relation.
+    pub source: Table,
+    /// The target relation.
+    pub target: Table,
+    /// Expected correspondences.
+    pub ground_truth: GroundTruth,
+}
+
+impl DatasetPair {
+    /// Ground-truth size `k` (the `k` in Recall@k).
+    pub fn ground_truth_size(&self) -> usize {
+        self.ground_truth.len()
+    }
+
+    /// True when `(source_col, target_col)` is a correct match.
+    pub fn is_correct(&self, source_col: &str, target_col: &str) -> bool {
+        self.ground_truth
+            .iter()
+            .any(|(s, t)| s == source_col && t == target_col)
+    }
+
+    /// Validates internal consistency: every ground-truth column must exist
+    /// in its table. Returns the offending pair on failure.
+    pub fn validate(&self) -> Result<(), (String, String)> {
+        for (s, t) in &self.ground_truth {
+            if self.source.column(s).is_none() || self.target.column(t).is_none() {
+                return Err((s.clone(), t.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn dummy_pair() -> DatasetPair {
+        let source =
+            Table::from_pairs("s", vec![("a", vec![Value::Int(1)]), ("b", vec![Value::Int(2)])])
+                .unwrap();
+        let target =
+            Table::from_pairs("t", vec![("x", vec![Value::Int(1)])]).unwrap();
+        DatasetPair {
+            id: "test/pair".into(),
+            source_name: "test".into(),
+            scenario: ScenarioKind::Unionable,
+            noisy_schema: false,
+            noisy_instances: false,
+            source,
+            target,
+            ground_truth: vec![("a".into(), "x".into())],
+        }
+    }
+
+    #[test]
+    fn correctness_lookup() {
+        let p = dummy_pair();
+        assert!(p.is_correct("a", "x"));
+        assert!(!p.is_correct("b", "x"));
+        assert!(!p.is_correct("a", "y"));
+        assert_eq!(p.ground_truth_size(), 1);
+    }
+
+    #[test]
+    fn validate_catches_missing_columns() {
+        let mut p = dummy_pair();
+        assert!(p.validate().is_ok());
+        p.ground_truth.push(("ghost".into(), "x".into()));
+        assert_eq!(p.validate(), Err(("ghost".into(), "x".into())));
+    }
+}

@@ -1,0 +1,213 @@
+//! Fabrication plans: which (spec, seed) combinations a dataset source is
+//! expanded into.
+//!
+//! The paper fabricates **180 pairs per dataset source** (45 per scenario ×
+//! 4 scenarios × 3 sources = 540 pairs). The exact per-scenario variant grid
+//! is reconstructed from Section IV: varying row overlap for unionable,
+//! varying column overlap for view-unionable, varying column overlap and
+//! split mode for the joinable scenarios, each crossed with the
+//! schema/instance noise combinations the scenario admits. Where the grid
+//! does not divide 45 evenly, extra split seeds cycle through the grid.
+
+use crate::noise::{InstanceNoise, SchemaNoise};
+use crate::scenario::{ScenarioKind, ScenarioSpec};
+
+/// One planned fabrication: a spec plus the split seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedPair {
+    /// The scenario parameters.
+    pub spec: ScenarioSpec,
+    /// Seed for splitting and noise.
+    pub seed: u64,
+}
+
+/// A full plan for one dataset source.
+#[derive(Debug, Clone)]
+pub struct FabricationPlan {
+    /// All planned pairs, in deterministic order.
+    pub pairs: Vec<PlannedPair>,
+}
+
+impl FabricationPlan {
+    /// The paper-scale plan: 45 pairs per scenario, 180 per source.
+    pub fn paper() -> FabricationPlan {
+        FabricationPlan::with_per_scenario(45)
+    }
+
+    /// A reduced plan for tests and quick runs: 4 pairs per scenario,
+    /// 16 per source, stratified over overlap levels and noise combinations.
+    pub fn small() -> FabricationPlan {
+        FabricationPlan::with_per_scenario(4)
+    }
+
+    /// Builds a plan with `per_scenario` pairs for each of the four
+    /// scenarios.
+    ///
+    /// When the request is smaller than a scenario's variant grid, the grid
+    /// is sampled *stratified* (evenly strided) so that reduced plans still
+    /// cover the overlap range **and** both noise levels — a truncated
+    /// prefix would, e.g., only ever produce zero-row-overlap unionable
+    /// pairs. Larger requests cycle the grid with fresh split seeds.
+    pub fn with_per_scenario(per_scenario: usize) -> FabricationPlan {
+        let mut pairs = Vec::with_capacity(per_scenario * 4);
+        for kind in ScenarioKind::ALL {
+            let grid = variant_grid(kind);
+            for i in 0..per_scenario {
+                let (spec, seed) = if per_scenario <= grid.len() {
+                    (grid[i * grid.len() / per_scenario], i as u64)
+                } else {
+                    (
+                        grid[i % grid.len()],
+                        (i / grid.len()) as u64 * 1009 + i as u64,
+                    )
+                };
+                pairs.push(PlannedPair { spec, seed });
+            }
+        }
+        FabricationPlan { pairs }
+    }
+
+    /// Number of planned pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// The per-scenario variant grid (Section IV of the paper).
+fn variant_grid(kind: ScenarioKind) -> Vec<ScenarioSpec> {
+    use InstanceNoise::{Noisy as IN, Verbatim as IV};
+    use SchemaNoise::{Noisy as SN, Verbatim as SV};
+
+    let mut grid = Vec::new();
+    match kind {
+        ScenarioKind::Unionable => {
+            // varying row overlap × all instances/schemata combinations
+            for &ro in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+                for &(s, i) in &[(SV, IV), (SV, IN), (SN, IV), (SN, IN)] {
+                    grid.push(ScenarioSpec::unionable(ro, s, i));
+                }
+            }
+        }
+        ScenarioKind::ViewUnionable => {
+            // zero row overlap, varying column overlap × noise combinations
+            for &co in &[0.3, 0.5, 0.7] {
+                for &(s, i) in &[(SV, IV), (SV, IN), (SN, IV), (SN, IN)] {
+                    grid.push(ScenarioSpec::view_unionable(co, s, i));
+                }
+            }
+        }
+        ScenarioKind::Joinable => {
+            // varying column overlap × split mode × schema noise,
+            // verbatim instances only
+            for &co in &[0.1, 0.3, 0.5] {
+                for &horizontal in &[false, true] {
+                    for &s in &[SV, SN] {
+                        grid.push(ScenarioSpec::joinable(co, horizontal, s));
+                    }
+                }
+            }
+        }
+        ScenarioKind::SemanticallyJoinable => {
+            // like joinable but noisy instances only
+            for &co in &[0.1, 0.3, 0.5] {
+                for &horizontal in &[false, true] {
+                    for &s in &[SV, SN] {
+                        grid.push(ScenarioSpec::semantically_joinable(co, horizontal, s));
+                    }
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_has_180_pairs() {
+        let plan = FabricationPlan::paper();
+        assert_eq!(plan.len(), 180);
+        for kind in ScenarioKind::ALL {
+            let n = plan.pairs.iter().filter(|p| p.spec.kind == kind).count();
+            assert_eq!(n, 45, "{kind}");
+        }
+    }
+
+    #[test]
+    fn reduced_plans_are_stratified_over_noise_and_overlap() {
+        // even a 2-per-scenario plan must include a noisy-schema variant
+        // and (for unionable) more than one row-overlap level across 4
+        let plan = FabricationPlan::with_per_scenario(4);
+        let unionable: Vec<&PlannedPair> = plan
+            .pairs
+            .iter()
+            .filter(|p| p.spec.kind == ScenarioKind::Unionable)
+            .collect();
+        assert!(unionable.iter().any(|p| p.spec.schema_noise == SchemaNoise::Noisy));
+        assert!(unionable.iter().any(|p| p.spec.schema_noise == SchemaNoise::Verbatim));
+        let overlaps: std::collections::BTreeSet<u32> = unionable
+            .iter()
+            .map(|p| (p.spec.row_overlap * 100.0) as u32)
+            .collect();
+        assert!(overlaps.len() >= 2, "overlap levels: {overlaps:?}");
+    }
+
+    #[test]
+    fn small_plan_covers_all_scenarios() {
+        let plan = FabricationPlan::small();
+        assert_eq!(plan.len(), 16);
+        for kind in ScenarioKind::ALL {
+            assert!(plan.pairs.iter().any(|p| p.spec.kind == kind));
+        }
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        assert_eq!(FabricationPlan::paper().pairs, FabricationPlan::paper().pairs);
+    }
+
+    #[test]
+    fn grid_respects_scenario_constraints() {
+        for spec in variant_grid(ScenarioKind::ViewUnionable) {
+            assert_eq!(spec.row_overlap, 0.0, "view-unionable is row-disjoint");
+        }
+        for spec in variant_grid(ScenarioKind::Joinable) {
+            assert_eq!(spec.instance_noise, InstanceNoise::Verbatim);
+        }
+        for spec in variant_grid(ScenarioKind::SemanticallyJoinable) {
+            assert_eq!(spec.instance_noise, InstanceNoise::Noisy);
+        }
+        for spec in variant_grid(ScenarioKind::Unionable) {
+            assert_eq!(spec.col_overlap, 1.0, "unionable keeps all columns");
+        }
+    }
+
+    #[test]
+    fn repeated_grid_entries_get_fresh_seeds() {
+        let plan = FabricationPlan::paper();
+        // within one scenario, (spec, seed) combinations must be unique
+        for kind in ScenarioKind::ALL {
+            let entries: Vec<&PlannedPair> = plan
+                .pairs
+                .iter()
+                .filter(|p| p.spec.kind == kind)
+                .collect();
+            for (i, a) in entries.iter().enumerate() {
+                for b in &entries[i + 1..] {
+                    assert!(
+                        a.spec != b.spec || a.seed != b.seed,
+                        "duplicate planned pair in {kind}"
+                    );
+                }
+            }
+        }
+    }
+}

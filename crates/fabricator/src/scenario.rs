@@ -1,0 +1,400 @@
+//! The four dataset relatedness scenarios (paper, Section III) as
+//! parameterised pair builders.
+
+use std::fmt;
+
+use valentine_table::{Result, Table};
+
+use crate::noise::{apply_instance_noise, apply_schema_noise, InstanceNoise, SchemaNoise};
+use crate::pair::DatasetPair;
+use crate::split::{split_horizontal, split_vertical};
+
+/// The four relatedness scenarios of the Valentine taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Same attributes, horizontally partitioned rows (§III-A).
+    Unionable,
+    /// Shared attribute subset, disjoint rows (§III-A).
+    ViewUnionable,
+    /// Shared join column(s), high row overlap, verbatim instances (§III-B).
+    Joinable,
+    /// Joinable with noisy overlapping instances (§III-B).
+    SemanticallyJoinable,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in the paper's presentation order.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Unionable,
+        ScenarioKind::ViewUnionable,
+        ScenarioKind::Joinable,
+        ScenarioKind::SemanticallyJoinable,
+    ];
+
+    /// Short lowercase identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            ScenarioKind::Unionable => "unionable",
+            ScenarioKind::ViewUnionable => "view-unionable",
+            ScenarioKind::Joinable => "joinable",
+            ScenarioKind::SemanticallyJoinable => "semantically-joinable",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A fully parameterised fabrication request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Which scenario to fabricate.
+    pub kind: ScenarioKind,
+    /// Row overlap fraction (unionable: free; view-unionable: forced 0;
+    /// joinable/semantically-joinable: 1.0 for vertical-only splits or 0.5
+    /// when `horizontal_also`).
+    pub row_overlap: f64,
+    /// Column overlap fraction (unionable: forced 1; others: free).
+    pub col_overlap: f64,
+    /// Perturb the target's column names?
+    pub schema_noise: SchemaNoise,
+    /// Perturb the target's instances? (Joinable forces Verbatim,
+    /// semantically-joinable forces Noisy, per the paper.)
+    pub instance_noise: InstanceNoise,
+}
+
+impl ScenarioSpec {
+    /// A unionable pair: both sides keep all columns; rows overlap by
+    /// `row_overlap`.
+    pub fn unionable(row_overlap: f64, schema: SchemaNoise, instances: InstanceNoise) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::Unionable,
+            row_overlap,
+            col_overlap: 1.0,
+            schema_noise: schema,
+            instance_noise: instances,
+        }
+    }
+
+    /// A view-unionable pair: columns overlap by `col_overlap`, rows are
+    /// disjoint.
+    pub fn view_unionable(col_overlap: f64, schema: SchemaNoise, instances: InstanceNoise) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::ViewUnionable,
+            row_overlap: 0.0,
+            col_overlap,
+            schema_noise: schema,
+            instance_noise: instances,
+        }
+    }
+
+    /// A joinable pair: columns overlap by `col_overlap`; rows fully overlap
+    /// unless `horizontal_also` (then 50%, following the paper). Instances
+    /// are always verbatim ("the classical join operation").
+    pub fn joinable(col_overlap: f64, horizontal_also: bool, schema: SchemaNoise) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::Joinable,
+            row_overlap: if horizontal_also { 0.5 } else { 1.0 },
+            col_overlap,
+            schema_noise: schema,
+            instance_noise: InstanceNoise::Verbatim,
+        }
+    }
+
+    /// A semantically-joinable pair: like [`ScenarioSpec::joinable`] but the
+    /// overlapping instances are perturbed, so an equality join no longer
+    /// works.
+    pub fn semantically_joinable(
+        col_overlap: f64,
+        horizontal_also: bool,
+        schema: SchemaNoise,
+    ) -> Self {
+        ScenarioSpec {
+            kind: ScenarioKind::SemanticallyJoinable,
+            row_overlap: if horizontal_also { 0.5 } else { 1.0 },
+            col_overlap,
+            schema_noise: schema,
+            instance_noise: InstanceNoise::Noisy,
+        }
+    }
+
+    /// Compact identifier used in pair ids, e.g. `ro50_co100_sn_iv`.
+    pub fn variant_id(&self) -> String {
+        format!(
+            "ro{}_co{}_{}_{}",
+            (self.row_overlap * 100.0).round() as u32,
+            (self.col_overlap * 100.0).round() as u32,
+            match self.schema_noise {
+                SchemaNoise::Verbatim => "sv",
+                SchemaNoise::Noisy => "sn",
+            },
+            match self.instance_noise {
+                InstanceNoise::Verbatim => "iv",
+                InstanceNoise::Noisy => "in",
+            },
+        )
+    }
+}
+
+/// Fabricates a dataset pair from a source table according to `spec`.
+///
+/// The source table is split per the scenario; the *target* side then
+/// receives schema and/or instance noise. Ground truth is every column the
+/// two sides share (post-rename), which by construction is the complete set
+/// of correct correspondences.
+///
+/// ```
+/// use valentine_fabricator::{fabricate_pair, InstanceNoise, ScenarioSpec, SchemaNoise};
+/// use valentine_table::{Table, Value};
+///
+/// let source = Table::from_pairs(
+///     "people",
+///     vec![
+///         ("id", (0..10).map(Value::Int).collect::<Vec<_>>()),
+///         ("name", (0..10).map(|i| Value::str(format!("p{i}"))).collect()),
+///     ],
+/// )
+/// .unwrap();
+/// let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+/// let pair = fabricate_pair(&source, &spec, 7).unwrap();
+/// assert_eq!(pair.ground_truth_size(), 2); // both columns correspond
+/// assert_eq!(pair.source.height(), 5);     // horizontal halves
+/// ```
+pub fn fabricate_pair(source: &Table, spec: &ScenarioSpec, seed: u64) -> Result<DatasetPair> {
+    let (mut a, mut b, shared) = match spec.kind {
+        ScenarioKind::Unionable => {
+            let (a, b) = split_horizontal(source, spec.row_overlap, seed);
+            let shared = source.column_names().iter().map(|s| s.to_string()).collect();
+            (a, b, shared)
+        }
+        ScenarioKind::ViewUnionable => {
+            let (rows_a, rows_b) = split_horizontal(source, 0.0, seed);
+            // Apply the vertical column choice to each horizontal half.
+            let (cols_a, cols_b, shared) = split_vertical(source, spec.col_overlap, seed);
+            let names_a: Vec<&str> = cols_a.column_names();
+            let names_b: Vec<&str> = cols_b.column_names();
+            (rows_a.project(&names_a)?, rows_b.project(&names_b)?, shared)
+        }
+        ScenarioKind::Joinable | ScenarioKind::SemanticallyJoinable => {
+            let (cols_a, cols_b, shared) = split_vertical(source, spec.col_overlap, seed);
+            if spec.row_overlap < 1.0 {
+                let (rows_a, rows_b) = split_horizontal(source, spec.row_overlap, seed);
+                let names_a: Vec<&str> = cols_a.column_names();
+                let names_b: Vec<&str> = cols_b.column_names();
+                (rows_a.project(&names_a)?, rows_b.project(&names_b)?, shared)
+            } else {
+                (cols_a, cols_b, shared)
+            }
+        }
+    };
+
+    a.set_name(format!("{}_source", source.name()));
+    b.set_name(format!("{}_target", source.name()));
+
+    // Instance noise on the target side.
+    let noisy_instances = spec.instance_noise == InstanceNoise::Noisy;
+    if noisy_instances {
+        b = apply_instance_noise(&b, seed);
+    }
+
+    // Schema noise on the target side; track the rename for ground truth.
+    let noisy_schema = spec.schema_noise == SchemaNoise::Noisy;
+    let mapping: Vec<(String, String)> = if noisy_schema {
+        let (renamed, mapping) = apply_schema_noise(&b, seed);
+        b = renamed;
+        mapping
+    } else {
+        b.column_names().iter().map(|n| (n.to_string(), n.to_string())).collect()
+    };
+
+    // Ground truth: shared columns, source name → (possibly renamed) target name.
+    let ground_truth = shared
+        .iter()
+        .filter(|s| a.column(s).is_some())
+        .filter_map(|s| {
+            mapping
+                .iter()
+                .find(|(old, _)| old == s)
+                .map(|(_, new)| (s.clone(), new.clone()))
+        })
+        .collect();
+
+    let pair = DatasetPair {
+        id: format!(
+            "{}/{}/{}_s{}",
+            source.name(),
+            spec.kind.id(),
+            spec.variant_id(),
+            seed
+        ),
+        source_name: source.name().to_string(),
+        scenario: spec.kind,
+        noisy_schema,
+        noisy_instances,
+        source: a,
+        target: b,
+        ground_truth,
+    };
+    debug_assert!(pair.validate().is_ok());
+    Ok(pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn source() -> Table {
+        let cols = [
+            "id", "last_name", "first_name", "city", "country", "income", "age", "phone",
+        ];
+        let columns = cols
+            .iter()
+            .enumerate()
+            .map(|(c, name)| {
+                let values: Vec<Value> = (0..40)
+                    .map(|r| {
+                        if c % 2 == 0 {
+                            Value::Int((r * 8 + c) as i64)
+                        } else {
+                            Value::str(format!("val{}_{}", c, r))
+                        }
+                    })
+                    .collect();
+                (name.to_string(), values)
+            })
+            .collect();
+        Table::from_pairs("people", columns).unwrap()
+    }
+
+    #[test]
+    fn unionable_pair_structure() {
+        let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 1).unwrap();
+        assert_eq!(p.scenario, ScenarioKind::Unionable);
+        assert_eq!(p.source.width(), 8);
+        assert_eq!(p.target.width(), 8);
+        assert_eq!(p.ground_truth_size(), 8, "all columns correspond");
+        assert_eq!(p.source.height(), 20);
+        assert!(p.validate().is_ok());
+        // verbatim: names identical
+        for (s, t) in &p.ground_truth {
+            assert_eq!(s, t);
+        }
+    }
+
+    #[test]
+    fn unionable_noisy_schema_renames_targets() {
+        let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 1).unwrap();
+        assert!(p.noisy_schema);
+        assert_eq!(p.ground_truth_size(), 8);
+        assert!(
+            p.ground_truth.iter().any(|(s, t)| s != t),
+            "some names must change"
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn view_unionable_rows_disjoint_and_columns_partial() {
+        let spec =
+            ScenarioSpec::view_unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 3).unwrap();
+        assert_eq!(p.ground_truth_size(), 4, "50% of 8 columns shared");
+        assert!(p.source.width() > 4, "source keeps extra unique columns");
+        // disjoint rows: id sets must not intersect
+        let ids = |t: &Table| -> std::collections::BTreeSet<i64> {
+            t.column("id")
+                .map(|c| {
+                    c.values()
+                        .iter()
+                        .filter_map(|v| v.as_f64().map(|f| f as i64))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let (sa, sb) = (ids(&p.source), ids(&p.target));
+        if !sa.is_empty() && !sb.is_empty() {
+            assert!(sa.is_disjoint(&sb));
+        }
+    }
+
+    #[test]
+    fn joinable_pair_keeps_instances_verbatim() {
+        let spec = ScenarioSpec::joinable(0.3, false, SchemaNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 5).unwrap();
+        assert!(!p.noisy_instances);
+        assert_eq!(p.scenario, ScenarioKind::Joinable);
+        // join columns share identical full value sets (vertical-only split)
+        for (s, t) in &p.ground_truth {
+            assert_eq!(
+                p.source.column(s).unwrap().values(),
+                p.target.column(t).unwrap().values()
+            );
+        }
+        assert!(p.ground_truth_size() >= 1);
+    }
+
+    #[test]
+    fn joinable_with_horizontal_split_has_half_row_overlap() {
+        let spec = ScenarioSpec::joinable(0.5, true, SchemaNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 5).unwrap();
+        assert_eq!(p.source.height(), 20);
+        assert_eq!(p.target.height(), 20);
+    }
+
+    #[test]
+    fn semantically_joinable_perturbs_instances() {
+        let spec = ScenarioSpec::semantically_joinable(0.5, false, SchemaNoise::Verbatim);
+        let p = fabricate_pair(&source(), &spec, 5).unwrap();
+        assert!(p.noisy_instances);
+        // at least one shared column's values must now differ
+        let differing = p.ground_truth.iter().any(|(s, t)| {
+            p.source.column(s).unwrap().values() != p.target.column(t).unwrap().values()
+        });
+        assert!(differing, "semantic join must break equality");
+    }
+
+    #[test]
+    fn fabrication_is_deterministic() {
+        let spec = ScenarioSpec::unionable(0.25, SchemaNoise::Noisy, InstanceNoise::Noisy);
+        let a = fabricate_pair(&source(), &spec, 9).unwrap();
+        let b = fabricate_pair(&source(), &spec, 9).unwrap();
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        let c = fabricate_pair(&source(), &spec, 10).unwrap();
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn pair_ids_are_unique_across_specs_and_seeds() {
+        let mut ids = std::collections::BTreeSet::new();
+        for seed in 0..3 {
+            for spec in [
+                ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim),
+                ScenarioSpec::unionable(1.0, SchemaNoise::Verbatim, InstanceNoise::Verbatim),
+                ScenarioSpec::view_unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim),
+                ScenarioSpec::joinable(0.3, true, SchemaNoise::Verbatim),
+                ScenarioSpec::semantically_joinable(0.3, false, SchemaNoise::Noisy),
+            ] {
+                let p = fabricate_pair(&source(), &spec, seed).unwrap();
+                assert!(ids.insert(p.id.clone()), "duplicate id {}", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_display_ids() {
+        assert_eq!(ScenarioKind::Unionable.to_string(), "unionable");
+        assert_eq!(
+            ScenarioKind::SemanticallyJoinable.to_string(),
+            "semantically-joinable"
+        );
+        assert_eq!(ScenarioKind::ALL.len(), 4);
+    }
+}

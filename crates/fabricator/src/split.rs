@@ -1,0 +1,220 @@
+//! Horizontal and vertical table splits with controlled overlap.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use valentine_table::Table;
+
+/// Splits a table horizontally into two halves whose row sets overlap by the
+/// given fraction.
+///
+/// Both halves have `h = height / 2` rows (the table must have ≥ 2 rows).
+/// With `overlap = 0.0` the halves are disjoint; with `overlap = 1.0` they
+/// are identical row sets. Rows are shuffled with `seed` first, so repeated
+/// splits with different seeds sample different partitions.
+pub fn split_horizontal(table: &Table, overlap: f64, seed: u64) -> (Table, Table) {
+    assert!((0.0..=1.0).contains(&overlap), "overlap must be in [0, 1]");
+    assert!(table.height() >= 2, "need at least two rows to split");
+    let mut rows: Vec<usize> = (0..table.height()).collect();
+    rows.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let h = table.height() / 2;
+    let o = (overlap * h as f64).round() as usize;
+    let a: Vec<usize> = rows[0..h].to_vec();
+    // B starts o rows before the end of A, sharing exactly o rows with it.
+    let b_start = h - o;
+    let b_end = (b_start + h).min(rows.len());
+    let b: Vec<usize> = rows[b_start..b_end].to_vec();
+    (table.take_rows(&a), table.take_rows(&b))
+}
+
+/// Splits a table vertically into two column subsets sharing
+/// `max(1, round(col_overlap · width))` columns.
+///
+/// Shared columns are chosen with `seed`; the remaining columns are divided
+/// between the two sides (alternating). Returns `(left, right, shared)`
+/// where `shared` lists the overlapping column names.
+pub fn split_vertical(
+    table: &Table,
+    col_overlap: f64,
+    seed: u64,
+) -> (Table, Table, Vec<String>) {
+    assert!((0.0..=1.0).contains(&col_overlap), "overlap must be in [0, 1]");
+    assert!(table.width() >= 2, "need at least two columns to split");
+
+    let mut names: Vec<String> = table
+        .column_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    names.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x5117_ca55));
+
+    let n_shared = ((col_overlap * table.width() as f64).round() as usize)
+        .max(1)
+        .min(table.width());
+    let shared: Vec<String> = names[..n_shared].to_vec();
+    let rest = &names[n_shared..];
+
+    let mut left: Vec<String> = shared.clone();
+    let mut right: Vec<String> = shared.clone();
+    for (i, name) in rest.iter().enumerate() {
+        if i % 2 == 0 {
+            left.push(name.clone());
+        } else {
+            right.push(name.clone());
+        }
+    }
+    // Restore original declaration order within each side for realism.
+    let order: Vec<&str> = table.column_names();
+    let reorder = |side: &mut Vec<String>| {
+        side.sort_by_key(|n| order.iter().position(|o| o == n).expect("known column"));
+    };
+    reorder(&mut left);
+    reorder(&mut right);
+
+    let left_refs: Vec<&str> = left.iter().map(String::as_str).collect();
+    let right_refs: Vec<&str> = right.iter().map(String::as_str).collect();
+    (
+        table.project(&left_refs).expect("projection of own columns"),
+        table.project(&right_refs).expect("projection of own columns"),
+        shared,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::{Value};
+
+    fn table(rows: usize, cols: usize) -> Table {
+        let columns = (0..cols)
+            .map(|c| {
+                (
+                    format!("c{c}"),
+                    (0..rows).map(|r| Value::Int((r * cols + c) as i64)).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        Table::from_pairs("t", columns).unwrap()
+    }
+
+    fn row_set(t: &Table) -> std::collections::BTreeSet<i64> {
+        t.column("c0")
+            .unwrap()
+            .values()
+            .iter()
+            .map(|v| match v {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn horizontal_split_sizes() {
+        let t = table(100, 3);
+        let (a, b) = split_horizontal(&t, 0.5, 7);
+        assert_eq!(a.height(), 50);
+        assert_eq!(b.height(), 50);
+        assert_eq!(a.width(), 3);
+    }
+
+    #[test]
+    fn horizontal_overlap_zero_is_disjoint() {
+        let t = table(100, 2);
+        let (a, b) = split_horizontal(&t, 0.0, 3);
+        let ra = row_set(&a);
+        let rb = row_set(&b);
+        assert!(ra.is_disjoint(&rb));
+    }
+
+    #[test]
+    fn horizontal_overlap_one_is_identical_set() {
+        let t = table(100, 2);
+        let (a, b) = split_horizontal(&t, 1.0, 3);
+        assert_eq!(row_set(&a), row_set(&b));
+    }
+
+    #[test]
+    fn horizontal_overlap_fraction_respected() {
+        let t = table(200, 2);
+        let (a, b) = split_horizontal(&t, 0.3, 11);
+        let ra = row_set(&a);
+        let rb = row_set(&b);
+        let inter = ra.intersection(&rb).count();
+        assert_eq!(inter, 30, "30% of 100-row halves must overlap");
+    }
+
+    #[test]
+    fn horizontal_different_seeds_differ() {
+        let t = table(60, 2);
+        let (a1, _) = split_horizontal(&t, 0.5, 1);
+        let (a2, _) = split_horizontal(&t, 0.5, 2);
+        assert_ne!(row_set(&a1), row_set(&a2));
+    }
+
+    #[test]
+    fn vertical_split_shares_columns() {
+        let t = table(10, 10);
+        let (l, r, shared) = split_vertical(&t, 0.3, 5);
+        assert_eq!(shared.len(), 3);
+        for s in &shared {
+            assert!(l.column(s).is_some());
+            assert!(r.column(s).is_some());
+        }
+        // every original column appears somewhere
+        let total: std::collections::BTreeSet<&str> =
+            l.column_names().into_iter().chain(r.column_names()).collect();
+        assert_eq!(total.len(), 10);
+        // non-shared columns are split between sides
+        assert_eq!(l.width() + r.width() - shared.len(), 10);
+    }
+
+    #[test]
+    fn vertical_minimum_one_shared() {
+        let t = table(5, 4);
+        let (_, _, shared) = split_vertical(&t, 0.0, 1);
+        assert_eq!(shared.len(), 1, "at least one join column");
+    }
+
+    #[test]
+    fn vertical_full_overlap() {
+        let t = table(5, 4);
+        let (l, r, shared) = split_vertical(&t, 1.0, 1);
+        assert_eq!(shared.len(), 4);
+        assert_eq!(l.width(), 4);
+        assert_eq!(r.width(), 4);
+    }
+
+    #[test]
+    fn vertical_preserves_column_order() {
+        let t = table(5, 6);
+        let (l, _, _) = split_vertical(&t, 0.5, 9);
+        let names = l.column_names();
+        let mut indices: Vec<usize> = names
+            .iter()
+            .map(|n| n[1..].parse::<usize>().unwrap())
+            .collect();
+        let sorted = {
+            let mut s = indices.clone();
+            s.sort_unstable();
+            s
+        };
+        indices.dedup();
+        assert_eq!(indices, sorted, "column order must follow the original");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two rows")]
+    fn horizontal_rejects_tiny_tables() {
+        let t = table(1, 2);
+        let _ = split_horizontal(&t, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be")]
+    fn horizontal_rejects_bad_overlap() {
+        let t = table(10, 2);
+        let _ = split_horizontal(&t, 1.5, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the fabrication process.
+
+use proptest::prelude::*;
+use valentine_fabricator::{
+    fabricate_pair, split_horizontal, split_vertical, InstanceNoise, ScenarioSpec,
+    SchemaNoise,
+};
+use valentine_table::{Column, Table, Value};
+
+/// A generated source table with a key-like first column.
+fn arb_source() -> impl Strategy<Value = Table> {
+    (4usize..40, 3usize..9, any::<u64>()).prop_map(|(rows, cols, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let columns: Vec<Column> = (0..cols)
+            .map(|c| {
+                let values: Vec<Value> = (0..rows)
+                    .map(|r| {
+                        if c == 0 {
+                            Value::Int(r as i64)
+                        } else if c % 2 == 0 {
+                            Value::Int((next() % 500) as i64)
+                        } else {
+                            Value::str(format!("w{}", next() % 40))
+                        }
+                    })
+                    .collect();
+                Column::new(format!("col_{c}"), values)
+            })
+            .collect();
+        Table::new("src", columns).expect("valid")
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let noise = prop_oneof![Just(SchemaNoise::Verbatim), Just(SchemaNoise::Noisy)];
+    let inoise = prop_oneof![Just(InstanceNoise::Verbatim), Just(InstanceNoise::Noisy)];
+    prop_oneof![
+        (0.0f64..=1.0, noise.clone(), inoise.clone())
+            .prop_map(|(ro, s, i)| ScenarioSpec::unionable(ro, s, i)),
+        (0.0f64..=1.0, noise.clone(), inoise)
+            .prop_map(|(co, s, i)| ScenarioSpec::view_unionable(co, s, i)),
+        (0.0f64..=1.0, any::<bool>(), noise.clone())
+            .prop_map(|(co, h, s)| ScenarioSpec::joinable(co, h, s)),
+        (0.0f64..=1.0, any::<bool>(), noise)
+            .prop_map(|(co, h, s)| ScenarioSpec::semantically_joinable(co, h, s)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fabricated_pairs_are_internally_consistent(
+        source in arb_source(),
+        spec in arb_spec(),
+        seed in any::<u64>(),
+    ) {
+        let pair = fabricate_pair(&source, &spec, seed).expect("fabrication works");
+        prop_assert!(pair.validate().is_ok());
+        prop_assert!(pair.ground_truth_size() >= 1);
+        prop_assert!(pair.ground_truth_size() <= source.width());
+        prop_assert_eq!(pair.scenario, spec.kind);
+        // target ground-truth names are unique (no two sources map to the
+        // same target in fabricated scenarios)
+        let mut targets: Vec<&str> = pair.ground_truth.iter().map(|(_, t)| t.as_str()).collect();
+        let n = targets.len();
+        targets.sort_unstable();
+        targets.dedup();
+        prop_assert_eq!(targets.len(), n);
+    }
+
+    #[test]
+    fn unionable_keeps_all_columns_both_sides(
+        source in arb_source(),
+        ro in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec::unionable(ro, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+        let pair = fabricate_pair(&source, &spec, seed).expect("works");
+        prop_assert_eq!(pair.source.width(), source.width());
+        prop_assert_eq!(pair.target.width(), source.width());
+        prop_assert_eq!(pair.ground_truth_size(), source.width());
+    }
+
+    #[test]
+    fn view_unionable_rows_never_overlap(
+        source in arb_source(),
+        co in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec::view_unionable(co, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+        let pair = fabricate_pair(&source, &spec, seed).expect("works");
+        // col_0 is a row key in arb_source; check disjointness through it
+        if let (Some(a), Some(b)) = (pair.source.column("col_0"), pair.target.column("col_0")) {
+            let sa: std::collections::BTreeSet<String> =
+                a.values().iter().map(|v| v.render()).collect();
+            let sb: std::collections::BTreeSet<String> =
+                b.values().iter().map(|v| v.render()).collect();
+            prop_assert!(sa.is_disjoint(&sb), "view-unionable must be row-disjoint");
+        }
+    }
+
+    #[test]
+    fn joinable_shared_columns_keep_values_verbatim(
+        source in arb_source(),
+        co in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec::joinable(co, false, SchemaNoise::Verbatim);
+        let pair = fabricate_pair(&source, &spec, seed).expect("works");
+        for (s, t) in &pair.ground_truth {
+            prop_assert_eq!(
+                pair.source.column(s).expect("gt col").values(),
+                pair.target.column(t).expect("gt col").values()
+            );
+        }
+    }
+
+    #[test]
+    fn schema_noise_preserves_values_and_arity(
+        source in arb_source(),
+        seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec::unionable(1.0, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+        let pair = fabricate_pair(&source, &spec, seed).expect("works");
+        prop_assert_eq!(pair.target.width(), source.width());
+        // with full row overlap and verbatim instances, every gt pair holds
+        // the same value multiset
+        for (s, t) in &pair.ground_truth {
+            let mut a: Vec<String> = pair.source.column(s).expect("gt").values().iter().map(|v| v.render()).collect();
+            let mut b: Vec<String> = pair.target.column(t).expect("gt").values().iter().map(|v| v.render()).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn splits_partition_consistently(
+        source in arb_source(),
+        overlap in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = split_horizontal(&source, overlap, seed);
+        prop_assert_eq!(a.height(), source.height() / 2);
+        prop_assert_eq!(b.height(), source.height() / 2);
+        prop_assert_eq!(a.width(), source.width());
+
+        let (l, r, shared) = split_vertical(&source, overlap, seed);
+        prop_assert!(!shared.is_empty());
+        prop_assert_eq!(l.height(), source.height());
+        prop_assert_eq!(l.width() + r.width() - shared.len(), source.width());
+    }
+}

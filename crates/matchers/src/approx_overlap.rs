@@ -1,0 +1,180 @@
+//! Approximate value-overlap matcher (extension beyond the paper).
+//!
+//! The paper's final lesson — "Schema Matching is resource-expensive …
+//! future research should focus on approximations of existing or future
+//! methods to allow for better scaling [23], [38], [39]" — points at
+//! MinHash/LSH-style indexes. This matcher is that future-work item built
+//! on the workspace's own kernels: column value sets are MinHash-sketched,
+//! an LSH banding index prunes the candidate pairs, and only candidates get
+//! a (signature-estimated) Jaccard score. Complexity drops from
+//! `O(|A|·|B|·sample²)` string comparisons (the Jaccard-Levenshtein
+//! baseline) to `O((|A|+|B|)·k)` hashing plus a handful of estimates.
+//!
+//! It is *not* part of the paper's evaluated method set, so it does not
+//! appear in [`crate::registry::MatcherKind`]; the ablation bench compares
+//! it against the exact baseline.
+
+use valentine_solver::lsh::LshIndex;
+use valentine_solver::MinHasher;
+use valentine_table::Table;
+
+use crate::result::{ColumnMatch, MatchError, MatchResult};
+use crate::Matcher;
+
+/// The LSH-accelerated overlap matcher.
+#[derive(Debug, Clone)]
+pub struct ApproxOverlapMatcher {
+    /// LSH bands (collision threshold ≈ `(1/bands)^(1/rows)`).
+    pub bands: usize,
+    /// Rows per band.
+    pub rows: usize,
+    /// MinHash seed.
+    pub seed: u64,
+}
+
+impl Default for ApproxOverlapMatcher {
+    fn default() -> Self {
+        // 32 × 4 = 128 hashes, collision threshold ≈ 0.42
+        ApproxOverlapMatcher { bands: 32, rows: 4, seed: 0x15a4 }
+    }
+}
+
+impl ApproxOverlapMatcher {
+    /// Creates the matcher with the default banding (128 hashes, threshold
+    /// ≈ 0.42).
+    pub fn new() -> ApproxOverlapMatcher {
+        ApproxOverlapMatcher::default()
+    }
+
+    /// The approximate Jaccard threshold below which pairs are pruned.
+    pub fn collision_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+}
+
+impl Matcher for ApproxOverlapMatcher {
+    fn name(&self) -> String {
+        format!("approx-overlap(b={},r={})", self.bands, self.rows)
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        if self.bands == 0 || self.rows == 0 {
+            return Err(MatchError::InvalidConfig("bands and rows must be positive".into()));
+        }
+        let mh = MinHasher::new(self.bands * self.rows, self.seed);
+
+        // Sketch every column once.
+        let src_sigs: Vec<_> = source
+            .columns()
+            .iter()
+            .map(|c| mh.signature(c.rendered_value_set()))
+            .collect();
+        let tgt_sigs: Vec<_> = target
+            .columns()
+            .iter()
+            .map(|c| mh.signature(c.rendered_value_set()))
+            .collect();
+
+        // Index the target side; probe with each source column.
+        let mut index = LshIndex::new(self.bands, self.rows);
+        for (j, sig) in tgt_sigs.iter().enumerate() {
+            index.insert(j as u32, sig);
+        }
+
+        let mut out = Vec::with_capacity(source.width() * target.width());
+        for (i, cs) in source.columns().iter().enumerate() {
+            let candidates = index.candidates(&src_sigs[i]);
+            for (j, ct) in target.columns().iter().enumerate() {
+                let score = if candidates.contains(&(j as u32)) {
+                    mh.jaccard(&src_sigs[i], &tgt_sigs[j])
+                } else {
+                    0.0 // pruned — never verified
+                };
+                out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+            }
+        }
+        Ok(MatchResult::ranked(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn table(name: &str, cols: Vec<(&str, Vec<String>)>) -> Table {
+        Table::from_pairs(
+            name,
+            cols.into_iter()
+                .map(|(n, vs)| (n, vs.into_iter().map(Value::Str).collect::<Vec<_>>()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn overlap_tables() -> (Table, Table) {
+        let shared: Vec<String> = (0..80).map(|i| format!("v{i}")).collect();
+        let other: Vec<String> = (0..80).map(|i| format!("w{i}")).collect();
+        let a = table("a", vec![("x", shared.clone()), ("y", other.clone())]);
+        let b = table("b", vec![("p", shared), ("q", (0..80).map(|i| format!("z{i}")).collect())]);
+        (a, b)
+    }
+
+    #[test]
+    fn finds_high_overlap_pairs() {
+        let (a, b) = overlap_tables();
+        let m = ApproxOverlapMatcher::new();
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.matches()[0].source, "x");
+        assert_eq!(r.matches()[0].target, "p");
+        assert!(r.matches()[0].score > 0.9);
+    }
+
+    #[test]
+    fn prunes_disjoint_pairs_to_zero() {
+        let (a, b) = overlap_tables();
+        let m = ApproxOverlapMatcher::new();
+        let r = m.match_tables(&a, &b).unwrap();
+        let yq = r
+            .matches()
+            .iter()
+            .find(|x| x.source == "y" && x.target == "q")
+            .unwrap();
+        assert_eq!(yq.score, 0.0, "disjoint columns must be pruned");
+        assert_eq!(r.len(), 4, "full cartesian list is still emitted");
+    }
+
+    #[test]
+    fn agrees_with_exact_baseline_on_clean_data() {
+        let (a, b) = overlap_tables();
+        let approx = ApproxOverlapMatcher::new().match_tables(&a, &b).unwrap();
+        let exact = crate::JaccardLevenshteinMatcher::new(1.0)
+            .match_tables(&a, &b)
+            .unwrap();
+        // both must put (x, p) first
+        assert_eq!(
+            (&approx.matches()[0].source, &approx.matches()[0].target),
+            (&exact.matches()[0].source, &exact.matches()[0].target)
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (a, b) = overlap_tables();
+        let m = ApproxOverlapMatcher::new();
+        assert_eq!(m.match_tables(&a, &b).unwrap(), m.match_tables(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (a, b) = overlap_tables();
+        let m = ApproxOverlapMatcher { bands: 0, rows: 4, seed: 1 };
+        assert!(m.match_tables(&a, &b).is_err());
+    }
+
+    #[test]
+    fn threshold_reflects_banding() {
+        let m = ApproxOverlapMatcher::new();
+        assert!((m.collision_threshold() - (1.0f64 / 32.0).powf(0.25)).abs() < 1e-12);
+    }
+}

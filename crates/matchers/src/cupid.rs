@@ -1,0 +1,301 @@
+//! Cupid — generic schema matching (Madhavan, Bernstein, Rahm; VLDB'01).
+//!
+//! Cupid translates schemata into trees and scores element pairs by a
+//! weighted sum of **linguistic** similarity (normalised names compared
+//! through a thesaurus) and **structural** similarity (propagated through
+//! the tree). For the flat relational tables of Valentine, the tree is
+//! two-level — a relation node over attribute leaves — and, as the paper
+//! notes, structural weights beyond 0.6 make no sense ("relational tables
+//! do not have the complex structure of XML schemata"), hence the Table II
+//! grid `w_struct ∈ [0, 0.6]`.
+//!
+//! The computation follows Cupid's phases, specialised to two levels:
+//!
+//! 1. **Linguistic matching** — `lsim` per attribute pair via the shared
+//!    thesaurus-aware name similarity ([`crate::lingsim`]).
+//! 2. **Initial leaf similarity** — `wsim⁰ = leaf_w_struct · tcomp +
+//!    (1 − leaf_w_struct) · lsim`, where `tcomp` is data-type
+//!    compatibility (leaves' structure *is* their type).
+//! 3. **Structural matching** — the relations' structural similarity is the
+//!    fraction of *strong links* (leaf pairs with `wsim⁰ ≥ th_accept`),
+//!    mirroring Cupid's strong-link counting; each leaf pair's structural
+//!    score is then the mean of its type compatibility and the relation
+//!    similarity (context propagation).
+//! 4. **Weighted similarity** — `wsim = w_struct · ssim + (1 − w_struct) ·
+//!    lsim`, ranked.
+
+use valentine_table::Table;
+use valentine_text::Thesaurus;
+
+use crate::lingsim::name_similarity;
+use crate::result::{ColumnMatch, MatchError, MatchResult};
+use crate::Matcher;
+
+/// The Cupid matcher with the Table II parameters.
+#[derive(Debug, Clone)]
+pub struct CupidMatcher {
+    /// Structural weight in the *initial* leaf similarity
+    /// (Table II: 0–0.6, step 0.2).
+    pub leaf_w_struct: f64,
+    /// Structural weight in the *final* weighted similarity
+    /// (Table II: 0–0.6, step 0.2).
+    pub w_struct: f64,
+    /// Strong-link acceptance threshold (Table II: 0.3–0.8, step 0.1).
+    pub th_accept: f64,
+    /// Structural-similarity *increment* threshold: leaf pairs whose initial
+    /// weighted similarity exceeds this have their structural score scaled
+    /// up by [`CupidMatcher::c_inc`]. Cupid's original default is 0.6.
+    /// (Kept at its default by the Table II grid; exposed for ablations.)
+    pub th_high: f64,
+    /// Structural-similarity *decrement* threshold: below this, the
+    /// structural score is scaled down by [`CupidMatcher::c_dec`].
+    /// Original default 0.35.
+    pub th_low: f64,
+    /// Increment factor applied above `th_high` (original default 1.2).
+    pub c_inc: f64,
+    /// Decrement factor applied below `th_low` (original default 0.9).
+    pub c_dec: f64,
+}
+
+impl CupidMatcher {
+    /// Creates Cupid with the Table II parameters; the structural
+    /// increment/decrement machinery keeps Cupid's original defaults
+    /// (`th_high` 0.6, `th_low` 0.35, `c_inc` 1.2, `c_dec` 0.9), exactly as
+    /// the paper does for parameters outside its grid ("parameters that are
+    /// not included are set to their default values as described in the
+    /// respective papers").
+    pub fn new(leaf_w_struct: f64, w_struct: f64, th_accept: f64) -> CupidMatcher {
+        CupidMatcher {
+            leaf_w_struct,
+            w_struct,
+            th_accept,
+            th_high: 0.6,
+            th_low: 0.35,
+            c_inc: 1.2,
+            c_dec: 0.9,
+        }
+    }
+
+    /// The paper's default middle-of-grid configuration.
+    pub fn default_config() -> CupidMatcher {
+        CupidMatcher::new(0.2, 0.2, 0.5)
+    }
+}
+
+impl Matcher for CupidMatcher {
+    fn name(&self) -> String {
+        format!(
+            "cupid(lw={},w={},th={})",
+            self.leaf_w_struct, self.w_struct, self.th_accept
+        )
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        for (label, v) in [
+            ("leaf_w_struct", self.leaf_w_struct),
+            ("w_struct", self.w_struct),
+            ("th_accept", self.th_accept),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(MatchError::InvalidConfig(format!("{label}={v} outside [0, 1]")));
+            }
+        }
+        let th = Thesaurus::builtin();
+        let ns = source.width();
+        let nt = target.width();
+        if ns == 0 || nt == 0 {
+            return Ok(MatchResult::default());
+        }
+
+        // Phase 1+2: linguistic similarity and initial weighted similarity.
+        let mut lsim = vec![vec![0.0; nt]; ns];
+        let mut tcomp = vec![vec![0.0; nt]; ns];
+        let mut wsim0 = vec![vec![0.0; nt]; ns];
+        for (i, cs) in source.columns().iter().enumerate() {
+            for (j, ct) in target.columns().iter().enumerate() {
+                lsim[i][j] = name_similarity(cs.name(), ct.name(), th);
+                tcomp[i][j] = cs.dtype().compatibility(ct.dtype());
+                wsim0[i][j] =
+                    self.leaf_w_struct * tcomp[i][j] + (1.0 - self.leaf_w_struct) * lsim[i][j];
+            }
+        }
+
+        // Phase 3: strong links → relation-level structural similarity.
+        let strong = wsim0
+            .iter()
+            .flatten()
+            .filter(|&&w| w >= self.th_accept)
+            .count();
+        let relation_ssim = (2.0 * strong as f64 / (ns + nt) as f64).min(1.0);
+
+        // Phase 4: final weighted similarity per leaf pair, with Cupid's
+        // structural increment/decrement: highly similar leaves pull their
+        // structural neighbourhood up (× c_inc), clearly dissimilar ones
+        // push it down (× c_dec).
+        let mut out = Vec::with_capacity(ns * nt);
+        for (i, cs) in source.columns().iter().enumerate() {
+            for (j, ct) in target.columns().iter().enumerate() {
+                let mut ssim = 0.5 * (tcomp[i][j] + relation_ssim);
+                if wsim0[i][j] > self.th_high {
+                    ssim = (ssim * self.c_inc).min(1.0);
+                } else if wsim0[i][j] < self.th_low {
+                    ssim *= self.c_dec;
+                }
+                let wsim = self.w_struct * ssim + (1.0 - self.w_struct) * lsim[i][j];
+                out.push(ColumnMatch::new(cs.name(), ct.name(), wsim));
+            }
+        }
+        Ok(MatchResult::ranked(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn clients() -> Table {
+        Table::from_pairs(
+            "clients",
+            vec![
+                ("last_name", vec![Value::str("smith")]),
+                ("income", vec![Value::Int(10)]),
+                ("city", vec![Value::str("delft")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn kunden() -> Table {
+        Table::from_pairs(
+            "kunden",
+            vec![
+                ("surname", vec![Value::str("meier")]),
+                ("salary", vec![Value::Int(20)]),
+                ("town", vec![Value::str("berlin")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn synonym_renames_are_bridged() {
+        let m = CupidMatcher::default_config();
+        let r = m.match_tables(&clients(), &kunden()).unwrap();
+        let top3: Vec<(&str, &str)> = r
+            .top_k(3)
+            .iter()
+            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .collect();
+        assert!(top3.contains(&("last_name", "surname")), "{top3:?}");
+        assert!(top3.contains(&("income", "salary")), "{top3:?}");
+        assert!(top3.contains(&("city", "town")), "{top3:?}");
+    }
+
+    #[test]
+    fn verbatim_schemata_are_perfect() {
+        let m = CupidMatcher::default_config();
+        let r = m.match_tables(&clients(), &clients()).unwrap();
+        let top3: Vec<&str> = r.top_k(3).iter().map(|x| x.source.as_str()).collect();
+        for (s, t) in r.top_k(3).iter().map(|x| (&x.source, &x.target)) {
+            assert_eq!(s, t, "identical names must match themselves first");
+        }
+        assert_eq!(top3.len(), 3);
+    }
+
+    #[test]
+    fn pure_linguistic_when_w_struct_zero() {
+        let m = CupidMatcher::new(0.0, 0.0, 0.5);
+        let r = m.match_tables(&clients(), &kunden()).unwrap();
+        // with w_struct = 0 the score *is* the linguistic similarity
+        let th = Thesaurus::builtin();
+        for cm in r.matches() {
+            let expected = name_similarity(&cm.source, &cm.target, th);
+            assert!((cm.score - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn structural_weight_boosts_type_compatible_pairs() {
+        // opaque names carry no linguistic signal, so only the structural
+        // term (driven by type compatibility) can separate the pairs
+        let a = Table::from_pairs(
+            "a",
+            vec![("qq", vec![Value::Int(1)]), ("ww", vec![Value::str("x")])],
+        )
+        .unwrap();
+        let b = Table::from_pairs(
+            "b",
+            vec![("zz", vec![Value::Int(2)]), ("rr", vec![Value::str("y")])],
+        )
+        .unwrap();
+        let m = CupidMatcher::new(0.2, 0.6, 0.5);
+        let r = m.match_tables(&a, &b).unwrap();
+        let score = |s: &str, t: &str| {
+            r.matches()
+                .iter()
+                .find(|x| x.source == s && x.target == t)
+                .unwrap()
+                .score
+        };
+        assert!(score("qq", "zz") > score("qq", "rr"), "{r}");
+        // with zero structural weight the separation disappears almost fully
+        let flat = CupidMatcher::new(0.0, 0.0, 0.5).match_tables(&a, &b).unwrap();
+        let gap_structured = score("qq", "zz") - score("qq", "rr");
+        let f = |s: &str, t: &str| {
+            flat.matches()
+                .iter()
+                .find(|x| x.source == s && x.target == t)
+                .unwrap()
+                .score
+        };
+        let gap_flat = f("qq", "zz") - f("qq", "rr");
+        assert!(gap_structured > gap_flat);
+    }
+
+    #[test]
+    fn increment_decrement_move_structural_scores() {
+        // Compare a configuration with active inc/dec against a neutral one.
+        let mut neutral = CupidMatcher::new(0.2, 0.6, 0.5);
+        neutral.c_inc = 1.0;
+        neutral.c_dec = 1.0;
+        let active = CupidMatcher::new(0.2, 0.6, 0.5); // c_inc 1.2, c_dec 0.9
+        let score = |m: &CupidMatcher, s: &str, t: &str| {
+            m.match_tables(&clients(), &kunden())
+                .unwrap()
+                .matches()
+                .iter()
+                .find(|x| x.source == s && x.target == t)
+                .unwrap()
+                .score
+        };
+        // strong pair (synonym, wsim0 > th_high): incremented
+        assert!(score(&active, "last_name", "surname") >= score(&neutral, "last_name", "surname"));
+        // weak pair (unrelated names, wsim0 < th_low): decremented
+        assert!(score(&active, "income", "town") < score(&neutral, "income", "town"));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = CupidMatcher::new(1.5, 0.2, 0.5);
+        assert!(matches!(
+            m.match_tables(&clients(), &kunden()),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tables_yield_empty_result() {
+        let m = CupidMatcher::default_config();
+        let empty = Table::empty("e");
+        let r = m.match_tables(&empty, &kunden()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn emits_full_cartesian_list() {
+        let m = CupidMatcher::default_config();
+        let r = m.match_tables(&clients(), &kunden()).unwrap();
+        assert_eq!(r.len(), 9);
+    }
+}

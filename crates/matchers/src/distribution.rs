@@ -1,0 +1,404 @@
+//! Distribution-based attribute discovery (Zhang, Hadjieleftheriou, Ooi,
+//! Srivastava; SIGMOD'11).
+//!
+//! Columns are related when their *value distributions* are close in Earth
+//! Mover's Distance. The method runs in two clustering phases plus an
+//! integer-programming step:
+//!
+//! 1. **Phase 1** — compute a distribution sketch per column (quantile
+//!    histogram for numeric columns; frequency-weighted hash positions for
+//!    categorical ones — see below) and connect columns whose normalised
+//!    EMD is at most `phase1_theta`; connected components become candidate
+//!    clusters.
+//! 2. **Phase 2** — refine inside each candidate cluster with a sharper
+//!    pairwise distance (intersection-aware: EMD blended with value-set
+//!    overlap) at `phase2_theta`.
+//! 3. **ILP** — the refined sub-clusters compete in a maximum-weight set
+//!    packing (the original uses CPLEX; the paper substitutes PuLP; we
+//!    substitute [`valentine_solver::ilp`]) that decides the final disjoint
+//!    clusters.
+//!
+//! The ranked output lists cross-table pairs, final-cluster members first
+//! (scored by closeness), then the remaining pairs by raw distance.
+//!
+//! **Categorical sketch.** The original method targets numeric data. For
+//! string columns we map every distinct value to a deterministic position in
+//! `[0, 1)` (its hash), weighted by frequency, and sketch that point mass —
+//! identical value sets yield identical sketches (EMD 0) and the EMD grows
+//! as the overlap shrinks, which preserves the method's behaviour on the
+//! paper's scenarios. This substitution is documented in `DESIGN.md`.
+
+use valentine_solver::ilp::{max_weight_set_packing, Candidate};
+use valentine_table::stats::equi_depth_quantiles;
+use valentine_table::{Column, FxHashMap, Table};
+
+use crate::result::{ColumnMatch, MatchError, MatchResult};
+use crate::Matcher;
+
+/// Sketch resolution (number of quantiles).
+const SKETCH_BINS: usize = 32;
+
+/// The Distribution-based matcher.
+#[derive(Debug, Clone)]
+pub struct DistributionMatcher {
+    /// Phase-1 EMD threshold (Table II — Dist#1: 0.1–0.2, Dist#2: 0.3–0.5).
+    pub phase1_theta: f64,
+    /// Phase-2 refinement threshold.
+    pub phase2_theta: f64,
+    /// Skip the ILP and accept phase-2 clusters greedily (ablation).
+    pub skip_ilp: bool,
+}
+
+impl DistributionMatcher {
+    /// Creates the matcher with explicit thresholds.
+    pub fn new(phase1_theta: f64, phase2_theta: f64) -> DistributionMatcher {
+        DistributionMatcher { phase1_theta, phase2_theta, skip_ilp: false }
+    }
+
+    /// The paper's Dist#1 run (tight thresholds from the original paper).
+    pub fn dist1() -> DistributionMatcher {
+        DistributionMatcher::new(0.15, 0.15)
+    }
+
+    /// The paper's Dist#2 run (looser thresholds, "to help the method find
+    /// more matches in column pairs with low overlap").
+    pub fn dist2() -> DistributionMatcher {
+        DistributionMatcher::new(0.4, 0.4)
+    }
+}
+
+/// One column's distribution sketch plus identity bookkeeping.
+struct ColumnSketch {
+    /// 0 = source table, 1 = target table.
+    side: usize,
+    name: String,
+    sketch: Vec<f64>,
+    /// distinct rendered values (for the phase-2 overlap term)
+    values: Vec<String>,
+}
+
+fn sketch_column(col: &Column) -> Vec<f64> {
+    if col.dtype().is_numeric() {
+        let sorted = col.sorted_numeric();
+        if sorted.is_empty() {
+            return vec![0.0; SKETCH_BINS];
+        }
+        // normalise to [0, 1] by the column's own span so thresholds are
+        // scale-free
+        let (lo, hi) = (sorted[0], *sorted.last().expect("non-empty"));
+        let span = (hi - lo).max(1e-12);
+        let q = equi_depth_quantiles(&sorted, SKETCH_BINS);
+        q.iter().map(|x| (x - lo) / span).collect()
+    } else {
+        // categorical: frequency-weighted hash positions
+        let mut counts: FxHashMap<String, usize> = FxHashMap::default();
+        for v in col.values() {
+            if !v.is_null() {
+                *counts.entry(v.render().to_lowercase()).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            return vec![0.0; SKETCH_BINS];
+        }
+        let mut positions: Vec<f64> = Vec::new();
+        for (value, count) in counts {
+            let pos = valentine_table::fxhash::hash_str(&value) as f64 / u64::MAX as f64;
+            positions.extend(std::iter::repeat_n(pos, count.min(64)));
+        }
+        positions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        equi_depth_quantiles(&positions, SKETCH_BINS)
+    }
+}
+
+/// Normalised EMD between two sketches (sketches live in `[0, 1]`).
+fn sketch_distance(a: &[f64], b: &[f64]) -> f64 {
+    let total: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    (total / a.len() as f64).min(1.0)
+}
+
+/// Phase-2 refined distance: EMD blended with (1 − value-overlap Jaccard).
+/// Numeric pairs keep pure EMD (their value sets rarely intersect exactly).
+fn refined_distance(a: &ColumnSketch, b: &ColumnSketch) -> f64 {
+    let emd = sketch_distance(&a.sketch, &b.sketch);
+    let inter = a.values.iter().filter(|v| b.values.binary_search(v).is_ok()).count();
+    let union = a.values.len() + b.values.len() - inter;
+    if union == 0 {
+        return emd;
+    }
+    let jaccard = inter as f64 / union as f64;
+    0.5 * emd + 0.5 * (1.0 - jaccard)
+}
+
+/// Union-find for phase-1 components.
+fn components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+impl Matcher for DistributionMatcher {
+    fn name(&self) -> String {
+        format!("distribution(θ1={},θ2={})", self.phase1_theta, self.phase2_theta)
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        for (label, v) in [("phase1_theta", self.phase1_theta), ("phase2_theta", self.phase2_theta)]
+        {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(MatchError::InvalidConfig(format!("{label}={v} outside [0, 1]")));
+            }
+        }
+
+        // Sketch every column of both tables.
+        let mut cols: Vec<ColumnSketch> = Vec::with_capacity(source.width() + target.width());
+        for (side, table) in [(0usize, source), (1usize, target)] {
+            for col in table.columns() {
+                let mut values: Vec<String> = col.rendered_value_set().into_iter().collect();
+                values.sort_unstable();
+                values.truncate(512);
+                cols.push(ColumnSketch {
+                    side,
+                    name: col.name().to_string(),
+                    sketch: sketch_column(col),
+                    values,
+                });
+            }
+        }
+        let n = cols.len();
+
+        // Phase 1: connected components under the EMD threshold.
+        let mut p1_edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if sketch_distance(&cols[i].sketch, &cols[j].sketch) <= self.phase1_theta {
+                    p1_edges.push((i, j));
+                }
+            }
+        }
+        let candidate_clusters = components(n, &p1_edges);
+
+        // Phase 2: refine each candidate cluster; sub-components become ILP
+        // candidates weighted by internal cohesion.
+        let mut ilp_candidates: Vec<Candidate> = Vec::new();
+        for cluster in &candidate_clusters {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let mut refined_edges = Vec::new();
+            for (ii, &i) in cluster.iter().enumerate() {
+                for &j in &cluster[ii + 1..] {
+                    if refined_distance(&cols[i], &cols[j]) <= self.phase2_theta {
+                        refined_edges.push((i, j));
+                    }
+                }
+            }
+            // map cluster-local components back to global indices
+            let local: FxHashMap<usize, usize> =
+                cluster.iter().enumerate().map(|(k, &g)| (g, k)).collect();
+            let local_edges: Vec<(usize, usize)> = refined_edges
+                .iter()
+                .map(|&(a, b)| (local[&a], local[&b]))
+                .collect();
+            for sub in components(cluster.len(), &local_edges) {
+                if sub.len() < 2 {
+                    continue;
+                }
+                let items: Vec<usize> = sub.iter().map(|&k| cluster[k]).collect();
+                // cohesion: sum over internal pairs of (θ2 − distance)
+                let mut weight = 0.0;
+                for (ii, &i) in items.iter().enumerate() {
+                    for &j in &items[ii + 1..] {
+                        weight += (self.phase2_theta - refined_distance(&cols[i], &cols[j]))
+                            .max(0.0)
+                            + 0.05;
+                    }
+                }
+                ilp_candidates.push(Candidate { items, weight });
+            }
+        }
+
+        // ILP (or greedy-accept ablation): pick the final disjoint clusters.
+        let chosen: Vec<usize> = if self.skip_ilp {
+            (0..ilp_candidates.len()).collect()
+        } else {
+            max_weight_set_packing(&ilp_candidates).chosen
+        };
+        let mut in_final = vec![false; n];
+        let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+        for (ci, &c) in chosen.iter().enumerate() {
+            for &item in &ilp_candidates[c].items {
+                in_final[item] = true;
+                cluster_of[item] = Some(ci);
+            }
+        }
+
+        // Ranked output: cross-table pairs; same-final-cluster pairs get a
+        // +1 rank boost on top of (1 − refined distance).
+        let mut out = Vec::new();
+        for i in 0..n {
+            if cols[i].side != 0 {
+                continue;
+            }
+            for j in 0..n {
+                if cols[j].side != 1 {
+                    continue;
+                }
+                let d = refined_distance(&cols[i], &cols[j]);
+                let same_cluster = cluster_of[i].is_some() && cluster_of[i] == cluster_of[j];
+                let score = (1.0 - d) + if same_cluster { 1.0 } else { 0.0 };
+                out.push(ColumnMatch::new(cols[i].name.clone(), cols[j].name.clone(), score));
+            }
+        }
+        Ok(MatchResult::ranked(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn numeric_table(name: &str, shift: i64) -> Table {
+        Table::from_pairs(
+            name,
+            vec![
+                ("small", (0..200).map(|i| Value::Int(i % 50 + shift)).collect::<Vec<_>>()),
+                (
+                    "large",
+                    (0..200).map(|i| Value::Int(i * 997 + 100_000 + shift)).collect::<Vec<_>>(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn same_distributions_cluster_and_rank_first() {
+        let a = numeric_table("a", 0);
+        let b = numeric_table("b", 1);
+        let m = DistributionMatcher::dist1();
+        let r = m.match_tables(&a, &b).unwrap();
+        let top2: Vec<(&str, &str)> = r
+            .top_k(2)
+            .iter()
+            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .collect();
+        assert!(top2.contains(&("small", "small")), "{r}");
+        assert!(top2.contains(&("large", "large")), "{r}");
+    }
+
+    #[test]
+    fn string_columns_with_shared_values_match() {
+        let a = Table::from_pairs(
+            "a",
+            vec![
+                (
+                    "city",
+                    vec![Value::str("delft"), Value::str("lyon"), Value::str("athens"), Value::str("delft")],
+                ),
+                ("code", vec![Value::str("aa"), Value::str("bb"), Value::str("cc"), Value::str("dd")]),
+            ],
+        )
+        .unwrap();
+        let b = Table::from_pairs(
+            "b",
+            vec![(
+                "town",
+                vec![Value::str("athens"), Value::str("delft"), Value::str("lyon"), Value::str("lyon")],
+            )],
+        )
+        .unwrap();
+        let m = DistributionMatcher::dist2();
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.matches()[0].source, "city");
+        assert_eq!(r.matches()[0].target, "town");
+    }
+
+    #[test]
+    fn final_cluster_members_outrank_loose_pairs() {
+        let a = numeric_table("a", 0);
+        let b = numeric_table("b", 0);
+        let m = DistributionMatcher::dist1();
+        let r = m.match_tables(&a, &b).unwrap();
+        // identical columns share a final cluster → score > 1
+        assert!(r.matches()[0].score > 1.0, "{r}");
+        // cross pairs (small vs large) are far apart → score < 1
+        let cross = r
+            .matches()
+            .iter()
+            .find(|x| x.source == "small" && x.target == "large")
+            .unwrap();
+        assert!(cross.score < 1.0);
+    }
+
+    #[test]
+    fn dist2_finds_more_low_overlap_matches_than_dist1() {
+        // columns with related but shifted distributions
+        let a = Table::from_pairs(
+            "a",
+            vec![("v", (0..100).map(Value::Int).collect::<Vec<_>>())],
+        )
+        .unwrap();
+        let b = Table::from_pairs(
+            "b",
+            vec![("w", (0..100).map(|i| Value::Int(i + 25)).collect::<Vec<_>>())],
+        )
+        .unwrap();
+        let r1 = DistributionMatcher::dist1().match_tables(&a, &b).unwrap();
+        let r2 = DistributionMatcher::dist2().match_tables(&a, &b).unwrap();
+        // dist2's looser thresholds cluster the pair; dist1's do not
+        assert!(r2.matches()[0].score > r1.matches()[0].score);
+        assert!(r2.matches()[0].score > 1.0, "clustered under dist2");
+    }
+
+    #[test]
+    fn skip_ilp_ablation_runs() {
+        let a = numeric_table("a", 0);
+        let b = numeric_table("b", 0);
+        let mut m = DistributionMatcher::dist1();
+        m.skip_ilp = true;
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        let m = DistributionMatcher::new(2.0, 0.1);
+        let t = numeric_table("a", 0);
+        assert!(m.match_tables(&t, &t).is_err());
+    }
+
+    #[test]
+    fn all_cross_pairs_are_ranked() {
+        let a = numeric_table("a", 0);
+        let b = numeric_table("b", 0);
+        let r = DistributionMatcher::dist1().match_tables(&a, &b).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn empty_columns_do_not_panic() {
+        let a = Table::from_pairs("a", vec![("x", vec![Value::Null, Value::Null])]).unwrap();
+        let r = DistributionMatcher::dist1().match_tables(&a, &a).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! The Jaccard-Levenshtein baseline.
+//!
+//! "As a simple baseline, we implemented a naive instance-based matcher
+//! computing all pairwise column similarities by using Jaccard similarity.
+//! We treat two values as being identical if their Levenshtein distance is
+//! below a given threshold." (paper, §VI-A). Despite being ~70 lines of
+//! Python in the original, it "works surprisingly well".
+//!
+//! The fuzzy Jaccard of two value sets is computed greedily: exact matches
+//! are removed first via set intersection, then each remaining source value
+//! is matched to the first unused target value whose *normalised
+//! Levenshtein similarity* reaches the threshold. Value sets are sampled
+//! (deterministically) beyond [`JaccardLevenshteinMatcher::sample_size`]
+//! values — the original is quadratic and the paper reports it as one of
+//! the slowest methods; sampling keeps the reproduction tractable without
+//! changing the ranking behaviour.
+
+use valentine_table::{Column, Table};
+use valentine_text::normalized_levenshtein;
+
+use crate::result::{ColumnMatch, MatchError, MatchResult};
+use crate::Matcher;
+
+/// The baseline matcher.
+#[derive(Debug, Clone)]
+pub struct JaccardLevenshteinMatcher {
+    /// Similarity threshold above which two values count as identical
+    /// (Table II grid: 0.4–0.8, step 0.1).
+    pub threshold: f64,
+    /// Max distinct values considered per column (deterministic sample).
+    pub sample_size: usize,
+}
+
+impl JaccardLevenshteinMatcher {
+    /// Creates the baseline with the given value-identity threshold.
+    pub fn new(threshold: f64) -> JaccardLevenshteinMatcher {
+        JaccardLevenshteinMatcher { threshold, sample_size: 120 }
+    }
+
+    /// Fuzzy Jaccard of two columns' rendered value sets.
+    fn fuzzy_jaccard(&self, a: &Column, b: &Column) -> f64 {
+        let sa = sampled_values(a, self.sample_size);
+        let sb = sampled_values(b, self.sample_size);
+        if sa.is_empty() && sb.is_empty() {
+            return 0.0;
+        }
+        // exact intersection first
+        let exact: Vec<&String> = sa.iter().filter(|v| sb.binary_search(v).is_ok()).collect();
+        let mut matched = exact.len();
+
+        let rest_a: Vec<&String> = sa.iter().filter(|v| sb.binary_search(v).is_err()).collect();
+        let mut rest_b: Vec<(&String, bool)> = sb
+            .iter()
+            .filter(|v| sa.binary_search(v).is_err())
+            .map(|v| (v, false))
+            .collect();
+
+        for va in rest_a {
+            let la = va.chars().count();
+            for (vb, used) in rest_b.iter_mut() {
+                if *used {
+                    continue;
+                }
+                // length pre-filter: |la − lb| already bounds similarity
+                let lb = vb.chars().count();
+                let max_len = la.max(lb);
+                if max_len == 0 {
+                    continue;
+                }
+                let bound = 1.0 - (la.abs_diff(lb) as f64) / max_len as f64;
+                if bound < self.threshold {
+                    continue;
+                }
+                if normalized_levenshtein(va, vb) >= self.threshold {
+                    *used = true;
+                    matched += 1;
+                    break;
+                }
+            }
+        }
+        let union = sa.len() + sb.len() - matched;
+        if union == 0 {
+            0.0
+        } else {
+            matched as f64 / union as f64
+        }
+    }
+}
+
+/// Deterministic sample: sorted distinct rendered values, evenly strided.
+fn sampled_values(col: &Column, cap: usize) -> Vec<String> {
+    let mut values: Vec<String> = col.rendered_value_set().into_iter().collect();
+    values.sort_unstable();
+    if values.len() > cap {
+        let stride = values.len() as f64 / cap as f64;
+        values = (0..cap)
+            .map(|i| values[(i as f64 * stride) as usize].clone())
+            .collect();
+        values.sort_unstable();
+    }
+    values
+}
+
+impl Matcher for JaccardLevenshteinMatcher {
+    fn name(&self) -> String {
+        format!("jaccard-levenshtein(t={})", self.threshold)
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(MatchError::InvalidConfig(format!(
+                "threshold {} outside [0, 1]",
+                self.threshold
+            )));
+        }
+        let mut out = Vec::with_capacity(source.width() * target.width());
+        for cs in source.columns() {
+            for ct in target.columns() {
+                let score = self.fuzzy_jaccard(cs, ct);
+                out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+            }
+        }
+        Ok(MatchResult::ranked(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn table(name: &str, cols: Vec<(&str, Vec<&str>)>) -> Table {
+        Table::from_pairs(
+            name,
+            cols.into_iter()
+                .map(|(n, vs)| (n, vs.into_iter().map(Value::str).collect::<Vec<_>>()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_columns_score_one() {
+        let a = table("a", vec![("city", vec!["delft", "lyon", "athens"])]);
+        let b = table("b", vec![("town", vec!["athens", "delft", "lyon"])]);
+        let m = JaccardLevenshteinMatcher::new(0.8);
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.matches()[0].score, 1.0);
+    }
+
+    #[test]
+    fn typos_recovered_by_fuzzy_matching() {
+        let a = table("a", vec![("city", vec!["delft", "athens", "utrecht"])]);
+        let b = table("b", vec![("city", vec!["delgt", "athens", "utrocht"])]);
+        let strict = JaccardLevenshteinMatcher::new(1.0);
+        let fuzzy = JaccardLevenshteinMatcher::new(0.6);
+        let rs = strict.match_tables(&a, &b).unwrap();
+        let rf = fuzzy.match_tables(&a, &b).unwrap();
+        assert!(rf.matches()[0].score > rs.matches()[0].score);
+        assert_eq!(rf.matches()[0].score, 1.0);
+    }
+
+    #[test]
+    fn correct_column_ranked_first() {
+        let a = table(
+            "a",
+            vec![
+                ("city", vec!["delft", "lyon", "athens", "berlin"]),
+                ("country", vec!["netherlands", "france", "greece", "germany"]),
+            ],
+        );
+        let b = table(
+            "b",
+            vec![
+                ("cntr", vec!["greece", "netherlands", "france", "spain"]),
+                ("cty", vec!["lyon", "delft", "madrid", "athens"]),
+            ],
+        );
+        let m = JaccardLevenshteinMatcher::new(0.8);
+        let r = m.match_tables(&a, &b).unwrap();
+        let top2: Vec<(&str, &str)> = r.top_k(2).iter().map(|m| (m.source.as_str(), m.target.as_str())).collect();
+        assert!(top2.contains(&("city", "cty")));
+        assert!(top2.contains(&("country", "cntr")));
+    }
+
+    #[test]
+    fn disjoint_columns_score_zero() {
+        let a = table("a", vec![("x", vec!["aaa", "bbb"])]);
+        let b = table("b", vec![("y", vec!["qqqqqq", "zzzzzz"])]);
+        let m = JaccardLevenshteinMatcher::new(0.8);
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.matches()[0].score, 0.0);
+    }
+
+    #[test]
+    fn produces_full_cartesian_ranking() {
+        let a = table("a", vec![("p", vec!["1"]), ("q", vec!["2"])]);
+        let b = table("b", vec![("r", vec!["1"]), ("s", vec!["2"]), ("t", vec!["3"])]);
+        let m = JaccardLevenshteinMatcher::new(0.8);
+        let r = m.match_tables(&a, &b).unwrap();
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let m = JaccardLevenshteinMatcher::new(1.5);
+        let a = table("a", vec![("x", vec!["v"])]);
+        assert!(matches!(
+            m.match_tables(&a, &a),
+            Err(MatchError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sampling_keeps_determinism() {
+        let vals: Vec<String> = (0..1000).map(|i| format!("value{i}")).collect();
+        let col = Column::from_strings("c", &vals);
+        let s1 = sampled_values(&col, 100);
+        let s2 = sampled_values(&col, 100);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 100);
+    }
+
+    #[test]
+    fn empty_columns_handled() {
+        let a = Table::from_pairs("a", vec![("x", vec![Value::Null, Value::Null])]).unwrap();
+        let m = JaccardLevenshteinMatcher::new(0.5);
+        let r = m.match_tables(&a, &a).unwrap();
+        assert_eq!(r.matches()[0].score, 0.0);
+    }
+}

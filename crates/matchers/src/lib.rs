@@ -1,0 +1,58 @@
+//! The seven Valentine matching methods behind one [`Matcher`] trait.
+//!
+//! Valentine evaluates six seminal schema matching systems plus a baseline
+//! (paper, Section VI), adapted for dataset discovery: every method emits a
+//! **ranked list of column pairs** (descending matching confidence) instead
+//! of a 1-1 match set.
+//!
+//! | module | method | class |
+//! |---|---|---|
+//! | [`cupid`] | Cupid (Madhavan et al., VLDB'01) | schema-based |
+//! | [`similarity_flooding`] | Similarity Flooding (Melnik et al., ICDE'02) | schema-based |
+//! | [`coma`] | COMA (Do & Rahm, VLDB'02; instance extension) | schema / instance |
+//! | [`distribution`] | Distribution-based (Zhang et al., SIGMOD'11) | instance-based |
+//! | [`semprop`] | SemProp (Fernandez et al., ICDE'18) | hybrid |
+//! | [`embdi`] | EmbDI (Cappuzzo et al., SIGMOD'20) | hybrid |
+//! | [`jaccard_levenshtein`] | Jaccard-Levenshtein baseline | instance-based |
+//!
+//! [`registry`] enumerates them uniformly and exposes the match-type
+//! coverage matrix of the paper's Table I. Beyond the paper's method set,
+//! [`approx_overlap`] implements the LSH-accelerated overlap matching the
+//! paper's conclusion calls for as future work.
+
+#![warn(missing_docs)]
+
+pub mod approx_overlap;
+pub mod coma;
+pub mod cupid;
+pub mod distribution;
+pub mod embdi;
+pub mod jaccard_levenshtein;
+pub mod lingsim;
+pub mod registry;
+pub mod result;
+pub mod semprop;
+pub mod similarity_flooding;
+
+pub use approx_overlap::ApproxOverlapMatcher;
+pub use coma::{ComaMatcher, ComaStrategy};
+pub use cupid::CupidMatcher;
+pub use distribution::DistributionMatcher;
+pub use embdi::EmbdiMatcher;
+pub use jaccard_levenshtein::JaccardLevenshteinMatcher;
+pub use registry::{MatchType, MatcherKind};
+pub use result::{ColumnMatch, MatchError, MatchResult};
+pub use semprop::SemPropMatcher;
+pub use similarity_flooding::SimilarityFloodingMatcher;
+
+use valentine_table::Table;
+
+/// A schema matching method adapted for dataset discovery: consumes two
+/// tables, produces a ranked list of column correspondences.
+pub trait Matcher: Send + Sync {
+    /// Human-readable method name (stable across runs; used in reports).
+    fn name(&self) -> String;
+
+    /// Computes the ranked match list between `source` and `target` columns.
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError>;
+}

@@ -1,0 +1,157 @@
+//! Shared linguistic name similarity.
+//!
+//! Cupid's linguistic matching and COMA's name matcher both score attribute
+//! names by (a) normalising them into tokens, (b) comparing token sets with
+//! a thesaurus-aware token similarity, and (c) blending in surface string
+//! similarity. This module hosts that shared kernel.
+
+use valentine_text::tokenize::normalize_tokens;
+use valentine_text::{jaro_winkler, ngram_dice, Thesaurus};
+
+/// Similarity of two individual tokens: the best of thesaurus semantic
+/// similarity and Jaro-Winkler surface similarity (discounted so that pure
+/// string resemblance never beats a true synonym).
+pub fn token_similarity(a: &str, b: &str, thesaurus: &Thesaurus) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let semantic = thesaurus.similarity(a, b);
+    let surface = jaro_winkler(a, b) * 0.9;
+    semantic.max(surface)
+}
+
+/// Name similarity of two attribute names in `[0, 1]`:
+/// a Monge-Elkan-style best-match average of [`token_similarity`] over the
+/// normalised token sets, blended 70/30 with whole-string trigram Dice.
+///
+/// Results are memoised process-wide (the function is pure, and grid search
+/// re-evaluates the same name pairs once per configuration — Cupid alone
+/// has 96 configurations per pair).
+pub fn name_similarity(a: &str, b: &str, thesaurus: &Thesaurus) -> f64 {
+    use std::sync::Mutex;
+    use valentine_table::FxHashMap;
+    static CACHE: Mutex<Option<FxHashMap<(String, String), f64>>> = Mutex::new(None);
+
+    // Only the bundled thesaurus is safe to memoise globally; custom
+    // thesauri (tests, user extensions) take the uncached path.
+    if !std::ptr::eq(thesaurus, Thesaurus::builtin()) {
+        return name_similarity_uncached(a, b, thesaurus);
+    }
+
+    let key = if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    };
+    {
+        let guard = CACHE.lock().expect("lingsim cache poisoned");
+        if let Some(cache) = guard.as_ref() {
+            if let Some(&v) = cache.get(&key) {
+                return v;
+            }
+        }
+    }
+    let v = name_similarity_uncached(a, b, thesaurus);
+    let mut guard = CACHE.lock().expect("lingsim cache poisoned");
+    let cache = guard.get_or_insert_with(FxHashMap::default);
+    // Bound the cache; matching corpora have a few thousand distinct names.
+    if cache.len() >= 1 << 20 {
+        cache.clear();
+    }
+    cache.insert(key, v);
+    v
+}
+
+fn name_similarity_uncached(a: &str, b: &str, thesaurus: &Thesaurus) -> f64 {
+    let ta = normalize_tokens(a);
+    let tb = normalize_tokens(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    // also try the whole normalised phrases as single thesaurus entries
+    // ("last name" vs "surname" live in the thesaurus as phrases)
+    let phrase_sem = thesaurus.similarity(&ta.join(" "), &tb.join(" "));
+
+    let directed = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| token_similarity(x, y, thesaurus))
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    let token_score = (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0;
+    let trigram = ngram_dice(&ta.join(" "), &tb.join(" "), 3);
+    let blended = 0.7 * token_score + 0.3 * trigram;
+    blended.max(phrase_sem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn th() -> &'static Thesaurus {
+        Thesaurus::builtin()
+    }
+
+    #[test]
+    fn identical_names_score_one_ish() {
+        assert!(name_similarity("last_name", "last_name", th()) > 0.99);
+    }
+
+    #[test]
+    fn synonyms_score_high() {
+        let s = name_similarity("last_name", "surname", th());
+        assert!(s >= 0.9, "synonym pair got {s}");
+        let s = name_similarity("partner", "spouse", th());
+        assert!(s >= 0.9, "synonym pair got {s}");
+    }
+
+    #[test]
+    fn abbreviations_expand_and_match() {
+        // "zip" expands to "postal code"
+        let s = name_similarity("zip", "postal_code", th());
+        assert!(s > 0.9, "got {s}");
+        let s = name_similarity("cust_addr", "customer_address", th());
+        assert!(s > 0.9, "got {s}");
+    }
+
+    #[test]
+    fn unrelated_names_score_low() {
+        let s = name_similarity("income", "assay_tissue", th());
+        assert!(s < 0.5, "got {s}");
+    }
+
+    #[test]
+    fn prefixed_names_still_related() {
+        // table-prefix noise keeps the core token
+        let plain = name_similarity("prospect_income", "income", th());
+        let other = name_similarity("prospect_income", "gender", th());
+        assert!(plain > other + 0.2);
+    }
+
+    #[test]
+    fn token_similarity_prefers_synonyms_over_lookalikes() {
+        // "spouse"/"partner" (synonyms) must beat "spouse"/"house" (lookalike)
+        let syn = token_similarity("spouse", "partner", th());
+        let look = token_similarity("spouse", "house", th());
+        assert!(syn > look);
+    }
+
+    #[test]
+    fn empty_names() {
+        assert_eq!(name_similarity("", "x", th()), 0.0);
+        assert_eq!(name_similarity("__", "x", th()), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("last_name", "surname"), ("zip", "postcode"), ("a_b", "b_a")] {
+            let ab = name_similarity(a, b, th());
+            let ba = name_similarity(b, a, th());
+            assert!((ab - ba).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Uniform enumeration of Valentine's methods and the Table I coverage
+//! matrix.
+
+use crate::coma::{ComaMatcher, ComaStrategy};
+use crate::cupid::CupidMatcher;
+use crate::distribution::DistributionMatcher;
+use crate::embdi::EmbdiMatcher;
+use crate::jaccard_levenshtein::JaccardLevenshteinMatcher;
+use crate::semprop::SemPropMatcher;
+use crate::similarity_flooding::SimilarityFloodingMatcher;
+use crate::Matcher;
+
+/// The six match types of Table I (what kind of evidence a dataset
+/// discovery method needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchType {
+    /// Syntactic overlap of attribute names.
+    AttributeOverlap,
+    /// Overlap of column value sets.
+    ValueOverlap,
+    /// Overlap of semantic labels / domains (needs external knowledge).
+    SemanticOverlap,
+    /// Data-type compatibility.
+    DataType,
+    /// Value-distribution similarity.
+    Distribution,
+    /// Embedding-space similarity.
+    Embeddings,
+}
+
+impl MatchType {
+    /// All match types in Table I column order.
+    pub const ALL: [MatchType; 6] = [
+        MatchType::AttributeOverlap,
+        MatchType::ValueOverlap,
+        MatchType::SemanticOverlap,
+        MatchType::DataType,
+        MatchType::Distribution,
+        MatchType::Embeddings,
+    ];
+
+    /// Display name as in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatchType::AttributeOverlap => "Attribute Overlap",
+            MatchType::ValueOverlap => "Value Overlap",
+            MatchType::SemanticOverlap => "Semantic Overlap",
+            MatchType::DataType => "Data Type",
+            MatchType::Distribution => "Distribution",
+            MatchType::Embeddings => "Embeddings",
+        }
+    }
+}
+
+/// The method flavours evaluated in the paper (COMA counts twice: schema
+/// and instance strategies are reported separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatcherKind {
+    /// Cupid [15].
+    Cupid,
+    /// Similarity Flooding [16].
+    SimilarityFlooding,
+    /// COMA schema-based [17].
+    ComaSchema,
+    /// COMA instance-based [29], [32].
+    ComaInstance,
+    /// Distribution-based [18], run #1 (tight thresholds).
+    DistributionDist1,
+    /// Distribution-based [18], run #2 (loose thresholds).
+    DistributionDist2,
+    /// SemProp [19].
+    SemProp,
+    /// EmbDI [20].
+    EmbDI,
+    /// The Jaccard-Levenshtein baseline.
+    JaccardLevenshtein,
+}
+
+impl MatcherKind {
+    /// All method flavours, in the paper's presentation order.
+    pub const ALL: [MatcherKind; 9] = [
+        MatcherKind::Cupid,
+        MatcherKind::SimilarityFlooding,
+        MatcherKind::ComaSchema,
+        MatcherKind::ComaInstance,
+        MatcherKind::DistributionDist1,
+        MatcherKind::DistributionDist2,
+        MatcherKind::SemProp,
+        MatcherKind::EmbDI,
+        MatcherKind::JaccardLevenshtein,
+    ];
+
+    /// Paper-style display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatcherKind::Cupid => "Cupid",
+            MatcherKind::SimilarityFlooding => "Similarity Flooding",
+            MatcherKind::ComaSchema => "COMA Schema-based",
+            MatcherKind::ComaInstance => "COMA Instance-based",
+            MatcherKind::DistributionDist1 => "Distribution-based #1",
+            MatcherKind::DistributionDist2 => "Distribution-based #2",
+            MatcherKind::SemProp => "SemProp",
+            MatcherKind::EmbDI => "EmbDI",
+            MatcherKind::JaccardLevenshtein => "Jaccard-Levenshtein",
+        }
+    }
+
+    /// Method class (schema-based / instance-based / hybrid), as the paper
+    /// groups its figures.
+    pub fn class(self) -> &'static str {
+        match self {
+            MatcherKind::Cupid | MatcherKind::SimilarityFlooding | MatcherKind::ComaSchema => {
+                "schema-based"
+            }
+            MatcherKind::ComaInstance
+            | MatcherKind::DistributionDist1
+            | MatcherKind::DistributionDist2
+            | MatcherKind::JaccardLevenshtein => "instance-based",
+            MatcherKind::SemProp | MatcherKind::EmbDI => "hybrid",
+        }
+    }
+
+    /// Builds the method with its default (mid-grid) configuration.
+    pub fn instantiate(self) -> Box<dyn Matcher> {
+        match self {
+            MatcherKind::Cupid => Box::new(CupidMatcher::default_config()),
+            MatcherKind::SimilarityFlooding => Box::new(SimilarityFloodingMatcher::new()),
+            MatcherKind::ComaSchema => Box::new(ComaMatcher::new(ComaStrategy::Schema)),
+            MatcherKind::ComaInstance => Box::new(ComaMatcher::new(ComaStrategy::Instance)),
+            MatcherKind::DistributionDist1 => Box::new(DistributionMatcher::dist1()),
+            MatcherKind::DistributionDist2 => Box::new(DistributionMatcher::dist2()),
+            MatcherKind::SemProp => Box::new(SemPropMatcher::default_config()),
+            MatcherKind::EmbDI => Box::new(EmbdiMatcher::small_config()),
+            MatcherKind::JaccardLevenshtein => Box::new(JaccardLevenshteinMatcher::new(0.8)),
+        }
+    }
+
+    /// The match types the method covers — Table I of the paper.
+    pub fn match_types(self) -> &'static [MatchType] {
+        use MatchType::*;
+        match self {
+            MatcherKind::Cupid => &[AttributeOverlap, SemanticOverlap, DataType],
+            MatcherKind::SimilarityFlooding => &[AttributeOverlap, DataType],
+            MatcherKind::ComaSchema | MatcherKind::ComaInstance => {
+                &[AttributeOverlap, ValueOverlap, SemanticOverlap, DataType, Distribution]
+            }
+            MatcherKind::DistributionDist1 | MatcherKind::DistributionDist2 => {
+                &[ValueOverlap, Distribution]
+            }
+            MatcherKind::SemProp => &[AttributeOverlap, ValueOverlap, Embeddings],
+            MatcherKind::EmbDI => &[Embeddings],
+            MatcherKind::JaccardLevenshtein => &[ValueOverlap],
+        }
+    }
+}
+
+/// Renders the Table I coverage matrix as rows of
+/// `(method label, [covered?; 6])`.
+pub fn match_type_coverage() -> Vec<(&'static str, [bool; 6])> {
+    // Table I lists the distribution runs and COMA strategies once each.
+    let rows = [
+        MatcherKind::Cupid,
+        MatcherKind::SimilarityFlooding,
+        MatcherKind::ComaSchema,
+        MatcherKind::DistributionDist1,
+        MatcherKind::SemProp,
+        MatcherKind::EmbDI,
+        MatcherKind::JaccardLevenshtein,
+    ];
+    rows.iter()
+        .map(|&k| {
+            let covered = k.match_types();
+            let mut flags = [false; 6];
+            for (i, t) in MatchType::ALL.iter().enumerate() {
+                flags[i] = covered.contains(t);
+            }
+            let label = match k {
+                MatcherKind::ComaSchema => "COMA",
+                MatcherKind::DistributionDist1 => "Distribution-based",
+                other => other.label(),
+            };
+            (label, flags)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::{Table, Value};
+
+    #[test]
+    fn all_methods_instantiate_and_run() {
+        let t = Table::from_pairs(
+            "t",
+            vec![
+                ("assay_type", vec![Value::str("binding"), Value::str("adme")]),
+                ("confidence_score", vec![Value::Int(3), Value::Int(7)]),
+            ],
+        )
+        .unwrap();
+        for kind in MatcherKind::ALL {
+            let m = kind.instantiate();
+            let r = m.match_tables(&t, &t).unwrap();
+            assert_eq!(r.len(), 4, "{}", kind.label());
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn coverage_matrix_matches_table_one() {
+        let matrix = match_type_coverage();
+        assert_eq!(matrix.len(), 7, "seven methods in Table I");
+        let row = |label: &str| {
+            matrix
+                .iter()
+                .find(|(l, _)| *l == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+                .1
+        };
+        // Cupid: attribute overlap ✓, semantic ✓, data type ✓
+        assert_eq!(row("Cupid"), [true, false, true, true, false, false]);
+        // Similarity Flooding: attribute overlap ✓, data type ✓
+        assert_eq!(
+            row("Similarity Flooding"),
+            [true, false, false, true, false, false]
+        );
+        // COMA: everything except embeddings
+        assert_eq!(row("COMA"), [true, true, true, true, true, false]);
+        // Distribution-based: value overlap ✓, distribution ✓
+        assert_eq!(
+            row("Distribution-based"),
+            [false, true, false, false, true, false]
+        );
+        // SemProp: attribute ✓, value ✓, embeddings ✓
+        assert_eq!(row("SemProp"), [true, true, false, false, false, true]);
+        // EmbDI: embeddings only
+        assert_eq!(row("EmbDI"), [false, false, false, false, false, true]);
+        // Jaccard-Levenshtein: value overlap only
+        assert_eq!(
+            row("Jaccard-Levenshtein"),
+            [false, true, false, false, false, false]
+        );
+    }
+
+    #[test]
+    fn classes_group_like_the_figures() {
+        assert_eq!(MatcherKind::Cupid.class(), "schema-based");
+        assert_eq!(MatcherKind::ComaInstance.class(), "instance-based");
+        assert_eq!(MatcherKind::EmbDI.class(), "hybrid");
+        assert_eq!(MatcherKind::ALL.len(), 9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Ranked match lists — the universal matcher output.
+
+use std::fmt;
+
+/// One column correspondence with its matching confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMatch {
+    /// Source column name.
+    pub source: String,
+    /// Target column name.
+    pub target: String,
+    /// Matching confidence (higher is better; scale is method-specific).
+    pub score: f64,
+}
+
+impl ColumnMatch {
+    /// Convenience constructor.
+    pub fn new(source: impl Into<String>, target: impl Into<String>, score: f64) -> ColumnMatch {
+        ColumnMatch { source: source.into(), target: target.into(), score }
+    }
+}
+
+/// A ranked list of column matches: descending score, deterministic
+/// tie-break on (source, target) names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatchResult {
+    matches: Vec<ColumnMatch>,
+}
+
+impl MatchResult {
+    /// Builds a result by ranking the given matches (descending score,
+    /// name tie-break). Non-finite scores are treated as 0.
+    pub fn ranked(mut matches: Vec<ColumnMatch>) -> MatchResult {
+        for m in &mut matches {
+            if !m.score.is_finite() {
+                m.score = 0.0;
+            }
+        }
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.source.cmp(&b.source))
+                .then_with(|| a.target.cmp(&b.target))
+        });
+        MatchResult { matches }
+    }
+
+    /// The ranked matches, best first.
+    pub fn matches(&self) -> &[ColumnMatch] {
+        &self.matches
+    }
+
+    /// Number of matches in the list.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when no match was produced.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// The top `k` matches (fewer if the list is shorter).
+    pub fn top_k(&self, k: usize) -> &[ColumnMatch] {
+        &self.matches[..k.min(self.matches.len())]
+    }
+
+    /// Keeps only matches with `score >= threshold` (used by the classic 1-1
+    /// evaluation mode).
+    pub fn filter_threshold(&self, threshold: f64) -> MatchResult {
+        MatchResult {
+            matches: self
+                .matches
+                .iter()
+                .filter(|m| m.score >= threshold)
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for MatchResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, m) in self.matches.iter().enumerate() {
+            writeln!(f, "{:>3}. {} ↔ {} ({:.4})", i + 1, m.source, m.target, m.score)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors a matcher can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// A method precondition is not met (e.g. SemProp without an ontology).
+    Unsupported(String),
+    /// Invalid configuration values.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::Unsupported(msg) => write!(f, "matcher unsupported on input: {msg}"),
+            MatchError::InvalidConfig(msg) => write!(f, "invalid matcher configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_is_descending_with_tiebreak() {
+        let r = MatchResult::ranked(vec![
+            ColumnMatch::new("b", "y", 0.5),
+            ColumnMatch::new("a", "x", 0.9),
+            ColumnMatch::new("a", "y", 0.5),
+            ColumnMatch::new("a", "w", 0.5),
+        ]);
+        let order: Vec<(&str, &str)> = r
+            .matches()
+            .iter()
+            .map(|m| (m.source.as_str(), m.target.as_str()))
+            .collect();
+        assert_eq!(order, vec![("a", "x"), ("a", "w"), ("a", "y"), ("b", "y")]);
+    }
+
+    #[test]
+    fn non_finite_scores_sanitised() {
+        let r = MatchResult::ranked(vec![
+            ColumnMatch::new("a", "x", f64::NAN),
+            ColumnMatch::new("b", "y", 0.1),
+        ]);
+        assert_eq!(r.matches()[0].score, 0.1);
+        assert_eq!(r.matches()[1].score, 0.0);
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = MatchResult::ranked(vec![ColumnMatch::new("a", "x", 1.0)]);
+        assert_eq!(r.top_k(5).len(), 1);
+        assert_eq!(r.top_k(0).len(), 0);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn threshold_filtering() {
+        let r = MatchResult::ranked(vec![
+            ColumnMatch::new("a", "x", 0.9),
+            ColumnMatch::new("b", "y", 0.2),
+        ]);
+        let f = r.filter_threshold(0.5);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.matches()[0].source, "a");
+    }
+
+    #[test]
+    fn display_renders_ranks() {
+        let r = MatchResult::ranked(vec![ColumnMatch::new("a", "x", 0.5)]);
+        let s = r.to_string();
+        assert!(s.contains("1."));
+        assert!(s.contains("a ↔ x"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the matcher implementations.
+//!
+//! Strategy: generate small random tables and check the *contract* every
+//! matcher must uphold — full cartesian ranked output, finite ordered
+//! scores, determinism — plus method-specific invariants that must hold for
+//! any input.
+
+use proptest::prelude::*;
+use valentine_matchers::{
+    ComaMatcher, ComaStrategy, CupidMatcher, DistributionMatcher, JaccardLevenshteinMatcher,
+    Matcher, SimilarityFloodingMatcher,
+};
+use valentine_table::{Column, Table, Value};
+
+/// A small random table: 1–4 columns, 1–12 rows, mixed types.
+fn arb_table(name: &'static str) -> impl Strategy<Value = Table> {
+    let col_names = prop_oneof![
+        Just(vec!["alpha"]),
+        Just(vec!["alpha", "beta"]),
+        Just(vec!["alpha", "beta", "gamma"]),
+        Just(vec!["id", "name", "city", "income"]),
+    ];
+    (col_names, 1usize..12, any::<u64>()).prop_map(move |(names, rows, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let columns: Vec<Column> = names
+            .iter()
+            .map(|n| {
+                let kind = next() % 3;
+                let values: Vec<Value> = (0..rows)
+                    .map(|_| match kind {
+                        0 => Value::Int((next() % 100) as i64),
+                        1 => Value::str(format!("v{}", next() % 20)),
+                        _ => {
+                            if next() % 5 == 0 {
+                                Value::Null
+                            } else {
+                                Value::float((next() % 1000) as f64 / 10.0)
+                            }
+                        }
+                    })
+                    .collect();
+                Column::new(*n, values)
+            })
+            .collect();
+        Table::new(name, columns).expect("generated schema is valid")
+    })
+}
+
+fn cheap_matchers() -> Vec<Box<dyn Matcher>> {
+    vec![
+        Box::new(CupidMatcher::default_config()),
+        Box::new(SimilarityFloodingMatcher::new()),
+        Box::new(ComaMatcher::new(ComaStrategy::Schema)),
+        Box::new(ComaMatcher::new(ComaStrategy::Instance)),
+        Box::new(DistributionMatcher::dist1()),
+        Box::new(JaccardLevenshteinMatcher::new(0.6)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matchers_emit_complete_ordered_finite_rankings(
+        source in arb_table("src"),
+        target in arb_table("tgt"),
+    ) {
+        for matcher in cheap_matchers() {
+            let r = matcher
+                .match_tables(&source, &target)
+                .expect("valid config never errors");
+            prop_assert_eq!(
+                r.len(),
+                source.width() * target.width(),
+                "{} must rank the full cartesian product",
+                matcher.name()
+            );
+            for w in r.matches().windows(2) {
+                prop_assert!(w[0].score >= w[1].score, "{} ordering", matcher.name());
+            }
+            for m in r.matches() {
+                prop_assert!(m.score.is_finite());
+                prop_assert!(source.column(&m.source).is_some());
+                prop_assert!(target.column(&m.target).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn matchers_are_deterministic(
+        source in arb_table("src"),
+        target in arb_table("tgt"),
+    ) {
+        for matcher in cheap_matchers() {
+            let a = matcher.match_tables(&source, &target).expect("runs");
+            let b = matcher.match_tables(&source, &target).expect("runs");
+            prop_assert_eq!(a, b, "{} must be deterministic", matcher.name());
+        }
+    }
+
+    #[test]
+    fn self_match_puts_identity_first_for_schema_methods(table in arb_table("t")) {
+        // matching a table against itself: every column's best target is
+        // itself for name-driven methods
+        let matcher = ComaMatcher::new(ComaStrategy::Schema);
+        let r = matcher.match_tables(&table, &table).expect("runs");
+        let k = table.width();
+        let top: Vec<&str> = r.top_k(k).iter().map(|m| m.source.as_str()).collect();
+        for m in r.top_k(k) {
+            prop_assert_eq!(&m.source, &m.target, "top-{} block must be the identity", k);
+        }
+        prop_assert_eq!(top.len(), k);
+    }
+
+    #[test]
+    fn jl_scores_are_value_overlap_bounded(
+        source in arb_table("src"),
+        target in arb_table("tgt"),
+        threshold in 0.4f64..=0.8,
+    ) {
+        let matcher = JaccardLevenshteinMatcher::new(threshold);
+        let r = matcher.match_tables(&source, &target).expect("runs");
+        for m in r.matches() {
+            prop_assert!((0.0..=1.0).contains(&m.score), "Jaccard is a ratio");
+        }
+    }
+
+    #[test]
+    fn lower_jl_threshold_never_lowers_scores(
+        source in arb_table("src"),
+        target in arb_table("tgt"),
+    ) {
+        // a looser value-identity threshold can only merge more values
+        let strict = JaccardLevenshteinMatcher::new(0.9)
+            .match_tables(&source, &target)
+            .expect("runs");
+        let loose = JaccardLevenshteinMatcher::new(0.4)
+            .match_tables(&source, &target)
+            .expect("runs");
+        for s in strict.matches() {
+            let l = loose
+                .matches()
+                .iter()
+                .find(|m| m.source == s.source && m.target == s.target)
+                .expect("same pair set");
+            prop_assert!(l.score + 1e-9 >= s.score, "loose {} < strict {}", l.score, s.score);
+        }
+    }
+
+    #[test]
+    fn distribution_scores_reflect_cluster_bonus(
+        source in arb_table("src"),
+        target in arb_table("tgt"),
+    ) {
+        let r = DistributionMatcher::dist2()
+            .match_tables(&source, &target)
+            .expect("runs");
+        for m in r.matches() {
+            // score = (1 - d) + {0, 1} with d ∈ [0, 1]
+            prop_assert!((0.0..=2.0).contains(&m.score));
+        }
+    }
+}

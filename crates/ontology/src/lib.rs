@@ -1,0 +1,288 @@
+//! Ontology substrate for semantic matching.
+//!
+//! SemProp links attribute and table names to classes of a *domain-specific
+//! ontology* through their embedding representations, then relates
+//! attributes transitively through those links. The paper could only
+//! evaluate SemProp on ChEMBL because that is the one dataset source with an
+//! ontology (EFO). This crate provides:
+//!
+//! * [`Ontology`] — a small class hierarchy with labels and synonyms;
+//! * [`efo_like`] — a bundled EFO-flavoured instance covering the vocabulary
+//!   of the workspace's ChEMBL-style generator (assay types, organisms,
+//!   tissues, cell types, measurement kinds, assay formats).
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use valentine_table::FxHashMap;
+
+/// One ontology class.
+#[derive(Debug, Clone)]
+pub struct OntologyClass {
+    /// Canonical lowercase label.
+    pub label: String,
+    /// Alternative labels.
+    pub synonyms: Vec<String>,
+    /// Parent class id (None for roots).
+    pub parent: Option<usize>,
+}
+
+/// A small ontology: classes with labels, synonyms, and an is-a hierarchy.
+#[derive(Debug, Default)]
+pub struct Ontology {
+    name: String,
+    classes: Vec<OntologyClass>,
+    by_label: FxHashMap<String, usize>,
+}
+
+impl Ontology {
+    /// Creates an empty ontology.
+    pub fn new(name: impl Into<String>) -> Ontology {
+        Ontology {
+            name: name.into(),
+            classes: Vec::new(),
+            by_label: FxHashMap::default(),
+        }
+    }
+
+    /// The ontology's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a class; `parent` must already exist if given. Returns the class
+    /// id. Labels and synonyms are lowercased for lookup.
+    ///
+    /// # Panics
+    /// Panics if the parent label is unknown (bundled data is static, so
+    /// this is a programming error, not user input).
+    pub fn add_class(
+        &mut self,
+        label: &str,
+        synonyms: &[&str],
+        parent: Option<&str>,
+    ) -> usize {
+        let parent_id = parent.map(|p| {
+            *self
+                .by_label
+                .get(&p.to_lowercase())
+                .unwrap_or_else(|| panic!("unknown parent class `{p}`"))
+        });
+        let id = self.classes.len();
+        let label_lc = label.to_lowercase();
+        self.by_label.insert(label_lc.clone(), id);
+        let mut syns = Vec::with_capacity(synonyms.len());
+        for s in synonyms {
+            let s_lc = s.to_lowercase();
+            self.by_label.entry(s_lc.clone()).or_insert(id);
+            syns.push(s_lc);
+        }
+        self.classes.push(OntologyClass {
+            label: label_lc,
+            synonyms: syns,
+            parent: parent_id,
+        });
+        id
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the ontology has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// All classes.
+    pub fn classes(&self) -> &[OntologyClass] {
+        &self.classes
+    }
+
+    /// The class id for a label or synonym (case-insensitive).
+    pub fn class_of(&self, label: &str) -> Option<usize> {
+        self.by_label.get(&label.to_lowercase()).copied()
+    }
+
+    /// Every (class id, label-or-synonym) pair — the lexicon the semantic
+    /// matcher embeds.
+    pub fn lexicon(&self) -> Vec<(usize, &str)> {
+        let mut out = Vec::new();
+        for (id, c) in self.classes.iter().enumerate() {
+            out.push((id, c.label.as_str()));
+            for s in &c.synonyms {
+                out.push((id, s.as_str()));
+            }
+        }
+        out
+    }
+
+    /// Tree distance between two classes through the is-a hierarchy
+    /// (`Some(0)` for the same class); `None` when they are in different
+    /// trees.
+    pub fn distance(&self, a: usize, b: usize) -> Option<usize> {
+        let path_a = self.path_to_root(a);
+        let path_b = self.path_to_root(b);
+        for (da, ca) in path_a.iter().enumerate() {
+            if let Some(db) = path_b.iter().position(|cb| cb == ca) {
+                return Some(da + db);
+            }
+        }
+        None
+    }
+
+    /// Semantic coherence of two classes in `[0, 1]`: `1/(1+distance)`,
+    /// 0 when unrelated. SemProp uses this to score *coherent groups* of
+    /// linked attributes.
+    pub fn coherence(&self, a: usize, b: usize) -> f64 {
+        match self.distance(a, b) {
+            Some(d) => 1.0 / (1.0 + d as f64),
+            None => 0.0,
+        }
+    }
+
+    fn path_to_root(&self, mut c: usize) -> Vec<usize> {
+        let mut path = vec![c];
+        while let Some(p) = self.classes[c].parent {
+            path.push(p);
+            c = p;
+        }
+        path
+    }
+}
+
+/// The bundled EFO-like ontology for the ChEMBL-style data.
+pub fn efo_like() -> &'static Ontology {
+    static EFO: OnceLock<Ontology> = OnceLock::new();
+    EFO.get_or_init(|| {
+        let mut o = Ontology::new("efo-like");
+        o.add_class("experimental factor", &[], None);
+
+        o.add_class("assay", &["experiment", "test", "bioassay"], Some("experimental factor"));
+        o.add_class("binding assay", &["binding"], Some("assay"));
+        o.add_class("functional assay", &["functional"], Some("assay"));
+        o.add_class("adme assay", &["adme"], Some("assay"));
+        o.add_class("toxicity assay", &["toxicity", "tox"], Some("assay"));
+        o.add_class("physicochemical assay", &["physicochemical"], Some("assay"));
+
+        o.add_class("organism", &["species", "taxon"], Some("experimental factor"));
+        o.add_class("homo sapiens", &["human"], Some("organism"));
+        o.add_class("rattus norvegicus", &["rat"], Some("organism"));
+        o.add_class("mus musculus", &["mouse"], Some("organism"));
+        o.add_class("canis familiaris", &["dog"], Some("organism"));
+
+        o.add_class("tissue", &["organ"], Some("experimental factor"));
+        o.add_class("liver", &["hepatic tissue"], Some("tissue"));
+        o.add_class("brain", &["neural tissue"], Some("tissue"));
+        o.add_class("kidney", &["renal tissue"], Some("tissue"));
+        o.add_class("heart", &["cardiac tissue"], Some("tissue"));
+        o.add_class("lung", &["pulmonary tissue"], Some("tissue"));
+
+        o.add_class("cell type", &["cell line", "cell"], Some("experimental factor"));
+        o.add_class("hepatocyte", &[], Some("cell type"));
+        o.add_class("neuron", &[], Some("cell type"));
+        o.add_class("hela", &[], Some("cell type"));
+        o.add_class("cho", &[], Some("cell type"));
+
+        o.add_class("measurement", &["readout", "endpoint"], Some("experimental factor"));
+        o.add_class("ic50", &[], Some("measurement"));
+        o.add_class("ec50", &[], Some("measurement"));
+        o.add_class("ki", &[], Some("measurement"));
+        o.add_class("potency", &[], Some("measurement"));
+
+        o.add_class("assay format", &["format", "bao format"], Some("experimental factor"));
+        o.add_class("cell-based format", &["cell based"], Some("assay format"));
+        o.add_class("organism-based format", &["organism based"], Some("assay format"));
+        o.add_class("biochemical format", &["biochemical"], Some("assay format"));
+        o.add_class("tissue-based format", &["tissue based"], Some("assay format"));
+
+        o.add_class("target", &["protein target", "biological target"], Some("experimental factor"));
+        o.add_class("confidence", &["confidence score", "certainty"], Some("experimental factor"));
+        o.add_class("description", &["summary", "details"], Some("experimental factor"));
+        o.add_class("strain", &[], Some("organism"));
+        o
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efo_like_loads() {
+        let o = efo_like();
+        assert!(o.len() > 30);
+        assert_eq!(o.name(), "efo-like");
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_label_and_synonym() {
+        let o = efo_like();
+        let assay = o.class_of("assay").unwrap();
+        assert_eq!(o.class_of("bioassay"), Some(assay));
+        assert_eq!(o.class_of("ASSAY"), Some(assay), "case-insensitive");
+        assert_eq!(o.class_of("unobtainium"), None);
+    }
+
+    #[test]
+    fn distances_in_hierarchy() {
+        let o = efo_like();
+        let assay = o.class_of("assay").unwrap();
+        let binding = o.class_of("binding assay").unwrap();
+        let functional = o.class_of("functional assay").unwrap();
+        let organism = o.class_of("organism").unwrap();
+        assert_eq!(o.distance(assay, assay), Some(0));
+        assert_eq!(o.distance(binding, assay), Some(1));
+        assert_eq!(o.distance(binding, functional), Some(2));
+        // via the shared root "experimental factor"
+        assert_eq!(o.distance(binding, organism), Some(3));
+    }
+
+    #[test]
+    fn coherence_decreases_with_distance() {
+        let o = efo_like();
+        let binding = o.class_of("binding assay").unwrap();
+        let assay = o.class_of("assay").unwrap();
+        let organism = o.class_of("organism").unwrap();
+        assert_eq!(o.coherence(binding, binding), 1.0);
+        assert!(o.coherence(binding, assay) > o.coherence(binding, organism));
+    }
+
+    #[test]
+    fn disconnected_classes_have_no_distance() {
+        let mut o = Ontology::new("test");
+        o.add_class("a", &[], None);
+        o.add_class("b", &[], None);
+        let a = o.class_of("a").unwrap();
+        let b = o.class_of("b").unwrap();
+        assert_eq!(o.distance(a, b), None);
+        assert_eq!(o.coherence(a, b), 0.0);
+    }
+
+    #[test]
+    fn lexicon_contains_all_labels_and_synonyms() {
+        let o = efo_like();
+        let lex = o.lexicon();
+        assert!(lex.len() > o.len(), "synonyms add entries");
+        let assay = o.class_of("assay").unwrap();
+        assert!(lex.iter().any(|&(id, s)| id == assay && s == "bioassay"));
+    }
+
+    #[test]
+    fn synonym_conflicts_keep_first_class() {
+        let mut o = Ontology::new("t");
+        o.add_class("x", &["shared"], None);
+        o.add_class("y", &["shared"], None);
+        assert_eq!(o.class_of("shared"), o.class_of("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut o = Ontology::new("t");
+        o.add_class("child", &[], Some("ghost"));
+    }
+}

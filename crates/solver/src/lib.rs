@@ -1,0 +1,34 @@
+//! Combinatorial and numeric kernels for schema matching.
+//!
+//! The matchers in Valentine reduce to a handful of classic optimisation
+//! problems; this crate implements them from scratch:
+//!
+//! * [`emd`] — the Earth Mover's Distance used by the Distribution-based
+//!   matcher [Zhang et al., SIGMOD'11], in both the exact 1-D
+//!   (CDF difference) form and the general transportation form;
+//! * [`assignment`] — Kuhn-Munkres (Hungarian) maximum-weight bipartite
+//!   assignment, used to extract 1-1 matches from ranked score matrices;
+//! * [`ilp`] — an exact 0-1 integer program solver (branch-and-bound over
+//!   maximum-weight set packing) standing in for the PuLP/CPLEX step that
+//!   decides the Distribution-based matcher's final clusters;
+//! * [`minhash`] — MinHash signatures for the syntactic stage of SemProp;
+//! * [`lsh`] — a MinHash-LSH banding index (the approximation layer the
+//!   paper's conclusion points to for scaling instance-based matching);
+//! * [`fixpoint`] — the sparse propagation fixpoint at the heart of
+//!   Similarity Flooding, with the paper's formula variants A/B/C.
+
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod emd;
+pub mod fixpoint;
+pub mod ilp;
+pub mod lsh;
+pub mod minhash;
+
+pub use assignment::hungarian_max;
+pub use emd::{emd_1d_quantiles, emd_transportation};
+pub use fixpoint::{FixpointFormula, PropagationGraph};
+pub use ilp::max_weight_set_packing;
+pub use lsh::LshIndex;
+pub use minhash::MinHasher;

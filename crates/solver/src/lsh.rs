@@ -1,0 +1,177 @@
+//! MinHash-LSH banding index.
+//!
+//! The paper's closing lesson ("Schema Matching is resource-expensive")
+//! points at approximate set-similarity indexes — LSH Ensemble, JOSIE,
+//! Lazo — as the way to scale instance-based matching. This module
+//! implements the classic banding scheme over [`crate::minhash`]
+//! signatures: a signature of `k` hashes is cut into `b` bands of `r` rows
+//! (`k = b·r`); two sets collide when *any* band hashes identically, which
+//! happens with probability `1 − (1 − J^r)^b` — an S-curve around the
+//! similarity threshold `(1/b)^(1/r)`.
+
+use valentine_table::{FxHashMap, FxHashSet};
+
+use crate::minhash::Signature;
+
+/// An LSH index over MinHash signatures.
+#[derive(Debug)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// band index → band hash → member ids
+    tables: Vec<FxHashMap<u64, Vec<u32>>>,
+    len: usize,
+}
+
+impl LshIndex {
+    /// Creates an index with `bands` bands of `rows` rows each. Signatures
+    /// inserted later must have exactly `bands · rows` components.
+    pub fn new(bands: usize, rows: usize) -> LshIndex {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        LshIndex {
+            bands,
+            rows,
+            tables: (0..bands).map(|_| FxHashMap::default()).collect(),
+            len: 0,
+        }
+    }
+
+    /// The similarity threshold where collision probability crosses ~50%:
+    /// `(1/b)^(1/r)`.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// Number of inserted signatures.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a signature under an id.
+    ///
+    /// # Panics
+    /// Panics if the signature length is not `bands · rows`.
+    pub fn insert(&mut self, id: u32, signature: &Signature) {
+        assert_eq!(
+            signature.0.len(),
+            self.bands * self.rows,
+            "signature length must equal bands × rows"
+        );
+        for (band, table) in self.tables.iter_mut().enumerate() {
+            let h = band_hash(&signature.0[band * self.rows..(band + 1) * self.rows]);
+            table.entry(h).or_default().push(id);
+        }
+        self.len += 1;
+    }
+
+    /// All ids whose signature collides with `signature` in at least one
+    /// band (candidate pairs for full verification).
+    pub fn candidates(&self, signature: &Signature) -> FxHashSet<u32> {
+        assert_eq!(
+            signature.0.len(),
+            self.bands * self.rows,
+            "signature length must equal bands × rows"
+        );
+        let mut out = FxHashSet::default();
+        for (band, table) in self.tables.iter().enumerate() {
+            let h = band_hash(&signature.0[band * self.rows..(band + 1) * self.rows]);
+            if let Some(ids) = table.get(&h) {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out
+    }
+}
+
+fn band_hash(rows: &[u64]) -> u64 {
+    // Fx-style mixing of the band's minhash values.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in rows {
+        h = (h.rotate_left(5) ^ v).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn sig(mh: &MinHasher, items: impl IntoIterator<Item = String>) -> Signature {
+        mh.signature(items)
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let mh = MinHasher::new(64, 7);
+        let mut idx = LshIndex::new(16, 4);
+        let s = sig(&mh, (0..50).map(|i| format!("v{i}")));
+        idx.insert(1, &s);
+        assert!(idx.candidates(&s).contains(&1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn similar_sets_collide_dissimilar_mostly_do_not() {
+        let mh = MinHasher::new(64, 3);
+        let mut idx = LshIndex::new(16, 4);
+        // J ≈ 0.9 with set 1, J ≈ 0 with set 2
+        let near = sig(&mh, (0..90).map(|i| format!("v{i}")));
+        let base = sig(&mh, (0..100).map(|i| format!("v{i}")));
+        let far = sig(&mh, (0..100).map(|i| format!("w{i}")));
+        idx.insert(1, &near);
+        idx.insert(2, &far);
+        let cands = idx.candidates(&base);
+        assert!(cands.contains(&1), "high-overlap set must be a candidate");
+        assert!(!cands.contains(&2), "disjoint set should not collide");
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let idx = LshIndex::new(16, 4);
+        let t = idx.threshold();
+        assert!((t - (1.0f64 / 16.0).powf(0.25)).abs() < 1e-12);
+        assert!(t > 0.4 && t < 0.6);
+    }
+
+    #[test]
+    fn recall_of_high_similarity_pairs_is_high() {
+        // statistical: sets with J ≈ 0.8 should almost always collide with
+        // 16 bands × 4 rows (threshold ≈ 0.5)
+        let mh = MinHasher::new(64, 11);
+        let mut hits = 0;
+        for trial in 0..50 {
+            let mut idx = LshIndex::new(16, 4);
+            let a = sig(&mh, (0..100).map(|i| format!("t{trial}_v{i}")));
+            let b = sig(&mh, (11..100).map(|i| format!("t{trial}_v{i}")));
+            idx.insert(1, &a);
+            if idx.candidates(&b).contains(&1) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 45, "J≈0.89 pairs must nearly always collide: {hits}/50");
+    }
+
+    #[test]
+    #[should_panic(expected = "bands × rows")]
+    fn wrong_signature_length_panics() {
+        let mh = MinHasher::new(32, 7);
+        let mut idx = LshIndex::new(16, 4); // expects 64
+        let s = sig(&mh, (0..10).map(|i| format!("v{i}")));
+        idx.insert(1, &s);
+    }
+
+    #[test]
+    fn empty_index() {
+        let mh = MinHasher::new(64, 7);
+        let idx = LshIndex::new(16, 4);
+        assert!(idx.is_empty());
+        let s = sig(&mh, (0..10).map(|i| format!("v{i}")));
+        assert!(idx.candidates(&s).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! MinHash signatures.
+//!
+//! SemProp's syntactic stage estimates value-set overlap with MinHash
+//! (following Aurum's profile index). A signature is the element-wise
+//! minimum of `k` independent hash permutations; the fraction of agreeing
+//! components estimates the Jaccard similarity of the underlying sets.
+
+use valentine_table::fxhash::hash_str;
+
+/// A MinHash signature generator with `k` fixed permutations.
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+/// A computed signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub Vec<u64>);
+
+impl MinHasher {
+    /// Creates a hasher with `k` permutations derived deterministically from
+    /// `seed` via SplitMix64.
+    pub fn new(k: usize, seed: u64) -> MinHasher {
+        assert!(k > 0, "need at least one permutation");
+        let mut state = seed;
+        let seeds = (0..k)
+            .map(|_| {
+                // SplitMix64 step
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect();
+        MinHasher { seeds }
+    }
+
+    /// Number of permutations.
+    pub fn k(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Computes the signature of a set of string items. An empty set yields
+    /// the all-`u64::MAX` signature.
+    pub fn signature<S: AsRef<str>, I: IntoIterator<Item = S>>(&self, items: I) -> Signature {
+        let mut sig = vec![u64::MAX; self.seeds.len()];
+        for item in items {
+            let h = hash_str(item.as_ref());
+            for (slot, &seed) in sig.iter_mut().zip(&self.seeds) {
+                // xor-multiply mix per permutation
+                let v = (h ^ seed).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+        Signature(sig)
+    }
+
+    /// Estimated Jaccard similarity of two signatures.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different lengths (they came from
+    /// hashers with different `k`).
+    pub fn jaccard(&self, a: &Signature, b: &Signature) -> f64 {
+        assert_eq!(a.0.len(), b.0.len(), "signatures must have equal length");
+        assert_eq!(a.0.len(), self.seeds.len(), "signature does not match hasher");
+        let agree = a.0.iter().zip(&b.0).filter(|(x, y)| x == y).count();
+        agree as f64 / self.seeds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(128, 7);
+        let a = mh.signature(set(&["x", "y", "z"]));
+        let b = mh.signature(set(&["z", "y", "x"]));
+        assert_eq!(mh.jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mh = MinHasher::new(256, 7);
+        let a = mh.signature((0..100).map(|i| format!("a{i}")));
+        let b = mh.signature((0..100).map(|i| format!("b{i}")));
+        assert!(mh.jaccard(&a, &b) < 0.05);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let mh = MinHasher::new(512, 42);
+        // |A ∩ B| = 50, |A ∪ B| = 150 → J = 1/3
+        let a = mh.signature((0..100).map(|i| format!("v{i}")));
+        let b = mh.signature((50..150).map(|i| format!("v{i}")));
+        let est = mh.jaccard(&a, &b);
+        assert!((est - 1.0 / 3.0).abs() < 0.08, "estimate {est}");
+    }
+
+    #[test]
+    fn empty_set_signature() {
+        let mh = MinHasher::new(16, 1);
+        let empty = mh.signature(Vec::<String>::new());
+        assert!(empty.0.iter().all(|&v| v == u64::MAX));
+        // two empty sets agree fully (degenerate, acceptable)
+        assert_eq!(mh.jaccard(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = MinHasher::new(64, 9).signature(set(&["p", "q"]));
+        let b = MinHasher::new(64, 9).signature(set(&["p", "q"]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MinHasher::new(64, 1).signature(set(&["p", "q"]));
+        let b = MinHasher::new(64, 2).signature(set(&["p", "q"]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_signatures_panic() {
+        let m1 = MinHasher::new(8, 1);
+        let m2 = MinHasher::new(16, 1);
+        let a = m1.signature(set(&["x"]));
+        let b = m2.signature(set(&["x"]));
+        let _ = m1.jaccard(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_permutations_panic() {
+        let _ = MinHasher::new(0, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Named, typed columns with cached statistics.
+
+use std::sync::OnceLock;
+
+use crate::dtype::DataType;
+use crate::fxhash::FxHashSet;
+use crate::stats::ColumnStats;
+use crate::value::Value;
+
+/// A named column of values.
+///
+/// The data type is inferred at construction; statistics are computed lazily
+/// on first access and cached (matchers ask for them repeatedly).
+#[derive(Debug)]
+pub struct Column {
+    name: String,
+    values: Vec<Value>,
+    dtype: DataType,
+    stats: OnceLock<ColumnStats>,
+}
+
+impl Clone for Column {
+    fn clone(&self) -> Self {
+        // Cloned columns drop the stats cache; fabricated variants mutate
+        // values right after cloning, so carrying stats over would be a
+        // correctness hazard.
+        Column::new(self.name.clone(), self.values.clone())
+    }
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.values == other.values
+    }
+}
+
+impl Column {
+    /// Creates a column, inferring its [`DataType`] from the values.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Column {
+        let dtype = DataType::infer(values.iter());
+        Column {
+            name: name.into(),
+            values,
+            dtype,
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// Parses raw strings into inferred values and builds a column.
+    pub fn from_strings<S: AsRef<str>>(name: impl Into<String>, raw: &[S]) -> Column {
+        let values = raw
+            .iter()
+            .map(|s| Value::parse_inferred(s.as_ref()))
+            .collect();
+        Column::new(name, values)
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the column in place.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The inferred data type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// All values, in row order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at `row`, if in bounds.
+    pub fn get(&self, row: usize) -> Option<&Value> {
+        self.values.get(row)
+    }
+
+    /// Lazily computed summary statistics.
+    pub fn stats(&self) -> &ColumnStats {
+        self.stats.get_or_init(|| ColumnStats::compute(&self.values))
+    }
+
+    /// The set of distinct non-null values.
+    pub fn distinct_values(&self) -> FxHashSet<&Value> {
+        self.values.iter().filter(|v| !v.is_null()).collect()
+    }
+
+    /// Distinct non-null values rendered as lowercase strings — the "value
+    /// set" view used by instance-based matchers.
+    pub fn rendered_value_set(&self) -> FxHashSet<String> {
+        self.values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| v.render().to_lowercase())
+            .collect()
+    }
+
+    /// Sorted numeric view of the column (non-null numeric values only).
+    pub fn sorted_numeric(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self.values.iter().filter_map(Value::as_f64).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs
+    }
+
+    /// Returns a new column keeping only the given row indices, in order.
+    /// Out-of-range indices are skipped (callers generate them from the same
+    /// table so this is an internal invariant, not user input).
+    pub fn take_rows(&self, rows: &[usize]) -> Column {
+        let values = rows
+            .iter()
+            .filter_map(|&r| self.values.get(r).cloned())
+            .collect();
+        Column::new(self.name.clone(), values)
+    }
+
+    /// Replaces the values wholesale (re-inferring the type, resetting stats).
+    pub fn with_values(&self, values: Vec<Value>) -> Column {
+        Column::new(self.name.clone(), values)
+    }
+
+    /// Applies a function to every value, producing a new column.
+    pub fn map_values(&self, f: impl FnMut(&Value) -> Value) -> Column {
+        let values = self.values.iter().map(f).collect();
+        Column::new(self.name.clone(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Column {
+        Column::new(
+            "income",
+            vec![Value::Int(100), Value::Int(250), Value::Null, Value::Int(250)],
+        )
+    }
+
+    #[test]
+    fn construction_infers_type() {
+        assert_eq!(sample().dtype(), DataType::Int);
+        let c = Column::from_strings("c", &["1", "2.5"]);
+        assert_eq!(c.dtype(), DataType::Float);
+        let c = Column::from_strings("c", &["1", "x"]);
+        assert_eq!(c.dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn stats_are_cached_and_correct() {
+        let c = sample();
+        let s1 = c.stats() as *const ColumnStats;
+        let s2 = c.stats() as *const ColumnStats;
+        assert_eq!(s1, s2, "stats must be computed once");
+        assert_eq!(c.stats().nulls, 1);
+        assert_eq!(c.stats().distinct, 2);
+    }
+
+    #[test]
+    fn clone_resets_stats_but_keeps_data() {
+        let c = sample();
+        let _ = c.stats();
+        let d = c.clone();
+        assert_eq!(c, d);
+        assert_eq!(d.stats().distinct, 2);
+    }
+
+    #[test]
+    fn take_rows_selects_in_order() {
+        let c = sample();
+        let t = c.take_rows(&[3, 0]);
+        assert_eq!(t.values(), &[Value::Int(250), Value::Int(100)]);
+        assert_eq!(t.name(), "income");
+    }
+
+    #[test]
+    fn take_rows_skips_out_of_range() {
+        let c = sample();
+        let t = c.take_rows(&[0, 99]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_and_rendered_sets() {
+        let c = Column::new("s", vec![Value::str("A"), Value::str("a"), Value::Null]);
+        assert_eq!(c.distinct_values().len(), 2);
+        let rendered = c.rendered_value_set();
+        assert_eq!(rendered.len(), 1, "rendered set is case-insensitive");
+        assert!(rendered.contains("a"));
+    }
+
+    #[test]
+    fn sorted_numeric_skips_non_numeric() {
+        let c = Column::new("m", vec![Value::Int(3), Value::str("x"), Value::Int(1)]);
+        assert_eq!(c.sorted_numeric(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn map_values_reinfers_type() {
+        let c = sample();
+        let doubled = c.map_values(|v| match v {
+            Value::Int(i) => Value::float(*i as f64 * 1.5),
+            other => other.clone(),
+        });
+        assert_eq!(doubled.dtype(), DataType::Float);
+    }
+}

@@ -1,0 +1,230 @@
+//! A small, dependency-free CSV codec (RFC-4180 quoting).
+//!
+//! Valentine's datasets travel as CSV; we only need headers + quoted fields,
+//! so a ~150-line hand-rolled codec beats pulling in a crate outside the
+//! workspace dependency policy.
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parses CSV text (first record = header) into a [`Table`] with inferred
+/// column types.
+pub fn parse(name: impl Into<String>, text: &str) -> Result<Table> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = match iter.next() {
+        Some(h) => h,
+        None => return Ok(Table::empty(name)),
+    };
+    let width = header.len();
+    let mut raw_columns: Vec<Vec<String>> = vec![Vec::new(); width];
+    for (line_no, record) in iter.enumerate() {
+        if record.len() != width {
+            return Err(TableError::Csv {
+                line: line_no + 2,
+                message: format!("expected {width} fields, got {}", record.len()),
+            });
+        }
+        for (i, field) in record.into_iter().enumerate() {
+            raw_columns[i].push(field);
+        }
+    }
+    let columns = header
+        .into_iter()
+        .zip(raw_columns)
+        .map(|(h, raw)| Column::from_strings(h, &raw))
+        .collect();
+    Table::new(name, columns)
+}
+
+/// Serialises a [`Table`] to CSV text (header + one record per row).
+pub fn serialize(table: &Table) -> String {
+    let mut out = String::new();
+    write_record(&mut out, table.columns().iter().map(|c| c.name().to_string()));
+    for row in 0..table.height() {
+        write_record(
+            &mut out,
+            table.columns().iter().map(|c| {
+                c.get(row).map_or_else(String::new, Value::render)
+            }),
+        );
+    }
+    out
+}
+
+fn write_record(out: &mut String, fields: impl Iterator<Item = String>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains(',') || field.contains('"') || field.contains('\n') {
+            out.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(&field);
+        }
+    }
+    out.push('\n');
+}
+
+/// Splits CSV text into records of fields, honouring RFC-4180 quoting.
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+
+    while let Some(ch) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(TableError::Csv {
+                            line,
+                            message: "quote inside unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {} // tolerate CRLF
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn parse_simple() {
+        let t = parse("t", "a,b\n1,x\n2,y\n").unwrap();
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.column("a").unwrap().dtype(), DataType::Int);
+        assert_eq!(t.cell(1, "b").unwrap(), &Value::str("y"));
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let t = parse("t", "name,quote\nann,\"hello, world\"\nbob,\"she said \"\"hi\"\"\"\n")
+            .unwrap();
+        assert_eq!(t.cell(0, "quote").unwrap(), &Value::str("hello, world"));
+        assert_eq!(t.cell(1, "quote").unwrap(), &Value::str("she said \"hi\""));
+    }
+
+    #[test]
+    fn parse_embedded_newline() {
+        let t = parse("t", "a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.cell(0, "a").unwrap(), &Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn parse_crlf_and_missing_trailing_newline() {
+        let t = parse("t", "a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.cell(1, "b").unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn parse_empty_fields_are_null() {
+        let t = parse("t", "a,b\n1,\n,2\n").unwrap();
+        assert!(t.cell(0, "b").unwrap().is_null());
+        assert!(t.cell(1, "a").unwrap().is_null());
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let err = parse("t", "a,b\n1\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_quote() {
+        assert!(parse("t", "a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_stray_quote() {
+        assert!(parse("t", "a\nab\"c\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_table() {
+        let t = parse("t", "").unwrap();
+        assert_eq!(t.width(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let src = "a,b,c\n1,hello,2.5\n2,\"with, comma\",3.5\n,\"q\"\"q\",\n";
+        let t = parse("t", src).unwrap();
+        let text = serialize(&t);
+        let t2 = parse("t", &text).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn serialize_quotes_when_needed() {
+        let t = Table::from_pairs(
+            "t",
+            vec![("x", vec![Value::str("a,b"), Value::str("plain")])],
+        )
+        .unwrap();
+        let text = serialize(&t);
+        assert!(text.contains("\"a,b\""));
+        assert!(text.contains("plain"));
+    }
+}

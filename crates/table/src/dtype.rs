@@ -1,0 +1,159 @@
+//! Column data types and the compatibility matrix used by schema matchers.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// The inferred data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// All-null / empty column; nothing to infer from.
+    Unknown,
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats (also the supertype of mixed int/float columns).
+    Float,
+    /// Calendar dates.
+    Date,
+    /// Strings (also the supertype of any other mixture).
+    Str,
+}
+
+impl DataType {
+    /// Infers the type of a column from its values: the least upper bound of
+    /// the per-value types, with `Int ⊔ Float = Float` and anything else
+    /// mixed collapsing to `Str`. Nulls are ignored.
+    pub fn infer<'a>(values: impl IntoIterator<Item = &'a Value>) -> DataType {
+        let mut acc = DataType::Unknown;
+        for v in values {
+            let t = v.dtype();
+            if t == DataType::Unknown {
+                continue;
+            }
+            acc = acc.join(t);
+            if acc == DataType::Str {
+                break; // already at the top of the lattice
+            }
+        }
+        acc
+    }
+
+    /// Least upper bound in the small type lattice.
+    pub fn join(self, other: DataType) -> DataType {
+        use DataType::*;
+        match (self, other) {
+            (Unknown, t) | (t, Unknown) => t,
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Str,
+        }
+    }
+
+    /// True for `Int` and `Float`.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Type compatibility score in `[0, 1]`, as used by Cupid's data-type
+    /// component and COMA's type matcher: identical types score 1, "similar"
+    /// types (int/float, date/int — dates are often stored as epochs) score
+    /// 0.5, unrelated types 0. `Unknown` is weakly compatible with anything.
+    pub fn compatibility(self, other: DataType) -> f64 {
+        use DataType::*;
+        if self == other {
+            return 1.0;
+        }
+        match (self, other) {
+            (Unknown, _) | (_, Unknown) => 0.5,
+            (Int, Float) | (Float, Int) => 0.9,
+            (Int, Date) | (Date, Int) => 0.5,
+            (Float, Date) | (Date, Float) => 0.4,
+            (Bool, Int) | (Int, Bool) => 0.3,
+            (Str, _) | (_, Str) => 0.2, // anything renders as a string
+            _ => 0.0,
+        }
+    }
+
+    /// Short lowercase name, as written in schema graphs ("int", "str", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Unknown => "unknown",
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Date => "date",
+            DataType::Str => "str",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Date;
+
+    #[test]
+    fn infer_homogeneous() {
+        let vals = vec![Value::Int(1), Value::Int(2), Value::Null];
+        assert_eq!(DataType::infer(&vals), DataType::Int);
+    }
+
+    #[test]
+    fn infer_mixed_numeric_is_float() {
+        let vals = vec![Value::Int(1), Value::float(2.5)];
+        assert_eq!(DataType::infer(&vals), DataType::Float);
+    }
+
+    #[test]
+    fn infer_heterogeneous_is_str() {
+        let vals = vec![Value::Int(1), Value::str("x")];
+        assert_eq!(DataType::infer(&vals), DataType::Str);
+        let vals = vec![Value::Bool(true), Value::Date(Date::new(2020, 1, 1).unwrap())];
+        assert_eq!(DataType::infer(&vals), DataType::Str);
+    }
+
+    #[test]
+    fn infer_empty_is_unknown() {
+        assert_eq!(DataType::infer(&[] as &[Value]), DataType::Unknown);
+        assert_eq!(DataType::infer(&[Value::Null, Value::Null]), DataType::Unknown);
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent() {
+        use DataType::*;
+        for a in [Unknown, Bool, Int, Float, Date, Str] {
+            for b in [Unknown, Bool, Int, Float, Date, Str] {
+                assert_eq!(a.join(b), b.join(a));
+            }
+            assert_eq!(a.join(a), a);
+        }
+    }
+
+    #[test]
+    fn compatibility_matrix_properties() {
+        use DataType::*;
+        for a in [Unknown, Bool, Int, Float, Date, Str] {
+            assert_eq!(a.compatibility(a), 1.0);
+            for b in [Unknown, Bool, Int, Float, Date, Str] {
+                let s = a.compatibility(b);
+                assert!((0.0..=1.0).contains(&s));
+                assert_eq!(s, b.compatibility(a), "symmetric for {a:?}/{b:?}");
+            }
+        }
+        assert!(Int.compatibility(Float) > Int.compatibility(Str));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DataType::Float.to_string(), "float");
+        assert_eq!(DataType::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the tabular substrate.
+
+use std::fmt;
+
+/// Errors produced by table construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Columns of a table must all have the same length.
+    LengthMismatch {
+        /// Name of the offending column.
+        column: String,
+        /// Length of the offending column.
+        expected: usize,
+        /// Length the table requires.
+        actual: usize,
+    },
+    /// A column name was used twice within one table.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A referenced row index is out of bounds.
+    RowOutOfBounds {
+        /// The requested row.
+        row: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A value could not be parsed into the requested type.
+    Parse(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::LengthMismatch { column, expected, actual } => write!(
+                f,
+                "column `{column}` has {actual} values but the table has {expected} rows"
+            ),
+            TableError::DuplicateColumn(name) => {
+                write!(f, "duplicate column name `{name}`")
+            }
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for table with {len} rows")
+            }
+            TableError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            TableError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TableError::LengthMismatch {
+            column: "age".into(),
+            expected: 10,
+            actual: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("age"));
+        assert!(msg.contains("10"));
+        assert!(msg.contains('7'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(TableError::Parse("bad int".into()));
+        assert!(e.to_string().contains("bad int"));
+    }
+}

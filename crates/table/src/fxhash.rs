@@ -1,0 +1,123 @@
+//! A minimal FxHash implementation.
+//!
+//! Schema matchers hash millions of short strings (cell values, tokens,
+//! n-grams). SipHash — the `std` default — is a poor fit for that workload,
+//! and the workspace dependency policy keeps third-party crates to a minimum,
+//! so we bundle the ~30-line Fx algorithm (the hash used inside rustc) here.
+//!
+//! Fx is *not* HashDoS-resistant; all inputs in this workspace are generated
+//! by our own code, so that is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: a very fast multiply-rotate word hasher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "a" and "a\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Hashes an arbitrary byte slice with Fx; used where a raw `u64` digest is
+/// needed (MinHash permutations, deterministic embedding seeds).
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes a string slice with Fx.
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    hash_bytes(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_str("country"), hash_str("country"));
+    }
+
+    #[test]
+    fn distinguishes_close_strings() {
+        assert_ne!(hash_str("country"), hash_str("countru"));
+        assert_ne!(hash_str("a"), hash_str("a\0"));
+        assert_ne!(hash_str(""), hash_str("\0"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn long_inputs_mix_all_bytes() {
+        let a = "abcdefghijklmnopqrstuvwxyz0123456789";
+        let b = "abcdefghijklmnopqrstuvwxyz0123456780";
+        assert_ne!(hash_str(a), hash_str(b));
+    }
+}

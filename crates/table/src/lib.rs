@@ -1,0 +1,41 @@
+//! Tabular data substrate for the Valentine schema-matching suite.
+//!
+//! Valentine operates on *denormalized tabular datasets*: web tables,
+//! spreadsheets, CSV files, and database relations. This crate provides the
+//! in-memory representation that every other crate in the workspace builds
+//! on:
+//!
+//! * [`Value`] — a dynamically typed cell value (null, bool, int, float,
+//!   string, date);
+//! * [`DataType`] — the inferred type of a column, with the compatibility
+//!   matrix schema matchers need;
+//! * [`Column`] — a named, typed vector of values plus lazily computed
+//!   [`ColumnStats`];
+//! * [`Table`] — a named collection of equally long columns with relational
+//!   operations (projection, row selection, renaming);
+//! * [`csv`] — a small, dependency-free CSV reader/writer;
+//! * [`fxhash`] — a fast, non-cryptographic hasher used throughout the
+//!   workspace instead of SipHash.
+//!
+//! The representation is deliberately columnar: every matcher in Valentine is
+//! column-oriented (it compares *columns*, not rows), so `Vec<Value>` per
+//! column keeps the hot loops cache friendly.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod dtype;
+pub mod error;
+pub mod fxhash;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use dtype::DataType;
+pub use error::{Result, TableError};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use stats::ColumnStats;
+pub use table::Table;
+pub use value::{Date, Value};

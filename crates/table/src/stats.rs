@@ -1,0 +1,235 @@
+//! Per-column statistics.
+//!
+//! The distribution-based matcher compares *quantile histograms* of columns,
+//! COMA's instance matcher compares numeric summaries and frequent values,
+//! and the fabricator perturbs numbers "according to their value
+//! distribution" — all of that is computed once per column here and cached.
+
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+
+/// Summary statistics of one column, computed over non-null values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Total number of cells (including nulls).
+    pub len: usize,
+    /// Number of null cells.
+    pub nulls: usize,
+    /// Number of distinct non-null values.
+    pub distinct: usize,
+    /// Mean of the numeric view of values (ints, floats, bools, dates); `None`
+    /// if no value is numeric.
+    pub mean: Option<f64>,
+    /// Population standard deviation of the numeric view.
+    pub std_dev: Option<f64>,
+    /// Minimum numeric value.
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// `q`-quantile sketch of the numeric view (equi-depth; `QUANTILE_BINS`
+    /// edges). Empty when the column is non-numeric.
+    pub quantiles: Vec<f64>,
+    /// The most frequent non-null values, descending by count (ties broken by
+    /// value order), capped at `TOP_K`.
+    pub top_values: Vec<(Value, usize)>,
+    /// Mean rendered-string length of non-null values.
+    pub avg_str_len: f64,
+}
+
+/// Number of quantile bin edges kept per column.
+pub const QUANTILE_BINS: usize = 32;
+/// Number of most-frequent values kept per column.
+pub const TOP_K: usize = 16;
+
+impl ColumnStats {
+    /// Computes statistics for a slice of values.
+    pub fn compute(values: &[Value]) -> ColumnStats {
+        let len = values.len();
+        let mut nulls = 0usize;
+        let mut counts: FxHashMap<&Value, usize> = FxHashMap::default();
+        let mut numeric: Vec<f64> = Vec::new();
+        let mut str_len_sum = 0usize;
+        let mut non_null = 0usize;
+
+        for v in values {
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            non_null += 1;
+            *counts.entry(v).or_insert(0) += 1;
+            if let Some(x) = v.as_f64() {
+                numeric.push(x);
+            }
+            str_len_sum += v.render().chars().count();
+        }
+
+        let distinct = counts.len();
+        let avg_str_len = if non_null > 0 {
+            str_len_sum as f64 / non_null as f64
+        } else {
+            0.0
+        };
+
+        let (mean, std_dev, min, max, quantiles) = if numeric.is_empty() {
+            (None, None, None, None, Vec::new())
+        } else {
+            let n = numeric.len() as f64;
+            let mean = numeric.iter().sum::<f64>() / n;
+            let var = numeric.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            numeric.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let min = numeric[0];
+            let max = *numeric.last().expect("non-empty");
+            let quantiles = equi_depth_quantiles(&numeric, QUANTILE_BINS);
+            (Some(mean), Some(var.sqrt()), Some(min), Some(max), quantiles)
+        };
+
+        let mut top: Vec<(Value, usize)> =
+            counts.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top.truncate(TOP_K);
+
+        ColumnStats {
+            len,
+            nulls,
+            distinct,
+            mean,
+            std_dev,
+            min,
+            max,
+            quantiles,
+            top_values: top,
+            avg_str_len,
+        }
+    }
+
+    /// Fraction of cells that are null.
+    pub fn null_ratio(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.len as f64
+        }
+    }
+
+    /// Ratio of distinct values to non-null count — 1.0 means key-like.
+    pub fn uniqueness(&self) -> f64 {
+        let non_null = self.len - self.nulls;
+        if non_null == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / non_null as f64
+        }
+    }
+}
+
+/// Extracts `bins` equi-depth quantile edges from a **sorted** slice:
+/// the values at ranks `i/(bins-1)` for `i in 0..bins`.
+pub fn equi_depth_quantiles(sorted: &[f64], bins: usize) -> Vec<f64> {
+    if sorted.is_empty() || bins == 0 {
+        return Vec::new();
+    }
+    if bins == 1 {
+        return vec![sorted[sorted.len() / 2]];
+    }
+    (0..bins)
+        .map(|i| {
+            let pos = i as f64 / (bins - 1) as f64 * (sorted.len() - 1) as f64;
+            sorted[pos.round() as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn basic_numeric_stats() {
+        let vals = ints(&[1, 2, 3, 4, 5]);
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.len, 5);
+        assert_eq!(s.nulls, 0);
+        assert_eq!(s.distinct, 5);
+        assert_eq!(s.mean, Some(3.0));
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(5.0));
+        let sd = s.std_dev.unwrap();
+        assert!((sd - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_are_counted_not_aggregated() {
+        let vals = vec![Value::Int(10), Value::Null, Value::Int(20), Value::Null];
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.nulls, 2);
+        assert_eq!(s.mean, Some(15.0));
+        assert!((s.null_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_columns_have_no_numeric_stats() {
+        let vals = vec![Value::str("aa"), Value::str("bbbb")];
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.mean, None);
+        assert!(s.quantiles.is_empty());
+        assert!((s.avg_str_len - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_values_ordered_by_frequency() {
+        let vals = vec![
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("a"),
+            Value::str("c"),
+            Value::str("a"),
+            Value::str("b"),
+        ];
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.top_values[0], (Value::str("a"), 3));
+        assert_eq!(s.top_values[1], (Value::str("b"), 2));
+        assert_eq!(s.top_values[2], (Value::str("c"), 1));
+        assert_eq!(s.distinct, 3);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded() {
+        let vals: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let s = ColumnStats::compute(&vals);
+        assert_eq!(s.quantiles.len(), QUANTILE_BINS);
+        assert_eq!(s.quantiles[0], 0.0);
+        assert_eq!(*s.quantiles.last().unwrap(), 999.0);
+        for w in s.quantiles.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn equi_depth_edge_cases() {
+        assert!(equi_depth_quantiles(&[], 8).is_empty());
+        assert!(equi_depth_quantiles(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(equi_depth_quantiles(&[1.0, 2.0, 3.0], 1), vec![2.0]);
+        assert_eq!(equi_depth_quantiles(&[5.0], 4), vec![5.0; 4]);
+    }
+
+    #[test]
+    fn uniqueness_of_key_column() {
+        let vals = ints(&[1, 2, 3, 4]);
+        assert_eq!(ColumnStats::compute(&vals).uniqueness(), 1.0);
+        let dup = ints(&[1, 1, 1, 2]);
+        assert_eq!(ColumnStats::compute(&dup).uniqueness(), 0.5);
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::compute(&[]);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.uniqueness(), 0.0);
+        assert_eq!(s.null_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Named collections of equally long columns, with the relational operations
+//! the fabricator needs (projection, row selection, renaming).
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::fxhash::FxHashMap;
+use crate::value::Value;
+
+/// A named table: an ordered list of columns, all of the same length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    /// Column name → position, kept in sync with `columns`.
+    index: FxHashMap<String, usize>,
+}
+
+impl Table {
+    /// Builds a table, validating that all columns have equal length and
+    /// unique names.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Table> {
+        let name = name.into();
+        let expected = columns.first().map_or(0, Column::len);
+        let mut index = FxHashMap::default();
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != expected {
+                return Err(TableError::LengthMismatch {
+                    column: col.name().to_string(),
+                    expected,
+                    actual: col.len(),
+                });
+            }
+            if index.insert(col.name().to_string(), i).is_some() {
+                return Err(TableError::DuplicateColumn(col.name().to_string()));
+            }
+        }
+        Ok(Table { name, columns, index })
+    }
+
+    /// An empty table with no columns.
+    pub fn empty(name: impl Into<String>) -> Table {
+        Table {
+            name: name.into(),
+            columns: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (0 for a column-less table).
+    pub fn height(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Looks a column up by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.index.get(name).map(|&i| &self.columns[i])
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(Column::name).collect()
+    }
+
+    /// The value at (`row`, `column name`).
+    pub fn cell(&self, row: usize, column: &str) -> Result<&Value> {
+        let col = self
+            .column(column)
+            .ok_or_else(|| TableError::UnknownColumn(column.to_string()))?;
+        col.get(row).ok_or(TableError::RowOutOfBounds {
+            row,
+            len: self.height(),
+        })
+    }
+
+    /// Projection: a new table with only the named columns, in the given
+    /// order.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut cols = Vec::with_capacity(names.len());
+        for &n in names {
+            let col = self
+                .column(n)
+                .ok_or_else(|| TableError::UnknownColumn(n.to_string()))?;
+            cols.push(col.clone());
+        }
+        Table::new(self.name.clone(), cols)
+    }
+
+    /// Row selection: a new table with only the given row indices, in order.
+    pub fn take_rows(&self, rows: &[usize]) -> Table {
+        let columns = self.columns.iter().map(|c| c.take_rows(rows)).collect();
+        Table {
+            name: self.name.clone(),
+            columns,
+            index: self.index.clone(),
+        }
+    }
+
+    /// Returns a copy with one column renamed.
+    pub fn rename_column(&self, from: &str, to: &str) -> Result<Table> {
+        if self.column(from).is_none() {
+            return Err(TableError::UnknownColumn(from.to_string()));
+        }
+        if from != to && self.column(to).is_some() {
+            return Err(TableError::DuplicateColumn(to.to_string()));
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                if c.name() == from {
+                    c.set_name(to);
+                }
+                c
+            })
+            .collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// Returns a copy with every column renamed through `f` (duplicates after
+    /// renaming are an error).
+    pub fn rename_columns(&self, mut f: impl FnMut(&str) -> String) -> Result<Table> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                let new = f(c.name());
+                c.set_name(new);
+                c
+            })
+            .collect();
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// Returns a copy with `column`'s values replaced (same length required).
+    pub fn replace_column(&self, name: &str, values: Vec<Value>) -> Result<Table> {
+        if values.len() != self.height() {
+            return Err(TableError::LengthMismatch {
+                column: name.to_string(),
+                expected: self.height(),
+                actual: values.len(),
+            });
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                if c.name() == name {
+                    c.with_values(values.clone())
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        if self.column(name).is_none() {
+            return Err(TableError::UnknownColumn(name.to_string()));
+        }
+        Table::new(self.name.clone(), columns)
+    }
+
+    /// One full row as owned values, in column order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.height() {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.height(),
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.get(row).cloned().unwrap_or(Value::Null))
+            .collect())
+    }
+
+    /// Builds a table from (name, values) pairs — the common test/generator
+    /// shorthand.
+    pub fn from_pairs(
+        name: impl Into<String>,
+        pairs: Vec<(impl Into<String>, Vec<Value>)>,
+    ) -> Result<Table> {
+        let columns = pairs
+            .into_iter()
+            .map(|(n, vs)| Column::new(n, vs))
+            .collect();
+        Table::new(name, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        Table::from_pairs(
+            "people",
+            vec![
+                ("id", vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+                (
+                    "name",
+                    vec![Value::str("ann"), Value::str("bob"), Value::str("cyd")],
+                ),
+                (
+                    "country",
+                    vec![Value::str("NL"), Value::str("GR"), Value::str("NL")],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let t = people();
+        assert_eq!(t.width(), 3);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.column_names(), vec!["id", "name", "country"]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = Table::from_pairs(
+            "bad",
+            vec![
+                ("a", vec![Value::Int(1)]),
+                ("b", vec![Value::Int(1), Value::Int(2)]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Table::from_pairs(
+            "bad",
+            vec![("a", vec![Value::Int(1)]), ("a", vec![Value::Int(2)])],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn cell_access() {
+        let t = people();
+        assert_eq!(t.cell(1, "name").unwrap(), &Value::str("bob"));
+        assert!(matches!(
+            t.cell(9, "name"),
+            Err(TableError::RowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.cell(0, "nope"),
+            Err(TableError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = people().project(&["country", "id"]).unwrap();
+        assert_eq!(t.column_names(), vec!["country", "id"]);
+        assert!(people().project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn take_rows_subsets() {
+        let t = people().take_rows(&[2, 0]);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.cell(0, "name").unwrap(), &Value::str("cyd"));
+        assert_eq!(t.cell(1, "name").unwrap(), &Value::str("ann"));
+    }
+
+    #[test]
+    fn rename_column_checks_conflicts() {
+        let t = people().rename_column("name", "full_name").unwrap();
+        assert!(t.column("full_name").is_some());
+        assert!(t.column("name").is_none());
+        assert!(people().rename_column("name", "id").is_err());
+        assert!(people().rename_column("ghost", "x").is_err());
+        // renaming to itself is a no-op, not a duplicate
+        assert!(people().rename_column("id", "id").is_ok());
+    }
+
+    #[test]
+    fn rename_columns_bulk() {
+        let t = people().rename_columns(|n| format!("people_{n}")).unwrap();
+        assert_eq!(t.column_names(), vec!["people_id", "people_name", "people_country"]);
+    }
+
+    #[test]
+    fn replace_column_validates() {
+        let t = people();
+        let t2 = t
+            .replace_column("id", vec![Value::Int(9), Value::Int(8), Value::Int(7)])
+            .unwrap();
+        assert_eq!(t2.cell(0, "id").unwrap(), &Value::Int(9));
+        assert!(t.replace_column("id", vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = people();
+        assert_eq!(
+            t.row(0).unwrap(),
+            vec![Value::Int(1), Value::str("ann"), Value::str("NL")]
+        );
+        assert!(t.row(5).is_err());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::empty("void");
+        assert_eq!(t.width(), 0);
+        assert_eq!(t.height(), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! Dynamically typed cell values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::dtype::DataType;
+use crate::error::TableError;
+
+/// A calendar date (no time component). Valentine's datasets carry dates as
+/// plain `YYYY-MM-DD` strings; we parse them into this compact form so the
+/// distribution-based matcher can treat them numerically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year, e.g. 2021.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month/day ranges (no leap-year pedantry:
+    /// the fabricator never produces invalid dates, this guards user input).
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, TableError> {
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(TableError::Parse(format!(
+                "invalid date components {year}-{month}-{day}"
+            )));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Days since 0000-01-01 under a simplified 30.4-day-month calendar —
+    /// monotone in (year, month, day), which is all distribution matching
+    /// needs.
+    pub fn ordinal(&self) -> i64 {
+        self.year as i64 * 372 + (self.month as i64 - 1) * 31 + (self.day as i64 - 1)
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self, TableError> {
+        let mut parts = s.split('-');
+        let (y, m, d) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(y), Some(m), Some(d), None) => (y, m, d),
+            _ => {
+                return Err(TableError::Parse(format!("`{s}` is not a YYYY-MM-DD date")));
+            }
+        };
+        // Keep strictness: exactly 4-2-2 digits, so ints like "12-3-4" or
+        // phone-ish strings don't get inferred as dates.
+        if y.len() != 4 || m.len() != 2 || d.len() != 2 {
+            return Err(TableError::Parse(format!("`{s}` is not a YYYY-MM-DD date")));
+        }
+        let year: i32 = y
+            .parse()
+            .map_err(|_| TableError::Parse(format!("bad year in `{s}`")))?;
+        let month: u8 = m
+            .parse()
+            .map_err(|_| TableError::Parse(format!("bad month in `{s}`")))?;
+        let day: u8 = d
+            .parse()
+            .map_err(|_| TableError::Parse(format!("bad day in `{s}`")))?;
+        Date::new(year, month, day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A single cell value.
+///
+/// `Float` wraps a finite `f64`; NaN and infinities are normalised to
+/// [`Value::Null`] on construction via [`Value::float`], which is what lets
+/// us implement `Eq`, `Ord`, and `Hash` for the whole enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Finite 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Calendar date.
+    Date(Date),
+}
+
+impl Value {
+    /// Creates a float value, normalising non-finite inputs to `Null`.
+    pub fn float(f: f64) -> Value {
+        if f.is_finite() {
+            Value::Float(f)
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The data type of this single value ([`DataType::Unknown`] for nulls).
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Unknown,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Numeric view of the value, if one exists. Dates map to their ordinal,
+    /// bools to 0/1; strings and nulls have none.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Date(d) => Some(d.ordinal() as f64),
+            Value::Null | Value::Str(_) => None,
+        }
+    }
+
+    /// Canonical textual rendering — identical to `Display`, but `Null`
+    /// renders as the empty string (CSV convention).
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Parses a raw string into the "most specific" value: empty → `Null`,
+    /// then bool, int, float, date, falling back to `Str`.
+    ///
+    /// This is the type-inference primitive used by the CSV reader and by
+    /// [`DataType::infer`](crate::dtype::DataType).
+    pub fn parse_inferred(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        match trimmed {
+            "true" | "True" | "TRUE" => return Value::Bool(true),
+            "false" | "False" | "FALSE" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = trimmed.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = trimmed.parse::<f64>() {
+            if f.is_finite() {
+                return Value::Float(f);
+            }
+        }
+        if let Ok(d) = Date::parse(trimmed) {
+            return Value::Date(d);
+        }
+        Value::Str(trimmed.to_string())
+    }
+
+    /// Total-order rank of the variant, used to order heterogeneous columns
+    /// deterministically.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Date(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Numeric cross-comparisons; floats are always finite here.
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // Values are normalised to be finite, so partial_cmp cannot fail.
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash floats by bit pattern; equal ints/floats hashing
+                // differently is fine (we never mix them as map keys across
+                // variants — equality already distinguishes the variants).
+                state.write_u8(3);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(5);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_parse_roundtrip() {
+        let d = Date::parse("1997-03-14").unwrap();
+        assert_eq!(d, Date { year: 1997, month: 3, day: 14 });
+        assert_eq!(d.to_string(), "1997-03-14");
+    }
+
+    #[test]
+    fn date_rejects_malformed() {
+        assert!(Date::parse("1997-3-14").is_err());
+        assert!(Date::parse("1997-13-01").is_err());
+        assert!(Date::parse("hello").is_err());
+        assert!(Date::parse("1997-03-14-00").is_err());
+        assert!(Date::new(2020, 0, 10).is_err());
+    }
+
+    #[test]
+    fn date_ordinal_is_monotone() {
+        let a = Date::parse("2020-01-31").unwrap();
+        let b = Date::parse("2020-02-01").unwrap();
+        let c = Date::parse("2021-01-01").unwrap();
+        assert!(a.ordinal() < b.ordinal());
+        assert!(b.ordinal() < c.ordinal());
+    }
+
+    #[test]
+    fn parse_inferred_covers_all_types() {
+        assert_eq!(Value::parse_inferred(""), Value::Null);
+        assert_eq!(Value::parse_inferred("  "), Value::Null);
+        assert_eq!(Value::parse_inferred("true"), Value::Bool(true));
+        assert_eq!(Value::parse_inferred("FALSE"), Value::Bool(false));
+        assert_eq!(Value::parse_inferred("42"), Value::Int(42));
+        assert_eq!(Value::parse_inferred("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_inferred("3.5"), Value::Float(3.5));
+        assert_eq!(
+            Value::parse_inferred("2021-04-01"),
+            Value::Date(Date { year: 2021, month: 4, day: 1 })
+        );
+        assert_eq!(Value::parse_inferred("hello"), Value::str("hello"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::float(f64::NAN), Value::Null);
+        assert_eq!(Value::float(f64::INFINITY), Value::Null);
+        assert_eq!(Value::parse_inferred("NaN"), Value::str("NaN"));
+    }
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let mut vs = [Value::str("zebra"),
+            Value::Int(10),
+            Value::Null,
+            Value::float(2.5),
+            Value::Bool(true),
+            Value::Int(3)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::float(2.5));
+        assert_eq!(vs[3], Value::Int(3));
+        assert_eq!(vs[4], Value::Int(10));
+        assert_eq!(vs[5], Value::str("zebra"));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert!(Value::Int(2) < Value::float(2.5));
+        assert!(Value::float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn as_f64_views() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        let d = Date::parse("2000-01-01").unwrap();
+        assert_eq!(Value::Date(d).as_f64(), Some(d.ordinal() as f64));
+    }
+
+    #[test]
+    fn render_null_is_empty() {
+        assert_eq!(Value::Null.render(), "");
+        assert_eq!(Value::Int(5).render(), "5");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the tabular substrate.
+
+use proptest::prelude::*;
+use valentine_table::{csv, stats, Column, DataType, Table, Value};
+
+/// Arbitrary cell values (strings restricted to printable non-CSV-hostile
+/// chars in some tests; fully general in others).
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12f64).prop_map(Value::float),
+        "[a-zA-Z0-9 ,\"\n_-]{0,20}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        // antisymmetry + transitivity smoke check via sort stability
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        // comparing equal values is reflexive
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn dtype_join_is_associative(xs in proptest::collection::vec(arb_value(), 0..30)) {
+        let types: Vec<DataType> = xs.iter().map(|v| v.dtype()).collect();
+        let left = types.iter().fold(DataType::Unknown, |acc, &t| acc.join(t));
+        let right = types
+            .iter()
+            .rev()
+            .fold(DataType::Unknown, |acc, &t| t.join(acc));
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(left, DataType::infer(xs.iter()));
+    }
+
+    #[test]
+    fn stats_invariants(xs in proptest::collection::vec(arb_value(), 0..200)) {
+        let col = Column::new("c", xs.clone());
+        let s = col.stats();
+        prop_assert_eq!(s.len, xs.len());
+        prop_assert!(s.nulls <= s.len);
+        prop_assert!(s.distinct <= s.len - s.nulls);
+        if let (Some(min), Some(max), Some(mean)) = (s.min, s.max, s.mean) {
+            prop_assert!(min <= max);
+            prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+        }
+        for w in s.quantiles.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone");
+        }
+        let ratio = s.null_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        prop_assert!((0.0..=1.0).contains(&s.uniqueness()));
+    }
+
+    #[test]
+    fn equi_depth_quantiles_within_range(
+        mut xs in proptest::collection::vec(-1e9f64..1e9f64, 1..500),
+        bins in 1usize..64,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = stats::equi_depth_quantiles(&xs, bins);
+        prop_assert_eq!(q.len(), bins.max(1));
+        for v in &q {
+            prop_assert!(*v >= xs[0] && *v <= *xs.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(
+        names in proptest::collection::vec("[a-z]{1,8}", 1..5),
+        rows in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        // unique column names
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assume!(unique.len() == names.len());
+
+        // deterministic pseudo-random values from the seed
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let columns: Vec<Column> = names
+            .iter()
+            .map(|n| {
+                let values: Vec<Value> = (0..rows)
+                    .map(|_| match next() % 4 {
+                        0 => Value::Null,
+                        1 => Value::Int((next() % 1000) as i64),
+                        2 => Value::str(format!("v{}", next() % 50)),
+                        _ => Value::str("with, comma \"and\" quote"),
+                    })
+                    .collect();
+                Column::new(n.clone(), values)
+            })
+            .collect();
+        let table = Table::new("t", columns).unwrap();
+        let text = csv::serialize(&table);
+        let parsed = csv::parse("t", &text).unwrap();
+        prop_assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn take_rows_then_project_commute(
+        rows in proptest::collection::vec(0usize..10, 0..10),
+    ) {
+        let t = Table::from_pairs(
+            "t",
+            vec![
+                ("a", (0..10).map(Value::Int).collect::<Vec<_>>()),
+                ("b", (0..10).map(|i| Value::str(format!("s{i}"))).collect()),
+            ],
+        )
+        .unwrap();
+        let left = t.take_rows(&rows).project(&["b"]).unwrap();
+        let right = t.project(&["b"]).unwrap().take_rows(&rows);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,257 @@
+//! Noise transformations from the Valentine fabrication process.
+//!
+//! *Noise in schemata* (Section IV of the paper) combines three rules:
+//! prefixing column names with the table name, abbreviating them, and
+//! dropping vowels. *Noise in data* inserts random typos based on keyboard
+//! proximity into string values.
+
+use rand::Rng;
+
+/// Rule (i): prefix a column name with its table name — "common practice in
+/// DB design".
+pub fn prefix_with_table(table: &str, column: &str) -> String {
+    format!("{table}_{column}")
+}
+
+/// Rule (iii): drop all vowels except a leading one ("salary" → "slry",
+/// "income" → "incm"). Keeping a leading vowel follows the common manual
+/// abbreviation convention and keeps names pronounceable-ish.
+pub fn drop_vowels(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let is_vowel = matches!(ch.to_ascii_lowercase(), 'a' | 'e' | 'i' | 'o' | 'u');
+        if !is_vowel || i == 0 {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Rule (ii): abbreviate a column name. Multi-token names collapse to the
+/// first letters of their tokens ("last_name" → "ln"); single tokens keep a
+/// consonant skeleton of at most four characters ("country" → "cntr").
+pub fn abbreviate(name: &str) -> String {
+    let tokens = crate::tokenize::tokenize_identifier(name);
+    match tokens.len() {
+        0 => String::new(),
+        1 => {
+            let skeleton = drop_vowels(&tokens[0]);
+            skeleton.chars().take(4).collect()
+        }
+        _ => tokens
+            .iter()
+            .filter_map(|t| t.chars().next())
+            .collect(),
+    }
+}
+
+/// QWERTY keyboard adjacency, used to generate realistic typos ("similar to
+/// eTuner", per the paper). Only lowercase letters participate; other
+/// characters are never perturbed.
+const KEYBOARD_ROWS: [&str; 3] = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
+
+/// Returns the keyboard neighbours of a lowercase letter (same row left and
+/// right plus the closest keys on adjacent rows).
+pub fn keyboard_neighbors(ch: char) -> Vec<char> {
+    let mut out = Vec::new();
+    for (r, row) in KEYBOARD_ROWS.iter().enumerate() {
+        if let Some(i) = row.find(ch) {
+            let row_chars: Vec<char> = row.chars().collect();
+            if i > 0 {
+                out.push(row_chars[i - 1]);
+            }
+            if i + 1 < row_chars.len() {
+                out.push(row_chars[i + 1]);
+            }
+            // Staggered adjacency to the rows above and below.
+            for adj in [r.wrapping_sub(1), r + 1] {
+                if let Some(other) = KEYBOARD_ROWS.get(adj) {
+                    let other_chars: Vec<char> = other.chars().collect();
+                    for j in [i.saturating_sub(1), i] {
+                        if let Some(&c) = other_chars.get(j) {
+                            if !out.contains(&c) {
+                                out.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// The instance-noise typo model: given a string and an RNG, applies one of
+/// four edit operations at a random position — substitution by a keyboard
+/// neighbour, insertion of a neighbour, deletion, or transposition.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyboardTypoModel {
+    /// Probability that a given value receives a typo at all.
+    pub typo_probability: f64,
+}
+
+impl Default for KeyboardTypoModel {
+    fn default() -> Self {
+        KeyboardTypoModel { typo_probability: 0.5 }
+    }
+}
+
+impl KeyboardTypoModel {
+    /// Creates a model with the given per-value typo probability.
+    pub fn new(typo_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&typo_probability),
+            "probability must be in [0, 1]"
+        );
+        KeyboardTypoModel { typo_probability }
+    }
+
+    /// Possibly injects one typo into `s`. Strings shorter than 2 characters
+    /// are returned unchanged (a typo would destroy them entirely).
+    pub fn corrupt<R: Rng>(&self, s: &str, rng: &mut R) -> String {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() < 2 || !rng.gen_bool(self.typo_probability) {
+            return s.to_string();
+        }
+        // Pick a perturbable position: prefer letters with known neighbours.
+        let letter_positions: Vec<usize> = chars
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_ascii_lowercase())
+            .map(|(i, _)| i)
+            .collect();
+        let pos = if letter_positions.is_empty() {
+            rng.gen_range(0..chars.len())
+        } else {
+            letter_positions[rng.gen_range(0..letter_positions.len())]
+        };
+
+        let mut out = chars.clone();
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // substitution by keyboard neighbour
+                let neighbors = keyboard_neighbors(out[pos].to_ascii_lowercase());
+                if let Some(&n) = neighbors.first() {
+                    let pick = neighbors[rng.gen_range(0..neighbors.len())];
+                    out[pos] = if pick == out[pos] { n } else { pick };
+                } else {
+                    out[pos] = 'x';
+                }
+            }
+            1 => {
+                // insertion of a keyboard neighbour (or duplicate)
+                let neighbors = keyboard_neighbors(out[pos].to_ascii_lowercase());
+                let ins = neighbors
+                    .first()
+                    .copied()
+                    .unwrap_or(out[pos]);
+                out.insert(pos, ins);
+            }
+            2 => {
+                // deletion
+                out.remove(pos);
+            }
+            _ => {
+                // transposition with the next character
+                if pos + 1 < out.len() {
+                    out.swap(pos, pos + 1);
+                } else if pos > 0 {
+                    out.swap(pos - 1, pos);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefixing() {
+        assert_eq!(prefix_with_table("clients", "name"), "clients_name");
+    }
+
+    #[test]
+    fn vowel_dropping() {
+        assert_eq!(drop_vowels("salary"), "slry");
+        assert_eq!(drop_vowels("income"), "incm");
+        assert_eq!(drop_vowels("a"), "a");
+        assert_eq!(drop_vowels(""), "");
+        assert_eq!(drop_vowels("bcd"), "bcd");
+    }
+
+    #[test]
+    fn abbreviation_rules() {
+        assert_eq!(abbreviate("last_name"), "ln");
+        assert_eq!(abbreviate("number_credit_cards"), "ncc");
+        assert_eq!(abbreviate("country"), "cntr");
+        assert_eq!(abbreviate("creditRating"), "cr");
+        assert_eq!(abbreviate(""), "");
+    }
+
+    #[test]
+    fn keyboard_neighbors_sane() {
+        let n = keyboard_neighbors('s');
+        assert!(n.contains(&'a'));
+        assert!(n.contains(&'d'));
+        assert!(n.contains(&'w'));
+        assert!(keyboard_neighbors('7').is_empty());
+        assert!(!keyboard_neighbors('q').is_empty());
+    }
+
+    #[test]
+    fn typo_model_probability_zero_is_identity() {
+        let model = KeyboardTypoModel::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(model.corrupt("amsterdam", &mut rng), "amsterdam");
+    }
+
+    #[test]
+    fn typo_model_probability_one_always_edits() {
+        let model = KeyboardTypoModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut changed = 0;
+        for _ in 0..100 {
+            let out = model.corrupt("amsterdam", &mut rng);
+            if out != "amsterdam" {
+                changed += 1;
+            }
+            // edit distance of a single typo is at most 2 (transposition)
+            assert!(crate::similarity::levenshtein("amsterdam", &out) <= 2);
+        }
+        assert!(changed >= 95, "single typos should nearly always change the string");
+    }
+
+    #[test]
+    fn typo_model_leaves_short_strings_alone() {
+        let model = KeyboardTypoModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(model.corrupt("a", &mut rng), "a");
+        assert_eq!(model.corrupt("", &mut rng), "");
+    }
+
+    #[test]
+    fn typo_model_deterministic_under_seed() {
+        let model = KeyboardTypoModel::default();
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..20).map(|_| model.corrupt("rotterdam", &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..20).map(|_| model.corrupt("rotterdam", &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn typo_model_rejects_bad_probability() {
+        let _ = KeyboardTypoModel::new(1.5);
+    }
+}

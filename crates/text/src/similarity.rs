@@ -1,0 +1,282 @@
+//! String similarity measures.
+//!
+//! These are the primitives the matchers compose: the paper's
+//! Similarity-Flooding re-implementation uses Levenshtein for initial
+//! similarities, the Jaccard-Levenshtein baseline thresholds on normalised
+//! Levenshtein, COMA's name matcher averages trigram/edit/synonym evidence,
+//! and Cupid's linguistic matching compares token sets.
+
+use valentine_table::FxHashSet;
+
+/// Levenshtein (edit) distance between two strings, in unicode scalar
+/// values. Classic two-row dynamic program, O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    if a_chars.is_empty() {
+        return b_chars.len();
+    }
+    if b_chars.is_empty() {
+        return a_chars.len();
+    }
+    // Keep the shorter string in the inner dimension.
+    let (short, long) = if a_chars.len() <= b_chars.len() {
+        (&a_chars, &b_chars)
+    } else {
+        (&b_chars, &a_chars)
+    };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity in `[0, 1]`: `1 − dist / max_len`. Two empty
+/// strings are identical (1.0).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_used.iter())
+        .filter(|(_, &u)| u)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by common prefix (scaling 0.1,
+/// prefix capped at 4), the standard parameterisation.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Character n-gram Dice coefficient: `2·|Ga ∩ Gb| / (|Ga| + |Gb|)` over the
+/// multiset-collapsed n-gram sets. COMA's "trigram" matcher is
+/// `ngram_dice(a, b, 3)`.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f64 {
+    assert!(n > 0, "n-gram size must be positive");
+    let ga = ngrams(a, n);
+    let gb = ngrams(b, n);
+    if ga.is_empty() && gb.is_empty() {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+fn ngrams(s: &str, n: usize) -> FxHashSet<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < n {
+        return FxHashSet::default();
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Jaccard similarity of two token slices (as sets).
+pub fn jaccard_tokens<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let sa: FxHashSet<&str> = a.iter().map(AsRef::as_ref).collect();
+    let sb: FxHashSet<&str> = b.iter().map(AsRef::as_ref).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Monge-Elkan similarity: for each token in `a`, the best
+/// [`jaro_winkler`] match in `b`, averaged; symmetrised by taking the mean
+/// of both directions.
+pub fn monge_elkan<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    fn directed<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+        if a.is_empty() {
+            return 0.0;
+        }
+        a.iter()
+            .map(|ta| {
+                b.iter()
+                    .map(|tb| jaro_winkler(ta.as_ref(), tb.as_ref()))
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / a.len() as f64
+    }
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    (directed(a, b) + directed(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("country", "country"), 0);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("postal", "zip"), levenshtein("zip", "postal"));
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let s = normalized_levenshtein("kitten", "sitting");
+        assert!((s - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.9444444444).abs() < 1e-6);
+        assert!((jaro("dixon", "dicksonx") - 0.7666666666).abs() < 1e-6);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_shared_prefix() {
+        let jw = jaro_winkler("martha", "marhta");
+        assert!((jw - 0.9611111111).abs() < 1e-6);
+        assert!(jaro_winkler("prefix_a", "prefix_b") > jaro("prefix_a", "prefix_b"));
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn ngram_dice_behaviour() {
+        assert_eq!(ngram_dice("night", "night", 3), 1.0);
+        assert!(ngram_dice("night", "nacht", 3) < 0.5);
+        assert_eq!(ngram_dice("ab", "ab", 3), 1.0, "both too short but equal");
+        assert_eq!(ngram_dice("ab", "cd", 3), 0.0);
+        assert_eq!(ngram_dice("ab", "abcdef", 3), 0.0, "one side too short");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ngram_dice_rejects_zero_n() {
+        let _ = ngram_dice("a", "b", 0);
+    }
+
+    #[test]
+    fn jaccard_tokens_behaviour() {
+        assert_eq!(jaccard_tokens(&["a", "b"], &["b", "a"]), 1.0);
+        assert_eq!(jaccard_tokens(&["a"], &["b"]), 0.0);
+        assert_eq!(jaccard_tokens::<&str>(&[], &[]), 1.0);
+        let s = jaccard_tokens(&["a", "b", "c"], &["b", "c", "d"]);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_behaviour() {
+        assert_eq!(monge_elkan(&["last", "name"], &["name", "last"]), 1.0);
+        assert!(monge_elkan(&["last", "name"], &["surname"]) > 0.0);
+        assert_eq!(monge_elkan::<&str>(&[], &[]), 1.0);
+        assert_eq!(monge_elkan(&["a"], &[] as &[&str]), 0.0);
+        // symmetry
+        let ab = monge_elkan(&["postal", "code"], &["zip"]);
+        let ba = monge_elkan(&["zip"], &["postal", "code"]);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_measures_stay_in_unit_interval() {
+        let cases = [
+            ("", ""),
+            ("a", ""),
+            ("short", "a much longer string entirely"),
+            ("ID", "id"),
+            ("ärger", "anger"),
+        ];
+        for (a, b) in cases {
+            for s in [
+                normalized_levenshtein(a, b),
+                jaro(a, b),
+                jaro_winkler(a, b),
+                ngram_dice(a, b, 2),
+                ngram_dice(a, b, 3),
+            ] {
+                assert!((0.0..=1.0).contains(&s), "{a:?} vs {b:?} gave {s}");
+            }
+        }
+    }
+}

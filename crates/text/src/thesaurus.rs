@@ -1,0 +1,346 @@
+//! A bundled mini-WordNet.
+//!
+//! Cupid uses WordNet as its thesaurus and COMA ships synonym tables; neither
+//! resource can be redistributed wholesale here, so we bundle a curated
+//! thesaurus: ~70 synonym sets plus an is-a (hypernym) layer, covering the
+//! vocabulary that the workspace's dataset generators emit. The behavioural
+//! contract is the same as the paper's setup: schema-level matchers can
+//! bridge *semantic* renames ("partner" → "spouse") exactly when a thesaurus
+//! path exists, and get no help for arbitrary or domain-specific names.
+
+use std::sync::OnceLock;
+
+use valentine_table::FxHashMap;
+
+use crate::tokenize::tokenize_identifier;
+
+/// Synonym sets: every phrase in one row denotes the same concept.
+const SYNSETS: &[&[&str]] = &[
+    &["last name", "surname", "family name"],
+    &["first name", "given name", "forename"],
+    &["middle initial", "middle name"],
+    &["phone", "telephone", "phone number", "telephone number"],
+    &["postal code", "zip", "zip code", "postcode"],
+    &["country", "nation"],
+    &["city", "town", "municipality"],
+    &["state", "province", "region"],
+    &["gender", "sex"],
+    &["income", "salary", "earnings", "wage"],
+    &["employer", "company", "organization", "firm"],
+    &["spouse", "partner", "husband", "wife"],
+    &["address", "street address"],
+    &["residence", "home", "domicile"],
+    &["birth date", "date of birth", "born", "birthdate"],
+    &["birth place", "place of birth", "birthplace"],
+    &["citizenship", "nationality"],
+    &["genre", "style", "music style"],
+    &["record label", "label"],
+    &["artist", "singer", "performer", "musician"],
+    &["net worth", "wealth"],
+    &["occupation", "profession", "job"],
+    &["manager", "supervisor", "boss"],
+    &["department", "division"],
+    &["team", "squad", "crew"],
+    &["application", "software", "program"],
+    &["task", "ticket", "issue", "work item"],
+    &["sprint", "iteration"],
+    &["epic", "initiative"],
+    &["status", "condition"],
+    &["priority", "importance", "severity"],
+    &["name", "title"],
+    &["id", "identifier"],
+    &["assay", "experiment", "test"],
+    &["organism", "species"],
+    &["cell type", "cell line"],
+    &["rating", "score", "grade"],
+    &["children", "kids", "offspring"],
+    &["car", "vehicle", "automobile"],
+    &["marital status", "civil status"],
+    &["owner", "holder", "proprietor"],
+    &["hardware", "machine", "server"],
+    &["award", "prize", "honor"],
+    &["album", "record"],
+    &["song", "track", "tune"],
+    &["movie", "film"],
+    &["actor", "cast"],
+    &["director", "filmmaker"],
+    &["price", "cost", "amount"],
+    &["beer", "brew"],
+    &["book", "publication"],
+    &["author", "writer"],
+    &["height", "stature"],
+    &["confidence", "certainty"],
+    &["start", "begin", "from"],
+    &["end", "finish", "until"],
+    &["created", "added"],
+    &["updated", "modified", "changed"],
+    &["assignee", "assigned to"],
+    &["reporter", "creator"],
+    &["website", "url", "homepage"],
+    &["description", "details", "notes"],
+    &["age", "years"],
+    &["email", "mail", "e mail"],
+    &["credit rating", "creditworthiness"],
+    &["tissue", "organ"],
+    &["target", "goal"],
+    &["location", "place", "site"],
+    &["money", "currency", "funds"],
+    &["contact", "reachability"],
+    &["work", "creation", "piece"],
+    &["family", "relatives", "kin"],
+    &["parents", "mother and father"],
+    &["date", "day"],
+    &["instrument", "musical instrument"],
+];
+
+/// Hypernym (is-a) edges between synsets, identified by a representative
+/// member: (`child`, `parent`).
+const HYPERNYMS: &[(&str, &str)] = &[
+    ("last name", "name"),
+    ("first name", "name"),
+    ("middle initial", "name"),
+    ("city", "location"),
+    ("country", "location"),
+    ("state", "location"),
+    ("address", "location"),
+    ("residence", "location"),
+    ("birth place", "location"),
+    ("income", "money"),
+    ("net worth", "money"),
+    ("price", "money"),
+    ("phone", "contact"),
+    ("email", "contact"),
+    ("website", "contact"),
+    ("movie", "work"),
+    ("song", "work"),
+    ("album", "work"),
+    ("book", "work"),
+    ("spouse", "family"),
+    ("parents", "family"),
+    ("children", "family"),
+    ("artist", "occupation"),
+    ("actor", "occupation"),
+    ("director", "occupation"),
+    ("author", "occupation"),
+    ("manager", "occupation"),
+    ("birth date", "date"),
+    ("created", "date"),
+    ("updated", "date"),
+    ("sprint", "task"),
+    ("epic", "task"),
+];
+
+/// A thesaurus: synonym sets plus an is-a hierarchy, queried with
+/// similarity scores the way Cupid queries WordNet.
+#[derive(Debug)]
+pub struct Thesaurus {
+    synsets: Vec<Vec<String>>,
+    phrase_to_synset: FxHashMap<String, usize>,
+    parent: Vec<Option<usize>>,
+}
+
+impl Thesaurus {
+    /// Builds a thesaurus from synonym sets and hypernym edges. Each phrase
+    /// may appear in at most one synset; later duplicates are ignored.
+    pub fn new(synsets: &[&[&str]], hypernyms: &[(&str, &str)]) -> Thesaurus {
+        let mut sets: Vec<Vec<String>> = Vec::with_capacity(synsets.len());
+        let mut phrase_to_synset = FxHashMap::default();
+        for set in synsets {
+            let id = sets.len();
+            let mut owned = Vec::with_capacity(set.len());
+            for phrase in *set {
+                let norm = normalize_phrase(phrase);
+                phrase_to_synset.entry(norm.clone()).or_insert(id);
+                owned.push(norm);
+            }
+            sets.push(owned);
+        }
+        let mut parent = vec![None; sets.len()];
+        for (child, par) in hypernyms {
+            let c = phrase_to_synset.get(&normalize_phrase(child));
+            let p = phrase_to_synset.get(&normalize_phrase(par));
+            if let (Some(&c), Some(&p)) = (c, p) {
+                if c != p {
+                    parent[c] = Some(p);
+                }
+            }
+        }
+        Thesaurus { synsets: sets, phrase_to_synset, parent }
+    }
+
+    /// The bundled thesaurus instance.
+    pub fn builtin() -> &'static Thesaurus {
+        static BUILTIN: OnceLock<Thesaurus> = OnceLock::new();
+        BUILTIN.get_or_init(|| Thesaurus::new(SYNSETS, HYPERNYMS))
+    }
+
+    /// Number of synonym sets.
+    pub fn len(&self) -> usize {
+        self.synsets.len()
+    }
+
+    /// True when the thesaurus holds no synsets.
+    pub fn is_empty(&self) -> bool {
+        self.synsets.is_empty()
+    }
+
+    /// The synset id of a phrase, if known. Phrases are normalised
+    /// (tokenised, lowercased, abbreviations *not* expanded — expansion is
+    /// the tokenizer's job).
+    pub fn synset_of(&self, phrase: &str) -> Option<usize> {
+        self.phrase_to_synset.get(&normalize_phrase(phrase)).copied()
+    }
+
+    /// All synonyms of a phrase (including itself), or an empty slice if the
+    /// phrase is unknown.
+    pub fn synonyms(&self, phrase: &str) -> &[String] {
+        self.synset_of(phrase)
+            .map(|id| self.synsets[id].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True when the two phrases share a synset.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        match (self.synset_of(a), self.synset_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// WordNet-style semantic similarity in `[0, 1]`:
+    ///
+    /// * identical normalised phrases → 1.0
+    /// * same synset → 0.95
+    /// * parent/child synsets → 0.8
+    /// * siblings (same parent) → 0.7
+    /// * grandparent path → 0.55
+    /// * otherwise / unknown phrases → 0.0
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let na = normalize_phrase(a);
+        let nb = normalize_phrase(b);
+        if na == nb && !na.is_empty() {
+            return 1.0;
+        }
+        let (sa, sb) = match (
+            self.phrase_to_synset.get(&na),
+            self.phrase_to_synset.get(&nb),
+        ) {
+            (Some(&x), Some(&y)) => (x, y),
+            _ => return 0.0,
+        };
+        if sa == sb {
+            return 0.95;
+        }
+        let pa = self.parent[sa];
+        let pb = self.parent[sb];
+        if pa == Some(sb) || pb == Some(sa) {
+            return 0.8;
+        }
+        if pa.is_some() && pa == pb {
+            return 0.7;
+        }
+        // grandparent chains
+        let ga = pa.and_then(|p| self.parent[p]);
+        let gb = pb.and_then(|p| self.parent[p]);
+        if ga == Some(sb) || gb == Some(sa) || (ga.is_some() && ga == gb) {
+            return 0.55;
+        }
+        0.0
+    }
+}
+
+/// Normalises a phrase for thesaurus lookup: identifier-tokenise and join
+/// with single spaces ("Last_Name" → "last name").
+fn normalize_phrase(phrase: &str) -> String {
+    tokenize_identifier(phrase).join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_loads_and_is_nonempty() {
+        let t = Thesaurus::builtin();
+        assert!(t.len() > 50);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn synonyms_are_found_across_formattings() {
+        let t = Thesaurus::builtin();
+        assert!(t.are_synonyms("last_name", "surname"));
+        assert!(t.are_synonyms("LastName", "Family_Name"));
+        assert!(t.are_synonyms("partner", "spouse"));
+        assert!(t.are_synonyms("zip", "postal_code"));
+        assert!(!t.are_synonyms("zip", "surname"));
+        assert!(!t.are_synonyms("quux", "spouse"));
+    }
+
+    #[test]
+    fn similarity_tiers() {
+        let t = Thesaurus::builtin();
+        assert_eq!(t.similarity("spouse", "spouse"), 1.0);
+        assert_eq!(t.similarity("Spouse", "spouse"), 1.0);
+        assert_eq!(t.similarity("spouse", "partner"), 0.95);
+        // parent/child: city is-a location
+        assert_eq!(t.similarity("city", "location"), 0.8);
+        // siblings: city and country are both locations
+        assert_eq!(t.similarity("city", "country"), 0.7);
+        // unrelated
+        assert_eq!(t.similarity("city", "salary"), 0.0);
+        // unknown words
+        assert_eq!(t.similarity("qwert", "asdfg"), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let t = Thesaurus::builtin();
+        for (a, b) in [
+            ("city", "location"),
+            ("income", "price"),
+            ("spouse", "children"),
+            ("movie", "film"),
+        ] {
+            assert_eq!(t.similarity(a, b), t.similarity(b, a), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn synonym_listing() {
+        let t = Thesaurus::builtin();
+        let syns = t.synonyms("surname");
+        assert!(syns.contains(&"last name".to_string()));
+        assert!(t.synonyms("no_such_word").is_empty());
+    }
+
+    #[test]
+    fn custom_thesaurus() {
+        let t = Thesaurus::new(
+            &[&["alpha", "first"], &["omega", "last"], &["letter"]],
+            &[("alpha", "letter"), ("omega", "letter")],
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.similarity("alpha", "first"), 0.95);
+        assert_eq!(t.similarity("alpha", "omega"), 0.7);
+        assert_eq!(t.similarity("alpha", "letter"), 0.8);
+    }
+
+    #[test]
+    fn duplicate_phrases_keep_first_synset() {
+        let t = Thesaurus::new(&[&["x", "y"], &["y", "z"]], &[]);
+        assert!(t.are_synonyms("x", "y"));
+        // "y" stayed in the first synset, so y/z are not synonyms
+        assert!(!t.are_synonyms("y", "z"));
+    }
+
+    #[test]
+    fn ing_and_wikidata_vocabulary_covered() {
+        let t = Thesaurus::builtin();
+        assert!(t.are_synonyms("team", "squad"));
+        assert!(t.are_synonyms("application", "software"));
+        assert!(t.are_synonyms("citizenship", "nationality"));
+        assert!(t.are_synonyms("genre", "music_style"));
+        assert!(t.are_synonyms("record_label", "label"));
+    }
+}

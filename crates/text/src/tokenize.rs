@@ -1,0 +1,178 @@
+//! Identifier tokenisation and abbreviation expansion.
+//!
+//! Cupid's linguistic matching starts by *normalising* element names:
+//! splitting them into word tokens, lowercasing, and expanding known
+//! abbreviations. The same tokenizer feeds COMA's name matcher and the
+//! embedding lookups.
+
+/// Splits an identifier into lowercase word tokens at `_`, `-`, whitespace,
+/// `.`, `/`, camelCase humps, and letter/digit boundaries.
+///
+/// ```
+/// use valentine_text::tokenize_identifier;
+/// assert_eq!(tokenize_identifier("lastName"), vec!["last", "name"]);
+/// assert_eq!(tokenize_identifier("postal_code2"), vec!["postal", "code", "2"]);
+/// assert_eq!(tokenize_identifier("ING.owner-team"), vec!["ing", "owner", "team"]);
+/// ```
+pub fn tokenize_identifier(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev: Option<char> = None;
+
+    let flush = |current: &mut String, tokens: &mut Vec<String>| {
+        if !current.is_empty() {
+            tokens.push(std::mem::take(current).to_lowercase());
+        }
+    };
+
+    for ch in name.chars() {
+        if ch == '_' || ch == '-' || ch == '.' || ch == '/' || ch.is_whitespace() {
+            flush(&mut current, &mut tokens);
+            prev = None;
+            continue;
+        }
+        if let Some(p) = prev {
+            let camel_hump = p.is_lowercase() && ch.is_uppercase();
+            let digit_boundary = p.is_ascii_digit() != ch.is_ascii_digit();
+            if camel_hump || digit_boundary {
+                flush(&mut current, &mut tokens);
+            }
+        }
+        current.push(ch);
+        prev = Some(ch);
+    }
+    flush(&mut current, &mut tokens);
+    tokens
+}
+
+/// Known schema abbreviations and their expansions. This is the dictionary
+/// Cupid-style linguistic normalisation consults; it also covers the
+/// abbreviations our own schema-noise generator produces.
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("abbr", "abbreviation"),
+    ("acct", "account"),
+    ("addr", "address"),
+    ("amt", "amount"),
+    ("app", "application"),
+    ("apt", "apartment"),
+    ("avg", "average"),
+    ("bal", "balance"),
+    ("cat", "category"),
+    ("cd", "code"),
+    ("cnt", "count"),
+    ("cntr", "country"),
+    ("cntry", "country"),
+    ("co", "company"),
+    ("ctry", "country"),
+    ("cty", "city"),
+    ("cust", "customer"),
+    ("dept", "department"),
+    ("desc", "description"),
+    ("descr", "description"),
+    ("dob", "date of birth"),
+    ("dt", "date"),
+    ("emp", "employee"),
+    ("fname", "first name"),
+    ("gend", "gender"),
+    ("img", "image"),
+    ("lang", "language"),
+    ("lname", "last name"),
+    ("loc", "location"),
+    ("mgr", "manager"),
+    ("mid", "middle"),
+    ("nbr", "number"),
+    ("no", "number"),
+    ("num", "number"),
+    ("org", "organization"),
+    ("perf", "performance"),
+    ("ph", "phone"),
+    ("pos", "position"),
+    ("prod", "product"),
+    ("qty", "quantity"),
+    ("ref", "reference"),
+    ("sal", "salary"),
+    ("st", "state"),
+    ("tel", "telephone"),
+    ("tm", "team"),
+    ("ttl", "title"),
+    ("txn", "transaction"),
+    ("val", "value"),
+    ("yr", "year"),
+    ("zip", "postal code"),
+];
+
+/// Expands a single lowercase token if it is a known abbreviation, otherwise
+/// returns it unchanged.
+pub fn expand_abbreviation(token: &str) -> &str {
+    match ABBREVIATIONS.binary_search_by(|(k, _)| k.cmp(&token)) {
+        Ok(i) => ABBREVIATIONS[i].1,
+        Err(_) => token,
+    }
+}
+
+/// Tokenises and expands abbreviations in one pass — the "normalisation"
+/// step of Cupid's linguistic matching. Expansions that are multi-word
+/// ("dob" → "date of birth") contribute each word as its own token.
+pub fn normalize_tokens(name: &str) -> Vec<String> {
+    tokenize_identifier(name)
+        .iter()
+        .flat_map(|t| {
+            expand_abbreviation(t)
+                .split(' ')
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_and_kebab_case() {
+        assert_eq!(tokenize_identifier("last_name"), vec!["last", "name"]);
+        assert_eq!(tokenize_identifier("owner-team"), vec!["owner", "team"]);
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize_identifier("creditRating"), vec!["credit", "rating"]);
+        assert_eq!(tokenize_identifier("NetWorth"), vec!["net", "worth"]);
+        // An all-caps acronym stays one token.
+        assert_eq!(tokenize_identifier("ID"), vec!["id"]);
+    }
+
+    #[test]
+    fn splits_digit_boundaries() {
+        assert_eq!(tokenize_identifier("address1"), vec!["address", "1"]);
+        assert_eq!(tokenize_identifier("2ndLine"), vec!["2", "nd", "line"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only() {
+        assert!(tokenize_identifier("").is_empty());
+        assert!(tokenize_identifier("___").is_empty());
+    }
+
+    #[test]
+    fn abbreviation_table_is_sorted() {
+        // binary_search relies on sortedness; guard it.
+        for w in ABBREVIATIONS.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn expansion_hits_and_misses() {
+        assert_eq!(expand_abbreviation("addr"), "address");
+        assert_eq!(expand_abbreviation("zip"), "postal code");
+        assert_eq!(expand_abbreviation("banana"), "banana");
+    }
+
+    #[test]
+    fn normalize_expands_multiword() {
+        assert_eq!(normalize_tokens("cust_dob"), vec!["customer", "date", "of", "birth"]);
+        assert_eq!(normalize_tokens("zipCd"), vec!["postal", "code", "code"]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # Valentine
+//!
+//! A pure-Rust reproduction of *"Valentine: Evaluating Matching Techniques for
+//! Dataset Discovery"* (ICDE 2021): an extensible experiment suite for
+//! evaluating schema matching methods under the four dataset-relatedness
+//! scenarios that dataset discovery systems care about (unionable,
+//! view-unionable, joinable, and semantically-joinable table pairs).
+//!
+//! This facade crate re-exports the entire public API of the workspace:
+//!
+//! * [`table`] — the tabular data substrate ([`Table`], [`Column`], [`Value`]).
+//! * [`text`] — string similarity, tokenisation, and the bundled thesaurus.
+//! * [`solver`] — EMD, Hungarian assignment, 0-1 ILP, MinHash, fixpoint.
+//! * [`embeddings`] — synthetic pre-trained vectors and a word2vec trainer.
+//! * [`ontology`] — the ontology substrate used by SemProp.
+//! * [`fabricator`] — dataset-pair fabrication with ground truth.
+//! * [`datasets`] — synthetic stand-ins for every dataset source in the paper.
+//! * [`matchers`] — all seven matching methods behind one [`Matcher`] trait.
+//! * [`suite`] — metrics, parameter grids, and the experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use valentine::prelude::*;
+//!
+//! // Fabricate a unionable pair from a small synthetic source table.
+//! let source = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 7);
+//! let scenario = ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+//! let pair = fabricate_pair(&source, &scenario, 42).unwrap();
+//!
+//! // Run a matcher and score the ranked output against the ground truth.
+//! let matcher = JaccardLevenshteinMatcher::new(0.8);
+//! let result = matcher.match_tables(&pair.source, &pair.target).unwrap();
+//! let recall = recall_at_ground_truth(&result, &pair.ground_truth);
+//! assert!(recall >= 0.0 && recall <= 1.0);
+//! ```
+
+pub use valentine_core::*;

@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests: dataset generation → fabrication → matching →
+//! metrics → aggregation, across every crate in the workspace.
+
+use valentine::grids::GridScale;
+use valentine::prelude::*;
+use valentine::reports::{figure_row, records_tsv};
+use valentine::{Corpus, CorpusConfig, Runner};
+
+fn tiny_corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::tiny())
+}
+
+#[test]
+fn corpus_covers_all_sources_and_scenarios() {
+    let c = tiny_corpus();
+    assert_eq!(c.len(), 37);
+    for source in ["tpcdi", "opendata", "chembl", "wikidata", "magellan", "ing"] {
+        assert!(!c.by_source(source).is_empty(), "{source} missing");
+    }
+    for kind in ScenarioKind::ALL {
+        assert!(c.pairs.iter().any(|p| p.scenario == kind), "{kind} missing");
+    }
+}
+
+#[test]
+fn full_pipeline_runs_and_aggregates() {
+    let c = tiny_corpus();
+    let pairs: Vec<DatasetPair> = c.fabricated().into_iter().cloned().collect();
+    let runner = Runner::run(
+        &pairs,
+        &RunnerConfig {
+            methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
+            scale: GridScale::Small,
+            threads: 2,
+        },
+    );
+    // 24 fabricated pairs × (1 + 5) configs
+    assert_eq!(runner.len(), 24 * 6);
+
+    // aggregation produces a cell per scenario with consistent whiskers
+    let cells = figure_row(&runner, MatcherKind::ComaSchema, |_| true);
+    assert_eq!(cells.len(), 4);
+    for cell in &cells {
+        assert!(cell.min <= cell.median && cell.median <= cell.max);
+        assert!((0.0..=1.0).contains(&cell.min) && cell.max <= 1.0);
+    }
+
+    // the raw record dump has one line per record plus header
+    let tsv = records_tsv(&runner);
+    assert_eq!(tsv.lines().count(), runner.len() + 1);
+}
+
+#[test]
+fn every_method_runs_on_every_scenario_pair() {
+    let t = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 1);
+    for scenario in ScenarioKind::ALL {
+        let spec = match scenario {
+            ScenarioKind::Unionable => {
+                ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Noisy)
+            }
+            ScenarioKind::ViewUnionable => {
+                ScenarioSpec::view_unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Noisy)
+            }
+            ScenarioKind::Joinable => ScenarioSpec::joinable(0.3, true, SchemaNoise::Noisy),
+            ScenarioKind::SemanticallyJoinable => {
+                ScenarioSpec::semantically_joinable(0.3, true, SchemaNoise::Noisy)
+            }
+        };
+        let pair = fabricate_pair(&t, &spec, 5).expect("fabrication works");
+        for kind in MatcherKind::ALL {
+            let matcher = kind.instantiate();
+            let result = matcher
+                .match_tables(&pair.source, &pair.target)
+                .unwrap_or_else(|e| panic!("{} failed on {scenario}: {e}", kind.label()));
+            assert!(!result.is_empty(), "{} on {scenario}", kind.label());
+            let recall = recall_at_ground_truth(&result, &pair.ground_truth);
+            assert!((0.0..=1.0).contains(&recall));
+            // ranking is properly ordered
+            for w in result.matches().windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_search_never_hurts() {
+    // best-of-grid must dominate any single configuration
+    let t = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 2);
+    let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+    let pair = fabricate_pair(&t, &spec, 9).expect("fabrication works");
+    let runner = Runner::run(
+        std::slice::from_ref(&pair),
+        &RunnerConfig {
+            methods: vec![MatcherKind::JaccardLevenshtein],
+            scale: GridScale::Small,
+            threads: 1,
+        },
+    );
+    let best = runner.best_per_pair(MatcherKind::JaccardLevenshtein)[0].1;
+    let single = JaccardLevenshteinMatcher::new(0.8)
+        .match_tables(&pair.source, &pair.target)
+        .expect("matching works");
+    assert!(best >= recall_at_ground_truth(&single, &pair.ground_truth));
+}
+
+#[test]
+fn csv_roundtrip_through_the_facade() {
+    // the substrate is reachable and consistent through the facade crate
+    let t = valentine::datasets::magellan::pairs(SizeClass::Tiny, 1)
+        .remove(0)
+        .source;
+    let text = valentine::table::csv::serialize(&t);
+    let back = valentine::table::csv::parse(t.name().to_string(), &text).expect("parses");
+    assert_eq!(back, t);
+}
+
+#[test]
+fn one_to_one_extraction_respects_ground_truth_on_easy_pairs() {
+    let t = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 3);
+    let spec = ScenarioSpec::unionable(1.0, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+    let pair = fabricate_pair(&t, &spec, 4).expect("fabrication works");
+    let ranked = ComaMatcher::new(ComaStrategy::Schema)
+        .match_tables(&pair.source, &pair.target)
+        .expect("matching works");
+    let assignment = valentine::select::extract_hungarian(&ranked, 0.0);
+    assert_eq!(assignment.len(), pair.ground_truth_size());
+    for m in &assignment {
+        assert!(
+            pair.is_correct(&m.source, &m.target),
+            "{} ↔ {} is wrong",
+            m.source,
+            m.target
+        );
+    }
+}

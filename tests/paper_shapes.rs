@@ -1,0 +1,267 @@
+//! The paper's qualitative findings, asserted as integration tests.
+//!
+//! Section VII of the paper draws a set of qualitative conclusions
+//! ("expected results" / "interesting outcomes"). These tests pin the
+//! *shape* of our reproduction to those conclusions at tiny scale — the
+//! scale-up to `small`/`paper` only sharpens them (see `EXPERIMENTS.md`).
+
+use std::sync::OnceLock;
+
+use valentine::grids::GridScale;
+use valentine::prelude::*;
+use valentine::Runner;
+
+/// A controlled fabricated-pair set: TPC-DI and ChEMBL sources crossed with
+/// every scenario and both schema-noise levels (row overlap 0.5 for
+/// unionable so instance evidence exists, as in the paper's mid grid).
+fn shape_pairs() -> Vec<DatasetPair> {
+    let sources = [
+        valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 31),
+        valentine::datasets::chembl::assays(SizeClass::Tiny, 32),
+    ];
+    let mut pairs = Vec::new();
+    for (si, source) in sources.iter().enumerate() {
+        for schema in [SchemaNoise::Verbatim, SchemaNoise::Noisy] {
+            let specs = [
+                ScenarioSpec::unionable(0.5, schema, InstanceNoise::Verbatim),
+                ScenarioSpec::view_unionable(0.5, schema, InstanceNoise::Verbatim),
+                ScenarioSpec::joinable(0.3, false, schema),
+                ScenarioSpec::semantically_joinable(0.3, false, schema),
+            ];
+            for (k, spec) in specs.iter().enumerate() {
+                pairs.push(
+                    fabricate_pair(source, spec, (si * 100 + k) as u64)
+                        .expect("fabrication works"),
+                );
+            }
+        }
+    }
+    pairs
+}
+
+/// One shared run over the controlled pairs, reused by every test in this
+/// file (the runner is deterministic). Cupid and EmbDI run separately where
+/// needed — their grids are too heavy to re-run per test.
+fn shape_runner() -> &'static Runner {
+    static RUNNER: OnceLock<Runner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
+        Runner::run(
+            &shape_pairs(),
+            &RunnerConfig {
+                methods: vec![
+                    MatcherKind::SimilarityFlooding,
+                    MatcherKind::ComaSchema,
+                    MatcherKind::ComaInstance,
+                    MatcherKind::DistributionDist1,
+                    MatcherKind::DistributionDist2,
+                    MatcherKind::JaccardLevenshtein,
+                ],
+                scale: GridScale::Small,
+                threads: 2,
+            },
+        )
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "no scores matched the filter");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// §VII-A1 "Expected Results": with verbatim schemata, all schema-based
+/// methods are accurate — they place correct matches at the top.
+#[test]
+fn schema_based_accurate_on_verbatim_schemata() {
+    let r = shape_runner();
+    for method in [MatcherKind::ComaSchema, MatcherKind::SimilarityFlooding] {
+        let scores = r.best_recalls_where(method, |rec| !rec.noisy_schema);
+        let m = mean(&scores);
+        assert!(m >= 0.9, "{} verbatim mean {m}", method.label());
+    }
+}
+
+/// §VII-A1 "Interesting Outcomes": with noisy schemata no schema-based
+/// method gives consistently good results.
+#[test]
+fn schema_based_degrade_under_schema_noise() {
+    let r = shape_runner();
+    for method in [MatcherKind::SimilarityFlooding, MatcherKind::ComaSchema] {
+        let noisy = mean(&r.best_recalls_where(method, |rec| rec.noisy_schema));
+        let clean = mean(&r.best_recalls_where(method, |rec| !rec.noisy_schema));
+        assert!(
+            noisy < clean - 0.05,
+            "{}: noisy {noisy} must be clearly below clean {clean}",
+            method.label()
+        );
+    }
+    // Cupid (default configuration, too heavy to grid here) shows the same.
+    let cupid = CupidMatcher::default_config();
+    let (mut noisy, mut clean) = (Vec::new(), Vec::new());
+    for pair in shape_pairs() {
+        let result = cupid
+            .match_tables(&pair.source, &pair.target)
+            .expect("cupid runs");
+        let recall = recall_at_ground_truth(&result, &pair.ground_truth);
+        if pair.noisy_schema {
+            noisy.push(recall);
+        } else {
+            clean.push(recall);
+        }
+    }
+    assert!(mean(&noisy) < mean(&clean) - 0.05, "cupid noisy vs clean");
+}
+
+/// §VII-A2 "Expected Results": instance-based methods are very effective on
+/// joinable pairs (columns that join share instances).
+#[test]
+fn instance_based_strong_on_joinable() {
+    let r = shape_runner();
+    for method in [MatcherKind::ComaInstance, MatcherKind::JaccardLevenshtein] {
+        let scores =
+            r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::Joinable);
+        let m = mean(&scores);
+        assert!(m >= 0.8, "{} joinable mean {m}", method.label());
+    }
+}
+
+/// §VII-A2: the view-unionable scenario is considerably harder than the
+/// unionable one for instance-based methods (no row overlap).
+#[test]
+fn view_unionable_harder_than_unionable_for_instance_methods() {
+    let r = shape_runner();
+    let mut harder = 0;
+    let methods = [
+        MatcherKind::ComaInstance,
+        MatcherKind::JaccardLevenshtein,
+        MatcherKind::DistributionDist1,
+        MatcherKind::DistributionDist2,
+    ];
+    for method in methods {
+        let unionable = mean(&r.best_recalls_where(method, |rec| {
+            rec.scenario == ScenarioKind::Unionable
+        }));
+        let view = mean(&r.best_recalls_where(method, |rec| {
+            rec.scenario == ScenarioKind::ViewUnionable
+        }));
+        if view <= unionable + 1e-9 {
+            harder += 1;
+        }
+    }
+    assert!(
+        harder >= 3,
+        "view-unionable must be at most as easy for most instance methods ({harder}/4)"
+    );
+}
+
+/// §VII-A2: all instance-based methods do worse on semantically-joinable
+/// pairs than on joinable pairs.
+#[test]
+fn semantically_joinable_harder_than_joinable() {
+    let r = shape_runner();
+    for method in [
+        MatcherKind::ComaInstance,
+        MatcherKind::JaccardLevenshtein,
+        MatcherKind::DistributionDist1,
+    ] {
+        let joinable =
+            mean(&r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::Joinable));
+        let sem = mean(&r.best_recalls_where(method, |rec| {
+            rec.scenario == ScenarioKind::SemanticallyJoinable
+        }));
+        assert!(
+            sem <= joinable + 1e-9,
+            "{}: sem {sem} > joinable {joinable}",
+            method.label()
+        );
+    }
+}
+
+/// §VII-A2: comparing instance-based methods across scenarios, COMA is the
+/// most effective; the JL baseline regularly beats the Distribution-based
+/// matcher.
+#[test]
+fn coma_leads_instance_methods_and_baseline_beats_distribution() {
+    let r = shape_runner();
+    let overall = |m: MatcherKind| mean(&r.best_recalls_where(m, |_| true));
+    let coma = overall(MatcherKind::ComaInstance);
+    let jl = overall(MatcherKind::JaccardLevenshtein);
+    let dist = overall(MatcherKind::DistributionDist1).max(overall(MatcherKind::DistributionDist2));
+    assert!(coma >= jl - 0.05, "COMA {coma} must lead or tie JL {jl}");
+    assert!(jl >= dist - 0.05, "JL {jl} must be comparable or better than Dist {dist}");
+}
+
+/// §VII-B3 (ING#2): the Distribution-based method dominates methods biased
+/// towards 1-1 matches when the ground truth is one-to-many.
+#[test]
+fn distribution_wins_one_to_many_ing2() {
+    let pair = valentine::datasets::ing::ing2(SizeClass::Tiny, 0x7a1e ^ 5);
+    let run = |kind: MatcherKind| {
+        Runner::run(
+            std::slice::from_ref(&pair),
+            &RunnerConfig {
+                methods: vec![kind],
+                scale: GridScale::Small,
+                threads: 1,
+            },
+        )
+        .best_per_pair(kind)[0]
+            .1
+    };
+    let dist = run(MatcherKind::DistributionDist2);
+    let jl = run(MatcherKind::JaccardLevenshtein);
+    let sf = run(MatcherKind::SimilarityFlooding);
+    let coma_schema = run(MatcherKind::ComaSchema);
+    // Paper: Dist 0.879 vs JL 0.621, SF 0.439, COMA-schema 0.121. (The
+    // paper's COMA-instance 0.136 is attributed to a COMA 3.0 bug that
+    // suppressed one-to-many matches; our bug-free reimplementation scores
+    // competitively there — see EXPERIMENTS.md for the documented
+    // deviation.)
+    assert!(dist > jl, "Distribution ({dist}) must beat JL ({jl})");
+    assert!(dist > sf, "Distribution ({dist}) must beat SF ({sf})");
+    assert!(
+        dist > coma_schema,
+        "Distribution ({dist}) must beat COMA schema ({coma_schema})"
+    );
+}
+
+/// §VII (Fig. 6): SemProp's pre-trained embeddings are unreliable on
+/// domain-specific data — its recall on ChEMBL-style pairs stays low.
+#[test]
+fn semprop_weak_on_domain_specific_data() {
+    let assays = valentine::datasets::chembl::assays(SizeClass::Tiny, 2);
+    let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+    let pair = fabricate_pair(&assays, &spec, 3).expect("fabrication works");
+    let sem = SemPropMatcher::default_config()
+        .match_tables(&pair.source, &pair.target)
+        .expect("semprop runs");
+    let coma = ComaMatcher::new(ComaStrategy::Instance)
+        .match_tables(&pair.source, &pair.target)
+        .expect("coma runs");
+    let sem_recall = recall_at_ground_truth(&sem, &pair.ground_truth);
+    let coma_recall = recall_at_ground_truth(&coma, &pair.ground_truth);
+    assert!(
+        sem_recall <= coma_recall,
+        "SemProp ({sem_recall}) must not beat COMA instance ({coma_recall})"
+    );
+}
+
+/// Table IV shape: schema-based methods are orders of magnitude faster than
+/// instance-heavy ones; EmbDI is the slowest method overall.
+#[test]
+fn runtime_ordering_matches_table_four() {
+    // one representative pair, one run per method kind (not the full grid)
+    let t = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 5);
+    let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+    let pair = fabricate_pair(&t, &spec, 6).expect("fabrication works");
+    let time = |kind: MatcherKind| {
+        let m = kind.instantiate();
+        let start = std::time::Instant::now();
+        m.match_tables(&pair.source, &pair.target).expect("runs");
+        start.elapsed()
+    };
+    let coma_schema = time(MatcherKind::ComaSchema);
+    let jl = time(MatcherKind::JaccardLevenshtein);
+    let embdi = time(MatcherKind::EmbDI);
+    assert!(embdi > coma_schema, "EmbDI must be slower than COMA schema");
+    assert!(embdi > jl, "EmbDI must be the slowest method");
+}
