@@ -32,7 +32,9 @@ fn bench_ablations(c: &mut Criterion) {
             |b, pair| {
                 b.iter(|| {
                     std::hint::black_box(
-                        matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                        matcher
+                            .match_tables(&pair.source, &pair.target)
+                            .expect("runs"),
                     )
                 })
             },
@@ -57,7 +59,9 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("coma", name), &pair, |b, pair| {
             b.iter(|| {
                 std::hint::black_box(
-                    matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                    matcher
+                        .match_tables(&pair.source, &pair.target)
+                        .expect("runs"),
                 )
             })
         });
@@ -77,7 +81,9 @@ fn bench_ablations(c: &mut Criterion) {
             |b, pair| {
                 b.iter(|| {
                     std::hint::black_box(
-                        matcher.match_tables(&pair.source, &pair.target).expect("runs"),
+                        matcher
+                            .match_tables(&pair.source, &pair.target)
+                            .expect("runs"),
                     )
                 })
             },
@@ -94,18 +100,26 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("overlap", "exact-jl"), &pair, |b, pair| {
             b.iter(|| {
                 std::hint::black_box(
-                    exact.match_tables(&pair.source, &pair.target).expect("runs"),
+                    exact
+                        .match_tables(&pair.source, &pair.target)
+                        .expect("runs"),
                 )
             })
         });
         let approx = ApproxOverlapMatcher::new();
-        group.bench_with_input(BenchmarkId::new("overlap", "approx-lsh"), &pair, |b, pair| {
-            b.iter(|| {
-                std::hint::black_box(
-                    approx.match_tables(&pair.source, &pair.target).expect("runs"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("overlap", "approx-lsh"),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        approx
+                            .match_tables(&pair.source, &pair.target)
+                            .expect("runs"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 
@@ -115,13 +129,19 @@ fn bench_ablations(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for w in [0.0, 0.3, 0.6, 0.9] {
         let matcher = CupidMatcher::new(0.2, w, 0.5);
-        group.bench_with_input(BenchmarkId::new("w_struct", format!("{w}")), &pair, |b, pair| {
-            b.iter(|| {
-                std::hint::black_box(
-                    matcher.match_tables(&pair.source, &pair.target).expect("runs"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("w_struct", format!("{w}")),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        matcher
+                            .match_tables(&pair.source, &pair.target)
+                            .expect("runs"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

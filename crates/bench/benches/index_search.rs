@@ -1,0 +1,89 @@
+//! Discovery-index micro-bench: brute-force all-pairs matching vs the
+//! sketch-based index (`valentine-index`) on the same corpus and queries.
+//!
+//! Three measurements over a fabricated corpus of verbatim unionable
+//! pairs:
+//!
+//! * `brute_force` — every query table matched against every indexed
+//!   table (corpus-size matcher calls per query);
+//! * `index_assisted` — LSH candidates re-ranked by the same matcher
+//!   under the default candidate cap (strictly fewer matcher calls, as
+//!   asserted below before the timer starts);
+//! * `sketch_only` — the stage-1 ranking alone, zero matcher calls.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valentine_core::discovery::{build_discovery_corpus, DiscoveryEvalConfig};
+use valentine_core::prelude::*;
+
+fn bench_index_search(c: &mut Criterion) {
+    let config = DiscoveryEvalConfig {
+        per_source: 4,
+        search: SearchOptions {
+            rerank: Some(MatcherKind::JaccardLevenshtein),
+            candidate_cap: 5,
+            threads: 2,
+        },
+        ..DiscoveryEvalConfig::default()
+    };
+    let (index, queries) = build_discovery_corpus(&config);
+    let k = config.k;
+
+    // The index must beat brute force on matcher calls before we bother
+    // timing anything — the bench exists to quantify *how much*.
+    let mut indexed_calls = 0;
+    let mut brute_calls = 0;
+    for q in &queries {
+        indexed_calls += index
+            .top_k_unionable(&q.table, k, &config.search)
+            .stats
+            .matcher_calls;
+        brute_calls += index
+            .brute_force_unionable(&q.table, k, MatcherKind::JaccardLevenshtein)
+            .stats
+            .matcher_calls;
+    }
+    assert!(
+        indexed_calls < brute_calls,
+        "index issued {indexed_calls} matcher calls, brute force {brute_calls}"
+    );
+    println!(
+        "matcher calls over {} queries x {} tables: index {indexed_calls}, brute force {brute_calls}",
+        queries.len(),
+        index.len()
+    );
+
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let query = &queries[0].table;
+    group.bench_with_input(
+        BenchmarkId::new("unionable", "brute_force"),
+        query,
+        |b, q| {
+            b.iter(|| {
+                std::hint::black_box(index.brute_force_unionable(
+                    q,
+                    k,
+                    MatcherKind::JaccardLevenshtein,
+                ))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("unionable", "index_assisted"),
+        query,
+        |b, q| b.iter(|| std::hint::black_box(index.top_k_unionable(q, k, &config.search))),
+    );
+    let sketch_only = SearchOptions::sketch_only();
+    group.bench_with_input(
+        BenchmarkId::new("unionable", "sketch_only"),
+        query,
+        |b, q| b.iter(|| std::hint::black_box(index.top_k_unionable(q, k, &sketch_only))),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_search);
+criterion_main!(benches);

@@ -20,15 +20,19 @@ fn bench_table4(c: &mut Criterion) {
             continue; // SemProp is benched on its ontology source in fig6
         }
         let matcher = kind.instantiate();
-        group.bench_with_input(BenchmarkId::new(kind.label(), "unionable"), &pair, |b, pair| {
-            b.iter(|| {
-                std::hint::black_box(
-                    matcher
-                        .match_tables(&pair.source, &pair.target)
-                        .expect("matcher runs"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new(kind.label(), "unionable"),
+            &pair,
+            |b, pair| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        matcher
+                            .match_tables(&pair.source, &pair.target)
+                            .expect("matcher runs"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -15,12 +15,11 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use valentine_bench::{
-    build_corpus, figure, run_methods, Scale, INSTANCE_METHODS,
-    NON_SEMPROP_METHODS, SCHEMA_METHODS,
+    build_corpus, figure, run_methods, Scale, INSTANCE_METHODS, NON_SEMPROP_METHODS, SCHEMA_METHODS,
 };
 use valentine_core::matchers::registry::match_type_coverage;
 use valentine_core::prelude::*;
-use valentine_core::reports::{figure_tsv, records_tsv, render_recall_table};
+use valentine_core::reports::{figure_tsv, records_tsv, render_error_summary, render_recall_table};
 use valentine_core::Runner;
 
 struct Options {
@@ -102,7 +101,11 @@ fn main() {
         fabricated_runner.get_or_init(|| {
             let c = get_corpus();
             let pairs: Vec<DatasetPair> = c.fabricated().into_iter().cloned().collect();
-            println!("  running {} methods on {} fabricated pairs …", NON_SEMPROP_METHODS.len(), pairs.len());
+            println!(
+                "  running {} methods on {} fabricated pairs …",
+                NON_SEMPROP_METHODS.len(),
+                pairs.len()
+            );
             run_methods(&pairs, &NON_SEMPROP_METHODS, opts.scale, opts.threads)
         })
     };
@@ -164,7 +167,9 @@ fn main() {
             |r| r.noisy_instances,
         );
         println!("\n{text}");
-        println!("paper shape: joinable easy; view-unionable ≪ unionable; sem-joinable < joinable;");
+        println!(
+            "paper shape: joinable easy; view-unionable ≪ unionable; sem-joinable < joinable;"
+        );
         println!("COMA most effective; JL baseline often ≥ Distribution-based.");
         write_out(&opts.out_dir, "fig5_noisy.tsv", &figure_tsv(&cells));
     }
@@ -178,7 +183,11 @@ fn main() {
             |r| !r.noisy_instances && !r.noisy_schema,
         );
         println!("\n{text}");
-        write_out(&opts.out_dir, "fig6_embdi_verbatim.tsv", &figure_tsv(&cells));
+        write_out(
+            &opts.out_dir,
+            "fig6_embdi_verbatim.tsv",
+            &figure_tsv(&cells),
+        );
         let (text, cells) = figure(
             runner,
             "Figure 6b: EmbDI, noisy instances/schemata",
@@ -200,14 +209,20 @@ fn main() {
             |_| true,
         );
         println!("\n{text}");
-        println!("paper shape: SemProp lowest of all methods; EmbDI inconsistent, best on joinable.");
+        println!(
+            "paper shape: SemProp lowest of all methods; EmbDI inconsistent, best on joinable."
+        );
         write_out(&opts.out_dir, "fig6_semprop.tsv", &figure_tsv(&cells));
     }
 
     if run("fig7") {
         let c = get_corpus();
         let wikidata: Vec<DatasetPair> = c.by_source("wikidata").into_iter().cloned().collect();
-        println!("  running {} methods on {} WikiData pairs …", NON_SEMPROP_METHODS.len(), wikidata.len());
+        println!(
+            "  running {} methods on {} WikiData pairs …",
+            NON_SEMPROP_METHODS.len(),
+            wikidata.len()
+        );
         let runner = run_methods(&wikidata, &NON_SEMPROP_METHODS, opts.scale, opts.threads);
         let (text, cells) = figure(
             &runner,
@@ -217,7 +232,9 @@ fn main() {
         );
         println!("\n{text}");
         println!("paper shape: instance-based > schema-based everywhere; instance-based reach 1.0 on joinable;");
-        println!("COMA instance wins semantically-joinable; Distribution-based weak on view-unionable.");
+        println!(
+            "COMA instance wins semantically-joinable; Distribution-based weak on view-unionable."
+        );
         write_out(&opts.out_dir, "fig7.tsv", &figure_tsv(&cells));
     }
 
@@ -231,7 +248,10 @@ fn main() {
 
         let magellan: Vec<DatasetPair> = c.by_source("magellan").into_iter().cloned().collect();
         let ing: Vec<DatasetPair> = c.by_source("ing").into_iter().cloned().collect();
-        println!("  running {} methods on Magellan + ING pairs …", methods.len());
+        println!(
+            "  running {} methods on Magellan + ING pairs …",
+            methods.len()
+        );
         let run_mag = run_methods(&magellan, &methods, opts.scale, opts.threads);
         let run_ing = run_methods(&ing, &methods, opts.scale, opts.threads);
 
@@ -275,7 +295,10 @@ fn main() {
     if run("table4") {
         let runner = get_fabricated_runner();
         println!("\n== Table IV: average runtime per experiment (seconds) ==");
-        println!("{:<24} {:>12} {:>14}", "method", "measured (s)", "paper (s)");
+        println!(
+            "{:<24} {:>12} {:>14}",
+            "method", "measured (s)", "paper (s)"
+        );
         let paper_runtimes: &[(MatcherKind, f64)] = &[
             (MatcherKind::Cupid, 9.64),
             (MatcherKind::SimilarityFlooding, 7.09),
@@ -301,14 +324,28 @@ fn main() {
                 _ => runner.mean_runtime(m),
             };
             if let Some(d) = measured {
-                println!("{:<24} {:>12.4} {:>14.2}", m.label(), d.as_secs_f64(), paper);
-                tsv.push_str(&format!("{}\t{:.6}\t{:.2}\n", m.label(), d.as_secs_f64(), paper));
+                println!(
+                    "{:<24} {:>12.4} {:>14.2}",
+                    m.label(),
+                    d.as_secs_f64(),
+                    paper
+                );
+                tsv.push_str(&format!(
+                    "{}\t{:.6}\t{:.2}\n",
+                    m.label(),
+                    d.as_secs_f64(),
+                    paper
+                ));
             }
         }
         println!("paper shape: schema-based fastest (COMA-schema < SF < Cupid);");
         println!("instance/hybrid orders of magnitude slower; EmbDI worst overall.");
         write_out(&opts.out_dir, "table4.tsv", &tsv);
         write_out(&opts.out_dir, "records.tsv", &records_tsv(runner));
+        let failures = render_error_summary(runner);
+        if !failures.is_empty() {
+            println!("\n{failures}");
+        }
     }
 
     println!("\ncompleted in {:.1}s", started.elapsed().as_secs_f64());

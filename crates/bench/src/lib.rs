@@ -136,7 +136,10 @@ pub fn figure(
     }
     let mut text = render_figure(title, &cells);
     text.push('\n');
-    text.push_str(&render_figure_whiskers("whiskers (Recall@GT, 0..1)", &cells));
+    text.push_str(&render_figure_whiskers(
+        "whiskers (Recall@GT, 0..1)",
+        &cells,
+    ));
     (text, cells)
 }
 

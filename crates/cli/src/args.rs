@@ -52,7 +52,8 @@ impl Parsed {
 
     /// A required option value.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.opt(key).ok_or_else(|| format!("missing option --{key}"))
+        self.opt(key)
+            .ok_or_else(|| format!("missing option --{key}"))
     }
 
     /// True when a bare flag was given.
@@ -81,7 +82,11 @@ mod tests {
 
     #[test]
     fn mixes_positionals_and_options() {
-        let p = parse(&argv(&["a.csv", "--method", "coma", "b.csv", "--one-to-one"]), &["one-to-one"]).unwrap();
+        let p = parse(
+            &argv(&["a.csv", "--method", "coma", "b.csv", "--one-to-one"]),
+            &["one-to-one"],
+        )
+        .unwrap();
         assert_eq!(p.positional, vec!["a.csv", "b.csv"]);
         assert_eq!(p.opt("method"), Some("coma"));
         assert!(p.flag("one-to-one"));

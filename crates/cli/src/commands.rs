@@ -36,6 +36,31 @@ USAGE:
   valentine evaluate <a.csv> <b.csv> --truth <gt.tsv> [--method NAME]
       Run a matcher on two CSV files and score it against a ground-truth
       TSV (two tab-separated columns: source_column, target_column).
+
+  valentine index build --out FILE [--csv-dir DIR]
+                        [--size tiny|small|paper] [--per-source N]
+                        [--seed N] [--bands B] [--rows R] [--threads T]
+      Build a persistent discovery index. With --csv-dir, every *.csv
+      under DIR is profiled and ingested; otherwise a synthetic corpus of
+      fabricated unionable tables from the three bundled sources is
+      indexed (N tables per source, default 6).
+
+  valentine index search <index-file> --query <q.csv> [--k K]
+                         [--mode unionable|joinable] [--column NAME]
+                         [--method NAME | --no-rerank] [--cap N]
+      Top-k related-table search against a built index. Mode `unionable`
+      ranks whole tables; `joinable` ranks candidate join columns for the
+      query column named by --column. --method picks the re-rank matcher
+      (default: coma-instance); --no-rerank ranks by sketches alone.
+
+  valentine index eval [--size tiny|small|paper] [--per-source N] [--k K]
+                       [--seed N] [--method NAME | --no-rerank]
+      Corpus-scale retrieval evaluation against fabricator ground truth:
+      counterpart hit rate, precision@k, MRR, and matcher calls saved
+      versus brute-force all-pairs matching.
+
+  valentine index info <index-file>
+      Summarise a built index file.
 ";
 
 /// Builds a matcher from its CLI name.
@@ -51,7 +76,41 @@ fn matcher_by_name(name: &str) -> Result<Box<dyn Matcher>, String> {
         "embdi" => Box::new(EmbdiMatcher::small_config()),
         "jaccard-levenshtein" | "jl" => Box::new(JaccardLevenshteinMatcher::new(0.8)),
         "approx-overlap" | "lsh" => Box::new(ApproxOverlapMatcher::new()),
-        other => return Err(format!("unknown method `{other}` (see `valentine methods`)")),
+        other => {
+            return Err(format!(
+                "unknown method `{other}` (see `valentine methods`)"
+            ))
+        }
+    })
+}
+
+/// Resolves a CLI method name to its [`MatcherKind`] (for the index
+/// re-rank stage, which instantiates matchers itself).
+fn kind_by_name(name: &str) -> Result<MatcherKind, String> {
+    Ok(match name {
+        "cupid" => MatcherKind::Cupid,
+        "similarity-flooding" | "sf" => MatcherKind::SimilarityFlooding,
+        "coma-schema" => MatcherKind::ComaSchema,
+        "coma-instance" | "coma" => MatcherKind::ComaInstance,
+        "distribution" | "dist" => MatcherKind::DistributionDist1,
+        "distribution-loose" => MatcherKind::DistributionDist2,
+        "semprop" => MatcherKind::SemProp,
+        "embdi" => MatcherKind::EmbDI,
+        "jaccard-levenshtein" | "jl" => MatcherKind::JaccardLevenshtein,
+        other => {
+            return Err(format!(
+                "unknown re-rank method `{other}` (see `valentine methods`)"
+            ))
+        }
+    })
+}
+
+fn size_by_name(name: &str) -> Result<SizeClass, String> {
+    Ok(match name {
+        "tiny" => SizeClass::Tiny,
+        "small" => SizeClass::Small,
+        "paper" => SizeClass::Paper,
+        other => return Err(format!("unknown size `{other}`")),
     })
 }
 
@@ -80,8 +139,7 @@ pub fn methods() {
 }
 
 fn load_table(path: &str) -> Result<Table, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -117,7 +175,13 @@ pub fn match_files(argv: &[String]) -> Result<(), String> {
             matcher.name()
         );
         for (i, m) in ranked.top_k(top).iter().enumerate() {
-            println!("  {:>3}. {} <-> {}  ({:.4})", i + 1, m.source, m.target, m.score);
+            println!(
+                "  {:>3}. {} <-> {}  ({:.4})",
+                i + 1,
+                m.source,
+                m.target,
+                m.score
+            );
         }
     }
     Ok(())
@@ -128,12 +192,7 @@ pub fn fabricate(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv, &[])?;
     let source_name = p.required("source")?;
     let scenario = p.required("scenario")?;
-    let size = match p.opt("size").unwrap_or("small") {
-        "tiny" => SizeClass::Tiny,
-        "small" => SizeClass::Small,
-        "paper" => SizeClass::Paper,
-        other => return Err(format!("unknown size `{other}`")),
-    };
+    let size = size_by_name(p.opt("size").unwrap_or("small"))?;
     let seed: u64 = p.opt_parse("seed", 42)?;
     let out_dir = p.opt("out").unwrap_or(".").to_string();
 
@@ -194,8 +253,8 @@ pub fn evaluate(argv: &[String]) -> Result<(), String> {
     let truth_path = p.required("truth")?;
     let matcher = matcher_by_name(p.opt("method").unwrap_or("coma-instance"))?;
 
-    let truth_text = fs::read_to_string(truth_path)
-        .map_err(|e| format!("cannot read `{truth_path}`: {e}"))?;
+    let truth_text =
+        fs::read_to_string(truth_path).map_err(|e| format!("cannot read `{truth_path}`: {e}"))?;
     let ground_truth: Vec<(String, String)> = truth_text
         .lines()
         .skip(1) // header
@@ -221,14 +280,228 @@ pub fn evaluate(argv: &[String]) -> Result<(), String> {
     let k = ground_truth.len();
     println!("method:            {}", matcher.name());
     println!("ground truth size: {k}");
-    println!("recall@GT:         {:.4}", recall_at_ground_truth(&ranked, &ground_truth));
-    println!("MRR:               {:.4}", mean_reciprocal_rank(&ranked, &ground_truth));
-    println!("MAP:               {:.4}", average_precision(&ranked, &ground_truth));
-    println!("nDCG@{k}:          {:.4}", ndcg_at_k(&ranked, &ground_truth, k));
+    println!(
+        "recall@GT:         {:.4}",
+        recall_at_ground_truth(&ranked, &ground_truth)
+    );
+    println!(
+        "MRR:               {:.4}",
+        mean_reciprocal_rank(&ranked, &ground_truth)
+    );
+    println!(
+        "MAP:               {:.4}",
+        average_precision(&ranked, &ground_truth)
+    );
+    println!(
+        "nDCG@{k}:          {:.4}",
+        ndcg_at_k(&ranked, &ground_truth, k)
+    );
     println!("runtime:           {:.3}s", elapsed.as_secs_f64());
     // the COMA-style near-tie view for human review
     let review = extract_threshold_delta(&ranked, 0.5, 0.05);
-    println!("candidates ≥0.5 within δ=0.05 of each source's best: {}", review.len());
+    println!(
+        "candidates ≥0.5 within δ=0.05 of each source's best: {}",
+        review.len()
+    );
+    Ok(())
+}
+
+/// `valentine index <build|search|eval|info>`
+pub fn index(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("build") => index_build(&argv[1..]),
+        Some("search") => index_search(&argv[1..]),
+        Some("eval") => index_eval(&argv[1..]),
+        Some("info") => index_info(&argv[1..]),
+        other => Err(format!(
+            "unknown index subcommand `{}` (build | search | eval | info)",
+            other.unwrap_or("")
+        )),
+    }
+}
+
+fn index_config_from(p: &args::Parsed) -> Result<valentine_core::index::IndexConfig, String> {
+    let defaults = valentine_core::index::IndexConfig::default();
+    Ok(valentine_core::index::IndexConfig {
+        bands: p.opt_parse("bands", defaults.bands)?,
+        rows: p.opt_parse("rows", defaults.rows)?,
+        seed: p.opt_parse("seed", defaults.seed)?,
+    })
+}
+
+fn search_options_from(p: &args::Parsed) -> Result<SearchOptions, String> {
+    let mut opts = SearchOptions::default();
+    if p.flag("no-rerank") {
+        opts.rerank = None;
+    } else if let Some(name) = p.opt("method") {
+        opts.rerank = Some(kind_by_name(name)?);
+    }
+    opts.candidate_cap = p.opt_parse("cap", opts.candidate_cap)?;
+    opts.threads = p.opt_parse("threads", opts.threads)?;
+    Ok(opts)
+}
+
+/// Collects every `*.csv` under `root`, recursively, in sorted path order.
+fn collect_csv_files(
+    root: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        fs::read_dir(root).map_err(|e| format!("cannot read `{}`: {e}", root.display()))?;
+    let mut paths: Vec<_> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_csv_files(&path, out)?;
+        } else if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("csv"))
+        {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn index_build(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let out_path = p.required("out")?.to_string();
+    let threads: usize = p.opt_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(4usize, |n| n.get()),
+    )?;
+    let mut idx = Index::new(index_config_from(&p)?);
+
+    if let Some(dir) = p.opt("csv-dir") {
+        let mut files = Vec::new();
+        collect_csv_files(std::path::Path::new(dir), &mut files)?;
+        if files.is_empty() {
+            return Err(format!("no *.csv files under `{dir}`"));
+        }
+        let batch: Result<Vec<(String, Table)>, String> = files
+            .iter()
+            .map(|f| Ok((format!("csv:{dir}"), load_table(&f.to_string_lossy())?)))
+            .collect();
+        idx.ingest_batch(batch?, threads);
+    } else {
+        let config = DiscoveryEvalConfig {
+            size: size_by_name(p.opt("size").unwrap_or("tiny"))?,
+            per_source: p.opt_parse("per-source", 6usize)?,
+            seed: p.opt_parse("seed", 0x7a1eu64)?,
+            index: *idx.config(),
+            threads,
+            ..DiscoveryEvalConfig::default()
+        };
+        let (built, _) = valentine_core::discovery::build_discovery_corpus(&config);
+        idx = built;
+    }
+
+    idx.save(std::path::Path::new(&out_path))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} tables ({} column profiles, {}×{} LSH bands) -> {out_path}",
+        idx.len(),
+        idx.num_profiles(),
+        idx.config().bands,
+        idx.config().rows,
+    );
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<Index, String> {
+    Index::load(std::path::Path::new(path)).map_err(|e| format!("cannot load index `{path}`: {e}"))
+}
+
+fn index_search(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &["no-rerank"])?;
+    let idx = load_index(p.positional(0, "index file")?)?;
+    let query = load_table(p.required("query")?)?;
+    let k: usize = p.opt_parse("k", 5)?;
+    let opts = search_options_from(&p)?;
+
+    let outcome = match p.opt("mode").unwrap_or("unionable") {
+        "unionable" => idx.top_k_unionable(&query, k, &opts),
+        "joinable" => {
+            let column_name = p.required("column")?;
+            let column = query
+                .column(column_name)
+                .ok_or_else(|| format!("query has no column `{column_name}`"))?;
+            idx.top_k_joinable(column, k, &opts)
+        }
+        other => return Err(format!("unknown mode `{other}` (unionable | joinable)")),
+    };
+
+    println!(
+        "top {} of {} indexed tables:",
+        outcome.results.len(),
+        idx.len()
+    );
+    for (i, r) in outcome.results.iter().enumerate() {
+        let column = r
+            .column
+            .as_deref()
+            .map(|c| format!(" [{c}]"))
+            .unwrap_or_default();
+        println!(
+            "  {:>3}. {}{column}  score {:.4}  (sketch {:.4}, source {})",
+            i + 1,
+            r.table_name,
+            r.score,
+            r.sketch_score,
+            r.source
+        );
+    }
+    let s = outcome.stats;
+    println!(
+        "stats: {} LSH candidates, {} matcher calls ({} failed) vs {} brute-force",
+        s.lsh_candidates,
+        s.matcher_calls,
+        s.matcher_errors,
+        idx.len()
+    );
+    Ok(())
+}
+
+fn index_eval(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &["no-rerank"])?;
+    let config = DiscoveryEvalConfig {
+        size: size_by_name(p.opt("size").unwrap_or("tiny"))?,
+        per_source: p.opt_parse("per-source", 6usize)?,
+        seed: p.opt_parse("seed", 0x7a1eu64)?,
+        k: p.opt_parse("k", 5usize)?,
+        index: index_config_from(&p)?,
+        search: search_options_from(&p)?,
+        threads: p.opt_parse(
+            "threads",
+            std::thread::available_parallelism().map_or(4usize, |n| n.get()),
+        )?,
+    };
+    let eval = evaluate_discovery(&config);
+    print!("{}", render_discovery_report(&eval));
+    Ok(())
+}
+
+fn index_info(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let idx = load_index(p.positional(0, "index file")?)?;
+    let config = idx.config();
+    println!("tables:        {}", idx.len());
+    println!("profiles:      {}", idx.num_profiles());
+    println!(
+        "lsh layout:    {} bands x {} rows (signature k = {}, threshold ~{:.3})",
+        config.bands,
+        config.rows,
+        config.signature_len(),
+        (1.0 / config.bands as f64).powf(1.0 / config.rows as f64)
+    );
+    println!("seed:          {:#x}", config.seed);
+    let mut by_source: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for t in idx.tables() {
+        *by_source.entry(t.source.as_str()).or_insert(0) += 1;
+    }
+    for (source, n) in by_source {
+        println!("  {source}: {n} tables");
+    }
     Ok(())
 }
 
@@ -250,9 +523,21 @@ mod tests {
     #[test]
     fn matcher_names_resolve() {
         for name in [
-            "cupid", "similarity-flooding", "sf", "coma-schema", "coma-instance", "coma",
-            "distribution", "dist", "distribution-loose", "semprop", "embdi",
-            "jaccard-levenshtein", "jl", "approx-overlap", "lsh",
+            "cupid",
+            "similarity-flooding",
+            "sf",
+            "coma-schema",
+            "coma-instance",
+            "coma",
+            "distribution",
+            "dist",
+            "distribution-loose",
+            "semprop",
+            "embdi",
+            "jaccard-levenshtein",
+            "jl",
+            "approx-overlap",
+            "lsh",
         ] {
             assert!(matcher_by_name(name).is_ok(), "{name}");
         }
@@ -264,8 +549,16 @@ mod tests {
         let dir = temp_dir("roundtrip");
         let out = dir.to_str().unwrap();
         fabricate(&argv(&[
-            "--source", "tpcdi", "--scenario", "joinable", "--size", "tiny", "--seed", "4",
-            "--out", out,
+            "--source",
+            "tpcdi",
+            "--scenario",
+            "joinable",
+            "--size",
+            "tiny",
+            "--seed",
+            "4",
+            "--out",
+            out,
         ]))
         .expect("fabricate works");
         for f in ["source.csv", "target.csv", "ground_truth.tsv"] {
@@ -274,10 +567,16 @@ mod tests {
         let src = format!("{out}/source.csv");
         let tgt = format!("{out}/target.csv");
         let truth = format!("{out}/ground_truth.tsv");
-        evaluate(&argv(&[&src, &tgt, "--truth", &truth, "--method", "coma-instance"]))
-            .expect("evaluate works");
-        match_files(&argv(&[&src, &tgt, "--method", "jl", "--top", "3"]))
-            .expect("match works");
+        evaluate(&argv(&[
+            &src,
+            &tgt,
+            "--truth",
+            &truth,
+            "--method",
+            "coma-instance",
+        ]))
+        .expect("evaluate works");
+        match_files(&argv(&[&src, &tgt, "--method", "jl", "--top", "3"])).expect("match works");
         match_files(&argv(&[&src, &tgt, "--one-to-one", "--threshold", "0.6"]))
             .expect("one-to-one works");
         let _ = fs::remove_dir_all(&dir);
@@ -287,7 +586,10 @@ mod tests {
     fn fabricate_rejects_unknown_inputs() {
         assert!(fabricate(&argv(&["--source", "ghost", "--scenario", "joinable"])).is_err());
         assert!(fabricate(&argv(&["--source", "tpcdi", "--scenario", "ghost"])).is_err());
-        assert!(fabricate(&argv(&["--source", "tpcdi"])).is_err(), "scenario required");
+        assert!(
+            fabricate(&argv(&["--source", "tpcdi"])).is_err(),
+            "scenario required"
+        );
     }
 
     #[test]
@@ -299,7 +601,10 @@ mod tests {
         fs::write(&empty_truth, "source_column\ttarget_column\n").unwrap();
         let c = csv_path.to_str().unwrap();
         let g = empty_truth.to_str().unwrap();
-        assert!(evaluate(&argv(&[c, c, "--truth", g])).is_err(), "empty truth rejected");
+        assert!(
+            evaluate(&argv(&[c, c, "--truth", g])).is_err(),
+            "empty truth rejected"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -307,5 +612,139 @@ mod tests {
     fn match_files_reports_missing_inputs() {
         assert!(match_files(&argv(&["/nonexistent/a.csv", "/nonexistent/b.csv"])).is_err());
         assert!(match_files(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn index_build_search_info_roundtrip() {
+        let dir = temp_dir("index_roundtrip");
+        let idx_path = dir.join("corpus.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&[
+            "build",
+            "--out",
+            idx,
+            "--size",
+            "tiny",
+            "--per-source",
+            "3",
+            "--seed",
+            "9",
+        ]))
+        .expect("index build works");
+        assert!(idx_path.exists());
+        index(&argv(&["info", idx])).expect("index info works");
+
+        // Fabricate a query that shares a base table with the corpus and
+        // search for it, both re-ranked and sketch-only.
+        let out = dir.to_str().unwrap();
+        fabricate(&argv(&[
+            "--source",
+            "tpcdi",
+            "--scenario",
+            "unionable",
+            "--size",
+            "tiny",
+            "--seed",
+            "9",
+            "--out",
+            out,
+        ]))
+        .expect("fabricate works");
+        let query = format!("{out}/source.csv");
+        index(&argv(&[
+            "search", idx, "--query", &query, "--k", "3", "--method", "jl",
+        ]))
+        .expect("unionable search works");
+        index(&argv(&["search", idx, "--query", &query, "--no-rerank"]))
+            .expect("sketch-only search works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_build_from_csv_dir() {
+        let dir = temp_dir("index_csvdir");
+        let csv_dir = dir.join("tables");
+        fs::create_dir_all(csv_dir.join("nested")).unwrap();
+        fs::write(csv_dir.join("a.csv"), "id,name\n1,ada\n2,grace\n").unwrap();
+        fs::write(csv_dir.join("nested/b.csv"), "id,city\n1,oslo\n2,turin\n").unwrap();
+        fs::write(csv_dir.join("notes.txt"), "not a table").unwrap();
+        let idx_path = dir.join("dir.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&[
+            "build",
+            "--out",
+            idx,
+            "--csv-dir",
+            csv_dir.to_str().unwrap(),
+        ]))
+        .expect("index build from csv dir works");
+        index(&argv(&["info", idx])).expect("info works");
+
+        // Joinable search on the id column of one of the ingested tables.
+        let query = csv_dir.join("a.csv");
+        index(&argv(&[
+            "search",
+            idx,
+            "--query",
+            query.to_str().unwrap(),
+            "--mode",
+            "joinable",
+            "--column",
+            "id",
+            "--no-rerank",
+        ]))
+        .expect("joinable search works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_eval_runs_sketch_only() {
+        index(&argv(&[
+            "eval",
+            "--size",
+            "tiny",
+            "--per-source",
+            "2",
+            "--k",
+            "3",
+            "--no-rerank",
+        ]))
+        .expect("index eval works");
+    }
+
+    #[test]
+    fn index_rejects_bad_inputs() {
+        assert!(index(&argv(&["teleport"])).is_err(), "unknown subcommand");
+        assert!(index(&argv(&["build"])).is_err(), "--out required");
+        assert!(index(&argv(&["search", "/nonexistent.vidx", "--query", "q.csv"])).is_err());
+        assert!(index(&argv(&[
+            "build",
+            "--out",
+            "/tmp/x.vidx",
+            "--csv-dir",
+            "/nonexistent_dir"
+        ]))
+        .is_err());
+        let dir = temp_dir("index_badmode");
+        let idx_path = dir.join("i.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&["build", "--out", idx, "--per-source", "1"])).unwrap();
+        let q = dir.join("q.csv");
+        fs::write(&q, "a,b\n1,2\n").unwrap();
+        let qs = q.to_str().unwrap();
+        assert!(index(&argv(&["search", idx, "--query", qs, "--mode", "sideways"])).is_err());
+        assert!(
+            index(&argv(&["search", idx, "--query", qs, "--mode", "joinable"])).is_err(),
+            "--column required for joinable"
+        );
+        assert!(
+            index(&argv(&[
+                "search", idx, "--query", qs, "--mode", "joinable", "--column", "zz"
+            ]))
+            .is_err(),
+            "column must exist in the query"
+        );
+        assert!(index(&argv(&["search", idx, "--query", qs, "--method", "ghost"])).is_err());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -5,6 +5,10 @@
 //! valentine match <a.csv> <b.csv> [--method NAME] [--top K] [--one-to-one] [--threshold T]
 //! valentine fabricate --source NAME --scenario NAME [--size S] [--seed N] [--out DIR]
 //! valentine evaluate <a.csv> <b.csv> --truth <gt.tsv> [--method NAME]
+//! valentine index build --out FILE [--csv-dir DIR | --size S --per-source N]
+//! valentine index search <index-file> --query <q.csv> [--mode unionable|joinable]
+//! valentine index eval [--size S] [--per-source N] [--k K] [--method NAME]
+//! valentine index info <index-file>
 //! ```
 
 mod args;
@@ -45,6 +49,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("match") => commands::match_files(&argv[1..]),
         Some("fabricate") => commands::fabricate(&argv[1..]),
         Some("evaluate") => commands::evaluate(&argv[1..]),
+        Some("index") => commands::index(&argv[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -79,7 +79,10 @@ impl Corpus {
         if config.fabricated {
             let sources: Vec<(&str, Table)> = vec![
                 ("tpcdi", tpcdi::prospect(config.size, config.seed)),
-                ("opendata", opendata::open_data(config.size, config.seed ^ 1)),
+                (
+                    "opendata",
+                    opendata::open_data(config.size, config.seed ^ 1),
+                ),
                 ("chembl", chembl::assays(config.size, config.seed ^ 2)),
             ];
             for (name, table) in &sources {
@@ -119,7 +122,10 @@ impl Corpus {
 
     /// Pairs of one dataset source.
     pub fn by_source(&self, source: &str) -> Vec<&DatasetPair> {
-        self.pairs.iter().filter(|p| p.source_name == source).collect()
+        self.pairs
+            .iter()
+            .filter(|p| p.source_name == source)
+            .collect()
     }
 
     /// Only the fabricated pairs (TPC-DI + Open Data + ChEMBL).

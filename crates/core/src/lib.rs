@@ -16,11 +16,14 @@
 //! * [`runner`] — the parallel experiment executor with per-run timing;
 //! * [`select`] — 1-1 match extraction (Hungarian / stable marriage /
 //!   threshold) for comparison with the traditional evaluation mode;
-//! * [`reports`] — min/median/max aggregation and TSV/markdown rendering.
+//! * [`reports`] — min/median/max aggregation and TSV/markdown rendering;
+//! * [`discovery`] — corpus-scale evaluation of the sketch-based discovery
+//!   index ([`valentine_index`]) against fabricator ground truth.
 
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod discovery;
 pub mod grids;
 pub mod metrics;
 pub mod reports;
@@ -31,6 +34,7 @@ pub mod select;
 pub use valentine_datasets as datasets;
 pub use valentine_embeddings as embeddings;
 pub use valentine_fabricator as fabricator;
+pub use valentine_index as index;
 pub use valentine_matchers as matchers;
 pub use valentine_ontology as ontology;
 pub use valentine_solver as solver;
@@ -47,18 +51,24 @@ pub use runner::{ExperimentRecord, Runner, RunnerConfig};
 
 /// Everything a downstream user typically needs.
 pub mod prelude {
-    pub use crate::matchers::{
-        ApproxOverlapMatcher, ColumnMatch, ComaMatcher, ComaStrategy, CupidMatcher,
-        DistributionMatcher, EmbdiMatcher, JaccardLevenshteinMatcher, MatchResult, MatchType,
-        Matcher, MatcherKind, SemPropMatcher, SimilarityFloodingMatcher,
-    };
     pub use crate::corpus::{Corpus, CorpusConfig};
     pub use crate::datasets::SizeClass;
+    pub use crate::discovery::{
+        evaluate_discovery, render_discovery_report, DiscoveryEval, DiscoveryEvalConfig,
+    };
     pub use crate::fabricator::{
         fabricate_pair, DatasetPair, FabricationPlan, InstanceNoise, ScenarioKind, ScenarioSpec,
         SchemaNoise,
     };
     pub use crate::grids::{method_grid, GridScale};
+    pub use crate::index::{
+        DiscoveryResult, Index, IndexConfig, SearchOptions, SearchOutcome, SearchStats,
+    };
+    pub use crate::matchers::{
+        ApproxOverlapMatcher, ColumnMatch, ComaMatcher, ComaStrategy, CupidMatcher,
+        DistributionMatcher, EmbdiMatcher, JaccardLevenshteinMatcher, MatchResult, MatchType,
+        Matcher, MatcherKind, SemPropMatcher, SimilarityFloodingMatcher,
+    };
     pub use crate::metrics::{
         average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
         recall_at_ground_truth, recall_at_k,

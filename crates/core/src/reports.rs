@@ -43,8 +43,8 @@ pub fn figure_row(
     ScenarioKind::ALL
         .iter()
         .filter_map(|&scenario| {
-            let scores = runner
-                .best_recalls_where(method, |r| r.scenario == scenario && predicate(r));
+            let scores =
+                runner.best_recalls_where(method, |r| r.scenario == scenario && predicate(r));
             min_median_max(&scores).map(|(min, median, max)| FigureCell {
                 method,
                 scenario,
@@ -105,7 +105,12 @@ pub fn render_figure_whiskers(title: &str, cells: &[FigureCell]) -> String {
         }
         axis[mid] = '#';
         let axis: String = axis.into_iter().collect();
-        let _ = writeln!(out, "{:<24} {:<22} {axis}", c.method.label(), c.scenario.id());
+        let _ = writeln!(
+            out,
+            "{:<24} {:<22} {axis}",
+            c.method.label(),
+            c.scenario.id()
+        );
     }
     out
 }
@@ -162,7 +167,10 @@ pub fn render_recall_table(
 /// Renders Table IV: mean runtime per experiment per method, in seconds.
 pub fn render_runtime_table(runner: &Runner, methods: &[MatcherKind]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table IV: average runtime per experiment (seconds) ==");
+    let _ = writeln!(
+        out,
+        "== Table IV: average runtime per experiment (seconds) =="
+    );
     let _ = writeln!(out, "{:<24} {:>12}", "method", "avg runtime");
     for &m in methods {
         if let Some(d) = runner.mean_runtime(m) {
@@ -176,12 +184,12 @@ pub fn render_runtime_table(runner: &Runner, methods: &[MatcherKind]) -> String 
 /// experimental results" the paper ships in its repository).
 pub fn records_tsv(runner: &Runner) -> String {
     let mut out = String::from(
-        "pair_id\tsource\tscenario\tnoisy_schema\tnoisy_instances\tmethod\tconfig\trecall\truntime_s\tgt_size\n",
+        "pair_id\tsource\tscenario\tnoisy_schema\tnoisy_instances\tmethod\tconfig\trecall\truntime_s\tgt_size\terror\n",
     );
     for r in runner.records() {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{}\t{}",
             r.pair_id,
             r.source_name,
             r.scenario.id(),
@@ -191,8 +199,29 @@ pub fn records_tsv(runner: &Runner) -> String {
             r.config,
             r.recall,
             r.runtime.as_secs_f64(),
-            r.ground_truth_size
+            r.ground_truth_size,
+            r.error.as_deref().unwrap_or("").replace(['\t', '\n'], " "),
         );
+    }
+    out
+}
+
+/// Renders the per-method failure summary: how many runs errored instead of
+/// producing a ranking. An empty string when every run succeeded, so
+/// harnesses can append it unconditionally.
+pub fn render_error_summary(runner: &Runner) -> String {
+    let counts = runner.error_counts();
+    if counts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("== matcher failures (runs that errored; recall scored 0.0) ==\n");
+    for (method, n) in counts {
+        let total = runner
+            .records()
+            .iter()
+            .filter(|r| r.method == method)
+            .count();
+        let _ = writeln!(out, "{:<24} {n:>6} of {total} runs failed", method.label());
     }
     out
 }
@@ -214,8 +243,12 @@ mod tests {
                 1,
             )
             .unwrap(),
-            fabricate_pair(&t, &ScenarioSpec::joinable(0.3, false, SchemaNoise::Verbatim), 2)
-                .unwrap(),
+            fabricate_pair(
+                &t,
+                &ScenarioSpec::joinable(0.3, false, SchemaNoise::Verbatim),
+                2,
+            )
+            .unwrap(),
         ];
         Runner::run(
             &pairs,

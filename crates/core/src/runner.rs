@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use valentine_fabricator::{DatasetPair, ScenarioKind};
 use valentine_matchers::MatcherKind;
+use valentine_table::FxHashMap;
 
 use crate::grids::{method_grid, GridScale};
 use crate::metrics::recall_at_ground_truth;
@@ -43,6 +44,16 @@ pub struct ExperimentRecord {
     pub runtime: Duration,
     /// Ground-truth size (the `k`).
     pub ground_truth_size: usize,
+    /// The matcher's error when the run failed (`recall` is 0.0 then, but a
+    /// failed run is *reported*, not silently scored last).
+    pub error: Option<String>,
+}
+
+impl ExperimentRecord {
+    /// True when the matcher returned an error instead of a ranking.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// Runner options.
@@ -94,9 +105,9 @@ impl Runner {
                             let start = Instant::now();
                             let result = matcher.match_tables(&pair.source, &pair.target);
                             let runtime = start.elapsed();
-                            let recall = match &result {
-                                Ok(r) => recall_at_ground_truth(r, &pair.ground_truth),
-                                Err(_) => 0.0,
+                            let (recall, error) = match &result {
+                                Ok(r) => (recall_at_ground_truth(r, &pair.ground_truth), None),
+                                Err(e) => (0.0, Some(e.to_string())),
                             };
                             local.push(ExperimentRecord {
                                 pair_id: pair.id.clone(),
@@ -109,6 +120,7 @@ impl Runner {
                                 recall,
                                 runtime,
                                 ground_truth_size: pair.ground_truth_size(),
+                                error,
                             });
                         }
                     }
@@ -120,6 +132,19 @@ impl Runner {
 
         let mut records = records.into_inner();
         // deterministic report order regardless of thread interleaving
+        records.sort_by(|a, b| {
+            a.pair_id
+                .cmp(&b.pair_id)
+                .then_with(|| a.method.label().cmp(b.method.label()))
+                .then_with(|| a.config.cmp(&b.config))
+        });
+        Runner { records }
+    }
+
+    /// Builds a runner from pre-existing records (report tooling over
+    /// persisted results; also the seam tests use to exercise aggregation).
+    /// Records are re-sorted into the deterministic report order.
+    pub fn from_records(mut records: Vec<ExperimentRecord>) -> Runner {
         records.sort_by(|a, b| {
             a.pair_id
                 .cmp(&b.pair_id)
@@ -145,13 +170,19 @@ impl Runner {
     }
 
     /// Best recall per (pair, method) — the grid-search view the paper's
-    /// figures report.
+    /// figures report. Pairs keep first-seen (sorted-record) order; the
+    /// aggregation itself is hash-keyed, so a full-grid run costs
+    /// O(records) instead of O(records × pairs).
     pub fn best_per_pair(&self, method: MatcherKind) -> Vec<(String, f64)> {
         let mut best: Vec<(String, f64)> = Vec::new();
+        let mut slot: FxHashMap<&str, usize> = FxHashMap::default();
         for rec in self.records.iter().filter(|r| r.method == method) {
-            match best.iter_mut().find(|(id, _)| *id == rec.pair_id) {
-                Some((_, score)) => *score = score.max(rec.recall),
-                None => best.push((rec.pair_id.clone(), rec.recall)),
+            match slot.get(rec.pair_id.as_str()) {
+                Some(&i) => best[i].1 = best[i].1.max(rec.recall),
+                None => {
+                    slot.insert(&rec.pair_id, best.len());
+                    best.push((rec.pair_id.clone(), rec.recall));
+                }
             }
         }
         best
@@ -163,19 +194,44 @@ impl Runner {
         method: MatcherKind,
         mut predicate: impl FnMut(&ExperimentRecord) -> bool,
     ) -> Vec<f64> {
-        let mut best: Vec<(&str, f64)> = Vec::new();
+        let mut best: Vec<f64> = Vec::new();
+        let mut slot: FxHashMap<&str, usize> = FxHashMap::default();
         for rec in self
             .records
             .iter()
             .filter(|r| r.method == method)
             .filter(|r| predicate(r))
         {
-            match best.iter_mut().find(|(id, _)| *id == rec.pair_id) {
-                Some((_, score)) => *score = score.max(rec.recall),
-                None => best.push((&rec.pair_id, rec.recall)),
+            match slot.get(rec.pair_id.as_str()) {
+                Some(&i) => best[i] = best[i].max(rec.recall),
+                None => {
+                    slot.insert(&rec.pair_id, best.len());
+                    best.push(rec.recall);
+                }
             }
         }
-        best.into_iter().map(|(_, s)| s).collect()
+        best
+    }
+
+    /// Number of failed runs (matcher errors) per method, ascending by
+    /// method label for stable rendering. Methods without failures are
+    /// omitted.
+    pub fn error_counts(&self) -> Vec<(MatcherKind, usize)> {
+        let mut counts: FxHashMap<MatcherKind, usize> = FxHashMap::default();
+        for rec in self.records.iter().filter(|r| r.failed()) {
+            *counts.entry(rec.method).or_insert(0) += 1;
+        }
+        let mut out: Vec<(MatcherKind, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| a.0.label().cmp(b.0.label()));
+        out
+    }
+
+    /// Number of failed runs of one method.
+    pub fn errors_of(&self, method: MatcherKind) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.method == method && r.failed())
+            .count()
     }
 
     /// Mean runtime per experiment of a method (Table IV's statistic).
@@ -260,7 +316,10 @@ mod tests {
         let best = r.best_recalls_where(MatcherKind::ComaSchema, |rec| !rec.noisy_schema);
         assert!(!best.is_empty());
         for score in best {
-            assert!(score >= 0.99, "verbatim schema must be trivial for COMA: {score}");
+            assert!(
+                score >= 0.99,
+                "verbatim schema must be trivial for COMA: {score}"
+            );
         }
     }
 
@@ -294,5 +353,47 @@ mod tests {
     fn empty_pair_list() {
         let r = Runner::run(&[], &quick_config());
         assert!(r.is_empty());
+    }
+
+    fn record(
+        pair: &str,
+        method: MatcherKind,
+        recall: f64,
+        error: Option<&str>,
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            pair_id: pair.to_string(),
+            source_name: "tpcdi".to_string(),
+            scenario: ScenarioKind::Unionable,
+            noisy_schema: false,
+            noisy_instances: false,
+            method,
+            config: "cfg".to_string(),
+            recall,
+            runtime: Duration::from_millis(1),
+            ground_truth_size: 4,
+            error: error.map(String::from),
+        }
+    }
+
+    #[test]
+    fn failed_runs_are_counted_per_method() {
+        let r = Runner::from_records(vec![
+            record("p1", MatcherKind::SemProp, 0.0, Some("no ontology")),
+            record("p2", MatcherKind::SemProp, 0.0, Some("no ontology")),
+            record("p1", MatcherKind::ComaSchema, 0.9, None),
+        ]);
+        assert_eq!(r.error_counts(), vec![(MatcherKind::SemProp, 2)]);
+        assert_eq!(r.errors_of(MatcherKind::SemProp), 2);
+        assert_eq!(r.errors_of(MatcherKind::ComaSchema), 0);
+        assert!(r.records().iter().any(|rec| rec.failed()));
+    }
+
+    #[test]
+    fn error_free_run_reports_no_failures() {
+        let pairs = small_pairs();
+        let r = Runner::run(&pairs, &quick_config());
+        assert!(r.error_counts().is_empty());
+        assert!(r.records().iter().all(|rec| !rec.failed()));
     }
 }

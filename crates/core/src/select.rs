@@ -30,15 +30,17 @@ fn axes(result: &MatchResult) -> (Vec<String>, Vec<String>) {
     (sources, targets)
 }
 
-fn score_matrix(
-    result: &MatchResult,
-    sources: &[String],
-    targets: &[String],
-) -> Vec<Vec<f64>> {
-    let si: FxHashMap<&str, usize> =
-        sources.iter().enumerate().map(|(i, s)| (s.as_str(), i)).collect();
-    let ti: FxHashMap<&str, usize> =
-        targets.iter().enumerate().map(|(i, t)| (t.as_str(), i)).collect();
+fn score_matrix(result: &MatchResult, sources: &[String], targets: &[String]) -> Vec<Vec<f64>> {
+    let si: FxHashMap<&str, usize> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+    let ti: FxHashMap<&str, usize> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.as_str(), i))
+        .collect();
     let mut m = vec![vec![0.0; targets.len()]; sources.len()];
     for cm in result.matches() {
         m[si[cm.source.as_str()]][ti[cm.target.as_str()]] = cm.score;
@@ -170,7 +172,10 @@ mod tests {
         ]);
         let m = extract_hungarian(&r, 0.0);
         assert_eq!(m.len(), 2);
-        let set: Vec<(&str, &str)> = m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        let set: Vec<(&str, &str)> = m
+            .iter()
+            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .collect();
         assert!(set.contains(&("a", "y")));
         assert!(set.contains(&("b", "x")));
     }
@@ -192,8 +197,10 @@ mod tests {
             ("b", "y", 0.7),
         ]);
         let m = extract_stable_marriage(&r, 0.0);
-        let set: Vec<(&str, &str)> =
-            m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        let set: Vec<(&str, &str)> = m
+            .iter()
+            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .collect();
         // a gets its favourite x; b settles for y — no blocking pair exists
         assert!(set.contains(&("a", "x")));
         assert!(set.contains(&("b", "y")));
@@ -201,11 +208,7 @@ mod tests {
 
     #[test]
     fn stable_marriage_is_one_to_one() {
-        let r = ranked(&[
-            ("a", "x", 0.9),
-            ("b", "x", 0.8),
-            ("c", "x", 0.7),
-        ]);
+        let r = ranked(&[("a", "x", 0.9), ("b", "x", 0.8), ("c", "x", 0.7)]);
         let m = extract_stable_marriage(&r, 0.0);
         assert_eq!(m.len(), 1, "one target can host only one source");
         assert_eq!(m[0].source, "a");
@@ -220,8 +223,10 @@ mod tests {
             ("b", "x", 0.40),
         ]);
         let m = extract_threshold_delta(&r, 0.45, 0.05);
-        let set: Vec<(&str, &str)> =
-            m.iter().map(|x| (x.source.as_str(), x.target.as_str())).collect();
+        let set: Vec<(&str, &str)> = m
+            .iter()
+            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .collect();
         assert!(set.contains(&("a", "x")));
         assert!(set.contains(&("a", "y")), "within delta of the best");
         assert!(!set.contains(&("a", "z")), "outside delta");

@@ -1,7 +1,9 @@
 //! Property-based tests for the evaluation metrics.
 
 use proptest::prelude::*;
-use valentine_core::metrics::{min_median_max, precision_recall_f1, recall_at_ground_truth, recall_at_k};
+use valentine_core::metrics::{
+    min_median_max, precision_recall_f1, recall_at_ground_truth, recall_at_k,
+};
 use valentine_matchers::{ColumnMatch, MatchResult};
 
 /// A random ranked result over a small name universe plus a random truth.
@@ -9,7 +11,11 @@ fn arb_result_and_truth() -> impl Strategy<Value = (MatchResult, Vec<(String, St
     let names = ["a", "b", "c", "d"];
     let pairs: Vec<(String, String)> = names
         .iter()
-        .flat_map(|s| names.iter().map(move |t| (format!("s_{s}"), format!("t_{t}"))))
+        .flat_map(|s| {
+            names
+                .iter()
+                .map(move |t| (format!("s_{s}"), format!("t_{t}")))
+        })
         .collect();
     (
         proptest::collection::vec(0.0f64..1.0, pairs.len()),

@@ -19,14 +19,28 @@ use crate::SizeClass;
 /// Paper-scale row count.
 pub const PAPER_ROWS: usize = 15_000;
 
-const ASSAY_TYPES: &[&str] = &["binding", "functional", "adme", "toxicity", "physicochemical"];
+const ASSAY_TYPES: &[&str] = &[
+    "binding",
+    "functional",
+    "adme",
+    "toxicity",
+    "physicochemical",
+];
 const TEST_TYPES: &[&str] = &["in vitro", "in vivo", "ex vivo"];
-const ORGANISMS: &[&str] =
-    &["homo sapiens", "rattus norvegicus", "mus musculus", "canis familiaris"];
+const ORGANISMS: &[&str] = &[
+    "homo sapiens",
+    "rattus norvegicus",
+    "mus musculus",
+    "canis familiaris",
+];
 const TISSUES: &[&str] = &["liver", "brain", "kidney", "heart", "lung"];
 const CELL_TYPES: &[&str] = &["hepatocyte", "neuron", "hela", "cho"];
-const BAO_FORMATS: &[&str] =
-    &["cell-based format", "organism-based format", "biochemical format", "tissue-based format"];
+const BAO_FORMATS: &[&str] = &[
+    "cell-based format",
+    "organism-based format",
+    "biochemical format",
+    "tissue-based format",
+];
 const MEASUREMENTS: &[&str] = &["ic50", "ec50", "ki", "potency"];
 const STRAINS: &[&str] = &["wistar", "sprague-dawley", "c57bl/6", "balb/c"];
 
@@ -43,7 +57,9 @@ pub fn assays(size: SizeClass, seed: u64) -> Table {
     };
 
     push("assay_id", &mut |_, i| Value::Int(300_000 + i as i64));
-    push("chembl_id", &mut |_, i| Value::Str(format!("chembl{}", 800_000 + i)));
+    push("chembl_id", &mut |_, i| {
+        Value::Str(format!("chembl{}", 800_000 + i))
+    });
     push("description", &mut |r, _| {
         Value::Str(format!(
             "{} of {} in {}",
@@ -52,13 +68,25 @@ pub fn assays(size: SizeClass, seed: u64) -> Table {
             gen::pick(r, ORGANISMS)
         ))
     });
-    push("assay_type", &mut |r, _| Value::str(gen::pick(r, ASSAY_TYPES)));
-    push("assay_test_type", &mut |r, _| Value::str(gen::pick(r, TEST_TYPES)));
-    push("assay_category", &mut |r, _| {
-        Value::str(if r.gen_bool(0.7) { "screening" } else { "confirmatory" })
+    push("assay_type", &mut |r, _| {
+        Value::str(gen::pick(r, ASSAY_TYPES))
     });
-    push("assay_organism", &mut |r, _| Value::str(gen::pick(r, ORGANISMS)));
-    push("assay_tax_id", &mut |r, _| Value::Int(r.gen_range(7_000..11_000)));
+    push("assay_test_type", &mut |r, _| {
+        Value::str(gen::pick(r, TEST_TYPES))
+    });
+    push("assay_category", &mut |r, _| {
+        Value::str(if r.gen_bool(0.7) {
+            "screening"
+        } else {
+            "confirmatory"
+        })
+    });
+    push("assay_organism", &mut |r, _| {
+        Value::str(gen::pick(r, ORGANISMS))
+    });
+    push("assay_tax_id", &mut |r, _| {
+        Value::Int(r.gen_range(7_000..11_000))
+    });
     push("assay_strain", &mut |r, _| {
         gen::maybe_null(r, 0.5, |r| Value::str(gen::pick(r, STRAINS)))
     });
@@ -69,27 +97,47 @@ pub fn assays(size: SizeClass, seed: u64) -> Table {
         gen::maybe_null(r, 0.4, |r| Value::str(gen::pick(r, CELL_TYPES)))
     });
     push("assay_subcellular_fraction", &mut |r, _| {
-        gen::maybe_null(
-            r,
-            0.8,
-            |r| Value::str(if r.gen_bool(0.5) { "membrane" } else { "cytosol" }),
-        )
+        gen::maybe_null(r, 0.8, |r| {
+            Value::str(if r.gen_bool(0.5) {
+                "membrane"
+            } else {
+                "cytosol"
+            })
+        })
     });
     push("target_id", &mut |r, _| Value::Int(r.gen_range(1..12_000)));
     push("target_type", &mut |r, _| {
-        Value::str(if r.gen_bool(0.8) { "single protein" } else { "protein complex" })
+        Value::str(if r.gen_bool(0.8) {
+            "single protein"
+        } else {
+            "protein complex"
+        })
     });
     push("relationship_type", &mut |r, _| {
-        Value::str(*["d", "h", "m", "u"].get(r.gen_range(0..4)).expect("in range"))
+        Value::str(
+            *["d", "h", "m", "u"]
+                .get(r.gen_range(0..4))
+                .expect("in range"),
+        )
     });
-    push("confidence_score", &mut |r, _| Value::Int(r.gen_range(0..10)));
-    push("curated_by", &mut |r, _| Value::str(gen::pick(r, names::CURATORS)));
+    push("confidence_score", &mut |r, _| {
+        Value::Int(r.gen_range(0..10))
+    });
+    push("curated_by", &mut |r, _| {
+        Value::str(gen::pick(r, names::CURATORS))
+    });
     push("src_id", &mut |r, _| Value::Int(r.gen_range(1..50)));
     push("src_assay_id", &mut |r, _| Value::Str(gen::hex_hash(r, 10)));
     push("doc_id", &mut |r, _| Value::Int(r.gen_range(1..80_000)));
-    push("bao_format", &mut |r, _| Value::str(gen::pick(r, BAO_FORMATS)));
-    push("bao_code", &mut |r, _| Value::Str(format!("bao_{:07}", r.gen_range(0..3_000_000))));
-    push("measurement_type", &mut |r, _| Value::str(gen::pick(r, MEASUREMENTS)));
+    push("bao_format", &mut |r, _| {
+        Value::str(gen::pick(r, BAO_FORMATS))
+    });
+    push("bao_code", &mut |r, _| {
+        Value::Str(format!("bao_{:07}", r.gen_range(0..3_000_000)))
+    });
+    push("measurement_type", &mut |r, _| {
+        Value::str(gen::pick(r, MEASUREMENTS))
+    });
 
     Table::new("assays", columns).expect("static schema is valid")
 }
@@ -110,7 +158,14 @@ mod tests {
     fn vocabulary_is_ontology_aligned() {
         let o = efo_like();
         // every categorical pool value must resolve to an ontology class
-        for pool in [ASSAY_TYPES, ORGANISMS, TISSUES, CELL_TYPES, BAO_FORMATS, MEASUREMENTS] {
+        for pool in [
+            ASSAY_TYPES,
+            ORGANISMS,
+            TISSUES,
+            CELL_TYPES,
+            BAO_FORMATS,
+            MEASUREMENTS,
+        ] {
             for v in pool {
                 assert!(
                     o.class_of(v).is_some(),

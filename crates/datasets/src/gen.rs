@@ -84,7 +84,10 @@ mod tests {
     fn helpers_are_deterministic() {
         let mut a = StdRng::seed_from_u64(5);
         let mut b = StdRng::seed_from_u64(5);
-        assert_eq!(pick(&mut a, crate::names::CITIES), pick(&mut b, crate::names::CITIES));
+        assert_eq!(
+            pick(&mut a, crate::names::CITIES),
+            pick(&mut b, crate::names::CITIES)
+        );
         assert_eq!(phone(&mut a), phone(&mut b));
         assert_eq!(hex_hash(&mut a, 12), hex_hash(&mut b, 12));
     }
@@ -93,7 +96,9 @@ mod tests {
     fn date_in_range() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
-            let Value::Date(d) = date_between(&mut rng, 1950, 2000) else { panic!() };
+            let Value::Date(d) = date_between(&mut rng, 1950, 2000) else {
+                panic!()
+            };
             assert!((1950..=2000).contains(&d.year));
         }
     }
@@ -102,7 +107,9 @@ mod tests {
     fn amounts_positive() {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
-            let Value::Float(x) = amount(&mut rng, 10.0, 0.5) else { panic!() };
+            let Value::Float(x) = amount(&mut rng, 10.0, 0.5) else {
+                panic!()
+            };
             assert!(x > 0.0);
         }
     }

@@ -262,24 +262,92 @@ pub fn ing1(size: SizeClass, seed: u64) -> DatasetPair {
 /// The ING#2 near-duplicate column groups: (narrow column, wide variants,
 /// value kind). Every wide variant is a correct match for the narrow column.
 const ING2_GROUPS: &[(&str, &[&str], Kind)] = &[
-    ("app_nm", &["app_name", "app_label", "app_alias"], Kind::AppName),
-    ("app_id_cd", &["app_id", "application_nbr", "asset_id"], Kind::AppId),
-    ("owner_team_cd", &["owner_team", "responsible_team", "support_team"], Kind::TeamName),
-    ("mgr_nm", &["manager_name", "line_manager", "product_owner"], Kind::Person),
-    ("dept_cd", &["department", "business_unit", "division_name"], Kind::Department),
-    ("platform_txt", &["hardware_platform", "os_version", "runtime_platform"], Kind::Platform),
-    ("criticality_cd", &["criticality", "risk_class", "severity_level"], Kind::Priority),
-    ("version_txt", &["version", "release_version"], Kind::Version),
-    ("cost_center_cd", &["cost_center", "budget_code"], Kind::CostCenter),
-    ("support_lvl_cd", &["support_level", "service_tier"], Kind::SupportLevel),
-    ("used_by_nm", &["used_by_app", "downstream_app", "consumer_app"], Kind::AppNameLow),
-    ("uses_nm", &["uses_app", "upstream_app", "provider_app"], Kind::AppNameHigh),
-    ("domain_txt", &["business_domain", "functional_domain"], Kind::Domain),
-    ("status_cd", &["lifecycle_status", "app_status"], Kind::LifecycleStatus),
-    ("install_dt", &["install_date", "go_live_date"], Kind::RecentDate),
-    ("decomm_dt", &["decommission_date", "sunset_date"], Kind::RecentDate),
+    (
+        "app_nm",
+        &["app_name", "app_label", "app_alias"],
+        Kind::AppName,
+    ),
+    (
+        "app_id_cd",
+        &["app_id", "application_nbr", "asset_id"],
+        Kind::AppId,
+    ),
+    (
+        "owner_team_cd",
+        &["owner_team", "responsible_team", "support_team"],
+        Kind::TeamName,
+    ),
+    (
+        "mgr_nm",
+        &["manager_name", "line_manager", "product_owner"],
+        Kind::Person,
+    ),
+    (
+        "dept_cd",
+        &["department", "business_unit", "division_name"],
+        Kind::Department,
+    ),
+    (
+        "platform_txt",
+        &["hardware_platform", "os_version", "runtime_platform"],
+        Kind::Platform,
+    ),
+    (
+        "criticality_cd",
+        &["criticality", "risk_class", "severity_level"],
+        Kind::Priority,
+    ),
+    (
+        "version_txt",
+        &["version", "release_version"],
+        Kind::Version,
+    ),
+    (
+        "cost_center_cd",
+        &["cost_center", "budget_code"],
+        Kind::CostCenter,
+    ),
+    (
+        "support_lvl_cd",
+        &["support_level", "service_tier"],
+        Kind::SupportLevel,
+    ),
+    (
+        "used_by_nm",
+        &["used_by_app", "downstream_app", "consumer_app"],
+        Kind::AppNameLow,
+    ),
+    (
+        "uses_nm",
+        &["uses_app", "upstream_app", "provider_app"],
+        Kind::AppNameHigh,
+    ),
+    (
+        "domain_txt",
+        &["business_domain", "functional_domain"],
+        Kind::Domain,
+    ),
+    (
+        "status_cd",
+        &["lifecycle_status", "app_status"],
+        Kind::LifecycleStatus,
+    ),
+    (
+        "install_dt",
+        &["install_date", "go_live_date"],
+        Kind::RecentDate,
+    ),
+    (
+        "decomm_dt",
+        &["decommission_date", "sunset_date"],
+        Kind::RecentDate,
+    ),
     ("desc_txt", &["description", "summary_text"], Kind::Sentence),
-    ("location_txt", &["datacenter_location", "hosting_site"], Kind::City),
+    (
+        "location_txt",
+        &["datacenter_location", "hosting_site"],
+        Kind::City,
+    ),
     ("vendor_nm", &["vendor_name", "supplier"], Kind::Company),
     ("users_cnt", &["user_count", "active_users"], Kind::Count),
 ];
@@ -324,10 +392,8 @@ pub fn ing2(size: SizeClass, seed: u64) -> DatasetPair {
     }
     wide_spec.extend_from_slice(ING2_WIDE_EXTRAS);
 
-    let mut narrow_spec: Vec<(&str, Kind)> = ING2_GROUPS
-        .iter()
-        .map(|(n, _, kind)| (*n, *kind))
-        .collect();
+    let mut narrow_spec: Vec<(&str, Kind)> =
+        ING2_GROUPS.iter().map(|(n, _, kind)| (*n, *kind)).collect();
     narrow_spec.extend_from_slice(ING2_NARROW_EXTRAS);
 
     // Key construction detail: every column of one group draws from the same
@@ -339,9 +405,7 @@ pub fn ing2(size: SizeClass, seed: u64) -> DatasetPair {
     // One-to-many ground truth: each wide variant ↔ the narrow group column.
     let ground_truth: Vec<(String, String)> = ING2_GROUPS
         .iter()
-        .flat_map(|(n, variants, _)| {
-            variants.iter().map(move |v| (v.to_string(), n.to_string()))
-        })
+        .flat_map(|(n, variants, _)| variants.iter().map(move |v| (v.to_string(), n.to_string())))
         .collect();
 
     let pair = DatasetPair {
@@ -404,11 +468,7 @@ mod tests {
         assert_eq!(p.ground_truth_size(), 49);
         assert!(p.validate().is_ok());
         // one-to-many: some narrow column appears ≥3 times as a target
-        let max_fanin = p
-            .ground_truth
-            .iter()
-            .filter(|(_, t)| t == "app_nm")
-            .count();
+        let max_fanin = p.ground_truth.iter().filter(|(_, t)| t == "app_nm").count();
         assert_eq!(max_fanin, 3);
     }
 
@@ -418,8 +478,14 @@ mod tests {
         let a = p.source.column("app_name").unwrap().rendered_value_set();
         let b = p.source.column("app_label").unwrap().rendered_value_set();
         let n = p.target.column("app_nm").unwrap().rendered_value_set();
-        assert!(a.intersection(&b).count() >= 10, "wide variants share a pool");
-        assert!(a.intersection(&n).count() >= 10, "narrow column shares it too");
+        assert!(
+            a.intersection(&b).count() >= 10,
+            "wide variants share a pool"
+        );
+        assert!(
+            a.intersection(&n).count() >= 10,
+            "narrow column shares it too"
+        );
     }
 
     #[test]
@@ -430,8 +496,11 @@ mod tests {
             .column_names()
             .iter()
             .filter(|n| {
-                n.ends_with("_cd") || n.ends_with("_txt") || n.ends_with("_nm")
-                    || n.ends_with("_dt") || n.ends_with("_cnt")
+                n.ends_with("_cd")
+                    || n.ends_with("_txt")
+                    || n.ends_with("_nm")
+                    || n.ends_with("_dt")
+                    || n.ends_with("_cnt")
             })
             .count();
         assert!(suffixed >= 20, "got {suffixed}");

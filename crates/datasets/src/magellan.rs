@@ -28,8 +28,15 @@ use crate::SizeClass;
 pub const PAPER_ROWS: usize = 4_000;
 
 /// The seven pair identifiers, in deterministic order.
-pub const PAIR_NAMES: [&str; 7] =
-    ["restaurants", "movies", "songs", "books", "beers", "products", "citations"];
+pub const PAIR_NAMES: [&str; 7] = [
+    "restaurants",
+    "movies",
+    "songs",
+    "books",
+    "beers",
+    "products",
+    "citations",
+];
 
 /// Generates all seven pairs.
 pub fn pairs(size: SizeClass, seed: u64) -> Vec<DatasetPair> {
@@ -86,38 +93,64 @@ fn master_table(name: &str, size: SizeClass, seed: u64) -> Table {
     match name {
         "restaurants" => {
             push("name", &mut |r, i| {
-                Value::Str(format!("{} {}", gen::pick(r, names::LAST_NAMES), ["kitchen", "bistro", "grill", "diner"][i % 4]))
+                Value::Str(format!(
+                    "{} {}",
+                    gen::pick(r, names::LAST_NAMES),
+                    ["kitchen", "bistro", "grill", "diner"][i % 4]
+                ))
             });
             push("addr", &mut |r, _| {
-                Value::Str(format!("{} {}", r.gen_range(1..999), gen::pick(r, names::STREETS)))
+                Value::Str(format!(
+                    "{} {}",
+                    r.gen_range(1..999),
+                    gen::pick(r, names::STREETS)
+                ))
             });
             push("city", &mut |r, _| Value::str(gen::pick(r, names::CITIES)));
             push("phone", &mut |r, _| gen::phone(r));
-            push("type", &mut |r, _| Value::str(gen::pick(r, names::CUISINES)));
+            push("type", &mut |r, _| {
+                Value::str(gen::pick(r, names::CUISINES))
+            });
         }
         "movies" => {
             push("title", &mut |r, _| Value::Str(gen::sentence(r, 3)));
             push("year", &mut |r, _| Value::Int(r.gen_range(1960..2021)));
             push("director", &mut |r, _| {
-                Value::Str(format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES)))
+                Value::Str(format!(
+                    "{} {}",
+                    gen::pick(r, names::FIRST_NAMES),
+                    gen::pick(r, names::LAST_NAMES)
+                ))
             });
             // multi-valued attribute, as the paper calls out
             push("actors", &mut |r, _| {
                 let k = r.gen_range(2..5);
                 let list: Vec<String> = (0..k)
                     .map(|_| {
-                        format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES))
+                        format!(
+                            "{} {}",
+                            gen::pick(r, names::FIRST_NAMES),
+                            gen::pick(r, names::LAST_NAMES)
+                        )
                     })
                     .collect();
                 Value::Str(list.join(", "))
             });
-            push("genre", &mut |r, _| Value::str(gen::pick(r, names::MOVIE_GENRES)));
-            push("rating", &mut |r, _| Value::float((r.gen_range(1.0..10.0f64) * 10.0).round() / 10.0));
+            push("genre", &mut |r, _| {
+                Value::str(gen::pick(r, names::MOVIE_GENRES))
+            });
+            push("rating", &mut |r, _| {
+                Value::float((r.gen_range(1.0..10.0f64) * 10.0).round() / 10.0)
+            });
         }
         "songs" => {
             push("title", &mut |r, _| Value::Str(gen::sentence(r, 2)));
             push("artist", &mut |r, _| {
-                Value::Str(format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES)))
+                Value::Str(format!(
+                    "{} {}",
+                    gen::pick(r, names::FIRST_NAMES),
+                    gen::pick(r, names::LAST_NAMES)
+                ))
             });
             push("album", &mut |r, _| Value::Str(gen::sentence(r, 2)));
             push("year", &mut |r, _| Value::Int(r.gen_range(1950..2021)));
@@ -130,31 +163,57 @@ fn master_table(name: &str, size: SizeClass, seed: u64) -> Table {
                 let k = r.gen_range(1..4);
                 let list: Vec<String> = (0..k)
                     .map(|_| {
-                        format!("{} {}", gen::pick(r, names::FIRST_NAMES), gen::pick(r, names::LAST_NAMES))
+                        format!(
+                            "{} {}",
+                            gen::pick(r, names::FIRST_NAMES),
+                            gen::pick(r, names::LAST_NAMES)
+                        )
                     })
                     .collect();
                 Value::Str(list.join(", "))
             });
             push("year", &mut |r, _| Value::Int(r.gen_range(1900..2021)));
-            push("publisher", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
+            push("publisher", &mut |r, _| {
+                Value::str(gen::pick(r, names::COMPANIES))
+            });
             push("pages", &mut |r, _| Value::Int(r.gen_range(80..1200)));
-            push("genre", &mut |r, _| Value::str(gen::pick(r, names::BOOK_GENRES)));
-            push("isbn", &mut |r, _| Value::Str(format!("978-{:010}", r.gen_range(0u64..10_000_000_000))));
+            push("genre", &mut |r, _| {
+                Value::str(gen::pick(r, names::BOOK_GENRES))
+            });
+            push("isbn", &mut |r, _| {
+                Value::Str(format!("978-{:010}", r.gen_range(0u64..10_000_000_000)))
+            });
         }
         "beers" => {
             push("name", &mut |r, _| {
-                Value::Str(format!("{} {}", gen::pick(r, names::CITIES), gen::pick(r, names::BEER_STYLES)))
+                Value::Str(format!(
+                    "{} {}",
+                    gen::pick(r, names::CITIES),
+                    gen::pick(r, names::BEER_STYLES)
+                ))
             });
-            push("brewery", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
-            push("style", &mut |r, _| Value::str(gen::pick(r, names::BEER_STYLES)));
-            push("abv", &mut |r, _| Value::float((r.gen_range(3.0..12.0f64) * 10.0).round() / 10.0));
+            push("brewery", &mut |r, _| {
+                Value::str(gen::pick(r, names::COMPANIES))
+            });
+            push("style", &mut |r, _| {
+                Value::str(gen::pick(r, names::BEER_STYLES))
+            });
+            push("abv", &mut |r, _| {
+                Value::float((r.gen_range(3.0..12.0f64) * 10.0).round() / 10.0)
+            });
         }
         "products" => {
             push("name", &mut |r, _| Value::Str(gen::sentence(r, 3)));
-            push("brand", &mut |r, _| Value::str(gen::pick(r, names::COMPANIES)));
-            push("category", &mut |r, _| Value::str(gen::pick(r, names::PRODUCT_CATEGORIES)));
+            push("brand", &mut |r, _| {
+                Value::str(gen::pick(r, names::COMPANIES))
+            });
+            push("category", &mut |r, _| {
+                Value::str(gen::pick(r, names::PRODUCT_CATEGORIES))
+            });
             push("price", &mut |r, _| gen::amount(r, 3.5, 1.0));
-            push("weight", &mut |r, _| Value::float((r.gen_range(0.1..30.0f64) * 100.0).round() / 100.0));
+            push("weight", &mut |r, _| {
+                Value::float((r.gen_range(0.1..30.0f64) * 100.0).round() / 100.0)
+            });
         }
         "citations" => {
             push("title", &mut |r, _| Value::Str(gen::sentence(r, 6)));
@@ -163,7 +222,11 @@ fn master_table(name: &str, size: SizeClass, seed: u64) -> Table {
                 multi_valued(r, names::LAST_NAMES, k)
             });
             push("venue", &mut |r, _| {
-                Value::str(*["sigmod", "vldb", "icde", "kdd", "www", "cikm"].get(r.gen_range(0..6)).expect("in range"))
+                Value::str(
+                    *["sigmod", "vldb", "icde", "kdd", "www", "cikm"]
+                        .get(r.gen_range(0..6))
+                        .expect("in range"),
+                )
             });
             push("year", &mut |r, _| Value::Int(r.gen_range(1990..2021)));
         }
@@ -216,7 +279,12 @@ mod tests {
         for p in &ps {
             assert!(p.validate().is_ok(), "{}", p.id);
             assert_eq!(p.scenario, ScenarioKind::Unionable);
-            assert!((3..=7).contains(&p.source.width()), "{}: {}", p.id, p.source.width());
+            assert!(
+                (3..=7).contains(&p.source.width()),
+                "{}: {}",
+                p.id,
+                p.source.width()
+            );
         }
     }
 
@@ -234,8 +302,16 @@ mod tests {
     fn value_sets_overlap_but_differ() {
         let ps = pairs(SizeClass::Tiny, 0);
         let restaurants = &ps[0];
-        let sa = restaurants.source.column("city").unwrap().rendered_value_set();
-        let sb = restaurants.target.column("city").unwrap().rendered_value_set();
+        let sa = restaurants
+            .source
+            .column("city")
+            .unwrap()
+            .rendered_value_set();
+        let sb = restaurants
+            .target
+            .column("city")
+            .unwrap()
+            .rendered_value_set();
         assert!(sa.intersection(&sb).count() > 0, "row overlap must show");
         // phone formatting differs between sides
         let pa = restaurants.source.column("phone").unwrap().values()[0].render();
@@ -270,8 +346,10 @@ mod tests {
 
     #[test]
     fn pair_ids_unique() {
-        let ids: std::collections::BTreeSet<String> =
-            pairs(SizeClass::Tiny, 0).into_iter().map(|p| p.id).collect();
+        let ids: std::collections::BTreeSet<String> = pairs(SizeClass::Tiny, 0)
+            .into_iter()
+            .map(|p| p.id)
+            .collect();
         assert_eq!(ids.len(), 7);
     }
 }

@@ -5,59 +5,226 @@
 
 /// Common given names.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
-    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas", "sarah",
-    "charles", "karen", "christopher", "nancy", "daniel", "lisa", "matthew", "margaret",
-    "anthony", "betty", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
-    "emily", "andrew", "donna", "joshua", "michelle",
+    "james",
+    "mary",
+    "john",
+    "patricia",
+    "robert",
+    "jennifer",
+    "michael",
+    "linda",
+    "william",
+    "elizabeth",
+    "david",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "margaret",
+    "anthony",
+    "betty",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
 ];
 
 /// Common family names.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 /// Cities.
 pub const CITIES: &[&str] = &[
-    "amsterdam", "rotterdam", "delft", "utrecht", "eindhoven", "athens", "thessaloniki", "lyon",
-    "paris", "marseille", "berlin", "munich", "hamburg", "madrid", "barcelona", "rome", "milan",
-    "vienna", "zurich", "geneva", "london", "manchester", "dublin", "brussels", "antwerp",
-    "copenhagen", "stockholm", "oslo", "helsinki", "lisbon",
+    "amsterdam",
+    "rotterdam",
+    "delft",
+    "utrecht",
+    "eindhoven",
+    "athens",
+    "thessaloniki",
+    "lyon",
+    "paris",
+    "marseille",
+    "berlin",
+    "munich",
+    "hamburg",
+    "madrid",
+    "barcelona",
+    "rome",
+    "milan",
+    "vienna",
+    "zurich",
+    "geneva",
+    "london",
+    "manchester",
+    "dublin",
+    "brussels",
+    "antwerp",
+    "copenhagen",
+    "stockholm",
+    "oslo",
+    "helsinki",
+    "lisbon",
 ];
 
 /// Countries.
 pub const COUNTRIES: &[&str] = &[
-    "netherlands", "greece", "france", "germany", "spain", "italy", "austria", "switzerland",
-    "united kingdom", "ireland", "belgium", "denmark", "sweden", "norway", "finland", "portugal",
-    "poland", "czechia", "hungary", "romania",
+    "netherlands",
+    "greece",
+    "france",
+    "germany",
+    "spain",
+    "italy",
+    "austria",
+    "switzerland",
+    "united kingdom",
+    "ireland",
+    "belgium",
+    "denmark",
+    "sweden",
+    "norway",
+    "finland",
+    "portugal",
+    "poland",
+    "czechia",
+    "hungary",
+    "romania",
 ];
 
 /// US states (for the TPC-DI-style table).
 pub const STATES: &[&str] = &[
-    "alabama", "alaska", "arizona", "california", "colorado", "florida", "georgia", "illinois",
-    "indiana", "iowa", "kansas", "kentucky", "maryland", "michigan", "minnesota", "missouri",
-    "nevada", "new york", "ohio", "oregon", "pennsylvania", "texas", "utah", "virginia",
-    "washington", "wisconsin",
+    "alabama",
+    "alaska",
+    "arizona",
+    "california",
+    "colorado",
+    "florida",
+    "georgia",
+    "illinois",
+    "indiana",
+    "iowa",
+    "kansas",
+    "kentucky",
+    "maryland",
+    "michigan",
+    "minnesota",
+    "missouri",
+    "nevada",
+    "new york",
+    "ohio",
+    "oregon",
+    "pennsylvania",
+    "texas",
+    "utah",
+    "virginia",
+    "washington",
+    "wisconsin",
 ];
 
 /// Street names.
 pub const STREETS: &[&str] = &[
-    "main street", "oak avenue", "maple drive", "cedar lane", "park road", "elm street",
-    "washington avenue", "lake view", "hillcrest road", "river street", "church street",
-    "highland avenue", "sunset boulevard", "broadway", "second street", "third avenue",
-    "mill road", "forest lane", "spring street", "garden road",
+    "main street",
+    "oak avenue",
+    "maple drive",
+    "cedar lane",
+    "park road",
+    "elm street",
+    "washington avenue",
+    "lake view",
+    "hillcrest road",
+    "river street",
+    "church street",
+    "highland avenue",
+    "sunset boulevard",
+    "broadway",
+    "second street",
+    "third avenue",
+    "mill road",
+    "forest lane",
+    "spring street",
+    "garden road",
 ];
 
 /// Employers / companies.
 pub const COMPANIES: &[&str] = &[
-    "acme corp", "globex", "initech", "umbrella group", "stark industries", "wayne enterprises",
-    "wonka industries", "tyrell corp", "cyberdyne systems", "hooli", "pied piper", "vandelay",
-    "dunder mifflin", "prestige worldwide", "oscorp", "massive dynamic", "aperture science",
-    "blue sun", "virtucon", "soylent corp",
+    "acme corp",
+    "globex",
+    "initech",
+    "umbrella group",
+    "stark industries",
+    "wayne enterprises",
+    "wonka industries",
+    "tyrell corp",
+    "cyberdyne systems",
+    "hooli",
+    "pied piper",
+    "vandelay",
+    "dunder mifflin",
+    "prestige worldwide",
+    "oscorp",
+    "massive dynamic",
+    "aperture science",
+    "blue sun",
+    "virtucon",
+    "soylent corp",
 ];
 
 /// Marital statuses.
@@ -68,87 +235,221 @@ pub const CREDIT_RATINGS: &[&str] = &["aaa", "aa", "a", "bbb", "bb", "b", "ccc"]
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "rock", "pop", "jazz", "blues", "country", "soul", "funk", "gospel", "rockabilly", "folk",
-    "rhythm and blues", "disco", "hip hop",
+    "rock",
+    "pop",
+    "jazz",
+    "blues",
+    "country",
+    "soul",
+    "funk",
+    "gospel",
+    "rockabilly",
+    "folk",
+    "rhythm and blues",
+    "disco",
+    "hip hop",
 ];
 
 /// Record labels.
 pub const RECORD_LABELS: &[&str] = &[
-    "sun records", "rca victor", "columbia", "motown", "atlantic", "capitol", "decca",
-    "chess records", "stax", "island", "emi", "parlophone",
+    "sun records",
+    "rca victor",
+    "columbia",
+    "motown",
+    "atlantic",
+    "capitol",
+    "decca",
+    "chess records",
+    "stax",
+    "island",
+    "emi",
+    "parlophone",
 ];
 
 /// Musical instruments.
-pub const INSTRUMENTS: &[&str] =
-    &["guitar", "piano", "drums", "bass", "saxophone", "trumpet", "violin", "harmonica"];
+pub const INSTRUMENTS: &[&str] = &[
+    "guitar",
+    "piano",
+    "drums",
+    "bass",
+    "saxophone",
+    "trumpet",
+    "violin",
+    "harmonica",
+];
 
 /// Vocal ranges.
-pub const VOCAL_RANGES: &[&str] = &["soprano", "mezzo-soprano", "alto", "tenor", "baritone", "bass"];
+pub const VOCAL_RANGES: &[&str] = &[
+    "soprano",
+    "mezzo-soprano",
+    "alto",
+    "tenor",
+    "baritone",
+    "bass",
+];
 
 /// Awards.
 pub const AWARDS: &[&str] = &[
-    "grammy award", "american music award", "billboard music award", "mtv video music award",
-    "brit award", "golden globe", "peoples choice award",
+    "grammy award",
+    "american music award",
+    "billboard music award",
+    "mtv video music award",
+    "brit award",
+    "golden globe",
+    "peoples choice award",
 ];
 
 /// Restaurant cuisine types (Magellan).
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "japanese", "chinese", "mexican", "indian", "thai", "greek", "american",
-    "spanish", "korean", "vietnamese",
+    "italian",
+    "french",
+    "japanese",
+    "chinese",
+    "mexican",
+    "indian",
+    "thai",
+    "greek",
+    "american",
+    "spanish",
+    "korean",
+    "vietnamese",
 ];
 
 /// Movie genres (Magellan).
 pub const MOVIE_GENRES: &[&str] = &[
-    "action", "comedy", "drama", "thriller", "horror", "romance", "sci-fi", "documentary",
-    "animation", "western",
+    "action",
+    "comedy",
+    "drama",
+    "thriller",
+    "horror",
+    "romance",
+    "sci-fi",
+    "documentary",
+    "animation",
+    "western",
 ];
 
 /// Beer styles (Magellan).
 pub const BEER_STYLES: &[&str] = &[
-    "ipa", "stout", "porter", "lager", "pilsner", "wheat ale", "pale ale", "saison", "tripel",
+    "ipa",
+    "stout",
+    "porter",
+    "lager",
+    "pilsner",
+    "wheat ale",
+    "pale ale",
+    "saison",
+    "tripel",
     "amber ale",
 ];
 
 /// Book genres (Magellan).
 pub const BOOK_GENRES: &[&str] = &[
-    "fantasy", "mystery", "biography", "history", "science", "poetry", "romance", "thriller",
+    "fantasy",
+    "mystery",
+    "biography",
+    "history",
+    "science",
+    "poetry",
+    "romance",
+    "thriller",
 ];
 
 /// Product categories (Magellan).
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "electronics", "clothing", "kitchen", "garden", "toys", "sports", "office", "automotive",
+    "electronics",
+    "clothing",
+    "kitchen",
+    "garden",
+    "toys",
+    "sports",
+    "office",
+    "automotive",
 ];
 
 /// SCRUM task states (ING#1).
-pub const TASK_STATUSES: &[&str] =
-    &["todo", "in progress", "review", "blocked", "done", "cancelled"];
+pub const TASK_STATUSES: &[&str] = &[
+    "todo",
+    "in progress",
+    "review",
+    "blocked",
+    "done",
+    "cancelled",
+];
 
 /// Task priorities (ING#1).
 pub const PRIORITIES: &[&str] = &["critical", "high", "medium", "low", "trivial"];
 
 /// Team names (ING).
 pub const TEAM_NAMES: &[&str] = &[
-    "payments", "mortgages", "savings", "cards", "lending", "onboarding", "fraud", "channels",
-    "data platform", "identity", "investments", "treasury",
+    "payments",
+    "mortgages",
+    "savings",
+    "cards",
+    "lending",
+    "onboarding",
+    "fraud",
+    "channels",
+    "data platform",
+    "identity",
+    "investments",
+    "treasury",
 ];
 
 /// Software application names (ING#2).
 pub const APP_NAMES: &[&str] = &[
-    "atlas", "beacon", "catalyst", "dynamo", "echo", "forge", "granite", "horizon", "ignite",
-    "jupiter", "krypton", "lighthouse", "meridian", "nebula", "orbit", "pulsar", "quasar",
-    "raptor", "sentinel", "titan", "umbra", "vector", "wavelength", "xenon", "yonder", "zephyr",
+    "atlas",
+    "beacon",
+    "catalyst",
+    "dynamo",
+    "echo",
+    "forge",
+    "granite",
+    "horizon",
+    "ignite",
+    "jupiter",
+    "krypton",
+    "lighthouse",
+    "meridian",
+    "nebula",
+    "orbit",
+    "pulsar",
+    "quasar",
+    "raptor",
+    "sentinel",
+    "titan",
+    "umbra",
+    "vector",
+    "wavelength",
+    "xenon",
+    "yonder",
+    "zephyr",
 ];
 
 /// Departments (ING#2).
 pub const DEPARTMENTS: &[&str] = &[
-    "retail banking", "wholesale banking", "risk", "compliance", "operations", "technology",
-    "finance", "human resources",
+    "retail banking",
+    "wholesale banking",
+    "risk",
+    "compliance",
+    "operations",
+    "technology",
+    "finance",
+    "human resources",
 ];
 
 /// Operating systems / hardware platforms (ING#2).
 pub const PLATFORMS: &[&str] = &[
-    "rhel 7", "rhel 8", "windows server 2016", "windows server 2019", "ubuntu 20.04", "aix",
-    "solaris", "z/os", "kubernetes", "openshift",
+    "rhel 7",
+    "rhel 8",
+    "windows server 2016",
+    "windows server 2019",
+    "ubuntu 20.04",
+    "aix",
+    "solaris",
+    "z/os",
+    "kubernetes",
+    "openshift",
 ];
 
 /// Support levels (ING#2).
@@ -159,9 +460,26 @@ pub const CURATORS: &[&str] = &["autocuration", "expert", "intermediate", "commu
 
 /// English filler words for descriptions.
 pub const FILLER_WORDS: &[&str] = &[
-    "inhibition", "binding", "affinity", "compound", "against", "activity", "measured",
-    "evaluated", "displacement", "concentration", "effect", "response", "determined", "cells",
-    "protein", "receptor", "enzyme", "human", "assay", "study",
+    "inhibition",
+    "binding",
+    "affinity",
+    "compound",
+    "against",
+    "activity",
+    "measured",
+    "evaluated",
+    "displacement",
+    "concentration",
+    "effect",
+    "response",
+    "determined",
+    "cells",
+    "protein",
+    "receptor",
+    "enzyme",
+    "human",
+    "assay",
+    "study",
 ];
 
 #[cfg(test)]
@@ -171,11 +489,34 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_lowercase() {
         for pool in [
-            FIRST_NAMES, LAST_NAMES, CITIES, COUNTRIES, STATES, STREETS, COMPANIES,
-            MARITAL_STATUSES, CREDIT_RATINGS, GENRES, RECORD_LABELS, INSTRUMENTS, VOCAL_RANGES,
-            AWARDS, CUISINES, MOVIE_GENRES, BEER_STYLES, BOOK_GENRES, PRODUCT_CATEGORIES,
-            TASK_STATUSES, PRIORITIES, TEAM_NAMES, APP_NAMES, DEPARTMENTS, PLATFORMS,
-            SUPPORT_LEVELS, CURATORS, FILLER_WORDS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            CITIES,
+            COUNTRIES,
+            STATES,
+            STREETS,
+            COMPANIES,
+            MARITAL_STATUSES,
+            CREDIT_RATINGS,
+            GENRES,
+            RECORD_LABELS,
+            INSTRUMENTS,
+            VOCAL_RANGES,
+            AWARDS,
+            CUISINES,
+            MOVIE_GENRES,
+            BEER_STYLES,
+            BOOK_GENRES,
+            PRODUCT_CATEGORIES,
+            TASK_STATUSES,
+            PRIORITIES,
+            TEAM_NAMES,
+            APP_NAMES,
+            DEPARTMENTS,
+            PLATFORMS,
+            SUPPORT_LEVELS,
+            CURATORS,
+            FILLER_WORDS,
         ] {
             assert!(!pool.is_empty());
             for s in pool {

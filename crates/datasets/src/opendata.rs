@@ -19,18 +19,38 @@ pub const PAPER_ROWS: usize = 23_255;
 
 /// Categorical code pools characteristic of open-data portals.
 const PROGRAMS: &[&str] = &[
-    "community development", "public health", "transport infrastructure", "education grants",
-    "housing support", "environmental protection", "small business", "cultural heritage",
-    "digital inclusion", "emergency response",
+    "community development",
+    "public health",
+    "transport infrastructure",
+    "education grants",
+    "housing support",
+    "environmental protection",
+    "small business",
+    "cultural heritage",
+    "digital inclusion",
+    "emergency response",
 ];
 const AGENCIES: &[&str] = &[
-    "department of finance", "ministry of transport", "health authority", "education board",
-    "housing agency", "environment agency", "treasury", "statistics office",
+    "department of finance",
+    "ministry of transport",
+    "health authority",
+    "education board",
+    "housing agency",
+    "environment agency",
+    "treasury",
+    "statistics office",
 ];
 const STATUSES: &[&str] = &["approved", "pending", "rejected", "completed", "withdrawn"];
 const FUNDING_TYPES: &[&str] = &["grant", "loan", "subsidy", "contribution", "rebate"];
 const REGIONS: &[&str] = &[
-    "north", "south", "east", "west", "central", "northeast", "northwest", "southeast",
+    "north",
+    "south",
+    "east",
+    "west",
+    "central",
+    "northeast",
+    "northwest",
+    "southeast",
     "southwest",
 ];
 
@@ -46,12 +66,24 @@ pub fn open_data(size: SizeClass, seed: u64) -> Table {
     };
 
     push("record_id", &mut |_, i| Value::Int(1_000_000 + i as i64));
-    push("fiscal_year", &mut |r, _| Value::Int(r.gen_range(2008..2021)));
-    push("quarter", &mut |r, _| Value::Str(format!("q{}", r.gen_range(1..5))));
-    push("program_name", &mut |r, _| Value::str(gen::pick(r, PROGRAMS)));
-    push("program_code", &mut |r, _| Value::Str(format!("pr-{:03}", r.gen_range(0..100))));
-    push("agency_name", &mut |r, _| Value::str(gen::pick(r, AGENCIES)));
-    push("agency_code", &mut |r, _| Value::Str(format!("ag{:02}", r.gen_range(0..30))));
+    push("fiscal_year", &mut |r, _| {
+        Value::Int(r.gen_range(2008..2021))
+    });
+    push("quarter", &mut |r, _| {
+        Value::Str(format!("q{}", r.gen_range(1..5)))
+    });
+    push("program_name", &mut |r, _| {
+        Value::str(gen::pick(r, PROGRAMS))
+    });
+    push("program_code", &mut |r, _| {
+        Value::Str(format!("pr-{:03}", r.gen_range(0..100)))
+    });
+    push("agency_name", &mut |r, _| {
+        Value::str(gen::pick(r, AGENCIES))
+    });
+    push("agency_code", &mut |r, _| {
+        Value::Str(format!("ag{:02}", r.gen_range(0..30)))
+    });
     push("recipient_name", &mut |r, _| {
         Value::Str(format!(
             "{} {}",
@@ -60,19 +92,33 @@ pub fn open_data(size: SizeClass, seed: u64) -> Table {
         ))
     });
     push("recipient_type", &mut |r, _| {
-        Value::str(if r.gen_bool(0.4) { "organization" } else { "individual" })
+        Value::str(if r.gen_bool(0.4) {
+            "organization"
+        } else {
+            "individual"
+        })
     });
-    push("recipient_city", &mut |r, _| Value::str(gen::pick(r, names::CITIES)));
-    push("recipient_region", &mut |r, _| Value::str(gen::pick(r, REGIONS)));
-    push("recipient_country", &mut |r, _| Value::str(gen::pick(r, names::COUNTRIES)));
+    push("recipient_city", &mut |r, _| {
+        Value::str(gen::pick(r, names::CITIES))
+    });
+    push("recipient_region", &mut |r, _| {
+        Value::str(gen::pick(r, REGIONS))
+    });
+    push("recipient_country", &mut |r, _| {
+        Value::str(gen::pick(r, names::COUNTRIES))
+    });
     push("recipient_postal", &mut |r, _| {
         Value::Str(format!("{:05}", r.gen_range(10_000..99_999)))
     });
-    push("funding_type", &mut |r, _| Value::str(gen::pick(r, FUNDING_TYPES)));
+    push("funding_type", &mut |r, _| {
+        Value::str(gen::pick(r, FUNDING_TYPES))
+    });
     push("funding_amount", &mut |r, _| gen::amount(r, 9.5, 1.5));
     push("amount_requested", &mut |r, _| gen::amount(r, 9.8, 1.4));
     push("amount_disbursed", &mut |r, _| gen::amount(r, 9.3, 1.6));
-    push("application_date", &mut |r, _| gen::date_between(r, 2008, 2020));
+    push("application_date", &mut |r, _| {
+        gen::date_between(r, 2008, 2020)
+    });
     push("approval_date", &mut |r, _| {
         gen::maybe_null(r, 0.2, |r| gen::date_between(r, 2008, 2020))
     });
@@ -81,14 +127,30 @@ pub fn open_data(size: SizeClass, seed: u64) -> Table {
     push("status", &mut |r, _| Value::str(gen::pick(r, STATUSES)));
     push("status_code", &mut |r, _| Value::Int(r.gen_range(0..6)));
     push("project_title", &mut |r, _| Value::Str(gen::sentence(r, 4)));
-    push("project_summary", &mut |r, _| Value::Str(gen::sentence(r, 12)));
-    push("beneficiaries", &mut |r, _| Value::Int(r.gen_range(1..50_000)));
-    push("jobs_created", &mut |r, _| gen::maybe_null(r, 0.4, |r| Value::Int(r.gen_range(0..500))));
-    push("jobs_retained", &mut |r, _| gen::maybe_null(r, 0.5, |r| Value::Int(r.gen_range(0..300))));
-    push("latitude", &mut |r, _| Value::float(49.0 + r.gen_range(0.0..12.0)));
-    push("longitude", &mut |r, _| Value::float(-8.0 + r.gen_range(0.0..30.0)));
-    push("population_served", &mut |r, _| Value::Int(r.gen_range(100..1_000_000)));
-    push("score", &mut |r, _| Value::float((r.gen_range(0.0..100.0f64) * 10.0).round() / 10.0));
+    push("project_summary", &mut |r, _| {
+        Value::Str(gen::sentence(r, 12))
+    });
+    push("beneficiaries", &mut |r, _| {
+        Value::Int(r.gen_range(1..50_000))
+    });
+    push("jobs_created", &mut |r, _| {
+        gen::maybe_null(r, 0.4, |r| Value::Int(r.gen_range(0..500)))
+    });
+    push("jobs_retained", &mut |r, _| {
+        gen::maybe_null(r, 0.5, |r| Value::Int(r.gen_range(0..300)))
+    });
+    push("latitude", &mut |r, _| {
+        Value::float(49.0 + r.gen_range(0.0..12.0))
+    });
+    push("longitude", &mut |r, _| {
+        Value::float(-8.0 + r.gen_range(0.0..30.0))
+    });
+    push("population_served", &mut |r, _| {
+        Value::Int(r.gen_range(100..1_000_000))
+    });
+    push("score", &mut |r, _| {
+        Value::float((r.gen_range(0.0..100.0f64) * 10.0).round() / 10.0)
+    });
     push("rank", &mut |r, _| Value::Int(r.gen_range(1..1000)));
     push("co_funded", &mut |r, _| Value::Bool(r.gen_bool(0.3)));
     push("renewable", &mut |r, _| Value::Bool(r.gen_bool(0.5)));
@@ -102,23 +164,48 @@ pub fn open_data(size: SizeClass, seed: u64) -> Table {
     });
     push("contact_phone", &mut |r, _| gen::phone(r));
     push("website", &mut |r, _| {
-        gen::maybe_null(r, 0.3, |r| Value::Str(format!("https://program{}.example.org", r.gen_range(0..500))))
+        gen::maybe_null(r, 0.3, |r| {
+            Value::Str(format!(
+                "https://program{}.example.org",
+                r.gen_range(0..500)
+            ))
+        })
     });
-    push("reference_number", &mut |r, _| Value::Str(format!("ref-{}", gen::hex_hash(r, 8))));
+    push("reference_number", &mut |r, _| {
+        Value::Str(format!("ref-{}", gen::hex_hash(r, 8)))
+    });
     push("batch_id", &mut |r, _| Value::Int(r.gen_range(1..200)));
     push("currency", &mut |r, _| {
-        Value::str(*["eur", "usd", "gbp", "cad"].get(r.gen_range(0..4)).expect("in range"))
+        Value::str(
+            *["eur", "usd", "gbp", "cad"]
+                .get(r.gen_range(0..4))
+                .expect("in range"),
+        )
     });
-    push("exchange_rate", &mut |r, _| Value::float(0.8 + r.gen_range(0.0..0.6)));
-    push("overhead_pct", &mut |r, _| Value::float((r.gen_range(0.0..25.0f64) * 10.0).round() / 10.0));
-    push("duration_months", &mut |r, _| Value::Int(r.gen_range(1..60)));
+    push("exchange_rate", &mut |r, _| {
+        Value::float(0.8 + r.gen_range(0.0..0.6))
+    });
+    push("overhead_pct", &mut |r, _| {
+        Value::float((r.gen_range(0.0..25.0f64) * 10.0).round() / 10.0)
+    });
+    push("duration_months", &mut |r, _| {
+        Value::Int(r.gen_range(1..60))
+    });
     push("extensions", &mut |r, _| Value::Int(r.gen_range(0..4)));
     push("milestones", &mut |r, _| Value::Int(r.gen_range(1..12)));
-    push("risk_rating", &mut |r, _| Value::str(gen::pick(r, names::CREDIT_RATINGS)));
-    push("priority_level", &mut |r, _| Value::str(gen::pick(r, names::PRIORITIES)));
+    push("risk_rating", &mut |r, _| {
+        Value::str(gen::pick(r, names::CREDIT_RATINGS))
+    });
+    push("priority_level", &mut |r, _| {
+        Value::str(gen::pick(r, names::PRIORITIES))
+    });
     push("last_updated", &mut |r, _| gen::date_between(r, 2019, 2021));
     push("data_source", &mut |r, _| {
-        Value::str(if r.gen_bool(0.5) { "portal" } else { "bulk upload" })
+        Value::str(if r.gen_bool(0.5) {
+            "portal"
+        } else {
+            "bulk upload"
+        })
     });
 
     Table::new("open_data_grants", columns).expect("static schema is valid")
@@ -151,7 +238,10 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(open_data(SizeClass::Tiny, 9), open_data(SizeClass::Tiny, 9));
-        assert_ne!(open_data(SizeClass::Tiny, 9), open_data(SizeClass::Tiny, 10));
+        assert_ne!(
+            open_data(SizeClass::Tiny, 9),
+            open_data(SizeClass::Tiny, 10)
+        );
     }
 
     #[test]

@@ -40,14 +40,26 @@ pub fn prospect(size: SizeClass, seed: u64) -> Table {
         let _ = &mut r;
         Value::Int(500_000 + i as i64)
     });
-    col!("last_name", r, Value::str(gen::pick(&mut r, names::LAST_NAMES)));
-    col!("first_name", r, Value::str(gen::pick(&mut r, names::FIRST_NAMES)));
+    col!(
+        "last_name",
+        r,
+        Value::str(gen::pick(&mut r, names::LAST_NAMES))
+    );
+    col!(
+        "first_name",
+        r,
+        Value::str(gen::pick(&mut r, names::FIRST_NAMES))
+    );
     col!("middle_initial", r, {
-        gen::maybe_null(&mut r, 0.3, |r| Value::Str(
-            char::from(b'a' + r.gen_range(0..26u8)).to_string(),
-        ))
+        gen::maybe_null(&mut r, 0.3, |r| {
+            Value::Str(char::from(b'a' + r.gen_range(0..26u8)).to_string())
+        })
     });
-    col!("gender", r, Value::str(if r.gen_bool(0.5) { "m" } else { "f" }));
+    col!(
+        "gender",
+        r,
+        Value::str(if r.gen_bool(0.5) { "m" } else { "f" })
+    );
     col!("address_line1", r, {
         Value::Str(format!(
             "{} {}",
@@ -56,21 +68,51 @@ pub fn prospect(size: SizeClass, seed: u64) -> Table {
         ))
     });
     col!("address_line2", r, {
-        gen::maybe_null(&mut r, 0.7, |r| Value::Str(format!("apt {}", r.gen_range(1..400))))
+        gen::maybe_null(&mut r, 0.7, |r| {
+            Value::Str(format!("apt {}", r.gen_range(1..400)))
+        })
     });
-    col!("postal_code", r, Value::Str(format!("{:05}", r.gen_range(10_000..99_999))));
+    col!(
+        "postal_code",
+        r,
+        Value::Str(format!("{:05}", r.gen_range(10_000..99_999)))
+    );
     col!("city", r, Value::str(gen::pick(&mut r, names::CITIES)));
     col!("state", r, Value::str(gen::pick(&mut r, names::STATES)));
-    col!("country", r, Value::str(gen::pick(&mut r, names::COUNTRIES)));
+    col!(
+        "country",
+        r,
+        Value::str(gen::pick(&mut r, names::COUNTRIES))
+    );
     col!("phone", r, gen::phone(&mut r));
-    col!("income", r, Value::Int((30_000.0 + gen::gaussian(&mut r).abs() * 40_000.0) as i64));
+    col!(
+        "income",
+        r,
+        Value::Int((30_000.0 + gen::gaussian(&mut r).abs() * 40_000.0) as i64)
+    );
     col!("number_cars", r, Value::Int(r.gen_range(0..4)));
     col!("number_children", r, Value::Int(r.gen_range(0..5)));
-    col!("marital_status", r, Value::str(gen::pick(&mut r, names::MARITAL_STATUSES)));
+    col!(
+        "marital_status",
+        r,
+        Value::str(gen::pick(&mut r, names::MARITAL_STATUSES))
+    );
     col!("age", r, Value::Int(r.gen_range(18..90)));
-    col!("credit_rating", r, Value::str(gen::pick(&mut r, names::CREDIT_RATINGS)));
-    col!("own_or_rent", r, Value::str(if r.gen_bool(0.6) { "own" } else { "rent" }));
-    col!("employer", r, Value::str(gen::pick(&mut r, names::COMPANIES)));
+    col!(
+        "credit_rating",
+        r,
+        Value::str(gen::pick(&mut r, names::CREDIT_RATINGS))
+    );
+    col!(
+        "own_or_rent",
+        r,
+        Value::str(if r.gen_bool(0.6) { "own" } else { "rent" })
+    );
+    col!(
+        "employer",
+        r,
+        Value::str(gen::pick(&mut r, names::COMPANIES))
+    );
     col!("number_credit_cards", r, Value::Int(r.gen_range(0..9)));
     col!("net_worth", r, gen::amount(&mut r, 11.5, 1.2));
 

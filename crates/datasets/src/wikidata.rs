@@ -69,7 +69,11 @@ pub fn singers(size: SizeClass, seed: u64) -> Table {
             "{} {}{}",
             gen::pick(r, names::FIRST_NAMES),
             gen::pick(r, names::LAST_NAMES),
-            if i > 1500 { format!(" {}", i) } else { String::new() },
+            if i > 1500 {
+                format!(" {}", i)
+            } else {
+                String::new()
+            },
         ))
     });
     push("birth_name", &mut |r, _| {
@@ -80,19 +84,21 @@ pub fn singers(size: SizeClass, seed: u64) -> Table {
         ))
     });
     push("birth_date", &mut |r, _| gen::date_between(r, 1930, 2000));
-    push("birth_place", &mut |r, _| Value::str(gen::pick(r, names::CITIES)));
+    push("birth_place", &mut |r, _| {
+        Value::str(gen::pick(r, names::CITIES))
+    });
     push("genre", &mut |r, _| Value::str(gen::pick(r, names::GENRES)));
-    push("record_label", &mut |r, _| Value::str(gen::pick(r, names::RECORD_LABELS)));
+    push("record_label", &mut |r, _| {
+        Value::str(gen::pick(r, names::RECORD_LABELS))
+    });
     push("partner", &mut |r, _| {
-        gen::maybe_null(
-            r,
-            0.3,
-            |r| Value::Str(format!(
+        gen::maybe_null(r, 0.3, |r| {
+            Value::Str(format!(
                 "{} {}",
                 gen::pick(r, names::FIRST_NAMES),
                 gen::pick(r, names::LAST_NAMES)
-            )),
-        )
+            ))
+        })
     });
     push("parents", &mut |r, _| {
         Value::Str(format!(
@@ -103,18 +109,39 @@ pub fn singers(size: SizeClass, seed: u64) -> Table {
     });
     push("citizenship", &mut |_, _| Value::str("united states"));
     push("occupation", &mut |r, _| {
-        Value::str(if r.gen_bool(0.7) { "singer" } else { "singer-songwriter" })
+        Value::str(if r.gen_bool(0.7) {
+            "singer"
+        } else {
+            "singer-songwriter"
+        })
     });
-    push("active_since", &mut |r, _| Value::Int(r.gen_range(1950..2015)));
+    push("active_since", &mut |r, _| {
+        Value::Int(r.gen_range(1950..2015))
+    });
     push("website", &mut |r, _| {
-        gen::maybe_null(r, 0.4, |r| Value::Str(format!("https://artist{}.example.com", r.gen_range(0..5000))))
+        gen::maybe_null(r, 0.4, |r| {
+            Value::Str(format!(
+                "https://artist{}.example.com",
+                r.gen_range(0..5000)
+            ))
+        })
     });
-    push("instrument", &mut |r, _| Value::str(gen::pick(r, names::INSTRUMENTS)));
-    push("vocal_range", &mut |r, _| Value::str(gen::pick(r, names::VOCAL_RANGES)));
+    push("instrument", &mut |r, _| {
+        Value::str(gen::pick(r, names::INSTRUMENTS))
+    });
+    push("vocal_range", &mut |r, _| {
+        Value::str(gen::pick(r, names::VOCAL_RANGES))
+    });
     push("albums_count", &mut |r, _| Value::Int(r.gen_range(1..40)));
-    push("awards", &mut |r, _| Value::str(gen::pick(r, names::AWARDS)));
-    push("net_worth", &mut |r, _| Value::Int(r.gen_range(1..600) * 1_000_000));
-    push("residence", &mut |r, _| Value::str(gen::pick(r, names::CITIES)));
+    push("awards", &mut |r, _| {
+        Value::str(gen::pick(r, names::AWARDS))
+    });
+    push("net_worth", &mut |r, _| {
+        Value::Int(r.gen_range(1..600) * 1_000_000)
+    });
+    push("residence", &mut |r, _| {
+        Value::str(gen::pick(r, names::CITIES))
+    });
     push("height_cm", &mut |r, _| Value::Int(r.gen_range(150..200)));
     push("debut_song", &mut |r, _| Value::Str(gen::sentence(r, 3)));
 
@@ -188,8 +215,18 @@ fn recode_value(column: &str, v: &Value, rng: &mut rand::rngs::StdRng) -> Value 
         "birth_date" => match v {
             Value::Date(d) => {
                 const MONTHS: [&str; 12] = [
-                    "january", "february", "march", "april", "may", "june", "july", "august",
-                    "september", "october", "november", "december",
+                    "january",
+                    "february",
+                    "march",
+                    "april",
+                    "may",
+                    "june",
+                    "july",
+                    "august",
+                    "september",
+                    "october",
+                    "november",
+                    "december",
                 ];
                 Value::Str(format!(
                     "{} {}, {}",
@@ -306,10 +343,21 @@ pub fn pairs(size: SizeClass, seed: u64) -> Vec<DatasetPair> {
         .take(6)
         .collect();
     let extra_a: Vec<&str> = vec![
-        "birth_date", "genre", "awards", "partner", "citizenship", "albums_count", "vocal_range",
+        "birth_date",
+        "genre",
+        "awards",
+        "partner",
+        "citizenship",
+        "albums_count",
+        "vocal_range",
     ];
     let extra_b: Vec<&str> = vec![
-        "net_worth", "residence", "height_cm", "record_label", "debut_song", "birth_place",
+        "net_worth",
+        "residence",
+        "height_cm",
+        "record_label",
+        "debut_song",
+        "birth_place",
         "artist_name",
     ];
     let cols_a: Vec<&str> = join_cols.iter().chain(&extra_a).copied().collect();
@@ -342,13 +390,29 @@ pub fn pairs(size: SizeClass, seed: u64) -> Vec<DatasetPair> {
     // accidental cross-domain decoys: person-name columns (birth_name) and
     // the second city column (residence) stay out of this pair so the
     // semantic recoding — not a pool collision — is what the methods fight.
-    let sem_shared: Vec<&str> =
-        vec!["artist_name", "birth_place", "awards", "net_worth", "birth_date", "genre"];
+    let sem_shared: Vec<&str> = vec![
+        "artist_name",
+        "birth_place",
+        "awards",
+        "net_worth",
+        "birth_date",
+        "genre",
+    ];
     let extra_a: Vec<&str> = vec![
-        "instrument", "albums_count", "parents", "occupation", "website", "partner", "height_cm",
+        "instrument",
+        "albums_count",
+        "parents",
+        "occupation",
+        "website",
+        "partner",
+        "height_cm",
     ];
     let extra_b: Vec<&str> = vec![
-        "record_label", "vocal_range", "active_since", "debut_song", "citizenship",
+        "record_label",
+        "vocal_range",
+        "active_since",
+        "debut_song",
+        "citizenship",
     ];
     let cols_a: Vec<&str> = sem_shared.iter().chain(&extra_a).copied().collect();
     let cols_b_src: Vec<&str> = sem_shared.iter().chain(&extra_b).copied().collect();
@@ -423,7 +487,11 @@ mod tests {
         for p in &ps {
             assert!(p.validate().is_ok(), "{}", p.id);
             assert!(p.ground_truth_size() > 0);
-            assert!((13..=20).contains(&p.source.width()), "{}", p.source.width());
+            assert!(
+                (13..=20).contains(&p.source.width()),
+                "{}",
+                p.source.width()
+            );
         }
     }
 

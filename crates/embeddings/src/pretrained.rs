@@ -108,7 +108,11 @@ impl PretrainedEmbeddings {
         let bounded: Vec<char> = format!("<{token}>").chars().collect();
         if bounded.len() >= 3 {
             let grams: Vec<String> = bounded.windows(3).map(|w| w.iter().collect()).collect();
-            let w = W_NGRAM / grams.len() as f32;
+            // 1/√n scaling: the grams are independent Gaussian vectors, so
+            // dividing by n would shrink the component's total norm as
+            // tokens grow — √n keeps it at W_NGRAM for every token length,
+            // which is what lets typos sharing most grams stay close.
+            let w = W_NGRAM / (grams.len() as f32).sqrt();
             for g in grams {
                 let gv = gaussian_vector(&format!("gram::{g}"), self.dims);
                 for (x, y) in v.iter_mut().zip(&gv) {
@@ -196,7 +200,10 @@ mod tests {
 
     #[test]
     fn typos_stay_close_via_ngrams() {
-        let m = PretrainedEmbeddings::new(128);
+        // High dimensionality on purpose: the shared-gram signal (~0.07
+        // cosine) is dimension-independent while random-vector noise decays
+        // as 1/√dims, so 2048 dims puts the comparison well outside noise.
+        let m = PretrainedEmbeddings::new(2048);
         let typo = m.phrase_similarity("country", "countrу"); // cyrillic у — still shares most grams
         let other = m.phrase_similarity("country", "velocity");
         assert!(typo > other, "typo {typo} vs other {other}");

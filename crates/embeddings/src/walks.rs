@@ -40,7 +40,11 @@ pub struct WalkConfig {
 
 impl Default for WalkConfig {
     fn default() -> Self {
-        WalkConfig { sentence_length: 60, walks_per_node: 5, seed: 0xe4b }
+        WalkConfig {
+            sentence_length: 60,
+            walks_per_node: 5,
+            seed: 0xe4b,
+        }
     }
 }
 
@@ -69,8 +73,10 @@ impl TripartiteGraph {
                 .map(|r| g.intern(format!("idx__{}__{r}", table.name()), NodeKind::Row))
                 .collect();
             for col in table.columns() {
-                let attr =
-                    g.intern(format!("cid__{}__{}", table.name(), col.name()), NodeKind::Attribute);
+                let attr = g.intern(
+                    format!("cid__{}__{}", table.name(), col.name()),
+                    NodeKind::Attribute,
+                );
                 for (r, v) in col.values().iter().enumerate() {
                     if v.is_null() {
                         continue;
@@ -123,8 +129,7 @@ impl TripartiteGraph {
     /// sentences.
     pub fn generate_walks(&self, config: &WalkConfig) -> Vec<Vec<String>> {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut corpus =
-            Vec::with_capacity(self.len() * config.walks_per_node);
+        let mut corpus = Vec::with_capacity(self.len() * config.walks_per_node);
         for start in 0..self.len() as u32 {
             for _ in 0..config.walks_per_node {
                 let mut sentence = Vec::with_capacity(config.sentence_length);
@@ -219,7 +224,11 @@ mod tests {
     fn walks_have_requested_shape() {
         let a = table_a();
         let g = TripartiteGraph::build(&[&a]);
-        let cfg = WalkConfig { sentence_length: 10, walks_per_node: 3, seed: 1 };
+        let cfg = WalkConfig {
+            sentence_length: 10,
+            walks_per_node: 3,
+            seed: 1,
+        };
         let corpus = g.generate_walks(&cfg);
         assert_eq!(corpus.len(), g.len() * 3);
         for sentence in &corpus {
@@ -234,7 +243,11 @@ mod tests {
         // always include a value node.
         let a = table_a();
         let g = TripartiteGraph::build(&[&a]);
-        let cfg = WalkConfig { sentence_length: 20, walks_per_node: 2, seed: 3 };
+        let cfg = WalkConfig {
+            sentence_length: 20,
+            walks_per_node: 2,
+            seed: 3,
+        };
         for sentence in g.generate_walks(&cfg) {
             for pair in sentence.windows(2) {
                 let v0 = pair[0].starts_with("tt__");

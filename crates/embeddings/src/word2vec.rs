@@ -87,7 +87,11 @@ impl Word2Vec {
             .collect();
         let v = vocab.len();
         if v == 0 {
-            return Word2Vec { dims: config.dims, vocab, vectors: Vec::new() };
+            return Word2Vec {
+                dims: config.dims,
+                vocab,
+                vectors: Vec::new(),
+            };
         }
 
         // --- negative sampling table (unigram^0.75)
@@ -111,7 +115,11 @@ impl Word2Vec {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let bound = 0.5 / config.dims as f32;
         let mut input: Vec<Vec<f32>> = (0..v)
-            .map(|_| (0..config.dims).map(|_| rng.gen_range(-bound..bound)).collect())
+            .map(|_| {
+                (0..config.dims)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect()
+            })
             .collect();
         let mut output: Vec<Vec<f32>> = vec![vec![0.0; config.dims]; v];
 
@@ -171,7 +179,11 @@ impl Word2Vec {
             }
         }
 
-        Word2Vec { dims: config.dims, vocab, vectors: input }
+        Word2Vec {
+            dims: config.dims,
+            vocab,
+            vectors: input,
+        }
     }
 
     /// Embedding dimensionality.

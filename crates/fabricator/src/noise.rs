@@ -136,10 +136,20 @@ mod tests {
             vec![
                 (
                     "last_name",
-                    vec![Value::str("anderson"), Value::str("papadopoulos"), Value::str("visser")],
+                    vec![
+                        Value::str("anderson"),
+                        Value::str("papadopoulos"),
+                        Value::str("visser"),
+                    ],
                 ),
-                ("income", vec![Value::Int(52_000), Value::Int(67_000), Value::Int(49_000)]),
-                ("score", vec![Value::float(0.5), Value::float(0.7), Value::Null]),
+                (
+                    "income",
+                    vec![Value::Int(52_000), Value::Int(67_000), Value::Int(49_000)],
+                ),
+                (
+                    "score",
+                    vec![Value::float(0.5), Value::float(0.7), Value::Null],
+                ),
             ],
         )
         .unwrap()
@@ -182,7 +192,9 @@ mod tests {
             .iter()
             .zip(n.column("last_name").unwrap().values())
         {
-            let (Value::Str(a), Value::Str(b)) = (a, b) else { panic!() };
+            let (Value::Str(a), Value::Str(b)) = (a, b) else {
+                panic!()
+            };
             assert!(valentine_text::levenshtein(a, b) <= 2);
         }
     }

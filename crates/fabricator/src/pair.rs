@@ -63,11 +63,12 @@ mod tests {
     use valentine_table::Value;
 
     fn dummy_pair() -> DatasetPair {
-        let source =
-            Table::from_pairs("s", vec![("a", vec![Value::Int(1)]), ("b", vec![Value::Int(2)])])
-                .unwrap();
-        let target =
-            Table::from_pairs("t", vec![("x", vec![Value::Int(1)])]).unwrap();
+        let source = Table::from_pairs(
+            "s",
+            vec![("a", vec![Value::Int(1)]), ("b", vec![Value::Int(2)])],
+        )
+        .unwrap();
+        let target = Table::from_pairs("t", vec![("x", vec![Value::Int(1)])]).unwrap();
         DatasetPair {
             id: "test/pair".into(),
             source_name: "test".into(),

@@ -150,8 +150,12 @@ mod tests {
             .iter()
             .filter(|p| p.spec.kind == ScenarioKind::Unionable)
             .collect();
-        assert!(unionable.iter().any(|p| p.spec.schema_noise == SchemaNoise::Noisy));
-        assert!(unionable.iter().any(|p| p.spec.schema_noise == SchemaNoise::Verbatim));
+        assert!(unionable
+            .iter()
+            .any(|p| p.spec.schema_noise == SchemaNoise::Noisy));
+        assert!(unionable
+            .iter()
+            .any(|p| p.spec.schema_noise == SchemaNoise::Verbatim));
         let overlaps: std::collections::BTreeSet<u32> = unionable
             .iter()
             .map(|p| (p.spec.row_overlap * 100.0) as u32)
@@ -171,7 +175,10 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic() {
-        assert_eq!(FabricationPlan::paper().pairs, FabricationPlan::paper().pairs);
+        assert_eq!(
+            FabricationPlan::paper().pairs,
+            FabricationPlan::paper().pairs
+        );
     }
 
     #[test]
@@ -195,11 +202,8 @@ mod tests {
         let plan = FabricationPlan::paper();
         // within one scenario, (spec, seed) combinations must be unique
         for kind in ScenarioKind::ALL {
-            let entries: Vec<&PlannedPair> = plan
-                .pairs
-                .iter()
-                .filter(|p| p.spec.kind == kind)
-                .collect();
+            let entries: Vec<&PlannedPair> =
+                plan.pairs.iter().filter(|p| p.spec.kind == kind).collect();
             for (i, a) in entries.iter().enumerate() {
                 for b in &entries[i + 1..] {
                     assert!(

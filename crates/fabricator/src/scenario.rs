@@ -167,7 +167,11 @@ pub fn fabricate_pair(source: &Table, spec: &ScenarioSpec, seed: u64) -> Result<
     let (mut a, mut b, shared) = match spec.kind {
         ScenarioKind::Unionable => {
             let (a, b) = split_horizontal(source, spec.row_overlap, seed);
-            let shared = source.column_names().iter().map(|s| s.to_string()).collect();
+            let shared = source
+                .column_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             (a, b, shared)
         }
         ScenarioKind::ViewUnionable => {
@@ -207,7 +211,10 @@ pub fn fabricate_pair(source: &Table, spec: &ScenarioSpec, seed: u64) -> Result<
         b = renamed;
         mapping
     } else {
-        b.column_names().iter().map(|n| (n.to_string(), n.to_string())).collect()
+        b.column_names()
+            .iter()
+            .map(|n| (n.to_string(), n.to_string()))
+            .collect()
     };
 
     // Ground truth: shared columns, source name → (possibly renamed) target name.
@@ -249,7 +256,14 @@ mod tests {
 
     fn source() -> Table {
         let cols = [
-            "id", "last_name", "first_name", "city", "country", "income", "age", "phone",
+            "id",
+            "last_name",
+            "first_name",
+            "city",
+            "country",
+            "income",
+            "age",
+            "phone",
         ];
         let columns = cols
             .iter()

@@ -34,12 +34,11 @@ pub fn split_horizontal(table: &Table, overlap: f64, seed: u64) -> (Table, Table
 /// Shared columns are chosen with `seed`; the remaining columns are divided
 /// between the two sides (alternating). Returns `(left, right, shared)`
 /// where `shared` lists the overlapping column names.
-pub fn split_vertical(
-    table: &Table,
-    col_overlap: f64,
-    seed: u64,
-) -> (Table, Table, Vec<String>) {
-    assert!((0.0..=1.0).contains(&col_overlap), "overlap must be in [0, 1]");
+pub fn split_vertical(table: &Table, col_overlap: f64, seed: u64) -> (Table, Table, Vec<String>) {
+    assert!(
+        (0.0..=1.0).contains(&col_overlap),
+        "overlap must be in [0, 1]"
+    );
     assert!(table.width() >= 2, "need at least two columns to split");
 
     let mut names: Vec<String> = table
@@ -75,8 +74,12 @@ pub fn split_vertical(
     let left_refs: Vec<&str> = left.iter().map(String::as_str).collect();
     let right_refs: Vec<&str> = right.iter().map(String::as_str).collect();
     (
-        table.project(&left_refs).expect("projection of own columns"),
-        table.project(&right_refs).expect("projection of own columns"),
+        table
+            .project(&left_refs)
+            .expect("projection of own columns"),
+        table
+            .project(&right_refs)
+            .expect("projection of own columns"),
         shared,
     )
 }
@@ -84,14 +87,16 @@ pub fn split_vertical(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use valentine_table::{Value};
+    use valentine_table::Value;
 
     fn table(rows: usize, cols: usize) -> Table {
         let columns = (0..cols)
             .map(|c| {
                 (
                     format!("c{c}"),
-                    (0..rows).map(|r| Value::Int((r * cols + c) as i64)).collect::<Vec<_>>(),
+                    (0..rows)
+                        .map(|r| Value::Int((r * cols + c) as i64))
+                        .collect::<Vec<_>>(),
                 )
             })
             .collect();
@@ -163,8 +168,11 @@ mod tests {
             assert!(r.column(s).is_some());
         }
         // every original column appears somewhere
-        let total: std::collections::BTreeSet<&str> =
-            l.column_names().into_iter().chain(r.column_names()).collect();
+        let total: std::collections::BTreeSet<&str> = l
+            .column_names()
+            .into_iter()
+            .chain(r.column_names())
+            .collect();
         assert_eq!(total.len(), 10);
         // non-shared columns are split between sides
         assert_eq!(l.width() + r.width() - shared.len(), 10);

@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use valentine_fabricator::{
-    fabricate_pair, split_horizontal, split_vertical, InstanceNoise, ScenarioSpec,
-    SchemaNoise,
+    fabricate_pair, split_horizontal, split_vertical, InstanceNoise, ScenarioSpec, SchemaNoise,
 };
 use valentine_table::{Column, Table, Value};
 

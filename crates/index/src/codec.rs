@@ -1,0 +1,203 @@
+//! Minimal length-prefixed binary codec for the index file format.
+//!
+//! All integers are little-endian; strings and vectors carry a `u32` length
+//! prefix. Hand-rolled because the workspace vendors no serde.
+
+use crate::error::IndexError;
+
+/// Append-only binary writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Raw bytes, no length prefix (magic numbers).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// A `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// A little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// An `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// A length-prefixed `u64` slice.
+    pub fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// A length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Cursor-based binary reader; every accessor validates remaining length.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], IndexError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                IndexError::Corrupt(format!(
+                    "truncated while reading {what} at byte {}",
+                    self.pos
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn raw(&mut self, n: usize, what: &str) -> Result<&'a [u8], IndexError> {
+        self.take(n, what)
+    }
+
+    /// A `u8`.
+    pub fn u8(&mut self, what: &str) -> Result<u8, IndexError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// A little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, IndexError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// A little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, IndexError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// An `f64` from its bit pattern.
+    pub fn f64(&mut self, what: &str) -> Result<f64, IndexError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<String, IndexError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| IndexError::Corrupt(format!("{what} is not valid UTF-8")))
+    }
+
+    /// A length-prefixed `u64` vector.
+    pub fn u64s(&mut self, what: &str) -> Result<Vec<u64>, IndexError> {
+        let len = self.u32(what)? as usize;
+        (0..len).map(|_| self.u64(what)).collect()
+    }
+
+    /// A length-prefixed `f64` vector.
+    pub fn f64s(&mut self, what: &str) -> Result<Vec<f64>, IndexError> {
+        let len = self.u32(what)? as usize;
+        (0..len).map(|_| self.f64(what)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = Writer::new();
+        w.raw(b"MAGC");
+        w.u8(7);
+        w.u32(123_456);
+        w.u64(u64::MAX - 3);
+        w.f64(-1.5e300);
+        w.str("héllo");
+        w.u64s(&[1, 2, 3]);
+        w.f64s(&[0.5, -0.25]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.raw(4, "magic").unwrap(), b"MAGC");
+        assert_eq!(r.u8("b").unwrap(), 7);
+        assert_eq!(r.u32("n").unwrap(), 123_456);
+        assert_eq!(r.u64("m").unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64("f").unwrap(), -1.5e300);
+        assert_eq!(r.str("s").unwrap(), "héllo");
+        assert_eq!(r.u64s("xs").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f64s("ys").unwrap(), vec![0.5, -0.25]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.str("abcdef");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let err = r.str("field").unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)));
+        assert!(err.to_string().contains("field"));
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX); // claims a 4 GiB string in an 4-byte buffer
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.str("s").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Index errors.
+
+use std::fmt;
+
+/// Errors raised while building, persisting, or loading an index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Filesystem failure while reading or writing an index file.
+    Io(std::io::Error),
+    /// The file is not an index file, or its contents are inconsistent.
+    Corrupt(String),
+    /// The file uses a format version this build cannot read.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Latest version this build understands.
+        supported: u32,
+    },
+    /// A stored table failed to deserialise.
+    Table(String),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Io(e) => write!(f, "index i/o error: {e}"),
+            IndexError::Corrupt(msg) => write!(f, "corrupt index file: {msg}"),
+            IndexError::Version { found, supported } => {
+                write!(
+                    f,
+                    "unsupported index version {found} (this build reads ≤ {supported})"
+                )
+            }
+            IndexError::Table(msg) => write!(f, "cannot restore stored table: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}

@@ -1,0 +1,289 @@
+//! The discovery index: ingested tables, their column profiles, and the
+//! LSH banding structure over the profiles' MinHash signatures.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use valentine_solver::{LshIndex, MinHasher};
+use valentine_table::Table;
+
+use crate::profile::{profile_table, ColumnProfile};
+
+/// Index construction parameters.
+///
+/// The MinHash signature length is `bands · rows`; the LSH collision
+/// probability for a column pair with Jaccard similarity `J` is
+/// `1 − (1 − J^rows)^bands`. The defaults (64 bands × 2 rows, k = 128)
+/// put the S-curve threshold at `(1/64)^(1/2) = 0.125` — deliberately
+/// recall-heavy, because missed candidates are unrecoverable while false
+/// positives are discarded by the sketch ranking and matcher re-rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Number of LSH bands.
+    pub bands: usize,
+    /// Rows (signature components) per band.
+    pub rows: usize,
+    /// Master seed for the MinHash permutations.
+    pub seed: u64,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            bands: 64,
+            rows: 2,
+            seed: 0x7a1e,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// MinHash signature length implied by the banding layout.
+    pub fn signature_len(&self) -> usize {
+        self.bands * self.rows
+    }
+}
+
+/// One table stored in the index, with bookkeeping for its profile slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedTable {
+    /// Dense id, assigned in ingestion order.
+    pub id: u32,
+    /// Table name (unique names are the caller's concern; search results
+    /// carry the id as the authoritative handle).
+    pub name: String,
+    /// Free-form source tag ("tpcdi", "csv:/data", …).
+    pub source: String,
+    /// The full table, kept for the matcher re-rank stage.
+    pub table: Table,
+    pub(crate) profile_start: usize,
+    pub(crate) profile_len: usize,
+}
+
+/// The column-profile discovery index.
+#[derive(Debug)]
+pub struct Index {
+    config: IndexConfig,
+    hasher: MinHasher,
+    tables: Vec<IndexedTable>,
+    profiles: Vec<ColumnProfile>,
+    lsh: LshIndex,
+}
+
+impl Index {
+    /// An empty index.
+    ///
+    /// # Panics
+    /// Panics when `bands` or `rows` is zero.
+    pub fn new(config: IndexConfig) -> Index {
+        Index {
+            hasher: MinHasher::new(config.signature_len(), config.seed),
+            lsh: LshIndex::new(config.bands, config.rows),
+            config,
+            tables: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The MinHash permutation family profiles were computed with. Query
+    /// profiles must be built through the same hasher to be comparable.
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Number of ingested tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of column profiles.
+    pub fn num_profiles(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// All tables in ingestion order.
+    pub fn tables(&self) -> &[IndexedTable] {
+        &self.tables
+    }
+
+    /// A table by id.
+    pub fn table(&self, id: u32) -> Option<&IndexedTable> {
+        self.tables.get(id as usize)
+    }
+
+    /// All profiles (grouped contiguously by table, in ingestion order).
+    pub fn profiles(&self) -> &[ColumnProfile] {
+        &self.profiles
+    }
+
+    /// The profiles of one table.
+    pub fn profiles_of(&self, table_id: u32) -> &[ColumnProfile] {
+        match self.tables.get(table_id as usize) {
+            Some(t) => &self.profiles[t.profile_start..t.profile_start + t.profile_len],
+            None => &[],
+        }
+    }
+
+    /// The LSH structure (candidate generation).
+    pub(crate) fn lsh(&self) -> &LshIndex {
+        &self.lsh
+    }
+
+    /// Profiles and inserts one table, returning its id.
+    pub fn ingest(&mut self, source: &str, table: Table) -> u32 {
+        let profiles = profile_table(0, &table, &self.hasher);
+        self.insert_profiled(source, table, profiles)
+    }
+
+    /// Profiles and inserts a batch of `(source, table)` pairs over a
+    /// worker pool (profiling — stats plus `k` hash permutations per value —
+    /// is the expensive part; LSH insertion is serialised afterwards in
+    /// batch order, so ids and index contents are independent of thread
+    /// scheduling). Returns the assigned ids in batch order.
+    pub fn ingest_batch(&mut self, batch: Vec<(String, Table)>, threads: usize) -> Vec<u32> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(batch.len());
+        let next = AtomicUsize::new(0);
+        let profiled: Mutex<Vec<Option<Vec<ColumnProfile>>>> =
+            Mutex::new((0..batch.len()).map(|_| None).collect());
+        let hasher = &self.hasher;
+        let batch_ref = &batch;
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= batch_ref.len() {
+                        break;
+                    }
+                    let profiles = profile_table(0, &batch_ref[idx].1, hasher);
+                    profiled.lock()[idx] = Some(profiles);
+                });
+            }
+        })
+        .expect("ingest workers must not panic");
+
+        let profiled = profiled.into_inner();
+        batch
+            .into_iter()
+            .zip(profiled)
+            .map(|((source, table), profiles)| {
+                self.insert_profiled(&source, table, profiles.expect("every slot profiled"))
+            })
+            .collect()
+    }
+
+    /// Takes ownership of a pre-profiled table: assigns the id, patches it
+    /// into the profiles, and inserts the signatures into the LSH bands.
+    pub(crate) fn insert_profiled(
+        &mut self,
+        source: &str,
+        table: Table,
+        mut profiles: Vec<ColumnProfile>,
+    ) -> u32 {
+        let id = self.tables.len() as u32;
+        let profile_start = self.profiles.len();
+        for profile in &mut profiles {
+            profile.table_id = id;
+            let profile_id = self.profiles.len() as u32;
+            self.lsh.insert(profile_id, &profile.signature);
+            self.profiles.push(profile.clone());
+        }
+        self.tables.push(IndexedTable {
+            id,
+            name: table.name().to_string(),
+            source: source.to_string(),
+            table,
+            profile_start,
+            profile_len: self.profiles.len() - profile_start,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn toy(name: &str, shift: i64) -> Table {
+        Table::from_pairs(
+            name,
+            vec![
+                ("id", (shift..shift + 20).map(Value::Int).collect()),
+                (
+                    "label",
+                    (shift..shift + 20)
+                        .map(|i| Value::str(format!("v{i}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ingest_assigns_dense_ids_and_profiles() {
+        let mut idx = Index::new(IndexConfig::default());
+        assert!(idx.is_empty());
+        let a = idx.ingest("src", toy("a", 0));
+        let b = idx.ingest("src", toy("b", 5));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.num_profiles(), 4);
+        assert_eq!(idx.profiles_of(1).len(), 2);
+        assert_eq!(idx.profiles_of(1)[0].table_id, 1);
+        assert_eq!(idx.table(1).unwrap().name, "b");
+        assert_eq!(idx.table(7), None);
+        assert!(idx.profiles_of(7).is_empty());
+    }
+
+    #[test]
+    fn batch_ingest_matches_serial_ingest() {
+        let tables: Vec<(String, Table)> = (0..6)
+            .map(|i| ("s".to_string(), toy(&format!("t{i}"), i * 3)))
+            .collect();
+
+        let mut serial = Index::new(IndexConfig::default());
+        for (src, t) in tables.clone() {
+            serial.ingest(&src, t);
+        }
+        let mut parallel = Index::new(IndexConfig::default());
+        let ids = parallel.ingest_batch(tables, 4);
+
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(serial.profiles(), parallel.profiles());
+        assert_eq!(serial.tables(), parallel.tables());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut idx = Index::new(IndexConfig::default());
+        assert!(idx.ingest_batch(Vec::new(), 8).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn config_signature_len() {
+        let c = IndexConfig {
+            bands: 16,
+            rows: 4,
+            seed: 1,
+        };
+        assert_eq!(c.signature_len(), 64);
+        let idx = Index::new(c);
+        assert_eq!(idx.config().bands, 16);
+        assert_eq!(idx.hasher().k(), 64);
+    }
+}

@@ -1,0 +1,53 @@
+//! A sketch-based discovery index over table corpora.
+//!
+//! The Valentine paper closes on the observation that schema matching is
+//! "resource-expensive": every method it evaluates compares *one* pair of
+//! tables, so discovering related datasets in a corpus of `N` tables costs
+//! `N` full matcher runs per query. This crate adds the missing systems
+//! layer — the profile-and-prune architecture of dataset discovery engines
+//! (Aurum's profile index, D3L, SANTOS) — on top of the workspace's
+//! matchers:
+//!
+//! 1. [`ColumnProfile`] condenses each column into a cheap sketch: a MinHash
+//!    signature of its rendered value set, normalised name tokens, the
+//!    inferred data type, and a quantile summary of its numeric view.
+//! 2. [`Index`] ingests whole tables (serially or over a worker pool),
+//!    stores profiles in an LSH banding index, and serialises to a
+//!    versioned binary file so a corpus is profiled once and queried many
+//!    times.
+//! 3. Two-stage search — [`Index::top_k_unionable`] and
+//!    [`Index::top_k_joinable`] — collects LSH collision candidates,
+//!    scores them with the sketches, and re-ranks only the few survivors
+//!    with a full [`MatcherKind`](valentine_matchers::MatcherKind) matcher,
+//!    issuing strictly fewer matcher calls than brute-force all-pairs
+//!    matching.
+//!
+//! ```
+//! use valentine_index::{Index, IndexConfig, SearchOptions};
+//! use valentine_table::{Table, Value};
+//!
+//! let mut index = Index::new(IndexConfig::default());
+//! let t = Table::from_pairs(
+//!     "countries",
+//!     vec![("code", vec![Value::str("NL"), Value::str("GR")])],
+//! )
+//! .unwrap();
+//! index.ingest("demo", t.clone());
+//!
+//! let outcome = index.top_k_unionable(&t, 1, &SearchOptions::sketch_only());
+//! assert_eq!(outcome.results[0].table_name, "countries");
+//! ```
+
+#![warn(missing_docs)]
+
+mod codec;
+pub mod error;
+pub mod index;
+pub mod persist;
+pub mod profile;
+pub mod search;
+
+pub use error::IndexError;
+pub use index::{Index, IndexConfig, IndexedTable};
+pub use profile::ColumnProfile;
+pub use search::{DiscoveryResult, SearchOptions, SearchOutcome, SearchStats};

@@ -1,0 +1,315 @@
+//! Versioned binary persistence — profile a corpus once, query it many
+//! times.
+//!
+//! Layout (all little-endian, length-prefixed; see [`crate::codec`]):
+//!
+//! ```text
+//! "VIDX" | version u32 | bands u64 | rows u64 | seed u64 | n_tables u32
+//! per table:
+//!   name | source | csv blob | n_profiles u32
+//!   per profile:
+//!     column_index u32 | name | n_tokens u32 | tokens… | dtype u8
+//!     rows u64 | distinct u64 | signature u64s | quantiles f64s
+//! ```
+//!
+//! Stored tables travel as CSV blobs (the workspace's canonical
+//! interchange form); profiles are stored verbatim so loading skips
+//! re-profiling, and the LSH bands are rebuilt from the stored signatures
+//! (cheap, and keeps the file independent of hash-map layout). Writing is
+//! deterministic: the same corpus ingested in the same order produces
+//! byte-identical files.
+
+use std::path::Path;
+
+use valentine_solver::minhash::Signature;
+use valentine_table::{csv, DataType};
+
+use crate::codec::{Reader, Writer};
+use crate::error::IndexError;
+use crate::index::{Index, IndexConfig};
+use crate::profile::ColumnProfile;
+
+const MAGIC: &[u8; 4] = b"VIDX";
+/// Current file format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+fn dtype_to_u8(d: DataType) -> u8 {
+    match d {
+        DataType::Unknown => 0,
+        DataType::Bool => 1,
+        DataType::Int => 2,
+        DataType::Float => 3,
+        DataType::Date => 4,
+        DataType::Str => 5,
+    }
+}
+
+fn dtype_from_u8(b: u8) -> Result<DataType, IndexError> {
+    Ok(match b {
+        0 => DataType::Unknown,
+        1 => DataType::Bool,
+        2 => DataType::Int,
+        3 => DataType::Float,
+        4 => DataType::Date,
+        5 => DataType::Str,
+        other => return Err(IndexError::Corrupt(format!("unknown dtype tag {other}"))),
+    })
+}
+
+impl Index {
+    /// Serialises the index to its binary file format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u64(self.config().bands as u64);
+        w.u64(self.config().rows as u64);
+        w.u64(self.config().seed);
+        w.u32(self.tables().len() as u32);
+        for t in self.tables() {
+            w.str(&t.name);
+            w.str(&t.source);
+            w.str(&csv::serialize(&t.table));
+            let profiles = self.profiles_of(t.id);
+            w.u32(profiles.len() as u32);
+            for p in profiles {
+                w.u32(p.column_index);
+                w.str(&p.name);
+                w.u32(p.name_tokens.len() as u32);
+                for tok in &p.name_tokens {
+                    w.str(tok);
+                }
+                w.u8(dtype_to_u8(p.dtype));
+                w.u64(p.rows);
+                w.u64(p.distinct);
+                w.u64s(&p.signature.0);
+                w.f64s(&p.quantiles);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Restores an index from its binary form, rebuilding the LSH bands
+    /// from the stored signatures.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Index, IndexError> {
+        let mut r = Reader::new(bytes);
+        if r.raw(4, "magic")? != MAGIC {
+            return Err(IndexError::Corrupt("bad magic (not an index file)".into()));
+        }
+        let version = r.u32("version")?;
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(IndexError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let bands = r.u64("bands")? as usize;
+        let rows = r.u64("rows")? as usize;
+        let seed = r.u64("seed")?;
+        if bands == 0 || rows == 0 {
+            return Err(IndexError::Corrupt("zero bands or rows".into()));
+        }
+        let config = IndexConfig { bands, rows, seed };
+        let mut index = Index::new(config);
+
+        let n_tables = r.u32("table count")?;
+        for table_id in 0..n_tables {
+            let name = r.str("table name")?;
+            let source = r.str("table source")?;
+            let blob = r.str("table csv")?;
+            let table = csv::parse(name, &blob)
+                .map_err(|e| IndexError::Table(format!("table {table_id}: {e}")))?;
+
+            let n_profiles = r.u32("profile count")?;
+            if n_profiles as usize != table.width() {
+                return Err(IndexError::Corrupt(format!(
+                    "table {table_id} stores {n_profiles} profiles for {} columns",
+                    table.width()
+                )));
+            }
+            let mut profiles = Vec::with_capacity(n_profiles as usize);
+            for _ in 0..n_profiles {
+                let column_index = r.u32("column index")?;
+                if column_index as usize >= table.width() {
+                    return Err(IndexError::Corrupt(format!(
+                        "profile points at column {column_index} of a {}-wide table",
+                        table.width()
+                    )));
+                }
+                let col_name = r.str("column name")?;
+                let n_tokens = r.u32("token count")?;
+                let name_tokens = (0..n_tokens)
+                    .map(|_| r.str("name token"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let dtype = dtype_from_u8(r.u8("dtype")?)?;
+                let rows_count = r.u64("row count")?;
+                let distinct = r.u64("distinct count")?;
+                let signature = Signature(r.u64s("signature")?);
+                if signature.0.len() != config.signature_len() {
+                    return Err(IndexError::Corrupt(format!(
+                        "signature length {} does not match bands·rows = {}",
+                        signature.0.len(),
+                        config.signature_len()
+                    )));
+                }
+                let quantiles = r.f64s("quantiles")?;
+                profiles.push(ColumnProfile {
+                    table_id,
+                    column_index,
+                    name: col_name,
+                    name_tokens,
+                    dtype,
+                    rows: rows_count,
+                    distinct,
+                    signature,
+                    quantiles,
+                });
+            }
+            index.insert_profiled(&source, table, profiles);
+        }
+        if !r.is_exhausted() {
+            return Err(IndexError::Corrupt(
+                "trailing bytes after last table".into(),
+            ));
+        }
+        Ok(index)
+    }
+
+    /// Writes the index to a file.
+    pub fn save(&self, path: &Path) -> Result<(), IndexError> {
+        Ok(std::fs::write(path, self.to_bytes())?)
+    }
+
+    /// Loads an index from a file.
+    pub fn load(path: &Path) -> Result<Index, IndexError> {
+        Index::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::{Table, Value};
+
+    fn sample_index() -> Index {
+        let mut idx = Index::new(IndexConfig {
+            bands: 8,
+            rows: 2,
+            seed: 5,
+        });
+        idx.ingest(
+            "src-a",
+            Table::from_pairs(
+                "alpha",
+                vec![
+                    ("id", (0..30).map(Value::Int).collect()),
+                    (
+                        "tag",
+                        (0..30).map(|i| Value::str(format!("t{i}"))).collect(),
+                    ),
+                ],
+            )
+            .unwrap(),
+        );
+        idx.ingest(
+            "src-b",
+            Table::from_pairs(
+                "beta",
+                vec![(
+                    "score",
+                    (0..30).map(|i| Value::float(i as f64 / 2.0)).collect(),
+                )],
+            )
+            .unwrap(),
+        );
+        idx
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let idx = sample_index();
+        let bytes = idx.to_bytes();
+        let back = Index::from_bytes(&bytes).unwrap();
+        assert_eq!(back.config(), idx.config());
+        assert_eq!(back.profiles(), idx.profiles());
+        assert_eq!(back.tables().len(), idx.tables().len());
+        for (a, b) in idx.tables().iter().zip(back.tables()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.table.width(), b.table.width());
+            assert_eq!(a.table.height(), b.table.height());
+        }
+        // serialisation is deterministic
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let idx = sample_index();
+        let path = std::env::temp_dir().join("valentine_index_persist_test.vidx");
+        idx.save(&path).unwrap();
+        let back = Index::load(&path).unwrap();
+        assert_eq!(back.profiles(), idx.profiles());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let idx = sample_index();
+        let mut bytes = idx.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Index::from_bytes(&bytes).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+
+        let mut bytes = idx.to_bytes();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Index::from_bytes(&bytes).unwrap_err(),
+            IndexError::Version {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = sample_index().to_bytes();
+        for cut in [3, 8, 20, bytes.len() - 1] {
+            assert!(Index::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_index().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Index::from_bytes(&bytes).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn dtype_tags_roundtrip() {
+        for d in [
+            DataType::Unknown,
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Date,
+            DataType::Str,
+        ] {
+            assert_eq!(dtype_from_u8(dtype_to_u8(d)).unwrap(), d);
+        }
+        assert!(dtype_from_u8(17).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Index::load(Path::new("/nonexistent/nowhere.vidx")).unwrap_err();
+        assert!(matches!(err, IndexError::Io(_)));
+    }
+}

@@ -1,0 +1,519 @@
+//! Two-stage top-k search: LSH candidate generation, sketch ranking, and
+//! matcher re-ranking.
+//!
+//! Stage 1 probes the LSH bands with the query's MinHash signatures and
+//! scores every colliding table with the cheap [`ColumnProfile`] sketches.
+//! Stage 2 re-ranks only the top `candidate_cap` survivors with a full
+//! matcher from [`valentine_matchers`] — the expensive, high-precision
+//! evidence. A brute-force baseline ([`Index::brute_force_unionable`])
+//! runs the matcher against *every* indexed table; the whole point of the
+//! index is that stage 2 issues strictly fewer matcher calls than that.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use valentine_matchers::{ColumnMatch, Matcher, MatcherKind};
+use valentine_table::{Column, FxHashMap, Table};
+
+use crate::index::Index;
+use crate::profile::{profile_table, ColumnProfile, QUERY_TABLE_ID};
+
+/// Per-candidate re-rank outcome: matcher score plus the column matches
+/// backing it.
+type RerankSlot = (f64, Vec<ColumnMatch>);
+
+/// Search-time options.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Matcher used for stage-2 re-ranking; `None` ranks by sketch alone.
+    pub rerank: Option<MatcherKind>,
+    /// How many sketch-ranked candidates survive into the matcher stage
+    /// (raised to `k` when smaller).
+    pub candidate_cap: usize,
+    /// Worker threads for the matcher stage.
+    pub threads: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            rerank: Some(MatcherKind::ComaInstance),
+            candidate_cap: 10,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Sketch-only search: no matcher calls at all.
+    pub fn sketch_only() -> SearchOptions {
+        SearchOptions {
+            rerank: None,
+            ..SearchOptions::default()
+        }
+    }
+
+    /// Re-rank with the given method.
+    pub fn with_matcher(kind: MatcherKind) -> SearchOptions {
+        SearchOptions {
+            rerank: Some(kind),
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// One scored hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryResult {
+    /// Id of the matched table.
+    pub table_id: u32,
+    /// Its name.
+    pub table_name: String,
+    /// Its source tag.
+    pub source: String,
+    /// For joinable search: the candidate join column. `None` for
+    /// unionable (whole-table) search.
+    pub column: Option<String>,
+    /// Final ranking score (matcher score after re-rank, sketch score
+    /// otherwise).
+    pub score: f64,
+    /// The stage-1 sketch score (kept for diagnostics and tie-breaks).
+    pub sketch_score: f64,
+    /// Column correspondences from the re-rank matcher (empty without
+    /// re-ranking or when the matcher failed).
+    pub column_matches: Vec<ColumnMatch>,
+}
+
+/// Work counters for one search, the index's efficiency story in numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Columns in the query.
+    pub query_columns: usize,
+    /// Distinct tables surviving LSH candidate generation.
+    pub lsh_candidates: usize,
+    /// Full matcher invocations issued (brute force issues one per indexed
+    /// table).
+    pub matcher_calls: usize,
+    /// Matcher invocations that returned an error (those candidates fall
+    /// back to their sketch score).
+    pub matcher_errors: usize,
+}
+
+/// Ranked results plus work counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Hits, best first.
+    pub results: Vec<DiscoveryResult>,
+    /// Work counters.
+    pub stats: SearchStats,
+}
+
+impl Index {
+    /// Stage 1 for a whole-table query: every indexed table that collides
+    /// with at least one query column, with its sketch score (mean over
+    /// query columns of the best column-level sketch similarity).
+    /// Descending score, deterministic tie-break on table id.
+    pub fn candidate_tables(&self, query: &Table) -> Vec<(u32, f64)> {
+        let query_profiles = profile_table(QUERY_TABLE_ID, query, self.hasher());
+        if query_profiles.is_empty() || self.is_empty() {
+            return Vec::new();
+        }
+        // table id → best sketch similarity per query column
+        let mut best: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
+        for (qi, qp) in query_profiles.iter().enumerate() {
+            for pid in self.lsh().candidates(&qp.signature) {
+                let profile = &self.profiles()[pid as usize];
+                let sim = qp.sketch_similarity(profile, self.hasher());
+                let slots = best
+                    .entry(profile.table_id)
+                    .or_insert_with(|| vec![0.0; query_profiles.len()]);
+                if sim > slots[qi] {
+                    slots[qi] = sim;
+                }
+            }
+        }
+        let width = query_profiles.len() as f64;
+        let mut scored: Vec<(u32, f64)> = best
+            .into_iter()
+            .map(|(id, sims)| (id, sims.iter().sum::<f64>() / width))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        scored
+    }
+
+    /// Top-k unionable-table search: which indexed tables could this table
+    /// be unioned with? LSH candidates are sketch-ranked, then the best
+    /// `candidate_cap` are re-ranked by the configured matcher (score =
+    /// mean over query columns of the best correspondence score).
+    pub fn top_k_unionable(&self, query: &Table, k: usize, opts: &SearchOptions) -> SearchOutcome {
+        let mut stats = SearchStats {
+            query_columns: query.width(),
+            ..SearchStats::default()
+        };
+        let candidates = self.candidate_tables(query);
+        stats.lsh_candidates = candidates.len();
+
+        let cap = opts.candidate_cap.max(k);
+        let shortlist: Vec<(u32, f64)> = candidates.into_iter().take(cap).collect();
+
+        let mut results = match opts.rerank {
+            None => shortlist
+                .into_iter()
+                .map(|(id, sketch)| self.result_for(id, None, sketch, sketch, Vec::new()))
+                .collect(),
+            Some(kind) => self.rerank_unionable(query, &shortlist, kind, opts.threads, &mut stats),
+        };
+        rank(&mut results);
+        results.truncate(k);
+        SearchOutcome { results, stats }
+    }
+
+    /// Top-k joinable-column search: which indexed columns could this
+    /// column join against? Candidates are individual column profiles;
+    /// re-ranking runs the matcher on the single-column projections.
+    pub fn top_k_joinable(&self, column: &Column, k: usize, opts: &SearchOptions) -> SearchOutcome {
+        let mut stats = SearchStats {
+            query_columns: 1,
+            ..SearchStats::default()
+        };
+        if self.is_empty() {
+            return SearchOutcome {
+                results: Vec::new(),
+                stats,
+            };
+        }
+        let qp = ColumnProfile::build(QUERY_TABLE_ID, 0, column, self.hasher());
+        let mut scored: Vec<(u32, f64)> = self
+            .lsh()
+            .candidates(&qp.signature)
+            .into_iter()
+            .map(|pid| {
+                let sim = qp.sketch_similarity(&self.profiles()[pid as usize], self.hasher());
+                (pid, sim)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        stats.lsh_candidates = scored.len();
+        scored.truncate(opts.candidate_cap.max(k));
+
+        let query_table = single_column_table("query", column);
+        let mut results = Vec::with_capacity(scored.len());
+        let matcher = opts.rerank.map(MatcherKind::instantiate);
+        for (pid, sketch) in scored {
+            let profile = &self.profiles()[pid as usize];
+            let owner = self.table(profile.table_id).expect("profile owner exists");
+            let candidate_column = &owner.table.columns()[profile.column_index as usize];
+            let (score, matches) = match &matcher {
+                None => (sketch, Vec::new()),
+                Some(m) => {
+                    stats.matcher_calls += 1;
+                    let target = single_column_table(&owner.name, candidate_column);
+                    match m.match_tables(&query_table, &target) {
+                        Ok(result) => {
+                            let top = result.matches().first().map_or(0.0, |cm| cm.score);
+                            (top, result.matches().to_vec())
+                        }
+                        Err(_) => {
+                            stats.matcher_errors += 1;
+                            (sketch, Vec::new())
+                        }
+                    }
+                }
+            };
+            results.push(self.result_for(
+                profile.table_id,
+                Some(profile.name.clone()),
+                score,
+                sketch,
+                matches,
+            ));
+        }
+        rank(&mut results);
+        results.truncate(k);
+        SearchOutcome { results, stats }
+    }
+
+    /// The brute-force baseline: run the matcher against every indexed
+    /// table (`matcher_calls == self.len()`), rank by the same score as the
+    /// re-rank stage. This is what dataset discovery costs without an
+    /// index.
+    pub fn brute_force_unionable(
+        &self,
+        query: &Table,
+        k: usize,
+        kind: MatcherKind,
+    ) -> SearchOutcome {
+        let mut stats = SearchStats {
+            query_columns: query.width(),
+            lsh_candidates: self.len(),
+            ..SearchStats::default()
+        };
+        let everyone: Vec<(u32, f64)> = self.tables().iter().map(|t| (t.id, 0.0)).collect();
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+        let mut results = self.rerank_unionable(query, &everyone, kind, threads, &mut stats);
+        rank(&mut results);
+        results.truncate(k);
+        SearchOutcome { results, stats }
+    }
+
+    /// Runs the matcher over the shortlist in parallel (same worker-pool
+    /// shape as the experiment runner: atomic work counter, scoped
+    /// threads, mutex-collected slots — results land in shortlist order,
+    /// independent of scheduling).
+    fn rerank_unionable(
+        &self,
+        query: &Table,
+        shortlist: &[(u32, f64)],
+        kind: MatcherKind,
+        threads: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<DiscoveryResult> {
+        if shortlist.is_empty() {
+            return Vec::new();
+        }
+        let matcher = kind.instantiate();
+        let matcher_ref: &dyn Matcher = matcher.as_ref();
+        let next = AtomicUsize::new(0);
+        let errors = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<RerankSlot>>> =
+            Mutex::new((0..shortlist.len()).map(|_| None).collect());
+        let threads = threads.max(1).min(shortlist.len());
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= shortlist.len() {
+                        break;
+                    }
+                    let (table_id, sketch) = shortlist[idx];
+                    let target = &self.table(table_id).expect("candidate exists").table;
+                    let slot = match matcher_ref.match_tables(query, target) {
+                        Ok(result) => (
+                            mean_best_per_query_column(query, &result),
+                            result.matches().to_vec(),
+                        ),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            (sketch, Vec::new())
+                        }
+                    };
+                    slots.lock()[idx] = Some(slot);
+                });
+            }
+        })
+        .expect("re-rank workers must not panic");
+
+        stats.matcher_calls += shortlist.len();
+        stats.matcher_errors += errors.into_inner();
+        slots
+            .into_inner()
+            .into_iter()
+            .zip(shortlist)
+            .map(|(slot, &(table_id, sketch))| {
+                let (score, matches) = slot.expect("every slot re-ranked");
+                self.result_for(table_id, None, score, sketch, matches)
+            })
+            .collect()
+    }
+
+    fn result_for(
+        &self,
+        table_id: u32,
+        column: Option<String>,
+        score: f64,
+        sketch_score: f64,
+        column_matches: Vec<ColumnMatch>,
+    ) -> DiscoveryResult {
+        let t = self
+            .table(table_id)
+            .expect("result refers to an indexed table");
+        DiscoveryResult {
+            table_id,
+            table_name: t.name.clone(),
+            source: t.source.clone(),
+            column,
+            score,
+            sketch_score,
+            column_matches,
+        }
+    }
+}
+
+/// The re-rank score of a whole-table match: for each query column, the
+/// best correspondence score the matcher assigned it; averaged over all
+/// query columns so partially-covered tables rank below full covers.
+fn mean_best_per_query_column(query: &Table, result: &valentine_matchers::MatchResult) -> f64 {
+    if query.width() == 0 {
+        return 0.0;
+    }
+    let mut best: FxHashMap<&str, f64> = FxHashMap::default();
+    for m in result.matches() {
+        let entry = best.entry(m.source.as_str()).or_insert(0.0);
+        if m.score > *entry {
+            *entry = m.score;
+        }
+    }
+    query
+        .column_names()
+        .iter()
+        .map(|name| best.get(name).copied().unwrap_or(0.0))
+        .sum::<f64>()
+        / query.width() as f64
+}
+
+fn single_column_table(name: &str, column: &Column) -> Table {
+    Table::new(name, vec![column.clone()]).expect("single column cannot conflict")
+}
+
+/// Descending score with fully deterministic tie-breaks.
+fn rank(results: &mut [DiscoveryResult]) {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| {
+                b.sketch_score
+                    .partial_cmp(&a.sketch_score)
+                    .expect("sketch scores are finite")
+            })
+            .then_with(|| a.table_name.cmp(&b.table_name))
+            .then_with(|| a.table_id.cmp(&b.table_id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use valentine_table::Value;
+
+    fn table(name: &str, lo: i64, hi: i64) -> Table {
+        Table::from_pairs(
+            name,
+            vec![
+                ("id", (lo..hi).map(Value::Int).collect()),
+                (
+                    "label",
+                    (lo..hi).map(|i| Value::str(format!("item-{i}"))).collect(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn demo_index() -> Index {
+        let mut idx = Index::new(IndexConfig::default());
+        idx.ingest("demo", table("overlap_high", 0, 90));
+        idx.ingest("demo", table("overlap_mid", 40, 130));
+        idx.ingest("demo", table("disjoint", 1000, 1090));
+        idx
+    }
+
+    #[test]
+    fn sketch_search_ranks_by_overlap() {
+        let idx = demo_index();
+        let query = table("q", 0, 100);
+        let out = idx.top_k_unionable(&query, 3, &SearchOptions::sketch_only());
+        assert_eq!(out.stats.matcher_calls, 0);
+        assert_eq!(out.stats.query_columns, 2);
+        assert!(!out.results.is_empty());
+        assert_eq!(out.results[0].table_name, "overlap_high");
+        // scores descend
+        for w in out.results.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn rerank_stage_calls_matcher_only_on_shortlist() {
+        let idx = demo_index();
+        let query = table("q", 0, 100);
+        let opts = SearchOptions {
+            rerank: Some(MatcherKind::JaccardLevenshtein),
+            candidate_cap: 2,
+            threads: 2,
+        };
+        let out = idx.top_k_unionable(&query, 2, &opts);
+        assert!(out.stats.matcher_calls <= 2);
+        assert!(out.stats.matcher_calls < idx.len());
+        assert_eq!(out.results[0].table_name, "overlap_high");
+        assert!(!out.results[0].column_matches.is_empty());
+    }
+
+    #[test]
+    fn brute_force_calls_matcher_on_every_table() {
+        let idx = demo_index();
+        let query = table("q", 0, 100);
+        let out = idx.brute_force_unionable(&query, 3, MatcherKind::JaccardLevenshtein);
+        assert_eq!(out.stats.matcher_calls, idx.len());
+        assert_eq!(out.results[0].table_name, "overlap_high");
+    }
+
+    #[test]
+    fn joinable_search_finds_the_overlapping_column() {
+        let idx = demo_index();
+        let query = Column::new("key", (50..120).map(Value::Int).collect());
+        let out = idx.top_k_joinable(
+            &query,
+            2,
+            &SearchOptions::with_matcher(MatcherKind::JaccardLevenshtein),
+        );
+        assert!(!out.results.is_empty());
+        let top = &out.results[0];
+        assert_eq!(top.column.as_deref(), Some("id"));
+        assert_ne!(top.table_name, "disjoint");
+        assert!(out.stats.matcher_calls >= out.results.len());
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = Index::new(IndexConfig::default());
+        let q = table("q", 0, 10);
+        assert!(idx
+            .top_k_unionable(&q, 5, &SearchOptions::sketch_only())
+            .results
+            .is_empty());
+        let col = Column::new("c", vec![Value::Int(1)]);
+        assert!(idx
+            .top_k_joinable(&col, 5, &SearchOptions::sketch_only())
+            .results
+            .is_empty());
+
+        let idx = demo_index();
+        let empty = Table::empty("nothing");
+        assert!(idx
+            .top_k_unionable(&empty, 5, &SearchOptions::sketch_only())
+            .results
+            .is_empty());
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let idx = demo_index();
+        let query = table("q", 0, 1100); // overlaps everything a bit
+        let out = idx.top_k_unionable(&query, 1, &SearchOptions::sketch_only());
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn mean_best_per_query_column_scoring() {
+        let q = table("q", 0, 5);
+        let result = valentine_matchers::MatchResult::ranked(vec![
+            ColumnMatch::new("id", "id", 0.9),
+            ColumnMatch::new("id", "label", 0.2),
+            // "label" gets no correspondence → counts as 0
+        ]);
+        let score = mean_best_per_query_column(&q, &result);
+        assert!((score - 0.45).abs() < 1e-12);
+        assert_eq!(mean_best_per_query_column(&Table::empty("e"), &result), 0.0);
+    }
+}

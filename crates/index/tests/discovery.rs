@@ -1,0 +1,182 @@
+//! End-to-end index behaviour over fabricated corpora: persistence
+//! round-trips, LSH candidate recall, determinism, and the
+//! fewer-matcher-calls guarantee.
+
+use valentine_datasets::{chembl, tpcdi, SizeClass};
+use valentine_fabricator::{fabricate_pair, DatasetPair, InstanceNoise, ScenarioSpec, SchemaNoise};
+use valentine_index::{Index, IndexConfig, SearchOptions};
+use valentine_matchers::MatcherKind;
+use valentine_table::Table;
+
+/// Verbatim-schema unionable pairs from two different dataset sources.
+fn corpus_pairs(per_source: usize) -> Vec<(String, DatasetPair)> {
+    let sources: Vec<(&str, Table)> = vec![
+        ("tpcdi", tpcdi::prospect(SizeClass::Tiny, 11)),
+        ("chembl", chembl::assays(SizeClass::Tiny, 12)),
+    ];
+    let mut out = Vec::new();
+    for (name, base) in &sources {
+        for i in 0..per_source {
+            let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
+            let mut pair = fabricate_pair(base, &spec, 100 + i as u64).expect("fabrication works");
+            pair.target.set_name(format!("{name}_target_{i}"));
+            out.push((name.to_string(), pair));
+        }
+    }
+    out
+}
+
+/// Index holding every pair's target; returns (index, per-pair target id).
+fn build_index(pairs: &[(String, DatasetPair)]) -> (Index, Vec<u32>) {
+    let mut index = Index::new(IndexConfig::default());
+    let batch: Vec<(String, Table)> = pairs
+        .iter()
+        .map(|(source, pair)| (source.clone(), pair.target.clone()))
+        .collect();
+    let ids = index.ingest_batch(batch, 4);
+    (index, ids)
+}
+
+#[test]
+fn persists_reloads_and_answers_identically() {
+    let pairs = corpus_pairs(3);
+    let (index, _) = build_index(&pairs);
+    assert_eq!(index.len(), 6, "three targets per source, two sources");
+
+    let path = std::env::temp_dir().join("valentine_index_e2e_roundtrip.vidx");
+    index.save(&path).expect("save works");
+    let loaded = Index::load(&path).expect("load works");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(loaded.config(), index.config());
+    assert_eq!(loaded.profiles(), index.profiles());
+
+    // sketch-stage answers are identical before and after the round-trip
+    // (profiles are stored verbatim, so scores match bit-for-bit)
+    let opts = SearchOptions::sketch_only();
+    for (_, pair) in &pairs {
+        let a = index.top_k_unionable(&pair.source, 4, &opts);
+        let b = loaded.top_k_unionable(&pair.source, 4, &opts);
+        assert_eq!(a, b, "query {}", pair.id);
+    }
+}
+
+#[test]
+fn lsh_candidates_contain_the_fabricated_counterpart() {
+    // The recall guarantee the two-stage design rests on: a verbatim
+    // unionable counterpart (high per-column value overlap) must survive
+    // candidate generation — stage 2 cannot recover what stage 1 drops.
+    let pairs = corpus_pairs(4);
+    let (index, ids) = build_index(&pairs);
+    for ((_, pair), &target_id) in pairs.iter().zip(&ids) {
+        let candidates = index.candidate_tables(&pair.source);
+        assert!(
+            candidates.iter().any(|&(id, _)| id == target_id),
+            "counterpart of {} missing from {} candidates",
+            pair.id,
+            candidates.len()
+        );
+    }
+}
+
+#[test]
+fn counterpart_is_retrieved_within_top_k() {
+    let pairs = corpus_pairs(4);
+    let (index, ids) = build_index(&pairs);
+    let opts = SearchOptions::with_matcher(MatcherKind::JaccardLevenshtein);
+    let k = 3;
+    for ((_, pair), &target_id) in pairs.iter().zip(&ids) {
+        let out = index.top_k_unionable(&pair.source, k, &opts);
+        assert!(
+            out.results.iter().any(|r| r.table_id == target_id),
+            "counterpart of {} not in top-{k}",
+            pair.id
+        );
+        assert_eq!(out.stats.matcher_errors, 0);
+    }
+}
+
+#[test]
+fn same_corpus_and_seed_build_identical_indexes() {
+    let pairs = corpus_pairs(3);
+    let (a, _) = build_index(&pairs);
+    let (b, _) = build_index(&pairs);
+    // byte-identical serialisation is the strongest determinism statement
+    assert_eq!(a.to_bytes(), b.to_bytes());
+
+    // and identical search outcomes, including the matcher stage
+    let opts = SearchOptions::with_matcher(MatcherKind::JaccardLevenshtein);
+    let query = &pairs[0].1.source;
+    assert_eq!(
+        a.top_k_unionable(query, 5, &opts),
+        b.top_k_unionable(query, 5, &opts)
+    );
+
+    // a different seed produces different signatures
+    let mut other = Index::new(IndexConfig {
+        seed: 999,
+        ..IndexConfig::default()
+    });
+    for (source, pair) in &pairs {
+        other.ingest(source, pair.target.clone());
+    }
+    assert_ne!(other.profiles()[0].signature, a.profiles()[0].signature);
+}
+
+#[test]
+fn index_assisted_search_issues_strictly_fewer_matcher_calls() {
+    let pairs = corpus_pairs(8); // 16 indexed tables
+    let (index, _) = build_index(&pairs);
+    let query = &pairs[0].1.source;
+    let k = 3;
+
+    let brute = index.brute_force_unionable(query, k, MatcherKind::JaccardLevenshtein);
+    assert_eq!(brute.stats.matcher_calls, index.len());
+
+    let opts = SearchOptions {
+        rerank: Some(MatcherKind::JaccardLevenshtein),
+        candidate_cap: 5,
+        threads: 4,
+    };
+    let assisted = index.top_k_unionable(query, k, &opts);
+    assert!(
+        assisted.stats.matcher_calls < brute.stats.matcher_calls,
+        "assisted {} vs brute {}",
+        assisted.stats.matcher_calls,
+        brute.stats.matcher_calls
+    );
+    // and it finds the same best table
+    assert_eq!(
+        assisted.results.first().map(|r| r.table_id),
+        brute.results.first().map(|r| r.table_id)
+    );
+}
+
+#[test]
+fn joinable_search_over_fabricated_join_pairs() {
+    let base = tpcdi::prospect(SizeClass::Tiny, 21);
+    let spec = ScenarioSpec::joinable(0.5, false, SchemaNoise::Verbatim);
+    let pair = fabricate_pair(&base, &spec, 7).expect("fabrication works");
+
+    let mut index = Index::new(IndexConfig::default());
+    let target_id = index.ingest("tpcdi", pair.target.clone());
+
+    // query with the source side of the first ground-truth join column
+    let (src_col, tgt_col) = pair
+        .ground_truth
+        .first()
+        .expect("join pairs have truth")
+        .clone();
+    let query = pair.source.column(&src_col).expect("column exists");
+    let out = index.top_k_joinable(
+        query,
+        3,
+        &SearchOptions::with_matcher(MatcherKind::JaccardLevenshtein),
+    );
+    assert!(
+        out.results
+            .iter()
+            .any(|r| r.table_id == target_id && r.column.as_deref() == Some(tgt_col.as_str())),
+        "join counterpart {src_col} -> {tgt_col} not retrieved"
+    );
+}

@@ -35,7 +35,11 @@ pub struct ApproxOverlapMatcher {
 impl Default for ApproxOverlapMatcher {
     fn default() -> Self {
         // 32 × 4 = 128 hashes, collision threshold ≈ 0.42
-        ApproxOverlapMatcher { bands: 32, rows: 4, seed: 0x15a4 }
+        ApproxOverlapMatcher {
+            bands: 32,
+            rows: 4,
+            seed: 0x15a4,
+        }
     }
 }
 
@@ -59,7 +63,9 @@ impl Matcher for ApproxOverlapMatcher {
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
         if self.bands == 0 || self.rows == 0 {
-            return Err(MatchError::InvalidConfig("bands and rows must be positive".into()));
+            return Err(MatchError::InvalidConfig(
+                "bands and rows must be positive".into(),
+            ));
         }
         let mh = MinHasher::new(self.bands * self.rows, self.seed);
 
@@ -116,7 +122,13 @@ mod tests {
         let shared: Vec<String> = (0..80).map(|i| format!("v{i}")).collect();
         let other: Vec<String> = (0..80).map(|i| format!("w{i}")).collect();
         let a = table("a", vec![("x", shared.clone()), ("y", other.clone())]);
-        let b = table("b", vec![("p", shared), ("q", (0..80).map(|i| format!("z{i}")).collect())]);
+        let b = table(
+            "b",
+            vec![
+                ("p", shared),
+                ("q", (0..80).map(|i| format!("z{i}")).collect()),
+            ],
+        );
         (a, b)
     }
 
@@ -162,13 +174,20 @@ mod tests {
     fn deterministic() {
         let (a, b) = overlap_tables();
         let m = ApproxOverlapMatcher::new();
-        assert_eq!(m.match_tables(&a, &b).unwrap(), m.match_tables(&a, &b).unwrap());
+        assert_eq!(
+            m.match_tables(&a, &b).unwrap(),
+            m.match_tables(&a, &b).unwrap()
+        );
     }
 
     #[test]
     fn invalid_config_rejected() {
         let (a, b) = overlap_tables();
-        let m = ApproxOverlapMatcher { bands: 0, rows: 4, seed: 1 };
+        let m = ApproxOverlapMatcher {
+            bands: 0,
+            rows: 4,
+            seed: 1,
+        };
         assert!(m.match_tables(&a, &b).is_err());
     }
 

@@ -100,7 +100,11 @@ impl ComaMatcher {
         // 3. average rendered length similarity
         let (la, lb) = (cs.stats().avg_str_len, ct.stats().avg_str_len);
         let max = la.max(lb);
-        scores.push(if max == 0.0 { 1.0 } else { 1.0 - (la - lb).abs() / max });
+        scores.push(if max == 0.0 {
+            1.0
+        } else {
+            1.0 - (la - lb).abs() / max
+        });
 
         scores
     }
@@ -175,7 +179,11 @@ fn numeric_stats_similarity(a: &Column, b: &Column) -> f64 {
     for (x, y) in pairs {
         if let (Some(x), Some(y)) = (x, y) {
             let denom = x.abs().max(y.abs());
-            total += if denom == 0.0 { 1.0 } else { 1.0 - ((x - y).abs() / denom).min(1.0) };
+            total += if denom == 0.0 {
+                1.0
+            } else {
+                1.0 - ((x - y).abs() / denom).min(1.0)
+            };
             n += 1;
         }
     }
@@ -195,7 +203,9 @@ impl Matcher for ComaMatcher {
     }
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
-        if !self.use_name && !self.use_name_path && !self.use_dtype
+        if !self.use_name
+            && !self.use_name_path
+            && !self.use_dtype
             && self.strategy == ComaStrategy::Schema
         {
             return Err(MatchError::InvalidConfig(
@@ -234,12 +244,23 @@ mod tests {
             vec![
                 (
                     "last_name",
-                    vec![Value::str("smith"), Value::str("jones"), Value::str("garcia")],
+                    vec![
+                        Value::str("smith"),
+                        Value::str("jones"),
+                        Value::str("garcia"),
+                    ],
                 ),
-                ("income", vec![Value::Int(40_000), Value::Int(55_000), Value::Int(62_000)]),
+                (
+                    "income",
+                    vec![Value::Int(40_000), Value::Int(55_000), Value::Int(62_000)],
+                ),
                 (
                     "city",
-                    vec![Value::str("delft"), Value::str("lyon"), Value::str("athens")],
+                    vec![
+                        Value::str("delft"),
+                        Value::str("lyon"),
+                        Value::str("athens"),
+                    ],
                 ),
             ],
         )
@@ -252,12 +273,23 @@ mod tests {
             vec![
                 (
                     "surname",
-                    vec![Value::str("brown"), Value::str("davis"), Value::str("smith")],
+                    vec![
+                        Value::str("brown"),
+                        Value::str("davis"),
+                        Value::str("smith"),
+                    ],
                 ),
-                ("salary", vec![Value::Int(41_000), Value::Int(54_000), Value::Int(63_000)]),
+                (
+                    "salary",
+                    vec![Value::Int(41_000), Value::Int(54_000), Value::Int(63_000)],
+                ),
                 (
                     "town",
-                    vec![Value::str("berlin"), Value::str("delft"), Value::str("madrid")],
+                    vec![
+                        Value::str("berlin"),
+                        Value::str("delft"),
+                        Value::str("madrid"),
+                    ],
                 ),
             ],
         )
@@ -283,14 +315,23 @@ mod tests {
         // identical names nowhere; values decide
         let a = Table::from_pairs(
             "a",
-            vec![("colx", vec![Value::str("p"), Value::str("q"), Value::str("r")])],
+            vec![(
+                "colx",
+                vec![Value::str("p"), Value::str("q"), Value::str("r")],
+            )],
         )
         .unwrap();
         let b = Table::from_pairs(
             "b",
             vec![
-                ("col1", vec![Value::str("p"), Value::str("q"), Value::str("r")]),
-                ("col2", vec![Value::str("xx"), Value::str("yy"), Value::str("zz")]),
+                (
+                    "col1",
+                    vec![Value::str("p"), Value::str("q"), Value::str("r")],
+                ),
+                (
+                    "col2",
+                    vec![Value::str("xx"), Value::str("yy"), Value::str("zz")],
+                ),
             ],
         )
         .unwrap();
@@ -310,8 +351,16 @@ mod tests {
         let b = Table::from_pairs(
             "b",
             vec![
-                ("близко", (0..50).map(|i| Value::Int(i + 1)).collect::<Vec<_>>()),
-                ("far", (0..50).map(|i| Value::Int(i * 1000 + 50_000)).collect::<Vec<_>>()),
+                (
+                    "близко",
+                    (0..50).map(|i| Value::Int(i + 1)).collect::<Vec<_>>(),
+                ),
+                (
+                    "far",
+                    (0..50)
+                        .map(|i| Value::Int(i * 1000 + 50_000))
+                        .collect::<Vec<_>>(),
+                ),
             ],
         )
         .unwrap();

@@ -97,7 +97,9 @@ impl Matcher for CupidMatcher {
             ("th_accept", self.th_accept),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(MatchError::InvalidConfig(format!("{label}={v} outside [0, 1]")));
+                return Err(MatchError::InvalidConfig(format!(
+                    "{label}={v} outside [0, 1]"
+                )));
             }
         }
         let th = Thesaurus::builtin();
@@ -240,7 +242,9 @@ mod tests {
         };
         assert!(score("qq", "zz") > score("qq", "rr"), "{r}");
         // with zero structural weight the separation disappears almost fully
-        let flat = CupidMatcher::new(0.0, 0.0, 0.5).match_tables(&a, &b).unwrap();
+        let flat = CupidMatcher::new(0.0, 0.0, 0.5)
+            .match_tables(&a, &b)
+            .unwrap();
         let gap_structured = score("qq", "zz") - score("qq", "rr");
         let f = |s: &str, t: &str| {
             flat.matches()

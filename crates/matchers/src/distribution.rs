@@ -52,7 +52,11 @@ pub struct DistributionMatcher {
 impl DistributionMatcher {
     /// Creates the matcher with explicit thresholds.
     pub fn new(phase1_theta: f64, phase2_theta: f64) -> DistributionMatcher {
-        DistributionMatcher { phase1_theta, phase2_theta, skip_ilp: false }
+        DistributionMatcher {
+            phase1_theta,
+            phase2_theta,
+            skip_ilp: false,
+        }
     }
 
     /// The paper's Dist#1 run (tight thresholds from the original paper).
@@ -120,7 +124,11 @@ fn sketch_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Numeric pairs keep pure EMD (their value sets rarely intersect exactly).
 fn refined_distance(a: &ColumnSketch, b: &ColumnSketch) -> f64 {
     let emd = sketch_distance(&a.sketch, &b.sketch);
-    let inter = a.values.iter().filter(|v| b.values.binary_search(v).is_ok()).count();
+    let inter = a
+        .values
+        .iter()
+        .filter(|v| b.values.binary_search(v).is_ok())
+        .count();
     let union = a.values.len() + b.values.len() - inter;
     if union == 0 {
         return emd;
@@ -157,14 +165,21 @@ fn components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
 
 impl Matcher for DistributionMatcher {
     fn name(&self) -> String {
-        format!("distribution(θ1={},θ2={})", self.phase1_theta, self.phase2_theta)
+        format!(
+            "distribution(θ1={},θ2={})",
+            self.phase1_theta, self.phase2_theta
+        )
     }
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
-        for (label, v) in [("phase1_theta", self.phase1_theta), ("phase2_theta", self.phase2_theta)]
-        {
+        for (label, v) in [
+            ("phase1_theta", self.phase1_theta),
+            ("phase2_theta", self.phase2_theta),
+        ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(MatchError::InvalidConfig(format!("{label}={v} outside [0, 1]")));
+                return Err(MatchError::InvalidConfig(format!(
+                    "{label}={v} outside [0, 1]"
+                )));
             }
         }
 
@@ -265,7 +280,11 @@ impl Matcher for DistributionMatcher {
                 let d = refined_distance(&cols[i], &cols[j]);
                 let same_cluster = cluster_of[i].is_some() && cluster_of[i] == cluster_of[j];
                 let score = (1.0 - d) + if same_cluster { 1.0 } else { 0.0 };
-                out.push(ColumnMatch::new(cols[i].name.clone(), cols[j].name.clone(), score));
+                out.push(ColumnMatch::new(
+                    cols[i].name.clone(),
+                    cols[j].name.clone(),
+                    score,
+                ));
             }
         }
         Ok(MatchResult::ranked(out))
@@ -281,10 +300,17 @@ mod tests {
         Table::from_pairs(
             name,
             vec![
-                ("small", (0..200).map(|i| Value::Int(i % 50 + shift)).collect::<Vec<_>>()),
+                (
+                    "small",
+                    (0..200)
+                        .map(|i| Value::Int(i % 50 + shift))
+                        .collect::<Vec<_>>(),
+                ),
                 (
                     "large",
-                    (0..200).map(|i| Value::Int(i * 997 + 100_000 + shift)).collect::<Vec<_>>(),
+                    (0..200)
+                        .map(|i| Value::Int(i * 997 + 100_000 + shift))
+                        .collect::<Vec<_>>(),
                 ),
             ],
         )
@@ -313,9 +339,22 @@ mod tests {
             vec![
                 (
                     "city",
-                    vec![Value::str("delft"), Value::str("lyon"), Value::str("athens"), Value::str("delft")],
+                    vec![
+                        Value::str("delft"),
+                        Value::str("lyon"),
+                        Value::str("athens"),
+                        Value::str("delft"),
+                    ],
                 ),
-                ("code", vec![Value::str("aa"), Value::str("bb"), Value::str("cc"), Value::str("dd")]),
+                (
+                    "code",
+                    vec![
+                        Value::str("aa"),
+                        Value::str("bb"),
+                        Value::str("cc"),
+                        Value::str("dd"),
+                    ],
+                ),
             ],
         )
         .unwrap();
@@ -323,7 +362,12 @@ mod tests {
             "b",
             vec![(
                 "town",
-                vec![Value::str("athens"), Value::str("delft"), Value::str("lyon"), Value::str("lyon")],
+                vec![
+                    Value::str("athens"),
+                    Value::str("delft"),
+                    Value::str("lyon"),
+                    Value::str("lyon"),
+                ],
             )],
         )
         .unwrap();
@@ -360,7 +404,10 @@ mod tests {
         .unwrap();
         let b = Table::from_pairs(
             "b",
-            vec![("w", (0..100).map(|i| Value::Int(i + 25)).collect::<Vec<_>>())],
+            vec![(
+                "w",
+                (0..100).map(|i| Value::Int(i + 25)).collect::<Vec<_>>(),
+            )],
         )
         .unwrap();
         let r1 = DistributionMatcher::dist1().match_tables(&a, &b).unwrap();

@@ -57,13 +57,21 @@ impl EmbdiMatcher {
     /// A scaled-down configuration for the reduced-scale harness: same
     /// structure, smaller embedding space.
     pub fn small_config() -> EmbdiMatcher {
-        EmbdiMatcher { dims: 48, walks_per_node: 3, epochs: 2, ..EmbdiMatcher::paper_config() }
+        EmbdiMatcher {
+            dims: 48,
+            walks_per_node: 3,
+            epochs: 2,
+            ..EmbdiMatcher::paper_config()
+        }
     }
 }
 
 impl Matcher for EmbdiMatcher {
     fn name(&self) -> String {
-        format!("embdi(d={},w={},sl={})", self.dims, self.window, self.sentence_length)
+        format!(
+            "embdi(d={},w={},sl={})",
+            self.dims, self.window, self.sentence_length
+        )
     }
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {

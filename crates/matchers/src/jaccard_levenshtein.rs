@@ -34,7 +34,10 @@ pub struct JaccardLevenshteinMatcher {
 impl JaccardLevenshteinMatcher {
     /// Creates the baseline with the given value-identity threshold.
     pub fn new(threshold: f64) -> JaccardLevenshteinMatcher {
-        JaccardLevenshteinMatcher { threshold, sample_size: 120 }
+        JaccardLevenshteinMatcher {
+            threshold,
+            sample_size: 120,
+        }
     }
 
     /// Fuzzy Jaccard of two columns' rendered value sets.
@@ -166,7 +169,10 @@ mod tests {
             "a",
             vec![
                 ("city", vec!["delft", "lyon", "athens", "berlin"]),
-                ("country", vec!["netherlands", "france", "greece", "germany"]),
+                (
+                    "country",
+                    vec!["netherlands", "france", "greece", "germany"],
+                ),
             ],
         );
         let b = table(
@@ -178,7 +184,11 @@ mod tests {
         );
         let m = JaccardLevenshteinMatcher::new(0.8);
         let r = m.match_tables(&a, &b).unwrap();
-        let top2: Vec<(&str, &str)> = r.top_k(2).iter().map(|m| (m.source.as_str(), m.target.as_str())).collect();
+        let top2: Vec<(&str, &str)> = r
+            .top_k(2)
+            .iter()
+            .map(|m| (m.source.as_str(), m.target.as_str()))
+            .collect();
         assert!(top2.contains(&("city", "cty")));
         assert!(top2.contains(&("country", "cntr")));
     }
@@ -195,7 +205,10 @@ mod tests {
     #[test]
     fn produces_full_cartesian_ranking() {
         let a = table("a", vec![("p", vec!["1"]), ("q", vec!["2"])]);
-        let b = table("b", vec![("r", vec!["1"]), ("s", vec!["2"]), ("t", vec!["3"])]);
+        let b = table(
+            "b",
+            vec![("r", vec!["1"]), ("s", vec!["2"]), ("t", vec!["3"])],
+        );
         let m = JaccardLevenshteinMatcher::new(0.8);
         let r = m.match_tables(&a, &b).unwrap();
         assert_eq!(r.len(), 6);

@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        for (a, b) in [("last_name", "surname"), ("zip", "postcode"), ("a_b", "b_a")] {
+        for (a, b) in [
+            ("last_name", "surname"),
+            ("zip", "postcode"),
+            ("a_b", "b_a"),
+        ] {
             let ab = name_similarity(a, b, th());
             let ba = name_similarity(b, a, th());
             assert!((ab - ba).abs() < 1e-12, "{a} vs {b}");

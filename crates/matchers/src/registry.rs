@@ -141,9 +141,13 @@ impl MatcherKind {
         match self {
             MatcherKind::Cupid => &[AttributeOverlap, SemanticOverlap, DataType],
             MatcherKind::SimilarityFlooding => &[AttributeOverlap, DataType],
-            MatcherKind::ComaSchema | MatcherKind::ComaInstance => {
-                &[AttributeOverlap, ValueOverlap, SemanticOverlap, DataType, Distribution]
-            }
+            MatcherKind::ComaSchema | MatcherKind::ComaInstance => &[
+                AttributeOverlap,
+                ValueOverlap,
+                SemanticOverlap,
+                DataType,
+                Distribution,
+            ],
             MatcherKind::DistributionDist1 | MatcherKind::DistributionDist2 => {
                 &[ValueOverlap, Distribution]
             }
@@ -194,7 +198,10 @@ mod tests {
         let t = Table::from_pairs(
             "t",
             vec![
-                ("assay_type", vec![Value::str("binding"), Value::str("adme")]),
+                (
+                    "assay_type",
+                    vec![Value::str("binding"), Value::str("adme")],
+                ),
                 ("confidence_score", vec![Value::Int(3), Value::Int(7)]),
             ],
         )

@@ -16,7 +16,11 @@ pub struct ColumnMatch {
 impl ColumnMatch {
     /// Convenience constructor.
     pub fn new(source: impl Into<String>, target: impl Into<String>, score: f64) -> ColumnMatch {
-        ColumnMatch { source: source.into(), target: target.into(), score }
+        ColumnMatch {
+            source: source.into(),
+            target: target.into(),
+            score,
+        }
     }
 }
 
@@ -83,7 +87,14 @@ impl MatchResult {
 impl fmt::Display for MatchResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, m) in self.matches.iter().enumerate() {
-            writeln!(f, "{:>3}. {} ↔ {} ({:.4})", i + 1, m.source, m.target, m.score)?;
+            writeln!(
+                f,
+                "{:>3}. {} ↔ {} ({:.4})",
+                i + 1,
+                m.source,
+                m.target,
+                m.score
+            )?;
         }
         Ok(())
     }

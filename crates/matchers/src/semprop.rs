@@ -85,9 +85,13 @@ impl SemPropMatcher {
         }
         let mut best: Option<(usize, f64)> = None;
         for text in &texts {
-            let Some(e) = self.embeddings.embed_phrase(text) else { continue };
+            let Some(e) = self.embeddings.embed_phrase(text) else {
+                continue;
+            };
             for (class, label) in self.ontology.lexicon() {
-                let Some(le) = self.embeddings.embed_phrase(label) else { continue };
+                let Some(le) = self.embeddings.embed_phrase(label) else {
+                    continue;
+                };
                 let sim = cosine(&e, &le) as f64;
                 if sim >= self.sem_threshold && best.is_none_or(|(_, b)| sim > b) {
                     best = Some((class, sim));
@@ -177,7 +181,11 @@ mod tests {
             vec![
                 (
                     type_col,
-                    vec![Value::str("binding"), Value::str("functional"), Value::str("adme")],
+                    vec![
+                        Value::str("binding"),
+                        Value::str("functional"),
+                        Value::str("adme"),
+                    ],
                 ),
                 (
                     organism_col,
@@ -189,7 +197,11 @@ mod tests {
                 ),
                 (
                     "opaque_code",
-                    vec![Value::str("zzq81"), Value::str("kkj37"), Value::str("pwy55")],
+                    vec![
+                        Value::str("zzq81"),
+                        Value::str("kkj37"),
+                        Value::str("pwy55"),
+                    ],
                 ),
             ],
         )
@@ -220,14 +232,29 @@ mod tests {
         // columns whose names mean nothing to the ontology but share values
         let a = Table::from_pairs(
             "a",
-            vec![("xcol", (0..50).map(|i| Value::str(format!("v{i}"))).collect::<Vec<_>>())],
+            vec![(
+                "xcol",
+                (0..50)
+                    .map(|i| Value::str(format!("v{i}")))
+                    .collect::<Vec<_>>(),
+            )],
         )
         .unwrap();
         let b = Table::from_pairs(
             "b",
             vec![
-                ("ycol", (0..50).map(|i| Value::str(format!("v{i}"))).collect::<Vec<_>>()),
-                ("zcol", (0..50).map(|i| Value::str(format!("w{i}"))).collect::<Vec<_>>()),
+                (
+                    "ycol",
+                    (0..50)
+                        .map(|i| Value::str(format!("v{i}")))
+                        .collect::<Vec<_>>(),
+                ),
+                (
+                    "zcol",
+                    (0..50)
+                        .map(|i| Value::str(format!("w{i}")))
+                        .collect::<Vec<_>>(),
+                ),
             ],
         )
         .unwrap();
@@ -235,7 +262,10 @@ mod tests {
         let r = m.match_tables(&a, &b).unwrap();
         assert_eq!(r.matches()[0].target, "ycol");
         assert!(r.matches()[0].score > 0.4);
-        assert!(r.matches()[0].score <= 0.5, "syntactic stays below semantic band");
+        assert!(
+            r.matches()[0].score <= 0.5,
+            "syntactic stays below semantic band"
+        );
     }
 
     #[test]
@@ -245,7 +275,10 @@ mod tests {
             "qx_77_zz",
             vec![Value::str("abc123xyz"), Value::str("def456uvw")],
         );
-        assert!(m.link(&col).is_none(), "jargon must not link to the ontology");
+        assert!(
+            m.link(&col).is_none(),
+            "jargon must not link to the ontology"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl SchemaGraph {
             }
             g.edges.push((col_node, lit, Label::Name));
 
-            let ty = *type_nodes.entry(col.dtype()).or_insert_with(|| g.kinds.len());
+            let ty = *type_nodes
+                .entry(col.dtype())
+                .or_insert_with(|| g.kinds.len());
             if ty == g.kinds.len() {
                 g.add(NodeKind::TypeNode, col.dtype().name().to_string());
             }
@@ -133,7 +135,10 @@ impl SimilarityFloodingMatcher {
 
     /// Variant with an explicit fixpoint formula (ablation).
     pub fn with_formula(formula: FixpointFormula) -> SimilarityFloodingMatcher {
-        SimilarityFloodingMatcher { formula, ..SimilarityFloodingMatcher::default() }
+        SimilarityFloodingMatcher {
+            formula,
+            ..SimilarityFloodingMatcher::default()
+        }
     }
 }
 
@@ -144,7 +149,9 @@ impl Matcher for SimilarityFloodingMatcher {
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
         if self.max_iterations == 0 {
-            return Err(MatchError::InvalidConfig("max_iterations must be > 0".into()));
+            return Err(MatchError::InvalidConfig(
+                "max_iterations must be > 0".into(),
+            ));
         }
         let g1 = SchemaGraph::build(source);
         let g2 = SchemaGraph::build(target);
@@ -208,7 +215,11 @@ impl Matcher for SimilarityFloodingMatcher {
         for (sname, snode) in &g1.columns {
             for (tname, tnode) in &g2.columns {
                 let idx = pair_index[&(*snode, *tnode)];
-                out.push(ColumnMatch::new(sname.clone(), tname.clone(), result.values[idx]));
+                out.push(ColumnMatch::new(
+                    sname.clone(),
+                    tname.clone(),
+                    result.values[idx],
+                ));
             }
         }
         Ok(MatchResult::ranked(out))

@@ -57,12 +57,7 @@ impl Ontology {
     /// # Panics
     /// Panics if the parent label is unknown (bundled data is static, so
     /// this is a programming error, not user input).
-    pub fn add_class(
-        &mut self,
-        label: &str,
-        synonyms: &[&str],
-        parent: Option<&str>,
-    ) -> usize {
+    pub fn add_class(&mut self, label: &str, synonyms: &[&str], parent: Option<&str>) -> usize {
         let parent_id = parent.map(|p| {
             *self
                 .by_label
@@ -160,14 +155,22 @@ pub fn efo_like() -> &'static Ontology {
         let mut o = Ontology::new("efo-like");
         o.add_class("experimental factor", &[], None);
 
-        o.add_class("assay", &["experiment", "test", "bioassay"], Some("experimental factor"));
+        o.add_class(
+            "assay",
+            &["experiment", "test", "bioassay"],
+            Some("experimental factor"),
+        );
         o.add_class("binding assay", &["binding"], Some("assay"));
         o.add_class("functional assay", &["functional"], Some("assay"));
         o.add_class("adme assay", &["adme"], Some("assay"));
         o.add_class("toxicity assay", &["toxicity", "tox"], Some("assay"));
         o.add_class("physicochemical assay", &["physicochemical"], Some("assay"));
 
-        o.add_class("organism", &["species", "taxon"], Some("experimental factor"));
+        o.add_class(
+            "organism",
+            &["species", "taxon"],
+            Some("experimental factor"),
+        );
         o.add_class("homo sapiens", &["human"], Some("organism"));
         o.add_class("rattus norvegicus", &["rat"], Some("organism"));
         o.add_class("mus musculus", &["mouse"], Some("organism"));
@@ -180,27 +183,59 @@ pub fn efo_like() -> &'static Ontology {
         o.add_class("heart", &["cardiac tissue"], Some("tissue"));
         o.add_class("lung", &["pulmonary tissue"], Some("tissue"));
 
-        o.add_class("cell type", &["cell line", "cell"], Some("experimental factor"));
+        o.add_class(
+            "cell type",
+            &["cell line", "cell"],
+            Some("experimental factor"),
+        );
         o.add_class("hepatocyte", &[], Some("cell type"));
         o.add_class("neuron", &[], Some("cell type"));
         o.add_class("hela", &[], Some("cell type"));
         o.add_class("cho", &[], Some("cell type"));
 
-        o.add_class("measurement", &["readout", "endpoint"], Some("experimental factor"));
+        o.add_class(
+            "measurement",
+            &["readout", "endpoint"],
+            Some("experimental factor"),
+        );
         o.add_class("ic50", &[], Some("measurement"));
         o.add_class("ec50", &[], Some("measurement"));
         o.add_class("ki", &[], Some("measurement"));
         o.add_class("potency", &[], Some("measurement"));
 
-        o.add_class("assay format", &["format", "bao format"], Some("experimental factor"));
+        o.add_class(
+            "assay format",
+            &["format", "bao format"],
+            Some("experimental factor"),
+        );
         o.add_class("cell-based format", &["cell based"], Some("assay format"));
-        o.add_class("organism-based format", &["organism based"], Some("assay format"));
+        o.add_class(
+            "organism-based format",
+            &["organism based"],
+            Some("assay format"),
+        );
         o.add_class("biochemical format", &["biochemical"], Some("assay format"));
-        o.add_class("tissue-based format", &["tissue based"], Some("assay format"));
+        o.add_class(
+            "tissue-based format",
+            &["tissue based"],
+            Some("assay format"),
+        );
 
-        o.add_class("target", &["protein target", "biological target"], Some("experimental factor"));
-        o.add_class("confidence", &["confidence score", "certainty"], Some("experimental factor"));
-        o.add_class("description", &["summary", "details"], Some("experimental factor"));
+        o.add_class(
+            "target",
+            &["protein target", "biological target"],
+            Some("experimental factor"),
+        );
+        o.add_class(
+            "confidence",
+            &["confidence score", "certainty"],
+            Some("experimental factor"),
+        );
+        o.add_class(
+            "description",
+            &["summary", "details"],
+            Some("experimental factor"),
+        );
         o.add_class("strain", &[], Some("organism"));
         o
     })

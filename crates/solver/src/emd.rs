@@ -40,16 +40,8 @@ pub fn emd_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
     if raw == 0.0 {
         return 0.0;
     }
-    let lo = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    let hi = a
-        .iter()
-        .chain(b)
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = a.iter().chain(b).copied().fold(f64::INFINITY, f64::min);
+    let hi = a.iter().chain(b).copied().fold(f64::NEG_INFINITY, f64::max);
     let spread = hi - lo;
     if spread <= 0.0 {
         0.0
@@ -111,9 +103,7 @@ fn transportation_simplex(supply: &[f64], demand: &[f64], cost: &[Vec<f64>]) -> 
 
     // --- North-west-corner-with-minimum-cost start (simpler than full
     // Vogel, still a valid BFS; MODI does the optimising work).
-    let mut cells: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..m).map(move |j| (i, j)))
-        .collect();
+    let mut cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..m).map(move |j| (i, j))).collect();
     cells.sort_by(|&(i1, j1), &(i2, j2)| {
         cost[i1][j1]
             .partial_cmp(&cost[i2][j2])

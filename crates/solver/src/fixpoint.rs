@@ -55,7 +55,10 @@ pub struct PropagationGraph {
 impl PropagationGraph {
     /// Creates a graph with the given initial similarities σ⁰.
     pub fn new(initial: Vec<f64>) -> PropagationGraph {
-        PropagationGraph { initial, edges: Vec::new() }
+        PropagationGraph {
+            initial,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -74,7 +77,10 @@ impl PropagationGraph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: usize, to: usize, coeff: f64) {
-        assert!(from < self.len() && to < self.len(), "edge endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "edge endpoint out of range"
+        );
         self.edges.push((to as u32, from as u32, coeff));
     }
 
@@ -92,7 +98,11 @@ impl PropagationGraph {
     pub fn run(&self, formula: FixpointFormula, max_iters: usize, eps: f64) -> FixpointResult {
         let n = self.len();
         if n == 0 {
-            return FixpointResult { values: Vec::new(), iterations: 0, converged: true };
+            return FixpointResult {
+                values: Vec::new(),
+                iterations: 0,
+                converged: true,
+            };
         }
         let sigma0 = {
             let mut s = self.initial.clone();
@@ -151,7 +161,11 @@ impl PropagationGraph {
                 break;
             }
         }
-        FixpointResult { values: sigma, iterations, converged }
+        FixpointResult {
+            values: sigma,
+            iterations,
+            converged,
+        }
     }
 }
 
@@ -192,7 +206,11 @@ mod tests {
         let mut g = PropagationGraph::new(vec![0.0, 1.0, 0.0]);
         g.add_edge(1, 2, 1.0);
         let r = g.run(FixpointFormula::C, 200, 1e-12);
-        assert!(r.values[2] > 0.5, "neighbour of a strong node must rise: {:?}", r.values);
+        assert!(
+            r.values[2] > 0.5,
+            "neighbour of a strong node must rise: {:?}",
+            r.values
+        );
         assert!(r.values[0] < 1e-6, "isolated zero node stays zero");
     }
 
@@ -235,7 +253,11 @@ mod tests {
         g.add_edge(0, 1, 0.5);
         g.add_edge(1, 0, 0.5);
         let c = g.run(FixpointFormula::C, 300, 1e-12);
-        assert!(c.values[0] > c.values[1], "σ⁰ must keep node 0 ahead: {:?}", c.values);
+        assert!(
+            c.values[0] > c.values[1],
+            "σ⁰ must keep node 0 ahead: {:?}",
+            c.values
+        );
     }
 
     #[test]

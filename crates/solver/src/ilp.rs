@@ -79,7 +79,11 @@ fn greedy(candidates: &[Candidate], order: &[usize]) -> Packing {
         }
     }
     chosen.sort_unstable();
-    Packing { chosen, weight, exact: false }
+    Packing {
+        chosen,
+        weight,
+        exact: false,
+    }
 }
 
 fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
@@ -138,7 +142,11 @@ fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
 
     let mut chosen = st.best_set;
     chosen.sort_unstable();
-    Packing { chosen, weight: st.best_weight, exact: true }
+    Packing {
+        chosen,
+        weight: st.best_weight,
+        exact: true,
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +154,10 @@ mod tests {
     use super::*;
 
     fn cand(items: &[usize], weight: f64) -> Candidate {
-        Candidate { items: items.to_vec(), weight }
+        Candidate {
+            items: items.to_vec(),
+            weight,
+        }
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 45, "J≈0.89 pairs must nearly always collide: {hits}/50");
+        assert!(
+            hits >= 45,
+            "J≈0.89 pairs must nearly always collide: {hits}/50"
+        );
     }
 
     #[test]

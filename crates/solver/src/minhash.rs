@@ -65,7 +65,11 @@ impl MinHasher {
     /// hashers with different `k`).
     pub fn jaccard(&self, a: &Signature, b: &Signature) -> f64 {
         assert_eq!(a.0.len(), b.0.len(), "signatures must have equal length");
-        assert_eq!(a.0.len(), self.seeds.len(), "signature does not match hasher");
+        assert_eq!(
+            a.0.len(),
+            self.seeds.len(),
+            "signature does not match hasher"
+        );
         let agree = a.0.iter().zip(&b.0).filter(|(x, y)| x == y).count();
         agree as f64 / self.seeds.len() as f64
     }

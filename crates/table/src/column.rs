@@ -92,7 +92,8 @@ impl Column {
 
     /// Lazily computed summary statistics.
     pub fn stats(&self) -> &ColumnStats {
-        self.stats.get_or_init(|| ColumnStats::compute(&self.values))
+        self.stats
+            .get_or_init(|| ColumnStats::compute(&self.values))
     }
 
     /// The set of distinct non-null values.
@@ -147,7 +148,12 @@ mod tests {
     fn sample() -> Column {
         Column::new(
             "income",
-            vec![Value::Int(100), Value::Int(250), Value::Null, Value::Int(250)],
+            vec![
+                Value::Int(100),
+                Value::Int(250),
+                Value::Null,
+                Value::Int(250),
+            ],
         )
     }
 

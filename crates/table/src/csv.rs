@@ -42,13 +42,17 @@ pub fn parse(name: impl Into<String>, text: &str) -> Result<Table> {
 /// Serialises a [`Table`] to CSV text (header + one record per row).
 pub fn serialize(table: &Table) -> String {
     let mut out = String::new();
-    write_record(&mut out, table.columns().iter().map(|c| c.name().to_string()));
+    write_record(
+        &mut out,
+        table.columns().iter().map(|c| c.name().to_string()),
+    );
     for row in 0..table.height() {
         write_record(
             &mut out,
-            table.columns().iter().map(|c| {
-                c.get(row).map_or_else(String::new, Value::render)
-            }),
+            table
+                .columns()
+                .iter()
+                .map(|c| c.get(row).map_or_else(String::new, Value::render)),
         );
     }
     out
@@ -159,8 +163,11 @@ mod tests {
 
     #[test]
     fn parse_quoted_fields() {
-        let t = parse("t", "name,quote\nann,\"hello, world\"\nbob,\"she said \"\"hi\"\"\"\n")
-            .unwrap();
+        let t = parse(
+            "t",
+            "name,quote\nann,\"hello, world\"\nbob,\"she said \"\"hi\"\"\"\n",
+        )
+        .unwrap();
         assert_eq!(t.cell(0, "quote").unwrap(), &Value::str("hello, world"));
         assert_eq!(t.cell(1, "quote").unwrap(), &Value::str("she said \"hi\""));
     }

@@ -116,14 +116,20 @@ mod tests {
     fn infer_heterogeneous_is_str() {
         let vals = vec![Value::Int(1), Value::str("x")];
         assert_eq!(DataType::infer(&vals), DataType::Str);
-        let vals = vec![Value::Bool(true), Value::Date(Date::new(2020, 1, 1).unwrap())];
+        let vals = vec![
+            Value::Bool(true),
+            Value::Date(Date::new(2020, 1, 1).unwrap()),
+        ];
         assert_eq!(DataType::infer(&vals), DataType::Str);
     }
 
     #[test]
     fn infer_empty_is_unknown() {
         assert_eq!(DataType::infer(&[] as &[Value]), DataType::Unknown);
-        assert_eq!(DataType::infer(&[Value::Null, Value::Null]), DataType::Unknown);
+        assert_eq!(
+            DataType::infer(&[Value::Null, Value::Null]),
+            DataType::Unknown
+        );
     }
 
     #[test]

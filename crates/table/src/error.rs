@@ -39,7 +39,11 @@ pub enum TableError {
 impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TableError::LengthMismatch { column, expected, actual } => write!(
+            TableError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "column `{column}` has {actual} values but the table has {expected} rows"
             ),

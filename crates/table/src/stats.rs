@@ -81,7 +81,13 @@ impl ColumnStats {
             let min = numeric[0];
             let max = *numeric.last().expect("non-empty");
             let quantiles = equi_depth_quantiles(&numeric, QUANTILE_BINS);
-            (Some(mean), Some(var.sqrt()), Some(min), Some(max), quantiles)
+            (
+                Some(mean),
+                Some(var.sqrt()),
+                Some(min),
+                Some(max),
+                quantiles,
+            )
         };
 
         let mut top: Vec<(Value, usize)> =

@@ -34,7 +34,11 @@ impl Table {
                 return Err(TableError::DuplicateColumn(col.name().to_string()));
             }
         }
-        Ok(Table { name, columns, index })
+        Ok(Table {
+            name,
+            columns,
+            index,
+        })
     }
 
     /// An empty table with no columns.
@@ -304,7 +308,10 @@ mod tests {
     #[test]
     fn rename_columns_bulk() {
         let t = people().rename_columns(|n| format!("people_{n}")).unwrap();
-        assert_eq!(t.column_names(), vec!["people_id", "people_name", "people_country"]);
+        assert_eq!(
+            t.column_names(),
+            vec!["people_id", "people_name", "people_country"]
+        );
     }
 
     #[test]

@@ -307,7 +307,14 @@ mod tests {
     #[test]
     fn date_parse_roundtrip() {
         let d = Date::parse("1997-03-14").unwrap();
-        assert_eq!(d, Date { year: 1997, month: 3, day: 14 });
+        assert_eq!(
+            d,
+            Date {
+                year: 1997,
+                month: 3,
+                day: 14
+            }
+        );
         assert_eq!(d.to_string(), "1997-03-14");
     }
 
@@ -340,7 +347,11 @@ mod tests {
         assert_eq!(Value::parse_inferred("3.5"), Value::Float(3.5));
         assert_eq!(
             Value::parse_inferred("2021-04-01"),
-            Value::Date(Date { year: 2021, month: 4, day: 1 })
+            Value::Date(Date {
+                year: 2021,
+                month: 4,
+                day: 1
+            })
         );
         assert_eq!(Value::parse_inferred("hello"), Value::str("hello"));
     }
@@ -354,12 +365,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sane() {
-        let mut vs = [Value::str("zebra"),
+        let mut vs = [
+            Value::str("zebra"),
             Value::Int(10),
             Value::Null,
             Value::float(2.5),
             Value::Bool(true),
-            Value::Int(3)];
+            Value::Int(3),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));

@@ -38,10 +38,7 @@ pub fn abbreviate(name: &str) -> String {
             let skeleton = drop_vowels(&tokens[0]);
             skeleton.chars().take(4).collect()
         }
-        _ => tokens
-            .iter()
-            .filter_map(|t| t.chars().next())
-            .collect(),
+        _ => tokens.iter().filter_map(|t| t.chars().next()).collect(),
     }
 }
 
@@ -93,7 +90,9 @@ pub struct KeyboardTypoModel {
 
 impl Default for KeyboardTypoModel {
     fn default() -> Self {
-        KeyboardTypoModel { typo_probability: 0.5 }
+        KeyboardTypoModel {
+            typo_probability: 0.5,
+        }
     }
 }
 
@@ -142,10 +141,7 @@ impl KeyboardTypoModel {
             1 => {
                 // insertion of a keyboard neighbour (or duplicate)
                 let neighbors = keyboard_neighbors(out[pos].to_ascii_lowercase());
-                let ins = neighbors
-                    .first()
-                    .copied()
-                    .unwrap_or(out[pos]);
+                let ins = neighbors.first().copied().unwrap_or(out[pos]);
                 out.insert(pos, ins);
             }
             2 => {
@@ -224,7 +220,10 @@ mod tests {
             // edit distance of a single typo is at most 2 (transposition)
             assert!(crate::similarity::levenshtein("amsterdam", &out) <= 2);
         }
-        assert!(changed >= 95, "single typos should nearly always change the string");
+        assert!(
+            changed >= 95,
+            "single typos should nearly always change the string"
+        );
     }
 
     #[test]
@@ -240,11 +239,15 @@ mod tests {
         let model = KeyboardTypoModel::default();
         let a: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(99);
-            (0..20).map(|_| model.corrupt("rotterdam", &mut rng)).collect()
+            (0..20)
+                .map(|_| model.corrupt("rotterdam", &mut rng))
+                .collect()
         };
         let b: Vec<String> = {
             let mut rng = StdRng::seed_from_u64(99);
-            (0..20).map(|_| model.corrupt("rotterdam", &mut rng)).collect()
+            (0..20)
+                .map(|_| model.corrupt("rotterdam", &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

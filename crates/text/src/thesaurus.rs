@@ -165,7 +165,11 @@ impl Thesaurus {
                 }
             }
         }
-        Thesaurus { synsets: sets, phrase_to_synset, parent }
+        Thesaurus {
+            synsets: sets,
+            phrase_to_synset,
+            parent,
+        }
     }
 
     /// The bundled thesaurus instance.
@@ -188,7 +192,9 @@ impl Thesaurus {
     /// (tokenised, lowercased, abbreviations *not* expanded — expansion is
     /// the tokenizer's job).
     pub fn synset_of(&self, phrase: &str) -> Option<usize> {
-        self.phrase_to_synset.get(&normalize_phrase(phrase)).copied()
+        self.phrase_to_synset
+            .get(&normalize_phrase(phrase))
+            .copied()
     }
 
     /// All synonyms of a phrase (including itself), or an empty slice if the

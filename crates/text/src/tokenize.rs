@@ -137,7 +137,10 @@ mod tests {
 
     #[test]
     fn splits_camel_case() {
-        assert_eq!(tokenize_identifier("creditRating"), vec!["credit", "rating"]);
+        assert_eq!(
+            tokenize_identifier("creditRating"),
+            vec!["credit", "rating"]
+        );
         assert_eq!(tokenize_identifier("NetWorth"), vec!["net", "worth"]);
         // An all-caps acronym stays one token.
         assert_eq!(tokenize_identifier("ID"), vec!["id"]);
@@ -172,7 +175,10 @@ mod tests {
 
     #[test]
     fn normalize_expands_multiword() {
-        assert_eq!(normalize_tokens("cust_dob"), vec!["customer", "date", "of", "birth"]);
+        assert_eq!(
+            normalize_tokens("cust_dob"),
+            vec!["customer", "date", "of", "birth"]
+        );
         assert_eq!(normalize_tokens("zipCd"), vec!["postal", "code", "code"]);
     }
 }

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use valentine_text::{
-    abbreviate, drop_vowels, jaro, jaro_winkler, levenshtein, ngram_dice,
-    normalized_levenshtein, tokenize_identifier, KeyboardTypoModel,
+    abbreviate, drop_vowels, jaro, jaro_winkler, levenshtein, ngram_dice, normalized_levenshtein,
+    tokenize_identifier, KeyboardTypoModel,
 };
 
 proptest! {

@@ -43,8 +43,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = csv::parse("billing", &fs::read_to_string(&billing)?)?;
     println!(
         "parsed `{}` ({} cols × {} rows) and `{}` ({} cols × {} rows)",
-        source.name(), source.width(), source.height(),
-        target.name(), target.width(), target.height()
+        source.name(),
+        source.width(),
+        source.height(),
+        target.name(),
+        target.width(),
+        target.height()
     );
     for col in source.columns() {
         print!("  {}:{}", col.name(), col.dtype());

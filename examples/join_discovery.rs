@@ -24,7 +24,14 @@ fn build_lake() -> Vec<Table> {
 
     // A joinable sibling of the query: shares person-identity columns.
     let mut demographics = prospects
-        .project(&["agency_id", "last_name", "first_name", "age", "income", "credit_rating"])
+        .project(&[
+            "agency_id",
+            "last_name",
+            "first_name",
+            "age",
+            "income",
+            "credit_rating",
+        ])
         .expect("projection works");
     demographics.set_name("demographics");
     lake.push(demographics);
@@ -44,7 +51,12 @@ fn build_lake() -> Vec<Table> {
     lake.push(funding);
 
     let mut bio = assays
-        .project(&["assay_id", "assay_type", "assay_organism", "confidence_score"])
+        .project(&[
+            "assay_id",
+            "assay_type",
+            "assay_organism",
+            "confidence_score",
+        ])
         .expect("projection works");
     bio.set_name("assays");
     lake.push(bio);

@@ -26,7 +26,10 @@ fn main() {
         pair.id,
         pair.ground_truth_size()
     );
-    println!("sample renames: {:?}\n", &pair.ground_truth[..3.min(pair.ground_truth.len())]);
+    println!(
+        "sample renames: {:?}\n",
+        &pair.ground_truth[..3.min(pair.ground_truth.len())]
+    );
 
     // 3. Run two matchers: the schema-based COMA and the instance-based
     //    Jaccard-Levenshtein baseline.
@@ -43,7 +46,11 @@ fn main() {
         let recall = recall_at_ground_truth(&result, &pair.ground_truth);
         println!("=== {} — Recall@GT = {recall:.3} ===", matcher.name());
         for m in result.top_k(5) {
-            let mark = if pair.is_correct(&m.source, &m.target) { "✓" } else { "✗" };
+            let mark = if pair.is_correct(&m.source, &m.target) {
+                "✓"
+            } else {
+                "✗"
+            };
             println!("  {mark} {} ↔ {} ({:.3})", m.source, m.target, m.score);
         }
         println!();

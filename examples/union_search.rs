@@ -21,14 +21,20 @@ fn main() {
     // unrelated table as a distractor.
     let mut shards: Vec<(Table, f64)> = Vec::new(); // (table, expected overlap)
     for (i, col_overlap) in [(0u64, 0.8), (1, 0.5), (2, 0.3)] {
-        let spec = ScenarioSpec::view_unionable(col_overlap, SchemaNoise::Noisy, InstanceNoise::Verbatim);
+        let spec =
+            ScenarioSpec::view_unionable(col_overlap, SchemaNoise::Noisy, InstanceNoise::Verbatim);
         let pair = fabricate_pair(&base, &spec, 100 + i).expect("fabrication works");
         let mut shard = pair.target;
         shard.set_name(format!("shard_{i}"));
         shards.push((shard, col_overlap));
     }
     let mut distractor = valentine::datasets::chembl::assays(SizeClass::Tiny, 9)
-        .project(&["assay_type", "assay_organism", "confidence_score", "bao_format"])
+        .project(&[
+            "assay_type",
+            "assay_organism",
+            "confidence_score",
+            "bao_format",
+        ])
         .expect("projection works");
     distractor.set_name("distractor");
     shards.push((distractor, 0.0));
@@ -57,7 +63,10 @@ fn main() {
 
     println!("{:<14} {:>9} {:>15}", "shard", "coverage", "mapped columns");
     for (name, coverage, mapped) in &report {
-        println!("{name:<14} {coverage:>8.0}% {mapped:>15}", coverage = coverage * 100.0);
+        println!(
+            "{name:<14} {coverage:>8.0}% {mapped:>15}",
+            coverage = coverage * 100.0
+        );
     }
 
     // The ordering must follow the fabricated column overlaps, with the

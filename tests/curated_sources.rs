@@ -12,7 +12,12 @@ fn wikidata_pairs_match_published_shapes() {
     for p in &pairs {
         assert_eq!(p.source_name, "wikidata");
         assert!(p.validate().is_ok(), "{}", p.id);
-        assert!((12..=20).contains(&p.source.width()), "{}: {}", p.id, p.source.width());
+        assert!(
+            (12..=20).contains(&p.source.width()),
+            "{}: {}",
+            p.id,
+            p.source.width()
+        );
     }
     // unionable pair keeps all 20 columns both sides
     assert_eq!(pairs[0].source.width(), 20);
@@ -35,9 +40,19 @@ fn wikidata_recoding_covers_six_value_columns() {
             .unwrap_or(col.name());
         let twin_col = twin.column(new_name).expect("renamed column exists");
         if RECODED.contains(&col.name()) {
-            assert_ne!(col.values(), twin_col.values(), "{} must be re-encoded", col.name());
+            assert_ne!(
+                col.values(),
+                twin_col.values(),
+                "{} must be re-encoded",
+                col.name()
+            );
         } else {
-            assert_eq!(col.values(), twin_col.values(), "{} must stay verbatim", col.name());
+            assert_eq!(
+                col.values(),
+                twin_col.values(),
+                "{} must stay verbatim",
+                col.name()
+            );
         }
     }
 }
@@ -89,10 +104,15 @@ fn chembl_supports_semprop_but_tpcdi_does_not_link_everywhere() {
     let spec = ScenarioSpec::unionable(0.5, SchemaNoise::Verbatim, InstanceNoise::Verbatim);
     let chembl_pair = fabricate_pair(&assays, &spec, 2).unwrap();
     let chembl_recall = recall_at_ground_truth(
-        &semprop.match_tables(&chembl_pair.source, &chembl_pair.target).unwrap(),
+        &semprop
+            .match_tables(&chembl_pair.source, &chembl_pair.target)
+            .unwrap(),
         &chembl_pair.ground_truth,
     );
-    assert!(chembl_recall > 0.0, "ontology-aligned source must be matchable");
+    assert!(
+        chembl_recall > 0.0,
+        "ontology-aligned source must be matchable"
+    );
 
     // ontology lexicon coverage: chembl categorical values resolve, tpcdi's don't
     let onto = valentine::ontology::efo_like();
@@ -104,7 +124,10 @@ fn chembl_supports_semprop_but_tpcdi_does_not_link_everywhere() {
             .count()
     };
     let prospects = valentine::datasets::tpcdi::prospect(SizeClass::Tiny, 1);
-    assert!(hits(&assays) > hits(&prospects), "EFO vocabulary lives in ChEMBL, not TPC-DI");
+    assert!(
+        hits(&assays) > hits(&prospects),
+        "EFO vocabulary lives in ChEMBL, not TPC-DI"
+    );
 }
 
 #[test]
@@ -114,11 +137,7 @@ fn corpus_small_has_documented_pair_counts() {
     assert_eq!(c.len(), 61);
     assert_eq!(c.fabricated().len(), 48);
     for kind in ScenarioKind::ALL {
-        let n = c
-            .fabricated()
-            .iter()
-            .filter(|p| p.scenario == kind)
-            .count();
+        let n = c.fabricated().iter().filter(|p| p.scenario == kind).count();
         assert_eq!(n, 12, "{kind}: 4 per source × 3 sources");
     }
 }
@@ -142,5 +161,8 @@ fn approx_overlap_agrees_with_exact_on_fabricated_joins() {
         (approx_recall - exact_recall).abs() <= 0.2,
         "approx {approx_recall} vs exact {exact_recall}"
     );
-    assert!(approx_recall >= 0.8, "verbatim joins are easy for overlap methods");
+    assert!(
+        approx_recall >= 0.8,
+        "verbatim joins are easy for overlap methods"
+    );
 }

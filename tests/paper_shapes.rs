@@ -30,8 +30,7 @@ fn shape_pairs() -> Vec<DatasetPair> {
             ];
             for (k, spec) in specs.iter().enumerate() {
                 pairs.push(
-                    fabricate_pair(source, spec, (si * 100 + k) as u64)
-                        .expect("fabrication works"),
+                    fabricate_pair(source, spec, (si * 100 + k) as u64).expect("fabrication works"),
                 );
             }
         }
@@ -117,8 +116,7 @@ fn schema_based_degrade_under_schema_noise() {
 fn instance_based_strong_on_joinable() {
     let r = shape_runner();
     for method in [MatcherKind::ComaInstance, MatcherKind::JaccardLevenshtein] {
-        let scores =
-            r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::Joinable);
+        let scores = r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::Joinable);
         let m = mean(&scores);
         assert!(m >= 0.8, "{} joinable mean {m}", method.label());
     }
@@ -137,12 +135,10 @@ fn view_unionable_harder_than_unionable_for_instance_methods() {
         MatcherKind::DistributionDist2,
     ];
     for method in methods {
-        let unionable = mean(&r.best_recalls_where(method, |rec| {
-            rec.scenario == ScenarioKind::Unionable
-        }));
-        let view = mean(&r.best_recalls_where(method, |rec| {
-            rec.scenario == ScenarioKind::ViewUnionable
-        }));
+        let unionable =
+            mean(&r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::Unionable));
+        let view =
+            mean(&r.best_recalls_where(method, |rec| rec.scenario == ScenarioKind::ViewUnionable));
         if view <= unionable + 1e-9 {
             harder += 1;
         }
@@ -187,14 +183,20 @@ fn coma_leads_instance_methods_and_baseline_beats_distribution() {
     let jl = overall(MatcherKind::JaccardLevenshtein);
     let dist = overall(MatcherKind::DistributionDist1).max(overall(MatcherKind::DistributionDist2));
     assert!(coma >= jl - 0.05, "COMA {coma} must lead or tie JL {jl}");
-    assert!(jl >= dist - 0.05, "JL {jl} must be comparable or better than Dist {dist}");
+    assert!(
+        jl >= dist - 0.05,
+        "JL {jl} must be comparable or better than Dist {dist}"
+    );
 }
 
 /// §VII-B3 (ING#2): the Distribution-based method dominates methods biased
 /// towards 1-1 matches when the ground truth is one-to-many.
 #[test]
 fn distribution_wins_one_to_many_ing2() {
-    let pair = valentine::datasets::ing::ing2(SizeClass::Tiny, 0x7a1e ^ 5);
+    // Small (not Tiny) size: with only ~40 rows the Dist/JL gap is inside
+    // sampling noise and the two tie on some seeds; at ~1000 rows the
+    // paper's separation is stable across seeds.
+    let pair = valentine::datasets::ing::ing2(SizeClass::Small, 0x7a1e ^ 5);
     let run = |kind: MatcherKind| {
         Runner::run(
             std::slice::from_ref(&pair),

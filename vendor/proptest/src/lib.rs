@@ -1,0 +1,120 @@
+//! Offline shim of `proptest`.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of proptest's API its property tests use: the [`proptest!`]
+//! macro, `prop_assert*` / `prop_assume!` / `prop_oneof!`, range and regex
+//! string strategies, `Just`, tuples, `prop_map`, `collection::vec`,
+//! `sample::subsequence`, and `any::<T>()`.
+//!
+//! Semantics differ from upstream in one deliberate way: there is **no
+//! shrinking**. A failing case panics with the generated inputs'
+//! case number; re-running is deterministic (the RNG is seeded from the
+//! test name), so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; this shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current generated case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn` runs its body for every generated
+/// case. Accepts an optional `#![proptest_config(…)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let strategies = ( $( $strategy, )+ );
+            for case in 0..config.cases {
+                let ( $( $pat, )+ ) =
+                    $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let run = std::panic::AssertUnwindSafe(|| { $body });
+                if let Err(payload) = std::panic::catch_unwind(run) {
+                    eprintln!(
+                        "proptest case {case}/{} of `{}` failed (rerun is deterministic)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}

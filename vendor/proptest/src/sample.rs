@@ -1,0 +1,40 @@
+//! Sampling strategies over concrete collections.
+
+use crate::collection::IntoSizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`subsequence`].
+pub struct Subsequence<T: Clone, L> {
+    items: Vec<T>,
+    len: L,
+}
+
+impl<T: Clone, L: IntoSizeRange> Strategy for Subsequence<T, L> {
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = self.len.sample_len(rng).min(self.items.len());
+        // Reservoir-free order-preserving sample: walk the items, keeping
+        // each with the probability that exactly fills the quota.
+        let mut out = Vec::with_capacity(want);
+        let mut remaining_slots = want;
+        for (i, item) in self.items.iter().enumerate() {
+            if remaining_slots == 0 {
+                break;
+            }
+            let remaining_items = self.items.len() - i;
+            if rng.below(remaining_items) < remaining_slots {
+                out.push(item.clone());
+                remaining_slots -= 1;
+            }
+        }
+        out
+    }
+}
+
+/// An order-preserving random subsequence of `items` whose length is drawn
+/// from `len` (clamped to the item count).
+pub fn subsequence<T: Clone, L: IntoSizeRange>(items: Vec<T>, len: L) -> Subsequence<T, L> {
+    Subsequence { items, len }
+}

@@ -1,0 +1,233 @@
+//! Regex-pattern string strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use: a
+//! sequence of atoms — character classes `[…]` (literal chars, `a-z`
+//! ranges, `\`-escapes), the any-char dot `.`, or literal characters —
+//! each with an optional `{n}`, `{m,n}`, `?`, `*`, or `+` quantifier.
+
+use crate::test_runner::TestRng;
+
+/// Character source of one atom.
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit choices (expanded from a class or a literal).
+    Choices(Vec<char>),
+    /// `.` — printable ASCII.
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Draws a string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax this subset does not support, naming the pattern — a
+/// test-authoring error, not a runtime condition.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.uniform_usize_incl(atom.min, atom.max)
+        };
+        for _ in 0..n {
+            out.push(match &atom.set {
+                CharSet::Choices(choices) => choices[rng.below(choices.len())],
+                CharSet::AnyPrintable => char::from(rng.uniform_u8(0x20, 0x7f)),
+            });
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '.' => {
+                i += 1;
+                CharSet::AnyPrintable
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| bad(pattern, "trailing backslash"));
+                i += 1;
+                CharSet::Choices(escape_choices(c))
+            }
+            c => {
+                i += 1;
+                CharSet::Choices(vec![c])
+            }
+        };
+        let (min, max, next) = parse_quantifier(pattern, &chars, i);
+        i = next;
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (CharSet, usize) {
+    let mut choices = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        bad(pattern, "negated classes are not supported")
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            let e = *chars
+                .get(i)
+                .unwrap_or_else(|| bad(pattern, "trailing backslash in class"));
+            i += 1;
+            choices.extend(escape_choices(e));
+            continue;
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // `a-z` range (a lone `-` right before `]` is a literal dash)
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = chars[i + 1];
+            i += 2;
+            if (c as u32) > (hi as u32) {
+                bad(pattern, "inverted class range")
+            }
+            choices.extend((c as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            choices.push(c);
+        }
+    }
+    if i >= chars.len() {
+        bad(pattern, "unterminated character class")
+    }
+    if choices.is_empty() {
+        bad(pattern, "empty character class")
+    }
+    (CharSet::Choices(choices), i + 1)
+}
+
+fn escape_choices(c: char) -> Vec<char> {
+    match c {
+        'n' => vec!['\n'],
+        't' => vec!['\t'],
+        'r' => vec!['\r'],
+        'd' => ('0'..='9').collect(),
+        'w' => ('a'..='z')
+            .chain('A'..='Z')
+            .chain('0'..='9')
+            .chain(['_'])
+            .collect(),
+        's' => vec![' ', '\t', '\n'],
+        other => vec![other],
+    }
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], i: usize) -> (usize, usize, usize) {
+    /// Upper bound substituted for the unbounded `*`, `+`, and `{m,}`.
+    const UNBOUNDED_CAP: usize = 16;
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_CAP, i + 1),
+        Some('+') => (1, UNBOUNDED_CAP, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| bad(pattern, "unterminated quantifier"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n = body
+                        .parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad quantifier count"));
+                    (n, n)
+                }
+                Some((lo, "")) => {
+                    let lo: usize = lo
+                        .parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad quantifier bound"));
+                    (lo, lo + UNBOUNDED_CAP)
+                }
+                Some((lo, hi)) => (
+                    lo.parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad quantifier bound")),
+                    hi.parse()
+                        .unwrap_or_else(|_| bad(pattern, "bad quantifier bound")),
+                ),
+            };
+            if min > max {
+                bad(pattern, "inverted quantifier bounds")
+            }
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+fn bad(pattern: &str, what: &str) -> ! {
+    panic!("unsupported regex strategy {pattern:?}: {what}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("string-tests")
+    }
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex("[a-z]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample_regex(".{0,15}", &mut rng);
+            assert!(s.chars().count() <= 15);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+        let class = "[a-zA-Z0-9 ,\"\n_-]{0,20}";
+        for _ in 0..100 {
+            let s = sample_regex(class, &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| { c.is_ascii_alphanumeric() || " ,\"\n_-".contains(c) }),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_count_and_literals() {
+        let mut rng = rng();
+        let s = sample_regex("ab[0-9]{3}", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Test execution configuration and the deterministic RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many cases each property test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic per-test RNG (seeded from the test's name, so each
+/// test sees a stable but distinct stream).
+#[derive(Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+macro_rules! uniform_methods {
+    ($($t:ty => $half:ident / $incl:ident),*) => {$(
+        /// Uniform sample from `[lo, hi)`.
+        pub fn $half(&mut self, lo: $t, hi: $t) -> $t {
+            self.rng.gen_range(lo..hi)
+        }
+        /// Uniform sample from `[lo, hi]`.
+        pub fn $incl(&mut self, lo: $t, hi: $t) -> $t {
+            self.rng.gen_range(lo..=hi)
+        }
+    )*};
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform index below `n` (panics when `n == 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_word(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// `true` with probability 1/2.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen()
+    }
+
+    uniform_methods!(
+        u8 => uniform_u8 / uniform_u8_incl,
+        u16 => uniform_u16 / uniform_u16_incl,
+        u32 => uniform_u32 / uniform_u32_incl,
+        u64 => uniform_u64 / uniform_u64_incl,
+        usize => uniform_usize / uniform_usize_incl,
+        i8 => uniform_i8 / uniform_i8_incl,
+        i16 => uniform_i16 / uniform_i16_incl,
+        i32 => uniform_i32 / uniform_i32_incl,
+        i64 => uniform_i64 / uniform_i64_incl,
+        isize => uniform_isize / uniform_isize_incl,
+        f32 => uniform_f32 / uniform_f32_incl,
+        f64 => uniform_f64 / uniform_f64_incl
+    );
+}
