@@ -1,0 +1,85 @@
+//! Guard: disabled instrumentation must be near-free on the Table IV
+//! workload.
+//!
+//! The obs crate promises that an untraced run pays almost nothing for the
+//! phase spans compiled into every matcher. This bench makes that promise
+//! a hard assertion instead of a hope: it measures the cost of one
+//! disabled `span!` call, counts how many spans each method opens per
+//! `match_tables` call (via a capture), times the uninstrumented call, and
+//! fails if the projected span overhead exceeds 2% of the call time for
+//! any method. Run with `cargo bench --bench obs_overhead`.
+
+use std::time::Instant;
+
+use valentine_bench::bench_pair;
+use valentine_core::obs;
+use valentine_core::prelude::*;
+
+/// Overhead budget for disabled instrumentation, in percent of call time.
+const BUDGET_PCT: f64 = 2.0;
+
+fn main() {
+    assert!(
+        !obs::is_enabled(),
+        "guard must measure the disabled fast path"
+    );
+    let pair = bench_pair(ScenarioKind::Unionable);
+
+    // Cost of one span open/close on the disabled fast path (one atomic
+    // load plus a thread-local check).
+    const SPAN_ITERS: u64 = 2_000_000;
+    let start = Instant::now();
+    for _ in 0..SPAN_ITERS {
+        let _g = obs::span!("obs_overhead/disabled");
+    }
+    let span_ns = start.elapsed().as_nanos() as f64 / SPAN_ITERS as f64;
+    println!("disabled span cost: {span_ns:.1} ns/op");
+    println!(
+        "{:<24} {:>10} {:>14} {:>10}",
+        "method", "spans/call", "call time", "overhead"
+    );
+
+    let mut worst = 0.0f64;
+    for kind in MatcherKind::ALL {
+        if kind == MatcherKind::SemProp {
+            continue; // same skip as table4_runtime: benched on its ontology source
+        }
+        let matcher = kind.instantiate();
+
+        // How many spans one call opens (counted under a capture, which
+        // activates recording for this thread only).
+        let (result, snapshot) = obs::capture(|| matcher.match_tables(&pair.source, &pair.target));
+        result.expect("matcher runs");
+        let spans_per_call: u64 = snapshot.spans.values().map(|s| s.count).sum();
+        assert!(spans_per_call > 0, "{} opens no spans", kind.label());
+
+        // Uninstrumented call time: best of three, to shrug off scheduler
+        // noise (an inflated call time would hide overhead, never add it).
+        let mut call_ns = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            std::hint::black_box(
+                matcher
+                    .match_tables(&pair.source, &pair.target)
+                    .expect("matcher runs"),
+            );
+            call_ns = call_ns.min(t.elapsed().as_nanos() as f64);
+        }
+
+        let overhead_pct = 100.0 * span_ns * spans_per_call as f64 / call_ns;
+        println!(
+            "{:<24} {:>10} {:>14} {:>9.4}%",
+            kind.label(),
+            spans_per_call,
+            obs::report::fmt_ns(call_ns as u64),
+            overhead_pct
+        );
+        assert!(
+            overhead_pct < BUDGET_PCT,
+            "{}: projected disabled-span overhead {overhead_pct:.4}% exceeds {BUDGET_PCT}%",
+            kind.label()
+        );
+        worst = worst.max(overhead_pct);
+    }
+    println!("worst-case disabled overhead {worst:.4}% (budget {BUDGET_PCT}%)");
+}

@@ -1,10 +1,13 @@
 //! Command implementations.
 
 use std::fs;
+use std::path::Path;
 
 use valentine_core::prelude::*;
+use valentine_core::runner::execute_one;
 use valentine_core::select::{extract_hungarian, extract_threshold_delta};
 use valentine_core::table::csv;
+use valentine_core::trace::{parse_trace, render_trace_report, TraceSink};
 use valentine_core::{average_precision, mean_reciprocal_rank, ndcg_at_k};
 
 use crate::args;
@@ -37,6 +40,17 @@ USAGE:
       Run a matcher on two CSV files and score it against a ground-truth
       TSV (two tab-separated columns: source_column, target_column).
 
+  valentine run [--size tiny|small|paper] [--seed N]
+                [--source tpcdi|opendata|chembl]
+      Run every method's default configuration over fabricated unionable
+      and joinable pairs and print a per-method summary. With --trace this
+      is the quickest way to produce a full runtime-attribution trace.
+
+  valentine trace report <trace.jsonl>
+      Render a trace written via --trace: per-method phase breakdown
+      (profile / similarity / solve / rank shares of runtime, as in the
+      paper's Table IV), plus recorded counters and latency histograms.
+
   valentine index build --out FILE [--csv-dir DIR]
                         [--size tiny|small|paper] [--per-source N]
                         [--seed N] [--bands B] [--rows R] [--threads T]
@@ -61,6 +75,13 @@ USAGE:
 
   valentine index info <index-file>
       Summarise a built index file.
+
+GLOBAL OPTIONS:
+  --trace FILE
+      Enable instrumentation and write a JSONL trace of spans, counters,
+      and latency histograms for any command. `valentine run` additionally
+      streams one record per experiment (with its phase tree) into the
+      trace. Render with `valentine trace report FILE`.
 ";
 
 /// Builds a matcher from its CLI name.
@@ -196,16 +217,7 @@ pub fn fabricate(argv: &[String]) -> Result<(), String> {
     let seed: u64 = p.opt_parse("seed", 42)?;
     let out_dir = p.opt("out").unwrap_or(".").to_string();
 
-    let table = match source_name {
-        "tpcdi" => valentine_core::datasets::tpcdi::prospect(size, seed),
-        "opendata" => valentine_core::datasets::opendata::open_data(size, seed),
-        "chembl" => valentine_core::datasets::chembl::assays(size, seed),
-        other => {
-            return Err(format!(
-                "unknown source `{other}` (tpcdi | opendata | chembl)"
-            ))
-        }
-    };
+    let table = source_by_name(source_name, size, seed)?;
     let spec = match scenario {
         "unionable" => ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim),
         "view-unionable" => {
@@ -303,6 +315,126 @@ pub fn evaluate(argv: &[String]) -> Result<(), String> {
         "candidates ≥0.5 within δ=0.05 of each source's best: {}",
         review.len()
     );
+    Ok(())
+}
+
+fn source_by_name(name: &str, size: SizeClass, seed: u64) -> Result<Table, String> {
+    Ok(match name {
+        "tpcdi" => valentine_core::datasets::tpcdi::prospect(size, seed),
+        "opendata" => valentine_core::datasets::opendata::open_data(size, seed),
+        "chembl" => valentine_core::datasets::chembl::assays(size, seed),
+        other => {
+            return Err(format!(
+                "unknown source `{other}` (tpcdi | opendata | chembl)"
+            ))
+        }
+    })
+}
+
+/// `valentine run` — every method's default configuration over a
+/// fabricated unionable and joinable pair, with an optional streamed
+/// trace.
+pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let size = size_by_name(p.opt("size").unwrap_or("small"))?;
+    let seed: u64 = p.opt_parse("seed", 42)?;
+    let base = source_by_name(p.opt("source").unwrap_or("tpcdi"), size, seed)?;
+
+    let specs = [
+        ScenarioSpec::unionable(0.5, SchemaNoise::Noisy, InstanceNoise::Verbatim),
+        ScenarioSpec::joinable(0.3, false, SchemaNoise::Noisy),
+    ];
+    let pairs: Vec<DatasetPair> = specs
+        .iter()
+        .map(|spec| fabricate_pair(&base, spec, seed).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    if trace.is_some() {
+        valentine_core::obs::set_enabled(true);
+    }
+    let mut sink = match trace {
+        Some(path) => Some(
+            TraceSink::create(path)
+                .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+
+    let mut records = Vec::new();
+    for pair in &pairs {
+        for kind in MatcherKind::ALL {
+            let matcher = kind.instantiate();
+            let record = execute_one(pair, kind, matcher.as_ref());
+            if let Some(sink) = &mut sink {
+                sink.record(&record)
+                    .map_err(|e| format!("cannot write trace record: {e}"))?;
+            }
+            records.push(record);
+        }
+    }
+
+    println!(
+        "{} runs over {} pairs ({} methods):",
+        records.len(),
+        pairs.len(),
+        MatcherKind::ALL.len()
+    );
+    println!(
+        "{:<24} {:>5} {:>7} {:>12} {:>10}",
+        "method", "runs", "failed", "mean recall", "runtime"
+    );
+    for kind in MatcherKind::ALL {
+        let of_kind: Vec<&ExperimentRecord> = records.iter().filter(|r| r.method == kind).collect();
+        let failed = of_kind.iter().filter(|r| r.error.is_some()).count();
+        let recall: f64 =
+            of_kind.iter().map(|r| r.recall).sum::<f64>() / of_kind.len().max(1) as f64;
+        let runtime: std::time::Duration = of_kind.iter().map(|r| r.runtime).sum();
+        println!(
+            "{:<24} {:>5} {:>7} {:>12.4} {:>10}",
+            kind.label(),
+            of_kind.len(),
+            failed,
+            recall,
+            valentine_core::obs::report::fmt_ns(runtime.as_nanos() as u64),
+        );
+    }
+
+    if let Some(sink) = sink {
+        sink.finish()
+            .map_err(|e| format!("cannot finish trace: {e}"))?;
+        let path = trace.expect("sink implies path");
+        println!("\ntrace written to {}", path.display());
+        println!("render it with: valentine trace report {}", path.display());
+    }
+    Ok(())
+}
+
+/// `valentine trace <report>`
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("report") => {
+            let p = args::parse(&argv[1..], &[])?;
+            let path = p.positional(0, "trace file")?;
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            print!("{}", render_trace_report(&parse_trace(&text)));
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown trace subcommand `{}` (report)",
+            other.unwrap_or("")
+        )),
+    }
+}
+
+/// Writes a snapshot-only trace (no per-experiment records) — what traced
+/// commands other than `run` produce.
+pub fn write_snapshot_trace(path: &Path) -> Result<(), String> {
+    let sink = TraceSink::create(path)
+        .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+    sink.finish()
+        .map_err(|e| format!("cannot finish trace: {e}"))?;
+    println!("trace written to {}", path.display());
     Ok(())
 }
 
@@ -710,6 +842,48 @@ mod tests {
             "--no-rerank",
         ]))
         .expect("index eval works");
+    }
+
+    #[test]
+    fn run_then_trace_report_roundtrip() {
+        let dir = temp_dir("run_trace");
+        let trace_path = dir.join("trace.jsonl");
+        run_experiments(&argv(&["--size", "tiny", "--seed", "7"]), Some(&trace_path))
+            .expect("run works");
+        assert!(trace_path.exists());
+
+        let text = fs::read_to_string(&trace_path).unwrap();
+        let data = parse_trace(&text);
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        assert_eq!(data.records.len(), 2 * MatcherKind::ALL.len());
+        let report = render_trace_report(&data);
+        for kind in MatcherKind::ALL {
+            assert!(report.contains(kind.label()), "{report}");
+        }
+        for category in valentine_core::trace::PHASE_CATEGORIES {
+            assert!(report.contains(category), "{report}");
+        }
+        assert!(!report.contains("warning"), "{report}");
+        trace(&argv(&["report", trace_path.to_str().unwrap()])).expect("report works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_without_trace_prints_summary_only() {
+        run_experiments(&argv(&["--size", "tiny", "--seed", "3"]), None).expect("run works");
+    }
+
+    #[test]
+    fn run_rejects_unknown_source_and_size() {
+        assert!(run_experiments(&argv(&["--source", "ghost"]), None).is_err());
+        assert!(run_experiments(&argv(&["--size", "galactic"]), None).is_err());
+    }
+
+    #[test]
+    fn trace_rejects_bad_inputs() {
+        assert!(trace(&argv(&["report"])).is_err(), "file required");
+        assert!(trace(&argv(&["report", "/nonexistent.jsonl"])).is_err());
+        assert!(trace(&argv(&["replay"])).is_err(), "unknown subcommand");
     }
 
     #[test]

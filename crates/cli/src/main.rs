@@ -5,11 +5,18 @@
 //! valentine match <a.csv> <b.csv> [--method NAME] [--top K] [--one-to-one] [--threshold T]
 //! valentine fabricate --source NAME --scenario NAME [--size S] [--seed N] [--out DIR]
 //! valentine evaluate <a.csv> <b.csv> --truth <gt.tsv> [--method NAME]
+//! valentine run [--size S] [--seed N] [--source NAME]
+//! valentine trace report <trace.jsonl>
 //! valentine index build --out FILE [--csv-dir DIR | --size S --per-source N]
 //! valentine index search <index-file> --query <q.csv> [--mode unionable|joinable]
 //! valentine index eval [--size S] [--per-source N] [--k K] [--method NAME]
 //! valentine index info <index-file>
 //! ```
+//!
+//! The global `--trace <path>` flag (any command) enables instrumentation
+//! and writes a JSONL trace; `valentine trace report` renders it.
+
+use std::path::PathBuf;
 
 mod args;
 mod commands;
@@ -29,8 +36,8 @@ fn main() {
         default_hook(info);
     }));
 
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let code = match run(&argv) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match peel_trace(&mut argv).and_then(|trace| run(&argv, trace)) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("valentine: {e}");
@@ -40,7 +47,27 @@ fn main() {
     std::process::exit(code);
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+/// Removes the global `--trace <path>` flag from `argv` and returns the
+/// path, so every subcommand's own parser stays oblivious to it.
+fn peel_trace(argv: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
+    let Some(i) = argv.iter().position(|a| a == "--trace") else {
+        return Ok(None);
+    };
+    if i + 1 >= argv.len() {
+        return Err("option --trace needs a value".into());
+    }
+    let path = argv.remove(i + 1);
+    argv.remove(i);
+    if argv.iter().any(|a| a == "--trace") {
+        return Err("option --trace given more than once".into());
+    }
+    Ok(Some(PathBuf::from(path)))
+}
+
+fn run(argv: &[String], trace: Option<PathBuf>) -> Result<(), String> {
+    if trace.is_some() {
+        valentine_core::obs::set_enabled(true);
+    }
     match argv.first().map(String::as_str) {
         Some("methods") => {
             commands::methods();
@@ -49,11 +76,20 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("match") => commands::match_files(&argv[1..]),
         Some("fabricate") => commands::fabricate(&argv[1..]),
         Some("evaluate") => commands::evaluate(&argv[1..]),
+        // `run` streams experiment records into the trace itself.
+        Some("run") => return commands::run_experiments(&argv[1..], trace.as_deref()),
+        Some("trace") => commands::trace(&argv[1..]),
         Some("index") => commands::index(&argv[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}` (try `valentine help`)")),
+    }?;
+    // Any other traced command gets a snapshot-only trace (spans, counters,
+    // histograms — e.g. the index search metrics).
+    if let Some(path) = &trace {
+        commands::write_snapshot_trace(path)?;
     }
+    Ok(())
 }

@@ -18,7 +18,9 @@
 //!   threshold) for comparison with the traditional evaluation mode;
 //! * [`reports`] — min/median/max aggregation and TSV/markdown rendering;
 //! * [`discovery`] — corpus-scale evaluation of the sketch-based discovery
-//!   index ([`valentine_index`]) against fabricator ground truth.
+//!   index ([`valentine_index`]) against fabricator ground truth;
+//! * [`trace`] — trace-file writing ([`valentine_obs`] JSONL) and the
+//!   Table IV-style per-method phase attribution report.
 
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod metrics;
 pub mod reports;
 pub mod runner;
 pub mod select;
+pub mod trace;
 
 // Re-export the whole workspace under stable module names.
 pub use valentine_datasets as datasets;
@@ -36,6 +39,7 @@ pub use valentine_embeddings as embeddings;
 pub use valentine_fabricator as fabricator;
 pub use valentine_index as index;
 pub use valentine_matchers as matchers;
+pub use valentine_obs as obs;
 pub use valentine_ontology as ontology;
 pub use valentine_solver as solver;
 pub use valentine_table as table;

@@ -15,11 +15,22 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use valentine_fabricator::{DatasetPair, ScenarioKind};
-use valentine_matchers::MatcherKind;
+use valentine_matchers::{Matcher, MatcherKind};
+use valentine_obs::SpanStat;
 use valentine_table::FxHashMap;
 
 use crate::grids::{method_grid, GridScale};
 use crate::metrics::recall_at_ground_truth;
+
+/// Timing of one span path within a single run, relative to the run's
+/// capture scope (e.g. `coma/similarity`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// `/`-joined span path.
+    pub path: String,
+    /// Aggregated closures of that path during the run.
+    pub stat: SpanStat,
+}
 
 /// One executed experiment.
 #[derive(Debug, Clone)]
@@ -42,6 +53,10 @@ pub struct ExperimentRecord {
     pub recall: f64,
     /// Wall-clock runtime of the match call.
     pub runtime: Duration,
+    /// Per-phase span tree of the run, captured when tracing is enabled
+    /// ([`valentine_obs::set_enabled`]); empty otherwise. Errored runs keep
+    /// the phases they completed before failing.
+    pub phases: Vec<PhaseStat>,
     /// Ground-truth size (the `k`).
     pub ground_truth_size: usize,
     /// The matcher's error when the run failed (`recall` is 0.0 then, but a
@@ -77,6 +92,50 @@ impl Default for RunnerConfig {
     }
 }
 
+/// Executes one (pair, matcher) combination: times the match call and —
+/// when tracing is globally enabled — captures the matcher's phase spans
+/// into the record. Errored runs keep their elapsed time *and* every phase
+/// that completed before the failure (the span guards record on unwind to
+/// the error return), so slow failures stay attributable.
+pub fn execute_one(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    matcher: &dyn Matcher,
+) -> ExperimentRecord {
+    let start = Instant::now();
+    let (result, phases) = if valentine_obs::is_enabled() {
+        let (result, snapshot) =
+            valentine_obs::capture(|| matcher.match_tables(&pair.source, &pair.target));
+        let phases = snapshot
+            .spans
+            .into_iter()
+            .map(|(path, stat)| PhaseStat { path, stat })
+            .collect();
+        (result, phases)
+    } else {
+        (matcher.match_tables(&pair.source, &pair.target), Vec::new())
+    };
+    let runtime = start.elapsed();
+    let (recall, error) = match &result {
+        Ok(r) => (recall_at_ground_truth(r, &pair.ground_truth), None),
+        Err(e) => (0.0, Some(e.to_string())),
+    };
+    ExperimentRecord {
+        pair_id: pair.id.clone(),
+        source_name: pair.source_name.clone(),
+        scenario: pair.scenario,
+        noisy_schema: pair.noisy_schema,
+        noisy_instances: pair.noisy_instances,
+        method: kind,
+        config: matcher.name(),
+        recall,
+        runtime,
+        phases,
+        ground_truth_size: pair.ground_truth_size(),
+        error,
+    }
+}
+
 /// The experiment executor.
 #[derive(Debug, Default)]
 pub struct Runner {
@@ -102,26 +161,7 @@ impl Runner {
                     let mut local = Vec::new();
                     for &kind in &config.methods {
                         for matcher in method_grid(kind, config.scale) {
-                            let start = Instant::now();
-                            let result = matcher.match_tables(&pair.source, &pair.target);
-                            let runtime = start.elapsed();
-                            let (recall, error) = match &result {
-                                Ok(r) => (recall_at_ground_truth(r, &pair.ground_truth), None),
-                                Err(e) => (0.0, Some(e.to_string())),
-                            };
-                            local.push(ExperimentRecord {
-                                pair_id: pair.id.clone(),
-                                source_name: pair.source_name.clone(),
-                                scenario: pair.scenario,
-                                noisy_schema: pair.noisy_schema,
-                                noisy_instances: pair.noisy_instances,
-                                method: kind,
-                                config: matcher.name(),
-                                recall,
-                                runtime,
-                                ground_truth_size: pair.ground_truth_size(),
-                                error,
-                            });
+                            local.push(execute_one(pair, kind, matcher.as_ref()));
                         }
                     }
                     records.lock().extend(local);
@@ -371,6 +411,7 @@ mod tests {
             config: "cfg".to_string(),
             recall,
             runtime: Duration::from_millis(1),
+            phases: Vec::new(),
             ground_truth_size: 4,
             error: error.map(String::from),
         }
@@ -395,5 +436,80 @@ mod tests {
         let r = Runner::run(&pairs, &quick_config());
         assert!(r.error_counts().is_empty());
         assert!(r.records().iter().all(|rec| !rec.failed()));
+    }
+
+    #[test]
+    fn phases_are_empty_without_tracing() {
+        let pairs = small_pairs();
+        let rec = execute_one(
+            &pairs[0],
+            MatcherKind::ComaSchema,
+            MatcherKind::ComaSchema.instantiate().as_ref(),
+        );
+        assert!(rec.phases.is_empty());
+        assert!(rec.runtime > Duration::ZERO);
+    }
+
+    /// A matcher that does some spanned work, then fails — the errored
+    /// record must keep both its elapsed time and the completed phases.
+    struct FailsAfterProfiling;
+
+    impl valentine_matchers::Matcher for FailsAfterProfiling {
+        fn name(&self) -> String {
+            "fails-after-profiling".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            {
+                let _phase = valentine_obs::span!("test/profile");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(valentine_matchers::MatchError::Unsupported(
+                "deliberate failure".into(),
+            ))
+        }
+    }
+
+    #[test]
+    fn traced_runs_capture_phases_even_on_failure() {
+        let pairs = small_pairs();
+
+        valentine_obs::set_enabled(true);
+        let ok = execute_one(
+            &pairs[0],
+            MatcherKind::ComaSchema,
+            MatcherKind::ComaSchema.instantiate().as_ref(),
+        );
+        let failed = execute_one(&pairs[0], MatcherKind::SemProp, &FailsAfterProfiling);
+        valentine_obs::set_enabled(false);
+        valentine_obs::drain(); // leave no global residue for other tests
+
+        assert!(
+            ok.phases.iter().any(|p| p.path == "coma/similarity"),
+            "{:?}",
+            ok.phases
+        );
+        let phase_sum: u64 = ok
+            .phases
+            .iter()
+            .filter(|p| p.path.matches('/').count() == 1)
+            .map(|p| p.stat.total_ns)
+            .sum();
+        assert!(phase_sum <= ok.runtime.as_nanos() as u64);
+
+        assert!(failed.failed());
+        assert!(
+            failed.runtime >= Duration::from_millis(2),
+            "elapsed time kept"
+        );
+        assert!(
+            failed.phases.iter().any(|p| p.path == "test/profile"),
+            "partial phases kept on failure: {:?}",
+            failed.phases
+        );
     }
 }

@@ -1,0 +1,544 @@
+//! Trace files and the Table IV-style runtime-attribution report.
+//!
+//! A trace is a [`valentine_obs::jsonl`] event file with one extra event
+//! type, `record`: one line per executed experiment carrying the run's
+//! metadata and its captured phase tree ([`crate::runner::PhaseStat`]).
+//! [`TraceSink`] writes traces, [`parse_trace`] reads them back (counting —
+//! not silently skipping — anything it cannot interpret), and
+//! [`render_trace_report`] prints the per-method breakdown the paper's
+//! Table IV reports: what fraction of each method's runtime goes to
+//! instance profiling vs. similarity computation vs. solving vs. ranking.
+//!
+//! Phase span paths follow the convention `<method-slug>/<category>` with
+//! category one of `profile`, `similarity`, `solve`, `rank`; deeper paths
+//! (e.g. `embdi/profile/train`) are detail *inside* a category and are
+//! excluded from the category sums so nothing is counted twice.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use valentine_matchers::MatcherKind;
+use valentine_obs::json::Json;
+use valentine_obs::report::fmt_ns;
+use valentine_obs::{jsonl, Snapshot};
+use valentine_table::FxHashMap;
+
+use crate::runner::{ExperimentRecord, PhaseStat};
+
+/// The phase categories of the report, in presentation order.
+pub const PHASE_CATEGORIES: [&str; 4] = ["profile", "similarity", "solve", "rank"];
+
+/// Streams experiment records and the final metrics snapshot to a JSONL
+/// trace.
+pub struct TraceSink<W: Write> {
+    out: W,
+}
+
+impl TraceSink<BufWriter<File>> {
+    /// Creates (truncates) a trace file and writes the format header.
+    pub fn create(path: &Path) -> io::Result<TraceSink<BufWriter<File>>> {
+        TraceSink::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> TraceSink<W> {
+    /// Wraps a writer and emits the `meta` header line.
+    pub fn new(mut out: W) -> io::Result<TraceSink<W>> {
+        writeln!(out, "{}", jsonl::meta_line())?;
+        Ok(TraceSink { out })
+    }
+
+    /// Writes one experiment record (with its phase tree) as a `record`
+    /// event line.
+    pub fn record(&mut self, rec: &ExperimentRecord) -> io::Result<()> {
+        let phases = rec
+            .phases
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("path".into(), Json::Str(p.path.clone())),
+                    ("count".into(), Json::UInt(p.stat.count)),
+                    ("total_ns".into(), Json::UInt(p.stat.total_ns)),
+                    ("max_ns".into(), Json::UInt(p.stat.max_ns)),
+                ])
+            })
+            .collect();
+        let line = Json::Obj(vec![
+            ("type".into(), Json::Str("record".into())),
+            ("pair".into(), Json::Str(rec.pair_id.clone())),
+            ("source".into(), Json::Str(rec.source_name.clone())),
+            ("scenario".into(), Json::Str(format!("{:?}", rec.scenario))),
+            ("method".into(), Json::Str(rec.method.label().into())),
+            ("config".into(), Json::Str(rec.config.clone())),
+            ("recall".into(), Json::Float(rec.recall)),
+            (
+                "runtime_ns".into(),
+                Json::UInt(rec.runtime.as_nanos() as u64),
+            ),
+            (
+                "ground_truth".into(),
+                Json::UInt(rec.ground_truth_size as u64),
+            ),
+            (
+                "error".into(),
+                match &rec.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("phases".into(), Json::Arr(phases)),
+        ]);
+        writeln!(self.out, "{}", line.render())
+    }
+
+    /// Drains the global obs snapshot into the trace and flushes. Call
+    /// after all worker threads have joined.
+    pub fn finish(self) -> io::Result<W> {
+        self.finish_with(&valentine_obs::drain())
+    }
+
+    /// Writes an explicit snapshot (rather than draining) and flushes.
+    pub fn finish_with(mut self, snapshot: &Snapshot) -> io::Result<W> {
+        jsonl::write_snapshot(&mut self.out, snapshot)?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// One `record` event read back from a trace.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Pair identifier.
+    pub pair: String,
+    /// Method label (as written; unknown labels are kept verbatim).
+    pub method: String,
+    /// Configuration name.
+    pub config: String,
+    /// Recall@ground-truth.
+    pub recall: f64,
+    /// Wall-clock runtime in nanoseconds.
+    pub runtime_ns: u64,
+    /// Error string of a failed run.
+    pub error: Option<String>,
+    /// The run's phase tree.
+    pub phases: Vec<PhaseStat>,
+}
+
+/// Everything read from a trace file, plus explicit accounting of what the
+/// reader could not interpret.
+#[derive(Debug, Default)]
+pub struct TraceData {
+    /// Format version claimed by the file's `meta` line.
+    pub version: Option<u64>,
+    /// All experiment records, in file order.
+    pub records: Vec<TraceRecord>,
+    /// Merged span/counter/histogram events (the global drain).
+    pub snapshot: Snapshot,
+    /// Lines that failed to parse (JSON errors, missing fields).
+    pub malformed: usize,
+    /// First parse error, for diagnostics.
+    pub first_error: Option<String>,
+    /// Event types this reader does not understand, with counts
+    /// (deterministic order).
+    pub unknown_events: Vec<(String, usize)>,
+}
+
+impl TraceData {
+    /// True when the file claims a newer format version than this reader.
+    pub fn newer_version(&self) -> bool {
+        self.version.is_some_and(|v| v > jsonl::FORMAT_VERSION)
+    }
+}
+
+/// Parses a trace file's contents. Never fails: problems are counted in
+/// the returned [`TraceData`] and surfaced by [`render_trace_report`].
+pub fn parse_trace(input: &str) -> TraceData {
+    let parsed = jsonl::parse(input);
+    let mut data = TraceData {
+        version: parsed.version,
+        snapshot: parsed.snapshot,
+        malformed: parsed.malformed,
+        first_error: parsed.first_error,
+        ..TraceData::default()
+    };
+    let mut unknown: FxHashMap<String, usize> = FxHashMap::default();
+    for (kind, value) in parsed.others {
+        if kind != "record" {
+            *unknown.entry(kind).or_insert(0) += 1;
+            continue;
+        }
+        match parse_record(&value) {
+            Ok(rec) => data.records.push(rec),
+            Err(e) => {
+                data.malformed += 1;
+                if data.first_error.is_none() {
+                    data.first_error = Some(e);
+                }
+            }
+        }
+    }
+    let mut unknown: Vec<(String, usize)> = unknown.into_iter().collect();
+    unknown.sort();
+    data.unknown_events = unknown;
+    data
+}
+
+fn parse_record(value: &Json) -> Result<TraceRecord, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("record missing string field {key:?}"))
+    };
+    let mut phases = Vec::new();
+    for entry in value
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("record missing \"phases\" array")?
+    {
+        let path = entry
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or("phase missing \"path\"")?
+            .to_string();
+        phases.push(PhaseStat {
+            path,
+            stat: jsonl::span_stat_from(entry)?,
+        });
+    }
+    Ok(TraceRecord {
+        pair: str_field("pair")?,
+        method: str_field("method")?,
+        config: str_field("config")?,
+        recall: value
+            .get("recall")
+            .and_then(Json::as_f64)
+            .ok_or("record missing \"recall\"")?,
+        runtime_ns: value
+            .get("runtime_ns")
+            .and_then(Json::as_u64)
+            .ok_or("record missing \"runtime_ns\"")?,
+        error: value
+            .get("error")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        phases,
+    })
+}
+
+/// Per-method aggregation backing one report row.
+struct MethodRow {
+    method: String,
+    runs: usize,
+    failed: usize,
+    runtime_ns: u64,
+    /// Summed time per [`PHASE_CATEGORIES`] entry.
+    category_ns: [u64; PHASE_CATEGORIES.len()],
+}
+
+/// Renders the per-method phase breakdown plus any reader warnings. The
+/// output is deterministic: methods appear in the paper's presentation
+/// order (unknown labels last, alphabetically), warnings carry counts.
+pub fn render_trace_report(data: &TraceData) -> String {
+    let mut rows: Vec<MethodRow> = Vec::new();
+    let mut slot: FxHashMap<&str, usize> = FxHashMap::default();
+    let mut unknown_phases: FxHashMap<&str, (usize, u64)> = FxHashMap::default();
+
+    for rec in &data.records {
+        let i = match slot.get(rec.method.as_str()) {
+            Some(&i) => i,
+            None => {
+                slot.insert(&rec.method, rows.len());
+                rows.push(MethodRow {
+                    method: rec.method.clone(),
+                    runs: 0,
+                    failed: 0,
+                    runtime_ns: 0,
+                    category_ns: [0; PHASE_CATEGORIES.len()],
+                });
+                rows.len() - 1
+            }
+        };
+        rows[i].runs += 1;
+        rows[i].failed += usize::from(rec.error.is_some());
+        rows[i].runtime_ns += rec.runtime_ns;
+        for phase in &rec.phases {
+            let segments: Vec<&str> = phase.path.split('/').collect();
+            if segments.len() != 2 {
+                // deeper paths are detail inside a category; 1-segment
+                // paths have no category and are reported below
+                if segments.len() < 2 {
+                    let e = unknown_phases.entry(&phase.path).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += phase.stat.total_ns;
+                }
+                continue;
+            }
+            match PHASE_CATEGORIES.iter().position(|&c| c == segments[1]) {
+                Some(c) => rows[i].category_ns[c] += phase.stat.total_ns,
+                None => {
+                    let e = unknown_phases.entry(&phase.path).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += phase.stat.total_ns;
+                }
+            }
+        }
+    }
+
+    // Paper presentation order; methods the reader does not know go last.
+    let order_of = |label: &str| -> (usize, String) {
+        match MatcherKind::ALL.iter().position(|k| k.label() == label) {
+            Some(i) => (i, String::new()),
+            None => (MatcherKind::ALL.len(), label.to_string()),
+        }
+    };
+    rows.sort_by_key(|r| order_of(&r.method));
+
+    let total_runs: usize = rows.iter().map(|r| r.runs).sum();
+    let total_failed: usize = rows.iter().map(|r| r.failed).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace report — {} runs, {} methods, {} failed\n\n",
+        total_runs,
+        rows.len(),
+        total_failed,
+    ));
+
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "{:<24} {:>5} {:>9}  {:>8} {:>10} {:>8} {:>8}  {:>9}\n",
+            "method", "runs", "total", "profile", "similarity", "solve", "rank", "phase-cov",
+        ));
+        for row in &rows {
+            let pct = |ns: u64| -> String {
+                if ns == 0 {
+                    "-".to_string()
+                } else if row.runtime_ns == 0 {
+                    "?".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * ns as f64 / row.runtime_ns as f64)
+                }
+            };
+            let covered: u64 = row.category_ns.iter().sum();
+            out.push_str(&format!(
+                "{:<24} {:>5} {:>9}  {:>8} {:>10} {:>8} {:>8}  {:>9}\n",
+                row.method,
+                row.runs,
+                fmt_ns(row.runtime_ns),
+                pct(row.category_ns[0]),
+                pct(row.category_ns[1]),
+                pct(row.category_ns[2]),
+                pct(row.category_ns[3]),
+                pct(covered),
+            ));
+        }
+    }
+
+    // Global metrics (index counters, latency histograms, ambient spans).
+    if !data.snapshot.counters.is_empty() || !data.snapshot.hists.is_empty() {
+        out.push('\n');
+        let mut globals = data.snapshot.clone();
+        globals.spans.clear(); // per-record phases already cover span detail
+        out.push_str(&valentine_obs::report::Report::new(&globals).render());
+    }
+
+    // Explicit accounting of everything the reader could not interpret.
+    let mut warnings: Vec<String> = Vec::new();
+    if data.newer_version() {
+        warnings.push(format!(
+            "trace format version {} is newer than this reader's {} — unrecognised data was counted, not interpreted",
+            data.version.unwrap_or(0),
+            jsonl::FORMAT_VERSION,
+        ));
+    }
+    if data.malformed > 0 {
+        warnings.push(format!(
+            "{} malformed line(s) skipped (first error: {})",
+            data.malformed,
+            data.first_error.as_deref().unwrap_or("unknown"),
+        ));
+    }
+    if !data.unknown_events.is_empty() {
+        let detail: Vec<String> = data
+            .unknown_events
+            .iter()
+            .map(|(kind, n)| format!("{kind} ({n})"))
+            .collect();
+        warnings.push(format!(
+            "{} event(s) of unknown type ignored: {}",
+            data.unknown_events.iter().map(|(_, n)| n).sum::<usize>(),
+            detail.join(", "),
+        ));
+    }
+    if !unknown_phases.is_empty() {
+        let mut detail: Vec<(&str, (usize, u64))> = unknown_phases.into_iter().collect();
+        detail.sort();
+        let total: usize = detail.iter().map(|(_, (n, _))| n).sum();
+        let listed: Vec<String> = detail
+            .iter()
+            .map(|(path, (n, ns))| format!("{path} ({n}, {})", fmt_ns(*ns)))
+            .collect();
+        warnings.push(format!(
+            "{total} span(s) with unrecognised phase names excluded from the breakdown: {}",
+            listed.join(", "),
+        ));
+    }
+    for w in &warnings {
+        out.push_str(&format!("\nwarning: {w}"));
+    }
+    if !warnings.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use valentine_fabricator::ScenarioKind;
+    use valentine_obs::SpanStat;
+
+    fn sample_record(method: MatcherKind, phases: Vec<(&str, u64)>) -> ExperimentRecord {
+        ExperimentRecord {
+            pair_id: "pair-1".to_string(),
+            source_name: "tpcdi".to_string(),
+            scenario: ScenarioKind::Unionable,
+            noisy_schema: false,
+            noisy_instances: true,
+            method,
+            config: "cfg".to_string(),
+            recall: 0.75,
+            runtime: Duration::from_nanos(1_000_000),
+            phases: phases
+                .into_iter()
+                .map(|(path, ns)| PhaseStat {
+                    path: path.to_string(),
+                    stat: SpanStat {
+                        count: 1,
+                        total_ns: ns,
+                        max_ns: ns,
+                    },
+                })
+                .collect(),
+            ground_truth_size: 4,
+            error: None,
+        }
+    }
+
+    fn write_trace(records: &[ExperimentRecord], snapshot: &Snapshot) -> String {
+        let mut sink = TraceSink::new(Vec::new()).unwrap();
+        for rec in records {
+            sink.record(rec).unwrap();
+        }
+        String::from_utf8(sink.finish_with(snapshot).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn trace_round_trips_records_and_snapshot() {
+        let mut snap = Snapshot::new();
+        snap.record_counter("index/lsh_candidates", 7);
+        let records = vec![sample_record(
+            MatcherKind::ComaInstance,
+            vec![
+                ("coma/profile", 400_000),
+                ("coma/similarity", 550_000),
+                ("coma/rank", 40_000),
+            ],
+        )];
+        let text = write_trace(&records, &snap);
+        let data = parse_trace(&text);
+        assert_eq!(data.version, Some(jsonl::FORMAT_VERSION));
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        assert_eq!(data.records.len(), 1);
+        let rec = &data.records[0];
+        assert_eq!(rec.method, "COMA Instance-based");
+        assert_eq!(rec.runtime_ns, 1_000_000);
+        assert_eq!(rec.phases.len(), 3);
+        assert_eq!(rec.phases[0].stat.total_ns, 400_000);
+        assert_eq!(data.snapshot.counter("index/lsh_candidates"), 7);
+    }
+
+    #[test]
+    fn report_breaks_runtime_into_categories() {
+        let records = vec![sample_record(
+            MatcherKind::ComaInstance,
+            vec![
+                ("coma/profile", 400_000),
+                ("coma/similarity", 550_000),
+                ("coma/rank", 40_000),
+            ],
+        )];
+        let text = write_trace(&records, &Snapshot::new());
+        let report = render_trace_report(&parse_trace(&text));
+        assert!(report.contains("COMA Instance-based"), "{report}");
+        assert!(report.contains("40.0%"), "profile share\n{report}");
+        assert!(report.contains("55.0%"), "similarity share\n{report}");
+        assert!(report.contains("99.0%"), "phase coverage\n{report}");
+        assert!(!report.contains("warning"), "{report}");
+    }
+
+    #[test]
+    fn nested_detail_spans_are_not_double_counted() {
+        let records = vec![sample_record(
+            MatcherKind::EmbDI,
+            vec![
+                ("embdi/profile", 900_000),
+                ("embdi/profile/walks", 300_000),
+                ("embdi/profile/train", 500_000),
+                ("embdi/similarity", 100_000),
+            ],
+        )];
+        let text = write_trace(&records, &Snapshot::new());
+        let report = render_trace_report(&parse_trace(&text));
+        // profile = 90% (not 170%); coverage 100%
+        assert!(report.contains("90.0%"), "{report}");
+        assert!(report.contains("100.0%"), "{report}");
+        assert!(!report.contains("warning"), "{report}");
+    }
+
+    #[test]
+    fn unknown_phase_names_warn_with_counts() {
+        let records = vec![sample_record(
+            MatcherKind::Cupid,
+            vec![("cupid/similarity", 500_000), ("cupid/riffle", 100_000)],
+        )];
+        let text = write_trace(&records, &Snapshot::new());
+        let report = render_trace_report(&parse_trace(&text));
+        assert!(report.contains("unrecognised phase names"), "{report}");
+        assert!(report.contains("cupid/riffle (1"), "{report}");
+    }
+
+    #[test]
+    fn newer_versions_and_unknown_events_warn_with_counts() {
+        let text = "{\"type\":\"meta\",\"format\":\"valentine-trace\",\"version\":9}\n\
+                    {\"type\":\"flux\",\"x\":1}\n\
+                    {\"type\":\"flux\",\"x\":2}\n\
+                    not json at all\n";
+        let data = parse_trace(text);
+        assert!(data.newer_version());
+        assert_eq!(data.unknown_events, vec![("flux".to_string(), 2)]);
+        assert_eq!(data.malformed, 1);
+        let report = render_trace_report(&data);
+        assert!(report.contains("newer than this reader"), "{report}");
+        assert!(report.contains("flux (2)"), "{report}");
+        assert!(report.contains("1 malformed line(s)"), "{report}");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_ordered_like_the_paper() {
+        let records = vec![
+            sample_record(MatcherKind::JaccardLevenshtein, vec![("jl/similarity", 10)]),
+            sample_record(MatcherKind::Cupid, vec![("cupid/similarity", 10)]),
+        ];
+        let text = write_trace(&records, &Snapshot::new());
+        let r1 = render_trace_report(&parse_trace(&text));
+        let r2 = render_trace_report(&parse_trace(&text));
+        assert_eq!(r1, r2);
+        let cupid = r1.find("Cupid").unwrap();
+        let jl = r1.find("Jaccard-Levenshtein").unwrap();
+        assert!(cupid < jl, "paper order\n{r1}");
+    }
+}

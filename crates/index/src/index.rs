@@ -141,6 +141,7 @@ impl Index {
 
     /// Profiles and inserts one table, returning its id.
     pub fn ingest(&mut self, source: &str, table: Table) -> u32 {
+        let _ingest = valentine_obs::span!("index/ingest");
         let profiles = profile_table(0, &table, &self.hasher);
         self.insert_profiled(source, table, profiles)
     }
@@ -154,6 +155,7 @@ impl Index {
         if batch.is_empty() {
             return Vec::new();
         }
+        let _ingest = valentine_obs::span!("index/ingest");
         let threads = threads.max(1).min(batch.len());
         let next = AtomicUsize::new(0);
         let profiled: Mutex<Vec<Option<Vec<ColumnProfile>>>> =
@@ -194,6 +196,8 @@ impl Index {
     ) -> u32 {
         let id = self.tables.len() as u32;
         let profile_start = self.profiles.len();
+        valentine_obs::counter("index/tables_ingested", 1);
+        valentine_obs::counter("index/profiles_built", profiles.len() as u64);
         for profile in &mut profiles {
             profile.table_id = id;
             let profile_id = self.profiles.len() as u32;

@@ -10,17 +10,38 @@
 //! index is that stage 2 issues strictly fewer matcher calls than that.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 use valentine_matchers::{ColumnMatch, Matcher, MatcherKind};
+use valentine_obs::Snapshot;
 use valentine_table::{Column, FxHashMap, Table};
 
 use crate::index::Index;
 use crate::profile::{profile_table, ColumnProfile, QUERY_TABLE_ID};
 
-/// Per-candidate re-rank outcome: matcher score plus the column matches
-/// backing it.
-type RerankSlot = (f64, Vec<ColumnMatch>);
+/// Metric names the search stages record through [`valentine_obs`].
+///
+/// Every search runs inside [`valentine_obs::capture`], so these are always
+/// recorded (capture implies enabled for the searching thread) and
+/// [`SearchStats`] is just a view over the captured counters. The same
+/// names show up in a `--trace` report's counters section, aggregated over
+/// the whole run.
+pub mod metrics {
+    /// Distinct candidates surviving LSH candidate generation (counter).
+    pub const LSH_CANDIDATES: &str = "index/lsh_candidates";
+    /// Full matcher invocations issued (counter).
+    pub const MATCHER_CALLS: &str = "index/matcher_calls";
+    /// Matcher invocations that returned an error (counter).
+    pub const MATCHER_ERRORS: &str = "index/matcher_errors";
+    /// Latency of individual matcher calls in the re-rank stage, in
+    /// nanoseconds (histogram).
+    pub const MATCHER_CALL_NS: &str = "index/matcher_call_ns";
+}
+
+/// Per-candidate re-rank outcome: matcher score, the column matches
+/// backing it, and the matcher-call latency in nanoseconds.
+type RerankSlot = (f64, Vec<ColumnMatch>, u64);
 
 /// Search-time options.
 #[derive(Debug, Clone)]
@@ -85,6 +106,10 @@ pub struct DiscoveryResult {
 }
 
 /// Work counters for one search, the index's efficiency story in numbers.
+///
+/// This is a thin view over the [`metrics`] counters captured while the
+/// search ran — the search stages record through [`valentine_obs`] and this
+/// struct is materialised from the captured snapshot afterwards.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Columns in the query.
@@ -97,6 +122,18 @@ pub struct SearchStats {
     /// Matcher invocations that returned an error (those candidates fall
     /// back to their sketch score).
     pub matcher_errors: usize,
+}
+
+impl SearchStats {
+    /// Materialises the view from a snapshot captured during one search.
+    pub fn from_snapshot(snapshot: &Snapshot, query_columns: usize) -> SearchStats {
+        SearchStats {
+            query_columns,
+            lsh_candidates: snapshot.counter(metrics::LSH_CANDIDATES) as usize,
+            matcher_calls: snapshot.counter(metrics::MATCHER_CALLS) as usize,
+            matcher_errors: snapshot.counter(metrics::MATCHER_ERRORS) as usize,
+        }
+    }
 }
 
 /// Ranked results plus work counters.
@@ -114,6 +151,7 @@ impl Index {
     /// query columns of the best column-level sketch similarity).
     /// Descending score, deterministic tie-break on table id.
     pub fn candidate_tables(&self, query: &Table) -> Vec<(u32, f64)> {
+        let _lsh = valentine_obs::span!("index/lsh");
         let query_profiles = profile_table(QUERY_TABLE_ID, query, self.hasher());
         if query_profiles.is_empty() || self.is_empty() {
             return Vec::new();
@@ -150,95 +188,105 @@ impl Index {
     /// `candidate_cap` are re-ranked by the configured matcher (score =
     /// mean over query columns of the best correspondence score).
     pub fn top_k_unionable(&self, query: &Table, k: usize, opts: &SearchOptions) -> SearchOutcome {
-        let mut stats = SearchStats {
-            query_columns: query.width(),
-            ..SearchStats::default()
-        };
-        let candidates = self.candidate_tables(query);
-        stats.lsh_candidates = candidates.len();
+        let (results, snapshot) = valentine_obs::capture(|| {
+            let candidates = self.candidate_tables(query);
+            valentine_obs::counter(metrics::LSH_CANDIDATES, candidates.len() as u64);
 
-        let cap = opts.candidate_cap.max(k);
-        let shortlist: Vec<(u32, f64)> = candidates.into_iter().take(cap).collect();
+            let cap = opts.candidate_cap.max(k);
+            let shortlist: Vec<(u32, f64)> = candidates.into_iter().take(cap).collect();
 
-        let mut results = match opts.rerank {
-            None => shortlist
-                .into_iter()
-                .map(|(id, sketch)| self.result_for(id, None, sketch, sketch, Vec::new()))
-                .collect(),
-            Some(kind) => self.rerank_unionable(query, &shortlist, kind, opts.threads, &mut stats),
-        };
-        rank(&mut results);
-        results.truncate(k);
-        SearchOutcome { results, stats }
+            let mut results = match opts.rerank {
+                None => shortlist
+                    .into_iter()
+                    .map(|(id, sketch)| self.result_for(id, None, sketch, sketch, Vec::new()))
+                    .collect(),
+                Some(kind) => self.rerank_unionable(query, &shortlist, kind, opts.threads),
+            };
+            rank(&mut results);
+            results.truncate(k);
+            results
+        });
+        SearchOutcome {
+            results,
+            stats: SearchStats::from_snapshot(&snapshot, query.width()),
+        }
     }
 
     /// Top-k joinable-column search: which indexed columns could this
     /// column join against? Candidates are individual column profiles;
     /// re-ranking runs the matcher on the single-column projections.
     pub fn top_k_joinable(&self, column: &Column, k: usize, opts: &SearchOptions) -> SearchOutcome {
-        let mut stats = SearchStats {
-            query_columns: 1,
-            ..SearchStats::default()
-        };
-        if self.is_empty() {
-            return SearchOutcome {
-                results: Vec::new(),
-                stats,
-            };
-        }
-        let qp = ColumnProfile::build(QUERY_TABLE_ID, 0, column, self.hasher());
-        let mut scored: Vec<(u32, f64)> = self
-            .lsh()
-            .candidates(&qp.signature)
-            .into_iter()
-            .map(|pid| {
-                let sim = qp.sketch_similarity(&self.profiles()[pid as usize], self.hasher());
-                (pid, sim)
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        stats.lsh_candidates = scored.len();
-        scored.truncate(opts.candidate_cap.max(k));
+        let (results, snapshot) = valentine_obs::capture(|| {
+            if self.is_empty() {
+                return Vec::new();
+            }
+            let lsh = valentine_obs::span!("index/lsh");
+            let qp = ColumnProfile::build(QUERY_TABLE_ID, 0, column, self.hasher());
+            let mut scored: Vec<(u32, f64)> = self
+                .lsh()
+                .candidates(&qp.signature)
+                .into_iter()
+                .map(|pid| {
+                    let sim = qp.sketch_similarity(&self.profiles()[pid as usize], self.hasher());
+                    (pid, sim)
+                })
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("finite")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            drop(lsh);
+            valentine_obs::counter(metrics::LSH_CANDIDATES, scored.len() as u64);
+            scored.truncate(opts.candidate_cap.max(k));
 
-        let query_table = single_column_table("query", column);
-        let mut results = Vec::with_capacity(scored.len());
-        let matcher = opts.rerank.map(MatcherKind::instantiate);
-        for (pid, sketch) in scored {
-            let profile = &self.profiles()[pid as usize];
-            let owner = self.table(profile.table_id).expect("profile owner exists");
-            let candidate_column = &owner.table.columns()[profile.column_index as usize];
-            let (score, matches) = match &matcher {
-                None => (sketch, Vec::new()),
-                Some(m) => {
-                    stats.matcher_calls += 1;
-                    let target = single_column_table(&owner.name, candidate_column);
-                    match m.match_tables(&query_table, &target) {
-                        Ok(result) => {
-                            let top = result.matches().first().map_or(0.0, |cm| cm.score);
-                            (top, result.matches().to_vec())
-                        }
-                        Err(_) => {
-                            stats.matcher_errors += 1;
-                            (sketch, Vec::new())
+            let _rerank = opts.rerank.map(|_| valentine_obs::span!("index/rerank"));
+            let query_table = single_column_table("query", column);
+            let mut results = Vec::with_capacity(scored.len());
+            let matcher = opts.rerank.map(MatcherKind::instantiate);
+            for (pid, sketch) in scored {
+                let profile = &self.profiles()[pid as usize];
+                let owner = self.table(profile.table_id).expect("profile owner exists");
+                let candidate_column = &owner.table.columns()[profile.column_index as usize];
+                let (score, matches) = match &matcher {
+                    None => (sketch, Vec::new()),
+                    Some(m) => {
+                        valentine_obs::counter(metrics::MATCHER_CALLS, 1);
+                        let target = single_column_table(&owner.name, candidate_column);
+                        let call_start = Instant::now();
+                        let outcome = m.match_tables(&query_table, &target);
+                        valentine_obs::observe_duration(
+                            metrics::MATCHER_CALL_NS,
+                            call_start.elapsed(),
+                        );
+                        match outcome {
+                            Ok(result) => {
+                                let top = result.matches().first().map_or(0.0, |cm| cm.score);
+                                (top, result.matches().to_vec())
+                            }
+                            Err(_) => {
+                                valentine_obs::counter(metrics::MATCHER_ERRORS, 1);
+                                (sketch, Vec::new())
+                            }
                         }
                     }
-                }
-            };
-            results.push(self.result_for(
-                profile.table_id,
-                Some(profile.name.clone()),
-                score,
-                sketch,
-                matches,
-            ));
+                };
+                results.push(self.result_for(
+                    profile.table_id,
+                    Some(profile.name.clone()),
+                    score,
+                    sketch,
+                    matches,
+                ));
+            }
+            rank(&mut results);
+            results.truncate(k);
+            results
+        });
+        SearchOutcome {
+            results,
+            stats: SearchStats::from_snapshot(&snapshot, 1),
         }
-        rank(&mut results);
-        results.truncate(k);
-        SearchOutcome { results, stats }
     }
 
     /// The brute-force baseline: run the matcher against every indexed
@@ -251,34 +299,38 @@ impl Index {
         k: usize,
         kind: MatcherKind,
     ) -> SearchOutcome {
-        let mut stats = SearchStats {
-            query_columns: query.width(),
-            lsh_candidates: self.len(),
-            ..SearchStats::default()
-        };
-        let everyone: Vec<(u32, f64)> = self.tables().iter().map(|t| (t.id, 0.0)).collect();
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
-        let mut results = self.rerank_unionable(query, &everyone, kind, threads, &mut stats);
-        rank(&mut results);
-        results.truncate(k);
-        SearchOutcome { results, stats }
+        let (results, snapshot) = valentine_obs::capture(|| {
+            valentine_obs::counter(metrics::LSH_CANDIDATES, self.len() as u64);
+            let everyone: Vec<(u32, f64)> = self.tables().iter().map(|t| (t.id, 0.0)).collect();
+            let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+            let mut results = self.rerank_unionable(query, &everyone, kind, threads);
+            rank(&mut results);
+            results.truncate(k);
+            results
+        });
+        SearchOutcome {
+            results,
+            stats: SearchStats::from_snapshot(&snapshot, query.width()),
+        }
     }
 
     /// Runs the matcher over the shortlist in parallel (same worker-pool
     /// shape as the experiment runner: atomic work counter, scoped
     /// threads, mutex-collected slots — results land in shortlist order,
-    /// independent of scheduling).
+    /// independent of scheduling). Workers tally errors and per-call
+    /// latency into the slots; the calling thread emits the obs metrics
+    /// after the scope joins, so they land in the enclosing capture frame.
     fn rerank_unionable(
         &self,
         query: &Table,
         shortlist: &[(u32, f64)],
         kind: MatcherKind,
         threads: usize,
-        stats: &mut SearchStats,
     ) -> Vec<DiscoveryResult> {
         if shortlist.is_empty() {
             return Vec::new();
         }
+        let _rerank = valentine_obs::span!("index/rerank");
         let matcher = kind.instantiate();
         let matcher_ref: &dyn Matcher = matcher.as_ref();
         let next = AtomicUsize::new(0);
@@ -296,14 +348,18 @@ impl Index {
                     }
                     let (table_id, sketch) = shortlist[idx];
                     let target = &self.table(table_id).expect("candidate exists").table;
-                    let slot = match matcher_ref.match_tables(query, target) {
+                    let call_start = Instant::now();
+                    let outcome = matcher_ref.match_tables(query, target);
+                    let call_ns = call_start.elapsed().as_nanos() as u64;
+                    let slot = match outcome {
                         Ok(result) => (
                             mean_best_per_query_column(query, &result),
                             result.matches().to_vec(),
+                            call_ns,
                         ),
                         Err(_) => {
                             errors.fetch_add(1, Ordering::Relaxed);
-                            (sketch, Vec::new())
+                            (sketch, Vec::new(), call_ns)
                         }
                     };
                     slots.lock()[idx] = Some(slot);
@@ -312,14 +368,15 @@ impl Index {
         })
         .expect("re-rank workers must not panic");
 
-        stats.matcher_calls += shortlist.len();
-        stats.matcher_errors += errors.into_inner();
+        valentine_obs::counter(metrics::MATCHER_CALLS, shortlist.len() as u64);
+        valentine_obs::counter(metrics::MATCHER_ERRORS, errors.into_inner() as u64);
         slots
             .into_inner()
             .into_iter()
             .zip(shortlist)
             .map(|(slot, &(table_id, sketch))| {
-                let (score, matches) = slot.expect("every slot re-ranked");
+                let (score, matches, call_ns) = slot.expect("every slot re-ranked");
+                valentine_obs::observe(metrics::MATCHER_CALL_NS, call_ns);
                 self.result_for(table_id, None, score, sketch, matches)
             })
             .collect()

@@ -69,7 +69,8 @@ impl Matcher for ApproxOverlapMatcher {
         }
         let mh = MinHasher::new(self.bands * self.rows, self.seed);
 
-        // Sketch every column once.
+        // Sketch every column once; index the target side.
+        let profile_phase = valentine_obs::span!("overlap/profile");
         let src_sigs: Vec<_> = source
             .columns()
             .iter()
@@ -81,12 +82,14 @@ impl Matcher for ApproxOverlapMatcher {
             .map(|c| mh.signature(c.rendered_value_set()))
             .collect();
 
-        // Index the target side; probe with each source column.
         let mut index = LshIndex::new(self.bands, self.rows);
         for (j, sig) in tgt_sigs.iter().enumerate() {
             index.insert(j as u32, sig);
         }
+        drop(profile_phase);
 
+        // Probe with each source column.
+        let _phase = valentine_obs::span!("overlap/similarity");
         let mut out = Vec::with_capacity(source.width() * target.width());
         for (i, cs) in source.columns().iter().enumerate() {
             let candidates = index.candidates(&src_sigs[i]);

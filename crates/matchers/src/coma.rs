@@ -81,16 +81,22 @@ impl ComaMatcher {
         scores
     }
 
-    fn instance_scores(&self, cs: &Column, ct: &Column) -> Vec<f64> {
+    fn instance_scores(
+        &self,
+        cs: &Column,
+        ct: &Column,
+        ps: &InstanceProfile,
+        pt: &InstanceProfile,
+    ) -> Vec<f64> {
         let mut scores = Vec::with_capacity(4);
 
         // 1. exact value-set Jaccard over sampled rendered values
-        scores.push(value_jaccard(cs, ct, self.sample_size));
+        scores.push(sorted_jaccard(&ps.values, &pt.values));
 
         // 1b. token-level Jaccard: COMA's instance matchers work on value
         // *constituents* too, which is what recovers re-encoded instances
         // ("elvis presley" vs "elvis aaron presley" share two tokens).
-        scores.push(token_jaccard(cs, ct, self.sample_size));
+        scores.push(sorted_jaccard(&ps.tokens, &pt.tokens));
 
         // 2. numeric statistics similarity (only when both sides numeric)
         if cs.dtype().is_numeric() && ct.dtype().is_numeric() {
@@ -110,44 +116,42 @@ impl ComaMatcher {
     }
 }
 
-/// Exact Jaccard of the (sampled) rendered value sets.
-fn value_jaccard(a: &Column, b: &Column, cap: usize) -> f64 {
-    let sa = sample_set(a, cap);
-    let sb = sample_set(b, cap);
-    if sa.is_empty() && sb.is_empty() {
-        return 0.0;
-    }
-    let inter = sa.iter().filter(|v| sb.binary_search(v).is_ok()).count();
-    let union = sa.len() + sb.len() - inter;
-    inter as f64 / union as f64
+/// Per-column instance evidence, computed once per column in the profiling
+/// phase (not once per column *pair* — the sample/token sets are the
+/// expensive part of the instance strategy).
+struct InstanceProfile {
+    /// Sorted sampled rendered value set.
+    values: Vec<String>,
+    /// Sorted token set of those values.
+    tokens: Vec<String>,
 }
 
-/// Jaccard of the token sets of the (sampled) rendered values: values split
-/// at non-alphanumeric boundaries, lowercased.
-fn token_jaccard(a: &Column, b: &Column, cap: usize) -> f64 {
-    let ta = token_set(a, cap);
-    let tb = token_set(b, cap);
-    if ta.is_empty() && tb.is_empty() {
-        return 0.0;
+impl InstanceProfile {
+    fn build(col: &Column, cap: usize) -> InstanceProfile {
+        let values = sample_set(col, cap);
+        let mut tokens: Vec<String> = values
+            .iter()
+            .flat_map(|v| {
+                v.split(|c: char| !c.is_alphanumeric())
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        InstanceProfile { values, tokens }
     }
-    let inter = ta.iter().filter(|t| tb.binary_search(t).is_ok()).count();
-    let union = ta.len() + tb.len() - inter;
-    inter as f64 / union as f64
 }
 
-fn token_set(col: &Column, cap: usize) -> Vec<String> {
-    let mut tokens: Vec<String> = sample_set(col, cap)
-        .iter()
-        .flat_map(|v| {
-            v.split(|c: char| !c.is_alphanumeric())
-                .filter(|t| !t.is_empty())
-                .map(str::to_string)
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    tokens.sort_unstable();
-    tokens.dedup();
-    tokens
+/// Exact Jaccard of two sorted deduplicated sets.
+fn sorted_jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|v| b.binary_search(v).is_ok()).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
 }
 
 fn sample_set(col: &Column, cap: usize) -> Vec<String> {
@@ -212,23 +216,47 @@ impl Matcher for ComaMatcher {
                 "all schema sub-matchers disabled".into(),
             ));
         }
-        let mut out = Vec::with_capacity(source.width() * target.width());
-        for cs in source.columns() {
-            for ct in target.columns() {
-                let mut scores = self.schema_scores(source, target, cs, ct);
-                if self.strategy == ComaStrategy::Instance {
-                    scores.extend(self.instance_scores(cs, ct));
-                }
-                let agg = if scores.is_empty() {
-                    0.0
+        let instance = self.strategy == ComaStrategy::Instance;
+        let (src_profiles, tgt_profiles) = {
+            let _phase = valentine_obs::span!("coma/profile");
+            let build = |t: &Table| -> Vec<InstanceProfile> {
+                if instance {
+                    t.columns()
+                        .iter()
+                        .map(|c| InstanceProfile::build(c, self.sample_size))
+                        .collect()
                 } else {
-                    scores.iter().sum::<f64>() / scores.len() as f64
-                };
-                if agg >= self.threshold {
-                    out.push(ColumnMatch::new(cs.name(), ct.name(), agg));
+                    Vec::new()
+                }
+            };
+            (build(source), build(target))
+        };
+        let mut out = Vec::with_capacity(source.width() * target.width());
+        {
+            let _phase = valentine_obs::span!("coma/similarity");
+            for (i, cs) in source.columns().iter().enumerate() {
+                for (j, ct) in target.columns().iter().enumerate() {
+                    let mut scores = self.schema_scores(source, target, cs, ct);
+                    if instance {
+                        scores.extend(self.instance_scores(
+                            cs,
+                            ct,
+                            &src_profiles[i],
+                            &tgt_profiles[j],
+                        ));
+                    }
+                    let agg = if scores.is_empty() {
+                        0.0
+                    } else {
+                        scores.iter().sum::<f64>() / scores.len() as f64
+                    };
+                    if agg >= self.threshold {
+                        out.push(ColumnMatch::new(cs.name(), ct.name(), agg));
+                    }
                 }
             }
         }
+        let _phase = valentine_obs::span!("coma/rank");
         Ok(MatchResult::ranked(out))
     }
 }

@@ -113,27 +113,34 @@ impl Matcher for CupidMatcher {
         let mut lsim = vec![vec![0.0; nt]; ns];
         let mut tcomp = vec![vec![0.0; nt]; ns];
         let mut wsim0 = vec![vec![0.0; nt]; ns];
-        for (i, cs) in source.columns().iter().enumerate() {
-            for (j, ct) in target.columns().iter().enumerate() {
-                lsim[i][j] = name_similarity(cs.name(), ct.name(), th);
-                tcomp[i][j] = cs.dtype().compatibility(ct.dtype());
-                wsim0[i][j] =
-                    self.leaf_w_struct * tcomp[i][j] + (1.0 - self.leaf_w_struct) * lsim[i][j];
+        {
+            let _phase = valentine_obs::span!("cupid/similarity");
+            for (i, cs) in source.columns().iter().enumerate() {
+                for (j, ct) in target.columns().iter().enumerate() {
+                    lsim[i][j] = name_similarity(cs.name(), ct.name(), th);
+                    tcomp[i][j] = cs.dtype().compatibility(ct.dtype());
+                    wsim0[i][j] =
+                        self.leaf_w_struct * tcomp[i][j] + (1.0 - self.leaf_w_struct) * lsim[i][j];
+                }
             }
         }
 
         // Phase 3: strong links → relation-level structural similarity.
-        let strong = wsim0
-            .iter()
-            .flatten()
-            .filter(|&&w| w >= self.th_accept)
-            .count();
-        let relation_ssim = (2.0 * strong as f64 / (ns + nt) as f64).min(1.0);
+        let relation_ssim = {
+            let _phase = valentine_obs::span!("cupid/solve");
+            let strong = wsim0
+                .iter()
+                .flatten()
+                .filter(|&&w| w >= self.th_accept)
+                .count();
+            (2.0 * strong as f64 / (ns + nt) as f64).min(1.0)
+        };
 
         // Phase 4: final weighted similarity per leaf pair, with Cupid's
         // structural increment/decrement: highly similar leaves pull their
         // structural neighbourhood up (× c_inc), clearly dissimilar ones
         // push it down (× c_dec).
+        let _phase = valentine_obs::span!("cupid/rank");
         let mut out = Vec::with_capacity(ns * nt);
         for (i, cs) in source.columns().iter().enumerate() {
             for (j, ct) in target.columns().iter().enumerate() {

@@ -184,6 +184,7 @@ impl Matcher for DistributionMatcher {
         }
 
         // Sketch every column of both tables.
+        let profile_phase = valentine_obs::span!("dist/profile");
         let mut cols: Vec<ColumnSketch> = Vec::with_capacity(source.width() + target.width());
         for (side, table) in [(0usize, source), (1usize, target)] {
             for col in table.columns() {
@@ -199,6 +200,9 @@ impl Matcher for DistributionMatcher {
             }
         }
         let n = cols.len();
+        drop(profile_phase);
+
+        let sim_phase = valentine_obs::span!("dist/similarity");
 
         // Phase 1: connected components under the EMD threshold.
         let mut p1_edges = Vec::new();
@@ -251,7 +255,10 @@ impl Matcher for DistributionMatcher {
             }
         }
 
+        drop(sim_phase);
+
         // ILP (or greedy-accept ablation): pick the final disjoint clusters.
+        let solve_phase = valentine_obs::span!("dist/solve");
         let chosen: Vec<usize> = if self.skip_ilp {
             (0..ilp_candidates.len()).collect()
         } else {
@@ -266,8 +273,11 @@ impl Matcher for DistributionMatcher {
             }
         }
 
+        drop(solve_phase);
+
         // Ranked output: cross-table pairs; same-final-cluster pairs get a
         // +1 rank boost on top of (1 − refined distance).
+        let _phase = valentine_obs::span!("dist/rank");
         let mut out = Vec::new();
         for i in 0..n {
             if cols[i].side != 0 {

@@ -81,31 +81,48 @@ impl Matcher for EmbdiMatcher {
             ));
         }
 
+        // Profiling phase: EmbDI's entire embedding construction (graph,
+        // walk corpus, word2vec training) is instance profiling — the part
+        // the paper reports as the slowest of any method. The sub-spans
+        // attribute time within it.
+        let profile_phase = valentine_obs::span!("embdi/profile");
+
         // 1. tripartite graph over both tables (shared value nodes bridge them)
-        let graph = TripartiteGraph::build(&[source, target]);
+        let graph = {
+            let _detail = valentine_obs::span!("graph");
+            TripartiteGraph::build(&[source, target])
+        };
 
         // 2. random-walk corpus
-        let walks = graph.generate_walks(&WalkConfig {
-            sentence_length: self.sentence_length,
-            walks_per_node: self.walks_per_node,
-            seed: self.seed,
-        });
+        let walks = {
+            let _detail = valentine_obs::span!("walks");
+            graph.generate_walks(&WalkConfig {
+                sentence_length: self.sentence_length,
+                walks_per_node: self.walks_per_node,
+                seed: self.seed,
+            })
+        };
 
         // 3. train local embeddings
-        let model = Word2Vec::train(
-            &walks,
-            &Word2VecConfig {
-                dims: self.dims,
-                window: self.window,
-                negative: 5,
-                epochs: self.epochs,
-                learning_rate: 0.025,
-                min_count: 1,
-                seed: self.seed,
-            },
-        );
+        let model = {
+            let _detail = valentine_obs::span!("train");
+            Word2Vec::train(
+                &walks,
+                &Word2VecConfig {
+                    dims: self.dims,
+                    window: self.window,
+                    negative: 5,
+                    epochs: self.epochs,
+                    learning_rate: 0.025,
+                    min_count: 1,
+                    seed: self.seed,
+                },
+            )
+        };
+        drop(profile_phase);
 
         // 4. rank column pairs by attribute-node cosine
+        let sim_phase = valentine_obs::span!("embdi/similarity");
         let mut out = Vec::with_capacity(source.width() * target.width());
         for cs in source.columns() {
             let ls = TripartiteGraph::attribute_label(source.name(), cs.name());
@@ -118,6 +135,8 @@ impl Matcher for EmbdiMatcher {
                 out.push(ColumnMatch::new(cs.name(), ct.name(), score));
             }
         }
+        drop(sim_phase);
+        let _phase = valentine_obs::span!("embdi/rank");
         Ok(MatchResult::ranked(out))
     }
 }

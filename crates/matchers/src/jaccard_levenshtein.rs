@@ -40,10 +40,8 @@ impl JaccardLevenshteinMatcher {
         }
     }
 
-    /// Fuzzy Jaccard of two columns' rendered value sets.
-    fn fuzzy_jaccard(&self, a: &Column, b: &Column) -> f64 {
-        let sa = sampled_values(a, self.sample_size);
-        let sb = sampled_values(b, self.sample_size);
+    /// Fuzzy Jaccard of two columns' sampled value sets.
+    fn fuzzy_jaccard(&self, sa: &[String], sb: &[String]) -> f64 {
         if sa.is_empty() && sb.is_empty() {
             return 0.0;
         }
@@ -116,13 +114,29 @@ impl Matcher for JaccardLevenshteinMatcher {
                 self.threshold
             )));
         }
+        // Profiling phase: sample each column's value set once, not once
+        // per column pair.
+        let (src_values, tgt_values) = {
+            let _phase = valentine_obs::span!("jl/profile");
+            let sample = |t: &Table| -> Vec<Vec<String>> {
+                t.columns()
+                    .iter()
+                    .map(|c| sampled_values(c, self.sample_size))
+                    .collect()
+            };
+            (sample(source), sample(target))
+        };
         let mut out = Vec::with_capacity(source.width() * target.width());
-        for cs in source.columns() {
-            for ct in target.columns() {
-                let score = self.fuzzy_jaccard(cs, ct);
-                out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+        {
+            let _phase = valentine_obs::span!("jl/similarity");
+            for (i, cs) in source.columns().iter().enumerate() {
+                for (j, ct) in target.columns().iter().enumerate() {
+                    let score = self.fuzzy_jaccard(&src_values[i], &tgt_values[j]);
+                    out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+                }
             }
         }
+        let _phase = valentine_obs::span!("jl/rank");
         Ok(MatchResult::ranked(out))
     }
 }

@@ -117,13 +117,14 @@ impl Matcher for SemPropMatcher {
             ));
         }
 
-        // Stage 1: link every column to its best ontology class.
+        // Stage 1 (profiling): ontology links and MinHash signatures, both
+        // per column.
+        let profile_phase = valentine_obs::span!("semprop/profile");
         let src_links: Vec<Option<(usize, f64)>> =
             source.columns().iter().map(|c| self.link(c)).collect();
         let tgt_links: Vec<Option<(usize, f64)>> =
             target.columns().iter().map(|c| self.link(c)).collect();
 
-        // Pre-compute MinHash signatures for the syntactic stage.
         let src_sigs: Vec<_> = source
             .columns()
             .iter()
@@ -134,7 +135,9 @@ impl Matcher for SemPropMatcher {
             .iter()
             .map(|c| self.minhasher.signature(c.rendered_value_set()))
             .collect();
+        drop(profile_phase);
 
+        let sim_phase = valentine_obs::span!("semprop/similarity");
         let mut out = Vec::with_capacity(source.width() * target.width());
         for (i, cs) in source.columns().iter().enumerate() {
             for (j, ct) in target.columns().iter().enumerate() {
@@ -166,6 +169,8 @@ impl Matcher for SemPropMatcher {
                 out.push(ColumnMatch::new(cs.name(), ct.name(), score));
             }
         }
+        drop(sim_phase);
+        let _phase = valentine_obs::span!("semprop/rank");
         Ok(MatchResult::ranked(out))
     }
 }

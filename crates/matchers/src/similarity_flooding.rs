@@ -153,6 +153,7 @@ impl Matcher for SimilarityFloodingMatcher {
                 "max_iterations must be > 0".into(),
             ));
         }
+        let sim_phase = valentine_obs::span!("sf/similarity");
         let g1 = SchemaGraph::build(source);
         let g2 = SchemaGraph::build(target);
         if g1.columns.is_empty() || g2.columns.is_empty() {
@@ -208,9 +209,15 @@ impl Matcher for SimilarityFloodingMatcher {
             }
         }
 
-        let result = graph.run(self.formula, self.max_iterations, self.epsilon);
+        drop(sim_phase);
+
+        let result = {
+            let _phase = valentine_obs::span!("sf/solve");
+            graph.run(self.formula, self.max_iterations, self.epsilon)
+        };
 
         // Extract the column-pair nodes, ranked.
+        let _phase = valentine_obs::span!("sf/rank");
         let mut out = Vec::with_capacity(g1.columns.len() * g2.columns.len());
         for (sname, snode) in &g1.columns {
             for (tname, tnode) in &g2.columns {

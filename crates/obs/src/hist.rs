@@ -1,0 +1,232 @@
+//! Log-bucketed histograms with percentile summaries.
+//!
+//! Values (typically nanoseconds) land in power-of-two buckets: bucket `i`
+//! covers `[2^(i-1), 2^i)`, bucket 0 holds zeros. 64 buckets span the full
+//! `u64` range, so recording never saturates and merging two histograms is
+//! a plain element-wise add — which is what makes per-thread sinks cheap to
+//! combine at drain time.
+
+/// Number of buckets (zeros + one per bit position).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log-bucketed histogram.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of a value.
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            // [2^(i-1), 2^i) → i; values ≥ 2^63 share the last bucket
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of a bucket (what percentiles report).
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one. Recording a sequence into one
+    /// histogram and merging two histograms that split the sequence produce
+    /// identical results (property-tested in `tests/prop.rs`).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the bucket
+    /// containing it, clamped to the exact maximum. Monotone in `q` and
+    /// never exceeds [`Histogram::max`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` in ascending index
+    /// order — the JSONL serialisation of the histogram body.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its serialised parts. Bucket indexes
+    /// outside the layout are rejected so a corrupt trace cannot panic the
+    /// reader.
+    pub fn from_parts(buckets: &[(usize, u64)], sum: u64, max: u64) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for &(index, count) in buckets {
+            if index >= BUCKETS {
+                return Err(format!("histogram bucket {index} out of range"));
+            }
+            h.counts[index] += count;
+            h.count += count;
+        }
+        h.sum = sum;
+        h.max = max;
+        Ok(h)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_logarithmic() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 100, 1000, 5000, 5001, 100_000] {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.percentile(0.5), h.percentile(0.9), h.percentile(0.99));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        assert_eq!(h.max(), 100_000);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let values = [3u64, 7, 7, 900, 12_345, 0, 1];
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            all.record(v);
+            if i % 2 == 0 {
+                left.record(v)
+            } else {
+                right.record(v)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new();
+        for v in [4u64, 900, 900, 32] {
+            h.record(v);
+        }
+        let back = Histogram::from_parts(&h.nonzero_buckets(), h.sum(), h.max()).unwrap();
+        assert_eq!(back, h);
+        assert!(Histogram::from_parts(&[(BUCKETS, 1)], 0, 0).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! The JSONL trace format: one JSON object per line.
+//!
+//! A trace file starts with a `meta` line carrying the format version, then
+//! any mix of event lines:
+//!
+//! ```text
+//! {"type":"meta","format":"valentine-trace","version":1}
+//! {"type":"span","path":"coma/similarity","count":4,"total_ns":812345,"max_ns":401002}
+//! {"type":"counter","name":"index/lsh_candidates","value":132}
+//! {"type":"hist","name":"index/matcher_call_ns","buckets":[[14,3],[15,1]],"sum":71234,"max":40100}
+//! ```
+//!
+//! Writers may add further event types (the experiment runner writes
+//! `record` lines); [`parse`] preserves those in order under
+//! [`Parsed::others`] instead of dropping them, and reports — rather than
+//! silently skipping — malformed lines and files written by a newer format
+//! version.
+
+use std::io::{self, Write};
+
+use crate::hist::Histogram;
+use crate::json::Json;
+use crate::sink::{Snapshot, SpanStat};
+
+/// Version stamped into the `meta` line. Readers warn when a file claims a
+/// newer version than this.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// The `meta` header line (no trailing newline).
+pub fn meta_line() -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("meta".into())),
+        ("format".into(), Json::Str("valentine-trace".into())),
+        ("version".into(), Json::UInt(FORMAT_VERSION)),
+    ])
+    .render()
+}
+
+fn span_line(path: &str, stat: &SpanStat) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("span".into())),
+        ("path".into(), Json::Str(path.into())),
+        ("count".into(), Json::UInt(stat.count)),
+        ("total_ns".into(), Json::UInt(stat.total_ns)),
+        ("max_ns".into(), Json::UInt(stat.max_ns)),
+    ])
+    .render()
+}
+
+fn counter_line(name: &str, value: u64) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("counter".into())),
+        ("name".into(), Json::Str(name.into())),
+        ("value".into(), Json::UInt(value)),
+    ])
+    .render()
+}
+
+fn hist_line(name: &str, hist: &Histogram) -> String {
+    let buckets = hist
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(i, c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+        .collect();
+    Json::Obj(vec![
+        ("type".into(), Json::Str("hist".into())),
+        ("name".into(), Json::Str(name.into())),
+        ("buckets".into(), Json::Arr(buckets)),
+        ("sum".into(), Json::UInt(hist.sum())),
+        ("max".into(), Json::UInt(hist.max())),
+    ])
+    .render()
+}
+
+/// Writes a snapshot as event lines (spans, then counters, then histograms,
+/// each in path/name order — deterministic so CI can diff traces).
+pub fn write_snapshot(out: &mut dyn Write, snapshot: &Snapshot) -> io::Result<()> {
+    for (path, stat) in &snapshot.spans {
+        writeln!(out, "{}", span_line(path, stat))?;
+    }
+    for (name, value) in &snapshot.counters {
+        writeln!(out, "{}", counter_line(name, *value))?;
+    }
+    for (name, hist) in &snapshot.hists {
+        writeln!(out, "{}", hist_line(name, hist))?;
+    }
+    Ok(())
+}
+
+/// Everything [`parse`] extracted from a trace, including what it could
+/// *not* read — callers surface those counts instead of silently skipping.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Version from the `meta` line, if present.
+    pub version: Option<u64>,
+    /// All span/counter/hist events merged into one snapshot.
+    pub snapshot: Snapshot,
+    /// Event lines with types this module does not own (e.g. `record`), as
+    /// `(type, whole object)` in file order.
+    pub others: Vec<(String, Json)>,
+    /// Lines that were not valid JSON objects with a string `type`, or that
+    /// had a known type but missing/invalid fields.
+    pub malformed: usize,
+    /// First malformed line's error, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+impl Parsed {
+    /// True when the file claims a newer format version than this reader.
+    pub fn newer_version(&self) -> bool {
+        self.version.is_some_and(|v| v > FORMAT_VERSION)
+    }
+}
+
+/// Parses a JSONL trace. Never fails: unreadable lines are counted in
+/// [`Parsed::malformed`] and unrecognised event types preserved in
+/// [`Parsed::others`].
+pub fn parse(input: &str) -> Parsed {
+    let mut out = Parsed::default();
+    for line in input.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line, &mut out) {
+            Ok(()) => {}
+            Err(e) => {
+                out.malformed += 1;
+                if out.first_error.is_none() {
+                    out.first_error = Some(e);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse_line(line: &str, out: &mut Parsed) -> Result<(), String> {
+    let value = Json::parse(line)?;
+    let kind = value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "event without a string \"type\" field".to_string())?;
+    match kind {
+        "meta" => {
+            out.version = value.get("version").and_then(Json::as_u64);
+        }
+        "span" => {
+            let path = field_str(&value, "path")?;
+            let stat = span_stat_from(&value)?;
+            out.snapshot
+                .spans
+                .entry(path.to_string())
+                .or_default()
+                .merge(&stat);
+        }
+        "counter" => {
+            let name = field_str(&value, "name")?;
+            let delta = field_u64(&value, "value")?;
+            out.snapshot.record_counter(name, delta);
+        }
+        "hist" => {
+            let name = field_str(&value, "name")?;
+            let hist = hist_from(&value)?;
+            out.snapshot
+                .hists
+                .entry(name.to_string())
+                .or_default()
+                .merge(&hist);
+        }
+        other => out.others.push((other.to_string(), value.clone())),
+    }
+    Ok(())
+}
+
+fn field_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn field_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+/// Reads a [`SpanStat`] from a JSON object carrying `count` / `total_ns` /
+/// `max_ns` (the `span` event body; `record` phase entries reuse it).
+pub fn span_stat_from(value: &Json) -> Result<SpanStat, String> {
+    Ok(SpanStat {
+        count: field_u64(value, "count")?,
+        total_ns: field_u64(value, "total_ns")?,
+        max_ns: field_u64(value, "max_ns")?,
+    })
+}
+
+fn hist_from(value: &Json) -> Result<Histogram, String> {
+    let mut buckets = Vec::new();
+    for pair in value
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"buckets\"")?
+    {
+        let pair = pair.as_arr().ok_or("bucket entry is not a pair")?;
+        if pair.len() != 2 {
+            return Err("bucket entry is not a pair".to_string());
+        }
+        let index = pair[0].as_u64().ok_or("bucket index is not an integer")? as usize;
+        let count = pair[1].as_u64().ok_or("bucket count is not an integer")?;
+        buckets.push((index, count));
+    }
+    Histogram::from_parts(&buckets, field_u64(value, "sum")?, field_u64(value, "max")?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.record_span("coma", 1000);
+        snap.record_span("coma/profile", 400);
+        snap.record_span("coma/profile", 100);
+        snap.record_span("coma/similarity", 450);
+        snap.record_counter("index/lsh_candidates", 132);
+        snap.record_hist("index/matcher_call_ns", 40_100);
+        snap.record_hist("index/matcher_call_ns", 900);
+        snap
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_jsonl() {
+        let snap = sample_snapshot();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(meta_line().as_bytes());
+        buf.push(b'\n');
+        write_snapshot(&mut buf, &snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse(&text);
+        assert_eq!(parsed.version, Some(FORMAT_VERSION));
+        assert_eq!(parsed.snapshot, snap);
+        assert_eq!(parsed.malformed, 0);
+        assert!(parsed.others.is_empty());
+        assert!(!parsed.newer_version());
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let snap = sample_snapshot();
+        let render = |s: &Snapshot| {
+            let mut buf = Vec::new();
+            write_snapshot(&mut buf, s).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        assert_eq!(render(&snap), render(&snap.clone()));
+    }
+
+    #[test]
+    fn unknown_types_are_preserved_not_dropped() {
+        let text = format!(
+            "{}\n{{\"type\":\"record\",\"method\":\"Coma\"}}\n",
+            meta_line()
+        );
+        let parsed = parse(&text);
+        assert_eq!(parsed.others.len(), 1);
+        assert_eq!(parsed.others[0].0, "record");
+        assert_eq!(
+            parsed.others[0].1.get("method").and_then(Json::as_str),
+            Some("Coma")
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_with_a_reason() {
+        let text = "not json\n{\"no_type\":1}\n{\"type\":\"span\",\"path\":\"x\"}\n";
+        let parsed = parse(text);
+        assert_eq!(parsed.malformed, 3);
+        assert!(parsed.first_error.is_some());
+        assert!(parsed.snapshot.is_empty());
+    }
+
+    #[test]
+    fn newer_versions_are_flagged() {
+        let text = "{\"type\":\"meta\",\"format\":\"valentine-trace\",\"version\":99}\n";
+        assert!(parse(text).newer_version());
+    }
+
+    #[test]
+    fn duplicate_events_merge() {
+        let text = "{\"type\":\"counter\",\"name\":\"c\",\"value\":2}\n\
+                    {\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n\
+                    {\"type\":\"span\",\"path\":\"s\",\"count\":1,\"total_ns\":10,\"max_ns\":10}\n\
+                    {\"type\":\"span\",\"path\":\"s\",\"count\":1,\"total_ns\":30,\"max_ns\":30}\n";
+        let parsed = parse(text);
+        assert_eq!(parsed.snapshot.counter("c"), 5);
+        assert_eq!(parsed.snapshot.spans["s"].count, 2);
+        assert_eq!(parsed.snapshot.spans["s"].total_ns, 40);
+        assert_eq!(parsed.snapshot.spans["s"].max_ns, 30);
+    }
+}

@@ -1,0 +1,94 @@
+//! `valentine-obs` — spans, metrics, and runtime attribution.
+//!
+//! The paper's efficiency story (Table IV, Figure 7) is about *where*
+//! matching methods spend their time: instance profiling vs. similarity
+//! computation vs. solving. This crate is the measurement layer that makes
+//! those breakdowns reproducible across the whole pipeline:
+//!
+//! * **Spans** — [`span!`] opens an RAII guard; dropping it records the
+//!   elapsed wall-clock time under the guard's *path* (the `/`-joined names
+//!   of every span open on the thread). Spans aggregate into a lock-free
+//!   per-thread sink and are merged when the thread exits or [`drain`] is
+//!   called.
+//! * **Counters** — [`counter`] adds to a named monotonic counter.
+//! * **Histograms** — [`observe`] records a value into a log-bucketed
+//!   [`Histogram`] with p50/p90/p99/max summaries.
+//! * **Capture** — [`capture`] runs a closure and returns everything the
+//!   *current thread* recorded during it, as a [`Snapshot`]. This is how
+//!   the experiment runner attributes phases to individual records.
+//! * **Export** — [`jsonl`] renders a snapshot as deterministic JSONL and
+//!   parses it back (with explicit warnings instead of silent skips);
+//!   [`report`] renders a per-phase time-attribution tree.
+//!
+//! # Overhead
+//!
+//! Instrumentation is globally disabled by default. A disabled [`span!`] /
+//! [`counter`] / [`observe`] costs one relaxed atomic load plus one
+//! thread-local check — no clock read, no allocation, no locking. The
+//! `obs_overhead` bench in `valentine-bench` guards this at < 2% of the
+//! Table IV workload. Recording becomes active when either
+//! [`set_enabled`]`(true)` was called *or* the current thread is inside a
+//! [`capture`] (so scoped measurements work without flipping global state).
+//!
+//! # Threading model
+//!
+//! Each thread records into its own sink without synchronisation. When a
+//! thread exits, its sink is folded into a global snapshot under a mutex;
+//! [`drain`] takes that global snapshot plus the calling thread's live
+//! sink. All parallelism in the suite is scoped (`crossbeam::scope` /
+//! `std::thread::scope`), so worker threads are always joined — and their
+//! sinks merged — before the orchestrating thread drains. Draining while
+//! unscoped threads are still recording loses nothing but misses their
+//! not-yet-merged data.
+//!
+//! ```
+//! valentine_obs::set_enabled(true);
+//! {
+//!     let _phase = valentine_obs::span("demo/similarity");
+//!     // ... hot work ...
+//! }
+//! valentine_obs::counter("demo/pairs", 42);
+//! let snapshot = valentine_obs::drain();
+//! assert_eq!(snapshot.counters["demo/pairs"], 42);
+//! assert!(snapshot.spans.contains_key("demo/similarity"));
+//! valentine_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod jsonl;
+pub mod report;
+pub mod sink;
+
+pub use hist::Histogram;
+pub use sink::{
+    capture, counter, drain, observe, observe_duration, span, Snapshot, SpanGuard, SpanStat,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables recording. Off by default.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when recording is globally enabled ([`capture`] additionally
+/// enables recording for its own thread while it runs).
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Opens a phase span: `let _g = span!("coma/similarity");`. The span
+/// closes — and its elapsed time is recorded — when the guard drops, so the
+/// guard must be bound to a named variable (a bare `span!(...)` statement
+/// drops immediately and records nothing).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

@@ -1,0 +1,204 @@
+//! In-process rendering of a [`Snapshot`] as a per-phase attribution tree.
+//!
+//! Span paths split on `/` form a tree; each node shows its total time, its
+//! share of the parent, and its closure count. Children are ordered by
+//! total time (descending, ties by name) so the hottest phase reads first —
+//! and the ordering is deterministic, so CI can diff rendered reports.
+
+use std::collections::BTreeMap;
+
+use crate::sink::{Snapshot, SpanStat};
+
+/// Renders a snapshot's attribution tree, counters, and histogram
+/// summaries as plain text.
+pub struct Report<'a> {
+    snapshot: &'a Snapshot,
+}
+
+#[derive(Default)]
+struct Node {
+    stat: Option<SpanStat>,
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    /// A node's attributable time: its own recorded total, or the sum of
+    /// its children for pure grouping nodes that never closed themselves.
+    fn total_ns(&self) -> u64 {
+        match self.stat {
+            Some(stat) => stat.total_ns,
+            None => self.children.values().map(Node::total_ns).sum(),
+        }
+    }
+}
+
+impl<'a> Report<'a> {
+    /// A report over a snapshot (borrowed; rendering allocates the text).
+    pub fn new(snapshot: &'a Snapshot) -> Report<'a> {
+        Report { snapshot }
+    }
+
+    /// The full textual report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.snapshot.spans.is_empty() {
+            out.push_str("spans\n");
+            let root = self.build_tree();
+            let root_total = root.total_ns();
+            render_children(&root, root_total, 1, &mut out);
+        }
+        if !self.snapshot.counters.is_empty() {
+            out.push_str("counters\n");
+            let width = self
+                .snapshot
+                .counters
+                .keys()
+                .map(|k| k.len())
+                .max()
+                .unwrap_or(0);
+            for (name, value) in &self.snapshot.counters {
+                out.push_str(&format!("  {name:width$}  {value}\n"));
+            }
+        }
+        if !self.snapshot.hists.is_empty() {
+            out.push_str("histograms\n");
+            for (name, h) in &self.snapshot.hists {
+                out.push_str(&format!(
+                    "  {name}  n={} p50={} p90={} p99={} max={}\n",
+                    h.count(),
+                    fmt_ns(h.percentile(0.50)),
+                    fmt_ns(h.percentile(0.90)),
+                    fmt_ns(h.percentile(0.99)),
+                    fmt_ns(h.max()),
+                ));
+            }
+        }
+        out
+    }
+
+    fn build_tree(&self) -> Node {
+        let mut root = Node::default();
+        for (path, stat) in &self.snapshot.spans {
+            let mut node = &mut root;
+            for part in path.split('/') {
+                node = node.children.entry(part.to_string()).or_default();
+            }
+            // duplicate paths cannot occur (BTreeMap keys), but merging is
+            // still the right behaviour if they ever did
+            match &mut node.stat {
+                Some(existing) => existing.merge(stat),
+                slot => *slot = Some(*stat),
+            }
+        }
+        root
+    }
+}
+
+fn render_children(node: &Node, parent_total: u64, depth: usize, out: &mut String) {
+    let mut ordered: Vec<(&String, &Node)> = node.children.iter().collect();
+    ordered.sort_by(|a, b| b.1.total_ns().cmp(&a.1.total_ns()).then(a.0.cmp(b.0)));
+    for (name, child) in ordered {
+        let total = child.total_ns();
+        let share = if parent_total > 0 {
+            format!("{:5.1}%", 100.0 * total as f64 / parent_total as f64)
+        } else {
+            "     -".to_string()
+        };
+        let count = child.stat.map_or(0, |s| s.count);
+        let indent = "  ".repeat(depth);
+        out.push_str(&format!(
+            "{indent}{name:<w$} {total:>9} {share}  x{count}\n",
+            total = fmt_ns(total),
+            w = 28usize.saturating_sub(indent.len()),
+        ));
+        render_children(child, total, depth + 1, out);
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`123ns`, `4.5us`, `6.7ms`,
+/// `8.9s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.record_span("coma", 1_000_000);
+        s.record_span("coma/profile", 300_000);
+        s.record_span("coma/similarity", 600_000);
+        s.record_span("coma/similarity/tokens", 200_000);
+        s.record_counter("pairs", 42);
+        s.record_hist("lat", 1_500);
+        s
+    }
+
+    #[test]
+    fn report_contains_all_sections_and_names() {
+        let snap = snapshot();
+        let text = Report::new(&snap).render();
+        for needle in [
+            "spans",
+            "coma",
+            "profile",
+            "similarity",
+            "tokens",
+            "counters",
+            "pairs",
+            "42",
+            "histograms",
+            "lat",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn hotter_children_render_first() {
+        let snap = snapshot();
+        let text = Report::new(&snap).render();
+        let sim = text.find("similarity").unwrap();
+        let prof = text.find("profile").unwrap();
+        assert!(
+            sim < prof,
+            "similarity (600us) should precede profile:\n{text}"
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let snap = snapshot();
+        assert_eq!(Report::new(&snap).render(), Report::new(&snap).render());
+    }
+
+    #[test]
+    fn grouping_nodes_sum_their_children() {
+        let mut s = Snapshot::new();
+        // no "embdi" root span — only leaves
+        s.record_span("embdi/profile/walks", 100);
+        s.record_span("embdi/profile/train", 300);
+        let text = Report::new(&s).render();
+        assert!(text.contains("embdi"), "{text}");
+        assert!(text.contains("100.0%"), "{text}"); // embdi == all time
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+}

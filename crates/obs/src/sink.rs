@@ -1,0 +1,405 @@
+//! The recording machinery: per-thread sinks, span guards, scoped capture,
+//! and the global drain.
+//!
+//! Every thread owns a [`LocalSink`] in thread-local storage. Recording a
+//! span, counter, or histogram value touches only that sink — no locks, no
+//! shared cache lines. When the thread exits, its sink folds into a global
+//! snapshot behind a mutex (the only synchronised structure in the crate);
+//! [`drain`] takes the global snapshot plus the calling thread's own sink.
+//!
+//! [`capture`] pushes a *frame* onto the thread's sink: everything the
+//! thread records while the frame is open lands in it; when the capture
+//! ends, the frame is folded into its parent (so global aggregates still
+//! see the data) and returned as a [`Snapshot`]. Span paths inside a frame
+//! are relative to the frame — the experiment runner uses this to attach a
+//! method's phase tree to each record without the surrounding context
+//! leaking in.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::hist::Histogram;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closures.
+    pub total_ns: u64,
+    /// Longest single closure in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another stat into this one.
+    pub fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Everything recorded by some scope: span aggregates keyed by `/`-joined
+/// path, counters, and histograms. Iteration order is deterministic
+/// (`BTreeMap`), which is what makes exported traces diffable in CI.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Span path → aggregated timing.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → distribution.
+    pub hists: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// An empty snapshot (const, so the global sink needs no lazy init).
+    pub const fn new() -> Snapshot {
+        Snapshot {
+            spans: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Records one span closure under `path`.
+    pub fn record_span(&mut self, path: &str, ns: u64) {
+        self.spans.entry(path.to_string()).or_default().record(ns);
+    }
+
+    /// Adds to a counter.
+    pub fn record_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records one histogram observation.
+    pub fn record_hist(&mut self, name: &str, value: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Folds another snapshot into this one. Merging the per-thread sinks
+    /// of a run is equivalent to recording everything into one sink
+    /// (property-tested in `tests/prop.rs`).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (path, stat) in &other.spans {
+            self.spans.entry(path.clone()).or_default().merge(stat);
+        }
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// A counter's value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// One capture scope: the stack depth it started at (span paths are built
+/// relative to it) and the data recorded while it is open.
+struct Frame {
+    base_depth: usize,
+    data: Snapshot,
+}
+
+/// The per-thread sink: the open-span name stack plus a stack of frames
+/// (frame 0 is the thread root; further frames are open captures).
+struct LocalSink {
+    stack: Vec<Cow<'static, str>>,
+    frames: Vec<Frame>,
+}
+
+impl LocalSink {
+    fn new() -> LocalSink {
+        LocalSink {
+            stack: Vec::new(),
+            frames: vec![Frame {
+                base_depth: 0,
+                data: Snapshot::new(),
+            }],
+        }
+    }
+}
+
+impl Drop for LocalSink {
+    fn drop(&mut self) {
+        // Thread exit: fold everything (root frame plus any capture frames
+        // leaked by a panic) into the global snapshot.
+        let mut all = Snapshot::new();
+        for frame in &mut self.frames {
+            all.merge(&std::mem::take(&mut frame.data));
+        }
+        if !all.is_empty() {
+            if let Ok(mut global) = GLOBAL.lock() {
+                global.merge(&all);
+            }
+        }
+    }
+}
+
+static GLOBAL: Mutex<Snapshot> = Mutex::new(Snapshot::new());
+
+thread_local! {
+    static LOCAL: RefCell<LocalSink> = RefCell::new(LocalSink::new());
+}
+
+/// True when this thread should record: globally enabled, or inside a
+/// [`capture`] on this thread.
+fn active() -> bool {
+    crate::is_enabled()
+        || LOCAL
+            .try_with(|sink| sink.borrow().frames.len() > 1)
+            .unwrap_or(false)
+}
+
+/// RAII guard of one open span; see [`crate::span!`].
+#[must_use = "a span records on drop; bind it with `let _g = span!(..)`"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro at call sites.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !active() {
+        return SpanGuard { start: None };
+    }
+    let pushed = LOCAL
+        .try_with(|sink| sink.borrow_mut().stack.push(name.into()))
+        .is_ok();
+    SpanGuard {
+        start: pushed.then(Instant::now),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos() as u64;
+        let _ = LOCAL.try_with(|sink| {
+            let mut sink = sink.borrow_mut();
+            if sink.stack.is_empty() {
+                return; // guard outlived its sink frame; nothing to attribute
+            }
+            let base = sink
+                .frames
+                .last()
+                .map_or(0, |f| f.base_depth)
+                .min(sink.stack.len() - 1);
+            let path = sink.stack[base..].join("/");
+            sink.stack.pop();
+            if let Some(frame) = sink.frames.last_mut() {
+                frame.data.record_span(&path, ns);
+            }
+        });
+    }
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter(name: &str, delta: u64) {
+    if !active() {
+        return;
+    }
+    let _ = LOCAL.try_with(|sink| {
+        if let Some(frame) = sink.borrow_mut().frames.last_mut() {
+            frame.data.record_counter(name, delta);
+        }
+    });
+}
+
+/// Records `value` into the named histogram.
+pub fn observe(name: &str, value: u64) {
+    if !active() {
+        return;
+    }
+    let _ = LOCAL.try_with(|sink| {
+        if let Some(frame) = sink.borrow_mut().frames.last_mut() {
+            frame.data.record_hist(name, value);
+        }
+    });
+}
+
+/// Records a duration (as nanoseconds) into the named histogram.
+pub fn observe_duration(name: &str, duration: Duration) {
+    observe(name, duration.as_nanos() as u64);
+}
+
+/// Runs `f` and returns everything the *current thread* recorded during it.
+/// Recording is active inside the capture even when globally disabled. The
+/// captured data also folds into the enclosing scope, so global aggregates
+/// stay complete. Span paths in the returned snapshot are relative to the
+/// capture (enclosing span names are stripped).
+///
+/// Work `f` delegates to *other* threads is merged into the global snapshot
+/// when those threads exit, not into this capture — cross-thread stages
+/// must aggregate their own totals (the index re-rank stage does exactly
+/// that) and report them on the capturing thread.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    LOCAL.with(|sink| {
+        let mut sink = sink.borrow_mut();
+        let base_depth = sink.stack.len();
+        sink.frames.push(Frame {
+            base_depth,
+            data: Snapshot::new(),
+        });
+    });
+    let out = f();
+    let snap = LOCAL.with(|sink| {
+        let mut sink = sink.borrow_mut();
+        if sink.frames.len() > 1 {
+            let frame = sink.frames.pop().expect("capture frame present");
+            if let Some(parent) = sink.frames.last_mut() {
+                parent.data.merge(&frame.data);
+            }
+            frame.data
+        } else {
+            Snapshot::new() // frame was stolen by a concurrent drain
+        }
+    });
+    (out, snap)
+}
+
+/// Takes and resets the global snapshot merged with the calling thread's
+/// sink. Call between workloads (never inside a [`capture`]) and after all
+/// scoped worker threads joined.
+pub fn drain() -> Snapshot {
+    let mut out = GLOBAL
+        .lock()
+        .map(|mut g| std::mem::take(&mut *g))
+        .unwrap_or_default();
+    let _ = LOCAL.try_with(|sink| {
+        let mut sink = sink.borrow_mut();
+        for frame in &mut sink.frames {
+            out.merge(&std::mem::take(&mut frame.data));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unit tests here rely on capture() activating recording, so they hold
+    // no global state and stay independent of test-order and parallelism.
+
+    #[test]
+    fn capture_scopes_spans_counters_and_hists() {
+        let ((), snap) = capture(|| {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                counter("widgets", 3);
+                observe("latency", 250);
+            }
+            counter("widgets", 2);
+        });
+        assert_eq!(snap.counters["widgets"], 5);
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer/inner"].count, 1);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
+        assert_eq!(snap.hists["latency"].count(), 1);
+    }
+
+    #[test]
+    fn capture_paths_are_relative_to_the_capture() {
+        let ((), snap) = capture(|| {
+            let _ambient = span("ambient");
+            let ((), inner) = capture(|| {
+                let _phase = span("phase");
+            });
+            assert!(inner.spans.contains_key("phase"), "{:?}", inner.spans);
+            assert!(!inner.spans.contains_key("ambient/phase"));
+        });
+        // the inner capture folded into the outer one
+        assert!(snap.spans.contains_key("phase"));
+        assert!(snap.spans.contains_key("ambient"));
+    }
+
+    #[test]
+    fn nested_captures_fold_into_parents() {
+        let ((), outer) = capture(|| {
+            let ((), inner) = capture(|| counter("k", 1));
+            assert_eq!(inner.counters["k"], 1);
+            counter("k", 1);
+        });
+        assert_eq!(outer.counters["k"], 2);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_path_entry() {
+        let ((), snap) = capture(|| {
+            for _ in 0..3 {
+                let _g = span("work");
+            }
+        });
+        assert_eq!(snap.spans["work"].count, 3);
+        assert_eq!(snap.spans.len(), 1);
+    }
+
+    #[test]
+    fn worker_thread_data_reaches_the_global_drain() {
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            s.spawn(|| counter("obs_test/worker_counter_unique", 7));
+        });
+        crate::set_enabled(false);
+        let snap = drain();
+        assert!(snap.counter("obs_test/worker_counter_unique") >= 7);
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates() {
+        let mut a = Snapshot::new();
+        a.record_span("x", 10);
+        a.record_counter("c", 1);
+        let mut b = Snapshot::new();
+        b.record_span("x", 30);
+        b.record_counter("c", 2);
+        b.record_hist("h", 5);
+        a.merge(&b);
+        assert_eq!(a.spans["x"].count, 2);
+        assert_eq!(a.spans["x"].total_ns, 40);
+        assert_eq!(a.spans["x"].max_ns, 30);
+        assert_eq!(a.counters["c"], 3);
+        assert_eq!(a.hists["h"].count(), 1);
+    }
+
+    #[test]
+    fn guard_must_use_is_harmless_when_disabled() {
+        // not enabled, not in a capture: everything is a no-op
+        {
+            let _g = span("obs_test/should_not_record");
+        }
+        counter("obs_test/should_not_record", 1);
+        // cannot assert absence globally (parallel tests may be enabled),
+        // but a scoped capture must not see ambient no-ops retroactively
+        let ((), snap) = capture(|| {});
+        assert!(snap.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Disabled-instrumentation behaviour, isolated in its own test binary so
+//! no parallel test can flip the global enable flag underneath it.
+
+use valentine_obs::{counter, drain, observe, span};
+
+#[test]
+fn disabled_instrumentation_records_nothing_and_enables_cleanly() {
+    assert!(!valentine_obs::is_enabled(), "off by default");
+
+    // No-ops while disabled (and outside any capture).
+    {
+        let _g = span("noop/phase");
+        counter("noop/counter", 5);
+        observe("noop/hist", 123);
+    }
+    let snap = drain();
+    assert!(
+        snap.is_empty(),
+        "disabled instrumentation leaked data: {snap:?}"
+    );
+
+    // Flipping the switch starts recording without any other setup.
+    valentine_obs::set_enabled(true);
+    {
+        let _g = span("live/phase");
+        counter("live/counter", 2);
+    }
+    valentine_obs::set_enabled(false);
+    let snap = drain();
+    assert_eq!(snap.counter("live/counter"), 2);
+    assert_eq!(snap.spans["live/phase"].count, 1);
+
+    // And the switch-off is effective again.
+    counter("late/counter", 1);
+    assert!(drain().is_empty());
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the observability layer: percentile ordering,
+//! sink-merge equivalence, and JSONL round-trips of nested span trees.
+
+use proptest::prelude::*;
+use valentine_obs::{jsonl, Histogram, Snapshot};
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone_and_bounded(vals in values()) {
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.50);
+        let p90 = h.percentile(0.90);
+        let p99 = h.percentile(0.99);
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= h.max(), "p99 {p99} > max {}", h.max());
+        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+        prop_assert_eq!(h.percentile(1.0), h.max());
+        prop_assert_eq!(h.count(), vals.len() as u64);
+    }
+
+    #[test]
+    fn merging_two_histograms_equals_recording_into_one(
+        vals in values(),
+        split in 0usize..64,
+    ) {
+        let split = split.min(vals.len());
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(v);
+            if i < split {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn merging_two_sinks_equals_recording_into_one(
+        events in proptest::collection::vec(
+            (0u8..3, 0usize..6, 0u64..1_000_000),
+            1..40,
+        ),
+        split in 0usize..40,
+    ) {
+        // Events address a small name space so merges actually collide.
+        let names = ["coma/profile", "coma/similarity", "sf/solve",
+                     "index/lsh", "jl/rank", "embdi/profile/walks"];
+        let split = split.min(events.len());
+        let mut whole = Snapshot::new();
+        let mut a = Snapshot::new();
+        let mut b = Snapshot::new();
+        for (i, &(kind, which, value)) in events.iter().enumerate() {
+            let name = names[which];
+            let part = if i < split { &mut a } else { &mut b };
+            match kind {
+                0 => {
+                    whole.record_span(name, value);
+                    part.record_span(name, value);
+                }
+                1 => {
+                    whole.record_counter(name, value);
+                    part.record_counter(name, value);
+                }
+                _ => {
+                    whole.record_hist(name, value);
+                    part.record_hist(name, value);
+                }
+            }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn jsonl_round_trips_nested_span_trees(
+        spans in proptest::collection::vec(
+            (proptest::collection::vec(0usize..4, 1..4), 0u64..10_000_000),
+            1..30,
+        ),
+        counters in proptest::collection::vec((0usize..4, 0u64..1_000), 0..8),
+        hist_vals in proptest::collection::vec(0u64..1_000_000, 0..20),
+    ) {
+        let segments = ["coma", "profile", "similarity", "solve"];
+        let mut snap = Snapshot::new();
+        for (parts, ns) in &spans {
+            let path: Vec<&str> = parts.iter().map(|&i| segments[i]).collect();
+            snap.record_span(&path.join("/"), *ns);
+        }
+        for &(which, value) in &counters {
+            snap.record_counter(segments[which], value);
+        }
+        for &v in &hist_vals {
+            snap.record_hist("lat", v);
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(jsonl::meta_line().as_bytes());
+        buf.push(b'\n');
+        jsonl::write_snapshot(&mut buf, &snap).unwrap();
+        let parsed = jsonl::parse(&String::from_utf8(buf).unwrap());
+        prop_assert_eq!(parsed.malformed, 0, "{:?}", parsed.first_error);
+        prop_assert_eq!(parsed.snapshot, snap);
+    }
+}
