@@ -1,0 +1,115 @@
+//! Guard: the grid scheduler's shared preparation must actually pay.
+//!
+//! The (pair × method) runner executes one method's whole configuration
+//! grid per task, preparing config-invariant state once
+//! (`Matcher::prepare`) and finishing every configuration from the shared
+//! artifacts (`Matcher::match_prepared`). This bench makes the two
+//! scheduler claims hard assertions instead of hopes:
+//!
+//! 1. the Cupid grid (96 configurations sharing linguistic similarity and
+//!    dtype compatibility) runs at least [`MIN_SPEEDUP`]× faster through
+//!    `execute_grid` than through the seed's per-config one-shot loop, and
+//! 2. a single-pair run over several methods with 8 threads spreads across
+//!    more than one worker — the old scheduler capped the pool at
+//!    `pairs.len()`.
+//!
+//! Run with `cargo bench --bench runner_grid`; pass `--quick` (the CI
+//! smoke mode) to measure a 24-config slice of the grid with one round
+//! instead of best-of-three.
+
+use std::time::{Duration, Instant};
+
+use valentine_bench::bench_pair;
+use valentine_core::grids::method_grid;
+use valentine_core::prelude::*;
+use valentine_core::runner::{execute_grid, execute_one};
+
+/// Required wall-clock improvement of the shared-prepare grid path over
+/// the one-shot loop on the Cupid grid.
+const MIN_SPEEDUP: f64 = 3.0;
+
+fn time_best_of(rounds: usize, mut f: impl FnMut() -> usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut n = 0;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        n = std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    (best, n)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 1 } else { 3 };
+    let pair = bench_pair(ScenarioKind::Unionable);
+
+    let mut grid = method_grid(MatcherKind::Cupid, GridScale::Small);
+    if quick {
+        grid.truncate(24);
+    }
+    println!(
+        "cupid grid: {} configurations, best of {} round(s)",
+        grid.len(),
+        rounds
+    );
+
+    // Seed loop: every configuration one-shot, re-deriving the
+    // config-invariant similarity matrices each time.
+    let (one_shot, n1) = time_best_of(rounds, || {
+        grid.iter()
+            .map(|m| execute_one(&pair, MatcherKind::Cupid, m.as_ref()))
+            .filter(|r| !r.failed())
+            .count()
+    });
+
+    // Grid path: prepare once, score every configuration from artifacts.
+    let (shared, n2) = time_best_of(rounds, || {
+        execute_grid(&pair, MatcherKind::Cupid, &grid)
+            .iter()
+            .filter(|r| !r.failed())
+            .count()
+    });
+
+    assert_eq!(n1, grid.len(), "one-shot runs all succeed");
+    assert_eq!(n2, grid.len(), "grid runs all succeed");
+    let speedup = one_shot.as_secs_f64() / shared.as_secs_f64();
+    println!(
+        "one-shot {:.1?}, shared-prepare {:.1?}: {speedup:.2}x",
+        one_shot, shared
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "shared preparation speedup {speedup:.2}x below the {MIN_SPEEDUP}x floor"
+    );
+
+    // Scheduler claim: one pair, several methods, 8 threads — the
+    // (pair × method) axis must use more than one worker.
+    let pairs = vec![pair];
+    let config = RunnerConfig {
+        methods: vec![
+            MatcherKind::ComaSchema,
+            MatcherKind::ComaInstance,
+            MatcherKind::JaccardLevenshtein,
+            MatcherKind::SimilarityFlooding,
+        ],
+        scale: GridScale::Small,
+        threads: 8,
+    };
+    let runner = Runner::run(&pairs, &config);
+    let workers: std::collections::BTreeSet<usize> =
+        runner.records().iter().map(|r| r.worker).collect();
+    println!(
+        "single pair, {} methods, 8 threads: workers {:?}",
+        config.methods.len(),
+        workers
+    );
+    assert!(
+        workers.len() > 1,
+        "single-pair run must fan out over multiple workers, got {workers:?}"
+    );
+    println!(
+        "runner_grid guard passed ({speedup:.2}x, {} workers)",
+        workers.len()
+    );
+}

@@ -41,15 +41,20 @@ USAGE:
       TSV (two tab-separated columns: source_column, target_column).
 
   valentine run [--size tiny|small|paper] [--seed N]
-                [--source tpcdi|opendata|chembl]
+                [--source tpcdi|opendata|chembl] [--grid] [--threads T]
       Run every method's default configuration over fabricated unionable
       and joinable pairs and print a per-method summary. With --trace this
       is the quickest way to produce a full runtime-attribution trace.
+      --grid     run every method's full Table II parameter grid instead,
+                 scheduled as (pair × method) tasks over a worker pool;
+                 config-invariant preparation is shared across each grid
+      --threads  worker pool width for --grid (default: all cores)
 
   valentine trace report <trace.jsonl>
       Render a trace written via --trace: per-method phase breakdown
-      (profile / similarity / solve / rank shares of runtime, as in the
-      paper's Table IV), plus recorded counters and latency histograms.
+      (prepare / profile / similarity / solve / rank / score shares of
+      runtime, as in the paper's Table IV), plus recorded counters and
+      latency histograms.
 
   valentine index build --out FILE [--csv-dir DIR]
                         [--size tiny|small|paper] [--per-source N]
@@ -333,9 +338,10 @@ fn source_by_name(name: &str, size: SizeClass, seed: u64) -> Result<Table, Strin
 
 /// `valentine run` — every method's default configuration over a
 /// fabricated unionable and joinable pair, with an optional streamed
-/// trace.
+/// trace. With `--grid`, the full Table II parameter grids instead,
+/// scheduled as (pair × method) tasks over [`Runner::run`]'s worker pool.
 pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), String> {
-    let p = args::parse(argv, &[])?;
+    let p = args::parse(argv, &["grid"])?;
     let size = size_by_name(p.opt("size").unwrap_or("small"))?;
     let seed: u64 = p.opt_parse("seed", 42)?;
     let base = source_by_name(p.opt("source").unwrap_or("tpcdi"), size, seed)?;
@@ -360,16 +366,41 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         None => None,
     };
 
-    let mut records = Vec::new();
-    for pair in &pairs {
-        for kind in MatcherKind::ALL {
-            let matcher = kind.instantiate();
-            let record = execute_one(pair, kind, matcher.as_ref());
-            if let Some(sink) = &mut sink {
-                sink.record(&record)
-                    .map_err(|e| format!("cannot write trace record: {e}"))?;
+    let records: Vec<ExperimentRecord> = if p.flag("grid") {
+        let config = RunnerConfig {
+            methods: MatcherKind::ALL.to_vec(),
+            scale: match size {
+                SizeClass::Paper => GridScale::Paper,
+                _ => GridScale::Small,
+            },
+            threads: p.opt_parse(
+                "threads",
+                std::thread::available_parallelism().map_or(4usize, |n| n.get()),
+            )?,
+        };
+        let runner = Runner::run(&pairs, &config);
+        let records = runner.records().to_vec();
+        let workers: std::collections::BTreeSet<usize> = records.iter().map(|r| r.worker).collect();
+        println!(
+            "grid: {} (pair × method) tasks over {} worker(s)",
+            pairs.len() * config.methods.len(),
+            workers.len()
+        );
+        records
+    } else {
+        let mut records = Vec::new();
+        for pair in &pairs {
+            for kind in MatcherKind::ALL {
+                let matcher = kind.instantiate();
+                records.push(execute_one(pair, kind, matcher.as_ref()));
             }
-            records.push(record);
+        }
+        records
+    };
+    if let Some(sink) = &mut sink {
+        for record in &records {
+            sink.record(record)
+                .map_err(|e| format!("cannot write trace record: {e}"))?;
         }
     }
 
@@ -865,6 +896,30 @@ mod tests {
         }
         assert!(!report.contains("warning"), "{report}");
         trace(&argv(&["report", trace_path.to_str().unwrap()])).expect("report works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_run_uses_pool_wider_than_pair_count() {
+        let dir = temp_dir("grid_run");
+        let trace_path = dir.join("trace.jsonl");
+        run_experiments(
+            &argv(&["--size", "tiny", "--seed", "5", "--grid", "--threads", "8"]),
+            Some(&trace_path),
+        )
+        .expect("grid run works");
+        let data = parse_trace(&fs::read_to_string(&trace_path).unwrap());
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        // 2 pairs × the paper's 135 configurations
+        assert_eq!(
+            data.records.len(),
+            2 * valentine_core::grids::total_configurations(GridScale::Small)
+        );
+        // 8 threads over 2 pairs: the (pair × method) axis must spread the
+        // work beyond pairs.len() workers
+        let workers: std::collections::BTreeSet<usize> =
+            data.records.iter().map(|r| r.worker).collect();
+        assert!(workers.len() > 2, "workers used: {workers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -88,6 +88,20 @@ pub fn method_grid(kind: MatcherKind, scale: GridScale) -> Vec<Box<dyn Matcher>>
     }
 }
 
+/// Instantiates each requested method's grid exactly once, in the given
+/// order. The runner shares these read-only across its (pair × method)
+/// tasks, so a 96-config Cupid grid is built once per run rather than once
+/// per pair per worker.
+pub fn method_grids(
+    methods: &[MatcherKind],
+    scale: GridScale,
+) -> Vec<(MatcherKind, Vec<Box<dyn Matcher>>)> {
+    methods
+        .iter()
+        .map(|&kind| (kind, method_grid(kind, scale)))
+        .collect()
+}
+
 /// Total number of configurations across every method — the paper's "135
 /// configurations".
 pub fn total_configurations(scale: GridScale) -> usize {

@@ -46,7 +46,7 @@ pub use valentine_table as table;
 pub use valentine_text as text;
 
 pub use corpus::{Corpus, CorpusConfig};
-pub use grids::{method_grid, GridScale};
+pub use grids::{method_grid, method_grids, GridScale};
 pub use metrics::{
     average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
     recall_at_ground_truth, recall_at_k,

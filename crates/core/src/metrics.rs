@@ -34,14 +34,16 @@ pub fn recall_at_k(result: &MatchResult, ground_truth: &GroundTruth, k: usize) -
     if k == 0 {
         return 0.0;
     }
-    let truth: FxHashSet<(&str, &str)> = ground_truth
+    let mut truth: FxHashSet<(&str, &str)> = ground_truth
         .iter()
         .map(|(s, t)| (s.as_str(), t.as_str()))
         .collect();
+    // Consume each truth pair as it is hit: a ranking that repeats the same
+    // (source, target) pair must not collect its credit twice.
     let hits = result
         .top_k(k)
         .iter()
-        .filter(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .filter(|m| truth.remove(&(&*m.source, &*m.target)))
         .count();
     hits as f64 / k as f64
 }
@@ -66,7 +68,7 @@ pub fn precision_recall_f1(
     let tp = selected
         .matches()
         .iter()
-        .filter(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .filter(|m| truth.contains(&(&*m.source, &*m.target)))
         .count();
     let precision = if selected.is_empty() {
         0.0
@@ -97,7 +99,7 @@ pub fn mean_reciprocal_rank(result: &MatchResult, ground_truth: &GroundTruth) ->
     result
         .matches()
         .iter()
-        .position(|m| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .position(|m| truth.contains(&(&*m.source, &*m.target)))
         .map_or(0.0, |rank| 1.0 / (rank + 1) as f64)
 }
 
@@ -108,19 +110,21 @@ pub fn average_precision(result: &MatchResult, ground_truth: &GroundTruth) -> f6
     if ground_truth.is_empty() {
         return 0.0;
     }
-    let truth: FxHashSet<(&str, &str)> = ground_truth
+    let mut truth: FxHashSet<(&str, &str)> = ground_truth
         .iter()
         .map(|(s, t)| (s.as_str(), t.as_str()))
         .collect();
+    let total = truth.len();
     let mut hits = 0usize;
     let mut sum = 0.0;
     for (i, m) in result.matches().iter().enumerate() {
-        if truth.contains(&(m.source.as_str(), m.target.as_str())) {
+        // consume the truth pair so duplicate ranked pairs count once
+        if truth.remove(&(&*m.source, &*m.target)) {
             hits += 1;
             sum += hits as f64 / (i + 1) as f64;
         }
     }
-    sum / truth.len() as f64
+    sum / total as f64
 }
 
 /// Normalised discounted cumulative gain at `k` with binary relevance:
@@ -137,7 +141,7 @@ pub fn ndcg_at_k(result: &MatchResult, ground_truth: &GroundTruth, k: usize) -> 
         .top_k(k)
         .iter()
         .enumerate()
-        .filter(|(_, m)| truth.contains(&(m.source.as_str(), m.target.as_str())))
+        .filter(|(_, m)| truth.contains(&(&*m.source, &*m.target)))
         .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
         .sum();
     let ideal: f64 = (0..truth.len().min(k))
@@ -157,7 +161,7 @@ pub fn min_median_max(scores: &[f64]) -> Option<(f64, f64, f64)> {
         return None;
     }
     let mut sorted = scores.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    sorted.sort_by(f64::total_cmp);
     let min = sorted[0];
     let max = *sorted.last().expect("non-empty");
     let n = sorted.len();
@@ -219,6 +223,29 @@ mod tests {
         let r = result(&[("a", "x", 0.9), ("a", "y", 0.8)]);
         let gt = truth(&[("a", "x"), ("a", "y")]);
         assert_eq!(recall_at_ground_truth(&r, &gt), 1.0);
+    }
+
+    #[test]
+    fn duplicate_ranked_pairs_count_once() {
+        // a matcher that emits the same (source, target) pair twice must not
+        // collect its ground-truth credit twice
+        let r = result(&[("a", "x", 0.9), ("a", "x", 0.8), ("b", "q", 0.1)]);
+        let gt = truth(&[("a", "x"), ("b", "y")]);
+        let recall = recall_at_ground_truth(&r, &gt);
+        assert!(recall <= 1.0);
+        assert_eq!(recall, 0.5, "exactly one hit in the top |GT|");
+
+        // average precision: duplicate hit of a 1-truth must cap AP at 1
+        let dup = result(&[("a", "x", 0.9), ("a", "x", 0.8)]);
+        let single = truth(&[("a", "x")]);
+        assert_eq!(average_precision(&dup, &single), 1.0);
+    }
+
+    #[test]
+    fn non_finite_scores_do_not_panic_summary_stats() {
+        let (min, _, max) = min_median_max(&[1.0, f64::NAN, 0.5]).unwrap();
+        assert_eq!(min, 0.5);
+        assert!(max.is_nan(), "NaN sorts last under total_cmp");
     }
 
     #[test]

@@ -1,25 +1,36 @@
 //! The experiment runner (Figure 1, right-hand side).
 //!
 //! Executes every (dataset pair × method × configuration) combination,
-//! recording Recall@ground-truth and wall-clock runtime per run. Pairs are
-//! distributed over a crossbeam scoped-thread pool (the paper batch-ran on
-//! two 80-core machines; we parallelise the same axis).
+//! recording Recall@ground-truth and wall-clock runtime per run. Work fans
+//! out as **(pair × method)** tasks over a channel-fed crossbeam worker pool
+//! (the paper batch-ran on two 80-core machines): a task owns one method's
+//! whole configuration grid on one pair, so the grid's config-invariant
+//! preparation ([`Matcher::prepare`]) runs once and every configuration
+//! finishes from the shared artifacts ([`Matcher::match_prepared`]).
+//! Workers stream finished records back over an mpsc channel to the scope's
+//! owning thread — no shared `Mutex<Vec>` on the hot path — and the thread
+//! count is capped by the task count, not the pair count.
+//!
+//! A matcher that panics poisons only its own task: the panic is caught
+//! ([`std::panic::catch_unwind`]) and recorded as an `error` on the run's
+//! [`ExperimentRecord`], so a single bad column pair cannot abort a
+//! multi-hour grid run.
 //!
 //! As in the paper, per (pair, method) the *best* configuration's score is
 //! what enters the figures — "grid search allows each algorithm to operate
 //! under optimal conditions" (§VI-B) — but every individual record is kept
 //! for the ablation reports.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use valentine_fabricator::{DatasetPair, ScenarioKind};
-use valentine_matchers::{Matcher, MatcherKind};
+use valentine_matchers::{MatchError, MatchResult, Matcher, MatcherKind};
 use valentine_obs::SpanStat;
 use valentine_table::FxHashMap;
 
-use crate::grids::{method_grid, GridScale};
+use crate::grids::{method_grids, GridScale};
 use crate::metrics::recall_at_ground_truth;
 
 /// Timing of one span path within a single run, relative to the run's
@@ -60,8 +71,12 @@ pub struct ExperimentRecord {
     /// Ground-truth size (the `k`).
     pub ground_truth_size: usize,
     /// The matcher's error when the run failed (`recall` is 0.0 then, but a
-    /// failed run is *reported*, not silently scored last).
+    /// failed run is *reported*, not silently scored last). Matcher panics
+    /// are caught and surface here as internal errors.
     pub error: Option<String>,
+    /// Index of the pool worker that executed the run (0 for runs executed
+    /// outside [`Runner::run`], e.g. the serial CLI path).
+    pub worker: usize,
 }
 
 impl ExperimentRecord {
@@ -78,7 +93,8 @@ pub struct RunnerConfig {
     pub methods: Vec<MatcherKind>,
     /// Grid scale (EmbDI dimensionality).
     pub scale: GridScale,
-    /// Worker threads (pairs are the parallel axis).
+    /// Worker threads. (pair × method) tasks are the parallel axis, so a
+    /// single pair still fans out across workers when several methods run.
     pub threads: usize,
 }
 
@@ -92,20 +108,27 @@ impl Default for RunnerConfig {
     }
 }
 
-/// Executes one (pair, matcher) combination: times the match call and —
-/// when tracing is globally enabled — captures the matcher's phase spans
-/// into the record. Errored runs keep their elapsed time *and* every phase
-/// that completed before the failure (the span guards record on unwind to
-/// the error return), so slow failures stay attributable.
-pub fn execute_one(
-    pair: &DatasetPair,
-    kind: MatcherKind,
-    matcher: &dyn Matcher,
-) -> ExperimentRecord {
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("matcher panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("matcher panicked: {s}")
+    } else {
+        "matcher panicked".to_string()
+    }
+}
+
+/// Runs a matcher call with the runner's full harness: wall-clock timing,
+/// phase-span capture when tracing is globally enabled, and panic isolation.
+/// The `catch_unwind` sits *inside* the capture closure so an unwinding
+/// matcher still pops its span guards and the capture frame normally —
+/// errored and panicked runs keep every phase they completed before dying.
+fn observed<T>(f: impl FnOnce() -> Result<T, MatchError>) -> ObservedCall<T> {
     let start = Instant::now();
     let (result, phases) = if valentine_obs::is_enabled() {
         let (result, snapshot) =
-            valentine_obs::capture(|| matcher.match_tables(&pair.source, &pair.target));
+            valentine_obs::capture(|| std::panic::catch_unwind(AssertUnwindSafe(f)));
         let phases = snapshot
             .spans
             .into_iter()
@@ -113,10 +136,31 @@ pub fn execute_one(
             .collect();
         (result, phases)
     } else {
-        (matcher.match_tables(&pair.source, &pair.target), Vec::new())
+        (std::panic::catch_unwind(AssertUnwindSafe(f)), Vec::new())
     };
-    let runtime = start.elapsed();
-    let (recall, error) = match &result {
+    let result = result.unwrap_or_else(|payload| Err(MatchError::Internal(panic_message(payload))));
+    ObservedCall {
+        result,
+        phases,
+        runtime: start.elapsed(),
+    }
+}
+
+/// Outcome of one harnessed matcher call.
+struct ObservedCall<T> {
+    result: Result<T, MatchError>,
+    phases: Vec<PhaseStat>,
+    runtime: Duration,
+}
+
+/// Builds the record for one finished (pair, config) run.
+fn build_record(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    config: String,
+    call: ObservedCall<MatchResult>,
+) -> ExperimentRecord {
+    let (recall, error) = match &call.result {
         Ok(r) => (recall_at_ground_truth(r, &pair.ground_truth), None),
         Err(e) => (0.0, Some(e.to_string())),
     };
@@ -127,12 +171,91 @@ pub fn execute_one(
         noisy_schema: pair.noisy_schema,
         noisy_instances: pair.noisy_instances,
         method: kind,
-        config: matcher.name(),
+        config,
         recall,
-        runtime,
-        phases,
+        runtime: call.runtime,
+        phases: call.phases,
         ground_truth_size: pair.ground_truth_size(),
         error,
+        worker: 0,
+    }
+}
+
+/// Executes one (pair, matcher) combination: times the match call and —
+/// when tracing is globally enabled — captures the matcher's phase spans
+/// into the record. Errored runs keep their elapsed time *and* every phase
+/// that completed before the failure (the span guards record on unwind to
+/// the error return), so slow failures stay attributable. A panicking
+/// matcher yields an errored record instead of propagating the panic.
+pub fn execute_one(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    matcher: &dyn Matcher,
+) -> ExperimentRecord {
+    let call = observed(|| matcher.match_tables(&pair.source, &pair.target));
+    build_record(pair, kind, matcher.name(), call)
+}
+
+/// Executes one method's whole configuration grid on one pair, sharing the
+/// config-invariant preparation ([`Matcher::prepare`]) across the grid: the
+/// first configuration prepares once, every configuration then scores from
+/// the shared artifacts ([`Matcher::match_prepared`]). Methods that do not
+/// implement the two-phase split (`prepare` returns `Ok(None)`) fall back to
+/// one-shot [`execute_one`] per configuration.
+///
+/// Preparation cost is real work, so it stays visible: its runtime and
+/// phase spans are attributed to the grid's first record. A failed or
+/// panicked preparation errors every configuration's record (each would have
+/// hit the same failure one-shot), without aborting the run.
+pub fn execute_grid(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    grid: &[Box<dyn Matcher>],
+) -> Vec<ExperimentRecord> {
+    let Some(first) = grid.first() else {
+        return Vec::new();
+    };
+    let prep = observed(|| first.prepare(&pair.source, &pair.target));
+    let (prep_phases, prep_runtime) = (prep.phases, prep.runtime);
+    match prep.result {
+        Err(e) => {
+            let msg = e.to_string();
+            grid.iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let call = ObservedCall {
+                        result: Err(MatchError::Internal(msg.clone())),
+                        phases: if i == 0 {
+                            prep_phases.clone()
+                        } else {
+                            Vec::new()
+                        },
+                        runtime: if i == 0 { prep_runtime } else { Duration::ZERO },
+                    };
+                    build_record(pair, kind, m.name(), call)
+                })
+                .collect()
+        }
+        Ok(None) => grid
+            .iter()
+            .map(|m| execute_one(pair, kind, m.as_ref()))
+            .collect(),
+        Ok(Some(artifacts)) => {
+            valentine_obs::counter("runner/shared_prepares", 1);
+            valentine_obs::counter("runner/configs_from_artifacts", grid.len() as u64);
+            grid.iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let mut call =
+                        observed(|| m.match_prepared(&artifacts, &pair.source, &pair.target));
+                    if i == 0 {
+                        call.runtime += prep_runtime;
+                        call.phases.splice(0..0, prep_phases.iter().cloned());
+                    }
+                    build_record(pair, kind, m.name(), call)
+                })
+                .collect()
+        }
     }
 }
 
@@ -145,32 +268,53 @@ pub struct Runner {
 impl Runner {
     /// Runs the full grid over the given pairs, returning a runner holding
     /// all records.
+    ///
+    /// Scheduling: the (pair × method) cross-product forms the task list.
+    /// Each method's configuration grid is instantiated once and shared
+    /// read-only by every task of that method, and each task runs its whole
+    /// grid through [`execute_grid`] so config-invariant preparation is
+    /// computed once per (pair, method). Worker `w` deterministically starts
+    /// on task `w`, then pulls further tasks from a shared atomic counter;
+    /// finished records stream back over an mpsc channel to this thread, so
+    /// workers never contend on a shared collection lock.
     pub fn run(pairs: &[DatasetPair], config: &RunnerConfig) -> Runner {
-        let records = Mutex::new(Vec::new());
-        let next = AtomicUsize::new(0);
-        let threads = config.threads.max(1).min(pairs.len().max(1));
+        let grids = method_grids(&config.methods, config.scale);
+        let tasks: Vec<(usize, usize)> = (0..pairs.len())
+            .flat_map(|p| (0..grids.len()).map(move |g| (p, g)))
+            .collect();
+        let threads = config.threads.max(1).min(tasks.len().max(1));
+
+        let next = AtomicUsize::new(threads);
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<ExperimentRecord>>();
+        let mut records = Vec::new();
 
         crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= pairs.len() {
-                        break;
-                    }
-                    let pair = &pairs[idx];
-                    let mut local = Vec::new();
-                    for &kind in &config.methods {
-                        for matcher in method_grid(kind, config.scale) {
-                            local.push(execute_one(pair, kind, matcher.as_ref()));
+            let (grids, tasks, next) = (&grids, &tasks, &next);
+            for w in 0..threads {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    let mut task = w;
+                    while task < tasks.len() {
+                        let (p, g) = tasks[task];
+                        let (kind, grid) = &grids[g];
+                        let mut recs = execute_grid(&pairs[p], *kind, grid);
+                        for rec in &mut recs {
+                            rec.worker = w;
                         }
+                        if tx.send(recs).is_err() {
+                            break;
+                        }
+                        task = next.fetch_add(1, Ordering::Relaxed);
                     }
-                    records.lock().extend(local);
                 });
             }
+            drop(tx); // workers hold the remaining senders
+            for batch in rx {
+                records.extend(batch);
+            }
         })
-        .expect("worker threads must not panic");
+        .expect("matcher panics are caught per-task; workers must not panic");
 
-        let mut records = records.into_inner();
         // deterministic report order regardless of thread interleaving
         records.sort_by(|a, b| {
             a.pair_id
@@ -293,6 +437,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grids::method_grid;
     use valentine_datasets::SizeClass;
     use valentine_fabricator::{fabricate_pair, ScenarioSpec};
     use valentine_fabricator::{InstanceNoise, SchemaNoise};
@@ -330,6 +475,46 @@ mod tests {
         // 2 pairs × (1 coma + 5 jl configs) = 12
         assert_eq!(r.len(), 12);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn single_pair_fans_out_over_multiple_workers() {
+        // One pair, two methods: the (pair × method) task list has two
+        // entries, so a pool wider than the pair count must still use more
+        // than one worker (the old scheduler capped threads at pairs.len()).
+        let pairs = vec![small_pairs().remove(0)];
+        let config = RunnerConfig {
+            methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
+            scale: GridScale::Small,
+            threads: 8,
+        };
+        let r = Runner::run(&pairs, &config);
+        assert_eq!(r.len(), 6); // 1 coma + 5 jl
+        let workers: std::collections::BTreeSet<usize> =
+            r.records().iter().map(|rec| rec.worker).collect();
+        assert!(
+            workers.len() > 1,
+            "expected both tasks on distinct workers, got {workers:?}"
+        );
+    }
+
+    #[test]
+    fn grid_execution_matches_one_shot_records() {
+        // The shared-prepare grid path must be behaviourally identical to
+        // running every configuration one-shot.
+        let pairs = small_pairs();
+        let grid = method_grid(MatcherKind::JaccardLevenshtein, GridScale::Small);
+        let shared = execute_grid(&pairs[0], MatcherKind::JaccardLevenshtein, &grid);
+        let one_shot: Vec<ExperimentRecord> = grid
+            .iter()
+            .map(|m| execute_one(&pairs[0], MatcherKind::JaccardLevenshtein, m.as_ref()))
+            .collect();
+        assert_eq!(shared.len(), one_shot.len());
+        for (a, b) in shared.iter().zip(&one_shot) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.recall, b.recall);
+            assert_eq!(a.error, b.error);
+        }
     }
 
     #[test]
@@ -414,6 +599,7 @@ mod tests {
             phases: Vec::new(),
             ground_truth_size: 4,
             error: error.map(String::from),
+            worker: 0,
         }
     }
 
@@ -511,5 +697,158 @@ mod tests {
             "partial phases kept on failure: {:?}",
             failed.phases
         );
+    }
+
+    /// A matcher that panics mid-run — one poisoned pair must record an
+    /// error instead of killing the whole grid run.
+    struct PanicsOnMatch;
+
+    impl valentine_matchers::Matcher for PanicsOnMatch {
+        fn name(&self) -> String {
+            "panics-on-match".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            panic!("poisoned pair");
+        }
+    }
+
+    #[test]
+    fn panicking_matcher_records_error_instead_of_aborting() {
+        let pairs = small_pairs();
+        let rec = execute_one(&pairs[0], MatcherKind::ComaSchema, &PanicsOnMatch);
+        assert!(rec.failed());
+        let msg = rec.error.as_deref().unwrap();
+        assert!(
+            msg.contains("poisoned pair"),
+            "panic message surfaced: {msg}"
+        );
+        assert_eq!(rec.recall, 0.0);
+    }
+
+    #[test]
+    fn panicking_matcher_is_counted_and_run_completes() {
+        let pairs = small_pairs();
+        let grid: Vec<Box<dyn Matcher>> = vec![Box::new(PanicsOnMatch)];
+        let mut records: Vec<ExperimentRecord> = Vec::new();
+        for pair in &pairs {
+            records.extend(execute_grid(pair, MatcherKind::SemProp, &grid));
+            records.extend(execute_grid(
+                pair,
+                MatcherKind::ComaSchema,
+                &method_grid(MatcherKind::ComaSchema, GridScale::Small),
+            ));
+        }
+        let r = Runner::from_records(records);
+        assert_eq!(r.len(), 4, "both pairs ran both methods");
+        assert_eq!(r.error_counts(), vec![(MatcherKind::SemProp, 2)]);
+        assert_eq!(r.errors_of(MatcherKind::ComaSchema), 0);
+    }
+
+    /// A matcher whose config-invariant preparation fails outright.
+    struct FailsInPrepare;
+
+    impl valentine_matchers::Matcher for FailsInPrepare {
+        fn name(&self) -> String {
+            "fails-in-prepare".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            Err(valentine_matchers::MatchError::Unsupported(
+                "no ontology".into(),
+            ))
+        }
+
+        fn prepare(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<Option<valentine_matchers::PairArtifacts>, valentine_matchers::MatchError>
+        {
+            Err(valentine_matchers::MatchError::Unsupported(
+                "no ontology".into(),
+            ))
+        }
+    }
+
+    #[test]
+    fn prepare_failure_errors_every_grid_config() {
+        // A failed preparation must surface one errored record per config —
+        // the whole grid would have hit the same failure one-shot — while
+        // the run itself keeps going.
+        let pairs = small_pairs();
+        let grid: Vec<Box<dyn Matcher>> = vec![Box::new(FailsInPrepare), Box::new(FailsInPrepare)];
+        let recs = execute_grid(&pairs[0], MatcherKind::SemProp, &grid);
+        assert_eq!(recs.len(), 2);
+        for rec in &recs {
+            assert!(rec.failed(), "prepare failure propagates: {:?}", rec.error);
+            assert!(rec.error.as_deref().unwrap().contains("no ontology"));
+        }
+    }
+
+    /// A matcher whose cost matrix degenerates to NaN before it reaches the
+    /// solver — the distribution matchers' failure mode before solvers
+    /// rejected non-finite inputs.
+    struct NanCostMatrix;
+
+    impl valentine_matchers::Matcher for NanCostMatrix {
+        fn name(&self) -> String {
+            "nan-cost-matrix".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            let candidates = vec![valentine_solver::ilp::Candidate {
+                items: vec![0, 1],
+                weight: f64::NAN, // e.g. an EMD over a zero-span sketch
+            }];
+            valentine_solver::ilp::max_weight_set_packing(&candidates).map_err(|e| {
+                valentine_matchers::MatchError::Internal(format!("set packing failed: {e}"))
+            })?;
+            unreachable!("the solver must reject a NaN cost matrix");
+        }
+    }
+
+    #[test]
+    fn nan_cost_matrix_records_error_and_run_completes() {
+        // The solver refuses non-finite costs instead of producing a
+        // garbage ranking; the runner turns that refusal into an errored
+        // record and finishes the rest of the grid.
+        let pairs = small_pairs();
+        let mut records = execute_grid(
+            &pairs[0],
+            MatcherKind::DistributionDist1,
+            &[Box::new(NanCostMatrix) as Box<dyn Matcher>],
+        );
+        records.extend(execute_grid(
+            &pairs[0],
+            MatcherKind::ComaSchema,
+            &method_grid(MatcherKind::ComaSchema, GridScale::Small),
+        ));
+        let r = Runner::from_records(records);
+        let bad = r
+            .records()
+            .iter()
+            .find(|rec| rec.method == MatcherKind::DistributionDist1)
+            .unwrap();
+        assert!(bad.failed());
+        let msg = bad.error.as_deref().unwrap();
+        assert!(
+            msg.contains("non-finite"),
+            "solver rejection surfaced: {msg}"
+        );
+        assert_eq!(r.error_counts(), vec![(MatcherKind::DistributionDist1, 1)]);
+        assert_eq!(r.errors_of(MatcherKind::ComaSchema), 0, "run completed");
     }
 }

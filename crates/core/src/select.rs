@@ -16,7 +16,7 @@ use valentine_table::FxHashMap;
 
 /// Collects the distinct source/target names of a result, in first-seen
 /// (i.e. rank) order.
-fn axes(result: &MatchResult) -> (Vec<String>, Vec<String>) {
+fn axes(result: &MatchResult) -> (Vec<std::sync::Arc<str>>, Vec<std::sync::Arc<str>>) {
     let mut sources = Vec::new();
     let mut targets = Vec::new();
     for m in result.matches() {
@@ -30,20 +30,24 @@ fn axes(result: &MatchResult) -> (Vec<String>, Vec<String>) {
     (sources, targets)
 }
 
-fn score_matrix(result: &MatchResult, sources: &[String], targets: &[String]) -> Vec<Vec<f64>> {
+fn score_matrix(
+    result: &MatchResult,
+    sources: &[std::sync::Arc<str>],
+    targets: &[std::sync::Arc<str>],
+) -> Vec<Vec<f64>> {
     let si: FxHashMap<&str, usize> = sources
         .iter()
         .enumerate()
-        .map(|(i, s)| (s.as_str(), i))
+        .map(|(i, s)| (s.as_ref(), i))
         .collect();
     let ti: FxHashMap<&str, usize> = targets
         .iter()
         .enumerate()
-        .map(|(i, t)| (t.as_str(), i))
+        .map(|(i, t)| (t.as_ref(), i))
         .collect();
     let mut m = vec![vec![0.0; targets.len()]; sources.len()];
     for cm in result.matches() {
-        m[si[cm.source.as_str()]][ti[cm.target.as_str()]] = cm.score;
+        m[si[&*cm.source]][ti[&*cm.target]] = cm.score;
     }
     m
 }
@@ -65,7 +69,7 @@ pub fn extract_hungarian(result: &MatchResult, min_score: f64) -> Vec<ColumnMatc
         })
         .filter(|m| m.score >= min_score)
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
 }
 
@@ -84,7 +88,7 @@ pub fn extract_stable_marriage(result: &MatchResult, min_score: f64) -> Vec<Colu
         .iter()
         .map(|row| {
             let mut idx: Vec<usize> = (0..row.len()).collect();
-            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite"));
+            idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
             idx
         })
         .collect();
@@ -121,7 +125,7 @@ pub fn extract_stable_marriage(result: &MatchResult, min_score: f64) -> Vec<Colu
         })
         .filter(|m| m.score >= min_score)
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite"));
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
 }
 
@@ -136,13 +140,13 @@ pub fn extract_threshold_delta(
 ) -> Vec<ColumnMatch> {
     let mut best_per_source: FxHashMap<&str, f64> = FxHashMap::default();
     for m in result.matches() {
-        let e = best_per_source.entry(m.source.as_str()).or_insert(f64::MIN);
+        let e = best_per_source.entry(&*m.source).or_insert(f64::MIN);
         *e = e.max(m.score);
     }
     result
         .matches()
         .iter()
-        .filter(|m| m.score >= threshold && m.score >= best_per_source[m.source.as_str()] - delta)
+        .filter(|m| m.score >= threshold && m.score >= best_per_source[&*m.source] - delta)
         .cloned()
         .collect()
 }
@@ -150,6 +154,7 @@ pub fn extract_threshold_delta(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn ranked(pairs: &[(&str, &str, f64)]) -> MatchResult {
         MatchResult::ranked(
@@ -172,10 +177,7 @@ mod tests {
         ]);
         let m = extract_hungarian(&r, 0.0);
         assert_eq!(m.len(), 2);
-        let set: Vec<(&str, &str)> = m
-            .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
-            .collect();
+        let set: Vec<(&str, &str)> = m.iter().map(|x| (&*x.source, &*x.target)).collect();
         assert!(set.contains(&("a", "y")));
         assert!(set.contains(&("b", "x")));
     }
@@ -185,7 +187,7 @@ mod tests {
         let r = ranked(&[("a", "x", 0.9), ("b", "y", 0.05)]);
         let m = extract_hungarian(&r, 0.5);
         assert_eq!(m.len(), 1);
-        assert_eq!(m[0].source, "a");
+        assert_eq!(&*m[0].source, "a");
     }
 
     #[test]
@@ -197,10 +199,7 @@ mod tests {
             ("b", "y", 0.7),
         ]);
         let m = extract_stable_marriage(&r, 0.0);
-        let set: Vec<(&str, &str)> = m
-            .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
-            .collect();
+        let set: Vec<(&str, &str)> = m.iter().map(|x| (&*x.source, &*x.target)).collect();
         // a gets its favourite x; b settles for y — no blocking pair exists
         assert!(set.contains(&("a", "x")));
         assert!(set.contains(&("b", "y")));
@@ -211,7 +210,7 @@ mod tests {
         let r = ranked(&[("a", "x", 0.9), ("b", "x", 0.8), ("c", "x", 0.7)]);
         let m = extract_stable_marriage(&r, 0.0);
         assert_eq!(m.len(), 1, "one target can host only one source");
-        assert_eq!(m[0].source, "a");
+        assert_eq!(&*m[0].source, "a");
     }
 
     #[test]
@@ -223,10 +222,7 @@ mod tests {
             ("b", "x", 0.40),
         ]);
         let m = extract_threshold_delta(&r, 0.45, 0.05);
-        let set: Vec<(&str, &str)> = m
-            .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
-            .collect();
+        let set: Vec<(&str, &str)> = m.iter().map(|x| (&*x.source, &*x.target)).collect();
         assert!(set.contains(&("a", "x")));
         assert!(set.contains(&("a", "y")), "within delta of the best");
         assert!(!set.contains(&("a", "z")), "outside delta");
@@ -249,11 +245,11 @@ mod tests {
             ("b", "x", 0.1),
             ("b", "y", 0.9),
         ]);
-        let h: Vec<(String, String)> = extract_hungarian(&r, 0.0)
+        let h: Vec<(Arc<str>, Arc<str>)> = extract_hungarian(&r, 0.0)
             .into_iter()
             .map(|m| (m.source, m.target))
             .collect();
-        let s: Vec<(String, String)> = extract_stable_marriage(&r, 0.0)
+        let s: Vec<(Arc<str>, Arc<str>)> = extract_stable_marriage(&r, 0.0)
             .into_iter()
             .map(|m| (m.source, m.target))
             .collect();

@@ -10,9 +10,13 @@
 //! instance profiling vs. similarity computation vs. solving vs. ranking.
 //!
 //! Phase span paths follow the convention `<method-slug>/<category>` with
-//! category one of `profile`, `similarity`, `solve`, `rank`; deeper paths
-//! (e.g. `embdi/profile/train`) are detail *inside* a category and are
-//! excluded from the category sums so nothing is counted twice.
+//! category one of `prepare`, `profile`, `similarity`, `solve`, `rank`,
+//! `score`; deeper paths (e.g. `embdi/profile/train` or
+//! `cupid/prepare/similarity`) are detail *inside* a category and are
+//! excluded from the category sums so nothing is counted twice. Two-phase
+//! matchers report the config-invariant work under `prepare` and the
+//! per-configuration pass under `score`, so the report attributes what the
+//! grid scheduler's shared preparation saves.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -26,8 +30,12 @@ use valentine_table::FxHashMap;
 
 use crate::runner::{ExperimentRecord, PhaseStat};
 
-/// The phase categories of the report, in presentation order.
-pub const PHASE_CATEGORIES: [&str; 4] = ["profile", "similarity", "solve", "rank"];
+/// The phase categories of the report, in presentation order. `prepare` and
+/// `score` are the two-phase grid categories (config-invariant work vs.
+/// per-configuration pass); `profile`/`similarity`/`solve`/`rank` are the
+/// one-shot phases of Table IV.
+pub const PHASE_CATEGORIES: [&str; 6] =
+    ["prepare", "profile", "similarity", "solve", "rank", "score"];
 
 /// Streams experiment records and the final metrics snapshot to a JSONL
 /// trace.
@@ -87,6 +95,7 @@ impl<W: Write> TraceSink<W> {
                     None => Json::Null,
                 },
             ),
+            ("worker".into(), Json::UInt(rec.worker as u64)),
             ("phases".into(), Json::Arr(phases)),
         ]);
         writeln!(self.out, "{}", line.render())
@@ -121,6 +130,8 @@ pub struct TraceRecord {
     pub runtime_ns: u64,
     /// Error string of a failed run.
     pub error: Option<String>,
+    /// Pool worker that executed the run (0 in traces predating the field).
+    pub worker: usize,
     /// The run's phase tree.
     pub phases: Vec<PhaseStat>,
 }
@@ -224,6 +235,7 @@ fn parse_record(value: &Json) -> Result<TraceRecord, String> {
             .get("error")
             .and_then(Json::as_str)
             .map(str::to_string),
+        worker: value.get("worker").and_then(Json::as_u64).unwrap_or(0) as usize,
         phases,
     })
 }
@@ -307,10 +319,11 @@ pub fn render_trace_report(data: &TraceData) -> String {
     ));
 
     if !rows.is_empty() {
-        out.push_str(&format!(
-            "{:<24} {:>5} {:>9}  {:>8} {:>10} {:>8} {:>8}  {:>9}\n",
-            "method", "runs", "total", "profile", "similarity", "solve", "rank", "phase-cov",
-        ));
+        out.push_str(&format!("{:<24} {:>5} {:>9} ", "method", "runs", "total"));
+        for cat in PHASE_CATEGORIES {
+            out.push_str(&format!(" {:>10}", cat));
+        }
+        out.push_str(&format!("  {:>9}\n", "phase-cov"));
         for row in &rows {
             let pct = |ns: u64| -> String {
                 if ns == 0 {
@@ -323,16 +336,15 @@ pub fn render_trace_report(data: &TraceData) -> String {
             };
             let covered: u64 = row.category_ns.iter().sum();
             out.push_str(&format!(
-                "{:<24} {:>5} {:>9}  {:>8} {:>10} {:>8} {:>8}  {:>9}\n",
+                "{:<24} {:>5} {:>9} ",
                 row.method,
                 row.runs,
                 fmt_ns(row.runtime_ns),
-                pct(row.category_ns[0]),
-                pct(row.category_ns[1]),
-                pct(row.category_ns[2]),
-                pct(row.category_ns[3]),
-                pct(covered),
             ));
+            for &ns in &row.category_ns {
+                out.push_str(&format!(" {:>10}", pct(ns)));
+            }
+            out.push_str(&format!("  {:>9}\n", pct(covered)));
         }
     }
 
@@ -425,6 +437,7 @@ mod tests {
                 .collect(),
             ground_truth_size: 4,
             error: None,
+            worker: 0,
         }
     }
 
@@ -496,6 +509,29 @@ mod tests {
         // profile = 90% (not 170%); coverage 100%
         assert!(report.contains("90.0%"), "{report}");
         assert!(report.contains("100.0%"), "{report}");
+        assert!(!report.contains("warning"), "{report}");
+    }
+
+    #[test]
+    fn two_phase_categories_attribute_shared_preparation() {
+        let mut rec = sample_record(
+            MatcherKind::Cupid,
+            vec![
+                ("cupid/prepare", 600_000),
+                ("cupid/prepare/similarity", 550_000),
+                ("cupid/score", 300_000),
+                ("cupid/score/solve", 100_000),
+            ],
+        );
+        rec.worker = 3;
+        let text = write_trace(&[rec], &Snapshot::new());
+        let data = parse_trace(&text);
+        assert_eq!(data.records[0].worker, 3, "worker round-trips");
+        let report = render_trace_report(&data);
+        // prepare 60%, score 30%, coverage 90%; detail spans not re-counted
+        assert!(report.contains("60.0%"), "prepare share\n{report}");
+        assert!(report.contains("30.0%"), "score share\n{report}");
+        assert!(report.contains("90.0%"), "phase coverage\n{report}");
         assert!(!report.contains("warning"), "{report}");
     }
 

@@ -175,11 +175,7 @@ impl Index {
             .into_iter()
             .map(|(id, sims)| (id, sims.iter().sum::<f64>() / width))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored
     }
 
@@ -231,11 +227,7 @@ impl Index {
                     (pid, sim)
                 })
                 .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .expect("finite")
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             drop(lsh);
             valentine_obs::counter(metrics::LSH_CANDIDATES, scored.len() as u64);
             scored.truncate(opts.candidate_cap.max(k));
@@ -414,7 +406,7 @@ fn mean_best_per_query_column(query: &Table, result: &valentine_matchers::MatchR
     }
     let mut best: FxHashMap<&str, f64> = FxHashMap::default();
     for m in result.matches() {
-        let entry = best.entry(m.source.as_str()).or_insert(0.0);
+        let entry = best.entry(&*m.source).or_insert(0.0);
         if m.score > *entry {
             *entry = m.score;
         }
@@ -435,13 +427,8 @@ fn single_column_table(name: &str, column: &Column) -> Table {
 fn rank(results: &mut [DiscoveryResult]) {
     results.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .expect("scores are finite")
-            .then_with(|| {
-                b.sketch_score
-                    .partial_cmp(&a.sketch_score)
-                    .expect("sketch scores are finite")
-            })
+            .total_cmp(&a.score)
+            .then_with(|| b.sketch_score.total_cmp(&a.sketch_score))
             .then_with(|| a.table_name.cmp(&b.table_name))
             .then_with(|| a.table_id.cmp(&b.table_id))
     });

@@ -140,8 +140,8 @@ mod tests {
         let (a, b) = overlap_tables();
         let m = ApproxOverlapMatcher::new();
         let r = m.match_tables(&a, &b).unwrap();
-        assert_eq!(r.matches()[0].source, "x");
-        assert_eq!(r.matches()[0].target, "p");
+        assert_eq!(&*r.matches()[0].source, "x");
+        assert_eq!(&*r.matches()[0].target, "p");
         assert!(r.matches()[0].score > 0.9);
     }
 
@@ -153,7 +153,7 @@ mod tests {
         let yq = r
             .matches()
             .iter()
-            .find(|x| x.source == "y" && x.target == "q")
+            .find(|x| &*x.source == "y" && &*x.target == "q")
             .unwrap();
         assert_eq!(yq.score, 0.0, "disjoint columns must be pruned");
         assert_eq!(r.len(), 4, "full cartesian list is still emitted");

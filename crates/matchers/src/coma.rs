@@ -331,7 +331,7 @@ mod tests {
         let top3: Vec<(&str, &str)> = r
             .top_k(3)
             .iter()
-            .map(|m| (m.source.as_str(), m.target.as_str()))
+            .map(|m| (&*m.source, &*m.target))
             .collect();
         assert!(top3.contains(&("last_name", "surname")), "{top3:?}");
         assert!(top3.contains(&("income", "salary")), "{top3:?}");
@@ -365,7 +365,7 @@ mod tests {
         .unwrap();
         let m = ComaMatcher::new(ComaStrategy::Instance);
         let r = m.match_tables(&a, &b).unwrap();
-        assert_eq!(r.matches()[0].target, "col1");
+        assert_eq!(&*r.matches()[0].target, "col1");
         assert!(r.matches()[0].score > r.matches()[1].score);
     }
 
@@ -394,7 +394,7 @@ mod tests {
         .unwrap();
         let m = ComaMatcher::new(ComaStrategy::Instance);
         let r = m.match_tables(&a, &b).unwrap();
-        assert_eq!(r.matches()[0].target, "близко");
+        assert_eq!(&*r.matches()[0].target, "близко");
     }
 
     #[test]
@@ -414,12 +414,12 @@ mod tests {
         let income_salary = r
             .matches()
             .iter()
-            .find(|x| x.source == "income" && x.target == "salary")
+            .find(|x| &*x.source == "income" && &*x.target == "salary")
             .unwrap();
         let income_town = r
             .matches()
             .iter()
-            .find(|x| x.source == "income" && x.target == "town")
+            .find(|x| &*x.source == "income" && &*x.target == "town")
             .unwrap();
         assert!(income_salary.score > income_town.score);
 

@@ -24,12 +24,34 @@
 //! 4. **Weighted similarity** — `wsim = w_struct · ssim + (1 − w_struct) ·
 //!    lsim`, ranked.
 
+use std::sync::Arc;
+
 use valentine_table::Table;
 use valentine_text::Thesaurus;
 
 use crate::lingsim::name_similarity;
 use crate::result::{ColumnMatch, MatchError, MatchResult};
-use crate::Matcher;
+use crate::{Matcher, PairArtifacts};
+
+/// Config-invariant Cupid state: the linguistic similarity and data-type
+/// compatibility matrices, the shared column-name handles, and the
+/// precomputed rank of every pair under the (source, target) tie-break.
+/// Every Table II grid point (96 configurations) reuses all of it; the
+/// per-config pass is then pure arithmetic plus one numeric sort — no
+/// string allocation or comparison.
+#[derive(Debug)]
+struct CupidArtifacts {
+    /// `lsim[i][j]` — thesaurus-aware name similarity.
+    lsim: Vec<Vec<f64>>,
+    /// `tcomp[i][j]` — data-type compatibility.
+    tcomp: Vec<Vec<f64>>,
+    /// Shared name handles per flat pair index (`i * nt + j`).
+    names: Vec<(Arc<str>, Arc<str>)>,
+    /// `tie_rank[idx]` — rank of pair `idx` in (source, target)
+    /// lexicographic order, the numeric stand-in for the ranked-list name
+    /// tie-break.
+    tie_rank: Vec<u32>,
+}
 
 /// The Cupid matcher with the Table II parameters.
 #[derive(Debug, Clone)]
@@ -82,15 +104,8 @@ impl CupidMatcher {
     }
 }
 
-impl Matcher for CupidMatcher {
-    fn name(&self) -> String {
-        format!(
-            "cupid(lw={},w={},th={})",
-            self.leaf_w_struct, self.w_struct, self.th_accept
-        )
-    }
-
-    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+impl CupidMatcher {
+    fn validate(&self) -> Result<(), MatchError> {
         for (label, v) in [
             ("leaf_w_struct", self.leaf_w_struct),
             ("w_struct", self.w_struct),
@@ -102,59 +117,163 @@ impl Matcher for CupidMatcher {
                 )));
             }
         }
+        Ok(())
+    }
+}
+
+impl Matcher for CupidMatcher {
+    fn name(&self) -> String {
+        format!(
+            "cupid(lw={},w={},th={})",
+            self.leaf_w_struct, self.w_struct, self.th_accept
+        )
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        self.validate()?;
+        let artifacts = self
+            .prepare(source, target)?
+            .expect("cupid always prepares artifacts");
+        self.match_prepared(&artifacts, source, target)
+    }
+
+    fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
+        let _phase = valentine_obs::span!("cupid/prepare");
         let th = Thesaurus::builtin();
+        let ns = source.width();
+        let nt = target.width();
+
+        // Phase 1: linguistic similarity and type compatibility — invariant
+        // across the whole parameter grid.
+        let mut lsim = vec![vec![0.0; nt]; ns];
+        let mut tcomp = vec![vec![0.0; nt]; ns];
+        {
+            let _inner = valentine_obs::span!("similarity");
+            for (i, cs) in source.columns().iter().enumerate() {
+                for (j, ct) in target.columns().iter().enumerate() {
+                    lsim[i][j] = name_similarity(cs.name(), ct.name(), th);
+                    tcomp[i][j] = cs.dtype().compatibility(ct.dtype());
+                }
+            }
+        }
+
+        // Shared name handles and the numeric (source, target) tie-break:
+        // per-config scoring clones Arcs and sorts integers instead of
+        // allocating and comparing strings 96 times over.
+        let src_names: Vec<Arc<str>> = source
+            .columns()
+            .iter()
+            .map(|c| Arc::from(c.name()))
+            .collect();
+        let tgt_names: Vec<Arc<str>> = target
+            .columns()
+            .iter()
+            .map(|c| Arc::from(c.name()))
+            .collect();
+        let mut names = Vec::with_capacity(ns * nt);
+        for sn in &src_names {
+            for tn in &tgt_names {
+                names.push((Arc::clone(sn), Arc::clone(tn)));
+            }
+        }
+        let mut by_name: Vec<u32> = (0..names.len() as u32).collect();
+        by_name.sort_by(|&a, &b| {
+            let (sa, ta) = &names[a as usize];
+            let (sb, tb) = &names[b as usize];
+            sa.cmp(sb).then_with(|| ta.cmp(tb))
+        });
+        let mut tie_rank = vec![0u32; names.len()];
+        for (rank, &idx) in by_name.iter().enumerate() {
+            tie_rank[idx as usize] = rank as u32;
+        }
+
+        Ok(Some(PairArtifacts::new(CupidArtifacts {
+            lsim,
+            tcomp,
+            names,
+            tie_rank,
+        })))
+    }
+
+    fn match_prepared(
+        &self,
+        artifacts: &PairArtifacts,
+        source: &Table,
+        target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        self.validate()?;
+        let art = artifacts
+            .downcast_ref::<CupidArtifacts>()
+            .ok_or_else(|| MatchError::Internal("cupid artifact type mismatch".into()))?;
+        let _phase = valentine_obs::span!("cupid/score");
         let ns = source.width();
         let nt = target.width();
         if ns == 0 || nt == 0 {
             return Ok(MatchResult::default());
         }
+        if art.names.len() != ns * nt {
+            return Err(MatchError::Internal(
+                "cupid artifacts prepared on different tables".into(),
+            ));
+        }
 
-        // Phase 1+2: linguistic similarity and initial weighted similarity.
-        let mut lsim = vec![vec![0.0; nt]; ns];
-        let mut tcomp = vec![vec![0.0; nt]; ns];
-        let mut wsim0 = vec![vec![0.0; nt]; ns];
-        {
-            let _phase = valentine_obs::span!("cupid/similarity");
-            for (i, cs) in source.columns().iter().enumerate() {
-                for (j, ct) in target.columns().iter().enumerate() {
-                    lsim[i][j] = name_similarity(cs.name(), ct.name(), th);
-                    tcomp[i][j] = cs.dtype().compatibility(ct.dtype());
-                    wsim0[i][j] =
-                        self.leaf_w_struct * tcomp[i][j] + (1.0 - self.leaf_w_struct) * lsim[i][j];
-                }
+        // Phase 2: initial weighted leaf similarity (depends on
+        // `leaf_w_struct`, a grid axis — cannot be shared).
+        let mut wsim0 = vec![0.0; ns * nt];
+        for i in 0..ns {
+            for j in 0..nt {
+                wsim0[i * nt + j] = self.leaf_w_struct * art.tcomp[i][j]
+                    + (1.0 - self.leaf_w_struct) * art.lsim[i][j];
             }
         }
 
         // Phase 3: strong links → relation-level structural similarity.
         let relation_ssim = {
-            let _phase = valentine_obs::span!("cupid/solve");
-            let strong = wsim0
-                .iter()
-                .flatten()
-                .filter(|&&w| w >= self.th_accept)
-                .count();
+            let _inner = valentine_obs::span!("solve");
+            let strong = wsim0.iter().filter(|&&w| w >= self.th_accept).count();
             (2.0 * strong as f64 / (ns + nt) as f64).min(1.0)
         };
 
         // Phase 4: final weighted similarity per leaf pair, with Cupid's
         // structural increment/decrement: highly similar leaves pull their
         // structural neighbourhood up (× c_inc), clearly dissimilar ones
-        // push it down (× c_dec).
-        let _phase = valentine_obs::span!("cupid/rank");
-        let mut out = Vec::with_capacity(ns * nt);
-        for (i, cs) in source.columns().iter().enumerate() {
-            for (j, ct) in target.columns().iter().enumerate() {
-                let mut ssim = 0.5 * (tcomp[i][j] + relation_ssim);
-                if wsim0[i][j] > self.th_high {
+        // push it down (× c_dec). Ranking sorts (score, precomputed name
+        // rank) — a purely numeric sort; the output list then just clones
+        // the shared name handles.
+        let _inner = valentine_obs::span!("rank");
+        let mut scored: Vec<(f64, u32)> = Vec::with_capacity(ns * nt);
+        for i in 0..ns {
+            for j in 0..nt {
+                let idx = i * nt + j;
+                let mut ssim = 0.5 * (art.tcomp[i][j] + relation_ssim);
+                if wsim0[idx] > self.th_high {
                     ssim = (ssim * self.c_inc).min(1.0);
-                } else if wsim0[i][j] < self.th_low {
+                } else if wsim0[idx] < self.th_low {
                     ssim *= self.c_dec;
                 }
-                let wsim = self.w_struct * ssim + (1.0 - self.w_struct) * lsim[i][j];
-                out.push(ColumnMatch::new(cs.name(), ct.name(), wsim));
+                let mut wsim = self.w_struct * ssim + (1.0 - self.w_struct) * art.lsim[i][j];
+                if !wsim.is_finite() {
+                    wsim = 0.0;
+                }
+                scored.push((wsim, idx as u32));
             }
         }
-        Ok(MatchResult::ranked(out))
+        scored.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| art.tie_rank[a.1 as usize].cmp(&art.tie_rank[b.1 as usize]))
+        });
+        let out = scored
+            .iter()
+            .map(|&(score, idx)| {
+                let (s, t) = &art.names[idx as usize];
+                ColumnMatch {
+                    source: Arc::clone(s),
+                    target: Arc::clone(t),
+                    score,
+                }
+            })
+            .collect();
+        Ok(MatchResult::from_ranked(out))
     }
 }
 
@@ -194,7 +313,7 @@ mod tests {
         let top3: Vec<(&str, &str)> = r
             .top_k(3)
             .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .map(|x| (&*x.source, &*x.target))
             .collect();
         assert!(top3.contains(&("last_name", "surname")), "{top3:?}");
         assert!(top3.contains(&("income", "salary")), "{top3:?}");
@@ -205,7 +324,7 @@ mod tests {
     fn verbatim_schemata_are_perfect() {
         let m = CupidMatcher::default_config();
         let r = m.match_tables(&clients(), &clients()).unwrap();
-        let top3: Vec<&str> = r.top_k(3).iter().map(|x| x.source.as_str()).collect();
+        let top3: Vec<&str> = r.top_k(3).iter().map(|x| &*x.source).collect();
         for (s, t) in r.top_k(3).iter().map(|x| (&x.source, &x.target)) {
             assert_eq!(s, t, "identical names must match themselves first");
         }
@@ -243,7 +362,7 @@ mod tests {
         let score = |s: &str, t: &str| {
             r.matches()
                 .iter()
-                .find(|x| x.source == s && x.target == t)
+                .find(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
                 .score
         };
@@ -256,7 +375,7 @@ mod tests {
         let f = |s: &str, t: &str| {
             flat.matches()
                 .iter()
-                .find(|x| x.source == s && x.target == t)
+                .find(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
                 .score
         };
@@ -276,7 +395,7 @@ mod tests {
                 .unwrap()
                 .matches()
                 .iter()
-                .find(|x| x.source == s && x.target == t)
+                .find(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
                 .score
         };
@@ -301,6 +420,23 @@ mod tests {
         let empty = Table::empty("e");
         let r = m.match_tables(&empty, &kunden()).unwrap();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn prepared_artifacts_are_shared_across_the_grid() {
+        let preparer = CupidMatcher::default_config();
+        let artifacts = preparer
+            .prepare(&clients(), &kunden())
+            .unwrap()
+            .expect("cupid prepares");
+        // a *different* grid point scores from the shared artifacts and must
+        // agree exactly with its own one-shot run
+        let other = CupidMatcher::new(0.6, 0.4, 0.3);
+        let via_artifacts = other
+            .match_prepared(&artifacts, &clients(), &kunden())
+            .unwrap();
+        let one_shot = other.match_tables(&clients(), &kunden()).unwrap();
+        assert_eq!(via_artifacts, one_shot);
     }
 
     #[test]

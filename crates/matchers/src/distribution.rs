@@ -33,7 +33,7 @@ use valentine_table::stats::equi_depth_quantiles;
 use valentine_table::{Column, FxHashMap, Table};
 
 use crate::result::{ColumnMatch, MatchError, MatchResult};
-use crate::Matcher;
+use crate::{Matcher, PairArtifacts};
 
 /// Sketch resolution (number of quantiles).
 const SKETCH_BINS: usize = 32;
@@ -69,6 +69,18 @@ impl DistributionMatcher {
     pub fn dist2() -> DistributionMatcher {
         DistributionMatcher::new(0.4, 0.4)
     }
+}
+
+/// Config-invariant Distribution state: every column's sketch and value
+/// set, plus the full pairwise sketch-EMD and refined-distance matrices.
+/// Both Dist#1 and Dist#2 grids (18 configurations) only re-threshold,
+/// re-cluster, and re-solve over these.
+struct DistArtifacts {
+    cols: Vec<ColumnSketch>,
+    /// `sketch_dist[i][j]` — normalised EMD between column sketches.
+    sketch_dist: Vec<Vec<f64>>,
+    /// `refined_dist[i][j]` — phase-2 intersection-aware distance.
+    refined_dist: Vec<Vec<f64>>,
 }
 
 /// One column's distribution sketch plus identity bookkeeping.
@@ -109,7 +121,7 @@ fn sketch_column(col: &Column) -> Vec<f64> {
             let pos = valentine_table::fxhash::hash_str(&value) as f64 / u64::MAX as f64;
             positions.extend(std::iter::repeat_n(pos, count.min(64)));
         }
-        positions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        positions.sort_by(f64::total_cmp);
         equi_depth_quantiles(&positions, SKETCH_BINS)
     }
 }
@@ -163,15 +175,8 @@ fn components(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
     out
 }
 
-impl Matcher for DistributionMatcher {
-    fn name(&self) -> String {
-        format!(
-            "distribution(θ1={},θ2={})",
-            self.phase1_theta, self.phase2_theta
-        )
-    }
-
-    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+impl DistributionMatcher {
+    fn validate(&self) -> Result<(), MatchError> {
         for (label, v) in [
             ("phase1_theta", self.phase1_theta),
             ("phase2_theta", self.phase2_theta),
@@ -182,9 +187,31 @@ impl Matcher for DistributionMatcher {
                 )));
             }
         }
+        Ok(())
+    }
+}
+
+impl Matcher for DistributionMatcher {
+    fn name(&self) -> String {
+        format!(
+            "distribution(θ1={},θ2={})",
+            self.phase1_theta, self.phase2_theta
+        )
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        self.validate()?;
+        let artifacts = self
+            .prepare(source, target)?
+            .expect("distribution always prepares artifacts");
+        self.match_prepared(&artifacts, source, target)
+    }
+
+    fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
+        let _phase = valentine_obs::span!("dist/prepare");
 
         // Sketch every column of both tables.
-        let profile_phase = valentine_obs::span!("dist/profile");
+        let profile = valentine_obs::span!("profile");
         let mut cols: Vec<ColumnSketch> = Vec::with_capacity(source.width() + target.width());
         for (side, table) in [(0usize, source), (1usize, target)] {
             for col in table.columns() {
@@ -200,15 +227,54 @@ impl Matcher for DistributionMatcher {
             }
         }
         let n = cols.len();
-        drop(profile_phase);
+        drop(profile);
 
-        let sim_phase = valentine_obs::span!("dist/similarity");
+        // Both distance matrices are threshold-free, hence shared by the
+        // whole grid; every configuration only compares them to its θs.
+        let _similarity = valentine_obs::span!("similarity");
+        let mut sketch_dist = vec![vec![0.0; n]; n];
+        let mut refined_dist = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let sd = sketch_distance(&cols[i].sketch, &cols[j].sketch);
+                let rd = refined_distance(&cols[i], &cols[j]);
+                sketch_dist[i][j] = sd;
+                sketch_dist[j][i] = sd;
+                refined_dist[i][j] = rd;
+                refined_dist[j][i] = rd;
+            }
+        }
+        Ok(Some(PairArtifacts::new(DistArtifacts {
+            cols,
+            sketch_dist,
+            refined_dist,
+        })))
+    }
+
+    fn match_prepared(
+        &self,
+        artifacts: &PairArtifacts,
+        _source: &Table,
+        _target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        self.validate()?;
+        let DistArtifacts {
+            cols,
+            sketch_dist,
+            refined_dist,
+        } = artifacts
+            .downcast_ref::<DistArtifacts>()
+            .ok_or_else(|| MatchError::Internal("distribution artifact type mismatch".into()))?;
+        let n = cols.len();
+        let _phase = valentine_obs::span!("dist/score");
+
+        let solve = valentine_obs::span!("solve");
 
         // Phase 1: connected components under the EMD threshold.
         let mut p1_edges = Vec::new();
         for i in 0..n {
             for j in i + 1..n {
-                if sketch_distance(&cols[i].sketch, &cols[j].sketch) <= self.phase1_theta {
+                if sketch_dist[i][j] <= self.phase1_theta {
                     p1_edges.push((i, j));
                 }
             }
@@ -225,7 +291,7 @@ impl Matcher for DistributionMatcher {
             let mut refined_edges = Vec::new();
             for (ii, &i) in cluster.iter().enumerate() {
                 for &j in &cluster[ii + 1..] {
-                    if refined_distance(&cols[i], &cols[j]) <= self.phase2_theta {
+                    if refined_dist[i][j] <= self.phase2_theta {
                         refined_edges.push((i, j));
                     }
                 }
@@ -246,38 +312,33 @@ impl Matcher for DistributionMatcher {
                 let mut weight = 0.0;
                 for (ii, &i) in items.iter().enumerate() {
                     for &j in &items[ii + 1..] {
-                        weight += (self.phase2_theta - refined_distance(&cols[i], &cols[j]))
-                            .max(0.0)
-                            + 0.05;
+                        weight += (self.phase2_theta - refined_dist[i][j]).max(0.0) + 0.05;
                     }
                 }
                 ilp_candidates.push(Candidate { items, weight });
             }
         }
 
-        drop(sim_phase);
-
         // ILP (or greedy-accept ablation): pick the final disjoint clusters.
-        let solve_phase = valentine_obs::span!("dist/solve");
         let chosen: Vec<usize> = if self.skip_ilp {
             (0..ilp_candidates.len()).collect()
         } else {
-            max_weight_set_packing(&ilp_candidates).chosen
+            max_weight_set_packing(&ilp_candidates)
+                .map_err(|e| MatchError::Internal(format!("set packing failed: {e}")))?
+                .chosen
         };
-        let mut in_final = vec![false; n];
         let mut cluster_of: Vec<Option<usize>> = vec![None; n];
         for (ci, &c) in chosen.iter().enumerate() {
             for &item in &ilp_candidates[c].items {
-                in_final[item] = true;
                 cluster_of[item] = Some(ci);
             }
         }
 
-        drop(solve_phase);
+        drop(solve);
 
         // Ranked output: cross-table pairs; same-final-cluster pairs get a
         // +1 rank boost on top of (1 − refined distance).
-        let _phase = valentine_obs::span!("dist/rank");
+        let _rank = valentine_obs::span!("rank");
         let mut out = Vec::new();
         for i in 0..n {
             if cols[i].side != 0 {
@@ -287,7 +348,7 @@ impl Matcher for DistributionMatcher {
                 if cols[j].side != 1 {
                     continue;
                 }
-                let d = refined_distance(&cols[i], &cols[j]);
+                let d = refined_dist[i][j];
                 let same_cluster = cluster_of[i].is_some() && cluster_of[i] == cluster_of[j];
                 let score = (1.0 - d) + if same_cluster { 1.0 } else { 0.0 };
                 out.push(ColumnMatch::new(
@@ -336,7 +397,7 @@ mod tests {
         let top2: Vec<(&str, &str)> = r
             .top_k(2)
             .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .map(|x| (&*x.source, &*x.target))
             .collect();
         assert!(top2.contains(&("small", "small")), "{r}");
         assert!(top2.contains(&("large", "large")), "{r}");
@@ -383,8 +444,8 @@ mod tests {
         .unwrap();
         let m = DistributionMatcher::dist2();
         let r = m.match_tables(&a, &b).unwrap();
-        assert_eq!(r.matches()[0].source, "city");
-        assert_eq!(r.matches()[0].target, "town");
+        assert_eq!(&*r.matches()[0].source, "city");
+        assert_eq!(&*r.matches()[0].target, "town");
     }
 
     #[test]
@@ -399,7 +460,7 @@ mod tests {
         let cross = r
             .matches()
             .iter()
-            .find(|x| x.source == "small" && x.target == "large")
+            .find(|x| &*x.source == "small" && &*x.target == "large")
             .unwrap();
         assert!(cross.score < 1.0);
     }
@@ -453,9 +514,47 @@ mod tests {
     }
 
     #[test]
+    fn prepared_artifacts_are_shared_across_the_grid() {
+        let a = numeric_table("a", 0);
+        let b = numeric_table("b", 1);
+        let artifacts = DistributionMatcher::dist1()
+            .prepare(&a, &b)
+            .unwrap()
+            .expect("distribution prepares");
+        let other = DistributionMatcher::dist2();
+        let via_artifacts = other.match_prepared(&artifacts, &a, &b).unwrap();
+        let one_shot = other.match_tables(&a, &b).unwrap();
+        assert_eq!(via_artifacts, one_shot);
+    }
+
+    #[test]
     fn empty_columns_do_not_panic() {
         let a = Table::from_pairs("a", vec![("x", vec![Value::Null, Value::Null])]).unwrap();
         let r = DistributionMatcher::dist1().match_tables(&a, &a).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn constant_columns_yield_finite_scores() {
+        // Regression: a constant numeric column has zero span, which used to
+        // divide 0/0 while normalising the sketch and leak NaN into the EMD
+        // cost matrix. The sketch must stay finite and the match succeed.
+        let a = Table::from_pairs("a", vec![("flat", vec![Value::Float(7.0); 50])]).unwrap();
+        let b = Table::from_pairs(
+            "b",
+            vec![
+                ("also_flat", vec![Value::Float(7.0); 50]),
+                ("spread", (0..50).map(Value::Int).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        for m in [DistributionMatcher::dist1(), DistributionMatcher::dist2()] {
+            let r = m.match_tables(&a, &b).unwrap();
+            assert!(!r.is_empty());
+            assert!(
+                r.matches().iter().all(|x| x.score.is_finite()),
+                "constant column leaked a non-finite score: {r}"
+            );
+        }
     }
 }

@@ -172,7 +172,7 @@ mod tests {
         let score = |s: &str, t: &str| {
             r.matches()
                 .iter()
-                .find(|x| x.source == s && x.target == t)
+                .find(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
                 .score
         };

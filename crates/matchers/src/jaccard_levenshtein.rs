@@ -19,7 +19,19 @@ use valentine_table::{Column, Table};
 use valentine_text::normalized_levenshtein;
 
 use crate::result::{ColumnMatch, MatchError, MatchResult};
-use crate::Matcher;
+use crate::{Matcher, PairArtifacts};
+
+/// Config-invariant baseline state: each column's sampled value set. The
+/// Table II grid only varies `threshold`, so the 5 configurations share the
+/// samples and re-run just the fuzzy-Jaccard comparison.
+struct JlArtifacts {
+    /// Sample cap the values were computed with (not a grid axis, but
+    /// guarded so hand-built configs with a different cap cannot silently
+    /// reuse mismatched samples).
+    sample_size: usize,
+    src_values: Vec<Vec<String>>,
+    tgt_values: Vec<Vec<String>>,
+}
 
 /// The baseline matcher.
 #[derive(Debug, Clone)]
@@ -114,21 +126,59 @@ impl Matcher for JaccardLevenshteinMatcher {
                 self.threshold
             )));
         }
-        // Profiling phase: sample each column's value set once, not once
-        // per column pair.
-        let (src_values, tgt_values) = {
-            let _phase = valentine_obs::span!("jl/profile");
-            let sample = |t: &Table| -> Vec<Vec<String>> {
-                t.columns()
-                    .iter()
-                    .map(|c| sampled_values(c, self.sample_size))
-                    .collect()
-            };
-            (sample(source), sample(target))
+        let artifacts = self
+            .prepare(source, target)?
+            .expect("jaccard-levenshtein always prepares artifacts");
+        self.match_prepared(&artifacts, source, target)
+    }
+
+    fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
+        // Profiling: sample each column's value set once — shared by every
+        // threshold in the grid, and by every column pair within a config.
+        let _phase = valentine_obs::span!("jl/prepare");
+        let _profile = valentine_obs::span!("profile");
+        let sample = |t: &Table| -> Vec<Vec<String>> {
+            t.columns()
+                .iter()
+                .map(|c| sampled_values(c, self.sample_size))
+                .collect()
         };
+        Ok(Some(PairArtifacts::new(JlArtifacts {
+            sample_size: self.sample_size,
+            src_values: sample(source),
+            tgt_values: sample(target),
+        })))
+    }
+
+    fn match_prepared(
+        &self,
+        artifacts: &PairArtifacts,
+        source: &Table,
+        target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        if !(0.0..=1.0).contains(&self.threshold) {
+            return Err(MatchError::InvalidConfig(format!(
+                "threshold {} outside [0, 1]",
+                self.threshold
+            )));
+        }
+        let JlArtifacts {
+            sample_size,
+            src_values,
+            tgt_values,
+        } = artifacts
+            .downcast_ref::<JlArtifacts>()
+            .ok_or_else(|| MatchError::Internal("jaccard-levenshtein artifact mismatch".into()))?;
+        if *sample_size != self.sample_size {
+            return Err(MatchError::Internal(format!(
+                "artifacts sampled at {} values but matcher expects {}",
+                sample_size, self.sample_size
+            )));
+        }
+        let _phase = valentine_obs::span!("jl/score");
         let mut out = Vec::with_capacity(source.width() * target.width());
         {
-            let _phase = valentine_obs::span!("jl/similarity");
+            let _sim = valentine_obs::span!("similarity");
             for (i, cs) in source.columns().iter().enumerate() {
                 for (j, ct) in target.columns().iter().enumerate() {
                     let score = self.fuzzy_jaccard(&src_values[i], &tgt_values[j]);
@@ -136,7 +186,7 @@ impl Matcher for JaccardLevenshteinMatcher {
                 }
             }
         }
-        let _phase = valentine_obs::span!("jl/rank");
+        let _rank = valentine_obs::span!("rank");
         Ok(MatchResult::ranked(out))
     }
 }
@@ -201,7 +251,7 @@ mod tests {
         let top2: Vec<(&str, &str)> = r
             .top_k(2)
             .iter()
-            .map(|m| (m.source.as_str(), m.target.as_str()))
+            .map(|m| (&*m.source, &*m.target))
             .collect();
         assert!(top2.contains(&("city", "cty")));
         assert!(top2.contains(&("country", "cntr")));
@@ -246,6 +296,28 @@ mod tests {
         let s2 = sampled_values(&col, 100);
         assert_eq!(s1, s2);
         assert_eq!(s1.len(), 100);
+    }
+
+    #[test]
+    fn prepared_artifacts_are_shared_across_the_grid() {
+        let a = table("a", vec![("city", vec!["delft", "athens", "utrecht"])]);
+        let b = table("b", vec![("city", vec!["delgt", "athens", "utrocht"])]);
+        let artifacts = JaccardLevenshteinMatcher::new(0.8)
+            .prepare(&a, &b)
+            .unwrap()
+            .expect("jl prepares");
+        let other = JaccardLevenshteinMatcher::new(0.6);
+        let via_artifacts = other.match_prepared(&artifacts, &a, &b).unwrap();
+        let one_shot = other.match_tables(&a, &b).unwrap();
+        assert_eq!(via_artifacts, one_shot);
+
+        // a mismatched sample cap must not silently reuse the samples
+        let mut resized = JaccardLevenshteinMatcher::new(0.6);
+        resized.sample_size = 10;
+        assert!(matches!(
+            resized.match_prepared(&artifacts, &a, &b),
+            Err(MatchError::Internal(_))
+        ));
     }
 
     #[test]

@@ -45,14 +45,82 @@ pub use result::{ColumnMatch, MatchError, MatchResult};
 pub use semprop::SemPropMatcher;
 pub use similarity_flooding::SimilarityFloodingMatcher;
 
+use std::any::Any;
+
 use valentine_table::Table;
+
+/// Opaque config-invariant state computed once per table pair and shared
+/// across every configuration of a method's parameter grid.
+///
+/// Produced by [`Matcher::prepare`] and consumed by
+/// [`Matcher::match_prepared`]. The payload is type-erased so the trait
+/// stays object-safe; each matcher downcasts to its own artifact type.
+pub struct PairArtifacts {
+    payload: Box<dyn Any + Send + Sync>,
+}
+
+impl PairArtifacts {
+    /// Wraps a matcher-specific artifact value.
+    pub fn new<T: Any + Send + Sync>(payload: T) -> PairArtifacts {
+        PairArtifacts {
+            payload: Box::new(payload),
+        }
+    }
+
+    /// Borrows the payload as `T`, or `None` when the artifacts were built
+    /// by a different matcher (or matcher version).
+    pub fn downcast_ref<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for PairArtifacts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairArtifacts").finish_non_exhaustive()
+    }
+}
 
 /// A schema matching method adapted for dataset discovery: consumes two
 /// tables, produces a ranked list of column correspondences.
+///
+/// Methods evaluated over a parameter grid (paper Table II) can split their
+/// work in two phases: [`prepare`](Matcher::prepare) runs the
+/// config-invariant part once per table pair, and
+/// [`match_prepared`](Matcher::match_prepared) finishes the cheap
+/// config-dependent pass for each grid point. Matchers that have not
+/// migrated keep the one-shot [`match_tables`](Matcher::match_tables)
+/// behaviour via the default implementations.
 pub trait Matcher: Send + Sync {
     /// Human-readable method name (stable across runs; used in reports).
     fn name(&self) -> String;
 
     /// Computes the ranked match list between `source` and `target` columns.
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError>;
+
+    /// Computes config-invariant artifacts for a table pair, shared by every
+    /// configuration of this method's grid. Returns `Ok(None)` (the default)
+    /// when the matcher has no two-phase split; callers then fall back to
+    /// [`match_tables`](Matcher::match_tables) per configuration.
+    ///
+    /// Any grid sibling of the receiver may consume the artifacts: `prepare`
+    /// must not bake configuration parameters into them.
+    fn prepare(
+        &self,
+        _source: &Table,
+        _target: &Table,
+    ) -> Result<Option<PairArtifacts>, MatchError> {
+        Ok(None)
+    }
+
+    /// Finishes a match from shared artifacts: only the config-dependent
+    /// part of the pipeline runs. The default ignores the artifacts and
+    /// re-runs the full one-shot pipeline.
+    fn match_prepared(
+        &self,
+        _artifacts: &PairArtifacts,
+        source: &Table,
+        target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        self.match_tables(source, target)
+    }
 }

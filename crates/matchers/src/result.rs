@@ -1,21 +1,29 @@
 //! Ranked match lists — the universal matcher output.
 
 use std::fmt;
+use std::sync::Arc;
 
-/// One column correspondence with its matching confidence.
+/// One column correspondence with its matching confidence. Column names are
+/// shared `Arc<str>`s so a matcher scoring a whole parameter grid from
+/// prepared artifacts can emit thousands of matches without re-allocating
+/// the same names per configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMatch {
     /// Source column name.
-    pub source: String,
+    pub source: Arc<str>,
     /// Target column name.
-    pub target: String,
+    pub target: Arc<str>,
     /// Matching confidence (higher is better; scale is method-specific).
     pub score: f64,
 }
 
 impl ColumnMatch {
     /// Convenience constructor.
-    pub fn new(source: impl Into<String>, target: impl Into<String>, score: f64) -> ColumnMatch {
+    pub fn new(
+        source: impl Into<Arc<str>>,
+        target: impl Into<Arc<str>>,
+        score: f64,
+    ) -> ColumnMatch {
         ColumnMatch {
             source: source.into(),
             target: target.into(),
@@ -42,11 +50,29 @@ impl MatchResult {
         }
         matches.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .total_cmp(&a.score)
                 .then_with(|| a.source.cmp(&b.source))
                 .then_with(|| a.target.cmp(&b.target))
         });
+        MatchResult { matches }
+    }
+
+    /// Wraps a list the caller has already ranked under [`MatchResult::
+    /// ranked`]'s contract (descending finite scores, (source, target) name
+    /// tie-break). Grid matchers use this to skip the string-comparing sort
+    /// when they ranked by a precomputed numeric order; debug builds verify
+    /// the claim.
+    pub fn from_ranked(matches: Vec<ColumnMatch>) -> MatchResult {
+        debug_assert!(
+            matches.windows(2).all(|w| {
+                w[1].score
+                    .total_cmp(&w[0].score)
+                    .then_with(|| w[0].source.cmp(&w[1].source))
+                    .then_with(|| w[0].target.cmp(&w[1].target))
+                    != std::cmp::Ordering::Greater
+            }) && matches.iter().all(|m| m.score.is_finite()),
+            "from_ranked caller must pre-sort and sanitise"
+        );
         MatchResult { matches }
     }
 
@@ -107,6 +133,9 @@ pub enum MatchError {
     Unsupported(String),
     /// Invalid configuration values.
     InvalidConfig(String),
+    /// The matcher failed internally — a panic caught by the runner or a
+    /// numeric failure (e.g. a non-finite cost handed to a solver).
+    Internal(String),
 }
 
 impl fmt::Display for MatchError {
@@ -114,6 +143,7 @@ impl fmt::Display for MatchError {
         match self {
             MatchError::Unsupported(msg) => write!(f, "matcher unsupported on input: {msg}"),
             MatchError::InvalidConfig(msg) => write!(f, "invalid matcher configuration: {msg}"),
+            MatchError::Internal(msg) => write!(f, "matcher failed internally: {msg}"),
         }
     }
 }
@@ -135,7 +165,7 @@ mod tests {
         let order: Vec<(&str, &str)> = r
             .matches()
             .iter()
-            .map(|m| (m.source.as_str(), m.target.as_str()))
+            .map(|m| (&*m.source, &*m.target))
             .collect();
         assert_eq!(order, vec![("a", "x"), ("a", "w"), ("a", "y"), ("b", "y")]);
     }
@@ -167,7 +197,7 @@ mod tests {
         ]);
         let f = r.filter_threshold(0.5);
         assert_eq!(f.len(), 1);
-        assert_eq!(f.matches()[0].source, "a");
+        assert_eq!(&*f.matches()[0].source, "a");
     }
 
     #[test]

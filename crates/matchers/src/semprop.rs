@@ -23,11 +23,28 @@
 
 use valentine_embeddings::{cosine, PretrainedEmbeddings};
 use valentine_ontology::Ontology;
+use valentine_solver::minhash::Signature;
 use valentine_solver::MinHasher;
 use valentine_table::{Column, Table};
 
 use crate::result::{ColumnMatch, MatchError, MatchResult};
-use crate::Matcher;
+use crate::{Matcher, PairArtifacts};
+
+/// Config-invariant SemProp state: unthresholded best ontology links and
+/// MinHash signatures per column. The grid's 12 configurations only apply
+/// their thresholds — the embeddings and signatures never change.
+///
+/// Storing the *unfiltered* argmax link is equivalent to filtering inside
+/// the embedding loop: the best cosine passes `sem_threshold` iff any
+/// candidate does, and it is the one the filtered scan would keep.
+struct SemPropArtifacts {
+    /// Best `(class, cosine)` per source column, no threshold applied.
+    src_links: Vec<Option<(usize, f64)>>,
+    /// Best `(class, cosine)` per target column, no threshold applied.
+    tgt_links: Vec<Option<(usize, f64)>>,
+    src_sigs: Vec<Signature>,
+    tgt_sigs: Vec<Signature>,
+}
 
 /// The SemProp matcher.
 pub struct SemPropMatcher {
@@ -78,7 +95,15 @@ impl SemPropMatcher {
     /// name and the column's frequent values, takes the best cosine against
     /// the ontology lexicon. Returns `(class id, link strength)` when the
     /// strength reaches `sem_threshold`.
+    #[cfg(test)]
     fn link(&self, col: &Column) -> Option<(usize, f64)> {
+        self.best_link(col)
+            .filter(|&(_, sim)| sim >= self.sem_threshold)
+    }
+
+    /// The unthresholded best `(class, cosine)` for a column — independent
+    /// of every grid parameter, so it can be shared across configurations.
+    fn best_link(&self, col: &Column) -> Option<(usize, f64)> {
         let mut texts: Vec<String> = vec![col.name().to_string()];
         for (v, _) in col.stats().top_values.iter().take(5) {
             texts.push(v.render());
@@ -93,7 +118,7 @@ impl SemPropMatcher {
                     continue;
                 };
                 let sim = cosine(&e, &le) as f64;
-                if sim >= self.sem_threshold && best.is_none_or(|(_, b)| sim > b) {
+                if best.is_none_or(|(_, b)| sim > b) {
                     best = Some((class, sim));
                 }
             }
@@ -111,38 +136,70 @@ impl Matcher for SemPropMatcher {
     }
 
     fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        let artifacts = self
+            .prepare(source, target)?
+            .expect("semprop always prepares artifacts");
+        self.match_prepared(&artifacts, source, target)
+    }
+
+    fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
         if self.ontology.is_empty() {
             return Err(MatchError::Unsupported(
                 "SemProp requires a domain ontology".into(),
             ));
         }
 
-        // Stage 1 (profiling): ontology links and MinHash signatures, both
-        // per column.
-        let profile_phase = valentine_obs::span!("semprop/profile");
+        // Stage 1 (profiling): unthresholded ontology links and MinHash
+        // signatures, both per column and shared by every configuration.
+        let _phase = valentine_obs::span!("semprop/prepare");
+        let _profile = valentine_obs::span!("profile");
         let src_links: Vec<Option<(usize, f64)>> =
-            source.columns().iter().map(|c| self.link(c)).collect();
+            source.columns().iter().map(|c| self.best_link(c)).collect();
         let tgt_links: Vec<Option<(usize, f64)>> =
-            target.columns().iter().map(|c| self.link(c)).collect();
+            target.columns().iter().map(|c| self.best_link(c)).collect();
 
-        let src_sigs: Vec<_> = source
+        let src_sigs: Vec<Signature> = source
             .columns()
             .iter()
             .map(|c| self.minhasher.signature(c.rendered_value_set()))
             .collect();
-        let tgt_sigs: Vec<_> = target
+        let tgt_sigs: Vec<Signature> = target
             .columns()
             .iter()
             .map(|c| self.minhasher.signature(c.rendered_value_set()))
             .collect();
-        drop(profile_phase);
+        Ok(Some(PairArtifacts::new(SemPropArtifacts {
+            src_links,
+            tgt_links,
+            src_sigs,
+            tgt_sigs,
+        })))
+    }
 
-        let sim_phase = valentine_obs::span!("semprop/similarity");
+    fn match_prepared(
+        &self,
+        artifacts: &PairArtifacts,
+        source: &Table,
+        target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        let SemPropArtifacts {
+            src_links,
+            tgt_links,
+            src_sigs,
+            tgt_sigs,
+        } = artifacts
+            .downcast_ref::<SemPropArtifacts>()
+            .ok_or_else(|| MatchError::Internal("semprop artifact type mismatch".into()))?;
+        let _phase = valentine_obs::span!("semprop/score");
+        // Apply this configuration's link threshold to the shared links.
+        let thresholded = |l: &Option<(usize, f64)>| l.filter(|&(_, s)| s >= self.sem_threshold);
+
+        let sim = valentine_obs::span!("similarity");
         let mut out = Vec::with_capacity(source.width() * target.width());
         for (i, cs) in source.columns().iter().enumerate() {
             for (j, ct) in target.columns().iter().enumerate() {
                 // Stage 2: semantic relation through ontology links.
-                let semantic = match (src_links[i], tgt_links[j]) {
+                let semantic = match (thresholded(&src_links[i]), thresholded(&tgt_links[j])) {
                     (Some((ca, sa)), Some((cb, sb))) => {
                         let coherence = self.ontology.coherence(ca, cb);
                         if coherence >= self.coh_sem_threshold {
@@ -169,8 +226,8 @@ impl Matcher for SemPropMatcher {
                 out.push(ColumnMatch::new(cs.name(), ct.name(), score));
             }
         }
-        drop(sim_phase);
-        let _phase = valentine_obs::span!("semprop/rank");
+        drop(sim);
+        let _rank = valentine_obs::span!("rank");
         Ok(MatchResult::ranked(out))
     }
 }
@@ -223,7 +280,7 @@ mod tests {
         let rank_of = |s: &str, t: &str| {
             r.matches()
                 .iter()
-                .position(|x| x.source == s && x.target == t)
+                .position(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
         };
         assert!(
@@ -265,7 +322,7 @@ mod tests {
         .unwrap();
         let m = SemPropMatcher::default_config();
         let r = m.match_tables(&a, &b).unwrap();
-        assert_eq!(r.matches()[0].target, "ycol");
+        assert_eq!(&*r.matches()[0].target, "ycol");
         assert!(r.matches()[0].score > 0.4);
         assert!(
             r.matches()[0].score <= 0.5,
@@ -295,6 +352,21 @@ mod tests {
         );
         let link = m.link(&col);
         assert!(link.is_some(), "organism column must link");
+    }
+
+    #[test]
+    fn prepared_artifacts_are_shared_across_the_grid() {
+        let a = assay_table("a", "assay_type", "organism");
+        let b = assay_table("b", "test_type", "species");
+        let artifacts = SemPropMatcher::default_config()
+            .prepare(&a, &b)
+            .unwrap()
+            .expect("semprop prepares");
+        // different thresholds on all three axes, scored from shared state
+        let other = SemPropMatcher::new(0.3, 0.6, 0.4);
+        let via_artifacts = other.match_prepared(&artifacts, &a, &b).unwrap();
+        let one_shot = other.match_tables(&a, &b).unwrap();
+        assert_eq!(via_artifacts, one_shot);
     }
 
     #[test]

@@ -286,7 +286,7 @@ mod tests {
         let top3: Vec<(&str, &str)> = r
             .top_k(3)
             .iter()
-            .map(|x| (x.source.as_str(), x.target.as_str()))
+            .map(|x| (&*x.source, &*x.target))
             .collect();
         assert!(top3.contains(&("age", "age_years")), "{top3:?}");
         assert!(top3.contains(&("city", "city_name")), "{top3:?}");
@@ -311,7 +311,7 @@ mod tests {
         let score = |s: &str, t: &str| {
             r.matches()
                 .iter()
-                .find(|x| x.source == s && x.target == t)
+                .find(|x| &*x.source == s && &*x.target == t)
                 .unwrap()
                 .score
         };

@@ -111,7 +111,7 @@ proptest! {
         let matcher = ComaMatcher::new(ComaStrategy::Schema);
         let r = matcher.match_tables(&table, &table).expect("runs");
         let k = table.width();
-        let top: Vec<&str> = r.top_k(k).iter().map(|m| m.source.as_str()).collect();
+        let top: Vec<&str> = r.top_k(k).iter().map(|m| &*m.source).collect();
         for m in r.top_k(k) {
             prop_assert_eq!(&m.source, &m.target, "top-{} block must be the identity", k);
         }

@@ -13,6 +13,8 @@
 //!   transportation simplex (Vogel initialisation + MODI improvement). Used
 //!   for categorical histograms where positions are value frequencies.
 
+use crate::SolverError;
+
 /// Exact 1-D EMD between two equal-length quantile sketches: the mean
 /// absolute difference between corresponding quantiles.
 ///
@@ -61,12 +63,23 @@ pub fn emd_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Returns the minimal total work divided by total mass (i.e. the true EMD).
 ///
+/// # Errors
+/// Returns [`SolverError::NonFinite`] when a mass or a ground-distance cell
+/// is NaN or infinite — the simplex pivots on cost comparisons that are
+/// meaningless on such inputs.
+///
 /// # Panics
 /// Panics if dimensions disagree or all masses are zero.
-pub fn emd_transportation(a: &[f64], b: &[f64], dist: &[Vec<f64>]) -> f64 {
+pub fn emd_transportation(a: &[f64], b: &[f64], dist: &[Vec<f64>]) -> Result<f64, SolverError> {
     assert_eq!(dist.len(), a.len(), "distance rows must match supply");
     for row in dist {
         assert_eq!(row.len(), b.len(), "distance cols must match demand");
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
+        return Err(SolverError::NonFinite("mass"));
+    }
+    if dist.iter().flatten().any(|c| !c.is_finite()) {
+        return Err(SolverError::NonFinite("ground-distance cost"));
     }
     let mass_a: f64 = a.iter().sum();
     let mass_b: f64 = b.iter().sum();
@@ -77,7 +90,8 @@ pub fn emd_transportation(a: &[f64], b: &[f64], dist: &[Vec<f64>]) -> f64 {
     let demand: Vec<f64> = b.iter().map(|x| x / mass_b).collect();
 
     let flow = transportation_simplex(&supply, &demand, dist);
-    flow.iter()
+    Ok(flow
+        .iter()
         .enumerate()
         .map(|(i, row)| {
             row.iter()
@@ -85,7 +99,7 @@ pub fn emd_transportation(a: &[f64], b: &[f64], dist: &[Vec<f64>]) -> f64 {
                 .map(|(j, &f)| f * dist[i][j])
                 .sum::<f64>()
         })
-        .sum()
+        .sum())
 }
 
 const EPS: f64 = 1e-12;
@@ -104,11 +118,7 @@ fn transportation_simplex(supply: &[f64], demand: &[f64], cost: &[Vec<f64>]) -> 
     // --- North-west-corner-with-minimum-cost start (simpler than full
     // Vogel, still a valid BFS; MODI does the optimising work).
     let mut cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..m).map(move |j| (i, j))).collect();
-    cells.sort_by(|&(i1, j1), &(i2, j2)| {
-        cost[i1][j1]
-            .partial_cmp(&cost[i2][j2])
-            .expect("finite costs")
-    });
+    cells.sort_by(|&(i1, j1), &(i2, j2)| cost[i1][j1].total_cmp(&cost[i2][j2]));
     let mut placed = 0usize;
     for (i, j) in cells {
         if s[i] > EPS && d[j] > EPS {
@@ -362,7 +372,7 @@ mod tests {
     fn transportation_identity() {
         let a = vec![0.5, 0.5];
         let dist = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
-        assert!(emd_transportation(&a, &a, &dist).abs() < 1e-9);
+        assert!(emd_transportation(&a, &a, &dist).unwrap().abs() < 1e-9);
     }
 
     #[test]
@@ -372,7 +382,7 @@ mod tests {
         let b = vec![0.0, 1.0];
         let dist = vec![vec![0.0, 3.0], vec![3.0, 0.0]];
         // b has zero supply at index 0 — rescaling keeps the math valid.
-        let d = emd_transportation(&a, &b, &dist);
+        let d = emd_transportation(&a, &b, &dist).unwrap();
         assert!((d - 3.0).abs() < 1e-9, "got {d}");
     }
 
@@ -382,7 +392,7 @@ mod tests {
         let supply = vec![0.6, 0.4];
         let demand = vec![0.5, 0.3, 0.2];
         let cost = vec![vec![1.0, 2.0, 3.0], vec![4.0, 1.0, 2.0]];
-        let d = emd_transportation(&supply, &demand, &cost);
+        let d = emd_transportation(&supply, &demand, &cost).unwrap();
         // Optimal: 0.5→(0,0)@1 + 0.1→(0,1)@2 + 0.2→(1,1)@1 + 0.2→(1,2)@2
         let expected = 0.5 + 0.2 + 0.2 + 0.4;
         assert!((d - expected).abs() < 1e-9, "got {d}, expected {expected}");
@@ -399,7 +409,7 @@ mod tests {
             .iter()
             .map(|&x| positions_b.iter().map(|&y| (x - y).abs()).collect())
             .collect();
-        let d = emd_transportation(&a, &a.clone(), &dist);
+        let d = emd_transportation(&a, &a.clone(), &dist).unwrap();
         assert!((d - 1.0).abs() < 1e-9, "got {d}");
     }
 
@@ -415,8 +425,8 @@ mod tests {
         let dt: Vec<Vec<f64>> = (0..3)
             .map(|i| (0..3).map(|j| dist[j][i]).collect())
             .collect();
-        let ab = emd_transportation(&a, &b, &dist);
-        let ba = emd_transportation(&b, &a, &dt);
+        let ab = emd_transportation(&a, &b, &dist).unwrap();
+        let ba = emd_transportation(&b, &a, &dt).unwrap();
         assert!((ab - ba).abs() < 1e-9);
     }
 
@@ -424,5 +434,23 @@ mod tests {
     #[should_panic(expected = "mass")]
     fn transportation_rejects_zero_mass() {
         let _ = emd_transportation(&[0.0], &[1.0], &[vec![0.0]]);
+    }
+
+    #[test]
+    fn transportation_rejects_non_finite_inputs() {
+        // A NaN cost cell — e.g. a 0/0-normalised histogram distance — must
+        // surface as an error, not poison the simplex pivots.
+        assert_eq!(
+            emd_transportation(&[1.0], &[1.0], &[vec![f64::NAN]]),
+            Err(SolverError::NonFinite("ground-distance cost"))
+        );
+        assert_eq!(
+            emd_transportation(&[f64::NAN], &[1.0], &[vec![0.0]]),
+            Err(SolverError::NonFinite("mass"))
+        );
+        assert_eq!(
+            emd_transportation(&[1.0], &[f64::INFINITY], &[vec![0.0]]),
+            Err(SolverError::NonFinite("mass"))
+        );
     }
 }

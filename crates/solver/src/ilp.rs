@@ -16,6 +16,8 @@
 //! relaxation bound; a greedy fallback kicks in beyond
 //! [`EXACT_CANDIDATE_LIMIT`] candidates (and is noted in the result).
 
+use crate::SolverError;
+
 /// A candidate set with its weight.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -43,22 +45,25 @@ pub const EXACT_CANDIDATE_LIMIT: usize = 24;
 /// Solves maximum-weight set packing over `candidates`.
 ///
 /// Candidates with non-positive weight or no items are never chosen.
-pub fn max_weight_set_packing(candidates: &[Candidate]) -> Packing {
+///
+/// # Errors
+/// Returns [`SolverError::NonFinite`] when any candidate weight is NaN or
+/// infinite — the branch-and-bound's pruning bound is meaningless on such
+/// inputs, so they are rejected up front instead of corrupting the packing.
+pub fn max_weight_set_packing(candidates: &[Candidate]) -> Result<Packing, SolverError> {
+    if candidates.iter().any(|c| !c.weight.is_finite()) {
+        return Err(SolverError::NonFinite("candidate weight"));
+    }
     // Normalise: sort candidate order by weight density for better pruning.
     let mut order: Vec<usize> = (0..candidates.len())
         .filter(|&i| candidates[i].weight > 0.0 && !candidates[i].items.is_empty())
         .collect();
-    order.sort_by(|&a, &b| {
-        candidates[b]
-            .weight
-            .partial_cmp(&candidates[a].weight)
-            .expect("finite weights")
-    });
+    order.sort_by(|&a, &b| candidates[b].weight.total_cmp(&candidates[a].weight));
 
     if order.len() > EXACT_CANDIDATE_LIMIT {
-        return greedy(candidates, &order);
+        return Ok(greedy(candidates, &order));
     }
-    branch_and_bound(candidates, &order)
+    Ok(branch_and_bound(candidates, &order))
 }
 
 fn conflict(a: &[usize], b: &[usize]) -> bool {
@@ -162,7 +167,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let p = max_weight_set_packing(&[]);
+        let p = max_weight_set_packing(&[]).unwrap();
         assert!(p.chosen.is_empty());
         assert_eq!(p.weight, 0.0);
         assert!(p.exact);
@@ -170,14 +175,15 @@ mod tests {
 
     #[test]
     fn single_candidate() {
-        let p = max_weight_set_packing(&[cand(&[0, 1], 2.5)]);
+        let p = max_weight_set_packing(&[cand(&[0, 1], 2.5)]).unwrap();
         assert_eq!(p.chosen, vec![0]);
         assert_eq!(p.weight, 2.5);
     }
 
     #[test]
     fn disjoint_candidates_all_chosen() {
-        let p = max_weight_set_packing(&[cand(&[0], 1.0), cand(&[1], 1.0), cand(&[2], 1.0)]);
+        let p =
+            max_weight_set_packing(&[cand(&[0], 1.0), cand(&[1], 1.0), cand(&[2], 1.0)]).unwrap();
         assert_eq!(p.chosen, vec![0, 1, 2]);
         assert_eq!(p.weight, 3.0);
     }
@@ -187,7 +193,7 @@ mod tests {
         // Greedy takes the heavy middle candidate (3.0) and blocks both side
         // candidates (2.0 + 2.0 = 4.0 > 3.0).
         let cands = [cand(&[0, 1], 3.0), cand(&[0], 2.0), cand(&[1], 2.0)];
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         assert!(p.exact);
         assert_eq!(p.weight, 4.0);
         assert_eq!(p.chosen, vec![1, 2]);
@@ -196,7 +202,7 @@ mod tests {
     #[test]
     fn non_positive_and_empty_candidates_ignored() {
         let cands = [cand(&[0], -1.0), cand(&[], 5.0), cand(&[0], 1.0)];
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         assert_eq!(p.chosen, vec![2]);
         assert_eq!(p.weight, 1.0);
     }
@@ -205,7 +211,7 @@ mod tests {
     fn overlapping_chain() {
         // 0-1, 1-2, 2-3 with weights 2, 3, 2: optimum is {0-1, 2-3} = 4.
         let cands = [cand(&[0, 1], 2.0), cand(&[1, 2], 3.0), cand(&[2, 3], 2.0)];
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         assert_eq!(p.weight, 4.0);
         assert_eq!(p.chosen, vec![0, 2]);
     }
@@ -215,16 +221,27 @@ mod tests {
         let cands: Vec<Candidate> = (0..EXACT_CANDIDATE_LIMIT + 10)
             .map(|i| cand(&[i], 1.0))
             .collect();
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         assert!(!p.exact);
         assert_eq!(p.chosen.len(), EXACT_CANDIDATE_LIMIT + 10);
+    }
+
+    #[test]
+    fn non_finite_weights_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cands = [cand(&[0], 1.0), cand(&[1], bad)];
+            assert_eq!(
+                max_weight_set_packing(&cands),
+                Err(SolverError::NonFinite("candidate weight"))
+            );
+        }
     }
 
     #[test]
     fn exact_matches_greedy_on_disjoint_instances() {
         // On disjoint instances greedy is optimal too — sanity cross-check.
         let cands: Vec<Candidate> = (0..10).map(|i| cand(&[i], (i + 1) as f64)).collect();
-        let exact = max_weight_set_packing(&cands);
+        let exact = max_weight_set_packing(&cands).unwrap();
         let order: Vec<usize> = (0..10).collect();
         let g = greedy(&cands, &order);
         assert_eq!(exact.weight, g.weight);
@@ -238,7 +255,7 @@ mod tests {
             cand(&[3, 4], 4.0),
             cand(&[5], 1.0),
         ];
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         let mut items: Vec<usize> = p
             .chosen
             .iter()

@@ -26,6 +26,32 @@ pub mod ilp;
 pub mod lsh;
 pub mod minhash;
 
+use std::fmt;
+
+/// Errors raised by the numeric solvers on data-induced failures.
+///
+/// Matcher-computed costs and weights can turn non-finite (0/0
+/// normalisations yield NaN even when every input value is finite); the
+/// solvers refuse such inputs instead of panicking mid-run, so a single
+/// poisoned column pair surfaces as a recorded error rather than aborting a
+/// whole grid run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// An input cost, weight, or mass was NaN or infinite. The payload names
+    /// the offending quantity.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NonFinite(what) => write!(f, "non-finite {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
 pub use assignment::hungarian_max;
 pub use emd::{emd_1d_quantiles, emd_transportation};
 pub use fixpoint::{FixpointFormula, PropagationGraph};

@@ -34,7 +34,7 @@ proptest! {
             .iter()
             .map(|&x| pos.iter().map(|&y| f64::abs(x - y)).collect())
             .collect();
-        let d = emd_transportation(&a, &b, &dist);
+        let d = emd_transportation(&a, &b, &dist).unwrap();
         let ma: f64 = pos.iter().zip(&a).map(|(p, w)| p * w).sum::<f64>() / a.iter().sum::<f64>();
         let mb: f64 = pos.iter().zip(&b).map(|(p, w)| p * w).sum::<f64>() / b.iter().sum::<f64>();
         prop_assert!(d + 1e-6 >= (ma - mb).abs(), "EMD {d} < mean shift {}", (ma - mb).abs());
@@ -96,7 +96,7 @@ proptest! {
                 Candidate { items: (start..start + len).collect(), weight: w }
             })
             .collect();
-        let p = max_weight_set_packing(&cands);
+        let p = max_weight_set_packing(&cands).unwrap();
         // feasibility: chosen candidates are pairwise disjoint
         let mut items: Vec<usize> = p
             .chosen

@@ -114,7 +114,7 @@ impl Column {
     /// Sorted numeric view of the column (non-null numeric values only).
     pub fn sorted_numeric(&self) -> Vec<f64> {
         let mut xs: Vec<f64> = self.values.iter().filter_map(Value::as_f64).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        xs.sort_by(f64::total_cmp);
         xs
     }
 

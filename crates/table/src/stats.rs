@@ -77,7 +77,7 @@ impl ColumnStats {
             let n = numeric.len() as f64;
             let mean = numeric.iter().sum::<f64>() / n;
             let var = numeric.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-            numeric.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            numeric.sort_by(f64::total_cmp);
             let min = numeric[0];
             let max = *numeric.last().expect("non-empty");
             let quantiles = equi_depth_quantiles(&numeric, QUANTILE_BINS);

@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("annual_income", "salary"),
     ] {
         assert!(
-            mapping.iter().any(|m| m.source == s && m.target == t),
+            mapping.iter().any(|m| &*m.source == s && &*m.target == t),
             "expected {s} → {t} in the mapping"
         );
     }
