@@ -1,0 +1,127 @@
+//! Guard: injected hangs must not stall the run.
+//!
+//! The resilience claim of the runner is that a stuck matcher costs its
+//! own task deadline and nothing else: the (pair × method) grid keeps
+//! draining on the other workers, and only the hung cells turn into
+//! `deadline exceeded` records. This bench makes that a hard assertion: a
+//! 32-task run (4 fabricated pairs × 8 method slots, each a 20 ms sleep
+//! matcher) with 4 scripted hang faults and a 30 ms task deadline must
+//!
+//! 1. finish within 2× the clean run's wall-clock, and
+//! 2. lose exactly the 4 hung records — everything else completes.
+//!
+//! Run with `cargo bench --bench resilience`; `--quick` is accepted for CI
+//! symmetry (the guard is already a single fast round).
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use valentine_bench::bench_pair;
+use valentine_core::fault::{FaultPlan, FaultyMatcher};
+use valentine_core::prelude::*;
+use valentine_core::GridScale;
+
+/// Simulated per-task matcher cost.
+const SLEEP: Duration = Duration::from_millis(20);
+/// Per-task budget: comfortably above [`SLEEP`], far below a real hang.
+const TASK_DEADLINE: Duration = Duration::from_millis(30);
+/// Worker pool width.
+const THREADS: usize = 8;
+/// Method slots per pair (× 4 pairs = 32 tasks).
+const METHOD_SLOTS: usize = 8;
+
+/// A well-behaved matcher with a fixed, known cost.
+struct SleepMatcher;
+
+impl Matcher for SleepMatcher {
+    fn name(&self) -> String {
+        "sleep(20ms)".to_string()
+    }
+
+    fn match_tables(
+        &self,
+        _source: &Table,
+        _target: &Table,
+    ) -> Result<MatchResult, valentine_core::matchers::MatchError> {
+        std::thread::sleep(SLEEP);
+        Ok(MatchResult::ranked(vec![ColumnMatch::new("a", "b", 1.0)]))
+    }
+}
+
+/// 8 single-config method slots, optionally fault-wrapped under one shared
+/// invocation counter.
+fn grids(plan: Option<&FaultPlan>) -> Vec<(MatcherKind, Vec<Box<dyn Matcher>>)> {
+    let calls = Arc::new(AtomicUsize::new(0));
+    MatcherKind::ALL[..METHOD_SLOTS]
+        .iter()
+        .map(|&kind| {
+            let grid: Vec<Box<dyn Matcher>> = vec![Box::new(SleepMatcher)];
+            let grid = match plan {
+                Some(p) => FaultyMatcher::wrap_grid(grid, p, &calls),
+                None => grid,
+            };
+            (kind, grid)
+        })
+        .collect()
+}
+
+fn timed_run(
+    pairs: &[DatasetPair],
+    grids: &[(MatcherKind, Vec<Box<dyn Matcher>>)],
+) -> (Duration, Runner) {
+    let config = RunnerConfig {
+        methods: Vec::new(), // run_grids takes the grids explicitly
+        scale: GridScale::Small,
+        threads: THREADS,
+        task_deadline: Some(TASK_DEADLINE),
+        run_deadline: None,
+        retry_on_timeout: false,
+    };
+    let t = Instant::now();
+    let runner = Runner::run_grids(pairs, grids, &config, &CompletedSet::default(), |_| {});
+    (t.elapsed(), runner)
+}
+
+fn main() {
+    let _quick = std::env::args().any(|a| a == "--quick");
+    let pairs: Vec<DatasetPair> = ScenarioKind::ALL.iter().map(|&s| bench_pair(s)).collect();
+    let tasks = pairs.len() * METHOD_SLOTS;
+    assert_eq!(tasks, 32);
+
+    let (clean_elapsed, clean) = timed_run(&pairs, &grids(None));
+    assert_eq!(clean.len(), tasks);
+    assert_eq!(
+        clean.records().iter().filter(|r| r.failed()).count(),
+        0,
+        "the clean run must not lose records"
+    );
+
+    let plan = FaultPlan::parse("hang@3,hang@10,hang@17,hang@24").expect("valid plan");
+    let (faulty_elapsed, faulty) = timed_run(&pairs, &grids(Some(&plan)));
+
+    assert_eq!(faulty.len(), tasks, "every task reports, hung or not");
+    let failed: Vec<_> = faulty.records().iter().filter(|r| r.failed()).collect();
+    assert_eq!(
+        failed.len(),
+        4,
+        "exactly the 4 hung cells are lost: {failed:?}"
+    );
+    for rec in &failed {
+        let err = rec.error.as_deref().unwrap_or("");
+        assert!(
+            err.starts_with("deadline exceeded"),
+            "hangs must die as deadline records, got: {err}"
+        );
+    }
+    assert!(
+        faulty_elapsed <= clean_elapsed * 2,
+        "4 hangs must cost at most one deadline each, not stall the run: \
+         faulty {faulty_elapsed:?} vs clean {clean_elapsed:?}"
+    );
+
+    println!(
+        "resilience guard: {} tasks over {} workers — clean {:.0?} | 4 injected hangs {:.0?} (<= 2x) | {} records lost to deadlines",
+        tasks, THREADS, clean_elapsed, faulty_elapsed, failed.len(),
+    );
+}

@@ -95,6 +95,7 @@ fn main() {
         ],
         scale: GridScale::Small,
         threads: 8,
+        ..RunnerConfig::default()
     };
     let runner = Runner::run(&pairs, &config);
     let workers: std::collections::BTreeSet<usize> =

@@ -94,6 +94,7 @@ pub fn run_methods(
             methods: methods.to_vec(),
             scale: scale.grid_scale(),
             threads,
+            ..RunnerConfig::default()
         },
     )
 }

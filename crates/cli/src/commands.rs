@@ -3,8 +3,9 @@
 use std::fs;
 use std::path::Path;
 
+use valentine_core::checkpoint;
+use valentine_core::fault::{FaultPlan, FaultyMatcher};
 use valentine_core::prelude::*;
-use valentine_core::runner::execute_one;
 use valentine_core::select::{extract_hungarian, extract_threshold_delta};
 use valentine_core::table::csv;
 use valentine_core::trace::{parse_trace, render_trace_report, TraceSink};
@@ -42,13 +43,34 @@ USAGE:
 
   valentine run [--size tiny|small|paper] [--seed N]
                 [--source tpcdi|opendata|chembl] [--grid] [--threads T]
+                [--task-deadline MS] [--run-deadline MS] [--retry-on-timeout]
+                [--checkpoint FILE] [--resume FILE] [--summary FILE]
+                [--fault PLAN]
       Run every method's default configuration over fabricated unionable
       and joinable pairs and print a per-method summary. With --trace this
       is the quickest way to produce a full runtime-attribution trace.
+      Exit code 1 when a method's every run failed.
       --grid     run every method's full Table II parameter grid instead,
                  scheduled as (pair × method) tasks over a worker pool;
                  config-invariant preparation is shared across each grid
-      --threads  worker pool width for --grid (default: all cores)
+      --threads  worker pool width (default: all cores with --grid, else 1)
+      --task-deadline    wall-clock budget per (pair × method) task in
+                 milliseconds; overrunning configurations become `deadline
+                 exceeded` records while the rest of the grid completes
+      --run-deadline     wall-clock budget for the whole run; once spent,
+                 unfinished tasks drain into `deadline exceeded` records
+      --retry-on-timeout retry each timed-out configuration once with the
+                 method's halved-budget sibling (same grid cell)
+      --checkpoint       journal every finished record to FILE (fsync'd
+                 JSONL) so a crashed run can be resumed
+      --resume   skip every cell FILE marks complete and carry its records
+                 into the final report; errored cells re-run. Pass the same
+                 FILE to --checkpoint to keep journaling into it
+      --summary  write the deterministic runtime-free per-method summary to
+                 FILE (byte-identical between a resumed and a clean run)
+      --fault    inject scripted faults, e.g. `hang@5,error@12,exit@135`
+                 (kinds: panic | hang | error | garbage | exit; `kind@*`
+                 fires every invocation) — the resilience test harness
 
   valentine trace report <trace.jsonl>
       Render a trace written via --trace: per-method phase breakdown
@@ -188,7 +210,8 @@ pub fn match_files(argv: &[String]) -> Result<(), String> {
         .map_err(|e| format!("matching failed: {e}"))?;
 
     if p.flag("one-to-one") {
-        let mapping = extract_hungarian(&ranked, threshold);
+        let mapping =
+            extract_hungarian(&ranked, threshold).map_err(|e| format!("extraction failed: {e}"))?;
         println!("1-1 mapping ({} with score ≥ {threshold}):", mapping.len());
         for m in &mapping {
             println!("  {} -> {}  ({:.4})", m.source, m.target, m.score);
@@ -336,12 +359,31 @@ fn source_by_name(name: &str, size: SizeClass, seed: u64) -> Result<Table, Strin
     })
 }
 
+/// Parses an optional `--<key> MILLIS` duration flag.
+fn opt_millis(p: &args::Parsed, key: &str) -> Result<Option<std::time::Duration>, String> {
+    match p.opt(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(|ms| Some(std::time::Duration::from_millis(ms)))
+            .map_err(|_| format!("option --{key}: cannot parse `{raw}` as milliseconds")),
+    }
+}
+
 /// `valentine run` — every method's default configuration over a
 /// fabricated unionable and joinable pair, with an optional streamed
-/// trace. With `--grid`, the full Table II parameter grids instead,
-/// scheduled as (pair × method) tasks over [`Runner::run`]'s worker pool.
-pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), String> {
-    let p = args::parse(argv, &["grid"])?;
+/// trace. With `--grid`, the full Table II parameter grids instead. Both
+/// modes schedule (pair × method) tasks over [`Runner::run_grids`]'s worker
+/// pool, which also hosts the resilience harness: per-task and per-run
+/// deadlines, crash-safe checkpointing (`--checkpoint`), resume
+/// (`--resume`), graceful timeout degradation (`--retry-on-timeout`), and
+/// scripted fault injection (`--fault`).
+///
+/// Returns the process exit code: 0 on success, 1 when at least one
+/// method's every run failed (a wholly failed method means the report's
+/// comparison is meaningless for it, which CI must notice).
+pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
+    let p = args::parse(argv, &["grid", "retry-on-timeout"])?;
     let size = size_by_name(p.opt("size").unwrap_or("small"))?;
     let seed: u64 = p.opt_parse("seed", 42)?;
     let base = source_by_name(p.opt("source").unwrap_or("tpcdi"), size, seed)?;
@@ -355,6 +397,49 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         .map(|spec| fabricate_pair(&base, spec, seed).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
 
+    // Resume: rebuild the completed-cell set and carry over the error-free
+    // records; errored cells (e.g. deadline casualties of a dying run) are
+    // re-executed.
+    let resume_path = p.opt("resume").map(Path::new);
+    let (carried, completed) = match resume_path {
+        Some(path) => {
+            let ck = checkpoint::load(path)?;
+            let torn = if ck.torn_tail {
+                ", torn tail skipped"
+            } else {
+                ""
+            };
+            println!(
+                "resuming from {}: {} completed cell(s), {} malformed line(s){torn}",
+                path.display(),
+                ck.completed().len(),
+                ck.malformed,
+            );
+            (ck.clean_records(), ck.completed())
+        }
+        None => (Vec::new(), CompletedSet::default()),
+    };
+
+    // Checkpoint: append when continuing the same journal, create (and
+    // re-seed with the carried records) otherwise.
+    let checkpoint_path = p.opt("checkpoint").map(Path::new);
+    let mut ck_writer = match checkpoint_path {
+        Some(path) if resume_path == Some(path) => Some(
+            checkpoint::CheckpointWriter::append_to(path)
+                .map_err(|e| format!("cannot append to checkpoint `{}`: {e}", path.display()))?,
+        ),
+        Some(path) => {
+            let mut w = checkpoint::CheckpointWriter::create(path)
+                .map_err(|e| format!("cannot write checkpoint `{}`: {e}", path.display()))?;
+            for rec in &carried {
+                w.append(rec)
+                    .map_err(|e| format!("cannot write checkpoint record: {e}"))?;
+            }
+            Some(w)
+        }
+        None => None,
+    };
+
     if trace.is_some() {
         valentine_core::obs::set_enabled(true);
     }
@@ -366,47 +451,108 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         None => None,
     };
 
-    let records: Vec<ExperimentRecord> = if p.flag("grid") {
-        let config = RunnerConfig {
-            methods: MatcherKind::ALL.to_vec(),
-            scale: match size {
-                SizeClass::Paper => GridScale::Paper,
-                _ => GridScale::Small,
+    let grid_mode = p.flag("grid");
+    let config = RunnerConfig {
+        methods: MatcherKind::ALL.to_vec(),
+        scale: match size {
+            SizeClass::Paper => GridScale::Paper,
+            _ => GridScale::Small,
+        },
+        // The default-config mode is serial by default (matching its
+        // pre-scheduler behaviour); the grid fans out over all cores.
+        threads: p.opt_parse(
+            "threads",
+            if grid_mode {
+                std::thread::available_parallelism().map_or(4usize, |n| n.get())
+            } else {
+                1
             },
-            threads: p.opt_parse(
-                "threads",
-                std::thread::available_parallelism().map_or(4usize, |n| n.get()),
-            )?,
-        };
-        let runner = Runner::run(&pairs, &config);
-        let records = runner.records().to_vec();
-        let workers: std::collections::BTreeSet<usize> = records.iter().map(|r| r.worker).collect();
+        )?,
+        task_deadline: opt_millis(&p, "task-deadline")?,
+        run_deadline: opt_millis(&p, "run-deadline")?,
+        retry_on_timeout: p.flag("retry-on-timeout"),
+    };
+
+    // Both modes run through the same grid scheduler; the default mode's
+    // "grid" is each method's single default configuration.
+    let mut grids: Vec<(MatcherKind, Vec<Box<dyn Matcher>>)> = if grid_mode {
+        valentine_core::method_grids(&config.methods, config.scale)
+    } else {
+        config
+            .methods
+            .iter()
+            .map(|&kind| (kind, vec![kind.instantiate()]))
+            .collect()
+    };
+
+    if let Some(spec) = p.opt("fault") {
+        let plan = FaultPlan::parse(spec)?;
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for (_, grid) in &mut grids {
+            let inner = std::mem::take(grid);
+            *grid = FaultyMatcher::wrap_grid(inner, &plan, &calls);
+        }
+        println!("fault injection armed: {spec}");
+    }
+
+    // Stream every finished batch into the checkpoint (fsync'd) and the
+    // trace, so progress survives a crash mid-run.
+    let mut stream_error: Option<String> = None;
+    let runner = Runner::run_grids(&pairs, &grids, &config, &completed, |batch| {
+        for rec in batch {
+            if let Some(w) = &mut ck_writer {
+                if let Err(e) = w.append(rec) {
+                    stream_error.get_or_insert(format!("cannot write checkpoint record: {e}"));
+                }
+            }
+            if let Some(s) = &mut sink {
+                if let Err(e) = s.record(rec) {
+                    stream_error.get_or_insert(format!("cannot write trace record: {e}"));
+                }
+            }
+        }
+    });
+    if let Some(e) = stream_error {
+        return Err(e);
+    }
+    if let Some(w) = ck_writer {
+        w.finish()
+            .map_err(|e| format!("cannot finish checkpoint: {e}"))?;
+    }
+
+    // Merge the carried records back in for reporting; the trace gets them
+    // too so a resumed trace is as complete as an uninterrupted one.
+    if let Some(s) = &mut sink {
+        for rec in &carried {
+            s.record(rec)
+                .map_err(|e| format!("cannot write trace record: {e}"))?;
+        }
+    }
+    let new_runs = runner.len();
+    let mut records = runner.records().to_vec();
+    records.extend(carried);
+    let runner = Runner::from_records(records);
+
+    if grid_mode {
+        let workers: std::collections::BTreeSet<usize> =
+            runner.records().iter().map(|r| r.worker).collect();
         println!(
             "grid: {} (pair × method) tasks over {} worker(s)",
             pairs.len() * config.methods.len(),
             workers.len()
         );
-        records
-    } else {
-        let mut records = Vec::new();
-        for pair in &pairs {
-            for kind in MatcherKind::ALL {
-                let matcher = kind.instantiate();
-                records.push(execute_one(pair, kind, matcher.as_ref()));
-            }
-        }
-        records
-    };
-    if let Some(sink) = &mut sink {
-        for record in &records {
-            sink.record(record)
-                .map_err(|e| format!("cannot write trace record: {e}"))?;
-        }
+    }
+    if resume_path.is_some() {
+        println!(
+            "{} run(s) executed now, {} carried over from the checkpoint",
+            new_runs,
+            runner.len() - new_runs
+        );
     }
 
     println!(
         "{} runs over {} pairs ({} methods):",
-        records.len(),
+        runner.len(),
         pairs.len(),
         MatcherKind::ALL.len()
     );
@@ -415,7 +561,11 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         "method", "runs", "failed", "mean recall", "runtime"
     );
     for kind in MatcherKind::ALL {
-        let of_kind: Vec<&ExperimentRecord> = records.iter().filter(|r| r.method == kind).collect();
+        let of_kind: Vec<&ExperimentRecord> = runner
+            .records()
+            .iter()
+            .filter(|r| r.method == kind)
+            .collect();
         let failed = of_kind.iter().filter(|r| r.error.is_some()).count();
         let recall: f64 =
             of_kind.iter().map(|r| r.recall).sum::<f64>() / of_kind.len().max(1) as f64;
@@ -430,6 +580,12 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         );
     }
 
+    if let Some(path) = p.opt("summary") {
+        let summary = valentine_core::reports::render_run_summary(&runner, &MatcherKind::ALL);
+        fs::write(path, summary).map_err(|e| format!("cannot write summary `{path}`: {e}"))?;
+        println!("summary written to {path}");
+    }
+
     if let Some(sink) = sink {
         sink.finish()
             .map_err(|e| format!("cannot finish trace: {e}"))?;
@@ -437,7 +593,26 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<(), Stri
         println!("\ntrace written to {}", path.display());
         println!("render it with: valentine trace report {}", path.display());
     }
-    Ok(())
+
+    // A method whose every run failed produces a meaningless comparison —
+    // exit nonzero so harnesses notice instead of reading a table of zeros.
+    let fully_failed: Vec<&str> = MatcherKind::ALL
+        .iter()
+        .filter(|&&kind| {
+            let runs = runner.records().iter().filter(|r| r.method == kind).count();
+            runs > 0 && runner.errors_of(kind) == runs
+        })
+        .map(|k| k.label())
+        .collect();
+    if !fully_failed.is_empty() {
+        print!("{}", valentine_core::reports::render_error_summary(&runner));
+        eprintln!(
+            "valentine: every run failed for: {} — reporting exit code 1",
+            fully_failed.join(", ")
+        );
+        return Ok(1);
+    }
+    Ok(0)
 }
 
 /// `valentine trace <report>`
@@ -925,7 +1100,94 @@ mod tests {
 
     #[test]
     fn run_without_trace_prints_summary_only() {
-        run_experiments(&argv(&["--size", "tiny", "--seed", "3"]), None).expect("run works");
+        let code =
+            run_experiments(&argv(&["--size", "tiny", "--seed", "3"]), None).expect("run works");
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn run_exit_code_flags_fully_failed_methods() {
+        // `error@*` fails every match invocation: all methods are 100%
+        // failed, which must surface as exit code 1 (not a silent table of
+        // zeros).
+        let code = run_experiments(
+            &argv(&["--size", "tiny", "--seed", "3", "--fault", "error@*"]),
+            None,
+        )
+        .expect("run completes despite injected errors");
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn run_rejects_bad_resilience_flags() {
+        assert!(run_experiments(&argv(&["--task-deadline", "soon"]), None).is_err());
+        assert!(run_experiments(&argv(&["--fault", "warp@3"]), None).is_err());
+        assert!(
+            run_experiments(&argv(&["--resume", "/nonexistent.ck.jsonl"]), None).is_err(),
+            "resume from a missing checkpoint must fail loudly"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_report_matches_uninterrupted_run() {
+        let dir = temp_dir("ck_resume");
+        let clean = dir.join("clean.txt");
+        let resumed = dir.join("resumed.txt");
+        let ck = dir.join("run.ck.jsonl");
+        let (clean_s, resumed_s, ck_s) = (
+            clean.to_str().unwrap(),
+            resumed.to_str().unwrap(),
+            ck.to_str().unwrap(),
+        );
+
+        // The reference: an uninterrupted run's summary.
+        let code = run_experiments(
+            &argv(&["--size", "tiny", "--seed", "7", "--summary", clean_s]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+
+        // The "crashing" run: one injected error mid-grid, journaled to a
+        // checkpoint. The errored cell is exactly what resume must redo.
+        run_experiments(
+            &argv(&[
+                "--size",
+                "tiny",
+                "--seed",
+                "7",
+                "--fault",
+                "error@4",
+                "--checkpoint",
+                ck_s,
+            ]),
+            None,
+        )
+        .unwrap();
+
+        // Resume: re-runs only the errored cell, carries the rest over, and
+        // must render a summary byte-identical to the uninterrupted run.
+        let code = run_experiments(
+            &argv(&[
+                "--size",
+                "tiny",
+                "--seed",
+                "7",
+                "--resume",
+                ck_s,
+                "--summary",
+                resumed_s,
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(
+            fs::read_to_string(&clean).unwrap(),
+            fs::read_to_string(&resumed).unwrap(),
+            "resumed summary must be byte-identical to the clean run's"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

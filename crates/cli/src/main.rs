@@ -38,7 +38,7 @@ fn main() {
 
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match peel_trace(&mut argv).and_then(|trace| run(&argv, trace)) {
-        Ok(()) => 0,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("valentine: {e}");
             2
@@ -64,7 +64,10 @@ fn peel_trace(argv: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
     Ok(Some(PathBuf::from(path)))
 }
 
-fn run(argv: &[String], trace: Option<PathBuf>) -> Result<(), String> {
+/// Dispatches a command, returning the process exit code. `valentine run`
+/// is the only command with a non-binary exit: it reports code 1 when a
+/// method's whole grid failed (see [`commands::run_experiments`]).
+fn run(argv: &[String], trace: Option<PathBuf>) -> Result<i32, String> {
     if trace.is_some() {
         valentine_core::obs::set_enabled(true);
     }
@@ -91,5 +94,5 @@ fn run(argv: &[String], trace: Option<PathBuf>) -> Result<(), String> {
     if let Some(path) = &trace {
         commands::write_snapshot_trace(path)?;
     }
-    Ok(())
+    Ok(0)
 }

@@ -1,0 +1,518 @@
+//! Crash-safe experiment checkpointing.
+//!
+//! A checkpoint is an append-only JSONL journal of finished
+//! [`ExperimentRecord`]s: a versioned `meta` header line followed by one
+//! `record` line per completed (pair, method, configuration) cell. The
+//! writer hands every line to the OS immediately (a process crash — an OOM
+//! kill, an injected `exit` fault — loses nothing already appended) and
+//! `fsync`s every [`SYNC_EVERY`] records, so even a power cut loses at
+//! most that tail plus (at worst) one torn final line.
+//!
+//! [`load`] rebuilds the journal tolerantly: a torn final line is expected
+//! crash debris and skipped without complaint, mid-file garbage is counted
+//! (not silently dropped), duplicate cells resolve last-write-wins, and a
+//! header claiming a newer format version is rejected outright rather than
+//! misread. The completed-cell set ([`Checkpoint::completed`]) contains
+//! only **error-free** records: a resumed run re-executes cells that
+//! errored (they may have failed precisely because the previous run was
+//! dying), so `--resume` converges to the same report an uninterrupted run
+//! produces.
+//!
+//! Record lines use the trace-file record shape
+//! ([`crate::trace::TraceSink`]) plus the pair's noise flags, so a
+//! checkpoint can round-trip a full record, not just its identity.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::time::Duration;
+
+use valentine_fabricator::ScenarioKind;
+use valentine_matchers::MatcherKind;
+use valentine_obs::json::Json;
+use valentine_obs::jsonl;
+use valentine_table::FxHashMap;
+
+use crate::runner::{CompletedSet, ExperimentRecord, PhaseStat};
+
+/// Format tag of the header line.
+pub const FORMAT: &str = "valentine-checkpoint";
+/// Format version this module writes and the newest it will read.
+pub const VERSION: u64 = 1;
+/// Records between `fsync`s: the most a *machine* crash can lose. A mere
+/// process crash loses nothing — every record is flushed to the OS.
+pub const SYNC_EVERY: usize = 16;
+
+/// The header line of a checkpoint file.
+pub fn header_line() -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("meta".into())),
+        ("format".into(), Json::Str(FORMAT.into())),
+        ("version".into(), Json::UInt(VERSION)),
+    ])
+    .render()
+}
+
+/// Serialises one record as a checkpoint `record` line (no newline).
+pub fn record_line(rec: &ExperimentRecord) -> String {
+    let phases = rec
+        .phases
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(p.path.clone())),
+                ("count".into(), Json::UInt(p.stat.count)),
+                ("total_ns".into(), Json::UInt(p.stat.total_ns)),
+                ("max_ns".into(), Json::UInt(p.stat.max_ns)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("type".into(), Json::Str("record".into())),
+        ("pair".into(), Json::Str(rec.pair_id.clone())),
+        ("source".into(), Json::Str(rec.source_name.clone())),
+        ("scenario".into(), Json::Str(format!("{:?}", rec.scenario))),
+        ("noisy_schema".into(), Json::Bool(rec.noisy_schema)),
+        ("noisy_instances".into(), Json::Bool(rec.noisy_instances)),
+        ("method".into(), Json::Str(rec.method.label().into())),
+        ("config".into(), Json::Str(rec.config.clone())),
+        ("recall".into(), Json::Float(rec.recall)),
+        (
+            "runtime_ns".into(),
+            Json::UInt(rec.runtime.as_nanos() as u64),
+        ),
+        (
+            "ground_truth".into(),
+            Json::UInt(rec.ground_truth_size as u64),
+        ),
+        (
+            "error".into(),
+            match &rec.error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("worker".into(), Json::UInt(rec.worker as u64)),
+        ("phases".into(), Json::Arr(phases)),
+    ])
+    .render()
+}
+
+/// Appends finished records to a checkpoint journal, fsync'ing every
+/// [`SYNC_EVERY`] records so progress survives a crash.
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+    unsynced: usize,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncates) a checkpoint file and durably writes the header.
+    pub fn create(path: &Path) -> io::Result<CheckpointWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", header_line())?;
+        let mut writer = CheckpointWriter { out, unsynced: 0 };
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing checkpoint in append mode, so a resumed run
+    /// keeps journaling into the same file. The header must already have
+    /// been validated (by [`load`]) — this does not re-read the file.
+    pub fn append_to(path: &Path) -> io::Result<CheckpointWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(CheckpointWriter {
+            out: BufWriter::new(file),
+            unsynced: 0,
+        })
+    }
+
+    /// Journals one finished record. Every line reaches the OS immediately
+    /// (so an abrupt process exit loses nothing already appended); the
+    /// costlier `fsync` runs every [`SYNC_EVERY`] records.
+    pub fn append(&mut self, rec: &ExperimentRecord) -> io::Result<()> {
+        writeln!(self.out, "{}", record_line(rec))?;
+        self.out.flush()?;
+        self.unsynced += 1;
+        if self.unsynced >= SYNC_EVERY {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Flushes and fsyncs the tail.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.sync()
+    }
+}
+
+/// A loaded checkpoint: deduplicated records plus explicit accounting of
+/// everything the reader had to skip.
+#[derive(Debug, Default)]
+pub struct Checkpoint {
+    /// Last-write-wins deduplicated records, in first-seen cell order.
+    pub records: Vec<ExperimentRecord>,
+    /// Mid-file lines that failed to parse (counted, never silently lost).
+    pub malformed: usize,
+    /// Whether the final line was torn (crash debris; tolerated).
+    pub torn_tail: bool,
+    /// First mid-file parse error, for diagnostics.
+    pub first_error: Option<String>,
+}
+
+impl Checkpoint {
+    /// The (pair, method, config) cells a resumed run must skip — only
+    /// cells whose latest record finished **without** error count; errored
+    /// cells are re-executed on resume.
+    pub fn completed(&self) -> CompletedSet {
+        self.records
+            .iter()
+            .filter(|r| !r.failed())
+            .map(|r| {
+                (
+                    r.pair_id.clone(),
+                    r.method.label().to_string(),
+                    r.config.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The error-free records a resumed run carries over verbatim.
+    pub fn clean_records(&self) -> Vec<ExperimentRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.failed())
+            .cloned()
+            .collect()
+    }
+}
+
+/// Reads and validates a checkpoint file.
+///
+/// # Errors
+/// Fails when the file cannot be read, is missing its header, claims a
+/// different format, or claims a version newer than [`VERSION`]. Body
+/// damage (torn tail, garbage lines) is tolerated and counted instead.
+pub fn load(path: &Path) -> Result<Checkpoint, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// [`load`] on in-memory contents.
+pub fn parse(text: &str) -> Result<Checkpoint, String> {
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    if lines.last() == Some(&"") {
+        lines.pop(); // trailing newline
+    }
+    let Some((&header, body)) = lines.split_first() else {
+        return Err("checkpoint is empty (missing header)".into());
+    };
+    check_header(header)?;
+
+    let mut ck = Checkpoint::default();
+    let mut slot: FxHashMap<(String, String, String), usize> = FxHashMap::default();
+    let last = body.len().saturating_sub(1);
+    for (i, line) in body.iter().enumerate() {
+        match Json::parse(line).and_then(|v| parse_record(&v)) {
+            Ok(rec) => {
+                let key = (
+                    rec.pair_id.clone(),
+                    rec.method.label().to_string(),
+                    rec.config.clone(),
+                );
+                match slot.get(&key) {
+                    Some(&at) => ck.records[at] = rec, // last write wins
+                    None => {
+                        slot.insert(key, ck.records.len());
+                        ck.records.push(rec);
+                    }
+                }
+            }
+            Err(_) if i == last => ck.torn_tail = true, // crash debris
+            Err(e) => {
+                ck.malformed += 1;
+                if ck.first_error.is_none() {
+                    ck.first_error = Some(e);
+                }
+            }
+        }
+    }
+    Ok(ck)
+}
+
+fn check_header(line: &str) -> Result<(), String> {
+    let value = Json::parse(line).map_err(|e| format!("checkpoint header is not JSON: {e}"))?;
+    if value.get("type").and_then(Json::as_str) != Some("meta") {
+        return Err("checkpoint header is missing (first line is not a meta event)".into());
+    }
+    match value.get("format").and_then(Json::as_str) {
+        Some(FORMAT) => {}
+        Some(other) => return Err(format!("not a checkpoint file (format {other:?})")),
+        None => return Err("checkpoint header has no format field".into()),
+    }
+    match value.get("version").and_then(Json::as_u64) {
+        Some(v) if v <= VERSION => Ok(()),
+        Some(v) => Err(format!(
+            "checkpoint format version {v} is newer than this reader's {VERSION} — refusing to resume from a file it might misread"
+        )),
+        None => Err("checkpoint header has no version field".into()),
+    }
+}
+
+fn parse_record(value: &Json) -> Result<ExperimentRecord, String> {
+    if value.get("type").and_then(Json::as_str) != Some("record") {
+        return Err("checkpoint line is not a record event".into());
+    }
+    let str_field = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("record missing string field {key:?}"))
+    };
+    let bool_field = |key: &str| -> Result<bool, String> {
+        match value.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("record missing bool field {key:?}")),
+        }
+    };
+    let scenario_name = str_field("scenario")?;
+    let scenario = ScenarioKind::ALL
+        .iter()
+        .copied()
+        .find(|k| format!("{k:?}") == scenario_name)
+        .ok_or_else(|| format!("unknown scenario {scenario_name:?}"))?;
+    let method_label = str_field("method")?;
+    let method = MatcherKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.label() == method_label)
+        .ok_or_else(|| format!("unknown method {method_label:?}"))?;
+    let mut phases = Vec::new();
+    for entry in value
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("record missing \"phases\" array")?
+    {
+        phases.push(PhaseStat {
+            path: entry
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("phase missing \"path\"")?
+                .to_string(),
+            stat: jsonl::span_stat_from(entry)?,
+        });
+    }
+    Ok(ExperimentRecord {
+        pair_id: str_field("pair")?,
+        source_name: str_field("source")?,
+        scenario,
+        noisy_schema: bool_field("noisy_schema")?,
+        noisy_instances: bool_field("noisy_instances")?,
+        method,
+        config: str_field("config")?,
+        recall: value
+            .get("recall")
+            .and_then(Json::as_f64)
+            .ok_or("record missing \"recall\"")?,
+        runtime: Duration::from_nanos(
+            value
+                .get("runtime_ns")
+                .and_then(Json::as_u64)
+                .ok_or("record missing \"runtime_ns\"")?,
+        ),
+        phases,
+        ground_truth_size: value
+            .get("ground_truth")
+            .and_then(Json::as_u64)
+            .ok_or("record missing \"ground_truth\"")? as usize,
+        error: value
+            .get("error")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        worker: value.get("worker").and_then(Json::as_u64).unwrap_or(0) as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_obs::SpanStat;
+
+    fn sample(pair: &str, config: &str, recall: f64, error: Option<&str>) -> ExperimentRecord {
+        ExperimentRecord {
+            pair_id: pair.to_string(),
+            source_name: "tpcdi".to_string(),
+            scenario: ScenarioKind::Joinable,
+            noisy_schema: true,
+            noisy_instances: false,
+            method: MatcherKind::ComaInstance,
+            config: config.to_string(),
+            recall,
+            runtime: Duration::from_nanos(12_345),
+            phases: vec![PhaseStat {
+                path: "coma/similarity".to_string(),
+                stat: SpanStat {
+                    count: 1,
+                    total_ns: 9_000,
+                    max_ns: 9_000,
+                },
+            }],
+            ground_truth_size: 4,
+            error: error.map(str::to_string),
+            worker: 3,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("valentine_ck_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn writer_and_loader_round_trip() {
+        let path = temp_path("roundtrip");
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        let records = vec![
+            sample("p1", "cfg-a", 0.75, None),
+            sample("p1", "cfg-b", 0.5, Some("boom")),
+        ];
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        w.finish().unwrap();
+
+        let ck = load(&path).unwrap();
+        assert_eq!(ck.malformed, 0, "{:?}", ck.first_error);
+        assert!(!ck.torn_tail);
+        assert_eq!(ck.records.len(), 2);
+        let r = &ck.records[0];
+        assert_eq!(r.pair_id, "p1");
+        assert_eq!(r.scenario, ScenarioKind::Joinable);
+        assert!(r.noisy_schema);
+        assert!(!r.noisy_instances);
+        assert_eq!(r.method, MatcherKind::ComaInstance);
+        assert_eq!(r.recall, 0.75);
+        assert_eq!(r.runtime, Duration::from_nanos(12_345));
+        assert_eq!(r.ground_truth_size, 4);
+        assert_eq!(r.worker, 3);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].stat.total_ns, 9_000);
+        assert_eq!(ck.records[1].error.as_deref(), Some("boom"));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let mut text = format!(
+            "{}\n{}\n",
+            header_line(),
+            record_line(&sample("p1", "a", 1.0, None))
+        );
+        let full = record_line(&sample("p1", "b", 0.5, None));
+        text.push_str(&full[..full.len() / 2]); // torn mid-write, no newline
+        let ck = parse(&text).unwrap();
+        assert!(ck.torn_tail);
+        assert_eq!(ck.malformed, 0);
+        assert_eq!(ck.records.len(), 1, "the intact record survives");
+        assert_eq!(ck.completed().len(), 1);
+    }
+
+    #[test]
+    fn mid_file_garbage_is_counted_not_dropped_silently() {
+        let text = format!(
+            "{}\nnot json at all\n{}\n",
+            header_line(),
+            record_line(&sample("p1", "a", 1.0, None))
+        );
+        let ck = parse(&text).unwrap();
+        assert_eq!(ck.malformed, 1);
+        assert!(ck.first_error.is_some());
+        assert!(!ck.torn_tail);
+        assert_eq!(ck.records.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_cells_resolve_last_write_wins() {
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            header_line(),
+            record_line(&sample("p1", "a", 0.25, Some("deadline exceeded"))),
+            record_line(&sample("p1", "b", 0.5, None)),
+            record_line(&sample("p1", "a", 1.0, None)), // retried cell
+        );
+        let ck = parse(&text).unwrap();
+        assert_eq!(ck.records.len(), 2);
+        assert_eq!(ck.records[0].recall, 1.0, "later write replaced the first");
+        assert_eq!(ck.records[0].error, None);
+        assert_eq!(ck.completed().len(), 2);
+    }
+
+    #[test]
+    fn completed_excludes_errored_cells() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            header_line(),
+            record_line(&sample("p1", "a", 0.0, Some("deadline exceeded: task"))),
+            record_line(&sample("p1", "b", 0.5, None)),
+        );
+        let ck = parse(&text).unwrap();
+        assert_eq!(ck.records.len(), 2);
+        let done = ck.completed();
+        assert_eq!(done.len(), 1, "errored cell must be re-run on resume");
+        assert!(done.contains(&(
+            "p1".to_string(),
+            MatcherKind::ComaInstance.label().to_string(),
+            "b".to_string()
+        )));
+        assert_eq!(ck.clean_records().len(), 1);
+    }
+
+    #[test]
+    fn header_validation_rejects_wrong_and_newer_files() {
+        assert!(parse("").is_err(), "empty file");
+        assert!(parse("not json\n").is_err(), "garbage header");
+        assert!(
+            parse(&format!("{}\n", jsonl::meta_line())).is_err(),
+            "a trace file is not a checkpoint"
+        );
+        let newer = format!(
+            "{{\"type\":\"meta\",\"format\":\"{FORMAT}\",\"version\":{}}}\n",
+            VERSION + 1
+        );
+        let err = parse(&newer).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn append_mode_continues_the_journal() {
+        let path = temp_path("append");
+        let mut w = CheckpointWriter::create(&path).unwrap();
+        w.append(&sample("p1", "a", 1.0, None)).unwrap();
+        w.finish().unwrap();
+        let mut w = CheckpointWriter::append_to(&path).unwrap();
+        w.append(&sample("p1", "b", 0.5, None)).unwrap();
+        w.finish().unwrap();
+        let ck = load(&path).unwrap();
+        assert_eq!(ck.records.len(), 2);
+        assert_eq!(ck.malformed, 0, "{:?}", ck.first_error);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_method_or_scenario_is_malformed_not_fatal() {
+        let good = record_line(&sample("p1", "a", 1.0, None));
+        let bad_method = good.replace(MatcherKind::ComaInstance.label(), "Quantum Annealer");
+        let text = format!("{}\n{bad_method}\n{good}\n", header_line());
+        let ck = parse(&text).unwrap();
+        assert_eq!(ck.malformed, 1);
+        assert_eq!(ck.records.len(), 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! [`FaultyMatcher`] wraps any [`Matcher`] and injects a scripted fault at
+//! the k-th **match invocation** (`match_tables` / `match_prepared` calls;
+//! `prepare` is forwarded untouched so two-phase sharing still happens).
+//! The invocation counter is shared across every wrapper built from the
+//! same [`FaultPlan`] application, so "fail the 5th call of the run" means
+//! the run's 5th call regardless of which worker thread lands on it —
+//! deterministic under single-threaded schedules, and a fixed fault *count*
+//! under parallel ones.
+//!
+//! Plans are compact strings, e.g. `hang@5,error@12,exit@135`:
+//!
+//! | kind | behaviour |
+//! |---|---|
+//! | `panic` | panics (the runner's panic isolation must contain it) |
+//! | `hang` | sleeps forever, waking only at [`cancel`] checkpoints — a stuck matcher that still honours cooperative cancellation, killable only by a deadline |
+//! | `error` | returns a `MatchError::Internal` |
+//! | `garbage` | returns a syntactically valid but absurd ranking |
+//! | `exit` | terminates the whole process with exit code [`EXIT_CODE`] — a simulated crash for checkpoint/resume drills |
+//!
+//! `kind@*` fires on every invocation. The harness lives in the core crate
+//! (not a test helper) so integration tests, the CLI's `--fault` flag, and
+//! the `bench/resilience` guard all script faults the same way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use valentine_matchers::{ColumnMatch, MatchError, MatchResult, Matcher, PairArtifacts};
+use valentine_obs::cancel;
+use valentine_table::Table;
+
+/// Process exit code of an injected `exit` fault (distinctive, so harnesses
+/// can tell a scripted crash from a real one).
+pub const EXIT_CODE: i32 = 86;
+
+/// What an injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the matcher call.
+    Panic,
+    /// Sleep forever, polling only the cooperative cancellation checkpoint.
+    Hang,
+    /// Return an internal error.
+    Error,
+    /// Return a well-formed but absurd ranking.
+    Garbage,
+    /// Kill the whole process (simulated crash).
+    Exit,
+}
+
+impl FaultKind {
+    fn parse(name: &str) -> Result<FaultKind, String> {
+        Ok(match name {
+            "panic" => FaultKind::Panic,
+            "hang" => FaultKind::Hang,
+            "error" => FaultKind::Error,
+            "garbage" => FaultKind::Garbage,
+            "exit" => FaultKind::Exit,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (panic | hang | error | garbage | exit)"
+                ))
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum When {
+    At(usize),
+    Every,
+}
+
+/// A scripted schedule of faults, keyed by match-invocation number
+/// (1-based).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(FaultKind, When)>,
+}
+
+impl FaultPlan {
+    /// Parses a plan like `hang@5,error@*,exit@135`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, when) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{part}` must be kind@invocation (e.g. hang@5)"))?;
+            let kind = FaultKind::parse(kind)?;
+            let when =
+                match when {
+                    "*" => When::Every,
+                    n => When::At(n.parse::<usize>().map_err(|_| {
+                        format!("fault `{part}`: invocation must be a number or `*`")
+                    })?),
+                };
+            if when == When::At(0) {
+                return Err(format!("fault `{part}`: invocations are 1-based"));
+            }
+            faults.push((kind, when));
+        }
+        if faults.is_empty() {
+            return Err("empty fault plan".into());
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// The fault scheduled for the given 1-based invocation, if any (first
+    /// match in plan order wins).
+    fn fault_for(&self, invocation: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|(_, when)| matches!(when, When::Every) || *when == When::At(invocation))
+            .map(|(kind, _)| *kind)
+    }
+}
+
+/// A [`Matcher`] wrapper that injects the plan's faults.
+pub struct FaultyMatcher {
+    inner: Box<dyn Matcher>,
+    plan: FaultPlan,
+    calls: Arc<AtomicUsize>,
+}
+
+impl FaultyMatcher {
+    /// Wraps one matcher. Pass the same `calls` counter to every wrapper
+    /// that should share one invocation sequence.
+    pub fn new(inner: Box<dyn Matcher>, plan: FaultPlan, calls: Arc<AtomicUsize>) -> FaultyMatcher {
+        FaultyMatcher { inner, plan, calls }
+    }
+
+    /// Wraps every matcher of a grid under one shared invocation counter.
+    pub fn wrap_grid(
+        grid: Vec<Box<dyn Matcher>>,
+        plan: &FaultPlan,
+        calls: &Arc<AtomicUsize>,
+    ) -> Vec<Box<dyn Matcher>> {
+        grid.into_iter()
+            .map(|m| {
+                Box::new(FaultyMatcher::new(m, plan.clone(), calls.clone())) as Box<dyn Matcher>
+            })
+            .collect()
+    }
+
+    /// Runs the scripted fault for this invocation, if one is due. Returns
+    /// `Ok(Some(result))` when the fault fabricates a result (garbage),
+    /// `Ok(None)` when the real matcher should run.
+    fn inject(&self) -> Result<Option<MatchResult>, MatchError> {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.plan.fault_for(n) {
+            None => Ok(None),
+            Some(FaultKind::Panic) => panic!("injected fault: panic at invocation {n}"),
+            Some(FaultKind::Hang) => loop {
+                // A hang that still honours cooperative cancellation:
+                // threads cannot be killed, so "forever" means "until the
+                // ambient deadline fires at a checkpoint".
+                cancel::checkpoint()?;
+                std::thread::sleep(Duration::from_millis(2));
+            },
+            Some(FaultKind::Error) => Err(MatchError::Internal(format!(
+                "injected fault: error at invocation {n}"
+            ))),
+            Some(FaultKind::Garbage) => Ok(Some(MatchResult::ranked(vec![ColumnMatch::new(
+                "__garbage_source__",
+                "__garbage_target__",
+                1.0e9,
+            )]))),
+            Some(FaultKind::Exit) => {
+                eprintln!("injected fault: exit at invocation {n} (simulated crash)");
+                std::process::exit(EXIT_CODE);
+            }
+        }
+    }
+}
+
+impl Matcher for FaultyMatcher {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn match_tables(&self, source: &Table, target: &Table) -> Result<MatchResult, MatchError> {
+        match self.inject()? {
+            Some(garbage) => Ok(garbage),
+            None => self.inner.match_tables(source, target),
+        }
+    }
+
+    fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
+        self.inner.prepare(source, target)
+    }
+
+    fn match_prepared(
+        &self,
+        artifacts: &PairArtifacts,
+        source: &Table,
+        target: &Table,
+    ) -> Result<MatchResult, MatchError> {
+        match self.inject()? {
+            Some(garbage) => Ok(garbage),
+            None => self.inner.match_prepared(artifacts, source, target),
+        }
+    }
+
+    fn halved_budget(&self) -> Option<Box<dyn Matcher>> {
+        Some(Box::new(FaultyMatcher {
+            inner: self.inner.halved_budget()?,
+            plan: self.plan.clone(),
+            calls: self.calls.clone(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_obs::CancelToken;
+
+    /// A matcher that always succeeds with one fixed correspondence.
+    struct Always;
+
+    impl Matcher for Always {
+        fn name(&self) -> String {
+            "always".to_string()
+        }
+        fn match_tables(&self, _: &Table, _: &Table) -> Result<MatchResult, MatchError> {
+            Ok(MatchResult::ranked(vec![ColumnMatch::new("a", "b", 1.0)]))
+        }
+    }
+
+    fn tables() -> (Table, Table) {
+        use valentine_table::Value;
+        let t = |name: &str| {
+            Table::from_pairs(name, vec![("c", vec![Value::Str("v".to_string())])]).unwrap()
+        };
+        (t("s"), t("t"))
+    }
+
+    #[test]
+    fn plan_parses_positions_and_wildcards() {
+        let plan = FaultPlan::parse("hang@5, exit@135 ,error@*").unwrap();
+        assert_eq!(plan.fault_for(5), Some(FaultKind::Hang));
+        assert_eq!(plan.fault_for(135), Some(FaultKind::Exit));
+        assert_eq!(plan.fault_for(1), Some(FaultKind::Error), "wildcard");
+        let sparse = FaultPlan::parse("garbage@7").unwrap();
+        assert_eq!(sparse.fault_for(6), None);
+        assert_eq!(sparse.fault_for(7), Some(FaultKind::Garbage));
+    }
+
+    #[test]
+    fn plan_rejects_bad_specs() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("hang").is_err(), "missing @");
+        assert!(FaultPlan::parse("hang@x").is_err(), "bad position");
+        assert!(FaultPlan::parse("hang@0").is_err(), "1-based");
+        assert!(FaultPlan::parse("teleport@3").is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn error_fires_at_the_scheduled_invocation_only() {
+        let (s, t) = tables();
+        let plan = FaultPlan::parse("error@2").unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let m = FaultyMatcher::new(Box::new(Always), plan, calls.clone());
+        assert!(
+            m.match_tables(&s, &t).is_ok(),
+            "invocation 1 passes through"
+        );
+        let err = m.match_tables(&s, &t).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(m.match_tables(&s, &t).is_ok(), "invocation 3 recovers");
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn counter_is_shared_across_wrapped_grid() {
+        let (s, t) = tables();
+        let plan = FaultPlan::parse("error@2").unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let grid =
+            FaultyMatcher::wrap_grid(vec![Box::new(Always), Box::new(Always)], &plan, &calls);
+        assert!(grid[0].match_tables(&s, &t).is_ok());
+        assert!(
+            grid[1].match_tables(&s, &t).is_err(),
+            "second wrapper sees invocation 2"
+        );
+    }
+
+    #[test]
+    fn garbage_returns_an_absurd_but_wellformed_ranking() {
+        let (s, t) = tables();
+        let plan = FaultPlan::parse("garbage@1").unwrap();
+        let m = FaultyMatcher::new(Box::new(Always), plan, Arc::new(AtomicUsize::new(0)));
+        let r = m.match_tables(&s, &t).unwrap();
+        assert_eq!(&*r.matches()[0].source, "__garbage_source__");
+        assert!(r.matches()[0].score > 1.0, "impossible score");
+    }
+
+    #[test]
+    fn hang_is_cancellable_at_checkpoints() {
+        let (s, t) = tables();
+        let plan = FaultPlan::parse("hang@1").unwrap();
+        let m = FaultyMatcher::new(Box::new(Always), plan, Arc::new(AtomicUsize::new(0)));
+        let _scope = cancel::scope(CancelToken::with_deadline(
+            "test",
+            Some(Duration::from_millis(20)),
+        ));
+        let start = std::time::Instant::now();
+        let err = m.match_tables(&s, &t).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "deadline freed it"
+        );
+        assert!(matches!(err, MatchError::DeadlineExceeded(_)), "{err}");
+    }
+
+    #[test]
+    fn name_and_prepare_pass_through_uncounted() {
+        let (s, t) = tables();
+        let plan = FaultPlan::parse("error@1").unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let m = FaultyMatcher::new(Box::new(Always), plan, calls.clone());
+        assert_eq!(m.name(), "always");
+        assert!(m.prepare(&s, &t).unwrap().is_none());
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "prepare is not counted");
+    }
+}

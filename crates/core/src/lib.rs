@@ -20,12 +20,18 @@
 //! * [`discovery`] — corpus-scale evaluation of the sketch-based discovery
 //!   index ([`valentine_index`]) against fabricator ground truth;
 //! * [`trace`] — trace-file writing ([`valentine_obs`] JSONL) and the
-//!   Table IV-style per-method phase attribution report.
+//!   Table IV-style per-method phase attribution report;
+//! * [`checkpoint`] — crash-safe JSONL journaling of finished records and
+//!   the tolerant loader behind `valentine run --resume`;
+//! * [`fault`] — deterministic fault injection (panics, hangs, errors,
+//!   garbage output, simulated crashes) for resilience drills.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod corpus;
 pub mod discovery;
+pub mod fault;
 pub mod grids;
 pub mod metrics;
 pub mod reports;
@@ -51,7 +57,7 @@ pub use metrics::{
     average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
     recall_at_ground_truth, recall_at_k,
 };
-pub use runner::{ExperimentRecord, Runner, RunnerConfig};
+pub use runner::{CompletedSet, ExperimentRecord, Runner, RunnerConfig};
 
 /// Everything a downstream user typically needs.
 pub mod prelude {
@@ -77,7 +83,7 @@ pub mod prelude {
         average_precision, mean_reciprocal_rank, ndcg_at_k, precision_recall_f1,
         recall_at_ground_truth, recall_at_k,
     };
-    pub use crate::runner::{ExperimentRecord, Runner, RunnerConfig};
+    pub use crate::runner::{CompletedSet, ExperimentRecord, Runner, RunnerConfig};
     pub use crate::select::{extract_hungarian, extract_stable_marriage, extract_threshold_delta};
     pub use crate::table::{Column, DataType, Table, Value};
 }

@@ -206,6 +206,38 @@ pub fn records_tsv(runner: &Runner) -> String {
     out
 }
 
+/// Renders a deterministic per-method run summary: runs, failures, and mean
+/// recall — deliberately **without** runtimes, so a resumed run's summary is
+/// byte-identical to the summary of the same grid run uninterrupted (the
+/// resilience CI job diffs exactly this).
+pub fn render_run_summary(runner: &Runner, methods: &[MatcherKind]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>5} {:>7} {:>12}",
+        "method", "runs", "failed", "mean recall"
+    );
+    for &method in methods {
+        let of_kind: Vec<&crate::runner::ExperimentRecord> = runner
+            .records()
+            .iter()
+            .filter(|r| r.method == method)
+            .collect();
+        let failed = of_kind.iter().filter(|r| r.failed()).count();
+        let recall: f64 =
+            of_kind.iter().map(|r| r.recall).sum::<f64>() / of_kind.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{:<24} {:>5} {:>7} {:>12.4}",
+            method.label(),
+            of_kind.len(),
+            failed,
+            recall
+        );
+    }
+    out
+}
+
 /// Renders the per-method failure summary: how many runs errored instead of
 /// producing a ranking. An empty string when every run succeeded, so
 /// harnesses can append it unconditionally.
@@ -256,6 +288,7 @@ mod tests {
                 methods: vec![MatcherKind::ComaSchema],
                 scale: GridScale::Small,
                 threads: 1,
+                ..RunnerConfig::default()
             },
         )
     }
@@ -320,6 +353,20 @@ mod tests {
         let row = s.lines().last().unwrap();
         assert_eq!(row.matches('#').count(), 1);
         assert_eq!(row.matches('=').count(), 0, "single point collapses to #");
+    }
+
+    #[test]
+    fn run_summary_is_runtime_free_and_deterministic() {
+        let r = tiny_runner();
+        let s1 = render_run_summary(&r, &[MatcherKind::ComaSchema]);
+        // Rebuilding from shuffled records (fresh runtimes irrelevant —
+        // none are printed) must render byte-identically.
+        let mut records = r.records().to_vec();
+        records.reverse();
+        let s2 = render_run_summary(&Runner::from_records(records), &[MatcherKind::ComaSchema]);
+        assert_eq!(s1, s2);
+        assert!(s1.contains("COMA Schema-based"));
+        assert!(!s1.contains("runtime"), "summary must stay runtime-free");
     }
 
     #[test]

@@ -16,17 +16,31 @@
 //! [`ExperimentRecord`], so a single bad column pair cannot abort a
 //! multi-hour grid run.
 //!
+//! Runs are additionally **bounded and resumable**. Each task installs a
+//! [`CancelToken`] (deadline = [`RunnerConfig::task_deadline`], chained to
+//! a run-wide token for [`RunnerConfig::run_deadline`]); the
+//! iteration-heavy kernels check it cooperatively and a timed-out run
+//! becomes a `deadline exceeded` record — counted under `runner/timeouts`
+//! and optionally retried once with a halved work budget
+//! ([`Matcher::halved_budget`]). [`Runner::run_grids`] also accepts the
+//! set of already-completed (pair, method, config) cells (rebuilt from a
+//! checkpoint file by [`crate::checkpoint`]) and skips them, and streams
+//! every finished batch to an observer so progress can be persisted as it
+//! happens.
+//!
 //! As in the paper, per (pair, method) the *best* configuration's score is
 //! what enters the figures — "grid search allows each algorithm to operate
 //! under optimal conditions" (§VI-B) — but every individual record is kept
 //! for the ablation reports.
 
+use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use valentine_fabricator::{DatasetPair, ScenarioKind};
 use valentine_matchers::{MatchError, MatchResult, Matcher, MatcherKind};
+use valentine_obs::cancel::{self, CancelToken};
 use valentine_obs::SpanStat;
 use valentine_table::FxHashMap;
 
@@ -96,6 +110,19 @@ pub struct RunnerConfig {
     /// Worker threads. (pair × method) tasks are the parallel axis, so a
     /// single pair still fans out across workers when several methods run.
     pub threads: usize,
+    /// Wall-clock budget per (pair × method) task. A task that overruns it
+    /// yields `deadline exceeded` error records for its unfinished
+    /// configurations (cooperatively — kernels observe the deadline at
+    /// their checkpoint granularity) while the rest of the grid completes.
+    pub task_deadline: Option<Duration>,
+    /// Wall-clock budget for the whole run. Once spent, every unfinished
+    /// task drains immediately into `deadline exceeded` records.
+    pub run_deadline: Option<Duration>,
+    /// Retry a timed-out configuration once with the matcher's
+    /// [`Matcher::halved_budget`] sibling (same grid-cell name, roughly
+    /// half the work) — graceful degradation instead of a hole in the
+    /// grid. Methods without a degraded sibling keep the timeout record.
+    pub retry_on_timeout: bool,
 }
 
 impl Default for RunnerConfig {
@@ -104,9 +131,16 @@ impl Default for RunnerConfig {
             methods: MatcherKind::ALL.to_vec(),
             scale: GridScale::Small,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            task_deadline: None,
+            run_deadline: None,
+            retry_on_timeout: false,
         }
     }
 }
+
+/// The (pair id, method label, config name) cells a resumed run must not
+/// re-execute. Built by [`crate::checkpoint::load`] from a checkpoint file.
+pub type CompletedSet = HashSet<(String, String, String)>;
 
 /// Extracts a printable message from a caught panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -160,6 +194,9 @@ fn build_record(
     config: String,
     call: ObservedCall<MatchResult>,
 ) -> ExperimentRecord {
+    if matches!(&call.result, Err(MatchError::DeadlineExceeded(_))) {
+        valentine_obs::counter("runner/timeouts", 1);
+    }
     let (recall, error) = match &call.result {
         Ok(r) => (recall_at_ground_truth(r, &pair.ground_truth), None),
         Err(e) => (0.0, Some(e.to_string())),
@@ -212,19 +249,126 @@ pub fn execute_grid(
     kind: MatcherKind,
     grid: &[Box<dyn Matcher>],
 ) -> Vec<ExperimentRecord> {
-    let Some(first) = grid.first() else {
+    execute_grid_task(pair, kind, grid, &TaskCtx::default())
+}
+
+/// Per-task execution context: the run-wide cancel token, the per-task
+/// deadline, the resume skip-set, and the retry policy.
+pub(crate) struct TaskCtx<'a> {
+    run_cancel: CancelToken,
+    task_deadline: Option<Duration>,
+    completed: Option<&'a CompletedSet>,
+    retry_on_timeout: bool,
+}
+
+impl Default for TaskCtx<'_> {
+    fn default() -> Self {
+        TaskCtx {
+            run_cancel: CancelToken::never(),
+            task_deadline: None,
+            completed: None,
+            retry_on_timeout: false,
+        }
+    }
+}
+
+/// Pre-flight deadline check: a config whose task token already fired gets
+/// an immediate `deadline exceeded` record (zero runtime, no matcher call)
+/// instead of burning a full kernel checkpoint interval discovering it.
+fn cancelled_call(reason: String) -> ObservedCall<MatchResult> {
+    ObservedCall {
+        result: Err(MatchError::DeadlineExceeded(reason)),
+        phases: Vec::new(),
+        runtime: Duration::ZERO,
+    }
+}
+
+/// Retries a timed-out configuration once with the matcher's halved-budget
+/// sibling under a fresh deadline. Returns the replacement record on
+/// success; a retry that fails again (or a method without a degraded
+/// sibling) keeps the original timeout record.
+fn retry_halved(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    matcher: &dyn Matcher,
+    ctx: &TaskCtx<'_>,
+) -> Option<ExperimentRecord> {
+    let degraded = matcher.halved_budget()?;
+    debug_assert_eq!(
+        degraded.name(),
+        matcher.name(),
+        "halved_budget must keep the grid-cell name"
+    );
+    valentine_obs::counter("runner/timeout_retries", 1);
+    let _scope = cancel::scope(ctx.run_cancel.child("task-retry", ctx.task_deadline));
+    let call = observed(|| degraded.match_tables(&pair.source, &pair.target));
+    let rec = build_record(pair, kind, matcher.name(), call);
+    (!rec.failed()).then_some(rec)
+}
+
+/// [`execute_grid`] with the resilience harness attached: skips grid cells
+/// the resume set marks complete, installs the task's cancellation scope,
+/// pre-checks the deadline before each configuration, and applies the
+/// retry-on-timeout policy.
+fn execute_grid_task(
+    pair: &DatasetPair,
+    kind: MatcherKind,
+    grid: &[Box<dyn Matcher>],
+    ctx: &TaskCtx<'_>,
+) -> Vec<ExperimentRecord> {
+    let todo: Vec<&dyn Matcher> = grid
+        .iter()
+        .map(AsRef::as_ref)
+        .filter(|m| {
+            ctx.completed.is_none_or(|done| {
+                !done.contains(&(pair.id.clone(), kind.label().to_string(), m.name()))
+            })
+        })
+        .collect();
+    let Some(first) = todo.first() else {
         return Vec::new();
     };
+
+    let task_cancel = ctx.run_cancel.child("task", ctx.task_deadline);
+    let _scope = cancel::scope(task_cancel.clone());
+
+    let finish_config = |m: &dyn Matcher, call: ObservedCall<MatchResult>| {
+        let rec = build_record(pair, kind, m.name(), call);
+        if ctx.retry_on_timeout
+            && rec
+                .error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("deadline exceeded"))
+        {
+            if let Some(retried) = retry_halved(pair, kind, m, ctx) {
+                return retried;
+            }
+        }
+        rec
+    };
+
+    // A task that starts after the run deadline fired drains immediately:
+    // every cell gets its timeout record without paying for preparation.
+    if let Err(c) = task_cancel.check() {
+        return todo
+            .iter()
+            .map(|m| finish_config(*m, cancelled_call(c.reason.clone())))
+            .collect();
+    }
+
     let prep = observed(|| first.prepare(&pair.source, &pair.target));
     let (prep_phases, prep_runtime) = (prep.phases, prep.runtime);
     match prep.result {
         Err(e) => {
-            let msg = e.to_string();
-            grid.iter()
+            // Every configuration would have hit the same preparation
+            // failure one-shot; clone it verbatim so a deadline stays a
+            // deadline (counted and retried) rather than flattening into
+            // an internal error.
+            todo.iter()
                 .enumerate()
                 .map(|(i, m)| {
                     let call = ObservedCall {
-                        result: Err(MatchError::Internal(msg.clone())),
+                        result: Err(e.clone()),
                         phases: if i == 0 {
                             prep_phases.clone()
                         } else {
@@ -232,27 +376,36 @@ pub fn execute_grid(
                         },
                         runtime: if i == 0 { prep_runtime } else { Duration::ZERO },
                     };
-                    build_record(pair, kind, m.name(), call)
+                    finish_config(*m, call)
                 })
                 .collect()
         }
-        Ok(None) => grid
+        Ok(None) => todo
             .iter()
-            .map(|m| execute_one(pair, kind, m.as_ref()))
+            .map(|m| match task_cancel.check() {
+                Err(c) => finish_config(*m, cancelled_call(c.reason)),
+                Ok(()) => {
+                    finish_config(*m, observed(|| m.match_tables(&pair.source, &pair.target)))
+                }
+            })
             .collect(),
         Ok(Some(artifacts)) => {
             valentine_obs::counter("runner/shared_prepares", 1);
-            valentine_obs::counter("runner/configs_from_artifacts", grid.len() as u64);
-            grid.iter()
+            valentine_obs::counter("runner/configs_from_artifacts", todo.len() as u64);
+            todo.iter()
                 .enumerate()
                 .map(|(i, m)| {
-                    let mut call =
-                        observed(|| m.match_prepared(&artifacts, &pair.source, &pair.target));
+                    let mut call = match task_cancel.check() {
+                        Err(c) => cancelled_call(c.reason),
+                        Ok(()) => {
+                            observed(|| m.match_prepared(&artifacts, &pair.source, &pair.target))
+                        }
+                    };
                     if i == 0 {
                         call.runtime += prep_runtime;
                         call.phases.splice(0..0, prep_phases.iter().cloned());
                     }
-                    build_record(pair, kind, m.name(), call)
+                    finish_config(*m, call)
                 })
                 .collect()
         }
@@ -279,25 +432,48 @@ impl Runner {
     /// workers never contend on a shared collection lock.
     pub fn run(pairs: &[DatasetPair], config: &RunnerConfig) -> Runner {
         let grids = method_grids(&config.methods, config.scale);
+        Runner::run_grids(pairs, &grids, config, &CompletedSet::default(), |_| {})
+    }
+
+    /// [`Runner::run`] with the resilience seams exposed: explicit method
+    /// grids, a resume set of already-completed (pair, method, config)
+    /// cells to skip, and an `on_batch` observer invoked on the calling
+    /// thread for every batch of records a worker finishes (the CLI's
+    /// checkpoint writer and trace streamer hook in here, so progress is
+    /// persisted while the run is still going).
+    pub fn run_grids(
+        pairs: &[DatasetPair],
+        grids: &[(MatcherKind, Vec<Box<dyn Matcher>>)],
+        config: &RunnerConfig,
+        completed: &CompletedSet,
+        mut on_batch: impl FnMut(&[ExperimentRecord]),
+    ) -> Runner {
         let tasks: Vec<(usize, usize)> = (0..pairs.len())
             .flat_map(|p| (0..grids.len()).map(move |g| (p, g)))
             .collect();
         let threads = config.threads.max(1).min(tasks.len().max(1));
+        let run_cancel = CancelToken::with_deadline("run", config.run_deadline);
 
         let next = AtomicUsize::new(threads);
         let (tx, rx) = std::sync::mpsc::channel::<Vec<ExperimentRecord>>();
         let mut records = Vec::new();
 
         crossbeam::scope(|scope| {
-            let (grids, tasks, next) = (&grids, &tasks, &next);
+            let (grids, tasks, next, run_cancel) = (grids, &tasks, &next, &run_cancel);
             for w in 0..threads {
                 let tx = tx.clone();
                 scope.spawn(move |_| {
+                    let ctx = TaskCtx {
+                        run_cancel: run_cancel.clone(),
+                        task_deadline: config.task_deadline,
+                        completed: Some(completed),
+                        retry_on_timeout: config.retry_on_timeout,
+                    };
                     let mut task = w;
                     while task < tasks.len() {
                         let (p, g) = tasks[task];
                         let (kind, grid) = &grids[g];
-                        let mut recs = execute_grid(&pairs[p], *kind, grid);
+                        let mut recs = execute_grid_task(&pairs[p], *kind, grid, &ctx);
                         for rec in &mut recs {
                             rec.worker = w;
                         }
@@ -310,6 +486,7 @@ impl Runner {
             }
             drop(tx); // workers hold the remaining senders
             for batch in rx {
+                on_batch(&batch);
                 records.extend(batch);
             }
         })
@@ -465,6 +642,7 @@ mod tests {
             methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
             scale: GridScale::Small,
             threads: 2,
+            ..RunnerConfig::default()
         }
     }
 
@@ -487,6 +665,7 @@ mod tests {
             methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
             scale: GridScale::Small,
             threads: 8,
+            ..RunnerConfig::default()
         };
         let r = Runner::run(&pairs, &config);
         assert_eq!(r.len(), 6); // 1 coma + 5 jl
@@ -818,6 +997,221 @@ mod tests {
             })?;
             unreachable!("the solver must reject a NaN cost matrix");
         }
+    }
+
+    /// A matcher that sleeps forever — *cooperatively*: Rust cannot kill a
+    /// thread, so a hang that never reaches a cancellation checkpoint is
+    /// unstoppable by design; the protocol requires long waits to sleep in
+    /// small increments and poll [`cancel::checkpoint`].
+    struct SleepsForever;
+
+    impl valentine_matchers::Matcher for SleepsForever {
+        fn name(&self) -> String {
+            "sleeps-forever".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            loop {
+                cancel::checkpoint()?;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    #[test]
+    fn sleeping_matcher_times_out_while_grid_completes() {
+        // Acceptance criterion: a matcher sleeping forever under a 200ms
+        // task deadline yields a `deadline exceeded` record within 1s
+        // while the rest of the grid completes normally.
+        let pairs = small_pairs();
+        let grids: Vec<(MatcherKind, Vec<Box<dyn Matcher>>)> = vec![
+            (MatcherKind::SemProp, vec![Box::new(SleepsForever)]),
+            (
+                MatcherKind::ComaSchema,
+                method_grid(MatcherKind::ComaSchema, GridScale::Small),
+            ),
+        ];
+        let config = RunnerConfig {
+            threads: 2,
+            task_deadline: Some(Duration::from_millis(200)),
+            ..RunnerConfig::default()
+        };
+        let start = Instant::now();
+        let r = Runner::run_grids(
+            &pairs[..1],
+            &grids,
+            &config,
+            &CompletedSet::default(),
+            |_| {},
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "stuck task must unwind at its deadline, took {:?}",
+            start.elapsed()
+        );
+        let stuck = r
+            .records()
+            .iter()
+            .find(|rec| rec.method == MatcherKind::SemProp)
+            .unwrap();
+        assert!(
+            stuck
+                .error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("deadline exceeded")),
+            "timeout surfaced as a deadline record: {:?}",
+            stuck.error
+        );
+        assert!(
+            r.records()
+                .iter()
+                .filter(|rec| rec.method == MatcherKind::ComaSchema)
+                .all(|rec| !rec.failed()),
+            "the rest of the grid completes"
+        );
+    }
+
+    #[test]
+    fn spent_run_deadline_drains_remaining_tasks() {
+        let pairs = small_pairs();
+        let config = RunnerConfig {
+            run_deadline: Some(Duration::ZERO),
+            ..quick_config()
+        };
+        let r = Runner::run(&pairs, &config);
+        assert_eq!(r.len(), 12, "every cell still gets a record");
+        assert!(r.records().iter().all(|rec| {
+            rec.error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("deadline exceeded"))
+        }));
+    }
+
+    #[test]
+    fn timeouts_are_counted() {
+        let pairs = small_pairs();
+        let grid: Vec<Box<dyn Matcher>> = vec![Box::new(SleepsForever)];
+        let ctx = TaskCtx {
+            task_deadline: Some(Duration::from_millis(10)),
+            ..TaskCtx::default()
+        };
+        let (recs, snapshot) = valentine_obs::capture(|| {
+            execute_grid_task(&pairs[0], MatcherKind::SemProp, &grid, &ctx)
+        });
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].failed());
+        assert_eq!(snapshot.counters["runner/timeouts"], 1);
+        assert!(snapshot.counters["runner/cancel_checks"] >= 1);
+    }
+
+    #[test]
+    fn resume_skips_completed_cells() {
+        let pairs = small_pairs();
+        let config = quick_config();
+        let full = Runner::run(&pairs, &config);
+        assert_eq!(full.len(), 12);
+
+        let done: CompletedSet = full
+            .records()
+            .iter()
+            .take(7)
+            .map(|rec| {
+                (
+                    rec.pair_id.clone(),
+                    rec.method.label().to_string(),
+                    rec.config.clone(),
+                )
+            })
+            .collect();
+        let grids = method_grids(&config.methods, config.scale);
+        let rest = Runner::run_grids(&pairs, &grids, &config, &done, |_| {});
+        assert_eq!(rest.len(), 12 - 7, "only unfinished cells re-run");
+        for rec in rest.records() {
+            assert!(!done.contains(&(
+                rec.pair_id.clone(),
+                rec.method.label().to_string(),
+                rec.config.clone()
+            )));
+        }
+    }
+
+    #[test]
+    fn batches_stream_to_the_observer() {
+        let pairs = small_pairs();
+        let config = quick_config();
+        let grids = method_grids(&config.methods, config.scale);
+        let mut streamed = 0usize;
+        let r = Runner::run_grids(&pairs, &grids, &config, &CompletedSet::default(), |batch| {
+            streamed += batch.len();
+        });
+        assert_eq!(streamed, r.len(), "every record passes through on_batch");
+    }
+
+    /// Times out at full budget; its halved-budget sibling succeeds — the
+    /// runner's retry must fill the grid cell under the same config name.
+    struct TimesOutAtFullBudget;
+    struct SucceedsAtHalfBudget;
+
+    impl valentine_matchers::Matcher for TimesOutAtFullBudget {
+        fn name(&self) -> String {
+            "degradable".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            Err(valentine_matchers::MatchError::DeadlineExceeded(
+                "task deadline 10ms exceeded".into(),
+            ))
+        }
+
+        fn halved_budget(&self) -> Option<Box<dyn Matcher>> {
+            Some(Box::new(SucceedsAtHalfBudget))
+        }
+    }
+
+    impl valentine_matchers::Matcher for SucceedsAtHalfBudget {
+        fn name(&self) -> String {
+            "degradable".to_string()
+        }
+
+        fn match_tables(
+            &self,
+            _source: &valentine_table::Table,
+            _target: &valentine_table::Table,
+        ) -> Result<valentine_matchers::MatchResult, valentine_matchers::MatchError> {
+            Ok(valentine_matchers::MatchResult::ranked(vec![
+                valentine_matchers::ColumnMatch::new("a", "b", 1.0),
+            ]))
+        }
+    }
+
+    #[test]
+    fn timeout_retry_fills_the_cell_with_halved_budget() {
+        let pairs = small_pairs();
+        let grid: Vec<Box<dyn Matcher>> = vec![Box::new(TimesOutAtFullBudget)];
+
+        let no_retry =
+            execute_grid_task(&pairs[0], MatcherKind::SemProp, &grid, &TaskCtx::default());
+        assert!(no_retry[0].failed(), "without retry the timeout stands");
+
+        let ctx = TaskCtx {
+            retry_on_timeout: true,
+            ..TaskCtx::default()
+        };
+        let retried = execute_grid_task(&pairs[0], MatcherKind::SemProp, &grid, &ctx);
+        assert!(
+            !retried[0].failed(),
+            "halved-budget retry fills the cell: {:?}",
+            retried[0].error
+        );
+        assert_eq!(retried[0].config, "degradable", "same grid-cell identity");
     }
 
     #[test]

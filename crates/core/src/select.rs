@@ -54,13 +54,21 @@ fn score_matrix(
 
 /// Globally optimal 1-1 extraction (Kuhn-Munkres). Matches below
 /// `min_score` are dropped afterwards.
-pub fn extract_hungarian(result: &MatchResult, min_score: f64) -> Vec<ColumnMatch> {
+///
+/// # Errors
+/// Returns [`valentine_solver::SolverError::Cancelled`] when a deadline
+/// fires mid-assignment (only possible under an active cancellation scope;
+/// extraction outside the runner never fails).
+pub fn extract_hungarian(
+    result: &MatchResult,
+    min_score: f64,
+) -> Result<Vec<ColumnMatch>, valentine_solver::SolverError> {
     let (sources, targets) = axes(result);
     if sources.is_empty() || targets.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let matrix = score_matrix(result, &sources, &targets);
-    let assignment = hungarian_max(&matrix);
+    let assignment = hungarian_max(&matrix)?;
     let mut out: Vec<ColumnMatch> = assignment
         .iter()
         .enumerate()
@@ -70,7 +78,7 @@ pub fn extract_hungarian(result: &MatchResult, min_score: f64) -> Vec<ColumnMatc
         .filter(|m| m.score >= min_score)
         .collect();
     out.sort_by(|a, b| b.score.total_cmp(&a.score));
-    out
+    Ok(out)
 }
 
 /// Gale-Shapley stable marriage: sources propose in descending score order;
@@ -175,7 +183,7 @@ mod tests {
             ("b", "x", 0.8),
             ("b", "y", 0.1),
         ]);
-        let m = extract_hungarian(&r, 0.0);
+        let m = extract_hungarian(&r, 0.0).unwrap();
         assert_eq!(m.len(), 2);
         let set: Vec<(&str, &str)> = m.iter().map(|x| (&*x.source, &*x.target)).collect();
         assert!(set.contains(&("a", "y")));
@@ -185,7 +193,7 @@ mod tests {
     #[test]
     fn hungarian_respects_min_score() {
         let r = ranked(&[("a", "x", 0.9), ("b", "y", 0.05)]);
-        let m = extract_hungarian(&r, 0.5);
+        let m = extract_hungarian(&r, 0.5).unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(&*m[0].source, "a");
     }
@@ -232,7 +240,7 @@ mod tests {
     #[test]
     fn empty_result_everywhere() {
         let r = ranked(&[]);
-        assert!(extract_hungarian(&r, 0.0).is_empty());
+        assert!(extract_hungarian(&r, 0.0).unwrap().is_empty());
         assert!(extract_stable_marriage(&r, 0.0).is_empty());
         assert!(extract_threshold_delta(&r, 0.0, 0.1).is_empty());
     }
@@ -246,6 +254,7 @@ mod tests {
             ("b", "y", 0.9),
         ]);
         let h: Vec<(Arc<str>, Arc<str>)> = extract_hungarian(&r, 0.0)
+            .unwrap()
             .into_iter()
             .map(|m| (m.source, m.target))
             .collect();

@@ -13,6 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use valentine_obs::cancel::{self, Cancelled};
 use valentine_table::FxHashMap;
 
 use crate::vector;
@@ -63,7 +64,16 @@ const NEG_TABLE_SIZE: usize = 1 << 16;
 
 impl Word2Vec {
     /// Trains SGNS on tokenised sentences.
-    pub fn train(sentences: &[Vec<String>], config: &Word2VecConfig) -> Word2Vec {
+    ///
+    /// # Errors
+    /// Returns [`Cancelled`] when the thread's cancellation token fires at
+    /// one of the per-sentence checkpoints — word2vec training is EmbDI's
+    /// dominant cost (the paper's slowest method), so deadline enforcement
+    /// has to reach inside the epoch loop, not just between epochs.
+    pub fn train(
+        sentences: &[Vec<String>],
+        config: &Word2VecConfig,
+    ) -> Result<Word2Vec, Cancelled> {
         assert!(config.dims > 0, "dims must be positive");
         assert!(config.window > 0, "window must be positive");
 
@@ -87,11 +97,11 @@ impl Word2Vec {
             .collect();
         let v = vocab.len();
         if v == 0 {
-            return Word2Vec {
+            return Ok(Word2Vec {
                 dims: config.dims,
                 vocab,
                 vectors: Vec::new(),
-            };
+            });
         }
 
         // --- negative sampling table (unigram^0.75)
@@ -140,6 +150,7 @@ impl Word2Vec {
         let mut grad = vec![0.0f32; config.dims];
         for _ in 0..config.epochs {
             for sentence in &encoded {
+                cancel::checkpoint()?;
                 for (i, &center) in sentence.iter().enumerate() {
                     processed += 1;
                     let lr = config.learning_rate
@@ -179,11 +190,11 @@ impl Word2Vec {
             }
         }
 
-        Word2Vec {
+        Ok(Word2Vec {
             dims: config.dims,
             vocab,
             vectors: input,
-        }
+        })
     }
 
     /// Embedding dimensionality.
@@ -257,7 +268,7 @@ mod tests {
 
     #[test]
     fn learns_cooccurrence_structure() {
-        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        let model = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
         let fruit = ["apple", "banana", "cherry", "fruit"];
         let metal = ["iron", "copper", "zinc", "metal"];
         let mut same_topic = 0.0;
@@ -284,23 +295,23 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Word2Vec::train(&toy_corpus(), &small_config());
-        let b = Word2Vec::train(&toy_corpus(), &small_config());
+        let a = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
+        let b = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
         assert_eq!(a.vector("apple"), b.vector("apple"));
     }
 
     #[test]
     fn different_seeds_give_different_vectors() {
-        let a = Word2Vec::train(&toy_corpus(), &small_config());
+        let a = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
         let mut cfg = small_config();
         cfg.seed = 8;
-        let b = Word2Vec::train(&toy_corpus(), &cfg);
+        let b = Word2Vec::train(&toy_corpus(), &cfg).unwrap();
         assert_ne!(a.vector("apple"), b.vector("apple"));
     }
 
     #[test]
     fn vocabulary_and_oov() {
-        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        let model = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
         assert_eq!(model.vocab_size(), 8);
         assert!(model.vector("apple").is_some());
         assert!(model.vector("plutonium").is_none());
@@ -313,20 +324,20 @@ mod tests {
         cfg.min_count = 5;
         let mut corpus = toy_corpus();
         corpus.push(vec!["rare".to_string()]);
-        let model = Word2Vec::train(&corpus, &cfg);
+        let model = Word2Vec::train(&corpus, &cfg).unwrap();
         assert!(model.vector("rare").is_none());
     }
 
     #[test]
     fn empty_corpus() {
-        let model = Word2Vec::train(&[], &small_config());
+        let model = Word2Vec::train(&[], &small_config()).unwrap();
         assert_eq!(model.vocab_size(), 0);
         assert!(model.vector("x").is_none());
     }
 
     #[test]
     fn vectors_have_configured_dims() {
-        let model = Word2Vec::train(&toy_corpus(), &small_config());
+        let model = Word2Vec::train(&toy_corpus(), &small_config()).unwrap();
         assert_eq!(model.vector("apple").unwrap().len(), 24);
         assert_eq!(model.dims(), 24);
     }

@@ -235,6 +235,10 @@ impl Matcher for DistributionMatcher {
         let mut sketch_dist = vec![vec![0.0; n]; n];
         let mut refined_dist = vec![vec![0.0; n]; n];
         for i in 0..n {
+            // The O(n²) distance matrix dominates preparation; one
+            // cancellation check per row bounds deadline overshoot to a
+            // single row of EMD evaluations.
+            valentine_obs::cancel::checkpoint()?;
             for j in i + 1..n {
                 let sd = sketch_distance(&cols[i].sketch, &cols[j].sketch);
                 let rd = refined_distance(&cols[i], &cols[j]);
@@ -324,7 +328,7 @@ impl Matcher for DistributionMatcher {
             (0..ilp_candidates.len()).collect()
         } else {
             max_weight_set_packing(&ilp_candidates)
-                .map_err(|e| MatchError::Internal(format!("set packing failed: {e}")))?
+                .map_err(|e| MatchError::from_solver("set packing failed", e))?
                 .chosen
         };
         let mut cluster_of: Vec<Option<usize>> = vec![None; n];

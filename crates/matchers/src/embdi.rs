@@ -117,7 +117,7 @@ impl Matcher for EmbdiMatcher {
                     min_count: 1,
                     seed: self.seed,
                 },
-            )
+            )?
         };
         drop(profile_phase);
 
@@ -138,6 +138,20 @@ impl Matcher for EmbdiMatcher {
         drop(sim_phase);
         let _phase = valentine_obs::span!("embdi/rank");
         Ok(MatchResult::ranked(out))
+    }
+
+    fn halved_budget(&self) -> Option<Box<dyn Matcher>> {
+        // Walks and epochs drive the training cost but are not part of the
+        // name (which fixes dims/window/sentence-length, the Table II
+        // axes), so the degraded sibling fills the same grid cell.
+        if self.walks_per_node <= 1 && self.epochs <= 1 {
+            return None;
+        }
+        Some(Box::new(EmbdiMatcher {
+            walks_per_node: (self.walks_per_node / 2).max(1),
+            epochs: (self.epochs / 2).max(1),
+            ..self.clone()
+        }))
     }
 }
 

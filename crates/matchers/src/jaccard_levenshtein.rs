@@ -180,6 +180,9 @@ impl Matcher for JaccardLevenshteinMatcher {
         {
             let _sim = valentine_obs::span!("similarity");
             for (i, cs) in source.columns().iter().enumerate() {
+                // Fuzzy Jaccard is O(sample²) Levenshtein calls per column
+                // pair; check the deadline once per source column.
+                valentine_obs::cancel::checkpoint()?;
                 for (j, ct) in target.columns().iter().enumerate() {
                     let score = self.fuzzy_jaccard(&src_values[i], &tgt_values[j]);
                     out.push(ColumnMatch::new(cs.name(), ct.name(), score));
@@ -188,6 +191,19 @@ impl Matcher for JaccardLevenshteinMatcher {
         }
         let _rank = valentine_obs::span!("rank");
         Ok(MatchResult::ranked(out))
+    }
+
+    fn halved_budget(&self) -> Option<Box<dyn Matcher>> {
+        // `sample_size` is not part of the name, so the degraded sibling
+        // fills the same grid cell; below ~16 values the fuzzy Jaccard is
+        // no longer meaningful, so degradation bottoms out there.
+        if self.sample_size < 16 {
+            return None;
+        }
+        Some(Box::new(JaccardLevenshteinMatcher {
+            threshold: self.threshold,
+            sample_size: self.sample_size / 2,
+        }))
     }
 }
 

@@ -123,4 +123,15 @@ pub trait Matcher: Send + Sync {
     ) -> Result<MatchResult, MatchError> {
         self.match_tables(source, target)
     }
+
+    /// A cheaper sibling of this matcher with roughly half the work budget
+    /// (e.g. half the instance sample), used by the runner to retry a
+    /// timed-out task once with graceful degradation instead of leaving a
+    /// hole in the grid. The sibling **must keep the same
+    /// [`name`](Matcher::name)** — the name is the grid-cell identity — and
+    /// should only shrink parameters that the name does not encode. Returns
+    /// `None` (the default) when no meaningful degradation exists.
+    fn halved_budget(&self) -> Option<Box<dyn Matcher>> {
+        None
+    }
 }

@@ -136,6 +136,22 @@ pub enum MatchError {
     /// The matcher failed internally — a panic caught by the runner or a
     /// numeric failure (e.g. a non-finite cost handed to a solver).
     Internal(String),
+    /// The matcher observed its task deadline (or an explicit cancel) at a
+    /// cooperative checkpoint and unwound early. The payload carries the
+    /// kernel's reason, e.g. `"task deadline 200ms exceeded"`.
+    DeadlineExceeded(String),
+}
+
+impl MatchError {
+    /// Maps a solver failure to the matcher-level error, keeping
+    /// cancellation distinct from genuine numeric failures so the runner
+    /// can count timeouts separately (and retry them).
+    pub fn from_solver(context: &str, err: valentine_solver::SolverError) -> MatchError {
+        match err {
+            valentine_solver::SolverError::Cancelled(c) => MatchError::DeadlineExceeded(c.reason),
+            other => MatchError::Internal(format!("{context}: {other}")),
+        }
+    }
 }
 
 impl fmt::Display for MatchError {
@@ -144,7 +160,14 @@ impl fmt::Display for MatchError {
             MatchError::Unsupported(msg) => write!(f, "matcher unsupported on input: {msg}"),
             MatchError::InvalidConfig(msg) => write!(f, "invalid matcher configuration: {msg}"),
             MatchError::Internal(msg) => write!(f, "matcher failed internally: {msg}"),
+            MatchError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
+    }
+}
+
+impl From<valentine_obs::Cancelled> for MatchError {
+    fn from(c: valentine_obs::Cancelled) -> MatchError {
+        MatchError::DeadlineExceeded(c.reason)
     }
 }
 

@@ -213,7 +213,9 @@ impl Matcher for SimilarityFloodingMatcher {
 
         let result = {
             let _phase = valentine_obs::span!("sf/solve");
-            graph.run(self.formula, self.max_iterations, self.epsilon)
+            graph
+                .run(self.formula, self.max_iterations, self.epsilon)
+                .map_err(|e| MatchError::from_solver("fixpoint", e))?
         };
 
         // Extract the column-pair nodes, ranked.

@@ -1,0 +1,272 @@
+//! Cooperative cancellation: deadlines and cancel flags for long kernels.
+//!
+//! The experiment runner executes matcher configurations that can run
+//! orders of magnitude longer than their peers (Table IV); a single stuck
+//! solver must not wedge a whole grid sweep. Rust offers no safe way to
+//! kill a thread, so cancellation is *cooperative*: the runner mints a
+//! [`CancelToken`] per task (deadline = `RunnerConfig::task_deadline`,
+//! chained to a run-wide parent token), installs it on the worker thread
+//! with [`scope`], and every iteration-heavy kernel calls [`checkpoint`]
+//! at a granularity coarse enough to be free and fine enough to bound
+//! overshoot — per simplex pivot (EMD), per row (Hungarian), per ~256
+//! branch-and-bound nodes (ILP), per fixpoint sweep (Similarity Flooding),
+//! per epoch (word2vec).
+//!
+//! This lives in `valentine-obs` — the one crate every kernel already
+//! depends on — so `valentine-solver` and `valentine-embeddings` can
+//! check tokens without a dependency cycle, and every check increments the
+//! `runner/cancel_checks` counter for observability.
+//!
+//! A default token ([`CancelToken::never`]) carries no state and checks in
+//! a single branch; code outside a runner task pays almost nothing.
+//!
+//! ```
+//! use std::time::Duration;
+//! use valentine_obs::cancel::{self, CancelToken};
+//!
+//! let token = CancelToken::with_deadline("task", Some(Duration::ZERO));
+//! let _scope = cancel::scope(token);
+//! assert!(cancel::checkpoint().is_err(), "deadline already spent");
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The error returned when a [`CancelToken`] fires: the kernel observed a
+/// spent deadline or an explicit cancel and unwound cooperatively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Human-readable cause, e.g. `"task deadline 200ms exceeded"`.
+    pub reason: String,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    label: &'static str,
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn check(&self) -> Result<(), Cancelled> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(Cancelled {
+                reason: format!("{} cancelled", self.label),
+            });
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                let budget = self
+                    .budget
+                    .map(|b| format!("{b:?}"))
+                    .unwrap_or_else(|| "budget".into());
+                return Err(Cancelled {
+                    reason: format!("{} deadline {} exceeded", self.label, budget),
+                });
+            }
+        }
+        match &self.parent {
+            Some(p) => p.check(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A cheap, clonable cancellation handle: an atomic flag plus an optional
+/// deadline, optionally chained to a parent token (a task token cancels
+/// when its *run* token does). The default token never cancels and costs a
+/// single branch to check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never fires (the default outside runner tasks).
+    pub fn never() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A root token whose deadline is `budget` from now (or flag-only when
+    /// `budget` is `None`). `label` names the scope in error messages
+    /// (`"run"`, `"task"`).
+    pub fn with_deadline(label: &'static str, budget: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                label,
+                cancelled: AtomicBool::new(false),
+                deadline: budget.map(|b| Instant::now() + b),
+                budget,
+                parent: None,
+            })),
+        }
+    }
+
+    /// A child token with its own deadline that additionally fires whenever
+    /// `self` does. A child of a never-token is a root token.
+    pub fn child(&self, label: &'static str, budget: Option<Duration>) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                label,
+                cancelled: AtomicBool::new(false),
+                deadline: budget.map(|b| Instant::now() + b),
+                budget,
+                parent: self.inner.clone(),
+            })),
+        }
+    }
+
+    /// Raises the cancel flag; every holder of this token (and of child
+    /// tokens) observes it at their next [`checkpoint`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Checks the flag, the deadline, then the parent chain.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => inner.check(),
+        }
+    }
+
+    /// True when [`check`](CancelToken::check) would fail.
+    pub fn is_cancelled(&self) -> bool {
+        self.check().is_err()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<CancelToken> = const { RefCell::new(CancelToken { inner: None }) };
+}
+
+/// Restores the previously installed token when dropped (RAII for
+/// [`scope`]).
+#[must_use = "dropping the scope immediately uninstalls the token"]
+pub struct CancelScope {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            let _ = CURRENT.try_with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Installs `token` as the current thread's cancellation token for the
+/// lifetime of the returned guard. Scopes nest; the previous token is
+/// restored on drop (including during unwinding, so a panicking matcher
+/// cannot leak its task token into the next task on the worker).
+pub fn scope(token: CancelToken) -> CancelScope {
+    let prev = CURRENT
+        .try_with(|c| std::mem::replace(&mut *c.borrow_mut(), token))
+        .ok();
+    CancelScope { prev }
+}
+
+/// The cooperative cancellation point: checks the current thread's token
+/// and counts the check under `runner/cancel_checks`. Kernels call this
+/// every N iterations and propagate the error; with no token installed it
+/// is a counter bump plus one thread-local read.
+pub fn checkpoint() -> Result<(), Cancelled> {
+    crate::counter("runner/cancel_checks", 1);
+    CURRENT.try_with(|c| c.borrow().check()).unwrap_or(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(t.check().is_ok());
+        t.cancel(); // no-op on a never-token
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn zero_budget_deadline_fires_immediately() {
+        let t = CancelToken::with_deadline("task", Some(Duration::ZERO));
+        let err = t.check().unwrap_err();
+        assert!(
+            err.reason.contains("deadline") && err.reason.contains("exceeded"),
+            "unexpected reason: {}",
+            err.reason
+        );
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline("task", Some(Duration::from_secs(3600)));
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_fires_through_clones() {
+        let t = CancelToken::with_deadline("run", None);
+        let clone = t.clone();
+        assert!(clone.check().is_ok());
+        t.cancel();
+        assert_eq!(clone.check().unwrap_err().reason, "run cancelled");
+    }
+
+    #[test]
+    fn child_observes_parent_cancel() {
+        let run = CancelToken::with_deadline("run", None);
+        let task = run.child("task", Some(Duration::from_secs(3600)));
+        assert!(task.check().is_ok());
+        run.cancel();
+        assert!(task.check().is_err(), "parent cancel reaches the child");
+    }
+
+    #[test]
+    fn parent_deadline_reaches_child() {
+        let run = CancelToken::with_deadline("run", Some(Duration::ZERO));
+        let task = run.child("task", None);
+        let err = task.check().unwrap_err();
+        assert!(err.reason.starts_with("run deadline"));
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert!(checkpoint().is_ok(), "no token installed");
+        {
+            let _s = scope(CancelToken::with_deadline("task", Some(Duration::ZERO)));
+            assert!(checkpoint().is_err(), "installed token fires");
+            {
+                let _inner = scope(CancelToken::never());
+                assert!(checkpoint().is_ok(), "nested scope shadows");
+            }
+            assert!(checkpoint().is_err(), "outer scope restored");
+        }
+        assert!(checkpoint().is_ok(), "scope removed on drop");
+    }
+
+    #[test]
+    fn checkpoint_counts_checks() {
+        let (_, snapshot) = crate::capture(|| {
+            for _ in 0..5 {
+                let _ = checkpoint();
+            }
+        });
+        assert_eq!(snapshot.counters["runner/cancel_checks"], 5);
+    }
+}

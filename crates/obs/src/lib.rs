@@ -19,6 +19,10 @@
 //! * **Export** — [`jsonl`] renders a snapshot as deterministic JSONL and
 //!   parses it back (with explicit warnings instead of silent skips);
 //!   [`report`] renders a per-phase time-attribution tree.
+//! * **Cancellation** — [`cancel`] threads deadline-bearing
+//!   [`CancelToken`]s through the kernels; it lives here (rather than in
+//!   the solver) because this is the one crate every kernel already
+//!   depends on, and each check is itself counted.
 //!
 //! # Overhead
 //!
@@ -56,12 +60,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
 pub mod report;
 pub mod sink;
 
+pub use cancel::{CancelToken, Cancelled};
 pub use hist::Histogram;
 pub use sink::{
     capture, counter, drain, observe, observe_duration, span, Snapshot, SpanGuard, SpanStat,

@@ -5,31 +5,36 @@
 //! assignment from the score matrix. This module provides the exact O(n³)
 //! solver for that.
 
+use crate::SolverError;
+use valentine_obs::cancel;
+
 /// Solves maximum-weight bipartite assignment on an `n × m` score matrix.
 ///
 /// Returns, for each row `i`, `Some(j)` with its assigned column (or `None`
 /// if `n > m` and the row stayed unmatched). Scores may be any finite `f64`;
 /// negative scores are allowed (but an assignment is always produced for
 /// `min(n, m)` rows — callers threshold afterwards if they want partial
-/// matchings).
+/// matchings). Checks the thread's cancellation token once per augmented
+/// row (the O(nm) unit of work) and returns [`SolverError::Cancelled`]
+/// when a deadline fires mid-solve.
 ///
 /// ```
 /// use valentine_solver::hungarian_max;
 /// // greedy would take (0,0)=0.9 and strand row 1; the optimum crosses
 /// let scores = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
-/// assert_eq!(hungarian_max(&scores), vec![Some(1), Some(0)]);
+/// assert_eq!(hungarian_max(&scores).unwrap(), vec![Some(1), Some(0)]);
 /// ```
-pub fn hungarian_max(scores: &[Vec<f64>]) -> Vec<Option<usize>> {
+pub fn hungarian_max(scores: &[Vec<f64>]) -> Result<Vec<Option<usize>>, SolverError> {
     let n = scores.len();
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let m = scores[0].len();
     for row in scores {
         assert_eq!(row.len(), m, "score matrix must be rectangular");
     }
     if m == 0 {
-        return vec![None; n];
+        return Ok(vec![None; n]);
     }
 
     // Classic O(n²m) shortest-augmenting-path formulation on the *cost*
@@ -54,6 +59,7 @@ pub fn hungarian_max(scores: &[Vec<f64>]) -> Vec<Option<usize>> {
     let mut way = vec![0usize; cols + 1];
 
     for i in 1..=rows {
+        cancel::checkpoint()?;
         p[0] = i;
         let mut j0 = 0usize;
         let mut minv = vec![inf; cols + 1];
@@ -107,7 +113,7 @@ pub fn hungarian_max(scores: &[Vec<f64>]) -> Vec<Option<usize>> {
             result[i - 1] = Some(j - 1);
         }
     }
-    result
+    Ok(result)
 }
 
 /// Total score of an assignment produced by [`hungarian_max`].
@@ -130,7 +136,7 @@ mod tests {
             vec![0.0, 1.0, 0.0],
             vec![0.0, 0.0, 1.0],
         ];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
         assert_eq!(assignment_score(&scores, &a), 3.0);
     }
@@ -140,21 +146,21 @@ mod tests {
         // Greedy would take (0,0)=0.9 then (1,1)=0.1 → 1.0;
         // optimal is (0,1)=0.8 + (1,0)=0.8 → 1.6.
         let scores = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         assert_eq!(a, vec![Some(1), Some(0)]);
     }
 
     #[test]
     fn rectangular_wide() {
         let scores = vec![vec![0.1, 0.9, 0.5]];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         assert_eq!(a, vec![Some(1)]);
     }
 
     #[test]
     fn rectangular_tall_leaves_rows_unmatched() {
         let scores = vec![vec![0.9], vec![0.8], vec![0.7]];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         let matched: Vec<usize> = a.iter().filter_map(|x| *x).collect();
         assert_eq!(matched, vec![0]);
         assert_eq!(a.iter().filter(|x| x.is_none()).count(), 2);
@@ -165,16 +171,28 @@ mod tests {
     #[test]
     fn handles_negative_scores() {
         let scores = vec![vec![-1.0, -5.0], vec![-5.0, -1.0]];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         assert_eq!(a, vec![Some(0), Some(1)]);
         assert_eq!(assignment_score(&scores, &a), -2.0);
     }
 
     #[test]
     fn empty_inputs() {
-        assert!(hungarian_max(&[]).is_empty());
-        let a = hungarian_max(&[vec![], vec![]]);
+        assert!(hungarian_max(&[]).unwrap().is_empty());
+        let a = hungarian_max(&[vec![], vec![]]).unwrap();
         assert_eq!(a, vec![None, None]);
+    }
+
+    #[test]
+    fn spent_deadline_cancels_mid_solve() {
+        use std::time::Duration;
+        use valentine_obs::cancel::{scope, CancelToken};
+        let scores = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let _s = scope(CancelToken::with_deadline("task", Some(Duration::ZERO)));
+        assert!(matches!(
+            hungarian_max(&scores),
+            Err(SolverError::Cancelled(_))
+        ));
     }
 
     #[test]
@@ -186,7 +204,7 @@ mod tests {
             vec![0.5, 0.5, 0.9, 0.2],
             vec![0.1, 0.8, 0.3, 0.4],
         ];
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         let mut used: Vec<usize> = a.iter().filter_map(|x| *x).collect();
         let len = used.len();
         used.sort_unstable();

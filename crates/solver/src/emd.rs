@@ -14,6 +14,7 @@
 //!   for categorical histograms where positions are value frequencies.
 
 use crate::SolverError;
+use valentine_obs::cancel;
 
 /// Exact 1-D EMD between two equal-length quantile sketches: the mean
 /// absolute difference between corresponding quantiles.
@@ -66,7 +67,8 @@ pub fn emd_1d_normalized(a: &[f64], b: &[f64]) -> f64 {
 /// # Errors
 /// Returns [`SolverError::NonFinite`] when a mass or a ground-distance cell
 /// is NaN or infinite — the simplex pivots on cost comparisons that are
-/// meaningless on such inputs.
+/// meaningless on such inputs. Returns [`SolverError::Cancelled`] when the
+/// thread's cancellation token fires at one of the per-pivot checkpoints.
 ///
 /// # Panics
 /// Panics if dimensions disagree or all masses are zero.
@@ -89,7 +91,7 @@ pub fn emd_transportation(a: &[f64], b: &[f64], dist: &[Vec<f64>]) -> Result<f64
     let supply: Vec<f64> = a.iter().map(|x| x / mass_a).collect();
     let demand: Vec<f64> = b.iter().map(|x| x / mass_b).collect();
 
-    let flow = transportation_simplex(&supply, &demand, dist);
+    let flow = transportation_simplex(&supply, &demand, dist)?;
     Ok(flow
         .iter()
         .enumerate()
@@ -106,7 +108,11 @@ const EPS: f64 = 1e-12;
 
 /// Solves the balanced transportation problem, returning the optimal flow
 /// matrix. Small dense implementation: Vogel start + MODI improvement.
-fn transportation_simplex(supply: &[f64], demand: &[f64], cost: &[Vec<f64>]) -> Vec<Vec<f64>> {
+fn transportation_simplex(
+    supply: &[f64],
+    demand: &[f64],
+    cost: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>, SolverError> {
     let n = supply.len();
     let m = demand.len();
     let mut s = supply.to_vec();
@@ -146,8 +152,10 @@ fn transportation_simplex(supply: &[f64], demand: &[f64], cost: &[Vec<f64>]) -> 
         break; // fully degenerate; accept
     }
 
-    // --- MODI iterations.
+    // --- MODI iterations. Each pivot is O(nm); check the cancellation
+    // token once per pivot so a stuck solve unwinds within one iteration.
     for _ in 0..10_000 {
+        cancel::checkpoint()?;
         let (u, v) = compute_potentials(&basis, cost, n, m);
         // Find the most negative reduced cost among non-basic cells.
         let mut best: Option<(usize, usize, f64)> = None;
@@ -192,7 +200,7 @@ fn transportation_simplex(supply: &[f64], demand: &[f64], cost: &[Vec<f64>]) -> 
             flow[ri][rj] = 0.0;
         }
     }
-    flow
+    Ok(flow)
 }
 
 /// Computes dual potentials (u, v) with u[0] = 0 over the basis tree.

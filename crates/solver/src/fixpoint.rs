@@ -19,6 +19,9 @@
 //! fix-point formula to **C** and the propagation coefficients to
 //! `inverse_average` (handled by the caller when it builds the edges).
 
+use crate::SolverError;
+use valentine_obs::cancel;
+
 /// Which update rule to iterate. The paper's evaluation uses [`FixpointFormula::C`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FixpointFormula {
@@ -95,14 +98,24 @@ impl PropagationGraph {
     /// Runs the fixpoint iteration until the Euclidean residual between
     /// successive normalised vectors drops below `eps`, or `max_iters` is
     /// reached.
-    pub fn run(&self, formula: FixpointFormula, max_iters: usize, eps: f64) -> FixpointResult {
+    ///
+    /// # Errors
+    /// Returns [`SolverError::Cancelled`] when the thread's cancellation
+    /// token fires at the per-sweep checkpoint (each sweep is O(nodes +
+    /// edges), so a deadline stops the flooding within one sweep).
+    pub fn run(
+        &self,
+        formula: FixpointFormula,
+        max_iters: usize,
+        eps: f64,
+    ) -> Result<FixpointResult, SolverError> {
         let n = self.len();
         if n == 0 {
-            return FixpointResult {
+            return Ok(FixpointResult {
                 values: Vec::new(),
                 iterations: 0,
                 converged: true,
-            };
+            });
         }
         let sigma0 = {
             let mut s = self.initial.clone();
@@ -116,6 +129,7 @@ impl PropagationGraph {
         let mut iterations = 0;
         let mut converged = false;
         while iterations < max_iters {
+            cancel::checkpoint()?;
             iterations += 1;
             match formula {
                 FixpointFormula::Basic => {
@@ -161,11 +175,11 @@ impl PropagationGraph {
                 break;
             }
         }
-        FixpointResult {
+        Ok(FixpointResult {
             values: sigma,
             iterations,
             converged,
-        }
+        })
     }
 }
 
@@ -185,7 +199,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = PropagationGraph::new(vec![]);
-        let r = g.run(FixpointFormula::C, 10, 1e-9);
+        let r = g.run(FixpointFormula::C, 10, 1e-9).unwrap();
         assert!(r.values.is_empty());
         assert!(r.converged);
     }
@@ -193,7 +207,7 @@ mod tests {
     #[test]
     fn isolated_nodes_keep_relative_order() {
         let g = PropagationGraph::new(vec![0.2, 0.8, 0.5]);
-        let r = g.run(FixpointFormula::C, 100, 1e-9);
+        let r = g.run(FixpointFormula::C, 100, 1e-9).unwrap();
         assert!(r.converged);
         assert!(r.values[1] > r.values[2]);
         assert!(r.values[2] > r.values[0]);
@@ -205,7 +219,7 @@ mod tests {
         // Node 2 starts at 0 but receives similarity from node 1.
         let mut g = PropagationGraph::new(vec![0.0, 1.0, 0.0]);
         g.add_edge(1, 2, 1.0);
-        let r = g.run(FixpointFormula::C, 200, 1e-12);
+        let r = g.run(FixpointFormula::C, 200, 1e-12).unwrap();
         assert!(
             r.values[2] > 0.5,
             "neighbour of a strong node must rise: {:?}",
@@ -219,7 +233,7 @@ mod tests {
         let mut g = PropagationGraph::new(vec![0.5, 0.5]);
         g.add_edge(0, 1, 1.0);
         g.add_edge(1, 0, 1.0);
-        let r = g.run(FixpointFormula::C, 500, 1e-12);
+        let r = g.run(FixpointFormula::C, 500, 1e-12).unwrap();
         assert!(r.converged);
         assert!((r.values[0] - r.values[1]).abs() < 1e-9);
     }
@@ -237,7 +251,7 @@ mod tests {
             FixpointFormula::B,
             FixpointFormula::C,
         ] {
-            let r = g.run(f, 1000, 1e-10);
+            let r = g.run(f, 1000, 1e-10).unwrap();
             for v in &r.values {
                 assert!((0.0..=1.0).contains(v), "{f:?} out of bounds: {v}");
             }
@@ -252,7 +266,7 @@ mod tests {
         let mut g = PropagationGraph::new(vec![1.0, 0.0]);
         g.add_edge(0, 1, 0.5);
         g.add_edge(1, 0, 0.5);
-        let c = g.run(FixpointFormula::C, 300, 1e-12);
+        let c = g.run(FixpointFormula::C, 300, 1e-12).unwrap();
         assert!(
             c.values[0] > c.values[1],
             "σ⁰ must keep node 0 ahead: {:?}",
@@ -272,7 +286,7 @@ mod tests {
         let mut g = PropagationGraph::new(vec![0.1, 0.9]);
         g.add_edge(0, 1, 1.0);
         g.add_edge(1, 0, 1.0);
-        let r = g.run(FixpointFormula::Basic, 3, 0.0); // eps 0 → never converges
+        let r = g.run(FixpointFormula::Basic, 3, 0.0).unwrap(); // eps 0 → never converges
         assert_eq!(r.iterations, 3);
         assert!(!r.converged);
     }

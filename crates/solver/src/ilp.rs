@@ -17,6 +17,7 @@
 //! [`EXACT_CANDIDATE_LIMIT`] candidates (and is noted in the result).
 
 use crate::SolverError;
+use valentine_obs::cancel;
 
 /// A candidate set with its weight.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub const EXACT_CANDIDATE_LIMIT: usize = 24;
 /// Returns [`SolverError::NonFinite`] when any candidate weight is NaN or
 /// infinite — the branch-and-bound's pruning bound is meaningless on such
 /// inputs, so they are rejected up front instead of corrupting the packing.
+/// Returns [`SolverError::Cancelled`] when the thread's cancellation token
+/// fires at one of the branch-and-bound's per-256-node checkpoints (the
+/// search tree is exponential in the worst case, so this is the one kernel
+/// where a deadline matters most).
 pub fn max_weight_set_packing(candidates: &[Candidate]) -> Result<Packing, SolverError> {
     if candidates.iter().any(|c| !c.weight.is_finite()) {
         return Err(SolverError::NonFinite("candidate weight"));
@@ -63,7 +68,7 @@ pub fn max_weight_set_packing(candidates: &[Candidate]) -> Result<Packing, Solve
     if order.len() > EXACT_CANDIDATE_LIMIT {
         return Ok(greedy(candidates, &order));
     }
-    Ok(branch_and_bound(candidates, &order))
+    branch_and_bound(candidates, &order)
 }
 
 fn conflict(a: &[usize], b: &[usize]) -> bool {
@@ -91,7 +96,11 @@ fn greedy(candidates: &[Candidate], order: &[usize]) -> Packing {
     }
 }
 
-fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
+/// How many search-tree nodes between cancellation checks: frequent enough
+/// to bound overshoot to microseconds, rare enough to stay off the profile.
+const CANCEL_CHECK_NODES: u64 = 256;
+
+fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Result<Packing, SolverError> {
     // Suffix sums of weights give an (admissible, loose) upper bound.
     let mut suffix = vec![0.0; order.len() + 1];
     for k in (0..order.len()).rev() {
@@ -104,6 +113,7 @@ fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
         suffix: &'a [f64],
         best_weight: f64,
         best_set: Vec<usize>,
+        nodes: u64,
     }
 
     fn recurse(
@@ -112,13 +122,17 @@ fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
         current: &mut Vec<usize>,
         used: &mut Vec<usize>,
         weight: f64,
-    ) {
+    ) -> Result<(), SolverError> {
+        st.nodes += 1;
+        if st.nodes.is_multiple_of(CANCEL_CHECK_NODES) {
+            cancel::checkpoint()?;
+        }
         if weight > st.best_weight {
             st.best_weight = weight;
             st.best_set = current.clone();
         }
         if k == st.order.len() || weight + st.suffix[k] <= st.best_weight {
-            return;
+            return Ok(());
         }
         let c = st.order[k];
         // Branch 1: take candidate k if feasible.
@@ -126,12 +140,12 @@ fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
             let before = used.len();
             used.extend_from_slice(&st.candidates[c].items);
             current.push(c);
-            recurse(st, k + 1, current, used, weight + st.candidates[c].weight);
+            recurse(st, k + 1, current, used, weight + st.candidates[c].weight)?;
             current.pop();
             used.truncate(before);
         }
         // Branch 2: skip it.
-        recurse(st, k + 1, current, used, weight);
+        recurse(st, k + 1, current, used, weight)
     }
 
     let mut st = State {
@@ -140,18 +154,19 @@ fn branch_and_bound(candidates: &[Candidate], order: &[usize]) -> Packing {
         suffix: &suffix,
         best_weight: 0.0,
         best_set: Vec::new(),
+        nodes: 0,
     };
     let mut current = Vec::new();
     let mut used = Vec::new();
-    recurse(&mut st, 0, &mut current, &mut used, 0.0);
+    recurse(&mut st, 0, &mut current, &mut used, 0.0)?;
 
     let mut chosen = st.best_set;
     chosen.sort_unstable();
-    Packing {
+    Ok(Packing {
         chosen,
         weight: st.best_weight,
         exact: true,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -40,17 +40,28 @@ pub enum SolverError {
     /// An input cost, weight, or mass was NaN or infinite. The payload names
     /// the offending quantity.
     NonFinite(&'static str),
+    /// The solver observed a spent deadline or an explicit cancel at one of
+    /// its cooperative checkpoints and unwound early (see
+    /// [`valentine_obs::cancel`]).
+    Cancelled(valentine_obs::Cancelled),
 }
 
 impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::NonFinite(what) => write!(f, "non-finite {what}"),
+            SolverError::Cancelled(c) => write!(f, "solver cancelled: {c}"),
         }
     }
 }
 
 impl std::error::Error for SolverError {}
+
+impl From<valentine_obs::Cancelled> for SolverError {
+    fn from(c: valentine_obs::Cancelled) -> SolverError {
+        SolverError::Cancelled(c)
+    }
+}
 
 pub use assignment::hungarian_max;
 pub use emd::{emd_1d_quantiles, emd_transportation};

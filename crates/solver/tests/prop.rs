@@ -46,7 +46,7 @@ proptest! {
         flat in proptest::collection::vec(0.0f64..1.0, 16),
     ) {
         let scores: Vec<Vec<f64>> = flat.chunks(4).map(<[f64]>::to_vec).collect();
-        let a = hungarian_max(&scores);
+        let a = hungarian_max(&scores).unwrap();
         let opt: f64 = a
             .iter()
             .enumerate()

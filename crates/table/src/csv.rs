@@ -11,6 +11,12 @@ use crate::value::Value;
 
 /// Parses CSV text (first record = header) into a [`Table`] with inferred
 /// column types.
+///
+/// Ragged records are repaired rather than fatal — real exported CSVs
+/// routinely drop trailing empty fields: short records are padded with
+/// nulls, long records truncated to the header width. Every repair bumps
+/// the `table/ragged_rows` obs counter, mirroring the never-silent policy
+/// the trace reader follows for malformed lines.
 pub fn parse(name: impl Into<String>, text: &str) -> Result<Table> {
     let records = parse_records(text)?;
     let mut iter = records.into_iter();
@@ -20,12 +26,10 @@ pub fn parse(name: impl Into<String>, text: &str) -> Result<Table> {
     };
     let width = header.len();
     let mut raw_columns: Vec<Vec<String>> = vec![Vec::new(); width];
-    for (line_no, record) in iter.enumerate() {
+    for mut record in iter {
         if record.len() != width {
-            return Err(TableError::Csv {
-                line: line_no + 2,
-                message: format!("expected {width} fields, got {}", record.len()),
-            });
+            valentine_obs::counter("table/ragged_rows", 1);
+            record.resize(width, String::new());
         }
         for (i, field) in record.into_iter().enumerate() {
             raw_columns[i].push(field);
@@ -193,9 +197,29 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_ragged_rows() {
-        let err = parse("t", "a,b\n1\n").unwrap_err();
-        assert!(matches!(err, TableError::Csv { line: 2, .. }));
+    fn short_rows_padded_with_nulls_and_counted() {
+        let (t, snapshot) = valentine_obs::capture(|| parse("t", "a,b\n1\n2,x\n").unwrap());
+        assert_eq!(t.height(), 2);
+        assert!(t.cell(0, "b").unwrap().is_null(), "missing field → null");
+        assert_eq!(t.cell(1, "b").unwrap(), &Value::str("x"));
+        assert_eq!(snapshot.counters["table/ragged_rows"], 1);
+    }
+
+    #[test]
+    fn long_rows_truncated_and_counted() {
+        let (t, snapshot) = valentine_obs::capture(|| parse("t", "a,b\n1,2,3\n").unwrap());
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.cell(0, "b").unwrap(), &Value::Int(2));
+        assert_eq!(snapshot.counters["table/ragged_rows"], 1);
+    }
+
+    #[test]
+    fn well_formed_rows_are_not_counted() {
+        let ((), snapshot) = valentine_obs::capture(|| {
+            parse("t", "a,b\n1,x\n").unwrap();
+        });
+        assert_eq!(snapshot.counters.get("table/ragged_rows"), None);
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Extract a 1-1 mapping for an ETL job.
-    let mapping = valentine::select::extract_hungarian(&ranked, 0.5);
+    let mapping = valentine::select::extract_hungarian(&ranked, 0.5)?;
     println!("\nproposed column mapping (score ≥ 0.5):");
     for m in &mapping {
         println!("  {} → {}", m.source, m.target);

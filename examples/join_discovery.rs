@@ -90,7 +90,7 @@ fn main() {
         // A table's joinability score = its best column correspondence;
         // the join keys = the 1-1 extraction over the ranked list.
         let best = ranked.matches().first().map_or(0.0, |m| m.score);
-        let keys = extract_hungarian(&ranked, 0.55);
+        let keys = extract_hungarian(&ranked, 0.55).expect("no deadline active");
         candidates.push((table.name().to_string(), best, keys));
     }
     candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));

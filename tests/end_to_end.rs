@@ -32,6 +32,7 @@ fn full_pipeline_runs_and_aggregates() {
             methods: vec![MatcherKind::ComaSchema, MatcherKind::JaccardLevenshtein],
             scale: GridScale::Small,
             threads: 2,
+            ..RunnerConfig::default()
         },
     );
     // 24 fabricated pairs × (1 + 5) configs
@@ -95,6 +96,7 @@ fn grid_search_never_hurts() {
             methods: vec![MatcherKind::JaccardLevenshtein],
             scale: GridScale::Small,
             threads: 1,
+            ..RunnerConfig::default()
         },
     );
     let best = runner.best_per_pair(MatcherKind::JaccardLevenshtein)[0].1;
@@ -123,7 +125,7 @@ fn one_to_one_extraction_respects_ground_truth_on_easy_pairs() {
     let ranked = ComaMatcher::new(ComaStrategy::Schema)
         .match_tables(&pair.source, &pair.target)
         .expect("matching works");
-    let assignment = valentine::select::extract_hungarian(&ranked, 0.0);
+    let assignment = valentine::select::extract_hungarian(&ranked, 0.0).unwrap();
     assert_eq!(assignment.len(), pair.ground_truth_size());
     for m in &assignment {
         assert!(

@@ -57,6 +57,7 @@ fn shape_runner() -> &'static Runner {
                 ],
                 scale: GridScale::Small,
                 threads: 2,
+                ..RunnerConfig::default()
             },
         )
     })
@@ -204,6 +205,7 @@ fn distribution_wins_one_to_many_ing2() {
                 methods: vec![kind],
                 scale: GridScale::Small,
                 threads: 1,
+                ..RunnerConfig::default()
             },
         )
         .best_per_pair(kind)[0]
