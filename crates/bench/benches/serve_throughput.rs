@@ -1,0 +1,169 @@
+//! Guard: the serving layer must actually buy concurrency and caching.
+//!
+//! Two hard assertions over a live `valentine-serve` instance:
+//!
+//! 1. **Concurrency** — 8 clients issuing 16 distinct cold queries reach
+//!    at least 2× the QPS of one client issuing the same 16 queries
+//!    serially. The floor only applies on machines with ≥4 cores (CI
+//!    runners); on smaller boxes the pool cannot physically overlap
+//!    re-ranks, so the floor relaxes to 0.8× (the hand-off overhead must
+//!    still not *lose* throughput).
+//! 2. **Caching** — a repeated query answered from the LRU is at least
+//!    10× faster than its cold run, on any machine: a hit skips LSH and
+//!    every matcher call, and the obs counters prove it did.
+//!
+//! Run with `cargo bench --bench serve_throughput`; `--quick` shrinks the
+//! corpus rows for smoke runs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use valentine_core::prelude::*;
+use valentine_serve::{metrics, ServeConfig, ServerHandle};
+
+/// Indexed tables — one distinct cold query each.
+const TABLES: usize = 16;
+/// Concurrent clients in the throughput phase.
+const CLIENTS: usize = 8;
+/// Cached-latency sample size.
+const REPEATS: u32 = 32;
+
+/// Overlapping integer/label tables: every query ranks real candidates
+/// and the re-rank stage has genuine work to do.
+fn corpus(rows: i64) -> LoadedIndex {
+    let mut idx = Index::new(IndexConfig::default());
+    for i in 0..TABLES as i64 {
+        let lo = i * rows / 8;
+        let table = Table::from_pairs(
+            format!("table_{i}"),
+            vec![
+                ("id", (lo..lo + rows).map(Value::Int).collect()),
+                (
+                    "label",
+                    (lo..lo + rows)
+                        .map(|v| Value::str(format!("item-{v}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .expect("uniform columns");
+        idx.ingest("bench", table);
+    }
+    LoadedIndex::from(idx)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        pool_threads: CLIENTS,
+        accept_threads: CLIENTS,
+        cache_capacity: 64,
+        default_deadline: Some(Duration::from_secs(120)),
+        default_k: 3,
+        default_rerank: Some(MatcherKind::ComaInstance),
+        // More re-rank calls per query than the single profile the cache
+        // path pays: the cold/cached gap is matcher work, by construction.
+        candidate_cap: TABLES,
+        ..ServeConfig::default()
+    }
+}
+
+/// One request, read to EOF; panics on a non-200 so a broken server fails
+/// the guard loudly instead of skewing the timings.
+fn get(addr: SocketAddr, target: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    assert!(
+        response.starts_with("HTTP/1.1 200"),
+        "query failed: {response}"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows: i64 = if quick { 60 } else { 200 };
+    let index = corpus(rows);
+    let targets: Vec<String> = (0..TABLES)
+        .map(|i| format!("/search?kind=unionable&table=table_{i}"))
+        .collect();
+
+    // Phase 1: one client, every query cold, in series.
+    let server = ServerHandle::start(index.clone(), config()).expect("bind");
+    let started = Instant::now();
+    for target in &targets {
+        get(server.addr(), target);
+    }
+    let serial = started.elapsed();
+
+    // Phase 2 (same instance, now fully warmed): cached repeat latency.
+    let started = Instant::now();
+    for _ in 0..REPEATS {
+        get(server.addr(), &targets[0]);
+    }
+    let cached = started.elapsed() / REPEATS;
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter(metrics::CACHE_HITS),
+        u64::from(REPEATS),
+        "every repeat must come from the cache"
+    );
+    let cold_calls = snapshot.counter("index/matcher_calls");
+    assert!(cold_calls > 0, "cold queries must re-rank");
+
+    let cold = serial / targets.len() as u32;
+    let cache_ratio = cold.as_secs_f64() / cached.as_secs_f64().max(1e-9);
+    assert!(
+        cache_ratio >= 10.0,
+        "a cached repeat must be >=10x faster than its cold run: \
+         cold {cold:?} vs cached {cached:?} ({cache_ratio:.1}x)"
+    );
+
+    // Phase 3: the same 16 cold queries, 8 clients at once, fresh server.
+    let server = ServerHandle::start(index, config()).expect("bind");
+    let addr = server.addr();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in targets.chunks(targets.len().div_ceil(CLIENTS)) {
+            scope.spawn(move || {
+                for target in chunk {
+                    get(addr, target);
+                }
+            });
+        }
+    });
+    let concurrent = started.elapsed();
+    let snapshot = server.shutdown();
+    assert_eq!(
+        snapshot.counter(metrics::CACHE_HITS),
+        0,
+        "distinct queries must not alias in the cache"
+    );
+
+    let speedup = serial.as_secs_f64() / concurrent.as_secs_f64().max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let floor = if cores >= 4 { 2.0 } else { 0.8 };
+    if cores < 4 {
+        println!(
+            "serve throughput: {cores} core(s) — the pool cannot overlap re-ranks, \
+             relaxing the concurrency floor to {floor}x"
+        );
+    }
+    assert!(
+        speedup >= floor,
+        "{CLIENTS} concurrent clients must reach >={floor}x the serialized QPS: \
+         serial {serial:?} vs concurrent {concurrent:?} ({speedup:.2}x)"
+    );
+
+    println!(
+        "serve throughput guard: {} queries ({rows} rows/table, {cold_calls} matcher calls) — \
+         serial {serial:.0?} | {CLIENTS} clients {concurrent:.0?} ({speedup:.2}x, floor {floor}x) | \
+         cold {cold:.0?} vs cached {cached:.0?} ({cache_ratio:.0}x)",
+        targets.len(),
+    );
+}

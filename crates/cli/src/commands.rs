@@ -103,6 +103,22 @@ USAGE:
   valentine index info <index-file>
       Summarise a built index file.
 
+  valentine serve <index-file> [--host H] [--port P] [--pool-threads T]
+                  [--accept-threads T] [--cache N] [--deadline-ms MS]
+                  [--k K] [--method NAME | --no-rerank] [--cap N]
+      Load the index once and answer concurrent discovery queries over
+      HTTP until SIGINT/SIGTERM, then drain gracefully. Endpoints:
+        GET  /search?kind=unionable|joinable&k=K[&table=NAME|&column=NAME]
+                    [&method=NAME][&cap=N][&deadline_ms=MS]
+        POST /search?kind=...       (body: the query table as CSV)
+        GET  /metrics               (counters + p50/p90/p99 per endpoint)
+        GET  /healthz
+      --port 0 (the default) binds an ephemeral port and prints it.
+      Answers are cached in an LRU keyed by the query's sketch digest;
+      requests that blow their deadline answer 504 with the sketch-only
+      shortlist and are never cached. With --trace, the final metrics
+      snapshot (including serve/* counters) is flushed on shutdown.
+
 GLOBAL OPTIONS:
   --trace FILE
       Enable instrumentation and write a JSONL trace of spans, counters,
@@ -135,22 +151,8 @@ fn matcher_by_name(name: &str) -> Result<Box<dyn Matcher>, String> {
 /// Resolves a CLI method name to its [`MatcherKind`] (for the index
 /// re-rank stage, which instantiates matchers itself).
 fn kind_by_name(name: &str) -> Result<MatcherKind, String> {
-    Ok(match name {
-        "cupid" => MatcherKind::Cupid,
-        "similarity-flooding" | "sf" => MatcherKind::SimilarityFlooding,
-        "coma-schema" => MatcherKind::ComaSchema,
-        "coma-instance" | "coma" => MatcherKind::ComaInstance,
-        "distribution" | "dist" => MatcherKind::DistributionDist1,
-        "distribution-loose" => MatcherKind::DistributionDist2,
-        "semprop" => MatcherKind::SemProp,
-        "embdi" => MatcherKind::EmbDI,
-        "jaccard-levenshtein" | "jl" => MatcherKind::JaccardLevenshtein,
-        other => {
-            return Err(format!(
-                "unknown re-rank method `{other}` (see `valentine methods`)"
-            ))
-        }
-    })
+    MatcherKind::from_cli_name(name)
+        .ok_or_else(|| format!("unknown re-rank method `{name}` (see `valentine methods`)"))
 }
 
 fn size_by_name(name: &str) -> Result<SizeClass, String> {
@@ -746,8 +748,10 @@ fn index_build(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load_index(path: &str) -> Result<Index, String> {
-    Index::load(std::path::Path::new(path)).map_err(|e| format!("cannot load index `{path}`: {e}"))
+/// Deserialises a VIDX file once into a shareable [`LoadedIndex`] handle.
+fn load_index(path: &str) -> Result<LoadedIndex, String> {
+    LoadedIndex::load(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load index `{path}`: {e}"))
 }
 
 fn index_search(argv: &[String]) -> Result<(), String> {
@@ -814,7 +818,10 @@ fn index_eval(argv: &[String]) -> Result<(), String> {
             std::thread::available_parallelism().map_or(4usize, |n| n.get()),
         )?,
     };
-    let eval = evaluate_discovery(&config);
+    // Build the corpus once and evaluate through the shared LoadedIndex
+    // path — the same handle `valentine serve` holds.
+    let (index, queries) = valentine_core::discovery::build_discovery_corpus(&config);
+    let eval = evaluate_queries(&LoadedIndex::from(index), &queries, &config);
     print!("{}", render_discovery_report(&eval));
     Ok(())
 }
@@ -841,6 +848,62 @@ fn index_info(argv: &[String]) -> Result<(), String> {
         println!("  {source}: {n} tables");
     }
     Ok(())
+}
+
+/// `valentine serve` — load an index once and answer concurrent discovery
+/// queries over HTTP until SIGINT/SIGTERM requests a graceful drain.
+///
+/// The `--trace` flush happens *after* the drain: the sink is created and
+/// finished only once the final metrics snapshot exists, so an interrupt
+/// mid-serve still produces a complete, parseable trace file.
+pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
+    let p = args::parse(argv, &["no-rerank"])?;
+    let index = load_index(p.positional(0, "index file")?)?;
+
+    let defaults = valentine_serve::ServeConfig::default();
+    let mut config = valentine_serve::ServeConfig {
+        host: p.opt("host").unwrap_or("127.0.0.1").to_string(),
+        port: p.opt_parse("port", 0u16)?,
+        pool_threads: p.opt_parse("pool-threads", defaults.pool_threads)?,
+        accept_threads: p.opt_parse("accept-threads", defaults.accept_threads)?,
+        cache_capacity: p.opt_parse("cache", defaults.cache_capacity)?,
+        default_deadline: opt_millis(&p, "deadline-ms")?.or(defaults.default_deadline),
+        default_k: p.opt_parse("k", defaults.default_k)?,
+        candidate_cap: p.opt_parse("cap", defaults.candidate_cap)?,
+        ..defaults
+    };
+    if p.flag("no-rerank") {
+        config.default_rerank = None;
+    } else if let Some(name) = p.opt("method") {
+        config.default_rerank = Some(kind_by_name(name)?);
+    }
+
+    valentine_serve::shutdown::install();
+    let handle = valentine_serve::ServerHandle::start(index, config)
+        .map_err(|e| format!("cannot start server: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    println!("endpoints: /search /metrics /healthz — stop with SIGINT/SIGTERM");
+
+    while !valentine_serve::shutdown::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutdown requested; draining in-flight requests");
+    let snapshot = handle.shutdown();
+    println!(
+        "served {} request(s): {} cache hit(s), {} miss(es), {} deadline-exceeded",
+        snapshot.counter(valentine_serve::metrics::REQUESTS),
+        snapshot.counter(valentine_serve::metrics::CACHE_HITS),
+        snapshot.counter(valentine_serve::metrics::CACHE_MISSES),
+        snapshot.counter(valentine_serve::metrics::DEADLINE_EXCEEDED),
+    );
+    if let Some(path) = trace {
+        let sink = TraceSink::create(path)
+            .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+        sink.finish_with(&snapshot)
+            .map_err(|e| format!("cannot finish trace: {e}"))?;
+        println!("trace written to {}", path.display());
+    }
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -1048,6 +1111,102 @@ mod tests {
             "--no-rerank",
         ]))
         .expect("index eval works");
+    }
+
+    /// One request, read to EOF (the server closes). `None` on any I/O
+    /// failure so the caller can poll for server readiness.
+    fn http_get(addr: &str, target: &str) -> Option<String> {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(addr).ok()?;
+        write!(
+            s,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .ok()?;
+        let mut out = String::new();
+        s.read_to_string(&mut out).ok()?;
+        Some(out)
+    }
+
+    #[test]
+    fn serve_rejects_bad_inputs() {
+        let dir = temp_dir("serve_bad");
+        let idx_path = dir.join("i.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&["build", "--out", idx, "--per-source", "1"])).unwrap();
+        assert!(serve(&argv(&[]), None).is_err(), "index file required");
+        assert!(serve(&argv(&["/nonexistent.vidx"]), None).is_err());
+        assert!(serve(&argv(&[idx, "--method", "ghost"]), None).is_err());
+        assert!(serve(&argv(&[idx, "--port", "notaport"]), None).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_answers_queries_and_drains_on_request() {
+        let dir = temp_dir("serve_cli");
+        let idx_path = dir.join("corpus.vidx");
+        let idx = idx_path.to_str().unwrap().to_string();
+        index(&argv(&[
+            "build",
+            "--out",
+            &idx,
+            "--size",
+            "tiny",
+            "--per-source",
+            "2",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+
+        // Reserve a free port, release it, and hand it to the server —
+        // the CLI prints the bound address but a same-process test cannot
+        // read its own stdout.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        let trace_path = dir.join("serve.jsonl");
+        let server = {
+            let idx = idx.clone();
+            let trace_path = trace_path.clone();
+            std::thread::spawn(move || {
+                serve(
+                    &argv(&[&idx, "--port", &port.to_string(), "--no-rerank", "--k", "2"]),
+                    Some(&trace_path),
+                )
+            })
+        };
+
+        let mut healthy = false;
+        for _ in 0..100 {
+            if http_get(&addr, "/healthz").is_some_and(|r| r.contains("ok")) {
+                healthy = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        assert!(healthy, "server never answered /healthz");
+
+        let target = "/search?kind=unionable&table=tpcdi/unionable_0";
+        let cold = http_get(&addr, target).expect("search answers");
+        assert!(cold.contains("200 OK"), "{cold}");
+        assert!(cold.contains("X-Valentine-Cache: miss"), "{cold}");
+        let warm = http_get(&addr, target).expect("repeat answers");
+        assert!(warm.contains("X-Valentine-Cache: hit"), "{warm}");
+
+        valentine_serve::shutdown::request();
+        let code = server.join().unwrap().expect("serve drains cleanly");
+        assert_eq!(code, 0);
+
+        // The graceful drain flushed a trace holding the serving counters.
+        let text = fs::read_to_string(&trace_path).unwrap();
+        let data = parse_trace(&text);
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        assert!(text.contains("serve/cache_hits"), "{text}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

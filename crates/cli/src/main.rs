@@ -11,6 +11,7 @@
 //! valentine index search <index-file> --query <q.csv> [--mode unionable|joinable]
 //! valentine index eval [--size S] [--per-source N] [--k K] [--method NAME]
 //! valentine index info <index-file>
+//! valentine serve <index-file> [--port P] [--deadline-ms MS] [--method NAME]
 //! ```
 //!
 //! The global `--trace <path>` flag (any command) enables instrumentation
@@ -83,6 +84,8 @@ fn run(argv: &[String], trace: Option<PathBuf>) -> Result<i32, String> {
         Some("run") => return commands::run_experiments(&argv[1..], trace.as_deref()),
         Some("trace") => commands::trace(&argv[1..]),
         Some("index") => commands::index(&argv[1..]),
+        // `serve` flushes its own trace on graceful shutdown.
+        Some("serve") => return commands::serve(&argv[1..], trace.as_deref()),
         Some("--help" | "-h" | "help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

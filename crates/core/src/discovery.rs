@@ -9,7 +9,7 @@
 
 use valentine_datasets::{chembl, opendata, tpcdi, SizeClass};
 use valentine_fabricator::{fabricate_pair, InstanceNoise, ScenarioSpec, SchemaNoise};
-use valentine_index::{Index, IndexConfig, SearchOptions};
+use valentine_index::{Index, IndexConfig, LoadedIndex, SearchOptions};
 use valentine_table::Table;
 
 /// Configuration of one discovery evaluation run.
@@ -161,6 +161,18 @@ pub fn build_discovery_corpus(config: &DiscoveryEvalConfig) -> (Index, Vec<Disco
 /// Runs the full evaluation: build, ingest, query, aggregate.
 pub fn evaluate_discovery(config: &DiscoveryEvalConfig) -> DiscoveryEval {
     let (index, queries) = build_discovery_corpus(config);
+    evaluate_queries(&LoadedIndex::from(index), &queries, config)
+}
+
+/// Runs a query workload against an already-loaded index. Factored out of
+/// [`evaluate_discovery`] so callers holding a [`LoadedIndex`] — the CLI's
+/// `index eval`, benchmark loops, anything serving repeated workloads —
+/// evaluate without re-building (or re-deserialising) the corpus per run.
+pub fn evaluate_queries(
+    index: &LoadedIndex,
+    queries: &[DiscoveryQuery],
+    config: &DiscoveryEvalConfig,
+) -> DiscoveryEval {
     let mut eval = DiscoveryEval {
         queries: queries.len(),
         k: config.k,
@@ -171,7 +183,7 @@ pub fn evaluate_discovery(config: &DiscoveryEvalConfig) -> DiscoveryEval {
         brute_force_calls: queries.len() * index.len(),
         corpus_size: index.len(),
     };
-    for query in &queries {
+    for query in queries {
         let out = index.top_k_unionable(&query.table, config.k, &config.search);
         eval.matcher_calls += out.stats.matcher_calls;
         let same_origin = out
@@ -293,6 +305,22 @@ mod tests {
             eval.hit_rate() > 0.5,
             "sketches alone find most counterparts"
         );
+    }
+
+    #[test]
+    fn evaluate_queries_reuses_a_loaded_index() {
+        let config = DiscoveryEvalConfig {
+            per_source: 3,
+            search: SearchOptions::sketch_only(),
+            ..DiscoveryEvalConfig::default()
+        };
+        let (index, queries) = build_discovery_corpus(&config);
+        let loaded = LoadedIndex::from(index);
+        // two runs against the same handle: no rebuild, identical results
+        let a = evaluate_queries(&loaded, &queries, &config);
+        let b = evaluate_queries(&loaded, &queries, &config);
+        assert_eq!(a, b);
+        assert_eq!(a, evaluate_discovery(&config));
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub mod prelude {
     pub use crate::corpus::{Corpus, CorpusConfig};
     pub use crate::datasets::SizeClass;
     pub use crate::discovery::{
-        evaluate_discovery, render_discovery_report, DiscoveryEval, DiscoveryEvalConfig,
+        evaluate_discovery, evaluate_queries, render_discovery_report, DiscoveryEval,
+        DiscoveryEvalConfig,
     };
     pub use crate::fabricator::{
         fabricate_pair, DatasetPair, FabricationPlan, InstanceNoise, ScenarioKind, ScenarioSpec,
@@ -72,7 +73,7 @@ pub mod prelude {
     };
     pub use crate::grids::{method_grid, GridScale};
     pub use crate::index::{
-        DiscoveryResult, Index, IndexConfig, SearchOptions, SearchOutcome, SearchStats,
+        DiscoveryResult, Index, IndexConfig, LoadedIndex, SearchOptions, SearchOutcome, SearchStats,
     };
     pub use crate::matchers::{
         ApproxOverlapMatcher, ColumnMatch, ComaMatcher, ComaStrategy, CupidMatcher,

@@ -43,11 +43,13 @@
 mod codec;
 pub mod error;
 pub mod index;
+pub mod loaded;
 pub mod persist;
 pub mod profile;
 pub mod search;
 
 pub use error::IndexError;
 pub use index::{Index, IndexConfig, IndexedTable};
+pub use loaded::LoadedIndex;
 pub use profile::ColumnProfile;
 pub use search::{DiscoveryResult, SearchOptions, SearchOutcome, SearchStats};

@@ -1,0 +1,145 @@
+//! A shared handle over a deserialised index.
+//!
+//! Loading a `VIDX` file re-parses every stored CSV blob and rebuilds the
+//! LSH bands — cheap once, ruinous when repeated: a loop of `index search`
+//! invocations (or a server answering one query per process) pays the full
+//! deserialisation for every query. [`LoadedIndex`] is the fix shared by
+//! the CLI and the serving layer: the index is deserialised exactly once
+//! into an immutable `Arc`, and every consumer — CLI eval loops, the
+//! server's connection handlers and re-rank pool workers — clones the
+//! cheap handle instead of the data.
+//!
+//! The handle also owns the *query fingerprinting* used by the serving
+//! layer's result cache: [`table_digest`](LoadedIndex::table_digest) and
+//! [`column_digest`](LoadedIndex::column_digest) profile a query through
+//! the index's own MinHash family and fold the per-column
+//! [`ColumnProfile::sketch_digest`]s, so two queries with equal digests are
+//! indistinguishable to the search stages — the property that makes a
+//! digest-keyed cache sound.
+
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+use valentine_table::{Column, Table};
+
+use crate::error::IndexError;
+use crate::index::Index;
+use crate::profile::{profile_table, ColumnProfile, Fnv1a, QUERY_TABLE_ID};
+
+/// An immutable, cheaply clonable handle to a fully loaded [`Index`].
+#[derive(Debug, Clone)]
+pub struct LoadedIndex {
+    inner: Arc<Index>,
+}
+
+impl Deref for LoadedIndex {
+    type Target = Index;
+
+    fn deref(&self) -> &Index {
+        &self.inner
+    }
+}
+
+impl From<Index> for LoadedIndex {
+    fn from(index: Index) -> LoadedIndex {
+        LoadedIndex {
+            inner: Arc::new(index),
+        }
+    }
+}
+
+impl LoadedIndex {
+    /// Deserialises a `VIDX` file once into a shareable handle.
+    pub fn load(path: &Path) -> Result<LoadedIndex, IndexError> {
+        Ok(LoadedIndex::from(Index::load(path)?))
+    }
+
+    /// The underlying index (also reachable through `Deref`).
+    pub fn index(&self) -> &Index {
+        &self.inner
+    }
+
+    /// Finds an indexed table by name (first match in ingestion order).
+    pub fn table_by_name(&self, name: &str) -> Option<&crate::index::IndexedTable> {
+        self.inner.tables().iter().find(|t| t.name == name)
+    }
+
+    /// Digest of a whole-table query: the ordered fold of every column's
+    /// sketch digest, profiled through this index's hasher. Equal digests
+    /// ⇒ equal unionable-search results against this index.
+    pub fn table_digest(&self, query: &Table) -> u64 {
+        let profiles = profile_table(QUERY_TABLE_ID, query, self.inner.hasher());
+        let mut h = Fnv1a::new();
+        h.write_u64(profiles.len() as u64);
+        for p in &profiles {
+            h.write_u64(p.sketch_digest());
+        }
+        h.finish()
+    }
+
+    /// Digest of a single-column (joinable) query.
+    pub fn column_digest(&self, query: &Column) -> u64 {
+        ColumnProfile::build(QUERY_TABLE_ID, 0, query, self.inner.hasher()).sketch_digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use valentine_table::Value;
+
+    fn demo() -> LoadedIndex {
+        let mut idx = Index::new(IndexConfig::default());
+        idx.ingest(
+            "demo",
+            Table::from_pairs("nums", vec![("id", (0..30).map(Value::Int).collect())]).unwrap(),
+        );
+        LoadedIndex::from(idx)
+    }
+
+    #[test]
+    fn handle_clones_share_the_index() {
+        let a = demo();
+        let b = a.clone();
+        assert_eq!(a.len(), 1);
+        assert!(std::ptr::eq(a.index(), b.index()), "no data is duplicated");
+        assert!(a.table_by_name("nums").is_some());
+        assert!(a.table_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn load_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("valentine_loaded_index_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vidx");
+        demo().index().save(&path).unwrap();
+        let loaded = LoadedIndex::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(LoadedIndex::load(&dir.join("missing.vidx")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn digests_are_stable_and_discriminating() {
+        let idx = demo();
+        let t1 = Table::from_pairs("q", vec![("id", (0..30).map(Value::Int).collect())]).unwrap();
+        let t2 = Table::from_pairs("q2", vec![("id", (0..30).map(Value::Int).collect())]).unwrap();
+        // table *name* plays no role in search scoring, so digests agree
+        assert_eq!(idx.table_digest(&t1), idx.table_digest(&t2));
+        assert_eq!(idx.table_digest(&t1), idx.table_digest(&t1));
+        let shifted =
+            Table::from_pairs("q", vec![("id", (9..39).map(Value::Int).collect())]).unwrap();
+        assert_ne!(idx.table_digest(&t1), idx.table_digest(&shifted));
+
+        let c1 = Column::new("id", (0..30).map(Value::Int).collect());
+        let c2 = Column::new("key", (0..30).map(Value::Int).collect());
+        assert_eq!(idx.column_digest(&c1), idx.column_digest(&c1));
+        assert_ne!(idx.column_digest(&c1), idx.column_digest(&c2));
+        // a one-column table and its column digest differ (length prefix):
+        // unionable and joinable cache entries can never alias
+        assert_ne!(idx.table_digest(&t1), idx.column_digest(&c1));
+    }
+}

@@ -121,6 +121,34 @@ impl ColumnProfile {
         Some(1.0 - (mean_gap / spread).clamp(0.0, 1.0))
     }
 
+    /// A 64-bit digest of everything [`sketch_similarity`] can observe:
+    /// the MinHash signature, normalised name tokens, data type, and the
+    /// quantile sketch. Two query columns with equal digests are
+    /// indistinguishable to the candidate and sketch-ranking stages, which
+    /// is what makes the digest a sound cache key for search results
+    /// (position and raw name are deliberately excluded — they never feed
+    /// a score).
+    ///
+    /// [`sketch_similarity`]: ColumnProfile::sketch_similarity
+    pub fn sketch_digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for &word in &self.signature.0 {
+            h.write_u64(word);
+        }
+        h.write_u64(self.name_tokens.len() as u64);
+        for token in &self.name_tokens {
+            h.write_bytes(token.as_bytes());
+        }
+        h.write_u64(self.dtype as u64);
+        h.write_u64(self.rows);
+        h.write_u64(self.distinct);
+        h.write_u64(self.quantiles.len() as u64);
+        for &q in &self.quantiles {
+            h.write_u64(q.to_bits());
+        }
+        h.finish()
+    }
+
     /// The blended sketch score used to rank candidates before the matcher
     /// stage: value overlap dominates, with name, type, and distribution
     /// evidence as tie-breakers (the same evidence classes as the paper's
@@ -133,6 +161,35 @@ impl ColumnProfile {
             Some(dist) => 0.5 * value + 0.2 * name + 0.1 * dtype + 0.2 * dist,
             None => 0.6 * value + 0.25 * name + 0.15 * dtype,
         }
+    }
+}
+
+/// FNV-1a, the workspace's standing choice for stable non-cryptographic
+/// digests: the digest must be identical across runs and platforms (cache
+/// keys outlive a process via nothing, but tests pin exact values), which
+/// rules out `DefaultHasher`'s unspecified algorithm.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -234,6 +291,24 @@ mod tests {
         assert_eq!(int.dtype_affinity(&float), 0.8);
         assert_eq!(int.dtype_affinity(&text), 0.0);
         assert_eq!(text.dtype_affinity(&nulls), 0.5);
+    }
+
+    #[test]
+    fn sketch_digest_separates_what_scoring_separates() {
+        let h = hasher();
+        let ints: Vec<Value> = (0..40).map(Value::Int).collect();
+        let a = ColumnProfile::build(0, 0, &col("amount", ints.clone()), &h);
+        // same column content under a different table id / position: the
+        // digest must agree, because scoring cannot tell them apart
+        let b = ColumnProfile::build(7, 3, &col("amount", ints.clone()), &h);
+        assert_eq!(a.sketch_digest(), b.sketch_digest());
+        // different name tokens, values, or dtype must (overwhelmingly)
+        // disagree
+        let renamed = ColumnProfile::build(0, 0, &col("total", ints.clone()), &h);
+        assert_ne!(a.sketch_digest(), renamed.sketch_digest());
+        let shifted =
+            ColumnProfile::build(0, 0, &col("amount", (5..45).map(Value::Int).collect()), &h);
+        assert_ne!(a.sketch_digest(), shifted.sketch_digest());
     }
 
     #[test]

@@ -34,14 +34,20 @@ pub mod metrics {
     pub const MATCHER_CALLS: &str = "index/matcher_calls";
     /// Matcher invocations that returned an error (counter).
     pub const MATCHER_ERRORS: &str = "index/matcher_errors";
+    /// Matcher invocations skipped because the caller's cancel token had
+    /// already fired — those candidates keep their sketch score, turning a
+    /// blown deadline into a partial (sketch-ranked) shortlist instead of
+    /// an ever-later answer (counter).
+    pub const MATCHER_SKIPS: &str = "index/matcher_skips";
     /// Latency of individual matcher calls in the re-rank stage, in
     /// nanoseconds (histogram).
     pub const MATCHER_CALL_NS: &str = "index/matcher_call_ns";
 }
 
 /// Per-candidate re-rank outcome: matcher score, the column matches
-/// backing it, and the matcher-call latency in nanoseconds.
-type RerankSlot = (f64, Vec<ColumnMatch>, u64);
+/// backing it, and the matcher-call latency in nanoseconds (`None` when
+/// the call was skipped under a fired cancel token).
+type RerankSlot = (f64, Vec<ColumnMatch>, Option<u64>);
 
 /// Search-time options.
 #[derive(Debug, Clone)]
@@ -122,6 +128,10 @@ pub struct SearchStats {
     /// Matcher invocations that returned an error (those candidates fall
     /// back to their sketch score).
     pub matcher_errors: usize,
+    /// Matcher invocations skipped under a fired cancel token (those
+    /// candidates also fall back to their sketch score); nonzero means the
+    /// ranking is a deadline-truncated partial re-rank.
+    pub matcher_skips: usize,
 }
 
 impl SearchStats {
@@ -132,6 +142,7 @@ impl SearchStats {
             lsh_candidates: snapshot.counter(metrics::LSH_CANDIDATES) as usize,
             matcher_calls: snapshot.counter(metrics::MATCHER_CALLS) as usize,
             matcher_errors: snapshot.counter(metrics::MATCHER_ERRORS) as usize,
+            matcher_skips: snapshot.counter(metrics::MATCHER_SKIPS) as usize,
         }
     }
 }
@@ -242,6 +253,12 @@ impl Index {
                 let candidate_column = &owner.table.columns()[profile.column_index as usize];
                 let (score, matches) = match &matcher {
                     None => (sketch, Vec::new()),
+                    Some(_) if valentine_obs::cancel::checkpoint().is_err() => {
+                        // deadline fired mid-shortlist: keep the sketch
+                        // ranking for the remaining candidates
+                        valentine_obs::counter(metrics::MATCHER_SKIPS, 1);
+                        (sketch, Vec::new())
+                    }
                     Some(m) => {
                         valentine_obs::counter(metrics::MATCHER_CALLS, 1);
                         let target = single_column_table(&owner.name, candidate_column);
@@ -327,48 +344,65 @@ impl Index {
         let matcher_ref: &dyn Matcher = matcher.as_ref();
         let next = AtomicUsize::new(0);
         let errors = AtomicUsize::new(0);
+        let skips = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<RerankSlot>>> =
             Mutex::new((0..shortlist.len()).map(|_| None).collect());
         let threads = threads.max(1).min(shortlist.len());
+        // The caller's deadline lives in a thread-local; re-install it on
+        // every scoped worker so kernel checkpoints (and our per-candidate
+        // skip below) see it across the thread boundary.
+        let token = valentine_obs::cancel::current();
 
         crossbeam::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= shortlist.len() {
-                        break;
-                    }
-                    let (table_id, sketch) = shortlist[idx];
-                    let target = &self.table(table_id).expect("candidate exists").table;
-                    let call_start = Instant::now();
-                    let outcome = matcher_ref.match_tables(query, target);
-                    let call_ns = call_start.elapsed().as_nanos() as u64;
-                    let slot = match outcome {
-                        Ok(result) => (
-                            mean_best_per_query_column(query, &result),
-                            result.matches().to_vec(),
-                            call_ns,
-                        ),
-                        Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
-                            (sketch, Vec::new(), call_ns)
+                scope.spawn(|_| {
+                    let _cancel = valentine_obs::cancel::scope(token.clone());
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= shortlist.len() {
+                            break;
                         }
-                    };
-                    slots.lock()[idx] = Some(slot);
+                        let (table_id, sketch) = shortlist[idx];
+                        let slot = if token.is_cancelled() {
+                            skips.fetch_add(1, Ordering::Relaxed);
+                            (sketch, Vec::new(), None)
+                        } else {
+                            let target = &self.table(table_id).expect("candidate exists").table;
+                            let call_start = Instant::now();
+                            let outcome = matcher_ref.match_tables(query, target);
+                            let call_ns = call_start.elapsed().as_nanos() as u64;
+                            match outcome {
+                                Ok(result) => (
+                                    mean_best_per_query_column(query, &result),
+                                    result.matches().to_vec(),
+                                    Some(call_ns),
+                                ),
+                                Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    (sketch, Vec::new(), Some(call_ns))
+                                }
+                            }
+                        };
+                        slots.lock()[idx] = Some(slot);
+                    }
                 });
             }
         })
         .expect("re-rank workers must not panic");
 
-        valentine_obs::counter(metrics::MATCHER_CALLS, shortlist.len() as u64);
+        let skips = skips.into_inner() as u64;
+        valentine_obs::counter(metrics::MATCHER_CALLS, shortlist.len() as u64 - skips);
         valentine_obs::counter(metrics::MATCHER_ERRORS, errors.into_inner() as u64);
+        valentine_obs::counter(metrics::MATCHER_SKIPS, skips);
         slots
             .into_inner()
             .into_iter()
             .zip(shortlist)
             .map(|(slot, &(table_id, sketch))| {
                 let (score, matches, call_ns) = slot.expect("every slot re-ranked");
-                valentine_obs::observe(metrics::MATCHER_CALL_NS, call_ns);
+                if let Some(call_ns) = call_ns {
+                    valentine_obs::observe(metrics::MATCHER_CALL_NS, call_ns);
+                }
                 self.result_for(table_id, None, score, sketch, matches)
             })
             .collect()
@@ -546,6 +580,35 @@ mod tests {
         let query = table("q", 0, 1100); // overlaps everything a bit
         let out = idx.top_k_unionable(&query, 1, &SearchOptions::sketch_only());
         assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn fired_deadline_degrades_rerank_to_sketch_scores() {
+        let idx = demo_index();
+        let query = table("q", 0, 100);
+        let opts = SearchOptions {
+            rerank: Some(MatcherKind::JaccardLevenshtein),
+            candidate_cap: 3,
+            threads: 2,
+        };
+        let token =
+            valentine_obs::CancelToken::with_deadline("request", Some(std::time::Duration::ZERO));
+        let _scope = valentine_obs::cancel::scope(token);
+
+        let out = idx.top_k_unionable(&query, 3, &opts);
+        assert_eq!(out.stats.matcher_calls, 0, "token fired before any call");
+        assert_eq!(out.stats.matcher_skips, out.results.len());
+        assert!(!out.results.is_empty(), "partial shortlist, not emptiness");
+        for r in &out.results {
+            assert_eq!(r.score, r.sketch_score, "skipped ⇒ sketch fallback");
+            assert!(r.column_matches.is_empty());
+        }
+
+        let col = Column::new("key", (50..120).map(Value::Int).collect());
+        let out = idx.top_k_joinable(&col, 2, &opts);
+        assert_eq!(out.stats.matcher_calls, 0);
+        assert!(out.stats.matcher_skips > 0);
+        assert!(!out.results.is_empty());
     }
 
     #[test]

@@ -135,6 +135,40 @@ impl MatcherKind {
         }
     }
 
+    /// Canonical CLI / query-parameter name (`valentine methods` lists
+    /// these; [`from_cli_name`](MatcherKind::from_cli_name) accepts them).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            MatcherKind::Cupid => "cupid",
+            MatcherKind::SimilarityFlooding => "similarity-flooding",
+            MatcherKind::ComaSchema => "coma-schema",
+            MatcherKind::ComaInstance => "coma-instance",
+            MatcherKind::DistributionDist1 => "distribution",
+            MatcherKind::DistributionDist2 => "distribution-loose",
+            MatcherKind::SemProp => "semprop",
+            MatcherKind::EmbDI => "embdi",
+            MatcherKind::JaccardLevenshtein => "jaccard-levenshtein",
+        }
+    }
+
+    /// Resolves a CLI / query-parameter name (canonical or short alias) to
+    /// its kind. The one name table shared by `valentine index search`,
+    /// `valentine serve`, and anything else that takes a method by name.
+    pub fn from_cli_name(name: &str) -> Option<MatcherKind> {
+        Some(match name {
+            "cupid" => MatcherKind::Cupid,
+            "similarity-flooding" | "sf" => MatcherKind::SimilarityFlooding,
+            "coma-schema" => MatcherKind::ComaSchema,
+            "coma-instance" | "coma" => MatcherKind::ComaInstance,
+            "distribution" | "dist" => MatcherKind::DistributionDist1,
+            "distribution-loose" => MatcherKind::DistributionDist2,
+            "semprop" => MatcherKind::SemProp,
+            "embdi" => MatcherKind::EmbDI,
+            "jaccard-levenshtein" | "jl" => MatcherKind::JaccardLevenshtein,
+            _ => return None,
+        })
+    }
+
     /// The match types the method covers — Table I of the paper.
     pub fn match_types(self) -> &'static [MatchType] {
         use MatchType::*;
@@ -248,6 +282,22 @@ mod tests {
             row("Jaccard-Levenshtein"),
             [false, true, false, false, false, false]
         );
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for kind in MatcherKind::ALL {
+            assert_eq!(MatcherKind::from_cli_name(kind.cli_name()), Some(kind));
+        }
+        assert_eq!(
+            MatcherKind::from_cli_name("jl"),
+            Some(MatcherKind::JaccardLevenshtein)
+        );
+        assert_eq!(
+            MatcherKind::from_cli_name("coma"),
+            Some(MatcherKind::ComaInstance)
+        );
+        assert_eq!(MatcherKind::from_cli_name("nope"), None);
     }
 
     #[test]

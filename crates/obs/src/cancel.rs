@@ -181,6 +181,15 @@ pub fn scope(token: CancelToken) -> CancelScope {
     CancelScope { prev }
 }
 
+/// The calling thread's installed token (a clone; tokens are cheap `Arc`
+/// handles). The never-token when no [`scope`] is open. Cross-thread
+/// stages use this to re-install the caller's deadline on their scoped
+/// workers — a thread-local token does not follow work onto other threads
+/// by itself.
+pub fn current() -> CancelToken {
+    CURRENT.try_with(|c| c.borrow().clone()).unwrap_or_default()
+}
+
 /// The cooperative cancellation point: checks the current thread's token
 /// and counts the check under `runner/cancel_checks`. Kernels call this
 /// every N iterations and propagate the error; with no token installed it
@@ -258,6 +267,22 @@ mod tests {
             assert!(checkpoint().is_err(), "outer scope restored");
         }
         assert!(checkpoint().is_ok(), "scope removed on drop");
+    }
+
+    #[test]
+    fn current_clones_the_installed_token() {
+        assert!(current().check().is_ok(), "never-token outside scopes");
+        let token = CancelToken::with_deadline("task", None);
+        {
+            let _s = scope(token.clone());
+            let seen = current();
+            assert!(seen.check().is_ok());
+            token.cancel();
+            assert!(
+                seen.check().is_err(),
+                "current() shares state with the installed token"
+            );
+        }
     }
 
     #[test]

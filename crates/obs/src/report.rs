@@ -115,6 +115,33 @@ fn render_children(node: &Node, parent_total: u64, depth: usize, out: &mut Strin
     }
 }
 
+/// Renders a snapshot as a flat, line-oriented metrics exposition — the
+/// body of a serving endpoint's `GET /metrics`. One line per value,
+/// `name value`, in deterministic order: counters verbatim, histograms
+/// expanded to `_count`/`_sum`/`_p50`/`_p90`/`_p99`/`_max` (nanosecond
+/// integers, greppable by CI), spans to `_count`/`_total_ns`. Unlike
+/// [`Report::render`] this is made for machines: no alignment, no units,
+/// no percentages.
+pub fn render_metrics(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, h) in &snapshot.hists {
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+        out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("{name}_p50 {}\n", h.percentile(0.50)));
+        out.push_str(&format!("{name}_p90 {}\n", h.percentile(0.90)));
+        out.push_str(&format!("{name}_p99 {}\n", h.percentile(0.99)));
+        out.push_str(&format!("{name}_max {}\n", h.max()));
+    }
+    for (path, stat) in &snapshot.spans {
+        out.push_str(&format!("span/{path}_count {}\n", stat.count));
+        out.push_str(&format!("span/{path}_total_ns {}\n", stat.total_ns));
+    }
+    out
+}
+
 /// Formats nanoseconds with an adaptive unit (`123ns`, `4.5us`, `6.7ms`,
 /// `8.9s`).
 pub fn fmt_ns(ns: u64) -> String {
@@ -191,6 +218,27 @@ mod tests {
         let text = Report::new(&s).render();
         assert!(text.contains("embdi"), "{text}");
         assert!(text.contains("100.0%"), "{text}"); // embdi == all time
+    }
+
+    #[test]
+    fn metrics_exposition_is_flat_and_deterministic() {
+        let snap = snapshot();
+        let text = render_metrics(&snap);
+        assert!(text.contains("pairs 42\n"), "{text}");
+        assert!(text.contains("lat_count 1\n"), "{text}");
+        assert!(text.contains("lat_p99 "), "{text}");
+        assert!(text.contains("span/coma_count 1\n"), "{text}");
+        assert_eq!(text, render_metrics(&snap));
+        // every line is exactly `name value`
+        for line in text.lines() {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some_and(|n| !n.is_empty()), "{line}");
+            assert!(
+                parts.next().is_some_and(|v| v.parse::<u64>().is_ok()),
+                "{line}"
+            );
+            assert_eq!(parts.next(), None, "{line}");
+        }
     }
 
     #[test]

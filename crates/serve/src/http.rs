@@ -1,0 +1,280 @@
+//! A deliberately small HTTP/1.1 subset: enough for `curl`, a load
+//! generator, and the integration tests — not a general web server.
+//!
+//! One request per connection (`Connection: close` on every response), no
+//! chunked transfer, no keep-alive, no TLS. Requests are parsed from a
+//! buffered stream with hard limits on line length, header count, and body
+//! size, so a misbehaving client costs bounded memory. The workspace has
+//! no HTTP dependency to lean on (vendored-deps discipline), and this
+//! subset is ~200 lines — smaller than the surface we would have to audit
+//! in a vendored server crate.
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body (an uploaded query CSV), in bytes.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, decoded path, decoded query parameters in
+/// request order, and the raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the client per the RFC; kept as
+    /// sent).
+    pub method: String,
+    /// Percent-decoded path component, e.g. `/search`.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string.
+    pub query: Vec<(String, String)>,
+    /// Request body (`Content-Length` framed; empty without one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Reads and parses one request. `Err((status, message))` maps
+    /// straight onto an error response.
+    pub fn read(stream: &mut impl BufRead) -> Result<Request, (u16, String)> {
+        let line = read_line(stream)?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or((400, "empty request line".to_string()))?
+            .to_string();
+        let target = parts.next().ok_or((400, "missing path".to_string()))?;
+        match parts.next() {
+            Some(v) if v.starts_with("HTTP/1.") => {}
+            _ => return Err((400, "not an HTTP/1.x request".to_string())),
+        }
+
+        let (raw_path, raw_query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        let path = percent_decode(raw_path).ok_or((400, "malformed path encoding".to_string()))?;
+        let query = match raw_query {
+            None => Vec::new(),
+            Some(q) => parse_query(q).ok_or((400, "malformed query encoding".to_string()))?,
+        };
+
+        let mut content_length = 0usize;
+        for _ in 0..MAX_HEADERS {
+            let line = read_line(stream)?;
+            if line.is_empty() {
+                let mut body = vec![0u8; content_length];
+                stream
+                    .read_exact(&mut body)
+                    .map_err(|e| (400, format!("truncated body: {e}")))?;
+                return Ok(Request {
+                    method,
+                    path,
+                    query,
+                    body,
+                });
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| (400, "bad Content-Length".to_string()))?;
+                    if content_length > MAX_BODY {
+                        return Err((413, format!("body larger than {MAX_BODY} bytes")));
+                    }
+                }
+            }
+        }
+        Err((400, format!("more than {MAX_HEADERS} headers")))
+    }
+}
+
+/// One `\r\n`- (or `\n`-) terminated line, without the terminator.
+fn read_line(stream: &mut impl BufRead) -> Result<String, (u16, String)> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) if byte[0] == b'\n' => break,
+            Ok(_) => {
+                if buf.len() >= MAX_LINE {
+                    return Err((431, format!("line longer than {MAX_LINE} bytes")));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => return Err((408, format!("read failed: {e}"))),
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| (400, "non-UTF-8 request line".to_string()))
+}
+
+fn parse_query(raw: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    for piece in raw.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+        pairs.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(pairs)
+}
+
+/// `%XX` and `+` decoding; `None` on truncated or non-hex escapes and
+/// non-UTF-8 results.
+fn percent_decode(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 2;
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8(out).ok()
+}
+
+/// The registered reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (status line, headers, body) and flushes.
+/// Every response closes the connection.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_text(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, (u16, String)> {
+        Request::read(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let r = parse(
+            "GET /search?kind=unionable&k=3&table=tpcdi%2Funionable_0 HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.param("kind"), Some("unionable"));
+        assert_eq!(r.param("k"), Some("3"));
+        assert_eq!(r.param("table"), Some("tpcdi/unionable_0"));
+        assert_eq!(r.param("missing"), None);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let r =
+            parse("POST /search?kind=unionable HTTP/1.1\r\nContent-Length: 7\r\n\r\nid\n1\n2\n")
+                .unwrap();
+        assert_eq!(r.body, b"id\n1\n2\n");
+    }
+
+    #[test]
+    fn decodes_plus_and_percent() {
+        let r = parse("GET /x?name=a+b%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.param("name"), Some("a b!"));
+        assert!(parse("GET /x?bad=%zz HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse("GET /x?bad=%2 HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(parse("").is_err());
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SMTP/1.0\r\n\r\n").is_err());
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+                .unwrap_err()
+                .0,
+            413
+        );
+        assert_eq!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err()
+                .0,
+            400
+        );
+    }
+
+    #[test]
+    fn response_has_framing_headers() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Test", "1".into())],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("X-Test: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn status_texts_cover_the_emitted_codes() {
+        for code in [200, 400, 404, 405, 408, 413, 431, 500, 503, 504] {
+            assert_ne!(status_text(code), "Unknown", "{code}");
+        }
+        assert_eq!(status_text(418), "Unknown");
+    }
+}

@@ -1,0 +1,49 @@
+//! A long-lived concurrent dataset-discovery service over a loaded
+//! `VIDX` index.
+//!
+//! The Valentine paper evaluates matchers one table-pair at a time; the
+//! discovery engines it feeds (Aurum, D3L, SANTOS) only pay off when the
+//! index is *resident* and queried repeatedly. This crate is that serving
+//! layer: load the index once, answer `GET /search` over HTTP/1.1 for as
+//! long as the process lives, and compose the workspace's existing
+//! production machinery — [`valentine_obs::cancel`] deadlines, obs
+//! counters/histograms, and the channel-fed worker-pool shape of the
+//! experiment runner — into a server that degrades predictably:
+//!
+//! - **Deadlines**: every request runs under a
+//!   [`CancelToken`](valentine_obs::CancelToken) minted at enqueue time; a
+//!   slow re-rank returns `504` with the partial sketch-ranked shortlist
+//!   instead of wedging a connection.
+//! - **Caching**: finished responses are cached in an O(1) [`cache::Lru`]
+//!   keyed by the query's sketch digest — the index is immutable while
+//!   the server runs, so entries never go stale and a repeated query costs
+//!   zero matcher calls.
+//! - **Batched re-ranking**: connection handlers are cheap; the expensive
+//!   matcher stage funnels through one bounded [`pool::SearchPool`] shared
+//!   by all clients.
+//! - **Introspection**: `GET /metrics` renders per-endpoint latency
+//!   percentiles and cache/deadline counters from a server-owned
+//!   [`Snapshot`](valentine_obs::Snapshot); `GET /healthz` answers while
+//!   the server can still parse a request. Shutdown is a graceful drain
+//!   that hands the final snapshot back for `--trace` flushing.
+//!
+//! ```no_run
+//! use valentine_index::{Index, IndexConfig, LoadedIndex};
+//! use valentine_serve::{ServeConfig, ServerHandle};
+//!
+//! let index = LoadedIndex::from(Index::new(IndexConfig::default()));
+//! let server = ServerHandle::start(index, ServeConfig::default()).unwrap();
+//! println!("listening on http://{}", server.addr());
+//! let final_metrics = server.shutdown();
+//! assert_eq!(final_metrics.counter("serve/requests"), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod shutdown;
+
+pub use server::{metrics, ServeConfig, ServerHandle};

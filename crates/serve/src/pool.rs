@@ -1,0 +1,226 @@
+//! The shared search worker pool: N clients, one bounded set of matcher
+//! threads.
+//!
+//! Thread-per-connection handles the *sockets*, but the expensive part of
+//! a request is the matcher re-rank, and letting every connection run its
+//! own multi-threaded re-rank would mean `clients × threads` matcher
+//! kernels fighting for cores. Instead, connection handlers enqueue
+//! [`Job`]s into one channel (the same channel-fed worker-pool shape as
+//! the experiment runner's grid scheduler) and a fixed pool of workers
+//! executes them one at a time each, replying on a per-job channel.
+//!
+//! Each job runs under its request's [`CancelToken`] — minted at *enqueue*
+//! time, so queue wait counts against the deadline — and inside its own
+//! `obs::capture` frame, so the worker ships the job's counters and
+//! latency histograms back with the result. Worker threads never exit
+//! while the server runs; their thread-local obs data would otherwise be
+//! invisible to `/metrics` until shutdown, which is exactly when nobody is
+//! scraping anymore.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use valentine_index::{LoadedIndex, SearchOptions, SearchOutcome};
+use valentine_obs::{CancelToken, Snapshot};
+use valentine_table::{Column, Table};
+
+/// What to search for.
+#[derive(Debug, Clone)]
+pub enum SearchJob {
+    /// Whole-table unionable search.
+    Unionable {
+        /// The query table.
+        table: Table,
+        /// How many hits to return.
+        k: usize,
+        /// Stage options (the pool forces `threads: 1`; the pool *is* the
+        /// parallelism).
+        opts: SearchOptions,
+    },
+    /// Single-column joinable search.
+    Joinable {
+        /// The query column.
+        column: Column,
+        /// How many hits to return.
+        k: usize,
+        /// Stage options (see above).
+        opts: SearchOptions,
+    },
+}
+
+/// A queued search: the work, its request deadline, and where to send the
+/// answer.
+pub struct Job {
+    /// The search to run.
+    pub job: SearchJob,
+    /// The request's cancel token; already ticking while the job queues.
+    pub token: CancelToken,
+    /// Reply channel. A send failure (client handler gone) is ignored.
+    pub reply: Sender<JobOutcome>,
+}
+
+/// A finished search plus everything the server wants to know about it.
+pub struct JobOutcome {
+    /// The (possibly deadline-truncated) search result.
+    pub outcome: SearchOutcome,
+    /// The obs frame captured around the search — `index/*` counters and
+    /// matcher latency histograms — for the server's `/metrics` state.
+    pub snapshot: Snapshot,
+    /// True when the request token had fired by the time the search
+    /// returned: the result is a partial (sketch-ranked) shortlist and the
+    /// response should say 504.
+    pub deadline_hit: bool,
+    /// Wall time the job spent executing (queue wait excluded).
+    pub elapsed_ns: u64,
+}
+
+/// A fixed-size pool of search workers over one shared job queue.
+pub struct SearchPool {
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SearchPool {
+    /// Spawns `threads` workers (min 1) draining `jobs` against `index`.
+    /// The pool stops — after finishing every queued job — when all
+    /// [`Sender`] clones for `jobs` are dropped.
+    pub fn start(index: LoadedIndex, jobs: Receiver<Job>, threads: usize) -> SearchPool {
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let index = index.clone();
+                let jobs = Arc::clone(&jobs);
+                std::thread::Builder::new()
+                    .name(format!("serve-search-{i}"))
+                    .spawn(move || worker_loop(index, jobs))
+                    .expect("spawn search worker")
+            })
+            .collect();
+        SearchPool { workers }
+    }
+
+    /// Waits for every worker to drain the queue and exit. Call after
+    /// dropping all job senders, or this blocks forever.
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(index: LoadedIndex, jobs: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the mutex only while waiting: one worker blocks in recv(),
+        // the rest queue on the lock. When every sender is gone, recv
+        // returns the remaining buffered jobs and then errors — the
+        // drain-then-stop behaviour graceful shutdown wants.
+        let job = match jobs.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let start = Instant::now();
+        let token = job.token;
+        let (outcome, snapshot) = valentine_obs::capture(|| {
+            let _scope = valentine_obs::cancel::scope(token.clone());
+            match job.job {
+                SearchJob::Unionable { table, k, opts } => index.top_k_unionable(&table, k, &opts),
+                SearchJob::Joinable { column, k, opts } => index.top_k_joinable(&column, k, &opts),
+            }
+        });
+        let _ = job.reply.send(JobOutcome {
+            outcome,
+            snapshot,
+            deadline_hit: token.is_cancelled(),
+            elapsed_ns: start.elapsed().as_nanos() as u64,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+    use valentine_index::{Index, IndexConfig};
+    use valentine_table::Value;
+
+    fn index() -> LoadedIndex {
+        let mut idx = Index::new(IndexConfig::default());
+        for (name, lo) in [("a", 0i64), ("b", 40), ("c", 1000)] {
+            idx.ingest(
+                "demo",
+                Table::from_pairs(name, vec![("id", (lo..lo + 60).map(Value::Int).collect())])
+                    .unwrap(),
+            );
+        }
+        LoadedIndex::from(idx)
+    }
+
+    fn submit(tx: &Sender<Job>, job: SearchJob, token: CancelToken) -> Receiver<JobOutcome> {
+        let (reply, rx) = mpsc::channel();
+        tx.send(Job { job, token, reply }).unwrap();
+        rx
+    }
+
+    #[test]
+    fn pool_answers_and_drains_on_shutdown() {
+        let (tx, rx) = mpsc::channel();
+        let pool = SearchPool::start(index(), rx, 2);
+        let query =
+            Table::from_pairs("q", vec![("id", (0..60).map(Value::Int).collect())]).unwrap();
+        let replies: Vec<_> = (0..6)
+            .map(|_| {
+                submit(
+                    &tx,
+                    SearchJob::Unionable {
+                        table: query.clone(),
+                        k: 2,
+                        opts: SearchOptions {
+                            threads: 1,
+                            ..SearchOptions::sketch_only()
+                        },
+                    },
+                    CancelToken::never(),
+                )
+            })
+            .collect();
+        drop(tx); // queued jobs still get answered
+        pool.join();
+        for reply in replies {
+            let out = reply.recv().expect("job answered before pool exit");
+            assert!(!out.deadline_hit);
+            assert!(!out.outcome.results.is_empty());
+            assert_eq!(out.outcome.results[0].table_name, "a");
+            assert!(out.snapshot.counter("index/lsh_candidates") > 0);
+            assert!(out.elapsed_ns > 0);
+        }
+    }
+
+    #[test]
+    fn fired_token_reports_deadline_hit_with_partial_results() {
+        let (tx, rx) = mpsc::channel();
+        let pool = SearchPool::start(index(), rx, 1);
+        let query =
+            Table::from_pairs("q", vec![("id", (0..60).map(Value::Int).collect())]).unwrap();
+        let reply = submit(
+            &tx,
+            SearchJob::Unionable {
+                table: query,
+                k: 2,
+                opts: SearchOptions {
+                    threads: 1,
+                    ..SearchOptions::default()
+                },
+            },
+            CancelToken::with_deadline("request", Some(Duration::ZERO)),
+        );
+        let out = reply.recv().unwrap();
+        assert!(out.deadline_hit);
+        assert!(!out.outcome.results.is_empty(), "partial, not empty");
+        assert_eq!(out.outcome.stats.matcher_calls, 0);
+        assert!(out.outcome.stats.matcher_skips > 0);
+        drop(tx);
+        pool.join();
+    }
+}

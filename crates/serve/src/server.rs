@@ -1,0 +1,550 @@
+//! The server proper: accept pool → request handlers → shared search pool
+//! → LRU cache, with `/metrics` rendered from a server-owned snapshot.
+//!
+//! ```text
+//!          ┌────────────┐   sync_channel    ┌──────────────────┐
+//!  accept ─► accept loop ├──────────────────► connection worker │×accept_threads
+//!          └────────────┘  (bounded queue)  │  parse → route    │
+//!                                           └───┬────────▲─────┘
+//!                             cache hit ────────┘        │ reply channel
+//!                             cache miss: Job ▼          │
+//!                                        ┌────────────────────┐
+//!                                        │   search workers    │×pool_threads
+//!                                        │ cancel scope + obs  │
+//!                                        └────────────────────┘
+//! ```
+//!
+//! Observability is pull-based but *server-owned*: obs thread-locals only
+//! fold into the global sink when a thread exits, and server threads never
+//! exit, so every request handler and pool worker instead captures its own
+//! frame and merges it into `State::metrics` under a mutex. `/metrics`
+//! renders that snapshot; [`ServerHandle::shutdown`] returns it so the CLI
+//! can flush a trace that includes the serving counters.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use valentine_index::{LoadedIndex, SearchOptions, SearchOutcome};
+use valentine_matchers::MatcherKind;
+use valentine_obs::json::Json;
+use valentine_obs::{CancelToken, Snapshot};
+use valentine_table::{csv, Column, Table};
+
+use crate::cache::Lru;
+use crate::http::{write_response, Request};
+use crate::pool::{Job, JobOutcome, SearchJob, SearchPool};
+
+/// Serve-layer metric names (the `index/*` names ride along from the
+/// merged job snapshots).
+pub mod metrics {
+    /// Requests handled, any endpoint, any status (counter).
+    pub const REQUESTS: &str = "serve/requests";
+    /// Search responses served straight from the LRU cache (counter).
+    pub const CACHE_HITS: &str = "serve/cache_hits";
+    /// Search requests that had to run the search pool (counter).
+    pub const CACHE_MISSES: &str = "serve/cache_misses";
+    /// Cache entries displaced by capacity (counter).
+    pub const CACHE_EVICTIONS: &str = "serve/cache_evictions";
+    /// Searches that blew their deadline and answered 504 (counter).
+    pub const DEADLINE_EXCEEDED: &str = "serve/deadline_exceeded";
+}
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Interface to bind.
+    pub host: String,
+    /// Port to bind (0 = ephemeral; read the bound port off
+    /// [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Search-pool worker threads.
+    pub pool_threads: usize,
+    /// Connection-handler threads (socket parsing and cache lookups are
+    /// cheap, so a few more than `pool_threads` keeps the queue fed).
+    pub accept_threads: usize,
+    /// LRU result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Per-request deadline applied when the client sends no
+    /// `deadline_ms`; `None` means unbounded.
+    pub default_deadline: Option<Duration>,
+    /// `k` when the client sends none.
+    pub default_k: usize,
+    /// Re-rank matcher when the client sends no `method` (`None` =
+    /// sketch-only).
+    pub default_rerank: Option<MatcherKind>,
+    /// Re-rank shortlist size when the client sends no `cap`.
+    pub candidate_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            host: "127.0.0.1".to_string(),
+            port: 0,
+            pool_threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            accept_threads: 8,
+            cache_capacity: 256,
+            default_deadline: Some(Duration::from_secs(10)),
+            default_k: 10,
+            default_rerank: Some(MatcherKind::ComaInstance),
+            candidate_cap: 10,
+        }
+    }
+}
+
+/// What a search answer is cached under: the query's sketch digest plus
+/// every knob that changes the response body. The index is immutable for
+/// the server's lifetime, so equal keys ⇒ equal bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    digest: u64,
+    joinable: bool,
+    k: usize,
+    rerank: Option<MatcherKind>,
+    cap: usize,
+}
+
+struct State {
+    index: LoadedIndex,
+    config: ServeConfig,
+    cache: Mutex<Lru<CacheKey, String>>,
+    metrics: Mutex<Snapshot>,
+    /// Master job sender; taken (dropped) on drain so the pool can finish.
+    jobs: Mutex<Option<Sender<Job>>>,
+    stop: AtomicBool,
+}
+
+impl State {
+    fn record_request(&self, endpoint: &str, status: u16, elapsed_ns: u64) {
+        let mut m = self.metrics.lock();
+        m.record_counter(metrics::REQUESTS, 1);
+        m.record_counter(&format!("serve/status_{status}"), 1);
+        m.record_hist(&format!("serve/{endpoint}_ns"), elapsed_ns);
+    }
+
+    fn bump(&self, name: &str) {
+        self.metrics.lock().record_counter(name, 1);
+    }
+}
+
+/// A running server: join handles plus the shared state. Obtain with
+/// [`ServerHandle::start`], stop with [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conn_workers: Vec<std::thread::JoinHandle<()>>,
+    pool: Option<SearchPool>,
+}
+
+impl ServerHandle {
+    /// Binds, spawns the accept loop, connection workers, and search pool,
+    /// and returns immediately; the server runs until
+    /// [`shutdown`](ServerHandle::shutdown).
+    pub fn start(index: LoadedIndex, config: ServeConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+
+        let (jobs_tx, jobs_rx) = mpsc::channel();
+        let pool = SearchPool::start(index.clone(), jobs_rx, config.pool_threads);
+
+        let accept_threads = config.accept_threads.max(1);
+        let state = Arc::new(State {
+            index,
+            cache: Mutex::new(Lru::new(config.cache_capacity)),
+            metrics: Mutex::new(Snapshot::new()),
+            jobs: Mutex::new(Some(jobs_tx)),
+            stop: AtomicBool::new(false),
+            config,
+        });
+
+        // Bounded hand-off: when every connection worker is busy and the
+        // queue is full, the accept loop itself blocks — the listener's OS
+        // backlog is the only thing absorbing a flood.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(accept_threads * 4);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conn_workers = (0..accept_threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let conn_rx = Arc::clone(&conn_rx);
+                std::thread::Builder::new()
+                    .name(format!("serve-conn-{i}"))
+                    .spawn(move || loop {
+                        let stream = match conn_rx.lock().recv() {
+                            Ok(s) => s,
+                            Err(_) => return, // accept loop gone, queue drained
+                        };
+                        handle_connection(&state, stream);
+                    })
+                    .expect("spawn connection worker")
+            })
+            .collect();
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(listener, conn_tx, &state))
+                .expect("spawn accept loop")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+            conn_workers,
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the server's merged metrics (what `/metrics` renders).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.state.metrics.lock().clone()
+    }
+
+    /// Graceful drain: stop accepting, finish every in-flight connection
+    /// and queued search, stop the pool, and return the final merged
+    /// metrics snapshot (for trace flushing).
+    pub fn shutdown(mut self) -> Snapshot {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // The accept loop is parked in accept(); poke it awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept thread dropped its sender: workers drain queued
+        // connections (answering each) and exit.
+        for w in self.conn_workers.drain(..) {
+            let _ = w.join();
+        }
+        // No handler is alive to clone the job sender anymore; dropping
+        // the master lets the pool drain and stop.
+        drop(self.state.jobs.lock().take());
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        self.state.metrics.lock().clone()
+    }
+}
+
+fn accept_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, state: &State) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    // the wake-up connection (or a client racing the
+                    // drain); either way: stop accepting
+                    return;
+                }
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // transient accept error (EMFILE, aborted handshake);
+                // keep serving
+            }
+        }
+    }
+}
+
+fn handle_connection(state: &State, stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(&stream);
+    let (endpoint, status, content_type, headers, body) = match Request::read(&mut reader) {
+        Err((status, message)) => (
+            "error",
+            status,
+            "text/plain",
+            Vec::new(),
+            format!("{message}\n"),
+        ),
+        Ok(req) => route(state, &req),
+    };
+    let mut writer = &stream;
+    let _ = write_response(&mut writer, status, content_type, &headers, body.as_bytes());
+    state.record_request(endpoint, status, started.elapsed().as_nanos() as u64);
+}
+
+type Routed = (
+    &'static str,
+    u16,
+    &'static str,
+    Vec<(&'static str, String)>,
+    String,
+);
+
+fn route(state: &State, req: &Request) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("healthz", 200, "text/plain", Vec::new(), "ok\n".to_string()),
+        ("GET", "/metrics") => {
+            let body = valentine_obs::report::render_metrics(&state.metrics.lock().clone());
+            ("metrics", 200, "text/plain", Vec::new(), body)
+        }
+        ("GET" | "POST", "/search") => match handle_search(state, req) {
+            Ok((status, cache, body)) => (
+                "search",
+                status,
+                "application/json",
+                vec![("X-Valentine-Cache", cache.to_string())],
+                body,
+            ),
+            Err((status, message)) => (
+                "search",
+                status,
+                "application/json",
+                Vec::new(),
+                Json::Obj(vec![("error".to_string(), Json::Str(message))]).render() + "\n",
+            ),
+        },
+        (_, "/healthz" | "/metrics" | "/search") => (
+            "error",
+            405,
+            "text/plain",
+            Vec::new(),
+            "method not allowed\n".to_string(),
+        ),
+        _ => (
+            "error",
+            404,
+            "text/plain",
+            Vec::new(),
+            "not found (try /search, /metrics, /healthz)\n".to_string(),
+        ),
+    }
+}
+
+/// `Ok((status, cache_header_value, json_body))`.
+fn handle_search(
+    state: &State,
+    req: &Request,
+) -> Result<(u16, &'static str, String), (u16, String)> {
+    const KNOWN: [&str; 7] = [
+        "kind",
+        "k",
+        "table",
+        "column",
+        "method",
+        "cap",
+        "deadline_ms",
+    ];
+    if let Some((name, _)) = req.query.iter().find(|(n, _)| !KNOWN.contains(&n.as_str())) {
+        return Err((400, format!("unknown parameter `{name}`")));
+    }
+
+    let joinable = match req.param("kind") {
+        Some("unionable") => false,
+        Some("joinable") => true,
+        Some(other) => {
+            return Err((
+                400,
+                format!("kind must be unionable|joinable, got `{other}`"),
+            ))
+        }
+        None => return Err((400, "missing required parameter `kind`".to_string())),
+    };
+    let k = parse_or(req, "k", state.config.default_k)?;
+    let cap = parse_or(req, "cap", state.config.candidate_cap)?;
+    let rerank = match req.param("method") {
+        None => state.config.default_rerank,
+        Some("none") | Some("sketch") => None,
+        Some(name) => Some(
+            MatcherKind::from_cli_name(name).ok_or((400, format!("unknown method `{name}`")))?,
+        ),
+    };
+    let deadline = match req.param("deadline_ms") {
+        None => state.config.default_deadline,
+        Some(raw) => Some(Duration::from_millis(raw.parse().map_err(|_| {
+            (400, format!("deadline_ms must be an integer, got `{raw}`"))
+        })?)),
+    };
+
+    let query = query_table(state, req)?;
+    let opts = SearchOptions {
+        rerank,
+        candidate_cap: cap,
+        threads: 1, // the pool is the parallelism
+    };
+
+    let (digest, job) = if joinable {
+        let column = query_column(&query, req.param("column"))?;
+        (
+            state.index.column_digest(&column),
+            SearchJob::Joinable { column, k, opts },
+        )
+    } else {
+        (
+            state.index.table_digest(&query),
+            SearchJob::Unionable {
+                table: query,
+                k,
+                opts,
+            },
+        )
+    };
+    let key = CacheKey {
+        digest,
+        joinable,
+        k,
+        rerank,
+        cap,
+    };
+
+    if let Some(body) = state.cache.lock().get(&key) {
+        state.bump(metrics::CACHE_HITS);
+        return Ok((200, "hit", body.clone()));
+    }
+    state.bump(metrics::CACHE_MISSES);
+
+    // Mint the token before enqueueing: queue wait burns deadline budget,
+    // exactly as a client experiences it.
+    let token = CancelToken::with_deadline("request", deadline);
+    let sender = state
+        .jobs
+        .lock()
+        .clone()
+        .ok_or((503, "server is draining".to_string()))?;
+    let (reply_tx, reply_rx) = mpsc::channel();
+    sender
+        .send(Job {
+            job,
+            token,
+            reply: reply_tx,
+        })
+        .map_err(|_| (503, "search pool stopped".to_string()))?;
+    let outcome: JobOutcome = reply_rx
+        .recv()
+        .map_err(|_| (500, "search pool died mid-request".to_string()))?;
+
+    state.metrics.lock().merge(&outcome.snapshot);
+    let body = render_search_body(joinable, k, &outcome.outcome, outcome.deadline_hit);
+    if outcome.deadline_hit {
+        state.bump(metrics::DEADLINE_EXCEEDED);
+        // 504s are never cached: the partial body is an artefact of this
+        // request's budget, not a property of the query.
+        return Ok((504, "miss", body));
+    }
+    if state.cache.lock().insert(key, body.clone()).is_some() {
+        state.bump(metrics::CACHE_EVICTIONS);
+    }
+    Ok((200, "miss", body))
+}
+
+fn parse_or(req: &Request, name: &str, default: usize) -> Result<usize, (u16, String)> {
+    match req.param(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| (400, format!("{name} must be an integer, got `{raw}`"))),
+    }
+}
+
+/// The query table: an uploaded CSV body (POST) or a named indexed table.
+fn query_table(state: &State, req: &Request) -> Result<Table, (u16, String)> {
+    if !req.body.is_empty() {
+        let text = std::str::from_utf8(&req.body)
+            .map_err(|_| (400, "query body must be UTF-8 CSV".to_string()))?;
+        return csv::parse("query", text)
+            .map_err(|e| (400, format!("cannot parse query CSV: {e}")));
+    }
+    match req.param("table") {
+        Some(name) => match state.index.table_by_name(name) {
+            Some(t) => Ok(t.table.clone()),
+            None => Err((404, format!("no indexed table named `{name}`"))),
+        },
+        None => Err((
+            400,
+            "provide table=<indexed name> or POST a CSV body".to_string(),
+        )),
+    }
+}
+
+fn query_column(query: &Table, name: Option<&str>) -> Result<Column, (u16, String)> {
+    match name {
+        Some(name) => query
+            .columns()
+            .iter()
+            .find(|c| c.name() == name)
+            .cloned()
+            .ok_or((400, format!("query table has no column `{name}`"))),
+        None => query
+            .columns()
+            .first()
+            .cloned()
+            .ok_or((400, "query table has no columns".to_string())),
+    }
+}
+
+fn render_search_body(
+    joinable: bool,
+    k: usize,
+    outcome: &SearchOutcome,
+    deadline_hit: bool,
+) -> String {
+    let results = outcome
+        .results
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("table".to_string(), Json::Str(r.table_name.clone())),
+                ("source".to_string(), Json::Str(r.source.clone())),
+                (
+                    "column".to_string(),
+                    match &r.column {
+                        Some(c) => Json::Str(c.clone()),
+                        None => Json::Null,
+                    },
+                ),
+                ("score".to_string(), Json::Float(r.score)),
+                ("sketch_score".to_string(), Json::Float(r.sketch_score)),
+            ])
+        })
+        .collect();
+    let stats = &outcome.stats;
+    Json::Obj(vec![
+        (
+            "kind".to_string(),
+            Json::Str(if joinable { "joinable" } else { "unionable" }.to_string()),
+        ),
+        ("k".to_string(), Json::UInt(k as u64)),
+        ("deadline_exceeded".to_string(), Json::Bool(deadline_hit)),
+        (
+            "stats".to_string(),
+            Json::Obj(vec![
+                (
+                    "lsh_candidates".to_string(),
+                    Json::UInt(stats.lsh_candidates as u64),
+                ),
+                (
+                    "matcher_calls".to_string(),
+                    Json::UInt(stats.matcher_calls as u64),
+                ),
+                (
+                    "matcher_errors".to_string(),
+                    Json::UInt(stats.matcher_errors as u64),
+                ),
+                (
+                    "matcher_skips".to_string(),
+                    Json::UInt(stats.matcher_skips as u64),
+                ),
+            ]),
+        ),
+        ("results".to_string(), Json::Arr(results)),
+    ])
+    .render()
+        + "\n"
+}

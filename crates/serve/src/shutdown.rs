@@ -1,0 +1,70 @@
+//! Process-level shutdown signalling for the long-lived server.
+//!
+//! A drained server must leave a readable `--trace` file, so SIGINT /
+//! SIGTERM cannot be allowed to kill the process mid-write. The handler
+//! here does the only async-signal-safe thing — set an atomic flag — and
+//! the serve command's main loop polls [`requested`] and runs the normal
+//! graceful drain (stop accepting, finish in-flight, flush the trace).
+//!
+//! The workspace vendors no `libc`, so the registration goes through a
+//! direct `extern "C"` declaration of `signal(2)`. glibc's `signal`
+//! installs BSD semantics (`SA_RESTART`), which is fine: the accept loop
+//! is woken by a self-connection, not by `EINTR`. On non-unix targets
+//! installation is a no-op and shutdown is Ctrl-C-the-process.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been received (or [`request`] called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Raises the shutdown flag from ordinary code (tests, embedders).
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::request();
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; no-op off unix).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_raises_the_flag() {
+        install();
+        request();
+        assert!(requested());
+    }
+}

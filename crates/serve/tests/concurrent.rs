@@ -1,0 +1,254 @@
+//! End-to-end tests over a real socket: concurrent clients against a
+//! live server, cache semantics asserted through obs counters, deadline
+//! enforcement, and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use valentine_index::{Index, IndexConfig, LoadedIndex};
+use valentine_matchers::MatcherKind;
+use valentine_serve::{ServeConfig, ServerHandle};
+use valentine_table::{Table, Value};
+
+/// A 12-table corpus of overlapping integer/label tables — enough that
+/// distinct queries rank distinct winners.
+fn corpus() -> LoadedIndex {
+    let mut idx = Index::new(IndexConfig::default());
+    for i in 0..12i64 {
+        let lo = i * 40;
+        let t = Table::from_pairs(
+            format!("table_{i}"),
+            vec![
+                ("id", (lo..lo + 60).map(Value::Int).collect()),
+                (
+                    "label",
+                    (lo..lo + 60)
+                        .map(|v| Value::str(format!("item-{v}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        idx.ingest("demo", t);
+    }
+    LoadedIndex::from(idx)
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        pool_threads: 2,
+        accept_threads: 4,
+        cache_capacity: 64,
+        default_deadline: Some(Duration::from_secs(30)),
+        default_k: 3,
+        default_rerank: Some(MatcherKind::JaccardLevenshtein),
+        ..ServeConfig::default()
+    }
+}
+
+/// Minimal HTTP client: one request, read to EOF (the server closes).
+/// Returns (status, headers, body).
+fn request(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+    let status: u16 = head[9..12].parse().expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// The 16 distinct queries the concurrency tests replay.
+fn query_targets() -> Vec<String> {
+    let mut targets: Vec<String> = (0..12)
+        .map(|i| format!("/search?kind=unionable&k=3&table=table_{i}&method=jl"))
+        .collect();
+    for i in 0..4 {
+        targets.push(format!(
+            "/search?kind=joinable&k=2&table=table_{i}&column=id&method=jl"
+        ));
+    }
+    targets
+}
+
+#[test]
+fn sixteen_concurrent_clients_match_sequential_execution() {
+    let index = corpus();
+    let targets = query_targets();
+
+    // Sequential baseline on its own server instance.
+    let server = ServerHandle::start(index.clone(), config()).unwrap();
+    let sequential: Vec<(u16, String)> = targets
+        .iter()
+        .map(|t| {
+            let (status, _, body) = get(server.addr(), t);
+            (status, body)
+        })
+        .collect();
+    server.shutdown();
+    for (status, body) in &sequential {
+        assert_eq!(*status, 200, "{body}");
+        assert!(body.contains("\"results\":["), "{body}");
+    }
+
+    // 16 clients at once against a cold second instance.
+    let server = ServerHandle::start(index, config()).unwrap();
+    let addr = server.addr();
+    let concurrent: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|t| {
+                scope.spawn(move || {
+                    let (status, _, body) = get(addr, t);
+                    (status, body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (seq, conc)) in sequential.iter().zip(&concurrent).enumerate() {
+        assert_eq!(seq, conc, "query {i} diverged under concurrency");
+    }
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/requests"), targets.len() as u64);
+    assert_eq!(snapshot.counter("serve/cache_misses"), targets.len() as u64);
+    assert_eq!(snapshot.counter("serve/cache_hits"), 0);
+    assert!(snapshot.counter("index/matcher_calls") > 0);
+    assert!(snapshot.hists.contains_key("serve/search_ns"));
+}
+
+#[test]
+fn repeated_query_is_served_from_cache_with_zero_matcher_calls() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let target = "/search?kind=unionable&k=3&table=table_0&method=jl";
+
+    let (status, head, cold_body) = get(server.addr(), target);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Valentine-Cache: miss"), "{head}");
+    let cold = server.metrics_snapshot();
+    let cold_calls = cold.counter("index/matcher_calls");
+    assert!(cold_calls > 0, "cold query must re-rank");
+    assert_eq!(cold.counter("serve/cache_misses"), 1);
+
+    let (status, head, warm_body) = get(server.addr(), target);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Valentine-Cache: hit"), "{head}");
+    assert_eq!(warm_body, cold_body, "cache returns the identical body");
+    let warm = server.metrics_snapshot();
+    assert_eq!(
+        warm.counter("index/matcher_calls"),
+        cold_calls,
+        "a cached repeat performs zero matcher calls"
+    );
+    assert_eq!(warm.counter("serve/cache_hits"), 1);
+    assert_eq!(warm.counter("serve/cache_misses"), 1);
+
+    // different k ⇒ different cache key ⇒ a miss, not a stale hit
+    let (_, head, _) = get(
+        server.addr(),
+        "/search?kind=unionable&k=2&table=table_0&method=jl",
+    );
+    assert!(head.contains("X-Valentine-Cache: miss"), "{head}");
+
+    server.shutdown();
+}
+
+#[test]
+fn blown_deadline_returns_504_and_the_server_stays_up() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+
+    let (status, _, body) = get(
+        server.addr(),
+        "/search?kind=unionable&k=3&table=table_0&method=coma&deadline_ms=0",
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("\"deadline_exceeded\":true"), "{body}");
+    assert!(
+        body.contains("\"matcher_calls\":0"),
+        "no matcher ran under a spent deadline: {body}"
+    );
+    assert!(
+        body.contains("\"results\":[{"),
+        "partial sketch shortlist still served: {body}"
+    );
+
+    // the same query with a sane budget is NOT poisoned by a cached 504
+    let (status, head, body) = get(
+        server.addr(),
+        "/search?kind=unionable&k=3&table=table_0&method=coma",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        head.contains("X-Valentine-Cache: miss"),
+        "504 was not cached"
+    );
+    assert!(body.contains("\"deadline_exceeded\":false"), "{body}");
+
+    let (status, _, body) = get(server.addr(), "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/deadline_exceeded"), 1);
+    assert_eq!(snapshot.counter("serve/status_504"), 1);
+}
+
+#[test]
+fn post_uploads_a_query_csv() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let csv = "id,label\n1,item-1\n2,item-2\n3,item-3\n";
+    let raw = format!(
+        "POST /search?kind=unionable&k=2&method=jl HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{csv}",
+        csv.len(),
+    );
+    let (status, _, body) = request(server.addr(), &raw);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"table\":\"table_0\""), "{body}");
+
+    // an identical upload hits the cache: the key is the sketch digest,
+    // not the transport
+    let (status, head, _) = request(server.addr(), &raw);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Valentine-Cache: hit"), "{head}");
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_answer_without_killing_the_server() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let addr = server.addr();
+    for (target, expect) in [
+        ("/search", 400),                                    // missing kind
+        ("/search?kind=sideways", 400),                      // bad kind
+        ("/search?kind=unionable", 400),                     // no query table
+        ("/search?kind=unionable&table=ghost", 404),         // unknown table
+        ("/search?kind=unionable&table=table_0&wat=1", 400), // unknown param
+        ("/search?kind=unionable&table=table_0&method=nope", 400),
+        ("/search?kind=unionable&table=table_0&k=banana", 400),
+        ("/nope", 404),
+    ] {
+        let (status, _, body) = get(addr, target);
+        assert_eq!(status, expect, "{target}: {body}");
+    }
+    let (status, _, _) = request(addr, "DELETE /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405);
+    let (status, _, _) = request(addr, "garbage\r\n\r\n");
+    assert_eq!(status, 400);
+
+    // after all that abuse, /metrics still renders and counts it all
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("serve/requests "), "{body}");
+    assert!(body.contains("serve/search_ns_p99 "), "{body}");
+    server.shutdown();
+}

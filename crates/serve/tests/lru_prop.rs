@@ -1,0 +1,107 @@
+//! Model-based property tests for the serve LRU cache.
+//!
+//! A naive reference model — a `Vec` kept in most-recently-used order,
+//! with O(n) everything — is obviously correct; the real cache must agree
+//! with it on every observable: hit/miss outcomes (counter exactness),
+//! eviction victims and their order, replacement semantics, and the full
+//! recency order after an arbitrary operation sequence.
+
+use proptest::prelude::*;
+use valentine_serve::cache::Lru;
+
+/// The obviously-correct reference: MRU-first vector.
+struct Model {
+    entries: Vec<(u8, u32)>,
+    capacity: usize,
+}
+
+impl Model {
+    fn get(&mut self, key: u8) -> Option<u32> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(pos);
+        let value = entry.1;
+        self.entries.insert(0, entry);
+        Some(value)
+    }
+
+    fn insert(&mut self, key: u8, value: u32) -> Option<(u8, u32)> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+            self.entries.insert(0, (key, value));
+            return None;
+        }
+        let evicted = if self.entries.len() == self.capacity {
+            self.entries.pop()
+        } else {
+            None
+        };
+        self.entries.insert(0, (key, value));
+        evicted
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_agrees_with_the_reference_model(
+        capacity in 1usize..6,
+        ops in proptest::collection::vec((0usize..2, 0u8..12, 0u32..1000), 1..200),
+    ) {
+        let mut real = Lru::new(capacity);
+        let mut model = Model { entries: Vec::new(), capacity };
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
+        let (mut model_hits, mut model_misses, mut model_evictions) = (0u64, 0u64, 0u64);
+
+        for (op, key, value) in ops {
+            if op == 0 {
+                let got = real.get(&key).copied();
+                match got {
+                    Some(_) => hits += 1,
+                    None => misses += 1,
+                }
+                let expected = model.get(key);
+                match expected {
+                    Some(_) => model_hits += 1,
+                    None => model_misses += 1,
+                }
+                prop_assert_eq!(got, expected, "get({}) diverged", key);
+            } else {
+                let evicted = real.insert(key, value);
+                if evicted.is_some() {
+                    evictions += 1;
+                }
+                let model_evicted = model.insert(key, value);
+                if model_evicted.is_some() {
+                    model_evictions += 1;
+                }
+                prop_assert_eq!(evicted, model_evicted, "insert({}) evicted differently", key);
+            }
+            // the full recency order matches after every single step
+            let model_keys: Vec<u8> = model.entries.iter().map(|(k, _)| *k).collect();
+            prop_assert_eq!(real.keys_mru_first(), model_keys);
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert!(real.len() <= capacity);
+        }
+
+        // counter exactness: the cache produced precisely as many
+        // hits/misses/evictions as the reference semantics demand
+        prop_assert_eq!(hits, model_hits);
+        prop_assert_eq!(misses, model_misses);
+        prop_assert_eq!(evictions, model_evictions);
+    }
+
+    #[test]
+    fn a_just_inserted_key_always_hits(
+        capacity in 1usize..5,
+        prefill in proptest::collection::vec((0u8..12, 0u32..100), 0..20),
+        key in 100u8..110,
+        value in 0u32..100,
+    ) {
+        let mut lru = Lru::new(capacity);
+        for (k, v) in prefill {
+            lru.insert(k, v);
+        }
+        lru.insert(key, value);
+        prop_assert_eq!(lru.get(&key), Some(&value));
+        prop_assert_eq!(lru.keys_mru_first().first(), Some(&key));
+    }
+}
