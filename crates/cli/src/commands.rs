@@ -8,7 +8,9 @@ use valentine_core::fault::{FaultPlan, FaultyMatcher};
 use valentine_core::prelude::*;
 use valentine_core::select::{extract_hungarian, extract_threshold_delta};
 use valentine_core::table::csv;
-use valentine_core::trace::{parse_trace, render_trace_report, TraceSink};
+use valentine_core::trace::{
+    parse_trace, render_flame, render_request_report, render_trace_report, TraceSink,
+};
 use valentine_core::{average_precision, mean_reciprocal_rank, ndcg_at_k};
 
 use crate::args;
@@ -71,12 +73,22 @@ USAGE:
       --fault    inject scripted faults, e.g. `hang@5,error@12,exit@135`
                  (kinds: panic | hang | error | garbage | exit; `kind@*`
                  fires every invocation) — the resilience test harness
+      --profile-hz       sample every worker's live span stack HZ times
+                 per second and write the folded stacks into the trace
+                 (needs --trace); render with `valentine trace flame`
 
-  valentine trace report <trace.jsonl>
+  valentine trace report <trace.jsonl> [--request ID]
       Render a trace written via --trace: per-method phase breakdown
       (prepare / profile / similarity / solve / rank / score shares of
       runtime, as in the paper's Table IV), plus recorded counters and
-      latency histograms.
+      latency histograms. With --request, reconstruct one served
+      request's span tree — queue wait, search time, per-matcher phases —
+      from the id in its X-Valentine-Request-Id header.
+
+  valentine trace flame <trace.jsonl>
+      Emit the trace's profiler samples as collapsed stacks
+      (`thread;span;... count` lines, flamegraph-ready). Produce them by
+      running `valentine run` or `valentine serve` with --profile-hz.
 
   valentine index build --out FILE [--csv-dir DIR]
                         [--size tiny|small|paper] [--per-source N]
@@ -106,25 +118,33 @@ USAGE:
   valentine serve <index-file> [--host H] [--port P] [--pool-threads T]
                   [--accept-threads T] [--cache N] [--deadline-ms MS]
                   [--k K] [--method NAME | --no-rerank] [--cap N]
+                  [--profile-hz HZ]
       Load the index once and answer concurrent discovery queries over
       HTTP until SIGINT/SIGTERM, then drain gracefully. Endpoints:
         GET  /search?kind=unionable|joinable&k=K[&table=NAME|&column=NAME]
                     [&method=NAME][&cap=N][&deadline_ms=MS]
         POST /search?kind=...       (body: the query table as CSV)
-        GET  /metrics               (counters + p50/p90/p99 per endpoint)
+        GET  /metrics               (counters + p50/p90/p99 per endpoint;
+                                     ?format=prometheus for exposition text)
+        GET  /debug/exemplars       (slowest + errored request snapshots)
         GET  /healthz
       --port 0 (the default) binds an ephemeral port and prints it.
       Answers are cached in an LRU keyed by the query's sketch digest;
       requests that blow their deadline answer 504 with the sketch-only
-      shortlist and are never cached. With --trace, the final metrics
-      snapshot (including serve/* counters) is flushed on shutdown.
+      shortlist and are never cached. Every response carries an
+      X-Valentine-Request-Id header; a valid client-sent id is adopted.
+      With --trace, each finished request streams into the trace as a
+      `request` line (inspect one with `trace report --request ID`) and
+      the final metrics snapshot is flushed on shutdown. --profile-hz
+      samples worker span stacks into the trace (needs --trace).
 
 GLOBAL OPTIONS:
   --trace FILE
       Enable instrumentation and write a JSONL trace of spans, counters,
       and latency histograms for any command. `valentine run` additionally
       streams one record per experiment (with its phase tree) into the
-      trace. Render with `valentine trace report FILE`.
+      trace; `valentine serve` streams one `request` line per finished
+      request. Render with `valentine trace report FILE`.
 ";
 
 /// Builds a matcher from its CLI name.
@@ -453,6 +473,17 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<i32, Str
         None => None,
     };
 
+    let profile_hz: u32 = p.opt_parse("profile-hz", 0u32)?;
+    if profile_hz > 0 {
+        if trace.is_none() {
+            return Err(
+                "--profile-hz needs --trace: profile samples are written to the trace".to_string(),
+            );
+        }
+        valentine_core::obs::profiler::start(profile_hz)?;
+        println!("profiler sampling worker span stacks at {profile_hz} Hz");
+    }
+
     let grid_mode = p.flag("grid");
     let config = RunnerConfig {
         methods: MatcherKind::ALL.to_vec(),
@@ -588,6 +619,22 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<i32, Str
         println!("summary written to {path}");
     }
 
+    // Stop sampling before the trace closes so every folded stack lands in
+    // the file ahead of the final snapshot.
+    if profile_hz > 0 {
+        let folded = valentine_core::obs::profiler::stop();
+        if let Some(s) = &mut sink {
+            for (stack, count) in &folded {
+                s.profile(stack, *count)
+                    .map_err(|e| format!("cannot write trace profile: {e}"))?;
+            }
+        }
+        println!(
+            "profiler captured {} distinct stack(s); render with: valentine trace flame",
+            folded.len()
+        );
+    }
+
     if let Some(sink) = sink {
         sink.finish()
             .map_err(|e| format!("cannot finish trace: {e}"))?;
@@ -617,19 +664,30 @@ pub fn run_experiments(argv: &[String], trace: Option<&Path>) -> Result<i32, Str
     Ok(0)
 }
 
-/// `valentine trace <report>`
+/// `valentine trace <report|flame>`
 pub fn trace(argv: &[String]) -> Result<(), String> {
+    let read_trace = |p: &args::Parsed| -> Result<valentine_core::trace::TraceData, String> {
+        let path = p.positional(0, "trace file")?;
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        Ok(parse_trace(&text))
+    };
     match argv.first().map(String::as_str) {
         Some("report") => {
             let p = args::parse(&argv[1..], &[])?;
-            let path = p.positional(0, "trace file")?;
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            print!("{}", render_trace_report(&parse_trace(&text)));
+            let data = read_trace(&p)?;
+            match p.opt("request") {
+                Some(id) => print!("{}", render_request_report(&data, id)?),
+                None => print!("{}", render_trace_report(&data)),
+            }
+            Ok(())
+        }
+        Some("flame") => {
+            let p = args::parse(&argv[1..], &[])?;
+            print!("{}", render_flame(&read_trace(&p)?)?);
             Ok(())
         }
         other => Err(format!(
-            "unknown trace subcommand `{}` (report)",
+            "unknown trace subcommand `{}` (report | flame)",
             other.unwrap_or("")
         )),
     }
@@ -850,15 +908,38 @@ fn index_info(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One shared trace file behind a mutex: the server's request log clones
+/// it and appends one `request` line per finished request while the main
+/// thread keeps its own handle for the post-drain snapshot flush.
+struct SharedTraceFile(std::sync::Arc<std::sync::Mutex<fs::File>>);
+
+impl std::io::Write for SharedTraceFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("trace file lock").write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("trace file lock").flush()
+    }
+}
+
 /// `valentine serve` — load an index once and answer concurrent discovery
 /// queries over HTTP until SIGINT/SIGTERM requests a graceful drain.
 ///
-/// The `--trace` flush happens *after* the drain: the sink is created and
-/// finished only once the final metrics snapshot exists, so an interrupt
-/// mid-serve still produces a complete, parseable trace file.
+/// With `--trace`, the file is opened *before* the server starts so each
+/// finished request streams into it as a `request` line; the profiler's
+/// folded stacks and the final metrics snapshot are appended after the
+/// drain, when every worker has handed its spans back.
 pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
+    use std::io::Write as _;
+
     let p = args::parse(argv, &["no-rerank"])?;
     let index = load_index(p.positional(0, "index file")?)?;
+    let profile_hz: u32 = p.opt_parse("profile-hz", 0u32)?;
+    if profile_hz > 0 && trace.is_none() {
+        return Err(
+            "--profile-hz needs --trace: profile samples are written to the trace".to_string(),
+        );
+    }
 
     let defaults = valentine_serve::ServeConfig::default();
     let mut config = valentine_serve::ServeConfig {
@@ -878,17 +959,43 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
         config.default_rerank = Some(kind_by_name(name)?);
     }
 
+    // Open the trace before the server starts: the meta line goes first,
+    // then request lines stream in live via the shared request log.
+    let shared_trace = match trace {
+        Some(path) => {
+            let mut file = fs::File::create(path)
+                .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+            writeln!(file, "{}", valentine_core::obs::jsonl::meta_line())
+                .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
+            Some(std::sync::Arc::new(std::sync::Mutex::new(file)))
+        }
+        None => None,
+    };
+    let request_log: Option<Box<dyn std::io::Write + Send>> = shared_trace.as_ref().map(|file| {
+        Box::new(SharedTraceFile(std::sync::Arc::clone(file))) as Box<dyn std::io::Write + Send>
+    });
+
+    if profile_hz > 0 {
+        valentine_core::obs::profiler::start(profile_hz)?;
+        println!("profiler sampling worker span stacks at {profile_hz} Hz");
+    }
+
     valentine_serve::shutdown::install();
-    let handle = valentine_serve::ServerHandle::start(index, config)
+    let handle = valentine_serve::ServerHandle::start_with_log(index, config, request_log)
         .map_err(|e| format!("cannot start server: {e}"))?;
     println!("serving on http://{}", handle.addr());
-    println!("endpoints: /search /metrics /healthz — stop with SIGINT/SIGTERM");
+    println!("endpoints: /search /metrics /debug/exemplars /healthz — stop with SIGINT/SIGTERM");
 
     while !valentine_serve::shutdown::requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     println!("shutdown requested; draining in-flight requests");
     let snapshot = handle.shutdown();
+    let folded = if profile_hz > 0 {
+        valentine_core::obs::profiler::stop()
+    } else {
+        Default::default()
+    };
     println!(
         "served {} request(s): {} cache hit(s), {} miss(es), {} deadline-exceeded",
         snapshot.counter(valentine_serve::metrics::REQUESTS),
@@ -896,11 +1003,19 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
         snapshot.counter(valentine_serve::metrics::CACHE_MISSES),
         snapshot.counter(valentine_serve::metrics::DEADLINE_EXCEEDED),
     );
-    if let Some(path) = trace {
-        let sink = TraceSink::create(path)
-            .map_err(|e| format!("cannot write trace `{}`: {e}", path.display()))?;
-        sink.finish_with(&snapshot)
-            .map_err(|e| format!("cannot finish trace: {e}"))?;
+    if let (Some(path), Some(file)) = (trace, shared_trace) {
+        let mut file = file.lock().expect("trace file lock");
+        let finish = |e: std::io::Error| format!("cannot finish trace: {e}");
+        for (stack, count) in &folded {
+            writeln!(
+                file,
+                "{}",
+                valentine_core::obs::jsonl::profile_line(stack, *count)
+            )
+            .map_err(finish)?;
+        }
+        valentine_core::obs::jsonl::write_snapshot(&mut *file, &snapshot).map_err(finish)?;
+        file.flush().map_err(finish)?;
         println!("trace written to {}", path.display());
     }
     Ok(0)
@@ -1128,6 +1243,17 @@ mod tests {
         Some(out)
     }
 
+    /// First value of `name` in a raw HTTP response's header block.
+    fn response_header(response: &str, name: &str) -> Option<String> {
+        response
+            .lines()
+            .take_while(|l| !l.is_empty())
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+            })
+    }
+
     #[test]
     fn serve_rejects_bad_inputs() {
         let dir = temp_dir("serve_bad");
@@ -1138,6 +1264,10 @@ mod tests {
         assert!(serve(&argv(&["/nonexistent.vidx"]), None).is_err());
         assert!(serve(&argv(&[idx, "--method", "ghost"]), None).is_err());
         assert!(serve(&argv(&[idx, "--port", "notaport"]), None).is_err());
+        assert!(
+            serve(&argv(&[idx, "--profile-hz", "97"]), None).is_err(),
+            "--profile-hz needs --trace"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1196,16 +1326,46 @@ mod tests {
         assert!(cold.contains("X-Valentine-Cache: miss"), "{cold}");
         let warm = http_get(&addr, target).expect("repeat answers");
         assert!(warm.contains("X-Valentine-Cache: hit"), "{warm}");
+        let cold_id = response_header(&cold, "X-Valentine-Request-Id").expect("id echoed");
+        let warm_id = response_header(&warm, "X-Valentine-Request-Id").expect("id echoed");
+        assert_ne!(cold_id, warm_id, "every request gets its own id");
 
         valentine_serve::shutdown::request();
         let code = server.join().unwrap().expect("serve drains cleanly");
         assert_eq!(code, 0);
 
-        // The graceful drain flushed a trace holding the serving counters.
+        // The graceful drain flushed a trace holding the serving counters
+        // plus one `request` line per request answered while serving.
         let text = fs::read_to_string(&trace_path).unwrap();
         let data = parse_trace(&text);
         assert_eq!(data.malformed, 0, "{:?}", data.first_error);
         assert!(text.contains("serve/cache_hits"), "{text}");
+        assert!(!data.requests.is_empty());
+        for id in [&cold_id, &warm_id] {
+            assert_eq!(
+                data.requests.iter().filter(|e| &e.id == id).count(),
+                1,
+                "each echoed id correlates exactly one trace request line"
+            );
+        }
+
+        // The cache miss carried its span snapshot: one request's full
+        // tree (queue wait included) is reconstructable by id.
+        let trace_file = trace_path.to_str().unwrap();
+        let report =
+            valentine_core::trace::render_request_report(&data, &cold_id).expect("report renders");
+        assert!(report.contains(&cold_id), "{report}");
+        assert!(report.contains("queue_wait"), "{report}");
+        trace(&argv(&["report", trace_file, "--request", &cold_id]))
+            .expect("trace report --request works");
+        assert!(
+            trace(&argv(&["report", trace_file, "--request", "no-such-id"])).is_err(),
+            "unknown request ids fail loudly"
+        );
+        assert!(
+            trace(&argv(&["flame", trace_file])).is_err(),
+            "no profiler samples without --profile-hz"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1230,6 +1390,48 @@ mod tests {
         }
         assert!(!report.contains("warning"), "{report}");
         trace(&argv(&["report", trace_path.to_str().unwrap()])).expect("report works");
+        assert!(
+            trace(&argv(&[
+                "report",
+                trace_path.to_str().unwrap(),
+                "--request",
+                "deadbeef"
+            ]))
+            .is_err(),
+            "a run trace has no served requests to reconstruct"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_with_profiler_emits_flame_ready_stacks() {
+        let dir = temp_dir("run_flame");
+        let trace_path = dir.join("trace.jsonl");
+        assert!(
+            run_experiments(&argv(&["--size", "tiny", "--profile-hz", "499"]), None).is_err(),
+            "--profile-hz needs --trace"
+        );
+        run_experiments(
+            &argv(&["--size", "tiny", "--seed", "7", "--profile-hz", "499"]),
+            Some(&trace_path),
+        )
+        .expect("profiled run works");
+
+        let data = parse_trace(&fs::read_to_string(&trace_path).unwrap());
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        assert!(
+            !data.profiles.is_empty(),
+            "499 Hz over a full tiny run must catch at least one live span stack"
+        );
+        let flame = render_flame(&data).expect("flame renders");
+        let first = flame.lines().next().unwrap();
+        let (stack, count) = first.rsplit_once(' ').unwrap();
+        assert!(
+            stack.contains(';'),
+            "folded stacks are `thread;span;...`: {first}"
+        );
+        assert!(count.parse::<u64>().unwrap() >= 1, "{first}");
+        trace(&argv(&["flame", trace_path.to_str().unwrap()])).expect("trace flame works");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1359,6 +1561,7 @@ mod tests {
     fn trace_rejects_bad_inputs() {
         assert!(trace(&argv(&["report"])).is_err(), "file required");
         assert!(trace(&argv(&["report", "/nonexistent.jsonl"])).is_err());
+        assert!(trace(&argv(&["flame", "/nonexistent.jsonl"])).is_err());
         assert!(trace(&argv(&["replay"])).is_err(), "unknown subcommand");
     }
 

@@ -1,13 +1,17 @@
 //! Trace files and the Table IV-style runtime-attribution report.
 //!
-//! A trace is a [`valentine_obs::jsonl`] event file with one extra event
-//! type, `record`: one line per executed experiment carrying the run's
-//! metadata and its captured phase tree ([`crate::runner::PhaseStat`]).
-//! [`TraceSink`] writes traces, [`parse_trace`] reads them back (counting —
-//! not silently skipping — anything it cannot interpret), and
+//! A trace is a [`valentine_obs::jsonl`] event file with three extra event
+//! types: `record` — one line per executed experiment carrying the run's
+//! metadata and its captured phase tree ([`crate::runner::PhaseStat`]);
+//! `request` — one line per served request carrying its correlation id and
+//! per-request span snapshot; and `profile` — folded sampling-profiler
+//! stacks. [`TraceSink`] writes traces, [`parse_trace`] reads them back
+//! (counting — not silently skipping — anything it cannot interpret),
 //! [`render_trace_report`] prints the per-method breakdown the paper's
-//! Table IV reports: what fraction of each method's runtime goes to
-//! instance profiling vs. similarity computation vs. solving vs. ranking.
+//! Table IV reports (what fraction of each method's runtime goes to
+//! instance profiling vs. similarity computation vs. solving vs. ranking),
+//! [`render_request_report`] reconstructs one request by id, and
+//! [`render_flame`] emits collapsed stacks for flamegraph tooling.
 //!
 //! Phase span paths follow the convention `<method-slug>/<category>` with
 //! category one of `prepare`, `profile`, `similarity`, `solve`, `rank`,
@@ -101,6 +105,11 @@ impl<W: Write> TraceSink<W> {
         writeln!(self.out, "{}", line.render())
     }
 
+    /// Writes one folded profiler stack as a `profile` event line.
+    pub fn profile(&mut self, stack: &str, count: u64) -> io::Result<()> {
+        writeln!(self.out, "{}", jsonl::profile_line(stack, count))
+    }
+
     /// Drains the global obs snapshot into the trace and flushes. Call
     /// after all worker threads have joined.
     pub fn finish(self) -> io::Result<W> {
@@ -144,6 +153,11 @@ pub struct TraceData {
     pub version: Option<u64>,
     /// All experiment records, in file order.
     pub records: Vec<TraceRecord>,
+    /// Served-request correlation events (`valentine serve --trace`), in
+    /// file order.
+    pub requests: Vec<jsonl::RequestEvent>,
+    /// Folded profiler stacks (`--profile-hz`), in file order.
+    pub profiles: Vec<(String, u64)>,
     /// Merged span/counter/histogram events (the global drain).
     pub snapshot: Snapshot,
     /// Lines that failed to parse (JSON errors, missing fields).
@@ -175,18 +189,26 @@ pub fn parse_trace(input: &str) -> TraceData {
     };
     let mut unknown: FxHashMap<String, usize> = FxHashMap::default();
     for (kind, value) in parsed.others {
-        if kind != "record" {
-            *unknown.entry(kind).or_insert(0) += 1;
-            continue;
-        }
-        match parse_record(&value) {
-            Ok(rec) => data.records.push(rec),
-            Err(e) => {
-                data.malformed += 1;
-                if data.first_error.is_none() {
-                    data.first_error = Some(e);
-                }
+        let note_err = |data: &mut TraceData, e: String| {
+            data.malformed += 1;
+            if data.first_error.is_none() {
+                data.first_error = Some(e);
             }
+        };
+        match kind.as_str() {
+            "record" => match parse_record(&value) {
+                Ok(rec) => data.records.push(rec),
+                Err(e) => note_err(&mut data, e),
+            },
+            "request" => match jsonl::request_from(&value) {
+                Ok(event) => data.requests.push(event),
+                Err(e) => note_err(&mut data, e),
+            },
+            "profile" => match jsonl::profile_from(&value) {
+                Ok(folded) => data.profiles.push(folded),
+                Err(e) => note_err(&mut data, e),
+            },
+            _ => *unknown.entry(kind).or_insert(0) += 1,
         }
     }
     let mut unknown: Vec<(String, usize)> = unknown.into_iter().collect();
@@ -356,6 +378,26 @@ pub fn render_trace_report(data: &TraceData) -> String {
         out.push_str(&valentine_obs::report::Report::new(&globals).render());
     }
 
+    if !data.requests.is_empty() {
+        let errored = data
+            .requests
+            .iter()
+            .filter(|r| r.status >= 500 || r.deadline_exceeded)
+            .count();
+        out.push_str(&format!(
+            "\n{} served request(s) in trace ({} errored/timed out); \
+             inspect one with --request <id>\n",
+            data.requests.len(),
+            errored,
+        ));
+    }
+    if !data.profiles.is_empty() {
+        out.push_str(&format!(
+            "\n{} folded profiler stack(s) in trace; render with `valentine trace flame`\n",
+            data.profiles.len(),
+        ));
+    }
+
     // Explicit accounting of everything the reader could not interpret.
     let mut warnings: Vec<String> = Vec::new();
     if data.newer_version() {
@@ -404,6 +446,75 @@ pub fn render_trace_report(data: &TraceData) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Reconstructs one served request from its correlation id: identity and
+/// outcome, queue wait, and the span tree captured while exactly this
+/// request was served (`valentine trace report --request <id>`).
+pub fn render_request_report(data: &TraceData, id: &str) -> Result<String, String> {
+    if data.requests.is_empty() {
+        return Err(
+            "trace contains no request events (serve writes them when started with --trace)"
+                .to_string(),
+        );
+    }
+    let matching: Vec<&jsonl::RequestEvent> = data.requests.iter().filter(|r| r.id == id).collect();
+    if matching.is_empty() {
+        let mut known: Vec<&str> = data.requests.iter().map(|r| r.id.as_str()).collect();
+        known.dedup();
+        let shown = known.len().min(8);
+        return Err(format!(
+            "no request with id {id:?} in trace; {} request(s) present, e.g. {}",
+            data.requests.len(),
+            known[..shown].join(", "),
+        ));
+    }
+    let mut out = String::new();
+    for event in matching {
+        out.push_str(&format!(
+            "request {}\n  endpoint: {}  status: {}  cache: {}\n  \
+             queue wait: {}  total: {}  deadline exceeded: {}\n",
+            event.id,
+            event.endpoint,
+            event.status,
+            event.cache,
+            fmt_ns(event.queue_wait_ns),
+            fmt_ns(event.elapsed_ns),
+            if event.deadline_exceeded { "yes" } else { "no" },
+        ));
+        if event.snapshot.spans.is_empty()
+            && event.snapshot.counters.is_empty()
+            && event.snapshot.hists.is_empty()
+        {
+            out.push_str("  (no spans captured: cache hit or non-search endpoint)\n");
+        } else {
+            out.push('\n');
+            out.push_str(&valentine_obs::report::Report::new(&event.snapshot).render());
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the trace's profiler samples as collapsed stacks — one
+/// `thread;span;... count` line each, flamegraph-tool input — merging
+/// repeated stacks across `profile` events (`valentine trace flame`).
+pub fn render_flame(data: &TraceData) -> Result<String, String> {
+    if data.profiles.is_empty() {
+        return Err(
+            "trace contains no profile events (run `valentine run`/`valentine serve` \
+             with --profile-hz)"
+                .to_string(),
+        );
+    }
+    let mut folded: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for (stack, count) in &data.profiles {
+        *folded.entry(stack).or_insert(0) += count;
+    }
+    let mut out = String::new();
+    for (stack, count) in folded {
+        out.push_str(&format!("{stack} {count}\n"));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -561,6 +672,89 @@ mod tests {
         assert!(report.contains("newer than this reader"), "{report}");
         assert!(report.contains("flux (2)"), "{report}");
         assert!(report.contains("1 malformed line(s)"), "{report}");
+    }
+
+    fn sample_request(id: &str, status: u64, deadline: bool) -> jsonl::RequestEvent {
+        let mut snapshot = Snapshot::new();
+        snapshot.record_span("serve/queue_wait", 5_000);
+        snapshot.record_span("serve/search", 800_000);
+        snapshot.record_span("index/rerank/jl/similarity", 600_000);
+        jsonl::RequestEvent {
+            id: id.to_string(),
+            endpoint: "search".to_string(),
+            status,
+            cache: "miss".to_string(),
+            queue_wait_ns: 5_000,
+            elapsed_ns: 900_000,
+            deadline_exceeded: deadline,
+            snapshot,
+        }
+    }
+
+    #[test]
+    fn request_and_profile_events_parse_without_warnings() {
+        let mut text = jsonl::meta_line() + "\n";
+        text.push_str(&jsonl::request_line(&sample_request("req-a", 200, false)));
+        text.push('\n');
+        text.push_str(&jsonl::request_line(&sample_request("req-b", 504, true)));
+        text.push('\n');
+        text.push_str(&jsonl::profile_line("serve-search-0;jl/similarity", 12));
+        text.push('\n');
+        let data = parse_trace(&text);
+        assert_eq!(data.malformed, 0, "{:?}", data.first_error);
+        assert!(data.unknown_events.is_empty(), "{:?}", data.unknown_events);
+        assert_eq!(data.requests.len(), 2);
+        assert_eq!(data.profiles.len(), 1);
+        let report = render_trace_report(&data);
+        assert!(!report.contains("warning"), "{report}");
+        assert!(report.contains("2 served request(s)"), "{report}");
+        assert!(report.contains("(1 errored/timed out)"), "{report}");
+        assert!(report.contains("1 folded profiler stack(s)"), "{report}");
+    }
+
+    #[test]
+    fn request_report_reconstructs_one_request_by_id() {
+        let mut text = jsonl::meta_line() + "\n";
+        text.push_str(&jsonl::request_line(&sample_request("req-a", 200, false)));
+        text.push('\n');
+        text.push_str(&jsonl::request_line(&sample_request("req-b", 504, true)));
+        text.push('\n');
+        let data = parse_trace(&text);
+        let report = render_request_report(&data, "req-b").unwrap();
+        assert!(report.contains("request req-b"), "{report}");
+        assert!(report.contains("status: 504"), "{report}");
+        assert!(report.contains("deadline exceeded: yes"), "{report}");
+        assert!(report.contains("queue wait: "), "{report}");
+        // the span tree renders as indented segments: rerank under index,
+        // similarity at the leaf
+        assert!(report.contains("rerank"), "{report}");
+        assert!(report.contains("similarity"), "{report}");
+        assert!(report.contains("queue_wait"), "{report}");
+        assert!(
+            !report.contains("req-a"),
+            "only the asked-for request\n{report}"
+        );
+
+        let err = render_request_report(&data, "ghost").unwrap_err();
+        assert!(err.contains("req-a"), "suggests known ids: {err}");
+        let empty = parse_trace(&(jsonl::meta_line() + "\n"));
+        assert!(render_request_report(&empty, "req-a").is_err());
+    }
+
+    #[test]
+    fn flame_merges_repeated_stacks_and_requires_profiles() {
+        let mut text = jsonl::meta_line() + "\n";
+        for count in [3u64, 4] {
+            text.push_str(&jsonl::profile_line("w0;coma/similarity", count));
+            text.push('\n');
+        }
+        text.push_str(&jsonl::profile_line("w1;jl/rank", 2));
+        text.push('\n');
+        let data = parse_trace(&text);
+        let flame = render_flame(&data).unwrap();
+        assert_eq!(flame, "w0;coma/similarity 7\nw1;jl/rank 2\n");
+        let empty = parse_trace(&(jsonl::meta_line() + "\n"));
+        assert!(render_flame(&empty).unwrap_err().contains("--profile-hz"));
     }
 
     #[test]

@@ -329,6 +329,14 @@ impl Index {
     /// independent of scheduling). Workers tally errors and per-call
     /// latency into the slots; the calling thread emits the obs metrics
     /// after the scope joins, so they land in the enclosing capture frame.
+    ///
+    /// Each worker re-installs the caller's cancel token *and* request id
+    /// (both are thread-locals that do not follow work across threads) and
+    /// records its matcher spans into a detached capture; after the join,
+    /// the merged worker snapshots are replayed into the caller's frame
+    /// under `index/rerank`, so a request's capture sees the per-matcher
+    /// phase tree (`index/rerank/<matcher>/...`) instead of losing it to
+    /// the worker threads.
     fn rerank_unionable(
         &self,
         query: &Table,
@@ -347,17 +355,20 @@ impl Index {
         let skips = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<RerankSlot>>> =
             Mutex::new((0..shortlist.len()).map(|_| None).collect());
+        let worker_snapshots: Mutex<Snapshot> = Mutex::new(Snapshot::new());
         let threads = threads.max(1).min(shortlist.len());
         // The caller's deadline lives in a thread-local; re-install it on
         // every scoped worker so kernel checkpoints (and our per-candidate
         // skip below) see it across the thread boundary.
         let token = valentine_obs::cancel::current();
+        let request_id = valentine_obs::reqid::current();
 
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| {
                     let _cancel = valentine_obs::cancel::scope(token.clone());
-                    loop {
+                    let _request = valentine_obs::reqid::scope(request_id.clone());
+                    let ((), snapshot) = valentine_obs::capture_detached(|| loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= shortlist.len() {
                             break;
@@ -384,11 +395,18 @@ impl Index {
                             }
                         };
                         slots.lock()[idx] = Some(slot);
-                    }
+                    });
+                    worker_snapshots.lock().merge(&snapshot);
                 });
             }
         })
         .expect("re-rank workers must not panic");
+
+        // Replay what the workers recorded (matcher phase spans, kernel
+        // checkpoint counters) into this thread's frame, nested under the
+        // open `index/rerank` span. Detached capture + single emit = no
+        // double counting in the global aggregate.
+        valentine_obs::emit_under("index/rerank", &worker_snapshots.into_inner());
 
         let skips = skips.into_inner() as u64;
         valentine_obs::counter(metrics::MATCHER_CALLS, shortlist.len() as u64 - skips);
@@ -525,6 +543,26 @@ mod tests {
         assert!(out.stats.matcher_calls < idx.len());
         assert_eq!(out.results[0].table_name, "overlap_high");
         assert!(!out.results[0].column_matches.is_empty());
+    }
+
+    #[test]
+    fn rerank_worker_spans_land_in_the_search_capture() {
+        let idx = demo_index();
+        let query = table("q", 0, 100);
+        let opts = SearchOptions {
+            rerank: Some(MatcherKind::JaccardLevenshtein),
+            candidate_cap: 3,
+            threads: 2,
+        };
+        let (outcome, snap) = valentine_obs::capture(|| idx.top_k_unionable(&query, 3, &opts));
+        assert!(outcome.stats.matcher_calls > 0);
+        assert!(snap.spans.contains_key("index/rerank"), "{:?}", snap.spans);
+        assert!(
+            snap.spans.keys().any(|p| p.starts_with("index/rerank/jl/")),
+            "matcher phase spans from the worker threads must be replayed \
+             under index/rerank, got {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
     }
 
     #[test]

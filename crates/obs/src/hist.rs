@@ -57,8 +57,9 @@ impl Histogram {
         }
     }
 
-    /// The inclusive upper bound of a bucket (what percentiles report).
-    fn bucket_upper(index: usize) -> u64 {
+    /// The inclusive upper bound of a bucket — the `le` boundary of the
+    /// cumulative Prometheus series.
+    pub fn bucket_upper(index: usize) -> u64 {
         if index == 0 {
             0
         } else if index >= BUCKETS - 1 {
@@ -66,6 +67,16 @@ impl Histogram {
         } else {
             (1u64 << index) - 1
         }
+    }
+
+    /// The midpoint of a bucket's value range (what percentiles report for
+    /// interior buckets). Bucket `i` covers `[2^(i-1), 2^i)`; the upper
+    /// boundary systematically over-reports and the lower boundary
+    /// under-reports, so quantiles answer with the centre of the range.
+    fn bucket_midpoint(index: usize) -> u64 {
+        let lower = if index == 0 { 0 } else { 1u64 << (index - 1) };
+        let upper = Self::bucket_upper(index);
+        lower + (upper - lower) / 2
     }
 
     /// Records one value.
@@ -112,19 +123,30 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`) as the upper bound of the bucket
-    /// containing it, clamped to the exact maximum. Monotone in `q` and
-    /// never exceeds [`Histogram::max`].
+    /// The `q`-quantile (`q` in `[0, 1]`) as the *midpoint* of the bucket
+    /// containing it (the upper boundary systematically over-reported: a
+    /// single 1000ns sample answered p99 = 1023). The highest non-empty
+    /// bucket reports the exact maximum instead of its midpoint — the
+    /// tail-most samples are the ones we track exactly. Monotone in `q`
+    /// and never exceeds [`Histogram::max`].
     pub fn percentile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        let top = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .expect("count > 0 implies a non-empty bucket");
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cumulative += c;
             if cumulative >= target {
-                return Self::bucket_upper(i).min(self.max);
+                if i == top {
+                    return self.max;
+                }
+                return Self::bucket_midpoint(i).min(self.max);
             }
         }
         self.max
@@ -190,6 +212,48 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
         assert_eq!(h.max(), 100_000);
         assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_midpoints_not_boundaries() {
+        // Many samples of 1000 plus one outlier: the median resolves inside
+        // the [512, 1023] bucket and must answer its midpoint (767), not
+        // the 1023 boundary the old implementation reported.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.5), 767);
+    }
+
+    #[test]
+    fn max_value_buckets_report_the_exact_max() {
+        // A quantile resolving to the highest non-empty bucket answers the
+        // exact recorded max — a single sample is reported losslessly.
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.percentile(0.5), 1000);
+        assert_eq!(h.percentile(1.0), 1000);
+        // The saturated top bucket ([2^63, u64::MAX]) has a midpoint far
+        // below u64::MAX; values there must still report exactly.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(Histogram::bucket(u64::MAX), BUCKETS - 1);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_uppers_are_inclusive_and_monotone() {
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(1), 1);
+        assert_eq!(Histogram::bucket_upper(10), 1023);
+        assert_eq!(Histogram::bucket_upper(BUCKETS - 1), u64::MAX);
+        for i in 0..BUCKETS {
+            assert_eq!(Histogram::bucket(Histogram::bucket_upper(i)), i);
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! ```
 //!
 //! Writers may add further event types (the experiment runner writes
-//! `record` lines); [`parse`] preserves those in order under
+//! `record` lines; `valentine serve` writes per-request `request` lines and
+//! the sampling profiler `profile` lines — built with [`request_line`] /
+//! [`profile_line`]); [`parse`] preserves those in order under
 //! [`Parsed::others`] instead of dropping them, and reports — rather than
 //! silently skipping — malformed lines and files written by a newer format
 //! version.
@@ -70,6 +72,158 @@ fn hist_line(name: &str, hist: &Histogram) -> String {
         ("max".into(), Json::UInt(hist.max())),
     ])
     .render()
+}
+
+/// One served request's correlation record: identity, outcome, and
+/// everything the serving pipeline recorded on its behalf. Written as a
+/// `request` event line by `valentine serve`, read back by
+/// `valentine trace report --request <id>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestEvent {
+    /// The correlation id echoed to the client as `X-Valentine-Request-Id`.
+    pub id: String,
+    /// Which endpoint served it (`"search"`).
+    pub endpoint: String,
+    /// HTTP status of the response.
+    pub status: u64,
+    /// Cache outcome: `"hit"`, `"miss"`, or `"none"` for non-cacheable
+    /// outcomes (errors, 504s).
+    pub cache: String,
+    /// Nanoseconds the job waited in the search-pool queue before a worker
+    /// picked it up (0 for cache hits and rejected requests).
+    pub queue_wait_ns: u64,
+    /// Nanoseconds from request dispatch to response body ready.
+    pub elapsed_ns: u64,
+    /// True when the request's deadline fired before the search finished.
+    pub deadline_exceeded: bool,
+    /// The spans, counters, and histograms captured while serving exactly
+    /// this request.
+    pub snapshot: Snapshot,
+}
+
+/// Renders a [`RequestEvent`] as a `request` line (no trailing newline).
+pub fn request_line(event: &RequestEvent) -> String {
+    let spans = event
+        .snapshot
+        .spans
+        .iter()
+        .map(|(path, stat)| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(path.clone())),
+                ("count".into(), Json::UInt(stat.count)),
+                ("total_ns".into(), Json::UInt(stat.total_ns)),
+                ("max_ns".into(), Json::UInt(stat.max_ns)),
+            ])
+        })
+        .collect();
+    let counters = event
+        .snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| (name.clone(), Json::UInt(*value)))
+        .collect();
+    let hists = event
+        .snapshot
+        .hists
+        .iter()
+        .map(|(name, hist)| {
+            let buckets = hist
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(i, c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(name.clone())),
+                ("buckets".into(), Json::Arr(buckets)),
+                ("sum".into(), Json::UInt(hist.sum())),
+                ("max".into(), Json::UInt(hist.max())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("type".into(), Json::Str("request".into())),
+        ("id".into(), Json::Str(event.id.clone())),
+        ("endpoint".into(), Json::Str(event.endpoint.clone())),
+        ("status".into(), Json::UInt(event.status)),
+        ("cache".into(), Json::Str(event.cache.clone())),
+        ("queue_wait_ns".into(), Json::UInt(event.queue_wait_ns)),
+        ("elapsed_ns".into(), Json::UInt(event.elapsed_ns)),
+        (
+            "deadline_exceeded".into(),
+            Json::Bool(event.deadline_exceeded),
+        ),
+        ("spans".into(), Json::Arr(spans)),
+        ("counters".into(), Json::Obj(counters)),
+        ("hists".into(), Json::Arr(hists)),
+    ])
+    .render()
+}
+
+/// Reads a [`RequestEvent`] back from a parsed `request` line.
+pub fn request_from(value: &Json) -> Result<RequestEvent, String> {
+    let mut snapshot = Snapshot::new();
+    for span in value
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field \"spans\"")?
+    {
+        let path = field_str(span, "path")?;
+        let stat = span_stat_from(span)?;
+        snapshot
+            .spans
+            .entry(path.to_string())
+            .or_default()
+            .merge(&stat);
+    }
+    if let Some(Json::Obj(counters)) = value.get("counters") {
+        for (name, v) in counters {
+            let v = v.as_u64().ok_or("counter value is not an integer")?;
+            snapshot.record_counter(name, v);
+        }
+    }
+    if let Some(hists) = value.get("hists").and_then(Json::as_arr) {
+        for entry in hists {
+            let name = field_str(entry, "name")?;
+            let hist = hist_from(entry)?;
+            snapshot
+                .hists
+                .entry(name.to_string())
+                .or_default()
+                .merge(&hist);
+        }
+    }
+    Ok(RequestEvent {
+        id: field_str(value, "id")?.to_string(),
+        endpoint: field_str(value, "endpoint")?.to_string(),
+        status: field_u64(value, "status")?,
+        cache: field_str(value, "cache")?.to_string(),
+        queue_wait_ns: field_u64(value, "queue_wait_ns")?,
+        elapsed_ns: field_u64(value, "elapsed_ns")?,
+        deadline_exceeded: value
+            .get("deadline_exceeded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        snapshot,
+    })
+}
+
+/// Renders one folded profiler stack (`thread;span;...` plus its sample
+/// count) as a `profile` line (no trailing newline).
+pub fn profile_line(stack: &str, count: u64) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("profile".into())),
+        ("stack".into(), Json::Str(stack.into())),
+        ("count".into(), Json::UInt(count)),
+    ])
+    .render()
+}
+
+/// Reads a folded stack back from a parsed `profile` line.
+pub fn profile_from(value: &Json) -> Result<(String, u64), String> {
+    Ok((
+        field_str(value, "stack")?.to_string(),
+        field_u64(value, "count")?,
+    ))
 }
 
 /// Writes a snapshot as event lines (spans, then counters, then histograms,
@@ -285,6 +439,41 @@ mod tests {
     fn newer_versions_are_flagged() {
         let text = "{\"type\":\"meta\",\"format\":\"valentine-trace\",\"version\":99}\n";
         assert!(parse(text).newer_version());
+    }
+
+    #[test]
+    fn request_events_round_trip_and_ride_through_others() {
+        let event = RequestEvent {
+            id: "a1b2c3d4e5f60718".into(),
+            endpoint: "search".into(),
+            status: 200,
+            cache: "miss".into(),
+            queue_wait_ns: 12_500,
+            elapsed_ns: 4_000_000,
+            deadline_exceeded: false,
+            snapshot: sample_snapshot(),
+        };
+        let line = request_line(&event);
+        // unknown to the base parser: preserved in `others`, not dropped
+        let parsed = parse(&line);
+        assert_eq!(parsed.malformed, 0);
+        assert_eq!(parsed.others.len(), 1);
+        assert_eq!(parsed.others[0].0, "request");
+        assert!(parsed.snapshot.is_empty());
+        let back = request_from(&parsed.others[0].1).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn profile_events_round_trip() {
+        let line = profile_line("serve-search-0;index/rerank;coma/similarity", 17);
+        let parsed = parse(&line);
+        assert_eq!(parsed.others.len(), 1);
+        assert_eq!(parsed.others[0].0, "profile");
+        let (stack, count) = profile_from(&parsed.others[0].1).unwrap();
+        assert_eq!(stack, "serve-search-0;index/rerank;coma/similarity");
+        assert_eq!(count, 17);
+        assert!(profile_from(&Json::Obj(vec![])).is_err());
     }
 
     #[test]

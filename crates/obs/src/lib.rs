@@ -23,6 +23,12 @@
 //!   [`CancelToken`]s through the kernels; it lives here (rather than in
 //!   the solver) because this is the one crate every kernel already
 //!   depends on, and each check is itself counted.
+//! * **Correlation** — [`reqid`] mints per-request trace ids and scopes
+//!   them onto threads the same way [`cancel`] scopes tokens, so a served
+//!   query's spans can be tied back to exactly one request.
+//! * **Profiling** — [`profiler`] is an opt-in sampler that periodically
+//!   snapshots each thread's live span stack into folded (flamegraph)
+//!   form; disarmed it costs one relaxed atomic load per span.
 //!
 //! # Overhead
 //!
@@ -64,13 +70,16 @@ pub mod cancel;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod profiler;
 pub mod report;
+pub mod reqid;
 pub mod sink;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use hist::Histogram;
 pub use sink::{
-    capture, counter, drain, observe, observe_duration, span, Snapshot, SpanGuard, SpanStat,
+    capture, capture_detached, counter, drain, emit_under, observe, observe_duration, span,
+    Snapshot, SpanGuard, SpanStat,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::hist::Histogram;
 use crate::sink::{Snapshot, SpanStat};
 
 /// Renders a snapshot's attribution tree, counters, and histogram
@@ -142,6 +143,104 @@ pub fn render_metrics(snapshot: &Snapshot) -> String {
     out
 }
 
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4) — the body of `GET /metrics?format=prometheus`.
+///
+/// Metric *names* in this codebase contain `/`, which Prometheus forbids
+/// in identifiers, so every family uses a fixed, valid identifier and
+/// carries the original name as an escaped label:
+///
+/// ```text
+/// valentine_counter_total{name="serve/cache_hits"} 3
+/// valentine_hist_bucket{name="serve/search_ns",le="1023"} 2
+/// valentine_hist_bucket{name="serve/search_ns",le="+Inf"} 5
+/// valentine_hist_sum{name="serve/search_ns"} 4096
+/// valentine_hist_count{name="serve/search_ns"} 5
+/// valentine_span_ns_total{path="index/rerank"} 812345
+/// ```
+///
+/// Histogram buckets are *cumulative* with inclusive `le` bounds — the
+/// log₂ bucket `[2^(i-1), 2^i)` maps exactly onto `le = 2^i - 1` — and the
+/// mandatory `+Inf` bucket equals `_count`. Only non-empty buckets are
+/// emitted (the 64-bucket layout would be mostly zeros); cumulative values
+/// make sparse emission lossless. Label values escape `\`, `"`, and
+/// newlines per the exposition format.
+pub fn render_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("# TYPE valentine_counter_total counter\n");
+        for (name, value) in &snapshot.counters {
+            let name = escape_label(name);
+            out.push_str(&format!(
+                "valentine_counter_total{{name=\"{name}\"}} {value}\n"
+            ));
+        }
+    }
+    if !snapshot.hists.is_empty() {
+        out.push_str("# TYPE valentine_hist histogram\n");
+        for (name, h) in &snapshot.hists {
+            let name = escape_label(name);
+            let mut cumulative = 0u64;
+            for (index, count) in h.nonzero_buckets() {
+                if index == crate::hist::BUCKETS - 1 {
+                    break; // the saturated top bucket is the +Inf bucket below
+                }
+                cumulative += count;
+                let le = Histogram::bucket_upper(index);
+                out.push_str(&format!(
+                    "valentine_hist_bucket{{name=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "valentine_hist_bucket{{name=\"{name}\",le=\"+Inf\"}} {}\n",
+                h.count()
+            ));
+            out.push_str(&format!(
+                "valentine_hist_sum{{name=\"{name}\"}} {}\n",
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "valentine_hist_count{{name=\"{name}\"}} {}\n",
+                h.count()
+            ));
+        }
+    }
+    if !snapshot.spans.is_empty() {
+        out.push_str("# TYPE valentine_span_count_total counter\n");
+        for (path, stat) in &snapshot.spans {
+            let path = escape_label(path);
+            out.push_str(&format!(
+                "valentine_span_count_total{{path=\"{path}\"}} {}\n",
+                stat.count
+            ));
+        }
+        out.push_str("# TYPE valentine_span_ns_total counter\n");
+        for (path, stat) in &snapshot.spans {
+            let path = escape_label(path);
+            out.push_str(&format!(
+                "valentine_span_ns_total{{path=\"{path}\"}} {}\n",
+                stat.total_ns
+            ));
+        }
+    }
+    out
+}
+
+/// Escapes a string for use as a Prometheus label value (between the
+/// quotes): backslash, double-quote, and newline.
+pub fn escape_label(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats nanoseconds with an adaptive unit (`123ns`, `4.5us`, `6.7ms`,
 /// `8.9s`).
 pub fn fmt_ns(ns: u64) -> String {
@@ -239,6 +338,78 @@ mod tests {
             );
             assert_eq!(parts.next(), None, "{line}");
         }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative_with_inf_bucket() {
+        let mut s = Snapshot::new();
+        s.record_counter("serve/cache_hits", 3);
+        for v in [700u64, 800, 5] {
+            s.record_hist("serve/search_ns", v);
+        }
+        s.record_span("index/rerank", 1000);
+        let text = render_prometheus(&s);
+        assert!(
+            text.contains("valentine_counter_total{name=\"serve/cache_hits\"} 3\n"),
+            "{text}"
+        );
+        // 5 → bucket le=7 (cum 1); 700, 800 → bucket le=1023 (cum 3)
+        assert!(
+            text.contains("valentine_hist_bucket{name=\"serve/search_ns\",le=\"7\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("valentine_hist_bucket{name=\"serve/search_ns\",le=\"1023\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("valentine_hist_bucket{name=\"serve/search_ns\",le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("valentine_hist_sum{name=\"serve/search_ns\"} 1505\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("valentine_hist_count{name=\"serve/search_ns\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("valentine_span_ns_total{path=\"index/rerank\"} 1000\n"),
+            "{text}"
+        );
+        assert_eq!(text, render_prometheus(&s), "deterministic");
+    }
+
+    #[test]
+    fn prometheus_saturated_top_bucket_folds_into_inf() {
+        let mut s = Snapshot::new();
+        s.record_hist("h", u64::MAX);
+        s.record_hist("h", 1);
+        let text = render_prometheus(&s);
+        // the top bucket must not emit its numeric u64::MAX bound —
+        // it *is* the +Inf bucket
+        let max_le = format!("le=\"{}\"", u64::MAX);
+        assert!(!text.contains(&max_le), "{text}");
+        assert!(text.contains("le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 2\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(escape_label("plain/name"), "plain/name");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label("line\nbreak"), "line\\nbreak");
+        let mut s = Snapshot::new();
+        s.record_counter("weird\"name\\with\nstuff", 1);
+        let text = render_prometheus(&s);
+        assert!(
+            text.contains("{name=\"weird\\\"name\\\\with\\nstuff\"} 1\n"),
+            "{text}"
+        );
+        // the rendered body stays line-oriented: the newline was escaped
+        assert_eq!(text.lines().count(), 2, "{text}");
     }
 
     #[test]

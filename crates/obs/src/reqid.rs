@@ -1,0 +1,139 @@
+//! Request-correlation ids: minting, validation, and thread-scoped
+//! propagation.
+//!
+//! A served query crosses three thread boundaries — connection handler →
+//! search-pool worker → crossbeam re-rank workers — and the only way to
+//! tie a slow response back to the spans that produced it is an id that
+//! makes the same crossings. This module is the id half of that story (the
+//! span data itself travels via [`crate::capture_detached`] +
+//! [`crate::emit_under`]): ids are minted (or accepted from the client)
+//! where the request enters, installed with [`scope`] on whichever thread
+//! currently works on the request, and re-read with [`current`] at the
+//! next thread hop — the exact shape of [`crate::cancel`]'s token
+//! propagation, and deliberately so.
+//!
+//! Ids are 16 hex digits: a process-unique sequence number whitened
+//! through a splitmix64 finalizer seeded at first use, so concurrent
+//! requests get visually distinct ids while uniqueness within the process
+//! is guaranteed by the counter alone.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static COUNTER: AtomicU64 = AtomicU64::new(1);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+fn seed() -> u64 {
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        nanos ^ (&COUNTER as *const AtomicU64 as u64).rotate_left(32)
+    })
+}
+
+/// Mints a fresh 16-hex-digit request id, unique within this process.
+pub fn mint() -> String {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 finalizer: a bijection, so distinct sequence numbers can
+    // never collide after whitening.
+    let mut x = seed().wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    format!("{x:016x}")
+}
+
+/// Whether a client-supplied id is safe to adopt: non-empty, at most 64
+/// bytes, and limited to `[A-Za-z0-9._-]` so it can be echoed into headers
+/// and JSON without escaping surprises.
+pub fn is_valid(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed id when dropped (RAII for [`scope`]).
+#[must_use = "dropping the scope immediately uninstalls the id"]
+pub struct ReqScope {
+    prev: Option<Option<Arc<str>>>,
+}
+
+impl Drop for ReqScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            let _ = CURRENT.try_with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Installs `id` as the current thread's request id for the lifetime of
+/// the returned guard. Scopes nest; the previous id is restored on drop
+/// (including during unwinding, so a panicking request cannot leak its id
+/// onto the next request handled by the same pooled worker).
+pub fn scope(id: Option<Arc<str>>) -> ReqScope {
+    let prev = CURRENT
+        .try_with(|c| std::mem::replace(&mut *c.borrow_mut(), id))
+        .ok();
+    ReqScope { prev }
+}
+
+/// The calling thread's installed request id (a cheap `Arc` clone), or
+/// `None` outside any [`scope`]. Cross-thread stages read this on the
+/// coordinating thread and re-install it on their workers — a thread-local
+/// id does not follow work onto other threads by itself.
+pub fn current() -> Option<Arc<str>> {
+    CURRENT.try_with(|c| c.borrow().clone()).unwrap_or(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_distinct_hex() {
+        let a = mint();
+        let b = mint();
+        assert_ne!(a, b);
+        for id in [&a, &b] {
+            assert_eq!(id.len(), 16, "{id}");
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id}");
+            assert!(is_valid(id));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_header_hostile_ids() {
+        assert!(is_valid("req-1_2.3"));
+        assert!(!is_valid(""));
+        assert!(!is_valid("has space"));
+        assert!(!is_valid("quote\"me"));
+        assert!(!is_valid("new\nline"));
+        assert!(!is_valid(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn scope_installs_nests_and_restores() {
+        assert_eq!(current(), None);
+        {
+            let _outer = scope(Some(Arc::from("outer-id")));
+            assert_eq!(current().as_deref(), Some("outer-id"));
+            {
+                let _inner = scope(Some(Arc::from("inner-id")));
+                assert_eq!(current().as_deref(), Some("inner-id"));
+            }
+            assert_eq!(current().as_deref(), Some("outer-id"));
+        }
+        assert_eq!(current(), None);
+    }
+}

@@ -182,23 +182,35 @@ fn active() -> bool {
 #[must_use = "a span records on drop; bind it with `let _g = span!(..)`"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    mirrored: bool,
 }
 
 /// Opens a span. Prefer the [`crate::span!`] macro at call sites.
 pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !active() {
-        return SpanGuard { start: None };
+        return SpanGuard {
+            start: None,
+            mirrored: false,
+        };
     }
+    let name = name.into();
+    // The profiler mirror sees every span the sink sees; `mirrored` is
+    // remembered on the guard so a mid-span arm/disarm cannot unbalance it.
+    let mirrored = crate::profiler::mirror_push(&name);
     let pushed = LOCAL
-        .try_with(|sink| sink.borrow_mut().stack.push(name.into()))
+        .try_with(|sink| sink.borrow_mut().stack.push(name))
         .is_ok();
     SpanGuard {
         start: pushed.then(Instant::now),
+        mirrored,
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.mirrored {
+            crate::profiler::mirror_pop();
+        }
         let Some(start) = self.start else { return };
         let ns = start.elapsed().as_nanos() as u64;
         let _ = LOCAL.try_with(|sink| {
@@ -260,6 +272,19 @@ pub fn observe_duration(name: &str, duration: Duration) {
 /// must aggregate their own totals (the index re-rank stage does exactly
 /// that) and report them on the capturing thread.
 pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    capture_inner(f, true)
+}
+
+/// Like [`capture`], but the captured data is *not* folded into the
+/// enclosing scope: the returned snapshot is the only copy. Cross-thread
+/// stages use this on their scoped workers and replay the snapshot on the
+/// coordinating thread with [`emit_under`] — folding on both the worker and
+/// the coordinator would double-count every span in the global aggregate.
+pub fn capture_detached<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    capture_inner(f, false)
+}
+
+fn capture_inner<T>(f: impl FnOnce() -> T, fold_into_parent: bool) -> (T, Snapshot) {
     LOCAL.with(|sink| {
         let mut sink = sink.borrow_mut();
         let base_depth = sink.stack.len();
@@ -273,8 +298,10 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
         let mut sink = sink.borrow_mut();
         if sink.frames.len() > 1 {
             let frame = sink.frames.pop().expect("capture frame present");
-            if let Some(parent) = sink.frames.last_mut() {
-                parent.data.merge(&frame.data);
+            if fold_into_parent {
+                if let Some(parent) = sink.frames.last_mut() {
+                    parent.data.merge(&frame.data);
+                }
             }
             frame.data
         } else {
@@ -282,6 +309,44 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
         }
     });
     (out, snap)
+}
+
+/// Replays a detached snapshot into the calling thread's current scope,
+/// nesting every span path under `prefix` (pass `""` to keep paths as-is).
+/// Counters and histograms merge under their own names. No-op when the
+/// thread is not recording. This is how a coordinating thread attributes
+/// work its scoped workers captured with [`capture_detached`]: the worker
+/// spans appear in the caller's frame as if they had run under the
+/// caller's currently open `prefix` span.
+pub fn emit_under(prefix: &str, snapshot: &Snapshot) {
+    if snapshot.is_empty() || !active() {
+        return;
+    }
+    let _ = LOCAL.try_with(|sink| {
+        let mut sink = sink.borrow_mut();
+        let Some(frame) = sink.frames.last_mut() else {
+            return;
+        };
+        for (path, stat) in &snapshot.spans {
+            let full = if prefix.is_empty() {
+                path.clone()
+            } else {
+                format!("{prefix}/{path}")
+            };
+            frame.data.spans.entry(full).or_default().merge(stat);
+        }
+        for (name, value) in &snapshot.counters {
+            *frame.data.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &snapshot.hists {
+            frame
+                .data
+                .hists
+                .entry(name.clone())
+                .or_default()
+                .merge(hist);
+        }
+    });
 }
 
 /// Takes and resets the global snapshot merged with the calling thread's
@@ -349,6 +414,30 @@ mod tests {
             counter("k", 1);
         });
         assert_eq!(outer.counters["k"], 2);
+    }
+
+    #[test]
+    fn detached_capture_does_not_fold_into_parent() {
+        let ((), outer) = capture(|| {
+            let ((), inner) = capture_detached(|| counter("k", 1));
+            assert_eq!(inner.counters["k"], 1);
+        });
+        assert!(
+            !outer.counters.contains_key("k"),
+            "detached data must not double into the enclosing frame"
+        );
+    }
+
+    #[test]
+    fn emit_under_prefixes_spans_and_merges_counts() {
+        let mut worker = Snapshot::new();
+        worker.record_span("coma/similarity", 10);
+        worker.record_counter("index/matcher_calls", 2);
+        worker.record_hist("index/matcher_call_ns", 10);
+        let ((), snap) = capture(|| emit_under("index/rerank", &worker));
+        assert_eq!(snap.spans["index/rerank/coma/similarity"].count, 1);
+        assert_eq!(snap.counters["index/matcher_calls"], 2);
+        assert_eq!(snap.hists["index/matcher_call_ns"].count(), 1);
     }
 
     #[test]

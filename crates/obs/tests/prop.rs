@@ -1,8 +1,71 @@
 //! Property-based tests of the observability layer: percentile ordering,
-//! sink-merge equivalence, and JSONL round-trips of nested span trees.
+//! sink-merge equivalence, JSONL round-trips of nested span trees, and the
+//! Prometheus text exposition (cumulative buckets, label escaping).
 
 use proptest::prelude::*;
-use valentine_obs::{jsonl, Histogram, Snapshot};
+use valentine_obs::{jsonl, report, Histogram, Snapshot};
+
+/// Labels of one parsed Prometheus sample, in rendered order.
+type Labels = Vec<(String, String)>;
+
+/// A strict parser for one Prometheus sample line:
+/// `family{key="value",...} integer`. Returns `None` on any deviation, so
+/// the properties below double as a line-format check. Unescapes label
+/// values (`\\`, `\"`, `\n`).
+fn prom_line(line: &str) -> Option<(&str, Labels, u64)> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: u64 = value.parse().ok()?;
+    let (family, labels) = match head.split_once('{') {
+        None => (head, Vec::new()),
+        Some((family, rest)) => {
+            let rest = rest.strip_suffix('}')?;
+            (family, parse_labels(rest)?)
+        }
+    };
+    if family.is_empty()
+        || !family
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || family.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return None;
+    }
+    Some((family, labels, value))
+}
+
+fn parse_labels(mut rest: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    loop {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].to_string();
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut after_quote = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next()?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    _ => return None,
+                },
+                '"' => {
+                    after_quote = Some(i + 1);
+                    break;
+                }
+                '\n' => return None, // raw newline inside a label value
+                c => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        rest = &rest[after_quote?..];
+        if rest.is_empty() {
+            return Some(labels);
+        }
+        rest = rest.strip_prefix(',')?;
+    }
+}
 
 fn values() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(0u64..=u64::MAX, 1..64)
@@ -112,5 +175,95 @@ proptest! {
         let parsed = jsonl::parse(&String::from_utf8(buf).unwrap());
         prop_assert_eq!(parsed.malformed, 0, "{:?}", parsed.first_error);
         prop_assert_eq!(parsed.snapshot, snap);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_monotone_cumulative_and_sum_to_count(
+        vals in proptest::collection::vec(0u64..=u64::MAX, 1..60),
+    ) {
+        let mut snap = Snapshot::new();
+        for &v in &vals {
+            snap.record_hist("serve/search_ns", v);
+        }
+        let text = report::render_prometheus(&snap);
+        let mut cumulative = Vec::new();
+        let mut last_le = None;
+        let mut inf = None;
+        let mut count = None;
+        let mut sum = None;
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (family, labels, value) =
+                prom_line(line).unwrap_or_else(|| panic!("unparseable line {line:?}"));
+            match family {
+                "valentine_hist_bucket" => {
+                    let le = &labels.iter().find(|(k, _)| k == "le").unwrap().1;
+                    if le == "+Inf" {
+                        prop_assert!(inf.is_none(), "+Inf emitted twice:\n{}", text);
+                        inf = Some(value);
+                    } else {
+                        prop_assert!(inf.is_none(), "+Inf must come last:\n{}", text);
+                        let le: u64 = le.parse().unwrap();
+                        prop_assert!(last_le.is_none_or(|prev| prev < le), "le not increasing");
+                        last_le = Some(le);
+                        cumulative.push(value);
+                    }
+                }
+                "valentine_hist_count" => count = Some(value),
+                "valentine_hist_sum" => sum = Some(value),
+                other => prop_assert!(false, "unexpected family {other}"),
+            }
+        }
+        for pair in cumulative.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "cumulative buckets not monotone: {cumulative:?}");
+        }
+        let inf = inf.expect("mandatory +Inf bucket");
+        prop_assert!(cumulative.last().is_none_or(|&l| l <= inf));
+        prop_assert_eq!(inf, vals.len() as u64, "+Inf bucket equals observation count");
+        prop_assert_eq!(count, Some(vals.len() as u64));
+        prop_assert!(sum.is_some());
+        // _count equals the sum of per-bucket increments recovered from
+        // the cumulative series (the +Inf bucket absorbs the tail)
+        let mut increments = 0u64;
+        let mut prev = 0u64;
+        for &c in &cumulative {
+            increments += c - prev;
+            prev = c;
+        }
+        increments += inf - prev;
+        prop_assert_eq!(increments, vals.len() as u64);
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_and_round_trip(
+        raw_names in proptest::collection::vec(
+            proptest::collection::vec(0usize..11, 1..12),
+            1..8,
+        ),
+    ) {
+        // An alphabet chosen to stress the exposition format: quotes,
+        // backslashes, newlines, and the structural characters of the
+        // label syntax itself.
+        const ALPHABET: [char; 11] =
+            ['a', 'b', '"', '\\', '\n', '/', ' ', '{', '}', ',', '='];
+        let names: std::collections::BTreeSet<String> = raw_names
+            .iter()
+            .map(|chars| chars.iter().map(|&i| ALPHABET[i]).collect())
+            .collect();
+        let mut snap = Snapshot::new();
+        for (i, name) in names.iter().enumerate() {
+            snap.record_counter(name, i as u64 + 1);
+        }
+        let text = report::render_prometheus(&snap);
+        let mut seen = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (family, labels, _value) =
+                prom_line(line).unwrap_or_else(|| panic!("unparseable line {line:?}"));
+            prop_assert_eq!(family, "valentine_counter_total");
+            prop_assert_eq!(labels.len(), 1, "exactly the name label");
+            prop_assert_eq!(&labels[0].0, "name");
+            seen.insert(labels[0].1.clone());
+        }
+        // unescaping every label value recovers exactly the original names
+        prop_assert_eq!(seen, names);
     }
 }

@@ -1,0 +1,156 @@
+//! Tail-based exemplar capture: keep the full span snapshots of the
+//! requests worth debugging.
+//!
+//! Aggregate histograms answer "how slow is p99?" but not "what did the
+//! p99 request *do*?". This module keeps complete [`RequestEvent`]s — id,
+//! status, queue wait, and the per-request span/counter/histogram
+//! snapshot — for exactly the requests an operator asks about after the
+//! fact:
+//!
+//! - the **slowest N** successfully-served searches, by wall time, and
+//! - the **last N errored** requests (status ≥ 500 or deadline-exceeded),
+//!   as a FIFO ring so a burst of failures shows its most recent shape.
+//!
+//! Both sides are bounded by a fixed capacity, so the ring costs the same
+//! whether the server has answered ten requests or ten million. `GET
+//! /debug/exemplars` renders the ring as JSON; each entry is the same
+//! object shape as a `request` trace line, so `valentine trace report
+//! --request <id>` vocabulary carries over directly.
+
+use valentine_obs::jsonl::{self, RequestEvent};
+
+/// A bounded two-sided store of request exemplars. Not internally
+/// synchronised — the server wraps it in a mutex.
+pub struct ExemplarRing {
+    capacity: usize,
+    /// Slowest successful searches, sorted by `elapsed_ns` descending.
+    slowest: Vec<RequestEvent>,
+    /// Most recent errored/timed-out requests, oldest first.
+    errored: Vec<RequestEvent>,
+}
+
+impl ExemplarRing {
+    /// An empty ring keeping at most `capacity` exemplars per side
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> ExemplarRing {
+        ExemplarRing {
+            capacity: capacity.max(1),
+            slowest: Vec::new(),
+            errored: Vec::new(),
+        }
+    }
+
+    /// Offers one finished request; the ring decides whether it is worth
+    /// keeping.
+    pub fn note(&mut self, event: &RequestEvent) {
+        if event.status >= 500 || event.deadline_exceeded {
+            if self.errored.len() == self.capacity {
+                self.errored.remove(0);
+            }
+            self.errored.push(event.clone());
+            return;
+        }
+        // Only completed searches compete for the slow side: health checks
+        // and metrics scrapes would otherwise drown the signal.
+        if event.endpoint != "search" || event.status != 200 {
+            return;
+        }
+        if self.slowest.len() == self.capacity
+            && event.elapsed_ns <= self.slowest.last().map_or(0, |e| e.elapsed_ns)
+        {
+            return;
+        }
+        let at = self
+            .slowest
+            .partition_point(|e| e.elapsed_ns >= event.elapsed_ns);
+        self.slowest.insert(at, event.clone());
+        self.slowest.truncate(self.capacity);
+    }
+
+    /// The ring as a JSON document:
+    /// `{"slowest":[...],"errored":[...]}`, each entry shaped like a
+    /// `request` trace line.
+    pub fn render_json(&self) -> String {
+        let side = |events: &[RequestEvent]| {
+            let entries: Vec<String> = events.iter().map(jsonl::request_line).collect();
+            format!("[{}]", entries.join(","))
+        };
+        format!(
+            "{{\"slowest\":{},\"errored\":{}}}\n",
+            side(&self.slowest),
+            side(&self.errored),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_obs::json::Json;
+    use valentine_obs::Snapshot;
+
+    fn event(id: &str, status: u64, elapsed_ns: u64, deadline: bool) -> RequestEvent {
+        RequestEvent {
+            id: id.to_string(),
+            endpoint: "search".to_string(),
+            status,
+            cache: "miss".to_string(),
+            queue_wait_ns: 7,
+            elapsed_ns,
+            deadline_exceeded: deadline,
+            snapshot: Snapshot::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_n_sorted_descending() {
+        let mut ring = ExemplarRing::new(3);
+        for (id, ns) in [("a", 50), ("b", 10), ("c", 99), ("d", 70), ("e", 5)] {
+            ring.note(&event(id, 200, ns, false));
+        }
+        let ids: Vec<&str> = ring.slowest.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["c", "d", "a"]);
+    }
+
+    #[test]
+    fn errors_and_deadline_hits_go_to_a_fifo_ring() {
+        let mut ring = ExemplarRing::new(2);
+        ring.note(&event("ok", 200, 1, false));
+        ring.note(&event("tmo", 504, 9, true));
+        ring.note(&event("ise", 500, 2, false));
+        ring.note(&event("tmo2", 504, 3, true));
+        let ids: Vec<&str> = ring.errored.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["ise", "tmo2"], "oldest evicted first");
+        assert_eq!(ring.slowest.len(), 1, "the 200 went to the slow side");
+    }
+
+    #[test]
+    fn non_search_and_non_200_requests_do_not_compete_for_slowest() {
+        let mut ring = ExemplarRing::new(4);
+        let mut metrics = event("m", 200, 1_000_000, false);
+        metrics.endpoint = "metrics".to_string();
+        ring.note(&metrics);
+        ring.note(&event("notfound", 404, 1_000_000, false));
+        ring.note(&event("s", 200, 10, false));
+        let ids: Vec<&str> = ring.slowest.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["s"]);
+    }
+
+    #[test]
+    fn renders_valid_json_with_both_sides() {
+        let mut ring = ExemplarRing::new(2);
+        ring.note(&event("fast", 200, 10, false));
+        ring.note(&event("late", 504, 90, true));
+        let body = ring.render_json();
+        let doc = Json::parse(&body).expect("exemplars body parses as JSON");
+        let slowest = doc.get("slowest").and_then(Json::as_arr).unwrap();
+        let errored = doc.get("errored").and_then(Json::as_arr).unwrap();
+        assert_eq!(slowest.len(), 1);
+        assert_eq!(errored.len(), 1);
+        assert_eq!(errored[0].get("id").and_then(Json::as_str), Some("late"));
+        assert_eq!(
+            errored[0].get("deadline_exceeded").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+}

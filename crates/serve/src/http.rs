@@ -19,7 +19,7 @@ const MAX_HEADERS: usize = 64;
 pub const MAX_BODY: usize = 4 * 1024 * 1024;
 
 /// A parsed request: method, decoded path, decoded query parameters in
-/// request order, and the raw body.
+/// request order, headers, and the raw body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, … (uppercased by the client per the RFC; kept as
@@ -29,6 +29,9 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded `key=value` pairs from the query string.
     pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs in request order, names as sent,
+    /// values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Request body (`Content-Length` framed; empty without one).
     pub body: Vec<u8>,
 }
@@ -39,6 +42,15 @@ impl Request {
         self.query
             .iter()
             .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a header, matched case-insensitively (header names
+    /// are case-insensitive per the RFC).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 
@@ -68,6 +80,7 @@ impl Request {
         };
 
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         for _ in 0..MAX_HEADERS {
             let line = read_line(stream)?;
             if line.is_empty() {
@@ -79,6 +92,7 @@ impl Request {
                     method,
                     path,
                     query,
+                    headers,
                     body,
                 });
             }
@@ -92,6 +106,7 @@ impl Request {
                         return Err((413, format!("body larger than {MAX_BODY} bytes")));
                     }
                 }
+                headers.push((name.to_string(), value.trim().to_string()));
             }
         }
         Err((400, format!("more than {MAX_HEADERS} headers")))
@@ -214,6 +229,16 @@ mod tests {
         assert_eq!(r.param("table"), Some("tpcdi/unionable_0"));
         assert_eq!(r.param("missing"), None);
         assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn headers_are_retained_and_matched_case_insensitively() {
+        let r =
+            parse("GET /search HTTP/1.1\r\nHost: x\r\nX-Valentine-Request-Id:  abc123 \r\n\r\n")
+                .unwrap();
+        assert_eq!(r.header("x-valentine-request-id"), Some("abc123"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert_eq!(r.header("missing"), None);
     }
 
     #[test]

@@ -23,9 +23,19 @@
 //!   by all clients.
 //! - **Introspection**: `GET /metrics` renders per-endpoint latency
 //!   percentiles and cache/deadline counters from a server-owned
-//!   [`Snapshot`](valentine_obs::Snapshot); `GET /healthz` answers while
-//!   the server can still parse a request. Shutdown is a graceful drain
-//!   that hands the final snapshot back for `--trace` flushing.
+//!   [`Snapshot`](valentine_obs::Snapshot) — flat text by default,
+//!   Prometheus exposition format with `?format=prometheus`; `GET
+//!   /healthz` answers while the server can still parse a request.
+//!   Shutdown is a graceful drain that hands the final snapshot back for
+//!   `--trace` flushing.
+//! - **Correlation**: every request gets an id (minted, or adopted from a
+//!   client-sent `X-Valentine-Request-Id` header) that is echoed on the
+//!   response and threaded through the search pool into the re-rank
+//!   workers; with a request log attached
+//!   ([`ServerHandle::start_with_log`]) each finished request is written
+//!   as a `request` trace line carrying its complete span snapshot, and
+//!   `GET /debug/exemplars` keeps the slowest and most recently errored
+//!   requests resident for inspection ([`exemplar::ExemplarRing`]).
 //!
 //! ```no_run
 //! use valentine_index::{Index, IndexConfig, LoadedIndex};
@@ -41,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod exemplar;
 pub mod http;
 pub mod pool;
 pub mod server;

@@ -50,13 +50,19 @@ pub enum SearchJob {
     },
 }
 
-/// A queued search: the work, its request deadline, and where to send the
-/// answer.
+/// A queued search: the work, its request deadline, its correlation id,
+/// and where to send the answer.
 pub struct Job {
     /// The search to run.
     pub job: SearchJob,
     /// The request's cancel token; already ticking while the job queues.
     pub token: CancelToken,
+    /// The request's correlation id; the worker installs it with
+    /// [`valentine_obs::reqid::scope`] so stages deeper in the search (the
+    /// re-rank's own worker threads) can re-read it.
+    pub request_id: Option<Arc<str>>,
+    /// When the job was enqueued; the worker turns this into queue wait.
+    pub enqueued: Instant,
     /// Reply channel. A send failure (client handler gone) is ignored.
     pub reply: Sender<JobOutcome>,
 }
@@ -66,7 +72,9 @@ pub struct JobOutcome {
     /// The (possibly deadline-truncated) search result.
     pub outcome: SearchOutcome,
     /// The obs frame captured around the search — `index/*` counters and
-    /// matcher latency histograms — for the server's `/metrics` state.
+    /// matcher latency histograms, plus `serve/queue_wait` and
+    /// `serve/search` spans — for the server's `/metrics` state and the
+    /// per-request trace event.
     pub snapshot: Snapshot,
     /// True when the request token had fired by the time the search
     /// returned: the result is a partial (sketch-ranked) shortlist and the
@@ -74,6 +82,8 @@ pub struct JobOutcome {
     pub deadline_hit: bool,
     /// Wall time the job spent executing (queue wait excluded).
     pub elapsed_ns: u64,
+    /// Wall time the job spent queued before a worker picked it up.
+    pub queue_wait_ns: u64,
 }
 
 /// A fixed-size pool of search workers over one shared job queue.
@@ -119,20 +129,30 @@ fn worker_loop(index: LoadedIndex, jobs: Arc<Mutex<Receiver<Job>>>) {
             Ok(job) => job,
             Err(_) => return,
         };
+        let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
         let start = Instant::now();
         let token = job.token;
-        let (outcome, snapshot) = valentine_obs::capture(|| {
+        let request_id = job.request_id;
+        let (outcome, mut snapshot) = valentine_obs::capture(|| {
             let _scope = valentine_obs::cancel::scope(token.clone());
+            let _request = valentine_obs::reqid::scope(request_id);
             match job.job {
                 SearchJob::Unionable { table, k, opts } => index.top_k_unionable(&table, k, &opts),
                 SearchJob::Joinable { column, k, opts } => index.top_k_joinable(&column, k, &opts),
             }
         });
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        // Queue wait and execution become spans in the job's own snapshot,
+        // so the per-request trace event reconstructs the full timeline
+        // without joining against server-side state.
+        snapshot.record_span("serve/queue_wait", queue_wait_ns);
+        snapshot.record_span("serve/search", elapsed_ns);
         let _ = job.reply.send(JobOutcome {
             outcome,
             snapshot,
             deadline_hit: token.is_cancelled(),
-            elapsed_ns: start.elapsed().as_nanos() as u64,
+            elapsed_ns,
+            queue_wait_ns,
         });
     }
 }
@@ -159,7 +179,14 @@ mod tests {
 
     fn submit(tx: &Sender<Job>, job: SearchJob, token: CancelToken) -> Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
-        tx.send(Job { job, token, reply }).unwrap();
+        tx.send(Job {
+            job,
+            token,
+            request_id: Some(Arc::from("test-req")),
+            enqueued: Instant::now(),
+            reply,
+        })
+        .unwrap();
         rx
     }
 
@@ -194,6 +221,13 @@ mod tests {
             assert_eq!(out.outcome.results[0].table_name, "a");
             assert!(out.snapshot.counter("index/lsh_candidates") > 0);
             assert!(out.elapsed_ns > 0);
+            let waits = out
+                .snapshot
+                .spans
+                .get("serve/queue_wait")
+                .expect("queue wait recorded as a span");
+            assert_eq!(waits.count, 1);
+            assert_eq!(waits.total_ns, out.queue_wait_ns);
         }
     }
 

@@ -21,7 +21,7 @@
 //! renders that snapshot; [`ServerHandle::shutdown`] returns it so the CLI
 //! can flush a trace that includes the serving counters.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender};
@@ -32,10 +32,12 @@ use parking_lot::Mutex;
 use valentine_index::{LoadedIndex, SearchOptions, SearchOutcome};
 use valentine_matchers::MatcherKind;
 use valentine_obs::json::Json;
-use valentine_obs::{CancelToken, Snapshot};
+use valentine_obs::jsonl::{self, RequestEvent};
+use valentine_obs::{reqid, CancelToken, Snapshot};
 use valentine_table::{csv, Column, Table};
 
 use crate::cache::Lru;
+use crate::exemplar::ExemplarRing;
 use crate::http::{write_response, Request};
 use crate::pool::{Job, JobOutcome, SearchJob, SearchPool};
 
@@ -79,6 +81,14 @@ pub struct ServeConfig {
     pub default_rerank: Option<MatcherKind>,
     /// Re-rank shortlist size when the client sends no `cap`.
     pub candidate_cap: usize,
+    /// Exemplars kept per side (slowest / errored) for
+    /// `GET /debug/exemplars`.
+    pub exemplar_capacity: usize,
+    /// How long a rendered `/metrics` body stays fresh before the next
+    /// scrape re-renders it. Rendering walks every histogram; a scrape
+    /// storm should not multiply that cost. `Duration::ZERO` disables
+    /// memoization.
+    pub metrics_memo: Duration,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +103,8 @@ impl Default for ServeConfig {
             default_k: 10,
             default_rerank: Some(MatcherKind::ComaInstance),
             candidate_cap: 10,
+            exemplar_capacity: 8,
+            metrics_memo: Duration::from_secs(1),
         }
     }
 }
@@ -114,6 +126,13 @@ struct State {
     config: ServeConfig,
     cache: Mutex<Lru<CacheKey, String>>,
     metrics: Mutex<Snapshot>,
+    exemplars: Mutex<ExemplarRing>,
+    /// Where finished requests are logged as `request` trace lines;
+    /// `None` when the server runs without a trace sink.
+    request_log: Mutex<Option<Box<dyn Write + Send>>>,
+    /// Rendered `/metrics` bodies (flat, Prometheus) plus when they were
+    /// rendered; see [`ServeConfig::metrics_memo`].
+    metrics_memo: Mutex<Option<(Instant, String, String)>>,
     /// Master job sender; taken (dropped) on drain so the pool can finish.
     jobs: Mutex<Option<Sender<Job>>>,
     stop: AtomicBool,
@@ -129,6 +148,36 @@ impl State {
 
     fn bump(&self, name: &str) {
         self.metrics.lock().record_counter(name, 1);
+    }
+
+    /// Feeds one finished request to the exemplar ring and the request
+    /// log. Flushes per line: the log exists to debug requests that
+    /// misbehave, including ones that crash the process right after.
+    fn note_request(&self, event: RequestEvent) {
+        self.exemplars.lock().note(&event);
+        let mut log = self.request_log.lock();
+        if let Some(out) = log.as_mut() {
+            let _ = writeln!(out, "{}", jsonl::request_line(&event));
+            let _ = out.flush();
+        }
+    }
+
+    /// The `/metrics` bodies (flat, Prometheus), re-rendered at most once
+    /// per [`ServeConfig::metrics_memo`]. Both formats render from the
+    /// same snapshot so a scraper switching formats never sees time move
+    /// backwards.
+    fn metrics_bodies(&self) -> (String, String) {
+        let mut memo = self.metrics_memo.lock();
+        if let Some((at, flat, prom)) = memo.as_ref() {
+            if at.elapsed() < self.config.metrics_memo {
+                return (flat.clone(), prom.clone());
+            }
+        }
+        let snapshot = self.metrics.lock().clone();
+        let flat = valentine_obs::report::render_metrics(&snapshot);
+        let prom = valentine_obs::report::render_prometheus(&snapshot);
+        *memo = Some((Instant::now(), flat.clone(), prom.clone()));
+        (flat, prom)
     }
 }
 
@@ -147,6 +196,18 @@ impl ServerHandle {
     /// and returns immediately; the server runs until
     /// [`shutdown`](ServerHandle::shutdown).
     pub fn start(index: LoadedIndex, config: ServeConfig) -> std::io::Result<ServerHandle> {
+        ServerHandle::start_with_log(index, config, None)
+    }
+
+    /// Like [`start`](ServerHandle::start), but logs every finished
+    /// request as a `request` trace line to `request_log` — the write half
+    /// of request correlation (`valentine trace report --request <id>`
+    /// reads them back).
+    pub fn start_with_log(
+        index: LoadedIndex,
+        config: ServeConfig,
+        request_log: Option<Box<dyn Write + Send>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
 
@@ -158,6 +219,9 @@ impl ServerHandle {
             index,
             cache: Mutex::new(Lru::new(config.cache_capacity)),
             metrics: Mutex::new(Snapshot::new()),
+            exemplars: Mutex::new(ExemplarRing::new(config.exemplar_capacity)),
+            request_log: Mutex::new(request_log),
+            metrics_memo: Mutex::new(None),
             jobs: Mutex::new(Some(jobs_tx)),
             stop: AtomicBool::new(false),
             config,
@@ -233,6 +297,9 @@ impl ServerHandle {
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
+        // Release the request log so the caller's writer (a shared trace
+        // file) sees every line before it appends the final snapshot.
+        drop(self.state.request_log.lock().take());
         self.state.metrics.lock().clone()
     }
 }
@@ -265,19 +332,65 @@ fn handle_connection(state: &State, stream: TcpStream) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let mut reader = BufReader::new(&stream);
-    let (endpoint, status, content_type, headers, body) = match Request::read(&mut reader) {
+    let parsed = Request::read(&mut reader);
+    // Adopt the client's correlation id when it sent a safe one, otherwise
+    // mint. Every response — including parse failures — echoes it, so a
+    // client always has a handle to ask the trace about.
+    let request_id: Arc<str> = parsed
+        .as_ref()
+        .ok()
+        .and_then(|req| req.header("X-Valentine-Request-Id"))
+        .filter(|raw| reqid::is_valid(raw))
+        .map(Arc::from)
+        .unwrap_or_else(|| Arc::from(reqid::mint()));
+    let _scope = reqid::scope(Some(Arc::clone(&request_id)));
+    let (endpoint, status, content_type, mut headers, body, search) = match parsed {
         Err((status, message)) => (
             "error",
             status,
             "text/plain",
             Vec::new(),
             format!("{message}\n"),
+            None,
         ),
-        Ok(req) => route(state, &req),
+        Ok(req) => route(state, &req, &request_id),
     };
+    headers.push(("X-Valentine-Request-Id", request_id.to_string()));
     let mut writer = &stream;
     let _ = write_response(&mut writer, status, content_type, &headers, body.as_bytes());
-    state.record_request(endpoint, status, started.elapsed().as_nanos() as u64);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    state.record_request(endpoint, status, elapsed_ns);
+    let info = search.unwrap_or_default();
+    state.note_request(RequestEvent {
+        id: request_id.to_string(),
+        endpoint: endpoint.to_string(),
+        status: status as u64,
+        cache: info.cache.to_string(),
+        queue_wait_ns: info.queue_wait_ns,
+        elapsed_ns,
+        deadline_exceeded: info.deadline_exceeded,
+        snapshot: info.snapshot,
+    });
+}
+
+/// What a `/search` response knows beyond its body: the correlation
+/// payload for the request event and exemplar ring.
+struct SearchInfo {
+    cache: &'static str,
+    queue_wait_ns: u64,
+    deadline_exceeded: bool,
+    snapshot: Snapshot,
+}
+
+impl Default for SearchInfo {
+    fn default() -> SearchInfo {
+        SearchInfo {
+            cache: "none",
+            queue_wait_ns: 0,
+            deadline_exceeded: false,
+            snapshot: Snapshot::new(),
+        }
+    }
 }
 
 type Routed = (
@@ -286,22 +399,60 @@ type Routed = (
     &'static str,
     Vec<(&'static str, String)>,
     String,
+    Option<SearchInfo>,
 );
 
-fn route(state: &State, req: &Request) -> Routed {
+fn route(state: &State, req: &Request, request_id: &Arc<str>) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => ("healthz", 200, "text/plain", Vec::new(), "ok\n".to_string()),
-        ("GET", "/metrics") => {
-            let body = valentine_obs::report::render_metrics(&state.metrics.lock().clone());
-            ("metrics", 200, "text/plain", Vec::new(), body)
-        }
-        ("GET" | "POST", "/search") => match handle_search(state, req) {
-            Ok((status, cache, body)) => (
+        ("GET", "/healthz") => (
+            "healthz",
+            200,
+            "text/plain",
+            Vec::new(),
+            "ok\n".to_string(),
+            None,
+        ),
+        ("GET", "/metrics") => match req.param("format") {
+            None | Some("flat") => {
+                let (flat, _) = state.metrics_bodies();
+                ("metrics", 200, "text/plain", Vec::new(), flat, None)
+            }
+            Some("prometheus") => {
+                let (_, prometheus) = state.metrics_bodies();
+                (
+                    "metrics",
+                    200,
+                    "text/plain; version=0.0.4",
+                    Vec::new(),
+                    prometheus,
+                    None,
+                )
+            }
+            Some(other) => (
+                "metrics",
+                400,
+                "text/plain",
+                Vec::new(),
+                format!("unknown metrics format `{other}` (expected flat or prometheus)\n"),
+                None,
+            ),
+        },
+        ("GET", "/debug/exemplars") => (
+            "exemplars",
+            200,
+            "application/json",
+            Vec::new(),
+            state.exemplars.lock().render_json(),
+            None,
+        ),
+        ("GET" | "POST", "/search") => match handle_search(state, req, request_id) {
+            Ok((status, body, info)) => (
                 "search",
                 status,
                 "application/json",
-                vec![("X-Valentine-Cache", cache.to_string())],
+                vec![("X-Valentine-Cache", info.cache.to_string())],
                 body,
+                Some(info),
             ),
             Err((status, message)) => (
                 "search",
@@ -309,30 +460,34 @@ fn route(state: &State, req: &Request) -> Routed {
                 "application/json",
                 Vec::new(),
                 Json::Obj(vec![("error".to_string(), Json::Str(message))]).render() + "\n",
+                None,
             ),
         },
-        (_, "/healthz" | "/metrics" | "/search") => (
+        (_, "/healthz" | "/metrics" | "/search" | "/debug/exemplars") => (
             "error",
             405,
             "text/plain",
             Vec::new(),
             "method not allowed\n".to_string(),
+            None,
         ),
         _ => (
             "error",
             404,
             "text/plain",
             Vec::new(),
-            "not found (try /search, /metrics, /healthz)\n".to_string(),
+            "not found (try /search, /metrics, /healthz, /debug/exemplars)\n".to_string(),
+            None,
         ),
     }
 }
 
-/// `Ok((status, cache_header_value, json_body))`.
+/// `Ok((status, json_body, correlation payload))`.
 fn handle_search(
     state: &State,
     req: &Request,
-) -> Result<(u16, &'static str, String), (u16, String)> {
+    request_id: &Arc<str>,
+) -> Result<(u16, String, SearchInfo), (u16, String)> {
     const KNOWN: [&str; 7] = [
         "kind",
         "k",
@@ -406,7 +561,14 @@ fn handle_search(
 
     if let Some(body) = state.cache.lock().get(&key) {
         state.bump(metrics::CACHE_HITS);
-        return Ok((200, "hit", body.clone()));
+        return Ok((
+            200,
+            body.clone(),
+            SearchInfo {
+                cache: "hit",
+                ..SearchInfo::default()
+            },
+        ));
     }
     state.bump(metrics::CACHE_MISSES);
 
@@ -423,6 +585,8 @@ fn handle_search(
         .send(Job {
             job,
             token,
+            request_id: Some(Arc::clone(request_id)),
+            enqueued: Instant::now(),
             reply: reply_tx,
         })
         .map_err(|_| (503, "search pool stopped".to_string()))?;
@@ -432,16 +596,22 @@ fn handle_search(
 
     state.metrics.lock().merge(&outcome.snapshot);
     let body = render_search_body(joinable, k, &outcome.outcome, outcome.deadline_hit);
+    let info = SearchInfo {
+        cache: "miss",
+        queue_wait_ns: outcome.queue_wait_ns,
+        deadline_exceeded: outcome.deadline_hit,
+        snapshot: outcome.snapshot,
+    };
     if outcome.deadline_hit {
         state.bump(metrics::DEADLINE_EXCEEDED);
         // 504s are never cached: the partial body is an artefact of this
         // request's budget, not a property of the query.
-        return Ok((504, "miss", body));
+        return Ok((504, body, info));
     }
     if state.cache.lock().insert(key, body.clone()).is_some() {
         state.bump(metrics::CACHE_EVICTIONS);
     }
-    Ok((200, "miss", body))
+    Ok((200, body, info))
 }
 
 fn parse_or(req: &Request, name: &str, default: usize) -> Result<usize, (u16, String)> {

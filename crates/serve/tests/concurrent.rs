@@ -1,13 +1,18 @@
 //! End-to-end tests over a real socket: concurrent clients against a
 //! live server, cache semantics asserted through obs counters, deadline
-//! enforcement, and graceful shutdown.
+//! enforcement, request-id correlation, exemplar capture, and graceful
+//! shutdown.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
 use valentine_index::{Index, IndexConfig, LoadedIndex};
 use valentine_matchers::MatcherKind;
+use valentine_obs::json::Json;
+use valentine_obs::jsonl;
 use valentine_serve::{ServeConfig, ServerHandle};
 use valentine_table::{Table, Value};
 
@@ -250,5 +255,168 @@ fn error_paths_answer_without_killing_the_server() {
     assert_eq!(status, 200);
     assert!(body.contains("serve/requests "), "{body}");
     assert!(body.contains("serve/search_ns_p99 "), "{body}");
+    server.shutdown();
+}
+
+/// A `Write` handle over a shared byte buffer, standing in for the trace
+/// file `valentine serve --trace` attaches.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn header_value<'h>(head: &'h str, name: &str) -> Option<&'h str> {
+    head.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+#[test]
+fn request_ids_round_trip_between_responses_and_the_request_log() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let server = ServerHandle::start_with_log(
+        corpus(),
+        config(),
+        Some(Box::new(SharedBuf(Arc::clone(&log)))),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // minted ids: one per request, echoed on the response
+    let mut echoed = Vec::new();
+    for i in 0..3 {
+        let (status, head, _) = get(addr, &format!("/search?kind=unionable&k=2&table=table_{i}"));
+        assert_eq!(status, 200);
+        let id = header_value(&head, "X-Valentine-Request-Id")
+            .expect("response carries a request id")
+            .to_string();
+        echoed.push(id);
+    }
+    // a safe client-supplied id is adopted verbatim...
+    let (_, head, _) = request(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Valentine-Request-Id: client-id-7\r\n\r\n",
+    );
+    assert_eq!(
+        header_value(&head, "X-Valentine-Request-Id"),
+        Some("client-id-7")
+    );
+    // ...a header-hostile one is replaced with a minted id
+    let (_, head, _) = request(
+        addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Valentine-Request-Id: has spaces\r\n\r\n",
+    );
+    let replaced = header_value(&head, "X-Valentine-Request-Id").unwrap();
+    assert_ne!(replaced, "has spaces");
+    server.shutdown();
+
+    let text = String::from_utf8(log.lock().clone()).unwrap();
+    let events: Vec<_> = text
+        .lines()
+        .map(|l| {
+            let v = Json::parse(l).expect("request log line parses");
+            assert_eq!(v.get("type").and_then(Json::as_str), Some("request"));
+            jsonl::request_from(&v).expect("request event decodes")
+        })
+        .collect();
+    assert_eq!(events.len(), 5, "one request event per request\n{text}");
+
+    // every echoed id correlates with exactly one logged event
+    for id in echoed.iter().chain([&"client-id-7".to_string()]) {
+        let matching: Vec<_> = events.iter().filter(|e| &e.id == id).collect();
+        assert_eq!(matching.len(), 1, "id {id} must match exactly one event");
+    }
+    let searches: Vec<_> = events.iter().filter(|e| e.endpoint == "search").collect();
+    assert_eq!(searches.len(), 3);
+    for e in searches {
+        assert_eq!(e.status, 200);
+        assert_eq!(e.cache, "miss");
+        assert!(e.elapsed_ns > 0);
+        assert!(
+            e.snapshot.spans.contains_key("serve/queue_wait"),
+            "per-request snapshot reconstructs queue wait: {:?}",
+            e.snapshot.spans.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            e.snapshot.spans.contains_key("serve/search"),
+            "{:?}",
+            e.snapshot.spans.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn exemplars_capture_deadline_exceeded_and_slow_requests() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let addr = server.addr();
+
+    let (status, head, _) = get(
+        addr,
+        "/search?kind=unionable&k=3&table=table_0&method=coma&deadline_ms=0",
+    );
+    assert_eq!(status, 504);
+    let timed_out = header_value(&head, "X-Valentine-Request-Id")
+        .unwrap()
+        .to_string();
+    let (status, _, _) = get(addr, "/search?kind=unionable&k=3&table=table_1&method=jl");
+    assert_eq!(status, 200);
+
+    let (status, _, body) = get(addr, "/debug/exemplars");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).expect("exemplars body is JSON");
+    let errored = doc.get("errored").and_then(Json::as_arr).unwrap();
+    assert_eq!(errored.len(), 1, "{body}");
+    assert_eq!(
+        errored[0].get("id").and_then(Json::as_str),
+        Some(timed_out.as_str()),
+        "the 504 exemplar carries the id the client saw"
+    );
+    assert_eq!(
+        errored[0].get("deadline_exceeded").and_then(Json::as_bool),
+        Some(true)
+    );
+    let slowest = doc.get("slowest").and_then(Json::as_arr).unwrap();
+    assert_eq!(slowest.len(), 1, "the 200 search is resident: {body}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_render_prometheus_on_request_and_flat_by_default() {
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let addr = server.addr();
+    let (status, _, _) = get(addr, "/search?kind=unionable&k=2&table=table_0&method=jl");
+    assert_eq!(status, 200);
+
+    let (status, head, body) = get(addr, "/metrics?format=prometheus");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert!(
+        body.contains("valentine_counter_total{name=\"serve/requests\"} 1"),
+        "{body}"
+    );
+    assert!(
+        body.contains("valentine_hist_bucket{name=\"serve/search_ns\",le=\"+Inf\"} 1"),
+        "{body}"
+    );
+    assert!(body.contains("# TYPE valentine_hist histogram"), "{body}");
+
+    let (status, _, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("serve/requests "),
+        "default format stays flat: {body}"
+    );
+
+    let (status, _, body) = get(addr, "/metrics?format=csv");
+    assert_eq!(status, 400, "{body}");
     server.shutdown();
 }
