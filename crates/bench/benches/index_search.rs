@@ -10,9 +10,18 @@
 //!   under the default candidate cap (strictly fewer matcher calls, as
 //!   asserted below before the timer starts);
 //! * `sketch_only` — the stage-1 ranking alone, zero matcher calls.
+//!
+//! A second group, `index_scaling`, guards the VIDX v2 format's scaling
+//! claims before timing anything: query latency must grow sub-linearly
+//! from a 10× to a 100× corpus (LSH probes buckets, not tables), RSS must
+//! stay bounded while a 100× corpus is ingested through the incremental
+//! [`IndexWriter`] (generations stream to disk; the writer never holds
+//! the corpus), and a v1 file must answer byte-identically to the v2
+//! directory migrated from it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use valentine_core::discovery::{build_discovery_corpus, DiscoveryEvalConfig};
+use valentine_core::index::{v2, IndexWriter};
 use valentine_core::prelude::*;
 
 fn bench_index_search(c: &mut Criterion) {
@@ -85,5 +94,149 @@ fn bench_index_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index_search);
+/// A cheap synthetic table over a distinct integer range: corpus size can
+/// scale to thousands without fabricator cost, and distinct ranges keep
+/// LSH buckets from degenerating into one giant collision.
+fn synth_table(i: u64) -> Table {
+    let lo = (i * 97) as i64;
+    Table::from_pairs(
+        format!("synth_{i}"),
+        vec![
+            ("id", (lo..lo + 120).map(Value::Int).collect()),
+            (
+                "label",
+                (lo..lo + 120)
+                    .map(|v| Value::str(format!("item-{v}")))
+                    .collect(),
+            ),
+        ],
+    )
+    .expect("synthetic table is well-formed")
+}
+
+fn synth_index(tables: u64) -> Index {
+    let mut idx = Index::new(IndexConfig::default());
+    let batch: Vec<(String, Table)> = (0..tables)
+        .map(|i| ("synth".to_string(), synth_table(i)))
+        .collect();
+    idx.ingest_batch(batch, 4);
+    idx
+}
+
+/// Median over `rounds` of the total wall time for `iters` sketch-only
+/// queries (medians shrug off scheduler noise that poisons single runs).
+fn median_query_ns(index: &Index, query: &Table, k: usize) -> u128 {
+    let opts = SearchOptions::sketch_only();
+    for _ in 0..5 {
+        std::hint::black_box(index.top_k_unionable(query, k, &opts));
+    }
+    let mut samples: Vec<u128> = (0..5)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..20 {
+                std::hint::black_box(index.top_k_unionable(query, k, &opts));
+            }
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Resident set size in kB from `/proc/self/status` (linux only).
+#[cfg(target_os = "linux")]
+fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn bench_index_scaling(c: &mut Criterion) {
+    const BASE: u64 = 10;
+    let k = 5;
+    let query = synth_table(3);
+
+    // --- bounded RSS during a 100× incremental ingest -------------------
+    // Generations stream to disk batch by batch; peak RSS growth must stay
+    // far below what holding the profiled corpus in memory would cost.
+    let dir = std::env::temp_dir().join(format!("valentine_bench_scaling_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let v2_dir = dir.join("corpus-100x.vidx");
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    #[cfg(target_os = "linux")]
+    let rss_before = rss_kb();
+    let mut writer =
+        IndexWriter::create(&v2_dir, IndexConfig::default(), 4).expect("create v2 writer");
+    #[cfg(target_os = "linux")]
+    let mut rss_peak = 0u64;
+    for chunk in 0..(BASE * 100 / 50) {
+        let batch: Vec<(String, Table)> = (chunk * 50..(chunk + 1) * 50)
+            .map(|i| ("synth".to_string(), synth_table(i)))
+            .collect();
+        writer.add_batch(batch, 4).expect("incremental add");
+        #[cfg(target_os = "linux")]
+        if let Some(now) = rss_kb() {
+            rss_peak = rss_peak.max(now);
+        }
+    }
+    writer.finish().expect("finish manifest");
+    #[cfg(target_os = "linux")]
+    if let (Some(before), true) = (rss_before, rss_peak > 0) {
+        let growth_kb = rss_peak.saturating_sub(before);
+        assert!(
+            growth_kb < 512 * 1024,
+            "ingesting the 100x corpus grew RSS by {growth_kb} kB — the writer is \
+             accumulating profiles instead of streaming generations to disk"
+        );
+        println!("100x ingest RSS growth: {growth_kb} kB (bound 512 MiB)");
+    }
+
+    // --- sub-linear query scaling 10× → 100× ----------------------------
+    let idx_10x = synth_index(BASE * 10);
+    let idx_100x = Index::load(&v2_dir).expect("load the 100x corpus back");
+    assert_eq!(idx_100x.len(), (BASE * 100) as usize);
+    let t_10x = median_query_ns(&idx_10x, &query, k).max(1);
+    let t_100x = median_query_ns(&idx_100x, &query, k).max(1);
+    let ratio = t_100x as f64 / t_10x as f64;
+    // Linear scaling would be ~10×; LSH probing plus sketch-scoring a
+    // near-constant candidate set must come in well under that.
+    assert!(
+        ratio < 5.0,
+        "sketch query slowed {ratio:.2}x going 10x -> 100x (linear would be 10x): \
+         candidate generation is scanning the corpus"
+    );
+    println!("query scaling 10x -> 100x: {ratio:.2}x ({t_10x} ns -> {t_100x} ns per 20 queries)");
+
+    // --- v1 file ↔ v2 directory answer byte-identically -----------------
+    let small = synth_index(BASE);
+    let v1_path = dir.join("corpus.vidx");
+    small.save(&v1_path).expect("save v1");
+    let from_v1 = Index::load(&v1_path).expect("load v1");
+    v2::migrate_v1_file(&v1_path, 4).expect("migrate v1 in place");
+    let from_v2 = Index::load(&v1_path).expect("load migrated v2");
+    let opts = SearchOptions::sketch_only();
+    for i in 0..BASE {
+        let q = synth_table(i);
+        assert_eq!(
+            from_v1.top_k_unionable(&q, k, &opts),
+            from_v2.top_k_unionable(&q, k, &opts),
+            "v1 and migrated v2 diverge on query {i}"
+        );
+    }
+
+    let mut group = c.benchmark_group("index_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let sketch_only = SearchOptions::sketch_only();
+    for (label, idx) in [("10x", &idx_10x), ("100x", &idx_100x)] {
+        group.bench_with_input(BenchmarkId::new("sketch_query", label), &query, |b, q| {
+            b.iter(|| std::hint::black_box(idx.top_k_unionable(q, k, &sketch_only)))
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_index_search, bench_index_scaling);
 criterion_main!(benches);

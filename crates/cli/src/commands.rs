@@ -90,13 +90,31 @@ USAGE:
       (`thread;span;... count` lines, flamegraph-ready). Produce them by
       running `valentine run` or `valentine serve` with --profile-hz.
 
-  valentine index build --out FILE [--csv-dir DIR]
-                        [--size tiny|small|paper] [--per-source N]
-                        [--seed N] [--bands B] [--rows R] [--threads T]
+  valentine index build --out PATH [--csv-dir DIR] [--format v1|v2]
+                        [--shards N] [--size tiny|small|paper]
+                        [--per-source N] [--seed N] [--bands B] [--rows R]
+                        [--threads T]
       Build a persistent discovery index. With --csv-dir, every *.csv
       under DIR is profiled and ingested; otherwise a synthetic corpus of
       fabricated unionable tables from the three bundled sources is
-      indexed (N tables per source, default 6).
+      indexed (N tables per source, default 6). --format v1 (default)
+      writes a single VIDX file; v2 writes a sharded directory (--shards,
+      default 4) that supports incremental add/remove/compact.
+
+  valentine index add <index> --csv-dir DIR [--threads T]
+      Append every *.csv under DIR to an existing index as a new
+      generation, without rewriting earlier data. A v1 file is migrated
+      to a v2 directory in place first.
+
+  valentine index remove <index> --table NAME
+      Tombstone the named table: searches stop returning it immediately,
+      but its bytes stay on disk until the next compact. Migrates v1 in
+      place like `add`.
+
+  valentine index compact <index>
+      Rewrite a v2 index as a single generation, dropping tombstoned
+      tables and merging accumulated add generations. Byte-identical to
+      a fresh `index build` of the surviving tables.
 
   valentine index search <index-file> --query <q.csv> [--k K]
                          [--mode unionable|joinable] [--column NAME]
@@ -112,8 +130,10 @@ USAGE:
       counterpart hit rate, precision@k, MRR, and matcher calls saved
       versus brute-force all-pairs matching.
 
-  valentine index info <index-file>
-      Summarise a built index file.
+  valentine index info <index>
+      Summarise a built index: format (v1 file or v2 directory), tables,
+      profiles, LSH layout, and — for v2 — generations, segments, and
+      pending tombstones.
 
   valentine serve <index-file> [--host H] [--port P] [--pool-threads T]
                   [--accept-threads T] [--cache N] [--deadline-ms MS]
@@ -128,6 +148,9 @@ USAGE:
                                      ?format=prometheus for exposition text)
         GET  /debug/exemplars       (slowest + errored request snapshots)
         GET  /healthz
+        POST /admin/reload          (re-load the index file/directory and
+                                     swap it in without dropping requests;
+                                     the result cache is cleared)
       --port 0 (the default) binds an ephemeral port and prints it.
       Answers are cached in an LRU keyed by the query's sketch digest;
       requests that blow their deadline answer 504 with the sketch-only
@@ -704,15 +727,18 @@ pub fn write_snapshot_trace(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// `valentine index <build|search|eval|info>`
+/// `valentine index <build|add|remove|compact|search|eval|info>`
 pub fn index(argv: &[String]) -> Result<(), String> {
     match argv.first().map(String::as_str) {
         Some("build") => index_build(&argv[1..]),
+        Some("add") => index_add(&argv[1..]),
+        Some("remove") => index_remove(&argv[1..]),
+        Some("compact") => index_compact(&argv[1..]),
         Some("search") => index_search(&argv[1..]),
         Some("eval") => index_eval(&argv[1..]),
         Some("info") => index_info(&argv[1..]),
         other => Err(format!(
-            "unknown index subcommand `{}` (build | search | eval | info)",
+            "unknown index subcommand `{}` (build | add | remove | compact | search | eval | info)",
             other.unwrap_or("")
         )),
     }
@@ -761,6 +787,19 @@ fn collect_csv_files(
     Ok(())
 }
 
+/// Loads every `*.csv` under `dir` as an ingest batch tagged `csv:<dir>`.
+fn csv_batch(dir: &str) -> Result<Vec<(String, Table)>, String> {
+    let mut files = Vec::new();
+    collect_csv_files(std::path::Path::new(dir), &mut files)?;
+    if files.is_empty() {
+        return Err(format!("no *.csv files under `{dir}`"));
+    }
+    files
+        .iter()
+        .map(|f| Ok((format!("csv:{dir}"), load_table(&f.to_string_lossy())?)))
+        .collect()
+}
+
 fn index_build(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv, &[])?;
     let out_path = p.required("out")?.to_string();
@@ -768,19 +807,15 @@ fn index_build(argv: &[String]) -> Result<(), String> {
         "threads",
         std::thread::available_parallelism().map_or(4usize, |n| n.get()),
     )?;
+    let format = p.opt("format").unwrap_or("v1");
+    if format != "v1" && format != "v2" {
+        return Err(format!("unknown index format `{format}` (v1 | v2)"));
+    }
+    let shards: u32 = p.opt_parse("shards", valentine_core::index::DEFAULT_SHARDS)?;
     let mut idx = Index::new(index_config_from(&p)?);
 
     if let Some(dir) = p.opt("csv-dir") {
-        let mut files = Vec::new();
-        collect_csv_files(std::path::Path::new(dir), &mut files)?;
-        if files.is_empty() {
-            return Err(format!("no *.csv files under `{dir}`"));
-        }
-        let batch: Result<Vec<(String, Table)>, String> = files
-            .iter()
-            .map(|f| Ok((format!("csv:{dir}"), load_table(&f.to_string_lossy())?)))
-            .collect();
-        idx.ingest_batch(batch?, threads);
+        idx.ingest_batch(csv_batch(dir)?, threads);
     } else {
         let config = DiscoveryEvalConfig {
             size: size_by_name(p.opt("size").unwrap_or("tiny"))?,
@@ -794,14 +829,89 @@ fn index_build(argv: &[String]) -> Result<(), String> {
         idx = built;
     }
 
-    idx.save(std::path::Path::new(&out_path))
-        .map_err(|e| e.to_string())?;
+    if format == "v2" {
+        valentine_core::index::v2::save_v2(&idx, std::path::Path::new(&out_path), shards)
+            .map_err(|e| e.to_string())?;
+    } else {
+        idx.save(std::path::Path::new(&out_path))
+            .map_err(|e| e.to_string())?;
+    }
     println!(
-        "indexed {} tables ({} column profiles, {}×{} LSH bands) -> {out_path}",
+        "indexed {} tables ({} column profiles, {}×{} LSH bands, {format}) -> {out_path}",
         idx.len(),
         idx.num_profiles(),
         idx.config().bands,
         idx.config().rows,
+    );
+    Ok(())
+}
+
+/// Ensures `path` is a v2 index directory, migrating a v1 file in place
+/// first — how `add`/`remove`/`compact` accept either format.
+fn ensure_v2(path: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if valentine_core::index::v2::is_v2_dir(p) {
+        return Ok(());
+    }
+    if p.is_file() {
+        valentine_core::index::v2::migrate_v1_file(p, valentine_core::index::DEFAULT_SHARDS)
+            .map_err(|e| format!("cannot migrate `{path}` to v2: {e}"))?;
+        println!("migrated v1 index `{path}` to a v2 directory in place");
+        return Ok(());
+    }
+    Err(format!("`{path}` is not a VIDX index"))
+}
+
+fn index_add(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let path = p.positional(0, "index path")?;
+    let dir = p.required("csv-dir")?;
+    let threads: usize = p.opt_parse(
+        "threads",
+        std::thread::available_parallelism().map_or(4usize, |n| n.get()),
+    )?;
+    ensure_v2(path)?;
+    let batch = csv_batch(dir)?;
+    let mut writer = valentine_core::index::IndexWriter::append(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open `{path}` for append: {e}"))?;
+    let ids = writer
+        .add_batch(batch, threads)
+        .map_err(|e| e.to_string())?;
+    writer.finish().map_err(|e| e.to_string())?;
+    println!("added {} tables from `{dir}` -> {path}", ids.len());
+    Ok(())
+}
+
+fn index_remove(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let path = p.positional(0, "index path")?;
+    let table = p.required("table")?;
+    ensure_v2(path)?;
+    match valentine_core::index::v2::remove_table(std::path::Path::new(path), table)
+        .map_err(|e| e.to_string())?
+    {
+        Some(id) => {
+            println!(
+                "tombstoned table `{table}` (id {id}) in {path}; \
+                 run `valentine index compact` to reclaim space"
+            );
+            Ok(())
+        }
+        None => Err(format!("no live table named `{table}` in `{path}`")),
+    }
+}
+
+fn index_compact(argv: &[String]) -> Result<(), String> {
+    let p = args::parse(argv, &[])?;
+    let path = p.positional(0, "index path")?;
+    ensure_v2(path)?;
+    let dir = std::path::Path::new(path);
+    let before = valentine_core::index::v2::dir_info(dir).map_err(|e| e.to_string())?;
+    valentine_core::index::v2::compact(dir).map_err(|e| e.to_string())?;
+    let after = valentine_core::index::v2::dir_info(dir).map_err(|e| e.to_string())?;
+    println!(
+        "compacted {path}: {} generation(s), {} tombstone(s) -> {} generation(s), {} live tables",
+        before.generations, before.tombstones, after.generations, after.live_tables,
     );
     Ok(())
 }
@@ -886,8 +996,21 @@ fn index_eval(argv: &[String]) -> Result<(), String> {
 
 fn index_info(argv: &[String]) -> Result<(), String> {
     let p = args::parse(argv, &[])?;
-    let idx = load_index(p.positional(0, "index file")?)?;
+    let path = p.positional(0, "index file")?;
+    let idx = load_index(path)?;
     let config = idx.config();
+    if valentine_core::index::v2::is_v2_dir(std::path::Path::new(path)) {
+        let info =
+            valentine_core::index::v2::dir_info(std::path::Path::new(path)).map_err(|e| {
+                format!("cannot read v2 manifest `{path}`: {e}") // loaded fine, so unlikely
+            })?;
+        println!(
+            "format:        v2 ({} shards, {} generation(s), {} segment(s), {} tombstone(s))",
+            info.shards, info.generations, info.segments, info.tombstones,
+        );
+    } else {
+        println!("format:        v1 (single file)");
+    }
     println!("tables:        {}", idx.len());
     println!("profiles:      {}", idx.num_profiles());
     println!(
@@ -933,7 +1056,8 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
     use std::io::Write as _;
 
     let p = args::parse(argv, &["no-rerank"])?;
-    let index = load_index(p.positional(0, "index file")?)?;
+    let index_path = p.positional(0, "index file")?.to_string();
+    let index = load_index(&index_path)?;
     let profile_hz: u32 = p.opt_parse("profile-hz", 0u32)?;
     if profile_hz > 0 && trace.is_none() {
         return Err(
@@ -951,6 +1075,7 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
         default_deadline: opt_millis(&p, "deadline-ms")?.or(defaults.default_deadline),
         default_k: p.opt_parse("k", defaults.default_k)?,
         candidate_cap: p.opt_parse("cap", defaults.candidate_cap)?,
+        index_path: Some(std::path::PathBuf::from(&index_path)),
         ..defaults
     };
     if p.flag("no-rerank") {
@@ -984,7 +1109,9 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
     let handle = valentine_serve::ServerHandle::start_with_log(index, config, request_log)
         .map_err(|e| format!("cannot start server: {e}"))?;
     println!("serving on http://{}", handle.addr());
-    println!("endpoints: /search /metrics /debug/exemplars /healthz — stop with SIGINT/SIGTERM");
+    println!(
+        "endpoints: /search /metrics /debug/exemplars /healthz /admin/reload — stop with SIGINT/SIGTERM"
+    );
 
     while !valentine_serve::shutdown::requested() {
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -1210,6 +1337,92 @@ mod tests {
             "--no-rerank",
         ]))
         .expect("joinable search works");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_v2_lifecycle_add_remove_compact() {
+        let dir = temp_dir("index_v2_lifecycle");
+        let first = dir.join("first");
+        fs::create_dir_all(&first).unwrap();
+        fs::write(first.join("a.csv"), "id,name\n1,ada\n2,grace\n3,edsger\n").unwrap();
+        fs::write(first.join("b.csv"), "id,city\n1,oslo\n2,turin\n3,york\n").unwrap();
+        let second = dir.join("second");
+        fs::create_dir_all(&second).unwrap();
+        fs::write(second.join("c.csv"), "id,lang\n1,rust\n2,ada\n3,c\n").unwrap();
+
+        let idx_path = dir.join("corpus.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&[
+            "build",
+            "--out",
+            idx,
+            "--format",
+            "v2",
+            "--shards",
+            "2",
+            "--csv-dir",
+            first.to_str().unwrap(),
+        ]))
+        .expect("v2 build works");
+        assert!(idx_path.is_dir(), "v2 index is a directory");
+        index(&argv(&["info", idx])).expect("info reads a v2 directory");
+
+        index(&argv(&["add", idx, "--csv-dir", second.to_str().unwrap()]))
+            .expect("incremental add works");
+        let query = first.join("a.csv");
+        let q = query.to_str().unwrap();
+        index(&argv(&["search", idx, "--query", q, "--no-rerank"])).expect("search after add");
+
+        index(&argv(&["remove", idx, "--table", "b"])).expect("remove works");
+        assert!(
+            index(&argv(&["remove", idx, "--table", "b"])).is_err(),
+            "double remove is an error"
+        );
+        assert!(
+            index(&argv(&["remove", idx, "--table", "ghost"])).is_err(),
+            "unknown table is an error"
+        );
+        index(&argv(&["compact", idx])).expect("compact works");
+        index(&argv(&["search", idx, "--query", q, "--no-rerank"])).expect("search after compact");
+        index(&argv(&["info", idx])).expect("info after compact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_add_migrates_a_v1_file_in_place() {
+        let dir = temp_dir("index_v1_migrate");
+        let tables = dir.join("tables");
+        fs::create_dir_all(&tables).unwrap();
+        fs::write(tables.join("a.csv"), "id,name\n1,ada\n2,grace\n").unwrap();
+        let more = dir.join("more");
+        fs::create_dir_all(&more).unwrap();
+        fs::write(more.join("b.csv"), "id,city\n1,oslo\n2,turin\n").unwrap();
+
+        let idx_path = dir.join("old.vidx");
+        let idx = idx_path.to_str().unwrap();
+        index(&argv(&[
+            "build",
+            "--out",
+            idx,
+            "--csv-dir",
+            tables.to_str().unwrap(),
+        ]))
+        .expect("v1 build works");
+        assert!(idx_path.is_file(), "v1 index is a single file");
+
+        index(&argv(&["add", idx, "--csv-dir", more.to_str().unwrap()]))
+            .expect("add migrates v1 then appends");
+        assert!(idx_path.is_dir(), "migration replaced the file in place");
+        let query = tables.join("a.csv");
+        index(&argv(&[
+            "search",
+            idx,
+            "--query",
+            query.to_str().unwrap(),
+            "--no-rerank",
+        ]))
+        .expect("search after migration");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1569,6 +1782,22 @@ mod tests {
     fn index_rejects_bad_inputs() {
         assert!(index(&argv(&["teleport"])).is_err(), "unknown subcommand");
         assert!(index(&argv(&["build"])).is_err(), "--out required");
+        assert!(
+            index(&argv(&[
+                "build",
+                "--out",
+                "/tmp/x.vidx",
+                "--format",
+                "v3",
+                "--per-source",
+                "1"
+            ]))
+            .is_err(),
+            "unknown format"
+        );
+        assert!(index(&argv(&["add", "/nonexistent.vidx"])).is_err());
+        assert!(index(&argv(&["remove", "/nonexistent.vidx", "--table", "t"])).is_err());
+        assert!(index(&argv(&["compact", "/nonexistent.vidx"])).is_err());
         assert!(index(&argv(&["search", "/nonexistent.vidx", "--query", "q.csv"])).is_err());
         assert!(index(&argv(&[
             "build",

@@ -5,6 +5,15 @@
 
 use crate::error::IndexError;
 
+/// Validates that `len` fits a `u32` length prefix, naming the offending
+/// collection on failure. Every length the format writes must pass through
+/// here: a bare `as u32` cast would silently truncate a ≥ 4 Gi-element
+/// collection into a shorter length that still parses — a
+/// corrupt-but-plausible file.
+pub fn check_len(len: usize, what: &'static str) -> Result<u32, IndexError> {
+    u32::try_from(len).map_err(|_| IndexError::TooLarge { what, len })
+}
+
 /// Append-only binary writer.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -47,26 +56,36 @@ impl Writer {
         self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
     }
 
-    /// A length-prefixed UTF-8 string.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+    /// A length-prefixed UTF-8 string. Fails with
+    /// [`IndexError::TooLarge`] when the byte length exceeds the `u32`
+    /// prefix; `what` names the field in the error.
+    pub fn str(&mut self, s: &str, what: &'static str) -> Result<(), IndexError> {
+        let len = check_len(s.len(), what)?;
+        self.u32(len);
         self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
     }
 
-    /// A length-prefixed `u64` slice.
-    pub fn u64s(&mut self, vs: &[u64]) {
-        self.u32(vs.len() as u32);
+    /// A length-prefixed `u64` slice; fails with [`IndexError::TooLarge`]
+    /// on `u32` overflow.
+    pub fn u64s(&mut self, vs: &[u64], what: &'static str) -> Result<(), IndexError> {
+        let len = check_len(vs.len(), what)?;
+        self.u32(len);
         for &v in vs {
             self.u64(v);
         }
+        Ok(())
     }
 
-    /// A length-prefixed `f64` slice.
-    pub fn f64s(&mut self, vs: &[f64]) {
-        self.u32(vs.len() as u32);
+    /// A length-prefixed `f64` slice; fails with [`IndexError::TooLarge`]
+    /// on `u32` overflow.
+    pub fn f64s(&mut self, vs: &[f64], what: &'static str) -> Result<(), IndexError> {
+        let len = check_len(vs.len(), what)?;
+        self.u32(len);
         for &v in vs {
             self.f64(v);
         }
+        Ok(())
     }
 }
 
@@ -164,9 +183,9 @@ mod tests {
         w.u32(123_456);
         w.u64(u64::MAX - 3);
         w.f64(-1.5e300);
-        w.str("héllo");
-        w.u64s(&[1, 2, 3]);
-        w.f64s(&[0.5, -0.25]);
+        w.str("héllo", "s").unwrap();
+        w.u64s(&[1, 2, 3], "xs").unwrap();
+        w.f64s(&[0.5, -0.25], "ys").unwrap();
         let bytes = w.into_bytes();
 
         let mut r = Reader::new(&bytes);
@@ -184,7 +203,7 @@ mod tests {
     #[test]
     fn truncation_is_an_error_not_a_panic() {
         let mut w = Writer::new();
-        w.str("abcdef");
+        w.str("abcdef", "field").unwrap();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes[..5]);
         let err = r.str("field").unwrap_err();
@@ -199,5 +218,27 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert!(r.str("s").is_err());
+    }
+
+    #[test]
+    fn check_len_accepts_up_to_u32_max() {
+        assert_eq!(check_len(0, "x").unwrap(), 0);
+        assert_eq!(check_len(u32::MAX as usize, "x").unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn check_len_rejects_overflow_without_allocating() {
+        // A 2^32-element collection would need ≥ 4 GiB to build for real;
+        // the check itself works on the length alone.
+        let err = check_len(u32::MAX as usize + 1, "profile count").unwrap_err();
+        match err {
+            IndexError::TooLarge { what, len } => {
+                assert_eq!(what, "profile count");
+                assert_eq!(len, u32::MAX as usize + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(err.to_string().contains("profile count"));
+        assert!(check_len(usize::MAX, "x").is_err());
     }
 }

@@ -18,6 +18,15 @@ pub enum IndexError {
     },
     /// A stored table failed to deserialise.
     Table(String),
+    /// A collection is too large for the file format's `u32` length
+    /// prefixes; writing it would silently truncate the length and produce
+    /// a corrupt-but-parseable file.
+    TooLarge {
+        /// What overflowed ("table csv", "profile count", …).
+        what: &'static str,
+        /// The offending length.
+        len: usize,
+    },
 }
 
 impl fmt::Display for IndexError {
@@ -32,6 +41,12 @@ impl fmt::Display for IndexError {
                 )
             }
             IndexError::Table(msg) => write!(f, "cannot restore stored table: {msg}"),
+            IndexError::TooLarge { what, len } => {
+                write!(
+                    f,
+                    "{what} has {len} elements, too large for the format's u32 length prefix"
+                )
+            }
         }
     }
 }

@@ -156,33 +156,11 @@ impl Index {
             return Vec::new();
         }
         let _ingest = valentine_obs::span!("index/ingest");
-        let threads = threads.max(1).min(batch.len());
-        let next = AtomicUsize::new(0);
-        let profiled: Mutex<Vec<Option<Vec<ColumnProfile>>>> =
-            Mutex::new((0..batch.len()).map(|_| None).collect());
-        let hasher = &self.hasher;
-        let batch_ref = &batch;
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= batch_ref.len() {
-                        break;
-                    }
-                    let profiles = profile_table(0, &batch_ref[idx].1, hasher);
-                    profiled.lock()[idx] = Some(profiles);
-                });
-            }
-        })
-        .expect("ingest workers must not panic");
-
-        let profiled = profiled.into_inner();
+        let profiled = profile_batch(&batch, &self.hasher, threads);
         batch
             .into_iter()
             .zip(profiled)
-            .map(|((source, table), profiles)| {
-                self.insert_profiled(&source, table, profiles.expect("every slot profiled"))
-            })
+            .map(|((source, table), profiles)| self.insert_profiled(&source, table, profiles))
             .collect()
     }
 
@@ -214,6 +192,43 @@ impl Index {
         });
         id
     }
+}
+
+/// Profiles every table of a batch over a worker pool, returning the
+/// profile lists in batch order with `table_id` left at 0 (the caller
+/// patches in the final id). Shared by [`Index::ingest_batch`] and the
+/// incremental v2 writer ([`crate::v2::IndexWriter`]), which profiles one
+/// bounded generation at a time instead of holding the whole corpus.
+pub(crate) fn profile_batch(
+    batch: &[(String, Table)],
+    hasher: &MinHasher,
+    threads: usize,
+) -> Vec<Vec<ColumnProfile>> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(batch.len());
+    let next = AtomicUsize::new(0);
+    let profiled: Mutex<Vec<Option<Vec<ColumnProfile>>>> =
+        Mutex::new((0..batch.len()).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= batch.len() {
+                    break;
+                }
+                let profiles = profile_table(0, &batch[idx].1, hasher);
+                profiled.lock()[idx] = Some(profiles);
+            });
+        }
+    })
+    .expect("ingest workers must not panic");
+    profiled
+        .into_inner()
+        .into_iter()
+        .map(|p| p.expect("every slot profiled"))
+        .collect()
 }
 
 #[cfg(test)]

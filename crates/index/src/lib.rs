@@ -44,12 +44,15 @@ mod codec;
 pub mod error;
 pub mod index;
 pub mod loaded;
+pub mod mmap;
 pub mod persist;
 pub mod profile;
 pub mod search;
+pub mod v2;
 
 pub use error::IndexError;
 pub use index::{Index, IndexConfig, IndexedTable};
-pub use loaded::LoadedIndex;
+pub use loaded::{LoadedIndex, SharedIndex};
 pub use profile::ColumnProfile;
 pub use search::{DiscoveryResult, SearchOptions, SearchOutcome, SearchStats};
+pub use v2::{IndexWriter, MappedSegment, V2Info, DEFAULT_SHARDS};

@@ -21,7 +21,8 @@ use std::ops::Deref;
 use std::path::Path;
 use std::sync::Arc;
 
-use valentine_table::{Column, Table};
+use parking_lot::RwLock;
+use valentine_table::{Column, FxHashMap, Table};
 
 use crate::error::IndexError;
 use crate::index::Index;
@@ -31,6 +32,9 @@ use crate::profile::{profile_table, ColumnProfile, Fnv1a, QUERY_TABLE_ID};
 #[derive(Debug, Clone)]
 pub struct LoadedIndex {
     inner: Arc<Index>,
+    /// name → id, built once at load so lookups are O(1) instead of a
+    /// scan over every table. First ingested table wins on duplicates.
+    by_name: Arc<FxHashMap<String, u32>>,
 }
 
 impl Deref for LoadedIndex {
@@ -43,14 +47,28 @@ impl Deref for LoadedIndex {
 
 impl From<Index> for LoadedIndex {
     fn from(index: Index) -> LoadedIndex {
+        let mut by_name = FxHashMap::default();
+        let mut duplicates = 0u64;
+        for t in index.tables() {
+            if by_name.contains_key(&t.name) {
+                duplicates += 1;
+            } else {
+                by_name.insert(t.name.clone(), t.id);
+            }
+        }
+        if duplicates > 0 {
+            valentine_obs::counter("index/duplicate_table_names", duplicates);
+        }
         LoadedIndex {
             inner: Arc::new(index),
+            by_name: Arc::new(by_name),
         }
     }
 }
 
 impl LoadedIndex {
-    /// Deserialises a `VIDX` file once into a shareable handle.
+    /// Deserialises a `VIDX` file (or v2 directory) once into a shareable
+    /// handle.
     pub fn load(path: &Path) -> Result<LoadedIndex, IndexError> {
         Ok(LoadedIndex::from(Index::load(path)?))
     }
@@ -60,9 +78,11 @@ impl LoadedIndex {
         &self.inner
     }
 
-    /// Finds an indexed table by name (first match in ingestion order).
+    /// Finds an indexed table by name in O(1). Duplicate names resolve to
+    /// the first ingested table (a counted
+    /// `index/duplicate_table_names` warning is recorded at load).
     pub fn table_by_name(&self, name: &str) -> Option<&crate::index::IndexedTable> {
-        self.inner.tables().iter().find(|t| t.name == name)
+        self.by_name.get(name).and_then(|&id| self.inner.table(id))
     }
 
     /// Digest of a whole-table query: the ordered fold of every column's
@@ -81,6 +101,40 @@ impl LoadedIndex {
     /// Digest of a single-column (joinable) query.
     pub fn column_digest(&self, query: &Column) -> u64 {
         ColumnProfile::build(QUERY_TABLE_ID, 0, query, self.inner.hasher()).sketch_digest()
+    }
+}
+
+/// A swappable slot holding the current [`LoadedIndex`].
+///
+/// Long-lived consumers (the serve layer) read through this instead of
+/// capturing a `LoadedIndex` once: [`get`](SharedIndex::get) hands out a
+/// cheap clone of the *current* handle, and
+/// [`swap`](SharedIndex::swap) atomically publishes a replacement — e.g.
+/// after an `index compact` or an incremental add — without disturbing
+/// searches already running against the old handle, which keep their own
+/// `Arc` alive until they finish.
+#[derive(Debug, Clone)]
+pub struct SharedIndex {
+    slot: Arc<RwLock<LoadedIndex>>,
+}
+
+impl SharedIndex {
+    /// Wraps an initial index.
+    pub fn new(index: LoadedIndex) -> SharedIndex {
+        SharedIndex {
+            slot: Arc::new(RwLock::new(index)),
+        }
+    }
+
+    /// The current handle. Clones under a brief read lock; the returned
+    /// handle stays valid (and immutable) across any later swap.
+    pub fn get(&self) -> LoadedIndex {
+        self.slot.read().clone()
+    }
+
+    /// Publishes `index` as the new current handle, returning the old one.
+    pub fn swap(&self, index: LoadedIndex) -> LoadedIndex {
+        std::mem::replace(&mut *self.slot.write(), index)
     }
 }
 
@@ -107,6 +161,57 @@ mod tests {
         assert!(std::ptr::eq(a.index(), b.index()), "no data is duplicated");
         assert!(a.table_by_name("nums").is_some());
         assert!(a.table_by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_resolve_first_wins_with_counted_warning() {
+        let mut idx = Index::new(IndexConfig::default());
+        idx.ingest(
+            "first",
+            Table::from_pairs("dup", vec![("a", (0..20).map(Value::Int).collect())]).unwrap(),
+        );
+        idx.ingest(
+            "second",
+            Table::from_pairs("dup", vec![("b", (50..70).map(Value::Int).collect())]).unwrap(),
+        );
+        idx.ingest(
+            "third",
+            Table::from_pairs("dup", vec![("c", (90..99).map(Value::Int).collect())]).unwrap(),
+        );
+        let (loaded, snapshot) = valentine_obs::capture(|| LoadedIndex::from(idx));
+        let hit = loaded.table_by_name("dup").unwrap();
+        assert_eq!(hit.id, 0, "first ingested table wins");
+        assert_eq!(hit.source, "first");
+        assert_eq!(snapshot.counters["index/duplicate_table_names"], 2);
+
+        // later duplicates are still reachable by id, just not by name
+        assert_eq!(loaded.table(2).unwrap().source, "third");
+    }
+
+    #[test]
+    fn shared_index_swap_preserves_in_flight_handles() {
+        let shared = SharedIndex::new(demo());
+        let in_flight = shared.get();
+        assert_eq!(in_flight.len(), 1);
+
+        let mut bigger = Index::new(IndexConfig::default());
+        bigger.ingest(
+            "demo",
+            Table::from_pairs("nums", vec![("id", (0..30).map(Value::Int).collect())]).unwrap(),
+        );
+        bigger.ingest(
+            "demo",
+            Table::from_pairs("more", vec![("x", (0..10).map(Value::Int).collect())]).unwrap(),
+        );
+        let old = shared.swap(LoadedIndex::from(bigger));
+        assert_eq!(old.len(), 1);
+        assert_eq!(shared.get().len(), 2);
+        // the handle captured before the swap still sees the old index
+        assert_eq!(in_flight.len(), 1);
+
+        // clones of the shared slot observe the same current handle
+        let alias = shared.clone();
+        assert_eq!(alias.get().len(), 2);
     }
 
     #[test]

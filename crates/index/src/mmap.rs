@@ -1,0 +1,152 @@
+//! Read-only memory mapping for segment files, without a libc dependency.
+//!
+//! The workspace vendors no FFI crates, so on Unix the `mmap(2)`/`munmap(2)`
+//! syscalls are declared directly (the same idiom the serve crate uses for
+//! `signal(2)`). Elsewhere — or whenever the map fails — [`Mmap::open`]
+//! degrades to reading the file into an owned buffer: every consumer sees
+//! the same `&[u8]`, only the paging behaviour differs.
+
+use std::path::Path;
+
+/// A read-only view of a whole file: either a private `mmap(2)` region
+/// (Unix) or an owned in-memory copy (fallback).
+#[derive(Debug)]
+pub struct Mmap {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// The mapped region is private and read-only for the lifetime of the
+// handle; sharing immutable views across threads is safe.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl Mmap {
+    /// Maps `path` read-only. Zero-length files and platforms without
+    /// `mmap` fall back to an owned read — callers cannot tell the
+    /// difference and should not try.
+    pub fn open(path: &Path) -> std::io::Result<Mmap> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len > 0 {
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                // MAP_FAILED is (void*)-1; fall back to a plain read on any
+                // failure rather than surfacing a platform-specific error.
+                if ptr as isize != -1 && !ptr.is_null() {
+                    return Ok(Mmap {
+                        repr: Repr::Mapped {
+                            ptr: ptr as *mut u8,
+                            len,
+                        },
+                    });
+                }
+            }
+        }
+        Ok(Mmap {
+            repr: Repr::Owned(std::fs::read(path)?),
+        })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Repr::Owned(v) => v,
+        }
+    }
+
+    /// True when the view is an actual kernel mapping rather than the
+    /// owned-buffer fallback (diagnostics only).
+    pub fn is_mapped(&self) -> bool {
+        match &self.repr {
+            #[cfg(unix)]
+            Repr::Mapped { .. } => true,
+            Repr::Owned(_) => false,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Repr::Mapped { ptr, len } = self.repr {
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_a_file() {
+        let path = std::env::temp_dir().join("valentine_mmap_test.bin");
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"hello mapping");
+        #[cfg(unix)]
+        assert!(map.is_mapped());
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = std::env::temp_dir().join("valentine_mmap_empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = Mmap::open(&path).unwrap();
+        assert_eq!(map.bytes(), b"");
+        assert!(!map.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(Mmap::open(Path::new("/nonexistent/no.bin")).is_err());
+    }
+}

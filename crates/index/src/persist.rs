@@ -19,21 +19,78 @@
 //! deterministic: the same corpus ingested in the same order produces
 //! byte-identical files.
 
+use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use valentine_solver::minhash::Signature;
 use valentine_table::{csv, DataType};
+use valentine_text::tokenize::normalize_tokens;
 
-use crate::codec::{Reader, Writer};
+use crate::codec::{check_len, Reader, Writer};
 use crate::error::IndexError;
 use crate::index::{Index, IndexConfig};
 use crate::profile::ColumnProfile;
 
 const MAGIC: &[u8; 4] = b"VIDX";
-/// Current file format version.
+/// Current single-file format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-fn dtype_to_u8(d: DataType) -> u8 {
+/// Distinguishes temp files written concurrently by threads of one process.
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Crash-safe file write: the bytes go to a hidden temp sibling, which is
+/// fsynced and then renamed over `path` (followed by a best-effort
+/// directory fsync so the rename itself is durable). A crash at any point
+/// leaves either the old file or the new one — never a torn mix.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    atomic_write_faulty(path, bytes, None)
+}
+
+/// [`atomic_write`] with fault injection: `fail_after = Some(n)` simulates
+/// a crash after `n` payload bytes reach the temp file — before the
+/// rename — so tests can assert the destination is untouched.
+pub(crate) fn atomic_write_faulty(
+    path: &Path,
+    bytes: &[u8],
+    fail_after: Option<usize>,
+) -> std::io::Result<()> {
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("cannot atomically write to {}", path.display()),
+        )
+    })?;
+    let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp-{}-{nonce}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        if let Some(n) = fail_after {
+            f.write_all(&bytes[..n.min(bytes.len())])?;
+            let _ = f.sync_all();
+            return Err(std::io::Error::other("simulated crash mid-save"));
+        }
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+pub(crate) fn dtype_to_u8(d: DataType) -> u8 {
     match d {
         DataType::Unknown => 0,
         DataType::Bool => 1,
@@ -44,7 +101,7 @@ fn dtype_to_u8(d: DataType) -> u8 {
     }
 }
 
-fn dtype_from_u8(b: u8) -> Result<DataType, IndexError> {
+pub(crate) fn dtype_from_u8(b: u8) -> Result<DataType, IndexError> {
     Ok(match b {
         0 => DataType::Unknown,
         1 => DataType::Bool,
@@ -57,36 +114,38 @@ fn dtype_from_u8(b: u8) -> Result<DataType, IndexError> {
 }
 
 impl Index {
-    /// Serialises the index to its binary file format.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serialises the index to its single-file (v1) binary format. Fails
+    /// with [`IndexError::TooLarge`] when any collection exceeds the
+    /// format's `u32` length prefixes instead of silently truncating.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, IndexError> {
         let mut w = Writer::new();
         w.raw(MAGIC);
         w.u32(FORMAT_VERSION);
         w.u64(self.config().bands as u64);
         w.u64(self.config().rows as u64);
         w.u64(self.config().seed);
-        w.u32(self.tables().len() as u32);
+        w.u32(check_len(self.tables().len(), "table count")?);
         for t in self.tables() {
-            w.str(&t.name);
-            w.str(&t.source);
-            w.str(&csv::serialize(&t.table));
+            w.str(&t.name, "table name")?;
+            w.str(&t.source, "table source")?;
+            w.str(&csv::serialize(&t.table), "table csv")?;
             let profiles = self.profiles_of(t.id);
-            w.u32(profiles.len() as u32);
+            w.u32(check_len(profiles.len(), "profile count")?);
             for p in profiles {
                 w.u32(p.column_index);
-                w.str(&p.name);
-                w.u32(p.name_tokens.len() as u32);
+                w.str(&p.name, "column name")?;
+                w.u32(check_len(p.name_tokens.len(), "token count")?);
                 for tok in &p.name_tokens {
-                    w.str(tok);
+                    w.str(tok, "name token")?;
                 }
                 w.u8(dtype_to_u8(p.dtype));
                 w.u64(p.rows);
                 w.u64(p.distinct);
-                w.u64s(&p.signature.0);
-                w.f64s(&p.quantiles);
+                w.u64s(&p.signature.0, "signature")?;
+                w.f64s(&p.quantiles, "quantiles")?;
             }
         }
-        w.into_bytes()
+        Ok(w.into_bytes())
     }
 
     /// Restores an index from its binary form, rebuilding the LSH bands
@@ -137,10 +196,23 @@ impl Index {
                     )));
                 }
                 let col_name = r.str("column name")?;
+                let actual = table.columns()[column_index as usize].name();
+                if col_name != actual {
+                    return Err(IndexError::Corrupt(format!(
+                        "profile claims column {column_index} of table {table_id} is named \
+                         {col_name:?}, but the stored table says {actual:?}"
+                    )));
+                }
                 let n_tokens = r.u32("token count")?;
                 let name_tokens = (0..n_tokens)
                     .map(|_| r.str("name token"))
                     .collect::<Result<Vec<_>, _>>()?;
+                if name_tokens != normalize_tokens(&col_name) {
+                    return Err(IndexError::Corrupt(format!(
+                        "stored name tokens for column {col_name:?} of table {table_id} \
+                         do not match the column name"
+                    )));
+                }
                 let dtype = dtype_from_u8(r.u8("dtype")?)?;
                 let rows_count = r.u64("row count")?;
                 let distinct = r.u64("distinct count")?;
@@ -175,14 +247,23 @@ impl Index {
         Ok(index)
     }
 
-    /// Writes the index to a file.
+    /// Writes the index to a single v1 file, crash-safely: bytes land in a
+    /// temp sibling that is fsynced and renamed over `path`, so an existing
+    /// index can never be corrupted by a crash mid-save. See
+    /// [`crate::v2::save_v2`] for the sharded directory format.
     pub fn save(&self, path: &Path) -> Result<(), IndexError> {
-        Ok(std::fs::write(path, self.to_bytes())?)
+        let bytes = self.to_bytes()?;
+        Ok(atomic_write(path, &bytes)?)
     }
 
-    /// Loads an index from a file.
+    /// Loads an index from either on-disk format: a plain file is read as
+    /// v1, a directory as a v2 segment set (see [`crate::v2`]).
     pub fn load(path: &Path) -> Result<Index, IndexError> {
-        Index::from_bytes(&std::fs::read(path)?)
+        if path.is_dir() {
+            crate::v2::load_dir(path)
+        } else {
+            Index::from_bytes(&std::fs::read(path)?)
+        }
     }
 }
 
@@ -225,10 +306,46 @@ mod tests {
         idx
     }
 
+    /// Re-serialises `idx` exactly like `to_bytes`, but lets the test
+    /// tamper with each profile before it is written — the only way to
+    /// craft a file whose stored metadata disagrees with its stored CSV.
+    fn serialize_patched(idx: &Index, patch: impl Fn(&mut ColumnProfile)) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.raw(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u64(idx.config().bands as u64);
+        w.u64(idx.config().rows as u64);
+        w.u64(idx.config().seed);
+        w.u32(idx.tables().len() as u32);
+        for t in idx.tables() {
+            w.str(&t.name, "table name").unwrap();
+            w.str(&t.source, "table source").unwrap();
+            w.str(&csv::serialize(&t.table), "table csv").unwrap();
+            let profiles = idx.profiles_of(t.id);
+            w.u32(profiles.len() as u32);
+            for p in profiles {
+                let mut p = p.clone();
+                patch(&mut p);
+                w.u32(p.column_index);
+                w.str(&p.name, "column name").unwrap();
+                w.u32(p.name_tokens.len() as u32);
+                for tok in &p.name_tokens {
+                    w.str(tok, "name token").unwrap();
+                }
+                w.u8(dtype_to_u8(p.dtype));
+                w.u64(p.rows);
+                w.u64(p.distinct);
+                w.u64s(&p.signature.0, "signature").unwrap();
+                w.f64s(&p.quantiles, "quantiles").unwrap();
+            }
+        }
+        w.into_bytes()
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let idx = sample_index();
-        let bytes = idx.to_bytes();
+        let bytes = idx.to_bytes().unwrap();
         let back = Index::from_bytes(&bytes).unwrap();
         assert_eq!(back.config(), idx.config());
         assert_eq!(back.profiles(), idx.profiles());
@@ -240,30 +357,110 @@ mod tests {
             assert_eq!(a.table.height(), b.table.height());
         }
         // serialisation is deterministic
-        assert_eq!(bytes, back.to_bytes());
+        assert_eq!(bytes, back.to_bytes().unwrap());
+    }
+
+    /// Saves `idx` in both on-disk formats and hands each saved path to the
+    /// assertion — every file-level persistence property must hold for the
+    /// v1 single file and the v2 segment directory alike.
+    fn for_both_formats(tag: &str, idx: &Index, assert: impl Fn(&Path)) {
+        let root = std::env::temp_dir().join(format!("valentine_persist_both_{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+
+        let v1 = root.join("index.vidx");
+        idx.save(&v1).unwrap();
+        assert(&v1);
+
+        let v2 = root.join("index.vidx2");
+        crate::v2::save_v2(idx, &v2, 4).unwrap();
+        assert(&v2);
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
     fn save_load_via_file() {
         let idx = sample_index();
-        let path = std::env::temp_dir().join("valentine_index_persist_test.vidx");
-        idx.save(&path).unwrap();
-        let back = Index::load(&path).unwrap();
-        assert_eq!(back.profiles(), idx.profiles());
-        let _ = std::fs::remove_file(&path);
+        for_both_formats("save_load", &idx, |path| {
+            let back = Index::load(path).unwrap();
+            assert_eq!(back.profiles(), idx.profiles());
+            assert_eq!(back.tables().len(), idx.tables().len());
+        });
+    }
+
+    #[test]
+    fn torn_write_leaves_old_file_intact() {
+        let dir = std::env::temp_dir().join("valentine_persist_torn_write");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.vidx");
+
+        let old = sample_index();
+        old.save(&path).unwrap();
+        let old_bytes = std::fs::read(&path).unwrap();
+
+        // A new save crashes after 7 bytes: mid-magic, before the rename.
+        let new_bytes = {
+            let mut idx = sample_index();
+            idx.ingest(
+                "src-c",
+                Table::from_pairs("gamma", vec![("x", (0..10).map(Value::Int).collect())]).unwrap(),
+            );
+            idx.to_bytes().unwrap()
+        };
+        assert!(atomic_write_faulty(&path, &new_bytes, Some(7)).is_err());
+
+        // The destination still holds the old index, byte for byte, and
+        // still loads; no temp debris survives the failed attempt.
+        assert_eq!(std::fs::read(&path).unwrap(), old_bytes);
+        assert_eq!(Index::load(&path).unwrap().profiles(), old.profiles());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "index.vidx")
+            .collect();
+        assert!(leftovers.is_empty(), "temp debris: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_column_name_mismatch_rejected() {
+        let idx = sample_index();
+        let bytes = serialize_patched(&idx, |p| {
+            if p.column_index == 0 {
+                p.name = "imposter".into();
+            }
+        });
+        let err = Index::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("imposter"), "{err}");
+    }
+
+    #[test]
+    fn stored_name_tokens_mismatch_rejected() {
+        let idx = sample_index();
+        let bytes = serialize_patched(&idx, |p| {
+            if p.column_index == 0 {
+                p.name_tokens = vec!["wrong".into(), "tokens".into()];
+            }
+        });
+        let err = Index::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, IndexError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("name tokens"), "{err}");
     }
 
     #[test]
     fn bad_magic_and_version_rejected() {
         let idx = sample_index();
-        let mut bytes = idx.to_bytes();
+        let mut bytes = idx.to_bytes().unwrap();
         bytes[0] = b'X';
         assert!(matches!(
             Index::from_bytes(&bytes).unwrap_err(),
             IndexError::Corrupt(_)
         ));
 
-        let mut bytes = idx.to_bytes();
+        let mut bytes = idx.to_bytes().unwrap();
         bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
         assert!(matches!(
             Index::from_bytes(&bytes).unwrap_err(),
@@ -276,7 +473,7 @@ mod tests {
 
     #[test]
     fn truncated_file_rejected() {
-        let bytes = sample_index().to_bytes();
+        let bytes = sample_index().to_bytes().unwrap();
         for cut in [3, 8, 20, bytes.len() - 1] {
             assert!(Index::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
@@ -284,7 +481,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = sample_index().to_bytes();
+        let mut bytes = sample_index().to_bytes().unwrap();
         bytes.push(0);
         assert!(matches!(
             Index::from_bytes(&bytes).unwrap_err(),

@@ -1,0 +1,1338 @@
+//! `VIDX` format v2: a sharded, incremental, mmap-friendly index layout.
+//!
+//! Where v1 is one monolithic file that must be rewritten and re-read in
+//! full for any change, v2 is a *directory* of immutable generation files
+//! tied together by a small manifest:
+//!
+//! ```text
+//! index.vidx2/
+//!   MANIFEST              config, shards, generations, tombstones
+//!   tab-000000.vtab       generation 0: table metadata + CSV blobs
+//!   seg-000000-00.vseg    generation 0, shard 0: column profiles
+//!   seg-000000-01.vseg    generation 0, shard 1
+//!   …
+//! ```
+//!
+//! * **Incremental adds** — [`IndexWriter::append`] writes a *new*
+//!   generation (one `.vtab` plus one `.vseg` per shard) and atomically
+//!   rewrites the manifest; existing files are never touched. A crash
+//!   before [`IndexWriter::finish`] leaves unreferenced orphan files and a
+//!   fully intact previous index.
+//! * **Removes** — [`remove_table`] appends the table id to the manifest's
+//!   tombstone list; segment data stays on disk until [`compact`] rewrites
+//!   the directory as a single fresh generation (its output is
+//!   byte-identical to a fresh [`save_v2`] of the surviving tables).
+//! * **Sharding** — each profile lands in one of `shards` segment files per
+//!   generation, keyed by the LSH hash of its first signature band, so
+//!   ingest memory is bounded by one generation and segments can be
+//!   processed independently.
+//! * **Zero-copy probes** — inside a segment, MinHash signatures live in a
+//!   fixed-stride arena and every band has a sorted `(band_hash, idx)`
+//!   postings run, so [`MappedSegment`] can answer LSH candidate probes by
+//!   binary search directly over the memory-mapped bytes, allocating
+//!   nothing but the result vector.
+//!
+//! Segment layout (all integers little-endian; offsets 8-aligned):
+//!
+//! ```text
+//! "VSEG" | version u32 | bands u64 | rows u64 | seed u64
+//!        | gen u32 | shard u32 | n u32 | pad u32          48-byte header
+//! ids       n × (table_id u32, column_index u32)
+//! arena     n × bands·rows × u64                          signatures
+//! postings  bands × n × (band_hash u64, idx u64)          sorted per band
+//! meta      per idx: name | tokens | dtype u8 | rows u64
+//!           | distinct u64 | quantiles f64s               codec-encoded
+//! ```
+
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use valentine_solver::lsh::band_hash;
+use valentine_solver::minhash::{MinHasher, Signature};
+use valentine_table::{csv, FxHashMap, FxHashSet, Table};
+use valentine_text::tokenize::normalize_tokens;
+
+use crate::codec::{check_len, Reader, Writer};
+use crate::error::IndexError;
+use crate::index::{profile_batch, Index, IndexConfig};
+use crate::mmap::Mmap;
+use crate::persist::{atomic_write, dtype_from_u8, dtype_to_u8};
+use crate::profile::ColumnProfile;
+
+/// Version tag shared by the manifest and every v2 generation file.
+pub const FORMAT_VERSION_V2: u32 = 2;
+/// Default shard count for newly built v2 indexes.
+pub const DEFAULT_SHARDS: u32 = 4;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"VMAN";
+const VTAB_MAGIC: &[u8; 4] = b"VTAB";
+const VSEG_MAGIC: &[u8; 4] = b"VSEG";
+const MANIFEST_FILE: &str = "MANIFEST";
+const SEG_HEADER_LEN: usize = 48;
+
+/// True when `path` looks like a v2 index directory (has a manifest).
+pub fn is_v2_dir(path: &Path) -> bool {
+    path.join(MANIFEST_FILE).is_file()
+}
+
+fn vtab_path(dir: &Path, gen: u32) -> PathBuf {
+    dir.join(format!("tab-{gen:06}.vtab"))
+}
+
+fn seg_path(dir: &Path, gen: u32, shard: u32) -> PathBuf {
+    dir.join(format!("seg-{gen:06}-{shard:02}.vseg"))
+}
+
+/// One table recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TableEntry {
+    pub(crate) id: u32,
+    pub(crate) name: String,
+    pub(crate) source: String,
+}
+
+/// One immutable generation: the tables it introduced, in id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GenEntry {
+    pub(crate) gen: u32,
+    pub(crate) tables: Vec<TableEntry>,
+}
+
+/// The mutable head of a v2 directory; everything else is immutable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Manifest {
+    pub(crate) config: IndexConfig,
+    pub(crate) shards: u32,
+    pub(crate) next_table_id: u32,
+    pub(crate) generations: Vec<GenEntry>,
+    pub(crate) tombstones: Vec<u32>,
+}
+
+impl Manifest {
+    fn to_bytes(&self) -> Result<Vec<u8>, IndexError> {
+        let mut w = Writer::new();
+        w.raw(MANIFEST_MAGIC);
+        w.u32(FORMAT_VERSION_V2);
+        w.u64(self.config.bands as u64);
+        w.u64(self.config.rows as u64);
+        w.u64(self.config.seed);
+        w.u32(self.shards);
+        w.u32(self.next_table_id);
+        w.u32(check_len(self.generations.len(), "generation count")?);
+        for g in &self.generations {
+            w.u32(g.gen);
+            w.u32(check_len(g.tables.len(), "manifest table count")?);
+            for t in &g.tables {
+                w.u32(t.id);
+                w.str(&t.name, "manifest table name")?;
+                w.str(&t.source, "manifest table source")?;
+            }
+        }
+        w.u32(check_len(self.tombstones.len(), "tombstone count")?);
+        for &id in &self.tombstones {
+            w.u32(id);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Manifest, IndexError> {
+        let mut r = Reader::new(bytes);
+        if r.raw(4, "manifest magic")? != MANIFEST_MAGIC {
+            return Err(IndexError::Corrupt(
+                "bad manifest magic (not a v2 index directory)".into(),
+            ));
+        }
+        let version = r.u32("manifest version")?;
+        if version != FORMAT_VERSION_V2 {
+            return Err(IndexError::Version {
+                found: version,
+                supported: FORMAT_VERSION_V2,
+            });
+        }
+        let bands = r.u64("bands")? as usize;
+        let rows = r.u64("rows")? as usize;
+        let seed = r.u64("seed")?;
+        if bands == 0 || rows == 0 {
+            return Err(IndexError::Corrupt("zero bands or rows".into()));
+        }
+        let shards = r.u32("shard count")?;
+        if shards == 0 {
+            return Err(IndexError::Corrupt("zero shards".into()));
+        }
+        let next_table_id = r.u32("next table id")?;
+        let n_gens = r.u32("generation count")?;
+        let mut generations = Vec::with_capacity(n_gens as usize);
+        for _ in 0..n_gens {
+            let gen = r.u32("generation number")?;
+            let n_tables = r.u32("manifest table count")?;
+            let mut tables = Vec::with_capacity(n_tables as usize);
+            for _ in 0..n_tables {
+                let id = r.u32("manifest table id")?;
+                if id >= next_table_id {
+                    return Err(IndexError::Corrupt(format!(
+                        "manifest table id {id} is not below next_table_id {next_table_id}"
+                    )));
+                }
+                let name = r.str("manifest table name")?;
+                let source = r.str("manifest table source")?;
+                tables.push(TableEntry { id, name, source });
+            }
+            generations.push(GenEntry { gen, tables });
+        }
+        let n_tomb = r.u32("tombstone count")?;
+        let tombstones = (0..n_tomb)
+            .map(|_| r.u32("tombstone id"))
+            .collect::<Result<Vec<_>, _>>()?;
+        if !r.is_exhausted() {
+            return Err(IndexError::Corrupt("trailing bytes in manifest".into()));
+        }
+        Ok(Manifest {
+            config: IndexConfig { bands, rows, seed },
+            shards,
+            next_table_id,
+            generations,
+            tombstones,
+        })
+    }
+
+    pub(crate) fn read(dir: &Path) -> Result<Manifest, IndexError> {
+        Manifest::from_bytes(&std::fs::read(dir.join(MANIFEST_FILE))?)
+    }
+
+    fn write(&self, dir: &Path) -> Result<(), IndexError> {
+        let bytes = self.to_bytes()?;
+        Ok(atomic_write(&dir.join(MANIFEST_FILE), &bytes)?)
+    }
+
+    fn dead(&self) -> FxHashSet<u32> {
+        self.tombstones.iter().copied().collect()
+    }
+}
+
+/// Encodes one segment: the profiles of one generation that hash to one
+/// shard, with `table_id` already finalised.
+fn segment_bytes(
+    config: &IndexConfig,
+    gen: u32,
+    shard: u32,
+    profiles: &[&ColumnProfile],
+) -> Result<Vec<u8>, IndexError> {
+    let n = check_len(profiles.len(), "segment profile count")?;
+    let (bands, rows) = (config.bands, config.rows);
+
+    let mut buf = Vec::new();
+    buf.extend_from_slice(VSEG_MAGIC);
+    buf.extend_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+    buf.extend_from_slice(&(bands as u64).to_le_bytes());
+    buf.extend_from_slice(&(rows as u64).to_le_bytes());
+    buf.extend_from_slice(&config.seed.to_le_bytes());
+    buf.extend_from_slice(&gen.to_le_bytes());
+    buf.extend_from_slice(&shard.to_le_bytes());
+    buf.extend_from_slice(&n.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    debug_assert_eq!(buf.len(), SEG_HEADER_LEN);
+
+    for p in profiles {
+        buf.extend_from_slice(&p.table_id.to_le_bytes());
+        buf.extend_from_slice(&p.column_index.to_le_bytes());
+    }
+    for p in profiles {
+        debug_assert_eq!(p.signature.0.len(), config.signature_len());
+        for &v in &p.signature.0 {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for band in 0..bands {
+        let mut entries: Vec<(u64, u64)> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let slice = &p.signature.0[band * rows..(band + 1) * rows];
+                (band_hash(slice), i as u64)
+            })
+            .collect();
+        entries.sort_unstable();
+        for (h, i) in entries {
+            buf.extend_from_slice(&h.to_le_bytes());
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+    }
+
+    let mut w = Writer::new();
+    for p in profiles {
+        w.str(&p.name, "column name")?;
+        w.u32(check_len(p.name_tokens.len(), "token count")?);
+        for tok in &p.name_tokens {
+            w.str(tok, "name token")?;
+        }
+        w.u8(dtype_to_u8(p.dtype));
+        w.u64(p.rows);
+        w.u64(p.distinct);
+        w.f64s(&p.quantiles, "quantiles")?;
+    }
+    buf.extend_from_slice(&w.into_bytes());
+    Ok(buf)
+}
+
+/// Parsed segment header plus the derived block offsets.
+struct SegLayout {
+    bands: usize,
+    rows: usize,
+    seed: u64,
+    gen: u32,
+    shard: u32,
+    n: usize,
+    ids_off: usize,
+    arena_off: usize,
+    postings_off: usize,
+    meta_off: usize,
+}
+
+fn seg_layout(bytes: &[u8]) -> Result<SegLayout, IndexError> {
+    if bytes.len() < SEG_HEADER_LEN {
+        return Err(IndexError::Corrupt("segment shorter than header".into()));
+    }
+    if &bytes[0..4] != VSEG_MAGIC {
+        return Err(IndexError::Corrupt(
+            "bad segment magic (not a v2 segment)".into(),
+        ));
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"));
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+    let version = u32_at(4);
+    if version != FORMAT_VERSION_V2 {
+        return Err(IndexError::Version {
+            found: version,
+            supported: FORMAT_VERSION_V2,
+        });
+    }
+    let bands = u64_at(8) as usize;
+    let rows = u64_at(16) as usize;
+    if bands == 0 || rows == 0 {
+        return Err(IndexError::Corrupt("zero bands or rows in segment".into()));
+    }
+    let seed = u64_at(24);
+    let gen = u32_at(32);
+    let shard = u32_at(36);
+    let n = u32_at(40) as usize;
+    let sig_len = bands
+        .checked_mul(rows)
+        .ok_or_else(|| IndexError::Corrupt("bands·rows overflows".into()))?;
+    let ids_off = SEG_HEADER_LEN;
+    let arena_off = ids_off + n * 8;
+    let postings_off = arena_off + n * sig_len * 8;
+    let meta_off = postings_off + bands * n * 16;
+    if bytes.len() < meta_off {
+        return Err(IndexError::Corrupt(format!(
+            "segment truncated: {} bytes, fixed blocks need {meta_off}",
+            bytes.len()
+        )));
+    }
+    Ok(SegLayout {
+        bands,
+        rows,
+        seed,
+        gen,
+        shard,
+        n,
+        ids_off,
+        arena_off,
+        postings_off,
+        meta_off,
+    })
+}
+
+/// Decodes a segment into owned profiles, validating it against the
+/// manifest's config and its expected position in the directory.
+fn parse_segment(
+    bytes: &[u8],
+    config: &IndexConfig,
+    gen: u32,
+    shard: u32,
+) -> Result<Vec<ColumnProfile>, IndexError> {
+    let l = seg_layout(bytes)?;
+    if l.bands != config.bands || l.rows != config.rows || l.seed != config.seed {
+        return Err(IndexError::Corrupt(format!(
+            "segment config {}x{} seed {} disagrees with manifest {}x{} seed {}",
+            l.bands, l.rows, l.seed, config.bands, config.rows, config.seed
+        )));
+    }
+    if l.gen != gen || l.shard != shard {
+        return Err(IndexError::Corrupt(format!(
+            "segment labelled gen {} shard {} found where gen {gen} shard {shard} belongs",
+            l.gen, l.shard
+        )));
+    }
+    let sig_len = l.bands * l.rows;
+    let mut meta = Reader::new(&bytes[l.meta_off..]);
+    let mut profiles = Vec::with_capacity(l.n);
+    for i in 0..l.n {
+        let ids = &bytes[l.ids_off + i * 8..l.ids_off + i * 8 + 8];
+        let table_id = u32::from_le_bytes(ids[0..4].try_into().expect("4 bytes"));
+        let column_index = u32::from_le_bytes(ids[4..8].try_into().expect("4 bytes"));
+        let sig_start = l.arena_off + i * sig_len * 8;
+        let signature = Signature(
+            (0..sig_len)
+                .map(|j| {
+                    let off = sig_start + j * 8;
+                    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+                })
+                .collect(),
+        );
+        let name = meta.str("column name")?;
+        let n_tokens = meta.u32("token count")?;
+        let name_tokens = (0..n_tokens)
+            .map(|_| meta.str("name token"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let dtype = dtype_from_u8(meta.u8("dtype")?)?;
+        let rows_count = meta.u64("row count")?;
+        let distinct = meta.u64("distinct count")?;
+        let quantiles = meta.f64s("quantiles")?;
+        profiles.push(ColumnProfile {
+            table_id,
+            column_index,
+            name,
+            name_tokens,
+            dtype,
+            rows: rows_count,
+            distinct,
+            signature,
+            quantiles,
+        });
+    }
+    if !meta.is_exhausted() {
+        return Err(IndexError::Corrupt(
+            "trailing bytes after segment meta".into(),
+        ));
+    }
+    Ok(profiles)
+}
+
+/// Writes one generation's `.vtab` and per-shard `.vseg` files. `tables`
+/// carries final ids with profiles already patched to them; every shard
+/// file is written even when empty so a generation's file set is a pure
+/// function of the shard count.
+fn write_generation(
+    dir: &Path,
+    config: &IndexConfig,
+    shards: u32,
+    gen: u32,
+    tables: &[(u32, String, Table, Vec<ColumnProfile>)],
+) -> Result<(), IndexError> {
+    let mut w = Writer::new();
+    w.raw(VTAB_MAGIC);
+    w.u32(FORMAT_VERSION_V2);
+    w.u32(gen);
+    w.u32(check_len(tables.len(), "table count")?);
+    for (id, source, table, _) in tables {
+        w.u32(*id);
+        w.str(table.name(), "table name")?;
+        w.str(source, "table source")?;
+        w.str(&csv::serialize(table), "table csv")?;
+    }
+    atomic_write(&vtab_path(dir, gen), &w.into_bytes())?;
+
+    let rows = config.rows;
+    let mut buckets: Vec<Vec<&ColumnProfile>> = (0..shards).map(|_| Vec::new()).collect();
+    for (_, _, _, profiles) in tables {
+        for p in profiles {
+            let shard = band_hash(&p.signature.0[0..rows]) % shards as u64;
+            buckets[shard as usize].push(p);
+        }
+    }
+    for (shard, bucket) in buckets.iter().enumerate() {
+        let bytes = segment_bytes(config, gen, shard as u32, bucket)?;
+        atomic_write(&seg_path(dir, gen, shard as u32), &bytes)?;
+    }
+    Ok(())
+}
+
+/// Incremental writer for a v2 directory.
+///
+/// Each [`add_batch`](IndexWriter::add_batch) profiles its tables and
+/// writes them out as one complete generation immediately — peak memory is
+/// bounded by the largest batch, not the corpus. Nothing references the new
+/// generations until [`finish`](IndexWriter::finish) atomically rewrites
+/// the manifest, so a crash at any earlier point leaves the previous index
+/// intact (plus harmless orphan files that the next successful writer or
+/// [`compact`] sweep overwrites or removes).
+#[derive(Debug)]
+pub struct IndexWriter {
+    dir: PathBuf,
+    hasher: MinHasher,
+    manifest: Manifest,
+    next_gen: u32,
+}
+
+impl IndexWriter {
+    /// Starts a brand-new v2 directory (creating it if needed) and writes
+    /// an empty manifest so the directory is a valid index immediately.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    pub fn create(dir: &Path, config: IndexConfig, shards: u32) -> Result<IndexWriter, IndexError> {
+        assert!(shards > 0, "shard count must be positive");
+        std::fs::create_dir_all(dir)?;
+        if is_v2_dir(dir) {
+            return Err(IndexError::Io(std::io::Error::new(
+                ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds a v2 index; use append or a fresh path",
+                    dir.display()
+                ),
+            )));
+        }
+        let manifest = Manifest {
+            config,
+            shards,
+            next_table_id: 0,
+            generations: Vec::new(),
+            tombstones: Vec::new(),
+        };
+        manifest.write(dir)?;
+        Ok(IndexWriter {
+            dir: dir.to_path_buf(),
+            hasher: MinHasher::new(config.signature_len(), config.seed),
+            manifest,
+            next_gen: 0,
+        })
+    }
+
+    /// Opens an existing v2 directory to append further generations.
+    pub fn append(dir: &Path) -> Result<IndexWriter, IndexError> {
+        let manifest = Manifest::read(dir)?;
+        let next_gen = manifest
+            .generations
+            .iter()
+            .map(|g| g.gen + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(IndexWriter {
+            dir: dir.to_path_buf(),
+            hasher: MinHasher::new(manifest.config.signature_len(), manifest.config.seed),
+            manifest,
+            next_gen,
+        })
+    }
+
+    /// The index configuration this directory was created with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.manifest.config
+    }
+
+    /// Profiles a batch of `(source, table)` pairs over `threads` workers
+    /// and writes them as one new generation. Returns the assigned table
+    /// ids in batch order. The batch becomes visible to readers only after
+    /// [`finish`](IndexWriter::finish).
+    pub fn add_batch(
+        &mut self,
+        batch: Vec<(String, Table)>,
+        threads: usize,
+    ) -> Result<Vec<u32>, IndexError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let profiled = profile_batch(&batch, &self.hasher, threads);
+        let gen = self.next_gen;
+        let mut entries = Vec::with_capacity(batch.len());
+        let mut tables = Vec::with_capacity(batch.len());
+        let mut ids = Vec::with_capacity(batch.len());
+        for ((source, table), mut profiles) in batch.into_iter().zip(profiled) {
+            let id = self.manifest.next_table_id;
+            self.manifest.next_table_id = id.checked_add(1).ok_or(IndexError::TooLarge {
+                what: "table id space",
+                len: u32::MAX as usize + 1,
+            })?;
+            for p in &mut profiles {
+                p.table_id = id;
+            }
+            entries.push(TableEntry {
+                id,
+                name: table.name().to_string(),
+                source: source.clone(),
+            });
+            ids.push(id);
+            tables.push((id, source, table, profiles));
+        }
+        write_generation(
+            &self.dir,
+            &self.manifest.config,
+            self.manifest.shards,
+            gen,
+            &tables,
+        )?;
+        self.manifest.generations.push(GenEntry {
+            gen,
+            tables: entries,
+        });
+        self.next_gen = gen + 1;
+        valentine_obs::counter("index/v2_generations_written", 1);
+        Ok(ids)
+    }
+
+    /// Atomically publishes every generation written so far.
+    pub fn finish(self) -> Result<(), IndexError> {
+        self.manifest.write(&self.dir)
+    }
+}
+
+/// Saves a fully built index as a fresh v2 directory holding exactly one
+/// generation. Deterministic: the same index and shard count always
+/// produce byte-identical files — the property [`compact`] relies on.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+pub fn save_v2(index: &Index, dir: &Path, shards: u32) -> Result<(), IndexError> {
+    assert!(shards > 0, "shard count must be positive");
+    std::fs::create_dir_all(dir)?;
+    if is_v2_dir(dir) {
+        return Err(IndexError::Io(std::io::Error::new(
+            ErrorKind::AlreadyExists,
+            format!("{} already holds a v2 index", dir.display()),
+        )));
+    }
+    let tables: Vec<(u32, String, Table, Vec<ColumnProfile>)> = index
+        .tables()
+        .iter()
+        .map(|t| {
+            (
+                t.id,
+                t.source.clone(),
+                t.table.clone(),
+                index.profiles_of(t.id).to_vec(),
+            )
+        })
+        .collect();
+    write_generation(dir, index.config(), shards, 0, &tables)?;
+    let manifest = Manifest {
+        config: *index.config(),
+        shards,
+        next_table_id: check_len(index.tables().len(), "table count")?,
+        generations: vec![GenEntry {
+            gen: 0,
+            tables: index
+                .tables()
+                .iter()
+                .map(|t| TableEntry {
+                    id: t.id,
+                    name: t.name.clone(),
+                    source: t.source.clone(),
+                })
+                .collect(),
+        }],
+        tombstones: Vec::new(),
+    };
+    manifest.write(dir)
+}
+
+/// Loads a v2 directory into a fully materialised [`Index`].
+///
+/// Tombstoned tables are skipped and ids are re-densified in manifest
+/// order, so the result is indistinguishable from a fresh build over the
+/// surviving tables. Stored metadata is cross-validated against the parsed
+/// CSV exactly like the v1 loader.
+pub fn load_dir(dir: &Path) -> Result<Index, IndexError> {
+    let manifest = Manifest::read(dir)?;
+    let dead = manifest.dead();
+    let mut index = Index::new(manifest.config);
+    for gen in &manifest.generations {
+        let parsed = read_vtab(dir, gen)?;
+        let mut by_table: FxHashMap<u32, Vec<ColumnProfile>> = FxHashMap::default();
+        for shard in 0..manifest.shards {
+            let bytes = std::fs::read(seg_path(dir, gen.gen, shard))?;
+            for p in parse_segment(&bytes, &manifest.config, gen.gen, shard)? {
+                by_table.entry(p.table_id).or_default().push(p);
+            }
+        }
+        for (entry, table) in gen.tables.iter().zip(parsed) {
+            let mut profiles = by_table.remove(&entry.id).unwrap_or_default();
+            if dead.contains(&entry.id) {
+                continue;
+            }
+            profiles.sort_by_key(|p| p.column_index);
+            if profiles.len() != table.width() {
+                return Err(IndexError::Corrupt(format!(
+                    "table {} stores {} profiles for {} columns",
+                    entry.name,
+                    profiles.len(),
+                    table.width()
+                )));
+            }
+            for (i, p) in profiles.iter().enumerate() {
+                if p.column_index as usize != i {
+                    return Err(IndexError::Corrupt(format!(
+                        "table {} profiles do not cover its columns exactly once",
+                        entry.name
+                    )));
+                }
+                let actual = table.columns()[i].name();
+                if p.name != actual {
+                    return Err(IndexError::Corrupt(format!(
+                        "profile claims column {i} of table {} is named {:?}, \
+                         but the stored table says {actual:?}",
+                        entry.name, p.name
+                    )));
+                }
+                if p.name_tokens != normalize_tokens(&p.name) {
+                    return Err(IndexError::Corrupt(format!(
+                        "stored name tokens for column {:?} of table {} \
+                         do not match the column name",
+                        p.name, entry.name
+                    )));
+                }
+            }
+            index.insert_profiled(&entry.source, table, profiles);
+        }
+        if let Some(orphan) = by_table.keys().find(|id| !dead.contains(id)) {
+            return Err(IndexError::Corrupt(format!(
+                "generation {} stores profiles for unknown table id {orphan}",
+                gen.gen
+            )));
+        }
+    }
+    Ok(index)
+}
+
+fn read_vtab(dir: &Path, gen: &GenEntry) -> Result<Vec<Table>, IndexError> {
+    let bytes = std::fs::read(vtab_path(dir, gen.gen))?;
+    let mut r = Reader::new(&bytes);
+    if r.raw(4, "vtab magic")? != VTAB_MAGIC {
+        return Err(IndexError::Corrupt("bad vtab magic".into()));
+    }
+    let version = r.u32("vtab version")?;
+    if version != FORMAT_VERSION_V2 {
+        return Err(IndexError::Version {
+            found: version,
+            supported: FORMAT_VERSION_V2,
+        });
+    }
+    let file_gen = r.u32("vtab generation")?;
+    if file_gen != gen.gen {
+        return Err(IndexError::Corrupt(format!(
+            "vtab labelled generation {file_gen} found where {} belongs",
+            gen.gen
+        )));
+    }
+    let n = r.u32("vtab table count")?;
+    if n as usize != gen.tables.len() {
+        return Err(IndexError::Corrupt(format!(
+            "vtab stores {n} tables, manifest lists {}",
+            gen.tables.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for entry in &gen.tables {
+        let id = r.u32("vtab table id")?;
+        let name = r.str("vtab table name")?;
+        let source = r.str("vtab table source")?;
+        if id != entry.id || name != entry.name || source != entry.source {
+            return Err(IndexError::Corrupt(format!(
+                "vtab entry ({id}, {name:?}) disagrees with manifest ({}, {:?})",
+                entry.id, entry.name
+            )));
+        }
+        let blob = r.str("table csv")?;
+        let table = csv::parse(name, &blob)
+            .map_err(|e| IndexError::Table(format!("table {}: {e}", entry.id)))?;
+        out.push(table);
+    }
+    if !r.is_exhausted() {
+        return Err(IndexError::Corrupt("trailing bytes in vtab".into()));
+    }
+    Ok(out)
+}
+
+/// Tombstones the first live table named `name`, returning its id, or
+/// `None` when no live table carries that name. Only the manifest is
+/// rewritten (atomically); segment data stays until [`compact`].
+pub fn remove_table(dir: &Path, name: &str) -> Result<Option<u32>, IndexError> {
+    let mut manifest = Manifest::read(dir)?;
+    let dead = manifest.dead();
+    let id = manifest
+        .generations
+        .iter()
+        .flat_map(|g| &g.tables)
+        .find(|t| !dead.contains(&t.id) && t.name == name)
+        .map(|t| t.id);
+    if let Some(id) = id {
+        manifest.tombstones.push(id);
+        manifest.write(dir)?;
+        valentine_obs::counter("index/v2_tables_tombstoned", 1);
+    }
+    Ok(id)
+}
+
+/// Rewrites the directory as a single fresh generation: tombstoned data is
+/// dropped, ids are re-densified, and orphan files from crashed writers
+/// disappear. The result is byte-identical to [`save_v2`] of the surviving
+/// index with the same shard count. The swap is two renames; readers that
+/// loaded the old directory keep their consistent in-memory copy.
+pub fn compact(dir: &Path) -> Result<(), IndexError> {
+    let manifest = Manifest::read(dir)?;
+    let index = load_dir(dir)?;
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "index".into());
+    let pid = std::process::id();
+    let tmp = dir.with_file_name(format!(".{name}.compact-{pid}"));
+    let old = dir.with_file_name(format!(".{name}.old-{pid}"));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let _ = std::fs::remove_dir_all(&old);
+    save_v2(&index, &tmp, manifest.shards)?;
+    std::fs::rename(dir, &old)?;
+    if let Err(e) = std::fs::rename(&tmp, dir) {
+        // Roll the original back into place rather than leaving no index.
+        let _ = std::fs::rename(&old, dir);
+        return Err(e.into());
+    }
+    std::fs::remove_dir_all(&old)?;
+    valentine_obs::counter("index/v2_compactions", 1);
+    Ok(())
+}
+
+/// Summary of a v2 directory, cheap to compute (manifest only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct V2Info {
+    /// Index construction parameters.
+    pub config: IndexConfig,
+    /// Segment shards per generation.
+    pub shards: u32,
+    /// Number of published generations.
+    pub generations: usize,
+    /// Number of segment files referenced by the manifest.
+    pub segments: usize,
+    /// Tables that are live (not tombstoned).
+    pub live_tables: usize,
+    /// Tables tombstoned but not yet compacted away.
+    pub tombstones: usize,
+}
+
+/// Reads a v2 directory's manifest into a [`V2Info`] summary.
+pub fn dir_info(dir: &Path) -> Result<V2Info, IndexError> {
+    let manifest = Manifest::read(dir)?;
+    let dead = manifest.dead();
+    let live = manifest
+        .generations
+        .iter()
+        .flat_map(|g| &g.tables)
+        .filter(|t| !dead.contains(&t.id))
+        .count();
+    Ok(V2Info {
+        config: manifest.config,
+        shards: manifest.shards,
+        generations: manifest.generations.len(),
+        segments: manifest.generations.len() * manifest.shards as usize,
+        live_tables: live,
+        tombstones: manifest.tombstones.len(),
+    })
+}
+
+/// Migrates a v1 single-file index in place: the file at `path` is
+/// replaced by a v2 directory with the same search contents.
+pub fn migrate_v1_file(path: &Path, shards: u32) -> Result<(), IndexError> {
+    let index = Index::from_bytes(&std::fs::read(path)?)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "index".into());
+    let tmp = path.with_file_name(format!(".{name}.migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    save_v2(&index, &tmp, shards)?;
+    std::fs::remove_file(path)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A memory-mapped segment answering LSH candidate probes zero-copy.
+///
+/// The signature arena and postings runs are read directly from the map:
+/// [`probe`](MappedSegment::probe) binary-searches each band's sorted
+/// `(band_hash, idx)` run and allocates nothing but the result vector. Its
+/// candidates agree exactly with the in-memory LSH over the same profiles,
+/// because both sides key on [`band_hash`].
+#[derive(Debug)]
+pub struct MappedSegment {
+    map: Mmap,
+    layout_bands: usize,
+    layout_rows: usize,
+    n: usize,
+    ids_off: usize,
+    arena_off: usize,
+    postings_off: usize,
+}
+
+impl MappedSegment {
+    /// Maps a `.vseg` file and validates its fixed-block geometry.
+    pub fn open(path: &Path) -> Result<MappedSegment, IndexError> {
+        let map = Mmap::open(path)?;
+        let l = seg_layout(map.bytes())?;
+        Ok(MappedSegment {
+            layout_bands: l.bands,
+            layout_rows: l.rows,
+            n: l.n,
+            ids_off: l.ids_off,
+            arena_off: l.arena_off,
+            postings_off: l.postings_off,
+            map,
+        })
+    }
+
+    /// Number of profiles stored in the segment.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the segment holds no profiles.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when the view is a real kernel mapping (diagnostics only).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// The `(table_id, column_index)` pair of a local profile index.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn id_of(&self, idx: usize) -> (u32, u32) {
+        assert!(idx < self.n, "profile index out of bounds");
+        let bytes = self.map.bytes();
+        let off = self.ids_off + idx * 8;
+        (
+            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes")),
+        )
+    }
+
+    /// Copies the MinHash signature of a local profile index out of the
+    /// fixed-stride arena.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn signature_of(&self, idx: usize) -> Signature {
+        assert!(idx < self.n, "profile index out of bounds");
+        let bytes = self.map.bytes();
+        let sig_len = self.layout_bands * self.layout_rows;
+        let start = self.arena_off + idx * sig_len * 8;
+        Signature(
+            (0..sig_len)
+                .map(|j| {
+                    let off = start + j * 8;
+                    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+                })
+                .collect(),
+        )
+    }
+
+    /// Local indices of every profile colliding with `signature` in at
+    /// least one band — the zero-copy analogue of
+    /// [`valentine_solver::LshIndex::candidates`]. Sorted and deduplicated.
+    ///
+    /// # Panics
+    /// Panics when the signature length is not `bands · rows`.
+    pub fn probe(&self, signature: &Signature) -> Vec<u32> {
+        assert_eq!(
+            signature.0.len(),
+            self.layout_bands * self.layout_rows,
+            "signature length must equal bands × rows"
+        );
+        let bytes = self.map.bytes();
+        let entry_hash = |run: usize, i: usize| {
+            let off = self.postings_off + (run * self.n + i) * 16;
+            u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+        };
+        let entry_idx = |run: usize, i: usize| {
+            let off = self.postings_off + (run * self.n + i) * 16 + 8;
+            u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+        };
+        let mut out = Vec::new();
+        for band in 0..self.layout_bands {
+            let key =
+                band_hash(&signature.0[band * self.layout_rows..(band + 1) * self.layout_rows]);
+            let (mut lo, mut hi) = (0usize, self.n);
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if entry_hash(band, mid) < key {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            while lo < self.n && entry_hash(band, lo) == key {
+                out.push(entry_idx(band, lo) as u32);
+                lo += 1;
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Opens every segment of every published generation in a v2 directory.
+pub fn map_segments(dir: &Path) -> Result<Vec<MappedSegment>, IndexError> {
+    let manifest = Manifest::read(dir)?;
+    let mut out = Vec::new();
+    for gen in &manifest.generations {
+        for shard in 0..manifest.shards {
+            out.push(MappedSegment::open(&seg_path(dir, gen.gen, shard))?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valentine_table::Value;
+
+    fn cfg() -> IndexConfig {
+        IndexConfig {
+            bands: 8,
+            rows: 2,
+            seed: 5,
+        }
+    }
+
+    fn toy(name: &str, shift: i64) -> Table {
+        Table::from_pairs(
+            name,
+            vec![
+                ("id", (shift..shift + 25).map(Value::Int).collect()),
+                (
+                    "label",
+                    (shift..shift + 25)
+                        .map(|i| Value::str(format!("v{i}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("valentine_v2_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Every file in a directory, as (name, bytes), sorted by name.
+    fn dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn incremental_writer_matches_in_memory_ingest() {
+        let root = tmp("writer");
+        let dir = root.join("idx.vidx2");
+
+        let mut w = IndexWriter::create(&dir, cfg(), 3).unwrap();
+        let ids0 = w
+            .add_batch(
+                vec![("s".into(), toy("a", 0)), ("s".into(), toy("b", 7))],
+                2,
+            )
+            .unwrap();
+        let ids1 = w.add_batch(vec![("t".into(), toy("c", 14))], 1).unwrap();
+        assert_eq!((ids0, ids1), (vec![0, 1], vec![2]));
+        w.finish().unwrap();
+
+        let mut serial = Index::new(cfg());
+        serial.ingest("s", toy("a", 0));
+        serial.ingest("s", toy("b", 7));
+        serial.ingest("t", toy("c", 14));
+
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.profiles(), serial.profiles());
+        assert_eq!(loaded.tables().len(), 3);
+        for (a, b) in loaded.tables().iter().zip(serial.tables()) {
+            assert_eq!((a.id, &a.name, &a.source), (b.id, &b.name, &b.source));
+        }
+
+        // Index::load dispatches on the path kind.
+        assert_eq!(Index::load(&dir).unwrap().profiles(), serial.profiles());
+
+        let info = dir_info(&dir).unwrap();
+        assert_eq!(info.generations, 2);
+        assert_eq!(info.segments, 6);
+        assert_eq!(info.live_tables, 3);
+        assert_eq!(info.tombstones, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_v2_is_deterministic() {
+        let root = tmp("determinism");
+        let mut idx = Index::new(cfg());
+        idx.ingest("s", toy("a", 0));
+        idx.ingest("s", toy("b", 9));
+        save_v2(&idx, &root.join("one"), 4).unwrap();
+        save_v2(&idx, &root.join("two"), 4).unwrap();
+        assert_eq!(dir_bytes(&root.join("one")), dir_bytes(&root.join("two")));
+        // refuses to clobber an existing index
+        assert!(matches!(
+            save_v2(&idx, &root.join("one"), 4).unwrap_err(),
+            IndexError::Io(_)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn add_remove_compact_equals_fresh_build_byte_for_byte() {
+        let root = tmp("lifecycle");
+        let dir = root.join("idx.vidx2");
+
+        let mut w = IndexWriter::create(&dir, cfg(), 4).unwrap();
+        w.add_batch(
+            vec![("s".into(), toy("keep1", 0)), ("s".into(), toy("drop", 50))],
+            2,
+        )
+        .unwrap();
+        w.add_batch(vec![("s".into(), toy("keep2", 100))], 1)
+            .unwrap();
+        w.finish().unwrap();
+
+        assert_eq!(remove_table(&dir, "drop").unwrap(), Some(1));
+        assert_eq!(remove_table(&dir, "drop").unwrap(), None);
+        assert_eq!(dir_info(&dir).unwrap().tombstones, 1);
+
+        // Before compaction the tombstoned table is already invisible.
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.tables().iter().all(|t| t.name != "drop"));
+        // … and ids are re-densified.
+        assert_eq!(
+            loaded.tables().iter().map(|t| t.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+
+        compact(&dir).unwrap();
+        let info = dir_info(&dir).unwrap();
+        assert_eq!(
+            (info.generations, info.tombstones, info.live_tables),
+            (1, 0, 2)
+        );
+
+        // Byte-for-byte identical to a fresh build of the survivors.
+        let mut fresh = Index::new(cfg());
+        fresh.ingest("s", toy("keep1", 0));
+        fresh.ingest("s", toy("keep2", 100));
+        let fresh_dir = root.join("fresh.vidx2");
+        save_v2(&fresh, &fresh_dir, 4).unwrap();
+        assert_eq!(dir_bytes(&dir), dir_bytes(&fresh_dir));
+
+        // And the compacted directory reloads to the same index.
+        assert_eq!(load_dir(&dir).unwrap().profiles(), fresh.profiles());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_before_finish_leaves_previous_index_intact() {
+        let root = tmp("crash");
+        let dir = root.join("idx.vidx2");
+        let mut w = IndexWriter::create(&dir, cfg(), 2).unwrap();
+        w.add_batch(vec![("s".into(), toy("a", 0))], 1).unwrap();
+        w.finish().unwrap();
+        let before = load_dir(&dir).unwrap();
+
+        // A writer that adds a generation but never finishes…
+        let mut w = IndexWriter::append(&dir).unwrap();
+        w.add_batch(vec![("s".into(), toy("b", 30))], 1).unwrap();
+        drop(w); // crash: manifest never rewritten
+
+        // …leaves orphan files that readers never look at.
+        let after = load_dir(&dir).unwrap();
+        assert_eq!(after.profiles(), before.profiles());
+        assert_eq!(after.len(), 1);
+
+        // A later successful append overwrites the orphan generation.
+        let mut w = IndexWriter::append(&dir).unwrap();
+        w.add_batch(vec![("s".into(), toy("c", 60))], 1).unwrap();
+        w.finish().unwrap();
+        let final_idx = load_dir(&dir).unwrap();
+        assert_eq!(final_idx.len(), 2);
+        assert_eq!(final_idx.tables()[1].name, "c");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_directories_rejected() {
+        let root = tmp("corrupt");
+        let dir = root.join("idx.vidx2");
+        let mut idx = Index::new(cfg());
+        idx.ingest("s", toy("a", 0));
+        save_v2(&idx, &dir, 2).unwrap();
+
+        // manifest: bad magic
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let good_manifest = std::fs::read(&manifest_path).unwrap();
+        let mut bad = good_manifest.clone();
+        bad[0] = b'X';
+        std::fs::write(&manifest_path, &bad).unwrap();
+        assert!(matches!(
+            load_dir(&dir).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+
+        // manifest: unsupported version
+        let mut bad = good_manifest.clone();
+        bad[4..8].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&manifest_path, &bad).unwrap();
+        assert!(matches!(
+            load_dir(&dir).unwrap_err(),
+            IndexError::Version { found: 9, .. }
+        ));
+
+        // manifest: trailing garbage
+        let mut bad = good_manifest.clone();
+        bad.push(0);
+        std::fs::write(&manifest_path, &bad).unwrap();
+        assert!(matches!(
+            load_dir(&dir).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+        std::fs::write(&manifest_path, &good_manifest).unwrap();
+
+        // segment: truncation and bad magic
+        let seg = seg_path(&dir, 0, 0);
+        let good_seg = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &good_seg[..good_seg.len() - 1]).unwrap();
+        assert!(load_dir(&dir).is_err());
+        let mut bad = good_seg.clone();
+        bad[0] = b'X';
+        std::fs::write(&seg, &bad).unwrap();
+        assert!(matches!(
+            load_dir(&dir).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+        std::fs::write(&seg, &good_seg).unwrap();
+
+        // segment from a different config is caught
+        let other_cfg = IndexConfig {
+            bands: 4,
+            rows: 4,
+            seed: 99,
+        };
+        let mut other = Index::new(other_cfg);
+        other.ingest("s", toy("a", 0));
+        let other_dir = root.join("other.vidx2");
+        save_v2(&other, &other_dir, 2).unwrap();
+        std::fs::copy(seg_path(&other_dir, 0, 0), &seg).unwrap();
+        assert!(matches!(
+            load_dir(&dir).unwrap_err(),
+            IndexError::Corrupt(_)
+        ));
+        std::fs::write(&seg, &good_seg).unwrap();
+
+        // missing segment file is an io error
+        std::fs::remove_file(&seg).unwrap();
+        assert!(matches!(load_dir(&dir).unwrap_err(), IndexError::Io(_)));
+
+        // missing manifest entirely
+        assert!(matches!(
+            load_dir(&root.join("nope")).unwrap_err(),
+            IndexError::Io(_)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mapped_probe_agrees_with_in_memory_lsh() {
+        let root = tmp("probe");
+        let dir = root.join("idx.vidx2");
+        let mut idx = Index::new(cfg());
+        for i in 0..12 {
+            idx.ingest("s", toy(&format!("t{i}"), i * 4));
+        }
+        save_v2(&idx, &dir, 4).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        let segments = map_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 4);
+        assert_eq!(
+            segments.iter().map(|s| s.len()).sum::<usize>(),
+            loaded.num_profiles()
+        );
+        // arena signatures round-trip through the map
+        for seg in &segments {
+            for i in 0..seg.len() {
+                let (tid, col) = seg.id_of(i);
+                let p = loaded
+                    .profiles()
+                    .iter()
+                    .find(|p| p.table_id == tid && p.column_index == col)
+                    .unwrap();
+                assert_eq!(seg.signature_of(i), p.signature);
+            }
+        }
+
+        // Probe with every indexed signature plus a disjoint query: the
+        // union of mapped candidates must equal the in-memory LSH's.
+        let queries: Vec<Signature> = loaded
+            .profiles()
+            .iter()
+            .map(|p| p.signature.clone())
+            .chain(std::iter::once(
+                crate::profile::profile_table(
+                    crate::profile::QUERY_TABLE_ID,
+                    &toy("q", 1000),
+                    loaded.hasher(),
+                )
+                .remove(0)
+                .signature,
+            ))
+            .collect();
+        for sig in &queries {
+            let mut mapped: Vec<(u32, u32)> = segments
+                .iter()
+                .flat_map(|s| s.probe(sig).into_iter().map(|i| s.id_of(i as usize)))
+                .collect();
+            mapped.sort_unstable();
+            mapped.dedup();
+            let mut in_memory: Vec<(u32, u32)> = loaded
+                .lsh()
+                .candidates(sig)
+                .into_iter()
+                .map(|pid| {
+                    let p = &loaded.profiles()[pid as usize];
+                    (p.table_id, p.column_index)
+                })
+                .collect();
+            in_memory.sort_unstable();
+            assert_eq!(mapped, in_memory);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn migrate_v1_file_preserves_contents() {
+        let root = tmp("migrate");
+        let path = root.join("old.vidx");
+        let mut idx = Index::new(cfg());
+        idx.ingest("s", toy("a", 0));
+        idx.ingest("s", toy("b", 40));
+        idx.save(&path).unwrap();
+
+        migrate_v1_file(&path, 4).unwrap();
+        assert!(path.is_dir());
+        assert!(is_v2_dir(&path));
+        let back = Index::load(&path).unwrap();
+        assert_eq!(back.profiles(), idx.profiles());
+        assert_eq!(back.tables().len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

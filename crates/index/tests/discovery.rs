@@ -102,7 +102,7 @@ fn same_corpus_and_seed_build_identical_indexes() {
     let (a, _) = build_index(&pairs);
     let (b, _) = build_index(&pairs);
     // byte-identical serialisation is the strongest determinism statement
-    assert_eq!(a.to_bytes(), b.to_bytes());
+    assert_eq!(a.to_bytes().unwrap(), b.to_bytes().unwrap());
 
     // and identical search outcomes, including the matcher stage
     let opts = SearchOptions::with_matcher(MatcherKind::JaccardLevenshtein);

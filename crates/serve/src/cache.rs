@@ -111,6 +111,17 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         }
     }
 
+    /// Drops every entry, keeping the configured capacity. Used when the
+    /// server swaps in a different index: every cached response was
+    /// computed against the old corpus and would silently serve stale
+    /// results.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Keys from most- to least-recently-used (test/debug visibility into
     /// the recency order; O(len)).
     pub fn keys_mru_first(&self) -> Vec<K> {
@@ -193,6 +204,22 @@ mod tests {
         assert_eq!(lru.insert("b", 2), Some(("a", 1)));
         assert_eq!(lru.insert("c", 3), Some(("b", 2)));
         assert_eq!(lru.keys_mru_first(), vec!["c"]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_working() {
+        let mut lru = Lru::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.capacity(), 2);
+        // the recency list is rebuilt correctly after a clear
+        assert_eq!(lru.insert("c", 3), None);
+        assert_eq!(lru.insert("d", 4), None);
+        assert_eq!(lru.insert("e", 5), Some(("c", 3)));
+        assert_eq!(lru.keys_mru_first(), vec!["e", "d"]);
     }
 
     #[test]

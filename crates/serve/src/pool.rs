@@ -55,6 +55,11 @@ pub enum SearchJob {
 pub struct Job {
     /// The search to run.
     pub job: SearchJob,
+    /// The index snapshot this job runs against. Captured by the
+    /// connection handler at enqueue time, so a job started before an
+    /// `/admin/reload` swap finishes against the index it was priced and
+    /// digested under — workers never observe a half-switched request.
+    pub index: LoadedIndex,
     /// The request's cancel token; already ticking while the job queues.
     pub token: CancelToken,
     /// The request's correlation id; the worker installs it with
@@ -92,18 +97,18 @@ pub struct SearchPool {
 }
 
 impl SearchPool {
-    /// Spawns `threads` workers (min 1) draining `jobs` against `index`.
+    /// Spawns `threads` workers (min 1) draining `jobs`. Each job carries
+    /// its own [`LoadedIndex`] handle, so the pool outlives index swaps.
     /// The pool stops — after finishing every queued job — when all
     /// [`Sender`] clones for `jobs` are dropped.
-    pub fn start(index: LoadedIndex, jobs: Receiver<Job>, threads: usize) -> SearchPool {
+    pub fn start(jobs: Receiver<Job>, threads: usize) -> SearchPool {
         let jobs = Arc::new(Mutex::new(jobs));
         let workers = (0..threads.max(1))
             .map(|i| {
-                let index = index.clone();
                 let jobs = Arc::clone(&jobs);
                 std::thread::Builder::new()
                     .name(format!("serve-search-{i}"))
-                    .spawn(move || worker_loop(index, jobs))
+                    .spawn(move || worker_loop(jobs))
                     .expect("spawn search worker")
             })
             .collect();
@@ -119,7 +124,7 @@ impl SearchPool {
     }
 }
 
-fn worker_loop(index: LoadedIndex, jobs: Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(jobs: Arc<Mutex<Receiver<Job>>>) {
     loop {
         // Hold the mutex only while waiting: one worker blocks in recv(),
         // the rest queue on the lock. When every sender is gone, recv
@@ -133,6 +138,7 @@ fn worker_loop(index: LoadedIndex, jobs: Arc<Mutex<Receiver<Job>>>) {
         let start = Instant::now();
         let token = job.token;
         let request_id = job.request_id;
+        let index = job.index;
         let (outcome, mut snapshot) = valentine_obs::capture(|| {
             let _scope = valentine_obs::cancel::scope(token.clone());
             let _request = valentine_obs::reqid::scope(request_id);
@@ -177,10 +183,16 @@ mod tests {
         LoadedIndex::from(idx)
     }
 
-    fn submit(tx: &Sender<Job>, job: SearchJob, token: CancelToken) -> Receiver<JobOutcome> {
+    fn submit(
+        tx: &Sender<Job>,
+        index: &LoadedIndex,
+        job: SearchJob,
+        token: CancelToken,
+    ) -> Receiver<JobOutcome> {
         let (reply, rx) = mpsc::channel();
         tx.send(Job {
             job,
+            index: index.clone(),
             token,
             request_id: Some(Arc::from("test-req")),
             enqueued: Instant::now(),
@@ -193,13 +205,15 @@ mod tests {
     #[test]
     fn pool_answers_and_drains_on_shutdown() {
         let (tx, rx) = mpsc::channel();
-        let pool = SearchPool::start(index(), rx, 2);
+        let index = index();
+        let pool = SearchPool::start(rx, 2);
         let query =
             Table::from_pairs("q", vec![("id", (0..60).map(Value::Int).collect())]).unwrap();
         let replies: Vec<_> = (0..6)
             .map(|_| {
                 submit(
                     &tx,
+                    &index,
                     SearchJob::Unionable {
                         table: query.clone(),
                         k: 2,
@@ -234,11 +248,13 @@ mod tests {
     #[test]
     fn fired_token_reports_deadline_hit_with_partial_results() {
         let (tx, rx) = mpsc::channel();
-        let pool = SearchPool::start(index(), rx, 1);
+        let index = index();
+        let pool = SearchPool::start(rx, 1);
         let query =
             Table::from_pairs("q", vec![("id", (0..60).map(Value::Int).collect())]).unwrap();
         let reply = submit(
             &tx,
+            &index,
             SearchJob::Unionable {
                 table: query,
                 k: 2,

@@ -29,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use valentine_index::{LoadedIndex, SearchOptions, SearchOutcome};
+use valentine_index::{LoadedIndex, SearchOptions, SearchOutcome, SharedIndex};
 use valentine_matchers::MatcherKind;
 use valentine_obs::json::Json;
 use valentine_obs::jsonl::{self, RequestEvent};
@@ -54,6 +54,8 @@ pub mod metrics {
     pub const CACHE_EVICTIONS: &str = "serve/cache_evictions";
     /// Searches that blew their deadline and answered 504 (counter).
     pub const DEADLINE_EXCEEDED: &str = "serve/deadline_exceeded";
+    /// Successful `POST /admin/reload` index swaps (counter).
+    pub const RELOADS: &str = "serve/reloads";
 }
 
 /// Tunables for one server instance.
@@ -89,6 +91,11 @@ pub struct ServeConfig {
     /// storm should not multiply that cost. `Duration::ZERO` disables
     /// memoization.
     pub metrics_memo: Duration,
+    /// Where the index was loaded from (a `VIDX` file or v2 directory).
+    /// When set, `POST /admin/reload` re-loads this path and swaps the
+    /// fresh index in — how the server picks up an `index add`/`remove`/
+    /// `compact` without a restart. `None` disables the endpoint.
+    pub index_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -105,13 +112,16 @@ impl Default for ServeConfig {
             candidate_cap: 10,
             exemplar_capacity: 8,
             metrics_memo: Duration::from_secs(1),
+            index_path: None,
         }
     }
 }
 
 /// What a search answer is cached under: the query's sketch digest plus
-/// every knob that changes the response body. The index is immutable for
-/// the server's lifetime, so equal keys ⇒ equal bodies.
+/// every knob that changes the response body. Each loaded index is
+/// immutable, so equal keys ⇒ equal bodies — and when `/admin/reload`
+/// swaps a *different* index in, the whole cache is cleared rather than
+/// risking stale entries keyed under the old corpus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     digest: u64,
@@ -122,7 +132,9 @@ struct CacheKey {
 }
 
 struct State {
-    index: LoadedIndex,
+    /// The current index, behind a swappable slot so `/admin/reload` can
+    /// publish a replacement while searches hold handles to the old one.
+    index: SharedIndex,
     config: ServeConfig,
     cache: Mutex<Lru<CacheKey, String>>,
     metrics: Mutex<Snapshot>,
@@ -212,11 +224,11 @@ impl ServerHandle {
         let addr = listener.local_addr()?;
 
         let (jobs_tx, jobs_rx) = mpsc::channel();
-        let pool = SearchPool::start(index.clone(), jobs_rx, config.pool_threads);
+        let pool = SearchPool::start(jobs_rx, config.pool_threads);
 
         let accept_threads = config.accept_threads.max(1);
         let state = Arc::new(State {
-            index,
+            index: SharedIndex::new(index),
             cache: Mutex::new(Lru::new(config.cache_capacity)),
             metrics: Mutex::new(Snapshot::new()),
             exemplars: Mutex::new(ExemplarRing::new(config.exemplar_capacity)),
@@ -463,7 +475,18 @@ fn route(state: &State, req: &Request, request_id: &Arc<str>) -> Routed {
                 None,
             ),
         },
-        (_, "/healthz" | "/metrics" | "/search" | "/debug/exemplars") => (
+        ("POST", "/admin/reload") => match handle_reload(state) {
+            Ok(body) => ("reload", 200, "application/json", Vec::new(), body, None),
+            Err((status, message)) => (
+                "reload",
+                status,
+                "application/json",
+                Vec::new(),
+                Json::Obj(vec![("error".to_string(), Json::Str(message))]).render() + "\n",
+                None,
+            ),
+        },
+        (_, "/healthz" | "/metrics" | "/search" | "/debug/exemplars" | "/admin/reload") => (
             "error",
             405,
             "text/plain",
@@ -476,10 +499,35 @@ fn route(state: &State, req: &Request, request_id: &Arc<str>) -> Routed {
             404,
             "text/plain",
             Vec::new(),
-            "not found (try /search, /metrics, /healthz, /debug/exemplars)\n".to_string(),
+            "not found (try /search, /metrics, /healthz, /debug/exemplars, /admin/reload)\n"
+                .to_string(),
             None,
         ),
     }
+}
+
+/// Reloads the index from [`ServeConfig::index_path`] and atomically swaps
+/// it in. In-flight searches finish against the handle they captured; the
+/// result cache is cleared because its entries were computed against the
+/// old corpus. A load failure leaves the running index untouched.
+fn handle_reload(state: &State) -> Result<String, (u16, String)> {
+    let path = state
+        .config
+        .index_path
+        .as_deref()
+        .ok_or((409, "server was started without an index path".to_string()))?;
+    let fresh = LoadedIndex::load(path)
+        .map_err(|e| (500, format!("reload failed, keeping current index: {e}")))?;
+    let tables = fresh.len();
+    state.index.swap(fresh);
+    state.cache.lock().clear();
+    state.bump(metrics::RELOADS);
+    Ok(Json::Obj(vec![
+        ("reloaded".to_string(), Json::Bool(true)),
+        ("tables".to_string(), Json::UInt(tables as u64)),
+    ])
+    .render()
+        + "\n")
 }
 
 /// `Ok((status, json_body, correlation payload))`.
@@ -528,7 +576,11 @@ fn handle_search(
         })?)),
     };
 
-    let query = query_table(state, req)?;
+    // One snapshot per request: the digest, the name lookup, and the
+    // search itself all see the same index even if a reload swaps the
+    // shared slot mid-request.
+    let index = state.index.get();
+    let query = query_table(&index, req)?;
     let opts = SearchOptions {
         rerank,
         candidate_cap: cap,
@@ -538,12 +590,12 @@ fn handle_search(
     let (digest, job) = if joinable {
         let column = query_column(&query, req.param("column"))?;
         (
-            state.index.column_digest(&column),
+            index.column_digest(&column),
             SearchJob::Joinable { column, k, opts },
         )
     } else {
         (
-            state.index.table_digest(&query),
+            index.table_digest(&query),
             SearchJob::Unionable {
                 table: query,
                 k,
@@ -584,6 +636,7 @@ fn handle_search(
     sender
         .send(Job {
             job,
+            index,
             token,
             request_id: Some(Arc::clone(request_id)),
             enqueued: Instant::now(),
@@ -624,7 +677,7 @@ fn parse_or(req: &Request, name: &str, default: usize) -> Result<usize, (u16, St
 }
 
 /// The query table: an uploaded CSV body (POST) or a named indexed table.
-fn query_table(state: &State, req: &Request) -> Result<Table, (u16, String)> {
+fn query_table(index: &LoadedIndex, req: &Request) -> Result<Table, (u16, String)> {
     if !req.body.is_empty() {
         let text = std::str::from_utf8(&req.body)
             .map_err(|_| (400, "query body must be UTF-8 CSV".to_string()))?;
@@ -632,7 +685,7 @@ fn query_table(state: &State, req: &Request) -> Result<Table, (u16, String)> {
             .map_err(|e| (400, format!("cannot parse query CSV: {e}")));
     }
     match req.param("table") {
-        Some(name) => match state.index.table_by_name(name) {
+        Some(name) => match index.table_by_name(name) {
             Some(t) => Ok(t.table.clone()),
             None => Err((404, format!("no indexed table named `{name}`"))),
         },

@@ -18,7 +18,7 @@ use valentine_table::{Table, Value};
 
 /// A 12-table corpus of overlapping integer/label tables — enough that
 /// distinct queries rank distinct winners.
-fn corpus() -> LoadedIndex {
+fn corpus_index() -> Index {
     let mut idx = Index::new(IndexConfig::default());
     for i in 0..12i64 {
         let lo = i * 40;
@@ -37,7 +37,11 @@ fn corpus() -> LoadedIndex {
         .unwrap();
         idx.ingest("demo", t);
     }
-    LoadedIndex::from(idx)
+    idx
+}
+
+fn corpus() -> LoadedIndex {
+    LoadedIndex::from(corpus_index())
 }
 
 fn config() -> ServeConfig {
@@ -255,6 +259,80 @@ fn error_paths_answer_without_killing_the_server() {
     assert_eq!(status, 200);
     assert!(body.contains("serve/requests "), "{body}");
     assert!(body.contains("serve/search_ns_p99 "), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn admin_reload_swaps_the_index_and_clears_the_cache() {
+    let dir = std::env::temp_dir().join("valentine_serve_reload_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.vidx");
+    corpus().index().save(&path).unwrap();
+
+    let server = ServerHandle::start(
+        LoadedIndex::load(&path).unwrap(),
+        ServeConfig {
+            index_path: Some(path.clone()),
+            ..config()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let post_reload =
+        "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+
+    // warm the cache against the original corpus
+    let target = "/search?kind=unionable&k=3&table=table_0&method=jl";
+    let (status, _, _) = get(addr, target);
+    assert_eq!(status, 200);
+    let (_, head, _) = get(addr, target);
+    assert!(head.contains("X-Valentine-Cache: hit"), "{head}");
+
+    // grow the on-disk index (what `valentine index add` would do), then
+    // ask the running server to pick it up
+    let mut bigger = corpus_index();
+    bigger.ingest(
+        "demo",
+        Table::from_pairs(
+            "table_new",
+            vec![("id", (900..960).map(Value::Int).collect())],
+        )
+        .unwrap(),
+    );
+    bigger.save(&path).unwrap();
+
+    let (status, _, body) = request(addr, post_reload);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"reloaded\":true"), "{body}");
+    assert!(body.contains("\"tables\":13"), "{body}");
+
+    // the new table is searchable without a restart...
+    let (status, _, body) = get(addr, "/search?kind=unionable&k=3&table=table_new&method=jl");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"table\":\"table_new\""), "{body}");
+    // ...and the pre-reload cache entry was dropped, not served stale
+    let (status, head, _) = get(addr, target);
+    assert_eq!(status, 200);
+    assert!(head.contains("X-Valentine-Cache: miss"), "{head}");
+
+    // wrong method is a 405; a bad on-disk index keeps the old one serving
+    let (status, _, _) = get(addr, "/admin/reload");
+    assert_eq!(status, 405);
+    std::fs::write(&path, b"garbage, not a VIDX file").unwrap();
+    let (status, _, body) = request(addr, post_reload);
+    assert_eq!(status, 500, "{body}");
+    let (status, _, _) = get(addr, "/search?kind=unionable&k=3&table=table_new&method=jl");
+    assert_eq!(status, 200, "old index still serves after a failed reload");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/reloads"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // a server started without an index path refuses to reload
+    let server = ServerHandle::start(corpus(), config()).unwrap();
+    let (status, _, body) = request(server.addr(), post_reload);
+    assert_eq!(status, 409, "{body}");
     server.shutdown();
 }
 

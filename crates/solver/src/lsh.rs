@@ -88,7 +88,13 @@ impl LshIndex {
     }
 }
 
-fn band_hash(rows: &[u64]) -> u64 {
+/// Hash of one band's signature rows — the LSH bucket key.
+///
+/// Exposed so on-disk index formats can shard and sort postings by the
+/// exact bucket key the in-memory index uses; the two must agree or a
+/// memory-mapped probe would return different candidates than
+/// [`LshIndex::candidates`].
+pub fn band_hash(rows: &[u64]) -> u64 {
     // Fx-style mixing of the band's minhash values.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &v in rows {
