@@ -1,0 +1,151 @@
+//! Guard: fault containment must be close to free.
+//!
+//! Two hard assertions over the checksummed index and the shedding server:
+//!
+//! 1. **Checksum overhead** — the CRC32C pass is a strict subset of the
+//!    work `Index::load` does on a v2 directory, and re-hashing every byte
+//!    of the artifact must cost less than 5% of the full load (parse,
+//!    profile reconstruction, LSH rebuild). Checksums exist to contain
+//!    corruption, not to slow every healthy start-up.
+//! 2. **Shed latency** — with the connection queue saturated, an excess
+//!    client must see its 503 (Retry-After) in under a millisecond at the
+//!    median. Shedding that dawdles is just a slower way to be overloaded.
+//!
+//! Run with `cargo bench --bench fault_tolerance`; `--quick` shrinks the
+//! corpus for smoke runs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use valentine_core::index::{crc, v2};
+use valentine_core::prelude::*;
+use valentine_serve::{ServeConfig, ServerHandle};
+
+/// Load iterations averaged in the checksum-overhead phase.
+const LOADS: u32 = 8;
+/// Shed round trips sampled in the latency phase.
+const SHEDS: usize = 32;
+
+fn corpus(tables: i64, rows: i64) -> Index {
+    let mut idx = Index::new(IndexConfig::default());
+    for i in 0..tables {
+        let lo = i * rows / 8;
+        let table = Table::from_pairs(
+            format!("table_{i}"),
+            vec![
+                ("id", (lo..lo + rows).map(Value::Int).collect()),
+                (
+                    "label",
+                    (lo..lo + rows)
+                        .map(|v| Value::str(format!("item-{v}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .expect("uniform columns");
+        idx.ingest("bench", table);
+    }
+    idx
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (tables, rows) = if quick { (8, 60) } else { (24, 200) };
+
+    // Phase 1: checksum share of a full v2 load.
+    let dir = std::env::temp_dir().join("valentine_bench_fault_tolerance");
+    let _ = std::fs::remove_dir_all(&dir);
+    v2::save_v2(&corpus(tables, rows), &dir, 4).expect("save v2");
+    let files: Vec<Vec<u8>> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .map(|e| std::fs::read(e.expect("entry").path()).expect("read file"))
+        .collect();
+    let total_bytes: usize = files.iter().map(Vec::len).sum();
+
+    let started = Instant::now();
+    for _ in 0..LOADS {
+        let idx = Index::load(&dir).expect("load");
+        assert_eq!(idx.len(), tables as usize, "every table survives a load");
+        assert!(!idx.is_degraded(), "pristine artifact loads clean");
+    }
+    let load = started.elapsed() / LOADS;
+
+    let started = Instant::now();
+    for _ in 0..LOADS {
+        for bytes in &files {
+            std::hint::black_box(crc::crc32c(bytes));
+        }
+    }
+    let checksum = started.elapsed() / LOADS;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let share = checksum.as_secs_f64() / load.as_secs_f64().max(1e-9);
+    assert!(
+        share < 0.05,
+        "re-hashing every byte must cost <5% of a full load: \
+         crc {checksum:?} vs load {load:?} ({:.1}%)",
+        share * 100.0
+    );
+
+    // Phase 2: shed latency under a saturated queue. One connection
+    // worker and a one-slot queue, pinned by two stalled clients, so
+    // every further connection takes the shed path deterministically.
+    let server = ServerHandle::start(
+        LoadedIndex::from(corpus(8, 60)),
+        ServeConfig {
+            accept_threads: 1,
+            conn_queue: 1,
+            header_read_timeout: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let pin_worker = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+    let fill_queue = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut latencies: Vec<Duration> = (0..SHEDS)
+        .map(|_| {
+            let started = Instant::now();
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n")
+                .expect("send");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("recv");
+            let elapsed = started.elapsed();
+            assert!(
+                response.starts_with("HTTP/1.1 503"),
+                "saturated queue must shed: {response}"
+            );
+            elapsed
+        })
+        .collect();
+    latencies.sort();
+    let median = latencies[SHEDS / 2];
+    let worst = latencies[SHEDS - 1];
+
+    drop(pin_worker);
+    drop(fill_queue);
+    let snapshot = server.shutdown();
+    assert!(
+        snapshot.counter("serve/sheds") >= SHEDS as u64,
+        "every sampled request took the shed path"
+    );
+    assert!(
+        median < Duration::from_millis(1),
+        "a shed 503 must come back in <1ms at the median: \
+         median {median:?}, worst {worst:?}"
+    );
+
+    println!(
+        "fault tolerance guard: crc over {total_bytes} bytes {checksum:.0?} vs load {load:.0?} \
+         ({:.2}% of load, cap 5%) | shed 503 median {median:.0?}, worst {worst:.0?} \
+         over {SHEDS} requests (cap 1ms median)",
+        share * 100.0
+    );
+}

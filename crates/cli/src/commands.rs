@@ -133,12 +133,24 @@ USAGE:
   valentine index info <index>
       Summarise a built index: format (v1 file or v2 directory), tables,
       profiles, LSH layout, and — for v2 — generations, segments, and
-      pending tombstones.
+      pending tombstones. Reports quarantined data when the load was
+      degraded.
+
+  valentine index verify [--deep] <index>
+      Integrity-check a built index (fsck): validate the magic, version,
+      and CRC32C checksum of every file — the single blob for v1, the
+      MANIFEST plus every table catalog and segment for v2 — and print
+      one verdict per file. --deep additionally re-parses every file and
+      cross-checks catalogs against segments, catching structurally valid
+      files that disagree with each other. Unreferenced files are listed
+      as orphans but never fail the check. Exit code 1 when anything is
+      corrupt. A corrupt generation can be dropped (and its space
+      reclaimed) with `valentine index compact`.
 
   valentine serve <index-file> [--host H] [--port P] [--pool-threads T]
                   [--accept-threads T] [--cache N] [--deadline-ms MS]
-                  [--k K] [--method NAME | --no-rerank] [--cap N]
-                  [--profile-hz HZ]
+                  [--header-timeout-ms MS] [--k K]
+                  [--method NAME | --no-rerank] [--cap N] [--profile-hz HZ]
       Load the index once and answer concurrent discovery queries over
       HTTP until SIGINT/SIGTERM, then drain gracefully. Endpoints:
         GET  /search?kind=unionable|joinable&k=K[&table=NAME|&column=NAME]
@@ -147,15 +159,24 @@ USAGE:
         GET  /metrics               (counters + p50/p90/p99 per endpoint;
                                      ?format=prometheus for exposition text)
         GET  /debug/exemplars       (slowest + errored request snapshots)
-        GET  /healthz
+        GET  /healthz               (body `ok`, or `degraded` when corrupt
+                                     data was quarantined at load)
         POST /admin/reload          (re-load the index file/directory and
                                      swap it in without dropping requests;
-                                     the result cache is cleared)
+                                     the result cache is cleared; a failed
+                                     load answers 503 `keeping current
+                                     index` and the old index serves on)
       --port 0 (the default) binds an ephemeral port and prints it.
       Answers are cached in an LRU keyed by the query's sketch digest;
       requests that blow their deadline answer 504 with the sketch-only
       shortlist and are never cached. Every response carries an
       X-Valentine-Request-Id header; a valid client-sent id is adopted.
+      Overload is shed, not queued: when the connection queue stays full
+      past a brief retry, excess connections answer 503 with Retry-After
+      (counter serve/sheds), and request heads that dawdle past
+      --header-timeout-ms (default 2000) answer 408 (serve/slow_headers).
+      Searches over a degraded index answer 200 with `degraded: true` and
+      are never cached; repair with `index compact` + /admin/reload.
       With --trace, each finished request streams into the trace as a
       `request` line (inspect one with `trace report --request ID`) and
       the final metrics snapshot is flushed on shutdown. --profile-hz
@@ -727,8 +748,11 @@ pub fn write_snapshot_trace(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// `valentine index <build|add|remove|compact|search|eval|info>`
-pub fn index(argv: &[String]) -> Result<(), String> {
+/// `valentine index <build|add|remove|compact|search|eval|info|verify>`
+///
+/// Returns the process exit code: `verify` exits 1 when any file fails
+/// its integrity check; every other subcommand exits 0 on success.
+pub fn index(argv: &[String]) -> Result<i32, String> {
     match argv.first().map(String::as_str) {
         Some("build") => index_build(&argv[1..]),
         Some("add") => index_add(&argv[1..]),
@@ -737,11 +761,14 @@ pub fn index(argv: &[String]) -> Result<(), String> {
         Some("search") => index_search(&argv[1..]),
         Some("eval") => index_eval(&argv[1..]),
         Some("info") => index_info(&argv[1..]),
+        Some("verify") => return index_verify(&argv[1..]),
         other => Err(format!(
-            "unknown index subcommand `{}` (build | add | remove | compact | search | eval | info)",
+            "unknown index subcommand `{}` \
+             (build | add | remove | compact | search | eval | info | verify)",
             other.unwrap_or("")
         )),
-    }
+    }?;
+    Ok(0)
 }
 
 fn index_config_from(p: &args::Parsed) -> Result<valentine_core::index::IndexConfig, String> {
@@ -969,6 +996,13 @@ fn index_search(argv: &[String]) -> Result<(), String> {
         s.matcher_errors,
         idx.len()
     );
+    if s.degraded {
+        eprintln!(
+            "warning: index is degraded — corrupt data was quarantined at load, \
+             so the ranking covers the surviving tables only \
+             (run `valentine index verify` for details)"
+        );
+    }
     Ok(())
 }
 
@@ -1021,6 +1055,16 @@ fn index_info(argv: &[String]) -> Result<(), String> {
         (1.0 / config.bands as f64).powf(1.0 / config.rows as f64)
     );
     println!("seed:          {:#x}", config.seed);
+    if idx.is_degraded() {
+        let q = idx.quarantine();
+        println!(
+            "degraded:      yes — {} generation(s) / {} segment(s) quarantined at load",
+            q.generations, q.segments
+        );
+        for reason in &q.reasons {
+            println!("  {reason}");
+        }
+    }
     let mut by_source: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
     for t in idx.tables() {
         *by_source.entry(t.source.as_str()).or_insert(0) += 1;
@@ -1029,6 +1073,42 @@ fn index_info(argv: &[String]) -> Result<(), String> {
         println!("  {source}: {n} tables");
     }
     Ok(())
+}
+
+/// `valentine index verify [--deep] <index>` — the index fsck. Prints one
+/// verdict per file and exits 1 when anything is corrupt.
+fn index_verify(argv: &[String]) -> Result<i32, String> {
+    let p = args::parse(argv, &["deep"])?;
+    let path = p.positional(0, "index path")?;
+    let report =
+        valentine_core::index::verify::verify_path(std::path::Path::new(path), p.flag("deep"))
+            .map_err(|e| format!("cannot verify `{path}`: {e}"))?;
+    for v in &report.verdicts {
+        if v.ok {
+            println!("ok       {}", v.file);
+        } else {
+            println!("CORRUPT  {}: {}", v.file, v.detail);
+        }
+    }
+    for orphan in &report.orphans {
+        println!("orphan   {orphan} (not referenced by the manifest)");
+    }
+    let corrupt = report.corrupt_files();
+    if corrupt.is_empty() {
+        println!(
+            "{path}: verified {} file(s), all clean",
+            report.verdicts.len()
+        );
+        Ok(0)
+    } else {
+        println!(
+            "{path}: {} of {} file(s) corrupt: {}",
+            corrupt.len(),
+            report.verdicts.len(),
+            corrupt.join(", ")
+        );
+        Ok(1)
+    }
 }
 
 /// One shared trace file behind a mutex: the server's request log clones
@@ -1073,6 +1153,8 @@ pub fn serve(argv: &[String], trace: Option<&Path>) -> Result<i32, String> {
         accept_threads: p.opt_parse("accept-threads", defaults.accept_threads)?,
         cache_capacity: p.opt_parse("cache", defaults.cache_capacity)?,
         default_deadline: opt_millis(&p, "deadline-ms")?.or(defaults.default_deadline),
+        header_read_timeout: opt_millis(&p, "header-timeout-ms")?
+            .unwrap_or(defaults.header_read_timeout),
         default_k: p.opt_parse("k", defaults.default_k)?,
         candidate_cap: p.opt_parse("cap", defaults.candidate_cap)?,
         index_path: Some(std::path::PathBuf::from(&index_path)),

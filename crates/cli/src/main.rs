@@ -11,6 +11,7 @@
 //! valentine index search <index-file> --query <q.csv> [--mode unionable|joinable]
 //! valentine index eval [--size S] [--per-source N] [--k K] [--method NAME]
 //! valentine index info <index-file>
+//! valentine index verify [--deep] <index>
 //! valentine serve <index-file> [--port P] [--deadline-ms MS] [--method NAME]
 //! ```
 //!
@@ -83,7 +84,15 @@ fn run(argv: &[String], trace: Option<PathBuf>) -> Result<i32, String> {
         // `run` streams experiment records into the trace itself.
         Some("run") => return commands::run_experiments(&argv[1..], trace.as_deref()),
         Some("trace") => commands::trace(&argv[1..]),
-        Some("index") => commands::index(&argv[1..]),
+        // `index verify` reports corruption through its exit code, so the
+        // snapshot-trace postlude runs here before the early return.
+        Some("index") => {
+            let code = commands::index(&argv[1..])?;
+            if let Some(path) = &trace {
+                commands::write_snapshot_trace(path)?;
+            }
+            return Ok(code);
+        }
         // `serve` flushes its own trace on graceful shutdown.
         Some("serve") => return commands::serve(&argv[1..], trace.as_deref()),
         Some("--help" | "-h" | "help") | None => {

@@ -31,6 +31,12 @@ impl Writer {
         self.buf
     }
 
+    /// A view of the bytes accumulated so far, for checksumming sections
+    /// mid-write.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Raw bytes, no length prefix (magic numbers).
     pub fn raw(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
@@ -105,6 +111,17 @@ impl<'a> Reader<'a> {
     /// True when every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// The current cursor position, for delimiting checksummed sections.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The bytes consumed since `start` (a position previously returned by
+    /// [`Reader::pos`]), for verifying section checksums after parsing.
+    pub fn since(&self, start: usize) -> &'a [u8] {
+        &self.buf[start..self.pos]
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], IndexError> {

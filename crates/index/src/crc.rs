@@ -1,0 +1,185 @@
+//! Hand-rolled CRC32C (Castagnoli) for VIDX artifact checksums.
+//!
+//! The workspace vendors no checksum crate, so the reflected CRC-32C
+//! (polynomial `0x1EDC6A41`, reflected `0x82F63B78` — the variant used by
+//! iSCSI, ext4, and RocksDB block trailers) is implemented here: the
+//! SSE4.2 `crc32` instruction where the CPU has it, slice-by-8 lookup
+//! tables everywhere else. Every VIDX artifact carries CRC32C protection:
+//! v1 files
+//! checksum their header and each table section, v2 files (manifest,
+//! `.vtab`, `.vseg`) carry one whole-file trailer covering everything
+//! before it. A single flipped bit anywhere in a checksummed region is
+//! guaranteed to change the CRC, so corruption is *detected* instead of
+//! silently changing search answers.
+
+use crate::error::IndexError;
+
+/// Reflected CRC32C polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Slice-by-8 lookup tables, built once at first use. `t[0]` is the
+/// classic byte-at-a-time table; `t[k]` advances a byte through `k`
+/// further zero bytes, so eight table lookups retire eight input bytes
+/// per iteration instead of one.
+fn tables() -> &'static [[u32; 256]; 8] {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256 {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            t[0][i] = crc;
+        }
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// Software CRC32C over `bytes`, continuing from pre-inverted state
+/// `crc`. Slice-by-8: ~4–8× the throughput of the byte-at-a-time loop,
+/// still plain table lookups on any architecture.
+fn crc32c_sw(mut crc: u32, bytes: &[u8]) -> u32 {
+    let t = tables();
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Hardware CRC32C via the SSE4.2 `crc32` instruction, which implements
+/// exactly this polynomial. Only called after `is_x86_feature_detected!`
+/// confirmed the instruction exists.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+fn crc32c_hw(mut crc: u32, bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut chunks = bytes.chunks_exact(8);
+    let mut wide = crc as u64;
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        wide = _mm_crc32_u64(wide, v);
+    }
+    crc = wide as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+/// CRC32C of `bytes` (initial value and final XOR both `0xFFFF_FFFF`, as
+/// standard). Dispatches to the SSE4.2 `crc32` instruction when the CPU
+/// has it, falling back to the slice-by-8 tables everywhere else.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: the detection above proves the instruction is present,
+        // which is the only precondition `#[target_feature]` imposes.
+        return !unsafe { crc32c_hw(!0u32, bytes) };
+    }
+    !crc32c_sw(!0u32, bytes)
+}
+
+/// Appends the little-endian CRC32C of everything currently in `buf` —
+/// the write half of the whole-file trailer every v2 artifact carries.
+pub fn append_trailer(buf: &mut Vec<u8>) {
+    let crc = crc32c(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Splits off and verifies a trailing CRC32C, returning the payload it
+/// covers. `what` names the artifact in the error.
+pub fn verify_trailer<'a>(bytes: &'a [u8], what: &str) -> Result<&'a [u8], IndexError> {
+    if bytes.len() < 4 {
+        return Err(IndexError::Corrupt(format!(
+            "{what} too short to carry a CRC32C trailer"
+        )));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let computed = crc32c(payload);
+    if stored != computed {
+        return Err(IndexError::Corrupt(format!(
+            "{what} checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+        )));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // RFC 3720 (iSCSI) test vectors.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn software_path_matches_the_dispatch() {
+        // Whatever `crc32c` dispatched to (hardware on x86_64 with
+        // SSE4.2, tables elsewhere), the slice-by-8 fallback must agree —
+        // across lengths that exercise the 8-byte fast loop, the
+        // remainder tail, and both empty and single-byte inputs.
+        let data: Vec<u8> = (0..1021u32)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
+        for cut in [0, 1, 7, 8, 9, 63, 64, 500, 1021] {
+            assert_eq!(
+                !crc32c_sw(!0u32, &data[..cut]),
+                crc32c(&data[..cut]),
+                "length {cut}"
+            );
+        }
+        assert_eq!(!crc32c_sw(!0u32, b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn trailer_roundtrip_and_tamper_detection() {
+        let mut buf = b"some payload bytes".to_vec();
+        append_trailer(&mut buf);
+        assert_eq!(verify_trailer(&buf, "blob").unwrap(), b"some payload bytes");
+
+        // Any single flipped bit — payload or trailer — is detected.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x10;
+            let err = verify_trailer(&bad, "blob").unwrap_err();
+            assert!(matches!(err, IndexError::Corrupt(_)), "byte {i}: {err}");
+        }
+
+        // Too short to even hold a trailer.
+        assert!(verify_trailer(b"ab", "blob").is_err());
+    }
+}

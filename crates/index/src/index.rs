@@ -60,6 +60,22 @@ pub struct IndexedTable {
     pub(crate) profile_len: usize,
 }
 
+/// What the v2 loader quarantined while building this index, if anything.
+///
+/// A quarantined generation is one whose files failed checksum or
+/// cross-validation at load time: its tables are absent from the index and
+/// every search over the index is flagged degraded until a rebuild or
+/// [`compact`](crate::v2::compact) repairs the directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Generations skipped because a file of theirs was corrupt or missing.
+    pub generations: u32,
+    /// Segment files belonging to the quarantined generations.
+    pub segments: u32,
+    /// One human-readable reason per quarantined generation.
+    pub reasons: Vec<String>,
+}
+
 /// The column-profile discovery index.
 #[derive(Debug)]
 pub struct Index {
@@ -68,6 +84,7 @@ pub struct Index {
     tables: Vec<IndexedTable>,
     profiles: Vec<ColumnProfile>,
     lsh: LshIndex,
+    quarantine: QuarantineReport,
 }
 
 impl Index {
@@ -82,6 +99,7 @@ impl Index {
             config,
             tables: Vec::new(),
             profiles: Vec::new(),
+            quarantine: QuarantineReport::default(),
         }
     }
 
@@ -137,6 +155,24 @@ impl Index {
     /// The LSH structure (candidate generation).
     pub(crate) fn lsh(&self) -> &LshIndex {
         &self.lsh
+    }
+
+    /// True when the loader quarantined part of the on-disk index: the
+    /// index answers searches, but over survivors only.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantine.generations > 0
+    }
+
+    /// What was quarantined at load time (empty for healthy indexes).
+    pub fn quarantine(&self) -> &QuarantineReport {
+        &self.quarantine
+    }
+
+    /// Records one quarantined generation and its segment files.
+    pub(crate) fn note_quarantine(&mut self, segments: u32, reason: String) {
+        self.quarantine.generations += 1;
+        self.quarantine.segments += segments;
+        self.quarantine.reasons.push(reason);
     }
 
     /// Profiles and inserts one table, returning its id.

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+pub mod crc;
 pub mod error;
 pub mod index;
 pub mod loaded;
@@ -49,10 +50,13 @@ pub mod persist;
 pub mod profile;
 pub mod search;
 pub mod v2;
+pub mod verify;
 
+pub use crc::crc32c;
 pub use error::IndexError;
-pub use index::{Index, IndexConfig, IndexedTable};
+pub use index::{Index, IndexConfig, IndexedTable, QuarantineReport};
 pub use loaded::{LoadedIndex, SharedIndex};
 pub use profile::ColumnProfile;
 pub use search::{DiscoveryResult, SearchOptions, SearchOutcome, SearchStats};
 pub use v2::{IndexWriter, MappedSegment, V2Info, DEFAULT_SHARDS};
+pub use verify::{FileVerdict, VerifyReport};

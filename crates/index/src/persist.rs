@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! "VIDX" | version u32 | bands u64 | rows u64 | seed u64 | n_tables u32
+//!        | header_crc u32                                  (version ≥ 2)
 //! per table:
 //!   name | source | csv blob | n_profiles u32
 //!   per profile:
 //!     column_index u32 | name | n_tokens u32 | tokens… | dtype u8
 //!     rows u64 | distinct u64 | signature u64s | quantiles f64s
+//!   table_crc u32                                          (version ≥ 2)
 //! ```
 //!
 //! Stored tables travel as CSV blobs (the workspace's canonical
@@ -18,6 +20,13 @@
 //! (cheap, and keeps the file independent of hash-map layout). Writing is
 //! deterministic: the same corpus ingested in the same order produces
 //! byte-identical files.
+//!
+//! Version 2 added per-section CRC32C checksums ([`crate::crc`]): one over
+//! the header and one over each table's serialized span, so a single
+//! flipped bit anywhere — even inside a CSV data cell that every semantic
+//! cross-check would wave through — fails the load instead of silently
+//! changing search answers. Version-1 files (no checksums) remain
+//! loadable.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -28,13 +37,20 @@ use valentine_table::{csv, DataType};
 use valentine_text::tokenize::normalize_tokens;
 
 use crate::codec::{check_len, Reader, Writer};
+use crate::crc;
 use crate::error::IndexError;
 use crate::index::{Index, IndexConfig};
 use crate::profile::ColumnProfile;
 
 const MAGIC: &[u8; 4] = b"VIDX";
-/// Current single-file format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Upper bound on the stored `bands · rows` signature length. Real
+/// configurations sit in the tens-to-hundreds; the bound exists so a
+/// corrupt header in an unchecksummed version-1 file cannot drive a huge
+/// up-front allocation before parsing fails.
+const MAX_SIGNATURE_LEN: usize = 1 << 16;
+/// Current single-file format version. Version 2 added the header and
+/// per-table CRC32C checksums; version-1 files remain loadable.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Distinguishes temp files written concurrently by threads of one process.
 static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
@@ -125,7 +141,9 @@ impl Index {
         w.u64(self.config().rows as u64);
         w.u64(self.config().seed);
         w.u32(check_len(self.tables().len(), "table count")?);
+        w.u32(crc::crc32c(w.bytes()));
         for t in self.tables() {
+            let start = w.bytes().len();
             w.str(&t.name, "table name")?;
             w.str(&t.source, "table source")?;
             w.str(&csv::serialize(&t.table), "table csv")?;
@@ -144,6 +162,7 @@ impl Index {
                 w.u64s(&p.signature.0, "signature")?;
                 w.f64s(&p.quantiles, "quantiles")?;
             }
+            w.u32(crc::crc32c(&w.bytes()[start..]));
         }
         Ok(w.into_bytes())
     }
@@ -168,11 +187,29 @@ impl Index {
         if bands == 0 || rows == 0 {
             return Err(IndexError::Corrupt("zero bands or rows".into()));
         }
+        if !matches!(bands.checked_mul(rows), Some(len) if len <= MAX_SIGNATURE_LEN) {
+            return Err(IndexError::Corrupt(format!(
+                "implausible signature length (bands {bands} × rows {rows})"
+            )));
+        }
         let config = IndexConfig { bands, rows, seed };
-        let mut index = Index::new(config);
 
         let n_tables = r.u32("table count")?;
+        if version >= 2 {
+            let computed = crc::crc32c(&bytes[..r.pos()]);
+            let stored = r.u32("header checksum")?;
+            if stored != computed {
+                return Err(IndexError::Corrupt(format!(
+                    "index header checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+                )));
+            }
+        }
+        // Constructed only after the header survives its checksum and the
+        // sanity bound: `Index::new` allocates `bands · rows` hash seeds up
+        // front, so a flipped config byte must never reach it.
+        let mut index = Index::new(config);
         for table_id in 0..n_tables {
+            let section_start = r.pos();
             let name = r.str("table name")?;
             let source = r.str("table source")?;
             let blob = r.str("table csv")?;
@@ -236,6 +273,16 @@ impl Index {
                     signature,
                     quantiles,
                 });
+            }
+            if version >= 2 {
+                let computed = crc::crc32c(r.since(section_start));
+                let stored = r.u32("table checksum")?;
+                if stored != computed {
+                    return Err(IndexError::Corrupt(format!(
+                        "table {table_id} section checksum mismatch: \
+                         stored {stored:08x}, computed {computed:08x}"
+                    )));
+                }
             }
             index.insert_profiled(&source, table, profiles);
         }
@@ -306,18 +353,29 @@ mod tests {
         idx
     }
 
-    /// Re-serialises `idx` exactly like `to_bytes`, but lets the test
-    /// tamper with each profile before it is written — the only way to
-    /// craft a file whose stored metadata disagrees with its stored CSV.
-    fn serialize_patched(idx: &Index, patch: impl Fn(&mut ColumnProfile)) -> Vec<u8> {
+    /// Re-serialises `idx` exactly like `to_bytes` at the requested format
+    /// version, but lets the test tamper with each profile before it is
+    /// written — the only way to craft a file whose stored metadata
+    /// disagrees with its stored CSV. Checksums (version ≥ 2) are computed
+    /// over the *patched* bytes, so only the semantic cross-checks can
+    /// object.
+    fn serialize_versioned(
+        idx: &Index,
+        version: u32,
+        patch: impl Fn(&mut ColumnProfile),
+    ) -> Vec<u8> {
         let mut w = Writer::new();
         w.raw(MAGIC);
-        w.u32(FORMAT_VERSION);
+        w.u32(version);
         w.u64(idx.config().bands as u64);
         w.u64(idx.config().rows as u64);
         w.u64(idx.config().seed);
         w.u32(idx.tables().len() as u32);
+        if version >= 2 {
+            w.u32(crc::crc32c(w.bytes()));
+        }
         for t in idx.tables() {
+            let start = w.bytes().len();
             w.str(&t.name, "table name").unwrap();
             w.str(&t.source, "table source").unwrap();
             w.str(&csv::serialize(&t.table), "table csv").unwrap();
@@ -338,8 +396,15 @@ mod tests {
                 w.u64s(&p.signature.0, "signature").unwrap();
                 w.f64s(&p.quantiles, "quantiles").unwrap();
             }
+            if version >= 2 {
+                w.u32(crc::crc32c(&w.bytes()[start..]));
+            }
         }
         w.into_bytes()
+    }
+
+    fn serialize_patched(idx: &Index, patch: impl Fn(&mut ColumnProfile)) -> Vec<u8> {
+        serialize_versioned(idx, FORMAT_VERSION, patch)
     }
 
     #[test]
@@ -487,6 +552,33 @@ mod tests {
             Index::from_bytes(&bytes).unwrap_err(),
             IndexError::Corrupt(_)
         ));
+    }
+
+    #[test]
+    fn checksumless_version_1_files_still_load() {
+        let idx = sample_index();
+        let legacy = serialize_versioned(&idx, 1, |_| {});
+        let back = Index::from_bytes(&legacy).unwrap();
+        assert_eq!(back.profiles(), idx.profiles());
+        assert_eq!(back.tables().len(), idx.tables().len());
+        // Re-saving upgrades to the checksummed current version.
+        assert_ne!(back.to_bytes().unwrap(), legacy);
+    }
+
+    #[test]
+    fn flipped_byte_anywhere_is_rejected() {
+        let bytes = sample_index().to_bytes().unwrap();
+        // A CSV data cell flip passes every semantic cross-check; only the
+        // section checksum catches it. Sweep a sparse grid of positions
+        // plus both ends (the proptest suite covers exhaustive flips).
+        for pos in (0..bytes.len()).step_by(17).chain([0, bytes.len() - 1]) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                Index::from_bytes(&bad).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
     }
 
     #[test]

@@ -132,6 +132,9 @@ pub struct SearchStats {
     /// candidates also fall back to their sketch score); nonzero means the
     /// ranking is a deadline-truncated partial re-rank.
     pub matcher_skips: usize,
+    /// True when the index answering this search had quarantined part of
+    /// its on-disk data at load time — the ranking covers survivors only.
+    pub degraded: bool,
 }
 
 impl SearchStats {
@@ -143,6 +146,7 @@ impl SearchStats {
             matcher_calls: snapshot.counter(metrics::MATCHER_CALLS) as usize,
             matcher_errors: snapshot.counter(metrics::MATCHER_ERRORS) as usize,
             matcher_skips: snapshot.counter(metrics::MATCHER_SKIPS) as usize,
+            degraded: false,
         }
     }
 }
@@ -213,10 +217,9 @@ impl Index {
             results.truncate(k);
             results
         });
-        SearchOutcome {
-            results,
-            stats: SearchStats::from_snapshot(&snapshot, query.width()),
-        }
+        let mut stats = SearchStats::from_snapshot(&snapshot, query.width());
+        stats.degraded = self.is_degraded();
+        SearchOutcome { results, stats }
     }
 
     /// Top-k joinable-column search: which indexed columns could this
@@ -292,10 +295,9 @@ impl Index {
             results.truncate(k);
             results
         });
-        SearchOutcome {
-            results,
-            stats: SearchStats::from_snapshot(&snapshot, 1),
-        }
+        let mut stats = SearchStats::from_snapshot(&snapshot, 1);
+        stats.degraded = self.is_degraded();
+        SearchOutcome { results, stats }
     }
 
     /// The brute-force baseline: run the matcher against every indexed
@@ -317,10 +319,9 @@ impl Index {
             results.truncate(k);
             results
         });
-        SearchOutcome {
-            results,
-            stats: SearchStats::from_snapshot(&snapshot, query.width()),
-        }
+        let mut stats = SearchStats::from_snapshot(&snapshot, query.width());
+        stats.degraded = self.is_degraded();
+        SearchOutcome { results, stats }
     }
 
     /// Runs the matcher over the shortlist in parallel (same worker-pool

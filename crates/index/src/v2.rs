@@ -42,10 +42,28 @@
 //! postings  bands × n × (band_hash u64, idx u64)          sorted per band
 //! meta      per idx: name | tokens | dtype u8 | rows u64
 //!           | distinct u64 | quantiles f64s               codec-encoded
+//! crc       CRC32C of everything above, u32               trailer
 //! ```
+//!
+//! Every v2 artifact (manifest, `.vtab`, `.vseg`) ends in a CRC32C trailer
+//! covering the whole file before it. [`load_dir`] verifies trailers
+//! eagerly; [`MappedSegment`] defers verification to the first
+//! [`probe`](MappedSegment::probe) so that opening a directory of mapped
+//! segments stays O(1) per file.
+//!
+//! **Fault containment** — a corrupt or missing generation does not take
+//! the whole index down: [`load_dir`] *quarantines* the generation (skips
+//! it, counts it under `index/quarantined_generations` and
+//! `index/quarantined_segments`, and records the reason on the returned
+//! [`Index`]) and keeps loading survivors. Searches over such an index are
+//! flagged degraded. Only manifest corruption refuses the load outright,
+//! because without a trusted manifest nothing can be cross-validated.
+//! [`compact`] rewrites the survivors as a fresh generation, acting as
+//! read-repair.
 
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use valentine_solver::lsh::band_hash;
 use valentine_solver::minhash::{MinHasher, Signature};
@@ -53,6 +71,7 @@ use valentine_table::{csv, FxHashMap, FxHashSet, Table};
 use valentine_text::tokenize::normalize_tokens;
 
 use crate::codec::{check_len, Reader, Writer};
+use crate::crc;
 use crate::error::IndexError;
 use crate::index::{profile_batch, Index, IndexConfig};
 use crate::mmap::Mmap;
@@ -60,14 +79,15 @@ use crate::persist::{atomic_write, dtype_from_u8, dtype_to_u8};
 use crate::profile::ColumnProfile;
 
 /// Version tag shared by the manifest and every v2 generation file.
-pub const FORMAT_VERSION_V2: u32 = 2;
+/// Version 3 added the CRC32C whole-file trailer.
+pub const FORMAT_VERSION_V2: u32 = 3;
 /// Default shard count for newly built v2 indexes.
 pub const DEFAULT_SHARDS: u32 = 4;
 
-const MANIFEST_MAGIC: &[u8; 4] = b"VMAN";
-const VTAB_MAGIC: &[u8; 4] = b"VTAB";
-const VSEG_MAGIC: &[u8; 4] = b"VSEG";
-const MANIFEST_FILE: &str = "MANIFEST";
+pub(crate) const MANIFEST_MAGIC: &[u8; 4] = b"VMAN";
+pub(crate) const VTAB_MAGIC: &[u8; 4] = b"VTAB";
+pub(crate) const VSEG_MAGIC: &[u8; 4] = b"VSEG";
+pub(crate) const MANIFEST_FILE: &str = "MANIFEST";
 const SEG_HEADER_LEN: usize = 48;
 
 /// True when `path` looks like a v2 index directory (has a manifest).
@@ -75,11 +95,11 @@ pub fn is_v2_dir(path: &Path) -> bool {
     path.join(MANIFEST_FILE).is_file()
 }
 
-fn vtab_path(dir: &Path, gen: u32) -> PathBuf {
+pub(crate) fn vtab_path(dir: &Path, gen: u32) -> PathBuf {
     dir.join(format!("tab-{gen:06}.vtab"))
 }
 
-fn seg_path(dir: &Path, gen: u32, shard: u32) -> PathBuf {
+pub(crate) fn seg_path(dir: &Path, gen: u32, shard: u32) -> PathBuf {
     dir.join(format!("seg-{gen:06}-{shard:02}.vseg"))
 }
 
@@ -132,23 +152,31 @@ impl Manifest {
         for &id in &self.tombstones {
             w.u32(id);
         }
-        Ok(w.into_bytes())
+        let mut bytes = w.into_bytes();
+        crc::append_trailer(&mut bytes);
+        Ok(bytes)
     }
 
-    fn from_bytes(bytes: &[u8]) -> Result<Manifest, IndexError> {
-        let mut r = Reader::new(bytes);
-        if r.raw(4, "manifest magic")? != MANIFEST_MAGIC {
+    pub(crate) fn from_bytes(bytes: &[u8]) -> Result<Manifest, IndexError> {
+        // Magic and version come before the checksum so that foreign files
+        // and future formats report what they are, not a CRC mismatch.
+        let mut head = Reader::new(bytes);
+        if head.raw(4, "manifest magic")? != MANIFEST_MAGIC {
             return Err(IndexError::Corrupt(
                 "bad manifest magic (not a v2 index directory)".into(),
             ));
         }
-        let version = r.u32("manifest version")?;
+        let version = head.u32("manifest version")?;
         if version != FORMAT_VERSION_V2 {
             return Err(IndexError::Version {
                 found: version,
                 supported: FORMAT_VERSION_V2,
             });
         }
+        let payload = crc::verify_trailer(bytes, "manifest")?;
+        let mut r = Reader::new(payload);
+        r.raw(4, "manifest magic")?;
+        r.u32("manifest version")?;
         let bands = r.u64("bands")? as usize;
         let rows = r.u64("rows")? as usize;
         let seed = r.u64("seed")?;
@@ -204,7 +232,7 @@ impl Manifest {
         Ok(atomic_write(&dir.join(MANIFEST_FILE), &bytes)?)
     }
 
-    fn dead(&self) -> FxHashSet<u32> {
+    pub(crate) fn dead(&self) -> FxHashSet<u32> {
         self.tombstones.iter().copied().collect()
     }
 }
@@ -271,11 +299,12 @@ fn segment_bytes(
         w.f64s(&p.quantiles, "quantiles")?;
     }
     buf.extend_from_slice(&w.into_bytes());
+    crc::append_trailer(&mut buf);
     Ok(buf)
 }
 
 /// Parsed segment header plus the derived block offsets.
-struct SegLayout {
+pub(crate) struct SegLayout {
     bands: usize,
     rows: usize,
     seed: u64,
@@ -288,7 +317,7 @@ struct SegLayout {
     meta_off: usize,
 }
 
-fn seg_layout(bytes: &[u8]) -> Result<SegLayout, IndexError> {
+pub(crate) fn seg_layout(bytes: &[u8]) -> Result<SegLayout, IndexError> {
     if bytes.len() < SEG_HEADER_LEN {
         return Err(IndexError::Corrupt("segment shorter than header".into()));
     }
@@ -322,10 +351,13 @@ fn seg_layout(bytes: &[u8]) -> Result<SegLayout, IndexError> {
     let arena_off = ids_off + n * 8;
     let postings_off = arena_off + n * sig_len * 8;
     let meta_off = postings_off + bands * n * 16;
-    if bytes.len() < meta_off {
+    // The CRC32C trailer follows the variable-length meta block, so the
+    // fixed blocks plus the 4-byte trailer are the minimum plausible size.
+    if bytes.len() < meta_off + 4 {
         return Err(IndexError::Corrupt(format!(
-            "segment truncated: {} bytes, fixed blocks need {meta_off}",
-            bytes.len()
+            "segment truncated: {} bytes, fixed blocks and trailer need {}",
+            bytes.len(),
+            meta_off + 4
         )));
     }
     Ok(SegLayout {
@@ -344,13 +376,14 @@ fn seg_layout(bytes: &[u8]) -> Result<SegLayout, IndexError> {
 
 /// Decodes a segment into owned profiles, validating it against the
 /// manifest's config and its expected position in the directory.
-fn parse_segment(
+pub(crate) fn parse_segment(
     bytes: &[u8],
     config: &IndexConfig,
     gen: u32,
     shard: u32,
 ) -> Result<Vec<ColumnProfile>, IndexError> {
     let l = seg_layout(bytes)?;
+    let payload = crc::verify_trailer(bytes, "segment")?;
     if l.bands != config.bands || l.rows != config.rows || l.seed != config.seed {
         return Err(IndexError::Corrupt(format!(
             "segment config {}x{} seed {} disagrees with manifest {}x{} seed {}",
@@ -364,7 +397,7 @@ fn parse_segment(
         )));
     }
     let sig_len = l.bands * l.rows;
-    let mut meta = Reader::new(&bytes[l.meta_off..]);
+    let mut meta = Reader::new(&payload[l.meta_off..]);
     let mut profiles = Vec::with_capacity(l.n);
     for i in 0..l.n {
         let ids = &bytes[l.ids_off + i * 8..l.ids_off + i * 8 + 8];
@@ -430,7 +463,9 @@ fn write_generation(
         w.str(source, "table source")?;
         w.str(&csv::serialize(table), "table csv")?;
     }
-    atomic_write(&vtab_path(dir, gen), &w.into_bytes())?;
+    let mut vtab_bytes = w.into_bytes();
+    crc::append_trailer(&mut vtab_bytes);
+    atomic_write(&vtab_path(dir, gen), &vtab_bytes)?;
 
     let rows = config.rows;
     let mut buckets: Vec<Vec<&ColumnProfile>> = (0..shards).map(|_| Vec::new()).collect();
@@ -631,81 +666,117 @@ pub fn save_v2(index: &Index, dir: &Path, shards: u32) -> Result<(), IndexError>
 /// order, so the result is indistinguishable from a fresh build over the
 /// surviving tables. Stored metadata is cross-validated against the parsed
 /// CSV exactly like the v1 loader.
+///
+/// A generation whose files fail checksum, parsing, cross-validation, or
+/// are missing outright is **quarantined**: its tables are skipped, the
+/// failure is counted under `index/quarantined_generations` and
+/// `index/quarantined_segments`, and the returned index reports
+/// [`is_degraded`](Index::is_degraded). Only manifest failures abort the
+/// load, because nothing can be trusted without it.
 pub fn load_dir(dir: &Path) -> Result<Index, IndexError> {
     let manifest = Manifest::read(dir)?;
     let dead = manifest.dead();
     let mut index = Index::new(manifest.config);
     for gen in &manifest.generations {
-        let parsed = read_vtab(dir, gen)?;
-        let mut by_table: FxHashMap<u32, Vec<ColumnProfile>> = FxHashMap::default();
-        for shard in 0..manifest.shards {
-            let bytes = std::fs::read(seg_path(dir, gen.gen, shard))?;
-            for p in parse_segment(&bytes, &manifest.config, gen.gen, shard)? {
-                by_table.entry(p.table_id).or_default().push(p);
-            }
-        }
-        for (entry, table) in gen.tables.iter().zip(parsed) {
-            let mut profiles = by_table.remove(&entry.id).unwrap_or_default();
-            if dead.contains(&entry.id) {
-                continue;
-            }
-            profiles.sort_by_key(|p| p.column_index);
-            if profiles.len() != table.width() {
-                return Err(IndexError::Corrupt(format!(
-                    "table {} stores {} profiles for {} columns",
-                    entry.name,
-                    profiles.len(),
-                    table.width()
-                )));
-            }
-            for (i, p) in profiles.iter().enumerate() {
-                if p.column_index as usize != i {
-                    return Err(IndexError::Corrupt(format!(
-                        "table {} profiles do not cover its columns exactly once",
-                        entry.name
-                    )));
-                }
-                let actual = table.columns()[i].name();
-                if p.name != actual {
-                    return Err(IndexError::Corrupt(format!(
-                        "profile claims column {i} of table {} is named {:?}, \
-                         but the stored table says {actual:?}",
-                        entry.name, p.name
-                    )));
-                }
-                if p.name_tokens != normalize_tokens(&p.name) {
-                    return Err(IndexError::Corrupt(format!(
-                        "stored name tokens for column {:?} of table {} \
-                         do not match the column name",
-                        p.name, entry.name
-                    )));
+        match load_generation(dir, &manifest, gen, &dead) {
+            Ok(rows) => {
+                for (source, table, profiles) in rows {
+                    index.insert_profiled(&source, table, profiles);
                 }
             }
-            index.insert_profiled(&entry.source, table, profiles);
-        }
-        if let Some(orphan) = by_table.keys().find(|id| !dead.contains(id)) {
-            return Err(IndexError::Corrupt(format!(
-                "generation {} stores profiles for unknown table id {orphan}",
-                gen.gen
-            )));
+            Err(e) => {
+                valentine_obs::counter("index/quarantined_generations", 1);
+                valentine_obs::counter("index/quarantined_segments", manifest.shards as u64);
+                index.note_quarantine(manifest.shards, format!("generation {}: {e}", gen.gen));
+            }
         }
     }
     Ok(index)
 }
 
-fn read_vtab(dir: &Path, gen: &GenEntry) -> Result<Vec<Table>, IndexError> {
+/// Loads and fully validates one generation without touching the index, so
+/// a failure partway leaves nothing half-inserted and [`load_dir`] can
+/// quarantine the generation as a unit.
+pub(crate) fn load_generation(
+    dir: &Path,
+    manifest: &Manifest,
+    gen: &GenEntry,
+    dead: &FxHashSet<u32>,
+) -> Result<Vec<(String, Table, Vec<ColumnProfile>)>, IndexError> {
+    let parsed = read_vtab(dir, gen)?;
+    let mut by_table: FxHashMap<u32, Vec<ColumnProfile>> = FxHashMap::default();
+    for shard in 0..manifest.shards {
+        let bytes = std::fs::read(seg_path(dir, gen.gen, shard))?;
+        for p in parse_segment(&bytes, &manifest.config, gen.gen, shard)? {
+            by_table.entry(p.table_id).or_default().push(p);
+        }
+    }
+    let mut rows = Vec::new();
+    for (entry, table) in gen.tables.iter().zip(parsed) {
+        let mut profiles = by_table.remove(&entry.id).unwrap_or_default();
+        if dead.contains(&entry.id) {
+            continue;
+        }
+        profiles.sort_by_key(|p| p.column_index);
+        if profiles.len() != table.width() {
+            return Err(IndexError::Corrupt(format!(
+                "table {} stores {} profiles for {} columns",
+                entry.name,
+                profiles.len(),
+                table.width()
+            )));
+        }
+        for (i, p) in profiles.iter().enumerate() {
+            if p.column_index as usize != i {
+                return Err(IndexError::Corrupt(format!(
+                    "table {} profiles do not cover its columns exactly once",
+                    entry.name
+                )));
+            }
+            let actual = table.columns()[i].name();
+            if p.name != actual {
+                return Err(IndexError::Corrupt(format!(
+                    "profile claims column {i} of table {} is named {:?}, \
+                     but the stored table says {actual:?}",
+                    entry.name, p.name
+                )));
+            }
+            if p.name_tokens != normalize_tokens(&p.name) {
+                return Err(IndexError::Corrupt(format!(
+                    "stored name tokens for column {:?} of table {} \
+                     do not match the column name",
+                    p.name, entry.name
+                )));
+            }
+        }
+        rows.push((entry.source.clone(), table, profiles));
+    }
+    if let Some(orphan) = by_table.keys().find(|id| !dead.contains(id)) {
+        return Err(IndexError::Corrupt(format!(
+            "generation {} stores profiles for unknown table id {orphan}",
+            gen.gen
+        )));
+    }
+    Ok(rows)
+}
+
+pub(crate) fn read_vtab(dir: &Path, gen: &GenEntry) -> Result<Vec<Table>, IndexError> {
     let bytes = std::fs::read(vtab_path(dir, gen.gen))?;
-    let mut r = Reader::new(&bytes);
-    if r.raw(4, "vtab magic")? != VTAB_MAGIC {
+    let mut head = Reader::new(&bytes);
+    if head.raw(4, "vtab magic")? != VTAB_MAGIC {
         return Err(IndexError::Corrupt("bad vtab magic".into()));
     }
-    let version = r.u32("vtab version")?;
+    let version = head.u32("vtab version")?;
     if version != FORMAT_VERSION_V2 {
         return Err(IndexError::Version {
             found: version,
             supported: FORMAT_VERSION_V2,
         });
     }
+    let payload = crc::verify_trailer(&bytes, "vtab")?;
+    let mut r = Reader::new(payload);
+    r.raw(4, "vtab magic")?;
+    r.u32("vtab version")?;
     let file_gen = r.u32("vtab generation")?;
     if file_gen != gen.gen {
         return Err(IndexError::Corrupt(format!(
@@ -851,6 +922,12 @@ pub fn migrate_v1_file(path: &Path, shards: u32) -> Result<(), IndexError> {
 /// `(band_hash, idx)` run and allocates nothing but the result vector. Its
 /// candidates agree exactly with the in-memory LSH over the same profiles,
 /// because both sides key on [`band_hash`].
+///
+/// [`open`](MappedSegment::open) only validates the fixed-block geometry;
+/// the CRC32C trailer is verified lazily on the first
+/// [`probe`](MappedSegment::probe), so mapping a large directory stays
+/// cheap and a corrupt segment is still caught before any answer derived
+/// from its bytes escapes.
 #[derive(Debug)]
 pub struct MappedSegment {
     map: Mmap,
@@ -860,10 +937,18 @@ pub struct MappedSegment {
     ids_off: usize,
     arena_off: usize,
     postings_off: usize,
+    /// First-touch checksum state: 0 unverified, 1 verified, 2 corrupt.
+    checked: AtomicU8,
+    path: PathBuf,
 }
 
+const SEG_UNVERIFIED: u8 = 0;
+const SEG_VERIFIED: u8 = 1;
+const SEG_CORRUPT: u8 = 2;
+
 impl MappedSegment {
-    /// Maps a `.vseg` file and validates its fixed-block geometry.
+    /// Maps a `.vseg` file and validates its fixed-block geometry. The
+    /// checksum is deferred to the first [`probe`](MappedSegment::probe).
     pub fn open(path: &Path) -> Result<MappedSegment, IndexError> {
         let map = Mmap::open(path)?;
         let l = seg_layout(map.bytes())?;
@@ -875,7 +960,35 @@ impl MappedSegment {
             arena_off: l.arena_off,
             postings_off: l.postings_off,
             map,
+            checked: AtomicU8::new(SEG_UNVERIFIED),
+            path: path.to_path_buf(),
         })
+    }
+
+    /// Verifies the whole-file CRC32C once; later calls are a single
+    /// atomic load. Concurrent first probes may both compute the checksum,
+    /// which is harmless — they agree on the verdict.
+    fn verify_first_touch(&self) -> Result<(), IndexError> {
+        let corrupt = || {
+            IndexError::Corrupt(format!(
+                "segment {} failed its checksum",
+                self.path.display()
+            ))
+        };
+        match self.checked.load(Ordering::Acquire) {
+            SEG_VERIFIED => return Ok(()),
+            SEG_CORRUPT => return Err(corrupt()),
+            _ => {}
+        }
+        let verdict = match crc::verify_trailer(self.map.bytes(), "segment") {
+            Ok(_) => SEG_VERIFIED,
+            Err(_) => SEG_CORRUPT,
+        };
+        self.checked.store(verdict, Ordering::Release);
+        if verdict == SEG_CORRUPT {
+            return Err(corrupt());
+        }
+        Ok(())
     }
 
     /// Number of profiles stored in the segment.
@@ -931,14 +1044,19 @@ impl MappedSegment {
     /// least one band — the zero-copy analogue of
     /// [`valentine_solver::LshIndex::candidates`]. Sorted and deduplicated.
     ///
+    /// The first probe verifies the segment's CRC32C trailer; a corrupt
+    /// segment returns [`IndexError::Corrupt`] on every probe rather than
+    /// ever answering from tampered bytes.
+    ///
     /// # Panics
     /// Panics when the signature length is not `bands · rows`.
-    pub fn probe(&self, signature: &Signature) -> Vec<u32> {
+    pub fn probe(&self, signature: &Signature) -> Result<Vec<u32>, IndexError> {
         assert_eq!(
             signature.0.len(),
             self.layout_bands * self.layout_rows,
             "signature length must equal bands × rows"
         );
+        self.verify_first_touch()?;
         let bytes = self.map.bytes();
         let entry_hash = |run: usize, i: usize| {
             let off = self.postings_off + (run * self.n + i) * 16;
@@ -968,7 +1086,7 @@ impl MappedSegment {
         }
         out.sort_unstable();
         out.dedup();
-        out
+        Ok(out)
     }
 }
 
@@ -1208,21 +1326,46 @@ mod tests {
         ));
         std::fs::write(&manifest_path, &good_manifest).unwrap();
 
+        // manifest: flipped byte in the body fails the checksum
+        let mut bad = good_manifest.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&manifest_path, &bad).unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::write(&manifest_path, &good_manifest).unwrap();
+
+        // Segment damage no longer refuses the load: the generation is
+        // quarantined and the index degrades to the survivors (here: none).
+        let assert_quarantined = |dir: &Path| {
+            let idx = load_dir(dir).unwrap();
+            assert!(idx.is_degraded());
+            assert_eq!(idx.len(), 0);
+            assert_eq!(idx.quarantine().generations, 1);
+            assert_eq!(idx.quarantine().segments, 2);
+            assert_eq!(idx.quarantine().reasons.len(), 1);
+        };
+
         // segment: truncation and bad magic
         let seg = seg_path(&dir, 0, 0);
         let good_seg = std::fs::read(&seg).unwrap();
         std::fs::write(&seg, &good_seg[..good_seg.len() - 1]).unwrap();
-        assert!(load_dir(&dir).is_err());
+        assert_quarantined(&dir);
         let mut bad = good_seg.clone();
         bad[0] = b'X';
         std::fs::write(&seg, &bad).unwrap();
-        assert!(matches!(
-            load_dir(&dir).unwrap_err(),
-            IndexError::Corrupt(_)
-        ));
+        assert_quarantined(&dir);
+
+        // segment: flipped byte deep in the arena fails the checksum
+        let mut bad = good_seg.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        std::fs::write(&seg, &bad).unwrap();
+        assert_quarantined(&dir);
         std::fs::write(&seg, &good_seg).unwrap();
 
-        // segment from a different config is caught
+        // segment from a different config is caught (self-consistent CRC,
+        // cross-validation failure)
         let other_cfg = IndexConfig {
             bands: 4,
             rows: 4,
@@ -1233,21 +1376,68 @@ mod tests {
         let other_dir = root.join("other.vidx2");
         save_v2(&other, &other_dir, 2).unwrap();
         std::fs::copy(seg_path(&other_dir, 0, 0), &seg).unwrap();
-        assert!(matches!(
-            load_dir(&dir).unwrap_err(),
-            IndexError::Corrupt(_)
-        ));
+        assert_quarantined(&dir);
         std::fs::write(&seg, &good_seg).unwrap();
 
-        // missing segment file is an io error
+        // missing segment file quarantines its generation too
         std::fs::remove_file(&seg).unwrap();
-        assert!(matches!(load_dir(&dir).unwrap_err(), IndexError::Io(_)));
+        assert_quarantined(&dir);
+        std::fs::write(&seg, &good_seg).unwrap();
+
+        // a healthy directory loads clean again
+        let idx = load_dir(&dir).unwrap();
+        assert!(!idx.is_degraded());
+        assert_eq!(idx.len(), 1);
 
         // missing manifest entirely
         assert!(matches!(
             load_dir(&root.join("nope")).unwrap_err(),
             IndexError::Io(_)
         ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quarantined_generation_degrades_but_survivors_answer() {
+        let root = tmp("quarantine");
+        let dir = root.join("idx.vidx2");
+        let mut w = IndexWriter::create(&dir, cfg(), 2).unwrap();
+        w.add_batch(vec![("s".into(), toy("healthy", 0))], 1)
+            .unwrap();
+        w.add_batch(vec![("s".into(), toy("doomed", 50))], 1)
+            .unwrap();
+        w.finish().unwrap();
+
+        // Flip one byte inside generation 1's first segment.
+        let victim = seg_path(&dir, 1, 0);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let idx = load_dir(&dir).unwrap();
+        assert!(idx.is_degraded());
+        assert_eq!(idx.quarantine().generations, 1);
+        assert_eq!(idx.quarantine().segments, 2);
+        assert!(idx.quarantine().reasons[0].contains("generation 1"));
+
+        // The surviving generation still answers, with re-densified ids.
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.tables()[0].name, "healthy");
+        let outcome = idx.top_k_unionable(
+            &toy("healthy", 0),
+            1,
+            &crate::search::SearchOptions::sketch_only(),
+        );
+        assert_eq!(outcome.results[0].table_name, "healthy");
+        assert!(outcome.stats.degraded);
+
+        // compact() is read-repair: survivors rewritten, verdict clean.
+        compact(&dir).unwrap();
+        let repaired = load_dir(&dir).unwrap();
+        assert!(!repaired.is_degraded());
+        assert_eq!(repaired.len(), 1);
+        assert_eq!(repaired.tables()[0].name, "healthy");
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -1299,7 +1489,12 @@ mod tests {
         for sig in &queries {
             let mut mapped: Vec<(u32, u32)> = segments
                 .iter()
-                .flat_map(|s| s.probe(sig).into_iter().map(|i| s.id_of(i as usize)))
+                .flat_map(|s| {
+                    s.probe(sig)
+                        .unwrap()
+                        .into_iter()
+                        .map(|i| s.id_of(i as usize))
+                })
                 .collect();
             mapped.sort_unstable();
             mapped.dedup();
@@ -1314,6 +1509,31 @@ mod tests {
                 .collect();
             in_memory.sort_unstable();
             assert_eq!(mapped, in_memory);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mapped_probe_detects_corruption_on_first_touch() {
+        let root = tmp("probe_crc");
+        let dir = root.join("idx.vidx2");
+        let mut idx = Index::new(cfg());
+        idx.ingest("s", toy("a", 0));
+        save_v2(&idx, &dir, 1).unwrap();
+
+        let seg = seg_path(&dir, 0, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        // Geometry still parses, so open succeeds — but the first probe
+        // verifies the trailer and refuses, as does every probe after.
+        let mapped = MappedSegment::open(&seg).unwrap();
+        let sig = idx.profiles()[0].signature.clone();
+        for _ in 0..2 {
+            let err = mapped.probe(&sig).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "{err}");
         }
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -1,0 +1,262 @@
+//! Deterministic corruption chaos harness over the v2 on-disk format.
+//!
+//! A seeded injector sweeps every file of a two-generation index directory
+//! and applies byte flips and truncations at pseudo-random offsets. The
+//! invariant under test is the fault-containment contract: every injected
+//! corruption is either detected-and-refused (a poisoned MANIFEST fails
+//! the whole load) or detected-and-quarantined (the damaged generation is
+//! dropped, the survivors answer, and the outcome says `degraded`) —
+//! never an undetected load, and never an answer naming a table from the
+//! corrupt generation. `index verify` must flag every mutated directory,
+//! and `compact` must read-repair it back to green.
+
+use std::path::{Path, PathBuf};
+
+use valentine_index::v2;
+use valentine_index::verify::verify_path;
+use valentine_index::{Index, IndexConfig, SearchOptions};
+use valentine_table::{Table, Value};
+
+/// xorshift64* — a tiny seeded generator so the sweep is reproducible
+/// from the constant below, with no clock or external RNG involved.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+const CHAOS_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+fn table(name: &str, lo: i64) -> Table {
+    Table::from_pairs(
+        name,
+        vec![
+            ("id", (lo..lo + 40).map(Value::Int).collect()),
+            (
+                "label",
+                (lo..lo + 40)
+                    .map(|v| Value::str(format!("item-{v}")))
+                    .collect(),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// Generation 0 holds four tables, generation 1 two more; 2 shards each.
+fn gen0_names() -> Vec<String> {
+    (0..4).map(|i| format!("base_{i}")).collect()
+}
+
+fn gen1_names() -> Vec<String> {
+    (0..2).map(|i| format!("added_{i}")).collect()
+}
+
+fn build_pristine(dir: &Path) {
+    let mut idx = Index::new(IndexConfig::default());
+    for (i, name) in gen0_names().iter().enumerate() {
+        idx.ingest("chaos", table(name, i as i64 * 30));
+    }
+    v2::save_v2(&idx, dir, 2).unwrap();
+    let mut writer = v2::IndexWriter::append(dir).unwrap();
+    let batch = gen1_names()
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ("chaos".to_string(), table(name, 500 + i as i64 * 30)))
+        .collect();
+    writer.add_batch(batch, 1).unwrap();
+    writer.finish().unwrap();
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    let _ = std::fs::remove_dir_all(to);
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::copy(&path, to.join(path.file_name().unwrap())).unwrap();
+    }
+}
+
+fn sorted_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+}
+
+/// The generation a v2 file belongs to, or `None` for the MANIFEST.
+fn generation_of(file_name: &str) -> Option<u32> {
+    let digits = file_name
+        .strip_prefix("tab-")
+        .or_else(|| file_name.strip_prefix("seg-"))?;
+    digits[..6].parse().ok()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    Flip(usize),
+    Truncate(usize),
+}
+
+fn apply(path: &Path, mutation: Mutation) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let len = bytes.len();
+    match mutation {
+        Mutation::Flip(offset) => bytes[offset % len] ^= 0x40,
+        Mutation::Truncate(keep) => bytes.truncate(keep % len),
+    }
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// One mutated directory must uphold the whole contract; returns a label
+/// for the failure message.
+fn assert_contained(scratch: &Path, file_name: &str, mutation: Mutation) {
+    let what = format!("{file_name} under {mutation:?}");
+
+    // `index verify` never stays green on a mutated directory.
+    match verify_path(scratch, false) {
+        Err(_) => {} // e.g. MANIFEST truncated unreadably — still detected
+        Ok(report) => assert!(!report.ok(), "verify stayed green for {what}"),
+    }
+
+    match v2::load_dir(scratch) {
+        Err(_) => {
+            // Detected-and-refused is the contract only for the manifest:
+            // every other file must degrade, not fail the load.
+            assert_eq!(
+                file_name, "MANIFEST",
+                "load refused (instead of quarantining) for {what}"
+            );
+        }
+        Ok(idx) => {
+            let gen = generation_of(file_name)
+                .unwrap_or_else(|| panic!("undetected corruption in {what}"));
+            assert!(idx.is_degraded(), "undetected corruption in {what}");
+            assert_eq!(idx.quarantine().generations, 1, "{what}");
+
+            // Exactly the other generation's tables survive...
+            let mut survivors: Vec<String> = idx.tables().iter().map(|t| t.name.clone()).collect();
+            survivors.sort();
+            let mut expected = if gen == 0 { gen1_names() } else { gen0_names() };
+            expected.sort();
+            assert_eq!(survivors, expected, "{what}");
+
+            // ...and answers are drawn from the survivors only, flagged
+            // degraded — a contained loss, never a changed answer.
+            let outcome = idx.top_k_unionable(&table("probe", 0), 6, &SearchOptions::sketch_only());
+            assert!(outcome.stats.degraded, "{what}");
+            for r in &outcome.results {
+                assert!(
+                    expected.contains(&r.table_name),
+                    "{what}: answered quarantined table {}",
+                    r.table_name
+                );
+            }
+
+            // Read-repair: compact drops the quarantined generation and
+            // verify goes green again.
+            v2::compact(scratch).unwrap();
+            let report = verify_path(scratch, true).unwrap();
+            assert!(report.ok(), "verify stayed red after compact for {what}");
+            let repaired = v2::load_dir(scratch).unwrap();
+            assert!(!repaired.is_degraded(), "{what}");
+        }
+    }
+}
+
+#[test]
+fn seeded_sweep_contains_every_injected_corruption() {
+    let root = std::env::temp_dir().join("valentine_chaos_sweep");
+    let pristine = root.join("pristine");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    build_pristine(&pristine);
+
+    let mut rng = Rng(CHAOS_SEED);
+    let scratch = root.join("scratch");
+    for file in sorted_files(&pristine) {
+        let file_name = file.file_name().unwrap().to_string_lossy().to_string();
+        let len = std::fs::read(&file).unwrap().len();
+        let mutations = [
+            Mutation::Flip(rng.next() as usize),
+            Mutation::Flip(rng.next() as usize),
+            Mutation::Flip(len - 1), // inside the CRC trailer itself
+            Mutation::Truncate(rng.next() as usize),
+            Mutation::Truncate(len - 1), // just the trailer's last byte
+            Mutation::Truncate(0),       // the file emptied outright
+        ];
+        for mutation in mutations {
+            copy_dir(&pristine, &scratch);
+            apply(&scratch.join(&file_name), mutation);
+            assert_contained(&scratch, &file_name, mutation);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The matrix companion to the sweep: one flipped byte in each file
+/// *kind*, with the exact verdict each must produce — including the v1
+/// single-blob format, which refuses the load rather than degrading.
+#[test]
+fn one_flipped_byte_per_file_kind_produces_the_expected_verdict() {
+    let root = std::env::temp_dir().join("valentine_chaos_matrix");
+    let pristine = root.join("pristine");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    build_pristine(&pristine);
+
+    let flip_mid = |path: &Path| {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(path, bytes).unwrap();
+    };
+
+    // MANIFEST: refused outright — there is no authority left to trust.
+    let scratch = root.join("manifest");
+    copy_dir(&pristine, &scratch);
+    flip_mid(&scratch.join("MANIFEST"));
+    assert!(v2::load_dir(&scratch).is_err());
+    let report = verify_path(&scratch, false).unwrap();
+    assert_eq!(report.corrupt_files(), vec!["MANIFEST"]);
+
+    // A table catalog: its generation is quarantined, survivors serve.
+    let scratch = root.join("vtab");
+    copy_dir(&pristine, &scratch);
+    flip_mid(&scratch.join("tab-000001.vtab"));
+    let idx = v2::load_dir(&scratch).unwrap();
+    assert!(idx.is_degraded());
+    assert_eq!(idx.len(), gen0_names().len());
+    let report = verify_path(&scratch, false).unwrap();
+    assert_eq!(report.corrupt_files(), vec!["tab-000001.vtab"]);
+
+    // A segment: same quarantine, and the verdict names the shard file.
+    let scratch = root.join("vseg");
+    copy_dir(&pristine, &scratch);
+    flip_mid(&scratch.join("seg-000000-01.vseg"));
+    let idx = v2::load_dir(&scratch).unwrap();
+    assert!(idx.is_degraded());
+    assert_eq!(idx.len(), gen1_names().len());
+    let report = verify_path(&scratch, false).unwrap();
+    assert_eq!(report.corrupt_files(), vec!["seg-000000-01.vseg"]);
+
+    // The v1 single blob: the whole file is one artifact, so a flip is a
+    // refused load and a single named verdict.
+    let blob = root.join("old.vidx");
+    let mut idx = Index::new(IndexConfig::default());
+    idx.ingest("chaos", table("solo", 0));
+    idx.save(&blob).unwrap();
+    flip_mid(&blob);
+    assert!(Index::load(&blob).is_err());
+    let report = verify_path(&blob, false).unwrap();
+    assert_eq!(report.corrupt_files(), vec!["old.vidx"]);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

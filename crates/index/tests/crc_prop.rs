@@ -1,0 +1,77 @@
+//! Property tests for the CRC32C framing every VIDX artifact now carries.
+//!
+//! Two properties define the contract: a trailer written over any payload
+//! reads back to exactly that payload, and no single-byte corruption —
+//! any position, any bit, payload or trailer — survives verification.
+//! A third property lifts the same guarantee to the full v1 index blob.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use valentine_index::crc::{append_trailer, verify_trailer};
+use valentine_index::{Index, IndexConfig};
+use valentine_table::{Table, Value};
+
+/// One serialized v1 index, built once and shared across cases.
+fn v1_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut idx = Index::new(IndexConfig::default());
+        let t = Table::from_pairs(
+            "prop",
+            vec![
+                ("id", (0..20).map(Value::Int).collect()),
+                (
+                    "label",
+                    (0..20).map(|v| Value::str(format!("item-{v}"))).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        idx.ingest("prop", t);
+        idx.to_bytes().unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn trailer_roundtrip_preserves_the_payload(
+        payload in proptest::collection::vec(0u8..255, 0..512),
+    ) {
+        let mut framed = payload.clone();
+        append_trailer(&mut framed);
+        prop_assert_eq!(framed.len(), payload.len() + 4);
+        let recovered = verify_trailer(&framed, "prop").unwrap();
+        prop_assert_eq!(recovered, &payload[..]);
+    }
+
+    #[test]
+    fn any_single_flipped_bit_in_a_framed_payload_is_detected(
+        payload in proptest::collection::vec(0u8..255, 0..256),
+        position in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let mut framed = payload;
+        append_trailer(&mut framed);
+        let target = position % framed.len();
+        framed[target] ^= 1 << bit;
+        prop_assert!(
+            verify_trailer(&framed, "prop").is_err(),
+            "flip at byte {} bit {} went undetected", target, bit
+        );
+    }
+
+    #[test]
+    fn any_single_flipped_byte_in_a_v1_blob_is_rejected(
+        position in 0usize..1_000_000,
+        flip in 1u8..255, // non-zero, so the byte genuinely changes
+    ) {
+        let mut bytes = v1_bytes().to_vec();
+        let target = position % bytes.len();
+        bytes[target] ^= flip;
+        prop_assert!(
+            Index::from_bytes(&bytes).is_err(),
+            "flip of {:#04x} at byte {} loaded anyway", flip, target
+        );
+    }
+}

@@ -57,6 +57,16 @@ impl Request {
     /// Reads and parses one request. `Err((status, message))` maps
     /// straight onto an error response.
     pub fn read(stream: &mut impl BufRead) -> Result<Request, (u16, String)> {
+        let head = Request::read_head(stream)?;
+        Request::read_body(stream, head)
+    }
+
+    /// Reads the request line and headers only. The head/body split lets
+    /// the server put a short read deadline on this phase — a client
+    /// trickling header bytes is a slow loris pinning a worker — while a
+    /// large honest CSV upload in [`read_body`](Request::read_body) keeps
+    /// the full budget.
+    pub fn read_head(stream: &mut impl BufRead) -> Result<RequestHead, (u16, String)> {
         let line = read_line(stream)?;
         let mut parts = line.split_whitespace();
         let method = parts
@@ -84,16 +94,12 @@ impl Request {
         for _ in 0..MAX_HEADERS {
             let line = read_line(stream)?;
             if line.is_empty() {
-                let mut body = vec![0u8; content_length];
-                stream
-                    .read_exact(&mut body)
-                    .map_err(|e| (400, format!("truncated body: {e}")))?;
-                return Ok(Request {
+                return Ok(RequestHead {
                     method,
                     path,
                     query,
                     headers,
-                    body,
+                    content_length,
                 });
             }
             if let Some((name, value)) = line.split_once(':') {
@@ -111,6 +117,36 @@ impl Request {
         }
         Err((400, format!("more than {MAX_HEADERS} headers")))
     }
+
+    /// Reads the `Content-Length`-framed body announced by `head` and
+    /// assembles the full request.
+    pub fn read_body(
+        stream: &mut impl BufRead,
+        head: RequestHead,
+    ) -> Result<Request, (u16, String)> {
+        let mut body = vec![0u8; head.content_length];
+        stream
+            .read_exact(&mut body)
+            .map_err(|e| (400, format!("truncated body: {e}")))?;
+        Ok(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body,
+        })
+    }
+}
+
+/// A parsed request line + headers, before the body has been read; see
+/// [`Request::read_head`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestHead {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    headers: Vec<(String, String)>,
+    content_length: usize,
 }
 
 /// One `\r\n`- (or `\n`-) terminated line, without the terminator.

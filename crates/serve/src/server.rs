@@ -21,9 +21,9 @@
 //! renders that snapshot; [`ServerHandle::shutdown`] returns it so the CLI
 //! can flush a trace that includes the serving counters.
 
-use std::io::{BufReader, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,6 +56,25 @@ pub mod metrics {
     pub const DEADLINE_EXCEEDED: &str = "serve/deadline_exceeded";
     /// Successful `POST /admin/reload` index swaps (counter).
     pub const RELOADS: &str = "serve/reloads";
+    /// `POST /admin/reload` attempts that failed to load and kept the
+    /// running index (counter).
+    pub const RELOAD_FAILURES: &str = "serve/reload_failures";
+    /// Connections answered 503 because the hand-off queue stayed full
+    /// through the bounded retry (counter) — the overload shed path.
+    pub const SHEDS: &str = "serve/sheds";
+    /// Connections answered 408 because the request head did not arrive
+    /// within [`ServeConfig::header_read_timeout`] (counter) — slow-loris
+    /// containment.
+    pub const SLOW_HEADERS: &str = "serve/slow_headers";
+    /// Search responses computed against a degraded index — one that
+    /// quarantined corrupt data at load (counter). Never cached.
+    pub const DEGRADED_RESPONSES: &str = "serve/degraded_responses";
+    /// Generations quarantined by index loads this server performed
+    /// (counter; mirrors the obs name recorded inside `load_dir`, which
+    /// lands in thread-local frames the server never merges).
+    pub const QUARANTINED_GENERATIONS: &str = "index/quarantined_generations";
+    /// Segments quarantined by index loads this server performed (counter).
+    pub const QUARANTINED_SEGMENTS: &str = "index/quarantined_segments";
 }
 
 /// Tunables for one server instance.
@@ -96,6 +115,17 @@ pub struct ServeConfig {
     /// fresh index in — how the server picks up an `index add`/`remove`/
     /// `compact` without a restart. `None` disables the endpoint.
     pub index_path: Option<std::path::PathBuf>,
+    /// How long a connection may take to deliver its request head (request
+    /// line + headers) before it is dropped with 408. A client trickling
+    /// one header byte at a time — slow loris — otherwise pins a
+    /// connection worker for the full 30 s body timeout; headers are tiny,
+    /// so an honest client never needs more than a couple of seconds.
+    pub header_read_timeout: Duration,
+    /// Capacity of the accept-loop → connection-worker hand-off queue;
+    /// 0 sizes it automatically (`accept_threads × 4`). Connections that
+    /// find it full after a bounded retry are shed with 503. Tiny explicit
+    /// values make the shed path easy to exercise in tests.
+    pub conn_queue: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +143,8 @@ impl Default for ServeConfig {
             exemplar_capacity: 8,
             metrics_memo: Duration::from_secs(1),
             index_path: None,
+            header_read_timeout: Duration::from_secs(2),
+            conn_queue: 0,
         }
     }
 }
@@ -147,6 +179,9 @@ struct State {
     metrics_memo: Mutex<Option<(Instant, String, String)>>,
     /// Master job sender; taken (dropped) on drain so the pool can finish.
     jobs: Mutex<Option<Sender<Job>>>,
+    /// Shed responses currently being written; bounded by
+    /// [`SHED_WRITERS_MAX`].
+    shed_writers: AtomicUsize,
     stop: AtomicBool,
 }
 
@@ -160,6 +195,21 @@ impl State {
 
     fn bump(&self, name: &str) {
         self.metrics.lock().record_counter(name, 1);
+    }
+
+    /// Folds an index load's fault-containment outcome into the server
+    /// snapshot. `load_dir` records its quarantine counters into obs
+    /// thread-locals that never reach the server-owned snapshot, so the
+    /// tally is re-recorded here from the index's own report — once per
+    /// load (start and each reload), so the counters count quarantine
+    /// *events*, cumulatively, like every other counter.
+    fn note_index_health(&self, index: &LoadedIndex) {
+        let q = index.quarantine();
+        if q.generations > 0 {
+            let mut m = self.metrics.lock();
+            m.record_counter(metrics::QUARANTINED_GENERATIONS, q.generations as u64);
+            m.record_counter(metrics::QUARANTINED_SEGMENTS, q.segments as u64);
+        }
     }
 
     /// Feeds one finished request to the exemplar ring and the request
@@ -235,14 +285,20 @@ impl ServerHandle {
             request_log: Mutex::new(request_log),
             metrics_memo: Mutex::new(None),
             jobs: Mutex::new(Some(jobs_tx)),
+            shed_writers: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
             config,
         });
+        state.note_index_health(&state.index.get());
 
         // Bounded hand-off: when every connection worker is busy and the
-        // queue is full, the accept loop itself blocks — the listener's OS
-        // backlog is the only thing absorbing a flood.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(accept_threads * 4);
+        // queue is full, the accept loop sheds with an inline 503 rather
+        // than blocking — see `offer_connection`.
+        let conn_queue = match state.config.conn_queue {
+            0 => accept_threads * 4,
+            n => n,
+        };
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(conn_queue);
         let conn_rx = Arc::new(Mutex::new(conn_rx));
         let conn_workers = (0..accept_threads)
             .map(|i| {
@@ -316,7 +372,7 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, state: &State) {
+fn accept_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, state: &Arc<State>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -325,7 +381,7 @@ fn accept_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, state: &St
                     // drain); either way: stop accepting
                     return;
                 }
-                if conn_tx.send(stream).is_err() {
+                if !offer_connection(&conn_tx, state, stream) {
                     return;
                 }
             }
@@ -340,11 +396,111 @@ fn accept_loop(listener: TcpListener, conn_tx: SyncSender<TcpStream>, state: &St
     }
 }
 
+/// How many times the accept loop re-offers a connection to a full
+/// hand-off queue before shedding it with 503.
+const SHED_RETRIES: usize = 3;
+/// Pause between those offers — long enough for a worker to pop an entry,
+/// short enough that the whole shed decision stays well under a
+/// millisecond.
+const SHED_BACKOFF: Duration = Duration::from_micros(100);
+/// At most this many shed responses may be in flight at once. Writing a
+/// 503 involves waiting on the client socket, which must never be the
+/// accept loop's problem nor an unbounded thread count under a flood;
+/// past the cap the connection is dropped outright and the kernel's
+/// reset is the answer.
+const SHED_WRITERS_MAX: usize = 64;
+
+/// Hands an accepted connection to the worker queue without ever blocking
+/// the accept loop: `try_send`, retry a few times with a microsecond
+/// backoff, and when the queue is still full, shed with 503 +
+/// `Retry-After`. An overloaded server keeps saying "no" quickly instead
+/// of letting connections pile up in the OS backlog until clients time
+/// out. Returns `false` only when the workers are gone and accepting
+/// should stop.
+fn offer_connection(
+    conn_tx: &SyncSender<TcpStream>,
+    state: &Arc<State>,
+    stream: TcpStream,
+) -> bool {
+    let started = Instant::now();
+    let mut stream = stream;
+    for attempt in 0..=SHED_RETRIES {
+        if attempt > 0 {
+            std::thread::sleep(SHED_BACKOFF);
+        }
+        match conn_tx.try_send(stream) {
+            Ok(()) => return true,
+            Err(mpsc::TrySendError::Full(s)) => stream = s,
+            Err(mpsc::TrySendError::Disconnected(_)) => return false,
+        }
+    }
+    state.bump(metrics::SHEDS);
+    // The response itself is socket I/O — written from a short-lived
+    // responder thread so the accept loop stays free to keep shedding.
+    let admitted = state
+        .shed_writers
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < SHED_WRITERS_MAX).then_some(n + 1)
+        })
+        .is_ok();
+    if admitted {
+        let state = Arc::clone(state);
+        std::thread::spawn(move || {
+            shed_connection(&state, &stream, started);
+            state.shed_writers.fetch_sub(1, Ordering::SeqCst);
+        });
+    } else {
+        state.record_request("shed", 503, started.elapsed().as_nanos() as u64);
+    }
+    true
+}
+
+/// Answers one shed connection with 503 + `Retry-After`. The socket dance
+/// around the write matters: closing with unread input makes the kernel
+/// reset the connection, destroying the response before the client reads
+/// it — so the request bytes are drained first, and the writer lingers
+/// briefly for the client's own close so the final drop sends FIN.
+fn shed_connection(state: &State, stream: &TcpStream, started: Instant) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 4096];
+    let mut rw: &TcpStream = stream;
+    let _ = rw.read(&mut sink);
+    let _ = write_response(
+        &mut rw,
+        503,
+        "text/plain",
+        &[("Retry-After", "1".to_string())],
+        b"overloaded: connection queue is full, retry shortly\n",
+    );
+    state.record_request("shed", 503, started.elapsed().as_nanos() as u64);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    for _ in 0..8 {
+        match rw.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
 fn handle_connection(state: &State, stream: TcpStream) {
     let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    // Two-phase read deadline: the head (request line + headers) must
+    // arrive promptly — a trickling client is a slow loris occupying a
+    // worker — while an honest large CSV upload gets the full budget.
+    let _ = stream.set_read_timeout(Some(state.config.header_read_timeout));
     let mut reader = BufReader::new(&stream);
-    let parsed = Request::read(&mut reader);
+    let parsed = match Request::read_head(&mut reader) {
+        Ok(head) => {
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+            Request::read_body(&mut reader, head)
+        }
+        Err((status, message)) => {
+            if status == 408 {
+                state.bump(metrics::SLOW_HEADERS);
+            }
+            Err((status, message))
+        }
+    };
     // Adopt the client's correlation id when it sent a safe one, otherwise
     // mint. Every response — including parse failures — echoes it, so a
     // client always has a handle to ask the trace about.
@@ -416,12 +572,19 @@ type Routed = (
 
 fn route(state: &State, req: &Request, request_id: &Arc<str>) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
+        // Still 200 when degraded: the server answers, over whatever
+        // survived the load — but the body tells a probe (and the CI smoke
+        // test) that part of the corpus is quarantined.
         ("GET", "/healthz") => (
             "healthz",
             200,
             "text/plain",
             Vec::new(),
-            "ok\n".to_string(),
+            if state.index.get().is_degraded() {
+                "degraded\n".to_string()
+            } else {
+                "ok\n".to_string()
+            },
             None,
         ),
         ("GET", "/metrics") => match req.param("format") {
@@ -509,22 +672,30 @@ fn route(state: &State, req: &Request, request_id: &Arc<str>) -> Routed {
 /// Reloads the index from [`ServeConfig::index_path`] and atomically swaps
 /// it in. In-flight searches finish against the handle they captured; the
 /// result cache is cleared because its entries were computed against the
-/// old corpus. A load failure leaves the running index untouched.
+/// old corpus — this is also what evicts cached answers when a reload
+/// quarantines data (or un-quarantines it after a repair). A load failure
+/// answers 503 and leaves the running index — and the cache keyed to it —
+/// untouched.
 fn handle_reload(state: &State) -> Result<String, (u16, String)> {
     let path = state
         .config
         .index_path
         .as_deref()
         .ok_or((409, "server was started without an index path".to_string()))?;
-    let fresh = LoadedIndex::load(path)
-        .map_err(|e| (500, format!("reload failed, keeping current index: {e}")))?;
+    let fresh = LoadedIndex::load(path).map_err(|e| {
+        state.bump(metrics::RELOAD_FAILURES);
+        (503, format!("reload failed, keeping current index: {e}"))
+    })?;
     let tables = fresh.len();
+    let degraded = fresh.is_degraded();
+    state.note_index_health(&fresh);
     state.index.swap(fresh);
     state.cache.lock().clear();
     state.bump(metrics::RELOADS);
     Ok(Json::Obj(vec![
         ("reloaded".to_string(), Json::Bool(true)),
         ("tables".to_string(), Json::UInt(tables as u64)),
+        ("degraded".to_string(), Json::Bool(degraded)),
     ])
     .render()
         + "\n")
@@ -661,6 +832,14 @@ fn handle_search(
         // request's budget, not a property of the query.
         return Ok((504, body, info));
     }
+    if outcome.outcome.stats.degraded {
+        state.bump(metrics::DEGRADED_RESPONSES);
+        // Degraded answers are never cached either: they rank whatever
+        // survived this load, and once the operator repairs the index
+        // (compact + reload) the same query must not keep answering from
+        // the quarantine era.
+        return Ok((200, body, info));
+    }
     if state.cache.lock().insert(key, body.clone()).is_some() {
         state.bump(metrics::CACHE_EVICTIONS);
     }
@@ -745,6 +924,7 @@ fn render_search_body(
         ),
         ("k".to_string(), Json::UInt(k as u64)),
         ("deadline_exceeded".to_string(), Json::Bool(deadline_hit)),
+        ("degraded".to_string(), Json::Bool(stats.degraded)),
         (
             "stats".to_string(),
             Json::Obj(vec![

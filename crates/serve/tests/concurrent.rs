@@ -321,12 +321,14 @@ fn admin_reload_swaps_the_index_and_clears_the_cache() {
     assert_eq!(status, 405);
     std::fs::write(&path, b"garbage, not a VIDX file").unwrap();
     let (status, _, body) = request(addr, post_reload);
-    assert_eq!(status, 500, "{body}");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("keeping current index"), "{body}");
     let (status, _, _) = get(addr, "/search?kind=unionable&k=3&table=table_new&method=jl");
     assert_eq!(status, 200, "old index still serves after a failed reload");
 
     let snapshot = server.shutdown();
     assert_eq!(snapshot.counter("serve/reloads"), 1);
+    assert_eq!(snapshot.counter("serve/reload_failures"), 1);
     let _ = std::fs::remove_dir_all(&dir);
 
     // a server started without an index path refuses to reload

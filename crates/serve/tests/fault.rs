@@ -1,0 +1,294 @@
+//! Fault-containment integration tests: overload shedding (503 +
+//! Retry-After from a full hand-off queue), slow-loris containment (408
+//! on a dawdling request head), degraded serving over an index that
+//! quarantined corrupt data, and reload-failure isolation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use valentine_index::{Index, IndexConfig, IndexWriter, LoadedIndex};
+use valentine_matchers::MatcherKind;
+use valentine_serve::{ServeConfig, ServerHandle};
+use valentine_table::{Table, Value};
+
+/// The same overlapping-integer corpus the concurrency tests use.
+fn corpus_index() -> Index {
+    let mut idx = Index::new(IndexConfig::default());
+    for i in 0..12i64 {
+        let lo = i * 40;
+        let t = Table::from_pairs(
+            format!("table_{i}"),
+            vec![
+                ("id", (lo..lo + 60).map(Value::Int).collect()),
+                (
+                    "label",
+                    (lo..lo + 60)
+                        .map(|v| Value::str(format!("item-{v}")))
+                        .collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        idx.ingest("demo", t);
+    }
+    idx
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        pool_threads: 2,
+        accept_threads: 4,
+        cache_capacity: 64,
+        default_deadline: Some(Duration::from_secs(30)),
+        default_k: 3,
+        default_rerank: Some(MatcherKind::JaccardLevenshtein),
+        ..ServeConfig::default()
+    }
+}
+
+/// One request, read to EOF (the server closes). Returns (status, headers,
+/// body).
+fn request(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("recv");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+    let status: u16 = head[9..12].parse().expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+    request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn header_value<'h>(head: &'h str, name: &str) -> Option<&'h str> {
+    head.lines().find_map(|l| {
+        let (n, v) = l.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+/// A scratch directory that outlives the test body and cleans up after.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("valentine_serve_fault_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn flip_mid_byte(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn slow_request_heads_answer_408_and_free_the_worker() {
+    let server = ServerHandle::start(
+        LoadedIndex::from(corpus_index()),
+        ServeConfig {
+            header_read_timeout: Duration::from_millis(150),
+            ..config()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A loris: opens the connection, trickles half a request line, stalls.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"GET /healthz HTT").unwrap();
+    let mut response = String::new();
+    loris.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 408 "),
+        "stalled head is cut off with 408: {response}"
+    );
+
+    // The worker it occupied is free again for honest clients.
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/slow_headers"), 1);
+    assert_eq!(snapshot.counter("serve/status_408"), 1);
+}
+
+#[test]
+fn full_connection_queue_sheds_503_with_retry_after() {
+    // One connection worker, a one-slot queue, and a generous header
+    // deadline so two stalled connections pin the worker and fill the
+    // queue deterministically.
+    let server = ServerHandle::start(
+        LoadedIndex::from(corpus_index()),
+        ServeConfig {
+            accept_threads: 1,
+            conn_queue: 1,
+            header_read_timeout: Duration::from_secs(5),
+            ..config()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let pin_worker = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker picks it up
+    let fill_queue = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // queued; queue now full
+
+    let started = Instant::now();
+    let (status, head, body) = get(addr, "/healthz");
+    let elapsed = started.elapsed();
+    assert_eq!(status, 503, "{body}");
+    assert_eq!(header_value(&head, "Retry-After"), Some("1"), "{head}");
+    assert!(body.contains("overloaded"), "{body}");
+    // The shed decision is a bounded retry over a few hundred µs — the
+    // whole round trip must come back fast, not after a queue timeout.
+    assert!(
+        elapsed < Duration::from_millis(250),
+        "shed took {elapsed:?}"
+    );
+
+    // Release the stalled connections: the worker sees EOF and recovers,
+    // and the queued connection parses as an empty request.
+    drop(pin_worker);
+    drop(fill_queue);
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "server recovered after the flood: {body}");
+
+    let snapshot = server.shutdown();
+    assert!(snapshot.counter("serve/sheds") >= 1);
+    assert!(snapshot.counter("serve/status_503") >= 1);
+}
+
+#[test]
+fn degraded_index_serves_survivors_and_reports_it_everywhere() {
+    let dir = scratch("degraded");
+    let vidx = dir.join("corpus.v2");
+    valentine_index::v2::save_v2(&corpus_index(), &vidx, 2).unwrap();
+    // A second generation holding one more table, then corrupt it: the
+    // load quarantines generation 1 and serves the original twelve.
+    let mut writer = IndexWriter::append(&vidx).unwrap();
+    writer
+        .add_batch(
+            vec![(
+                "demo".to_string(),
+                Table::from_pairs("doomed", vec![("id", (900..960).map(Value::Int).collect())])
+                    .unwrap(),
+            )],
+            1,
+        )
+        .unwrap();
+    writer.finish().unwrap();
+    flip_mid_byte(&vidx.join("seg-000001-00.vseg"));
+
+    let index = LoadedIndex::load(&vidx).unwrap();
+    assert!(index.is_degraded());
+    let server = ServerHandle::start(
+        index,
+        ServeConfig {
+            index_path: Some(vidx.clone()),
+            ..config()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // /healthz stays 200 — the server answers — but the body says degraded.
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, "degraded\n");
+
+    // Searches answer over the survivors and carry the degraded flag...
+    let target = "/search?kind=unionable&k=3&table=table_0&method=jl";
+    let (status, head, body) = get(addr, target);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"degraded\":true"), "{body}");
+    assert!(body.contains("\"table\":\"table_0\""), "{body}");
+    assert!(head.contains("X-Valentine-Cache: miss"), "{head}");
+    // ...and are never cached: the identical repeat is a miss again.
+    let (_, head, _) = get(addr, target);
+    assert!(
+        head.contains("X-Valentine-Cache: miss"),
+        "degraded answers must not be cached: {head}"
+    );
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("index/quarantined_generations 1"),
+        "{metrics}"
+    );
+
+    // Read-repair: compact drops the quarantined generation, reload swaps
+    // the clean index in, and the degraded flag clears everywhere.
+    valentine_index::v2::compact(&vidx).unwrap();
+    let (status, _, body) = request(
+        addr,
+        "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"degraded\":false"), "{body}");
+    let (_, _, body) = get(addr, "/healthz");
+    assert_eq!(body, "ok\n");
+    let (status, head, body) = get(addr, target);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"degraded\":false"), "{body}");
+    assert!(head.contains("X-Valentine-Cache: miss"), "{head}");
+    let (_, head, _) = get(addr, target);
+    assert!(
+        head.contains("X-Valentine-Cache: hit"),
+        "healthy answers cache again: {head}"
+    );
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/degraded_responses"), 2);
+    assert_eq!(snapshot.counter("index/quarantined_generations"), 1);
+    assert_eq!(snapshot.counter("index/quarantined_segments"), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_reload_leaves_inflight_and_subsequent_searches_answering() {
+    let dir = scratch("reload_fail");
+    let path = dir.join("corpus.vidx");
+    corpus_index().save(&path).unwrap();
+
+    let server = ServerHandle::start(
+        LoadedIndex::load(&path).unwrap(),
+        ServeConfig {
+            index_path: Some(path.clone()),
+            ..config()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // A slow re-ranked search in flight while the reload fails underneath.
+    let inflight = std::thread::spawn(move || {
+        get(addr, "/search?kind=unionable&k=3&table=table_3&method=coma")
+    });
+    std::fs::write(&path, b"definitely not a VIDX file").unwrap();
+    let (status, _, body) = request(
+        addr,
+        "POST /admin/reload HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("keeping current index"), "{body}");
+
+    let (status, _, body) = inflight.join().unwrap();
+    assert_eq!(status, 200, "in-flight search survived the reload: {body}");
+    let (status, _, body) = get(addr, "/search?kind=unionable&k=3&table=table_7&method=jl");
+    assert_eq!(status, 200, "subsequent search still answers: {body}");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.counter("serve/reload_failures"), 1);
+    assert_eq!(snapshot.counter("serve/reloads"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
