@@ -25,6 +25,6 @@ pub mod walks;
 pub mod word2vec;
 
 pub use pretrained::PretrainedEmbeddings;
-pub use vector::{add_assign, cosine, dot, norm, scale};
+pub use vector::{add_assign, cosine, cosine_many, cosine_scalar, dot, dot_scalar, norm, scale};
 pub use walks::{TripartiteGraph, WalkConfig};
 pub use word2vec::{Word2Vec, Word2VecConfig};

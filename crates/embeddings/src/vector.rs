@@ -1,4 +1,29 @@
 //! Dense `f32` vector arithmetic shared by the embedding models.
+//!
+//! # Kernel layout
+//!
+//! Dot products are the inner loop of word2vec training (EmbDI) and of the
+//! SemProp/EmbDI cosine re-rank, so the reductions here run over fixed-width
+//! chunks with [`LANES`] *independent* partial sums: a sequential
+//! `iter().sum()` forms one serial dependency chain the autovectorizer must
+//! preserve, while separate lanes vectorize to packed multiply-adds and
+//! reduce once at the end.
+//!
+//! Products accumulate in `f64`. That costs a widening conversion per lane
+//! but makes the kernels *more* accurate than the scalar f32 chain they
+//! replaced, and keeps the optimized/reference difference down at f64
+//! reassociation scale so the equivalence suite can pin it tightly. The
+//! retained `*_scalar` references accumulate sequentially in f64 for the
+//! same reason; both then round to `f32` once.
+//!
+//! [`cosine_many`] is the fused batch kernel for re-ranking one query
+//! against many candidates: the query norm is computed once, and each
+//! candidate row gets a single fused pass producing its dot and norm
+//! together.
+
+/// Accumulator width of the chunked kernels: eight lanes of `f64` span two
+/// AVX-512 / four AVX2 registers of independent partial sums.
+const LANES: usize = 8;
 
 /// Dot product of two equal-length vectors.
 ///
@@ -6,35 +31,147 @@
 /// Panics if lengths differ.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    dot_f64(a, b) as f32
+}
+
+/// Retained scalar reference for [`dot`]: strictly sequential accumulation.
+/// Kept as the equivalence and floor-speedup baseline for the proptest
+/// suite and the `bench/kernels` guard.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += (*x as f64) * (*y as f64);
+    }
+    acc as f32
+}
+
+/// Chunked multi-accumulator dot product in `f64`.
+fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    let mut a_chunks = a.chunks_exact(LANES);
+    let mut b_chunks = b.chunks_exact(LANES);
+    let mut acc = [0.0f64; LANES];
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for l in 0..LANES {
+            acc[l] += (ca[l] as f64) * (cb[l] as f64);
+        }
+    }
+    let mut total: f64 = acc.iter().sum();
+    for (x, y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        total += (*x as f64) * (*y as f64);
+    }
+    total
+}
+
+/// Fused `(a·b, |b|²)` in one pass over `b` — the per-row kernel of
+/// [`cosine_many`].
+fn dot_and_norm2(a: &[f32], b: &[f32]) -> (f64, f64) {
+    let mut a_chunks = a.chunks_exact(LANES);
+    let mut b_chunks = b.chunks_exact(LANES);
+    let mut dot_acc = [0.0f64; LANES];
+    let mut nrm_acc = [0.0f64; LANES];
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for l in 0..LANES {
+            let x = ca[l] as f64;
+            let y = cb[l] as f64;
+            dot_acc[l] += x * y;
+            nrm_acc[l] += y * y;
+        }
+    }
+    let mut dot: f64 = dot_acc.iter().sum();
+    let mut nrm: f64 = nrm_acc.iter().sum();
+    for (x, y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        dot += (*x as f64) * (*y as f64);
+        nrm += (*y as f64) * (*y as f64);
+    }
+    (dot, nrm)
 }
 
 /// Euclidean norm.
 pub fn norm(a: &[f32]) -> f32 {
-    dot(a, a).sqrt()
+    dot_f64(a, a).sqrt() as f32
 }
 
 /// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    let na2 = dot_f64(a, a);
+    let (ab, nb2) = dot_and_norm2(a, b);
+    if na2 == 0.0 || nb2 == 0.0 {
+        return 0.0;
+    }
+    ((ab / (na2.sqrt() * nb2.sqrt())) as f32).clamp(-1.0, 1.0)
+}
+
+/// Retained scalar reference for [`cosine`], built on [`dot_scalar`].
+pub fn cosine_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot_scalar(a, a).sqrt();
+    let nb = dot_scalar(b, b).sqrt();
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    (dot_scalar(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine of one query against many candidate rows, with the query norm
+/// hoisted out of the loop and each row handled by the fused
+/// [`dot_and_norm2`] kernel. This is the SemProp ontology-link and EmbDI
+/// column re-rank shape: one query embedding scored against a matrix of
+/// candidates.
+///
+/// Rows whose length differs from the query's score 0 (callers pass
+/// same-model embeddings; a mismatch is a degenerate candidate, not a
+/// reason to abort a batch). Zero vectors on either side also score 0,
+/// matching [`cosine`].
+pub fn cosine_many<I>(query: &[f32], rows: I) -> Vec<f32>
+where
+    I: IntoIterator,
+    I::Item: AsRef<[f32]>,
+{
+    let nq2 = dot_f64(query, query);
+    rows.into_iter()
+        .map(|row| {
+            let row = row.as_ref();
+            if nq2 == 0.0 || row.len() != query.len() {
+                return 0.0;
+            }
+            let (ab, nr2) = dot_and_norm2(query, row);
+            if nr2 == 0.0 {
+                return 0.0;
+            }
+            ((ab / (nq2.sqrt() * nr2.sqrt())) as f32).clamp(-1.0, 1.0)
+        })
+        .collect()
 }
 
 /// `a += b`.
 pub fn add_assign(a: &mut [f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
-    for (x, y) in a.iter_mut().zip(b) {
+    let mut a_chunks = a.chunks_exact_mut(LANES);
+    let mut b_chunks = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut a_chunks).zip(&mut b_chunks) {
+        for l in 0..LANES {
+            ca[l] += cb[l];
+        }
+    }
+    for (x, y) in a_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(b_chunks.remainder())
+    {
         *x += y;
     }
 }
 
 /// `a *= s`.
 pub fn scale(a: &mut [f32], s: f32) {
-    for x in a.iter_mut() {
+    let mut chunks = a.chunks_exact_mut(LANES);
+    for c in &mut chunks {
+        for l in 0..LANES {
+            c[l] *= s;
+        }
+    }
+    for x in chunks.into_remainder() {
         *x *= s;
     }
 }
@@ -81,6 +218,41 @@ mod tests {
         let a = [0.3, -0.7, 0.1];
         let b = [0.6, -1.4, 0.2];
         assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_reference() {
+        // lengths straddling the lane width, plus typical embedding dims
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 100, 128] {
+            let a: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| ((i as f32) * 1.3).cos()).collect();
+            let (fast, slow) = (dot(&a, &b), dot_scalar(&a, &b));
+            assert!(
+                (fast - slow).abs() <= 1e-6 * slow.abs().max(1.0),
+                "dot n={n}: {fast} vs {slow}"
+            );
+            let (fast, slow) = (cosine(&a, &b), cosine_scalar(&a, &b));
+            assert!(
+                (fast - slow).abs() <= 1e-6,
+                "cosine n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_many_matches_pairwise_cosine() {
+        let q: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.9).sin()).collect();
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|r| (0..64).map(|i| ((i + r) as f32 * 0.4).cos()).collect())
+            .collect();
+        let batch = cosine_many(&q, &rows);
+        for (row, &got) in rows.iter().zip(&batch) {
+            assert!((got - cosine(&q, row)).abs() <= 1e-6);
+        }
+        // degenerate rows score 0, like `cosine`
+        let degenerate: Vec<Vec<f32>> = vec![vec![0.0; 64], vec![1.0; 3]];
+        assert_eq!(cosine_many(&q, &degenerate), vec![0.0, 0.0]);
+        assert_eq!(cosine_many(&[0.0; 4], &[vec![1.0; 4]]), vec![0.0]);
     }
 
     #[test]

@@ -70,3 +70,56 @@ proptest! {
         }
     }
 }
+
+// ── Optimized-kernel ↔ scalar-reference equivalence ─────────────────────
+//
+// The chunked dot/cosine kernels accumulate in f64 like the scalar
+// references, so the only divergence is f64 reassociation followed by one
+// rounding to f32 — ≤1e-6 covers it with a wide margin (one f32 ulp near
+// 1.0 is ~6e-8). `cosine_many` runs the very same fused kernels as
+// `cosine`, so it must agree bit-for-bit, and degenerate rows (length
+// mismatch, zero vectors) must score exactly 0.
+
+use valentine_embeddings::{cosine_many, cosine_scalar, dot_scalar};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_and_cosine_match_scalar_reference(
+        mut a in proptest::collection::vec(-100.0f32..100.0, 0..35),
+        mut b in proptest::collection::vec(-100.0f32..100.0, 0..35),
+    ) {
+        // trim to a common length: the kernels require equal-length input
+        let n = a.len().min(b.len());
+        a.truncate(n);
+        b.truncate(n);
+        let (fast, slow) = (dot(&a, &b), dot_scalar(&a, &b));
+        prop_assert!((fast - slow).abs() <= 1e-6 * slow.abs().max(1.0), "{fast} vs {slow}");
+        let (fast, slow) = (cosine(&a, &b), cosine_scalar(&a, &b));
+        prop_assert!((fast - slow).abs() <= 1e-6, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn constant_vectors_match_scalar_reference(v in -100.0f32..100.0, n in 0usize..40) {
+        let a = vec![v; n];
+        prop_assert!((dot(&a, &a) - dot_scalar(&a, &a)).abs() <= 1e-6 * dot_scalar(&a, &a).abs().max(1.0));
+        prop_assert!((cosine(&a, &a) - cosine_scalar(&a, &a)).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn cosine_many_agrees_with_cosine_exactly(
+        q in proptest::collection::vec(-100.0f32..100.0, 0..20),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-100.0f32..100.0, 0..20),
+            0..6,
+        ),
+    ) {
+        let batch = cosine_many(&q, &rows);
+        prop_assert_eq!(batch.len(), rows.len());
+        for (row, got) in rows.iter().zip(batch) {
+            let want = if row.len() == q.len() { cosine(&q, row) } else { 0.0 };
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}

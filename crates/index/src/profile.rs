@@ -46,6 +46,24 @@ impl ColumnProfile {
         column: &Column,
         hasher: &MinHasher,
     ) -> ColumnProfile {
+        ColumnProfile::build_with_signature(
+            table_id,
+            column_index,
+            column,
+            hasher.signature(column.rendered_value_set()),
+        )
+    }
+
+    /// Like [`ColumnProfile::build`], but with the MinHash signature
+    /// already computed. [`profile_table`] uses this to sign a whole table
+    /// through [`MinHasher::signature_many`], which reuses one hash buffer
+    /// across every column instead of allocating per column.
+    pub fn build_with_signature(
+        table_id: u32,
+        column_index: u32,
+        column: &Column,
+        signature: Signature,
+    ) -> ColumnProfile {
         let stats = column.stats();
         ColumnProfile {
             table_id,
@@ -55,7 +73,7 @@ impl ColumnProfile {
             dtype: column.dtype(),
             rows: column.len() as u64,
             distinct: stats.distinct as u64,
-            signature: hasher.signature(column.rendered_value_set()),
+            signature,
             quantiles: stats.quantiles.clone(),
         }
     }
@@ -193,13 +211,18 @@ impl Fnv1a {
     }
 }
 
-/// Profiles every column of a table (in column order).
+/// Profiles every column of a table (in column order). Signatures for the
+/// whole table come from one batched [`MinHasher::signature_many`] call.
 pub fn profile_table(table_id: u32, table: &Table, hasher: &MinHasher) -> Vec<ColumnProfile> {
+    let signatures = hasher.signature_many(table.columns().iter().map(|c| c.rendered_value_set()));
     table
         .columns()
         .iter()
+        .zip(signatures)
         .enumerate()
-        .map(|(i, col)| ColumnProfile::build(table_id, i as u32, col, hasher))
+        .map(|(i, (col, signature))| {
+            ColumnProfile::build_with_signature(table_id, i as u32, col, signature)
+        })
         .collect()
 }
 

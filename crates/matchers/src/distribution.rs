@@ -28,6 +28,7 @@
 //! as the overlap shrinks, which preserves the method's behaviour on the
 //! paper's scenarios. This substitution is documented in `DESIGN.md`.
 
+use valentine_solver::emd_1d_quantiles;
 use valentine_solver::ilp::{max_weight_set_packing, Candidate};
 use valentine_table::stats::equi_depth_quantiles;
 use valentine_table::{Column, FxHashMap, Table};
@@ -37,6 +38,12 @@ use crate::{Matcher, PairArtifacts};
 
 /// Sketch resolution (number of quantiles).
 const SKETCH_BINS: usize = 32;
+
+/// Tile side for the pairwise distance matrices. A tile of sketches is
+/// `TILE × SKETCH_BINS × 8 B = 8 KiB`, so the two tiles a block touches fit
+/// comfortably in L1 and every sketch is reused `TILE` times per load
+/// instead of streaming the whole arena through cache once per row.
+const TILE: usize = 32;
 
 /// The Distribution-based matcher.
 #[derive(Debug, Clone)]
@@ -71,8 +78,9 @@ impl DistributionMatcher {
     }
 }
 
-/// Config-invariant Distribution state: every column's sketch and value
-/// set, plus the full pairwise sketch-EMD and refined-distance matrices.
+/// Config-invariant Distribution state: every column's value set plus the
+/// full pairwise sketch-EMD and refined-distance matrices (the sketches
+/// themselves are only needed while building the matrices).
 /// Both Dist#1 and Dist#2 grids (18 configurations) only re-threshold,
 /// re-cluster, and re-solve over these.
 struct DistArtifacts {
@@ -83,12 +91,13 @@ struct DistArtifacts {
     refined_dist: Vec<Vec<f64>>,
 }
 
-/// One column's distribution sketch plus identity bookkeeping.
+/// One column's identity bookkeeping. Sketches live separately in a flat
+/// `n × SKETCH_BINS` arena during preparation so the tiled distance pass
+/// streams contiguous `f64`s instead of chasing one heap `Vec` per column.
 struct ColumnSketch {
     /// 0 = source table, 1 = target table.
     side: usize,
     name: String,
-    sketch: Vec<f64>,
     /// distinct rendered values (for the phase-2 overlap term)
     values: Vec<String>,
 }
@@ -126,16 +135,17 @@ fn sketch_column(col: &Column) -> Vec<f64> {
     }
 }
 
-/// Normalised EMD between two sketches (sketches live in `[0, 1]`).
+/// Normalised EMD between two sketches (sketches live in `[0, 1]`),
+/// delegated to the solver's chunked quantile-EMD kernel.
 fn sketch_distance(a: &[f64], b: &[f64]) -> f64 {
-    let total: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
-    (total / a.len() as f64).min(1.0)
+    emd_1d_quantiles(a, b).min(1.0)
 }
 
 /// Phase-2 refined distance: EMD blended with (1 − value-overlap Jaccard).
 /// Numeric pairs keep pure EMD (their value sets rarely intersect exactly).
-fn refined_distance(a: &ColumnSketch, b: &ColumnSketch) -> f64 {
-    let emd = sketch_distance(&a.sketch, &b.sketch);
+/// Takes the already-computed sketch EMD so the distance pass evaluates
+/// each pair's EMD once rather than twice.
+fn refined_distance(a: &ColumnSketch, b: &ColumnSketch, emd: f64) -> f64 {
     let inter = a
         .values
         .iter()
@@ -210,18 +220,23 @@ impl Matcher for DistributionMatcher {
     fn prepare(&self, source: &Table, target: &Table) -> Result<Option<PairArtifacts>, MatchError> {
         let _phase = valentine_obs::span!("dist/prepare");
 
-        // Sketch every column of both tables.
+        // Sketch every column of both tables. Sketches go into one flat
+        // `n × SKETCH_BINS` arena (every sketch is exactly SKETCH_BINS
+        // values) so the tiled distance pass below reads contiguous memory.
         let profile = valentine_obs::span!("profile");
         let mut cols: Vec<ColumnSketch> = Vec::with_capacity(source.width() + target.width());
+        let mut sketches: Vec<f64> = Vec::with_capacity(cols.capacity() * SKETCH_BINS);
         for (side, table) in [(0usize, source), (1usize, target)] {
             for col in table.columns() {
                 let mut values: Vec<String> = col.rendered_value_set().into_iter().collect();
                 values.sort_unstable();
                 values.truncate(512);
+                let sketch = sketch_column(col);
+                debug_assert_eq!(sketch.len(), SKETCH_BINS);
+                sketches.extend_from_slice(&sketch);
                 cols.push(ColumnSketch {
                     side,
                     name: col.name().to_string(),
-                    sketch: sketch_column(col),
                     values,
                 });
             }
@@ -231,21 +246,32 @@ impl Matcher for DistributionMatcher {
 
         // Both distance matrices are threshold-free, hence shared by the
         // whole grid; every configuration only compares them to its θs.
+        // The upper triangle is walked in TILE × TILE blocks: each block
+        // touches at most 2 × TILE sketches (16 KiB), so the EMD kernel
+        // runs entirely out of L1 instead of re-streaming the arena for
+        // every row.
         let _similarity = valentine_obs::span!("similarity");
         let mut sketch_dist = vec![vec![0.0; n]; n];
         let mut refined_dist = vec![vec![0.0; n]; n];
-        for i in 0..n {
+        let sk = |i: usize| &sketches[i * SKETCH_BINS..(i + 1) * SKETCH_BINS];
+        for i0 in (0..n).step_by(TILE) {
             // The O(n²) distance matrix dominates preparation; one
-            // cancellation check per row bounds deadline overshoot to a
-            // single row of EMD evaluations.
+            // cancellation check per tile row bounds deadline overshoot to
+            // a strip of TILE rows of EMD evaluations.
             valentine_obs::cancel::checkpoint()?;
-            for j in i + 1..n {
-                let sd = sketch_distance(&cols[i].sketch, &cols[j].sketch);
-                let rd = refined_distance(&cols[i], &cols[j]);
-                sketch_dist[i][j] = sd;
-                sketch_dist[j][i] = sd;
-                refined_dist[i][j] = rd;
-                refined_dist[j][i] = rd;
+            let i_end = (i0 + TILE).min(n);
+            for j0 in (i0..n).step_by(TILE) {
+                let j_end = (j0 + TILE).min(n);
+                for i in i0..i_end {
+                    for j in j0.max(i + 1)..j_end {
+                        let sd = sketch_distance(sk(i), sk(j));
+                        let rd = refined_distance(&cols[i], &cols[j], sd);
+                        sketch_dist[i][j] = sd;
+                        sketch_dist[j][i] = sd;
+                        refined_dist[i][j] = rd;
+                        refined_dist[j][i] = rd;
+                    }
+                }
             }
         }
         Ok(Some(PairArtifacts::new(DistArtifacts {

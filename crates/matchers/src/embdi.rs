@@ -16,7 +16,7 @@
 //! overlap starves the signal, and the corpus is quadratic-ish in table
 //! size.
 
-use valentine_embeddings::{cosine, TripartiteGraph, WalkConfig, Word2Vec, Word2VecConfig};
+use valentine_embeddings::{cosine_many, TripartiteGraph, WalkConfig, Word2Vec, Word2VecConfig};
 use valentine_table::Table;
 
 use crate::result::{ColumnMatch, MatchError, MatchResult};
@@ -121,18 +121,37 @@ impl Matcher for EmbdiMatcher {
         };
         drop(profile_phase);
 
-        // 4. rank column pairs by attribute-node cosine
+        // 4. rank column pairs by attribute-node cosine. Target attribute
+        // vectors are resolved once, then each source column scores the
+        // whole row of targets with one fused `cosine_many` sweep (query
+        // norm hoisted, one chunked pass per candidate).
         let sim_phase = valentine_obs::span!("embdi/similarity");
         let mut out = Vec::with_capacity(source.width() * target.width());
+        let tgt_vecs: Vec<Option<&[f32]>> = target
+            .columns()
+            .iter()
+            .map(|ct| model.vector(&TripartiteGraph::attribute_label(target.name(), ct.name())))
+            .collect();
+        let present: Vec<&[f32]> = tgt_vecs.iter().filter_map(|v| *v).collect();
         for cs in source.columns() {
             let ls = TripartiteGraph::attribute_label(source.name(), cs.name());
-            for ct in target.columns() {
-                let lt = TripartiteGraph::attribute_label(target.name(), ct.name());
-                let score = match (model.vector(&ls), model.vector(&lt)) {
-                    (Some(a), Some(b)) => cosine(a, b) as f64,
-                    _ => 0.0,
-                };
-                out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+            match model.vector(&ls) {
+                Some(a) => {
+                    let scores = cosine_many(a, present.iter().copied());
+                    let mut next = scores.iter();
+                    for (ct, v) in target.columns().iter().zip(&tgt_vecs) {
+                        let score = match v {
+                            Some(_) => *next.next().expect("one score per present vector") as f64,
+                            None => 0.0,
+                        };
+                        out.push(ColumnMatch::new(cs.name(), ct.name(), score));
+                    }
+                }
+                None => {
+                    for ct in target.columns() {
+                        out.push(ColumnMatch::new(cs.name(), ct.name(), 0.0));
+                    }
+                }
             }
         }
         drop(sim_phase);

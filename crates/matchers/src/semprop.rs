@@ -21,7 +21,7 @@
 //!    estimate of value overlap, accepted at `minh_threshold` and ranked
 //!    below semantic matches (scaled into `[0, 0.5]`).
 
-use valentine_embeddings::{cosine, PretrainedEmbeddings};
+use valentine_embeddings::{cosine_many, PretrainedEmbeddings};
 use valentine_ontology::Ontology;
 use valentine_solver::minhash::Signature;
 use valentine_solver::MinHasher;
@@ -59,6 +59,10 @@ pub struct SemPropMatcher {
     ontology: &'static Ontology,
     /// The pre-trained embedding model.
     embeddings: PretrainedEmbeddings,
+    /// The ontology lexicon embedded once at construction: `best_link`
+    /// scores every column text against this matrix with one fused
+    /// [`cosine_many`] sweep instead of re-embedding each label per text.
+    lexicon_vecs: Vec<(usize, Vec<f32>)>,
     /// MinHash permutations for the syntactic stage.
     minhasher: MinHasher,
 }
@@ -76,12 +80,22 @@ impl std::fmt::Debug for SemPropMatcher {
 impl SemPropMatcher {
     /// Creates SemProp against the bundled EFO-like ontology.
     pub fn new(minh_threshold: f64, sem_threshold: f64, coh_sem_threshold: f64) -> SemPropMatcher {
+        let ontology = valentine_ontology::efo_like();
+        let embeddings = PretrainedEmbeddings::new(128);
+        // Embed the ontology lexicon once; labels the model cannot embed
+        // are dropped here exactly as the per-pair scan used to skip them.
+        let lexicon_vecs: Vec<(usize, Vec<f32>)> = ontology
+            .lexicon()
+            .into_iter()
+            .filter_map(|(class, label)| embeddings.embed_phrase(label).map(|e| (class, e)))
+            .collect();
         SemPropMatcher {
             minh_threshold,
             sem_threshold,
             coh_sem_threshold,
-            ontology: valentine_ontology::efo_like(),
-            embeddings: PretrainedEmbeddings::new(128),
+            ontology,
+            embeddings,
+            lexicon_vecs,
             minhasher: MinHasher::new(128, 0x5e37),
         }
     }
@@ -113,11 +127,12 @@ impl SemPropMatcher {
             let Some(e) = self.embeddings.embed_phrase(text) else {
                 continue;
             };
-            for (class, label) in self.ontology.lexicon() {
-                let Some(le) = self.embeddings.embed_phrase(label) else {
-                    continue;
-                };
-                let sim = cosine(&e, &le) as f64;
+            // One fused batch sweep over the precomputed lexicon matrix —
+            // the query norm is hoisted and each label row costs a single
+            // chunked pass.
+            let sims = cosine_many(&e, self.lexicon_vecs.iter().map(|(_, v)| v.as_slice()));
+            for (&(class, _), sim) in self.lexicon_vecs.iter().zip(sims) {
+                let sim = sim as f64;
                 if best.is_none_or(|(_, b)| sim > b) {
                     best = Some((class, sim));
                 }
@@ -158,16 +173,12 @@ impl Matcher for SemPropMatcher {
         let tgt_links: Vec<Option<(usize, f64)>> =
             target.columns().iter().map(|c| self.best_link(c)).collect();
 
-        let src_sigs: Vec<Signature> = source
-            .columns()
-            .iter()
-            .map(|c| self.minhasher.signature(c.rendered_value_set()))
-            .collect();
-        let tgt_sigs: Vec<Signature> = target
-            .columns()
-            .iter()
-            .map(|c| self.minhasher.signature(c.rendered_value_set()))
-            .collect();
+        let src_sigs: Vec<Signature> = self
+            .minhasher
+            .signature_many(source.columns().iter().map(|c| c.rendered_value_set()));
+        let tgt_sigs: Vec<Signature> = self
+            .minhasher
+            .signature_many(target.columns().iter().map(|c| c.rendered_value_set()));
         Ok(Some(PairArtifacts::new(SemPropArtifacts {
             src_links,
             tgt_links,

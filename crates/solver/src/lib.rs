@@ -64,7 +64,10 @@ impl From<valentine_obs::Cancelled> for SolverError {
 }
 
 pub use assignment::hungarian_max;
-pub use emd::{emd_1d_quantiles, emd_transportation};
+pub use emd::{
+    emd_1d_normalized, emd_1d_normalized_scalar, emd_1d_quantiles, emd_1d_quantiles_scalar,
+    emd_transportation,
+};
 pub use fixpoint::{FixpointFormula, PropagationGraph};
 pub use ilp::max_weight_set_packing;
 pub use lsh::LshIndex;

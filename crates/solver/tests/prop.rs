@@ -134,3 +134,57 @@ proptest! {
         prop_assert!((est - truth).abs() < 0.12, "est {est} vs truth {truth}");
     }
 }
+
+// ── Optimized-kernel ↔ scalar-reference equivalence ─────────────────────
+//
+// The chunked EMD and MinHash kernels must agree with their retained
+// scalar references: exactly for the integer MinHash kernels (`min` is
+// order-insensitive), within f64-reassociation distance (≤1e-9 relative)
+// for the float EMD sums. Lengths deliberately straddle the 8-wide chunk
+// boundary, and constant vectors exercise the all-equal degenerate case.
+
+use valentine_solver::{emd_1d_normalized, emd_1d_normalized_scalar, emd_1d_quantiles_scalar};
+
+proptest! {
+    #[test]
+    fn emd_kernels_match_scalar_reference(
+        mut a in proptest::collection::vec(-1e6f64..1e6, 0..33),
+        mut b in proptest::collection::vec(-1e6f64..1e6, 0..33),
+    ) {
+        // trim to a common length: the kernels require equal-length input
+        let n = a.len().min(b.len());
+        a.truncate(n);
+        b.truncate(n);
+        let (fast, slow) = (emd_1d_quantiles(&a, &b), emd_1d_quantiles_scalar(&a, &b));
+        prop_assert!((fast - slow).abs() <= 1e-9 * slow.abs().max(1.0), "{fast} vs {slow}");
+        let (fast, slow) = (emd_1d_normalized(&a, &b), emd_1d_normalized_scalar(&a, &b));
+        prop_assert!((fast - slow).abs() <= 1e-9 * slow.abs().max(1.0), "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn emd_kernels_match_scalar_on_constant_sketches(v in -1e6f64..1e6, n in 0usize..40) {
+        let a = vec![v; n];
+        prop_assert_eq!(emd_1d_quantiles(&a, &a), emd_1d_quantiles_scalar(&a, &a));
+        prop_assert_eq!(emd_1d_normalized(&a, &a), emd_1d_normalized_scalar(&a, &a));
+    }
+
+    #[test]
+    fn minhash_kernels_match_scalar_reference(
+        items in proptest::collection::vec("[a-zA-Z0-9]{0,12}", 0..40),
+        other in proptest::collection::vec("[a-zA-Z0-9]{0,12}", 0..40),
+        k in 1usize..130,
+    ) {
+        let mh = MinHasher::new(k, 0xA5);
+        let sig = mh.signature(&items);
+        prop_assert_eq!(&sig, &mh.signature_scalar(&items));
+        let sig_other = mh.signature(&other);
+        prop_assert_eq!(
+            mh.jaccard(&sig, &sig_other),
+            mh.jaccard_scalar(&sig, &sig_other)
+        );
+        // batched path agrees with one-at-a-time
+        let batched = mh.signature_many([items.iter(), other.iter()]);
+        prop_assert_eq!(&batched[0], &sig);
+        prop_assert_eq!(&batched[1], &sig_other);
+    }
+}

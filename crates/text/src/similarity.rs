@@ -5,12 +5,78 @@
 //! similarities, the Jaccard-Levenshtein baseline thresholds on normalised
 //! Levenshtein, COMA's name matcher averages trigram/edit/synonym evidence,
 //! and Cupid's linguistic matching compares token sets.
+//!
+//! # Kernel layout
+//!
+//! The edit-distance family sits in the `similarity` trace category of
+//! several matchers (COMA name evidence, Jaccard-Levenshtein's O(sample²)
+//! inner loop), so the common case — ASCII column names and values — takes
+//! allocation-free fast paths over `&[u8]`:
+//!
+//! * [`levenshtein`] routes ASCII pairs whose shorter side fits in 64
+//!   characters (the overwhelmingly common column-name case) through a
+//!   bit-parallel Myers automaton — one word of bitwise ops per text
+//!   character instead of a row of the dynamic program — and longer ASCII
+//!   pairs through a two-row byte DP over reusable thread-local buffers.
+//! * [`jaro`] / [`jaro_winkler`] run the same algorithm as the Unicode
+//!   reference directly on bytes, with the match bookkeeping in
+//!   thread-local scratch instead of three fresh `Vec`s per call.
+//! * [`jaccard_tokens`] sort-merges the (small) token slices via a
+//!   thread-local index buffer instead of building two `HashSet`s per call.
+//!
+//! Non-ASCII input falls back to the retained scalar references
+//! ([`levenshtein_scalar`], [`jaro_scalar`], …), which preserve the original
+//! char-by-char behaviour bit-for-bit; the ASCII paths are exact
+//! re-implementations, asserted equivalent by the proptest suite in
+//! `tests/prop.rs` and speed-guarded by `bench/kernels`.
 
+use std::cell::RefCell;
+
+use valentine_table::fxhash::hash_str;
 use valentine_table::FxHashSet;
 
+/// Reusable per-thread buffers for the allocation-free fast paths. One
+/// borrow per public call; no similarity function calls another while the
+/// borrow is live, so the `RefCell` can never be re-entered.
+#[derive(Default)]
+struct Scratch {
+    /// Two-row Levenshtein DP rows.
+    prev: Vec<usize>,
+    curr: Vec<usize>,
+    /// Myers pattern-bitmask table (256 entries, all-zero between calls).
+    peq: Vec<u64>,
+    /// Jaro matched-in-`b` flags.
+    b_used: Vec<bool>,
+    /// Jaro matched character sequences.
+    matches_a: Vec<u8>,
+    matches_b: Vec<u8>,
+    /// Sorted distinct token hashes for [`jaccard_tokens`].
+    idx_a: Vec<u64>,
+    idx_b: Vec<u64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 /// Levenshtein (edit) distance between two strings, in unicode scalar
-/// values. Classic two-row dynamic program, O(|a|·|b|) time, O(min) space.
+/// values. ASCII pairs take the bit-parallel/byte-DP fast path; anything
+/// else uses the classic two-row dynamic program, O(|a|·|b|) time.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        levenshtein_ascii(a.as_bytes(), b.as_bytes())
+    } else {
+        levenshtein_scalar(a, b)
+    }
+}
+
+/// Retained scalar reference for [`levenshtein`]: the original char-vector
+/// two-row dynamic program. Kept as the equivalence and floor-speedup
+/// baseline; also the live fallback for non-ASCII input.
+pub fn levenshtein_scalar(a: &str, b: &str) -> usize {
     if a == b {
         return 0;
     }
@@ -41,18 +107,113 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[short.len()]
 }
 
+/// ASCII dispatch: Myers when the pattern fits one machine word, two-row
+/// byte DP over thread-local rows otherwise.
+fn levenshtein_ascii(a: &[u8], b: &[u8]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let (pattern, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        if pattern.len() <= 64 {
+            myers64(pattern, text, &mut s.peq)
+        } else {
+            two_row_bytes(pattern, text, &mut s.prev, &mut s.curr)
+        }
+    })
+}
+
+/// Myers' bit-parallel edit distance (Hyyrö's formulation): the DP column
+/// is a pair of 64-bit delta vectors updated with ~15 word ops per text
+/// byte. Exact for `pattern.len() ∈ 1..=64`. `peq` must be all-zero on
+/// entry and is restored to all-zero before returning.
+fn myers64(pattern: &[u8], text: &[u8], peq: &mut Vec<u64>) -> usize {
+    debug_assert!((1..=64).contains(&pattern.len()));
+    if peq.is_empty() {
+        peq.resize(256, 0);
+    }
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1u64 << i;
+    }
+    let m = pattern.len();
+    let high = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    for &c in text {
+        let eq = peq[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & high != 0 {
+            score += 1;
+        }
+        if mh & high != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    // Restore the all-zero invariant by clearing only this pattern's rows.
+    for &c in pattern {
+        peq[c as usize] = 0;
+    }
+    score
+}
+
+/// Two-row byte DP with caller-provided (thread-local) rows — the >64-char
+/// ASCII path. Same recurrence as the scalar reference, minus the per-call
+/// `Vec<char>` materialisation and row allocations.
+fn two_row_bytes(short: &[u8], long: &[u8], prev: &mut Vec<usize>, curr: &mut Vec<usize>) -> usize {
+    prev.clear();
+    prev.extend(0..=short.len());
+    curr.clear();
+    curr.resize(short.len() + 1, 0);
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(prev, curr);
+    }
+    prev[short.len()]
+}
+
 /// Levenshtein similarity in `[0, 1]`: `1 − dist / max_len`. Two empty
 /// strings are identical (1.0).
 pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let max_len = if a.is_ascii() && b.is_ascii() {
+        a.len().max(b.len())
+    } else {
+        a.chars().count().max(b.chars().count())
+    };
     if max_len == 0 {
         return 1.0;
     }
     1.0 - levenshtein(a, b) as f64 / max_len as f64
 }
 
-/// Jaro similarity in `[0, 1]`.
+/// Jaro similarity in `[0, 1]`. ASCII pairs run allocation-free on bytes;
+/// the result is bit-identical to [`jaro_scalar`].
 pub fn jaro(a: &str, b: &str) -> f64 {
+    if a.is_ascii() && b.is_ascii() {
+        jaro_ascii(a.as_bytes(), b.as_bytes())
+    } else {
+        jaro_scalar(a, b)
+    }
+}
+
+/// Retained scalar reference for [`jaro`]: the original char-vector
+/// implementation, also the live non-ASCII fallback.
+pub fn jaro_scalar(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
     if a.is_empty() && b.is_empty() {
@@ -95,10 +256,70 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
 
+/// ASCII Jaro: identical algorithm to the scalar reference, with the match
+/// bookkeeping in thread-local scratch. The counts it produces are the same
+/// integers, so the final arithmetic is bit-for-bit equal.
+fn jaro_ascii(a: &[u8], b: &[u8]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let b_used = &mut s.b_used;
+        let matches_a = &mut s.matches_a;
+        let matches_b = &mut s.matches_b;
+        b_used.clear();
+        b_used.resize(b.len(), false);
+        matches_a.clear();
+        for (i, &ca) in a.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(b.len());
+            for j in lo..hi {
+                if !b_used[j] && b[j] == ca {
+                    b_used[j] = true;
+                    matches_a.push(ca);
+                    break;
+                }
+            }
+        }
+        let m = matches_a.len();
+        if m == 0 {
+            return 0.0;
+        }
+        matches_b.clear();
+        matches_b.extend(
+            b.iter()
+                .zip(b_used.iter())
+                .filter(|(_, &u)| u)
+                .map(|(&c, _)| c),
+        );
+        let transpositions = matches_a
+            .iter()
+            .zip(matches_b.iter())
+            .filter(|(x, y)| x != y)
+            .count()
+            / 2;
+        let m = m as f64;
+        (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+    })
+}
+
 /// Jaro-Winkler similarity: Jaro boosted by common prefix (scaling 0.1,
 /// prefix capped at 4), the standard parameterisation.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    winkler_boost(jaro(a, b), a, b)
+}
+
+/// Retained scalar reference for [`jaro_winkler`], built on [`jaro_scalar`].
+pub fn jaro_winkler_scalar(a: &str, b: &str) -> f64 {
+    winkler_boost(jaro_scalar(a, b), a, b)
+}
+
+fn winkler_boost(j: f64, a: &str, b: &str) -> f64 {
     let prefix = a
         .chars()
         .zip(b.chars())
@@ -133,8 +354,43 @@ fn ngrams(s: &str, n: usize) -> FxHashSet<String> {
     chars.windows(n).map(|w| w.iter().collect()).collect()
 }
 
-/// Jaccard similarity of two token slices (as sets).
+/// Jaccard similarity of two token slices (as sets). Token lists here are
+/// short (identifier tokens), so instead of materialising two `HashSet`s
+/// per call this hashes each token once into thread-local scratch and
+/// sort-merges the `u64`s: sort, dedup, then a linear merge counts the
+/// intersection — no allocation, and every comparison is one integer op
+/// instead of a string walk. Hash equality stands in for token equality,
+/// exactly as the MinHash profile layer already assumes for `hash_str`.
 pub fn jaccard_tokens<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let ia = &mut s.idx_a;
+        let ib = &mut s.idx_b;
+        sorted_distinct_hashes(a, ia);
+        sorted_distinct_hashes(b, ib);
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < ia.len() && j < ib.len() {
+            match ia[i].cmp(&ib[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = ia.len() + ib.len() - inter;
+        inter as f64 / union as f64
+    })
+}
+
+/// Retained scalar reference for [`jaccard_tokens`]: the original
+/// two-`HashSet` implementation.
+pub fn jaccard_tokens_scalar<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     let sa: FxHashSet<&str> = a.iter().map(AsRef::as_ref).collect();
     let sb: FxHashSet<&str> = b.iter().map(AsRef::as_ref).collect();
     if sa.is_empty() && sb.is_empty() {
@@ -145,18 +401,42 @@ pub fn jaccard_tokens<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     inter as f64 / union as f64
 }
 
+/// Fills `out` with the sorted, deduplicated 64-bit token hashes of `v` —
+/// the token *set* as cheap-to-compare integers, no strings copied. Treats
+/// hash equality as token identity, the same standing assumption the
+/// MinHash profile layer makes for `hash_str` (a 2⁻⁶⁴ collision folds two
+/// tokens into one).
+fn sorted_distinct_hashes<S: AsRef<str>>(v: &[S], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(v.iter().map(|s| hash_str(s.as_ref())));
+    out.sort_unstable();
+    out.dedup();
+}
+
 /// Monge-Elkan similarity: for each token in `a`, the best
 /// [`jaro_winkler`] match in `b`, averaged; symmetrised by taking the mean
-/// of both directions.
+/// of both directions. The inner Jaro-Winkler calls take the ASCII
+/// scratch-buffer fast path, which is where the per-call allocations of the
+/// original lived.
 pub fn monge_elkan<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    fn directed<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    monge_elkan_with(a, b, jaro_winkler)
+}
+
+/// Retained scalar reference for [`monge_elkan`], built on
+/// [`jaro_winkler_scalar`].
+pub fn monge_elkan_scalar<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    monge_elkan_with(a, b, jaro_winkler_scalar)
+}
+
+fn monge_elkan_with<S: AsRef<str>>(a: &[S], b: &[S], sim: fn(&str, &str) -> f64) -> f64 {
+    fn directed<S: AsRef<str>>(a: &[S], b: &[S], sim: fn(&str, &str) -> f64) -> f64 {
         if a.is_empty() {
             return 0.0;
         }
         a.iter()
             .map(|ta| {
                 b.iter()
-                    .map(|tb| jaro_winkler(ta.as_ref(), tb.as_ref()))
+                    .map(|tb| sim(ta.as_ref(), tb.as_ref()))
                     .fold(0.0, f64::max)
             })
             .sum::<f64>()
@@ -168,7 +448,7 @@ pub fn monge_elkan<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    (directed(a, b) + directed(b, a)) / 2.0
+    (directed(a, b, sim) + directed(b, a, sim)) / 2.0
 }
 
 #[cfg(test)]
@@ -196,6 +476,35 @@ mod tests {
     }
 
     #[test]
+    fn levenshtein_fast_paths_match_scalar() {
+        let cases = [
+            ("", ""),
+            ("a", ""),
+            ("", "b"),
+            ("kitten", "sitting"),
+            ("customer_id", "cust_id"),
+            ("x", "a-much-longer-identifier-name"),
+            // >64-char pair: exercises the two-row byte DP path
+            (
+                "this_is_a_very_long_identifier_name_that_exceeds_sixty_four_characters_total",
+                "this_is_a_very_long_identifer_nam_that_exceeds_sixty_four_characters_totale",
+            ),
+            // exactly-64-char pattern boundary
+            (
+                "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab",
+                "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+            ),
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                levenshtein(a, b),
+                levenshtein_scalar(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
     fn normalized_levenshtein_bounds() {
         assert_eq!(normalized_levenshtein("", ""), 1.0);
         assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
@@ -212,6 +521,25 @@ mod tests {
         assert_eq!(jaro("a", ""), 0.0);
         assert_eq!(jaro("abc", "abc"), 1.0);
         assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_fast_path_matches_scalar_bit_for_bit() {
+        let cases = [
+            ("", ""),
+            ("a", ""),
+            ("martha", "marhta"),
+            ("dixon", "dicksonx"),
+            ("customer_id", "cust_identifier"),
+            ("prefix_a", "prefix_b"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(jaro(a, b).to_bits(), jaro_scalar(a, b).to_bits());
+            assert_eq!(
+                jaro_winkler(a, b).to_bits(),
+                jaro_winkler_scalar(a, b).to_bits()
+            );
+        }
     }
 
     #[test]
@@ -247,6 +575,24 @@ mod tests {
     }
 
     #[test]
+    fn jaccard_tokens_matches_scalar_with_duplicates() {
+        let cases: [(&[&str], &[&str]); 5] = [
+            (&["a", "a", "b"], &["b", "b", "a"]),
+            (&["x"], &[]),
+            (&[], &["y", "y"]),
+            (&["customer", "id"], &["id", "customer", "id"]),
+            (&["ä", "b"], &["b", "ä"]), // non-ASCII tokens sort fine too
+        ];
+        for (a, b) in cases {
+            assert_eq!(
+                jaccard_tokens(a, b),
+                jaccard_tokens_scalar(a, b),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
     fn monge_elkan_behaviour() {
         assert_eq!(monge_elkan(&["last", "name"], &["name", "last"]), 1.0);
         assert!(monge_elkan(&["last", "name"], &["surname"]) > 0.0);
@@ -256,6 +602,16 @@ mod tests {
         let ab = monge_elkan(&["postal", "code"], &["zip"]);
         let ba = monge_elkan(&["zip"], &["postal", "code"]);
         assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_matches_scalar() {
+        let a = ["customer", "id"];
+        let b = ["cust", "identifier"];
+        assert_eq!(
+            monge_elkan(&a, &b).to_bits(),
+            monge_elkan_scalar(&a, &b).to_bits()
+        );
     }
 
     #[test]

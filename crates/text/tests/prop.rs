@@ -85,3 +85,63 @@ proptest! {
         prop_assert!(len.abs() <= 1, "one edit changes length by at most 1");
     }
 }
+
+// ── Optimized-kernel ↔ scalar-reference equivalence ─────────────────────
+//
+// Every fast path in `similarity` (ASCII two-row DP, Myers bit-parallel
+// Levenshtein, scratch-buffer Jaro, hashed token Jaccard) must agree with
+// the retained scalar reference. Integer kernels agree exactly; float
+// kernels agree bit-for-bit because the fast paths compute the same counts
+// before any float arithmetic happens. Inputs deliberately mix empty
+// strings, non-ASCII text (forcing the fallback), and lengths straddling
+// the Myers 64-char boundary.
+
+use valentine_text::{
+    jaccard_tokens, jaccard_tokens_scalar, jaro_scalar, jaro_winkler_scalar, levenshtein_scalar,
+    monge_elkan, monge_elkan_scalar,
+};
+
+proptest! {
+    #[test]
+    fn levenshtein_matches_scalar_reference(a in ".{0,20}", b in ".{0,20}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein_scalar(&a, &b));
+    }
+
+    #[test]
+    fn levenshtein_matches_scalar_across_myers_boundary(
+        a in "[ -~]{0,80}",
+        b in "[ -~]{0,80}",
+    ) {
+        // printable-ASCII inputs up to 80 chars cover needle lengths on
+        // both sides of the 64-bit Myers word
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein_scalar(&a, &b));
+    }
+
+    #[test]
+    fn jaro_family_matches_scalar_bit_for_bit(a in ".{0,30}", b in ".{0,30}") {
+        prop_assert_eq!(jaro(&a, &b).to_bits(), jaro_scalar(&a, &b).to_bits());
+        prop_assert_eq!(
+            jaro_winkler(&a, &b).to_bits(),
+            jaro_winkler_scalar(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn jaccard_tokens_matches_scalar_reference(
+        a in proptest::collection::vec("[a-z0-9_]{0,8}", 0..10),
+        b in proptest::collection::vec("[a-z0-9_]{0,8}", 0..10),
+    ) {
+        prop_assert_eq!(jaccard_tokens(&a, &b), jaccard_tokens_scalar(&a, &b));
+    }
+
+    #[test]
+    fn monge_elkan_matches_scalar_reference(
+        a in proptest::collection::vec(".{0,10}", 0..6),
+        b in proptest::collection::vec(".{0,10}", 0..6),
+    ) {
+        prop_assert_eq!(
+            monge_elkan(&a, &b).to_bits(),
+            monge_elkan_scalar(&a, &b).to_bits()
+        );
+    }
+}
